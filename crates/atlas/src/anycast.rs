@@ -1,0 +1,190 @@
+//! Anycast catchment: which instance a probe's queries land on.
+//!
+//! Root letters and Google Public DNS are reached over IP anycast, so
+//! "which replica answers" is decided by BGP, not geography alone. The
+//! model captures the two effects the paper's data shows:
+//!
+//! * **Scope** — many hosted replicas (the +Raíces style local nodes) are
+//!   announced with `NO_EXPORT`-like scoping and serve only the hosting
+//!   country; global nodes serve anyone.
+//! * **Egress detours** — a probe whose upstream hauls international
+//!   traffic through a remote gateway (Venezuelan networks transiting via
+//!   Miami) reaches every *foreign* site through that gateway, which is
+//!   why border probes on non-CANTV networks see Bogotá at <10 ms while
+//!   Caracas probes see 36 ms (Fig. 20 / Appendix J).
+
+use crate::probes::Probe;
+use lacnet_types::{CountryCode, GeoPoint};
+use serde::{Deserialize, Serialize};
+
+/// Announcement scope of an anycast site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteScope {
+    /// Globally announced: any probe may be caught.
+    Global,
+    /// Announced only within the hosting country.
+    Domestic(CountryCode),
+}
+
+/// One anycast site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnycastSite {
+    /// Stable identifier (for roots, the `letter/site/unit` identity).
+    pub id: String,
+    /// Site coordinates.
+    pub location: GeoPoint,
+    /// Announcement scope.
+    pub scope: SiteScope,
+}
+
+impl AnycastSite {
+    /// Whether `probe` can be caught by this site at all.
+    pub fn visible_to(&self, probe: &Probe) -> bool {
+        match self.scope {
+            SiteScope::Global => true,
+            SiteScope::Domestic(cc) => cc == probe.country,
+        }
+    }
+
+    /// The path length in km the probe's packets travel to this site,
+    /// honouring the probe's forced egress for non-domestic sites.
+    pub fn path_km(&self, probe: &Probe) -> f64 {
+        let domestic = matches!(self.scope, SiteScope::Domestic(cc) if cc == probe.country);
+        match (domestic, probe.egress) {
+            // Domestic traffic stays domestic.
+            (true, _) | (false, None) => probe.location.distance_km(self.location),
+            (false, Some(gw)) => {
+                probe.location.distance_km(gw) + gw.distance_km(self.location)
+            }
+        }
+    }
+}
+
+/// A set of simultaneously announced sites for one anycast service.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AnycastFleet {
+    sites: Vec<AnycastSite>,
+}
+
+impl AnycastFleet {
+    /// Build from sites.
+    pub fn new(sites: Vec<AnycastSite>) -> Self {
+        AnycastFleet { sites }
+    }
+
+    /// The sites.
+    pub fn sites(&self) -> &[AnycastSite] {
+        &self.sites
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The site that catches `probe`: the visible site with the shortest
+    /// path, ties broken by site id for determinism. `None` when no site
+    /// is visible.
+    pub fn catch(&self, probe: &Probe) -> Option<&AnycastSite> {
+        self.sites
+            .iter()
+            .filter(|s| s.visible_to(probe))
+            .min_by(|a, b| {
+                a.path_km(probe)
+                    .partial_cmp(&b.path_km(probe))
+                    .expect("path lengths are finite")
+                    .then_with(|| a.id.cmp(&b.id))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lacnet_types::{country, geo, Asn, MonthStamp};
+
+    fn probe_at(lat: f64, lon: f64, cc: CountryCode, egress: Option<GeoPoint>) -> Probe {
+        Probe {
+            id: 1,
+            country: cc,
+            location: GeoPoint::new(lat, lon),
+            asn: Asn(8048),
+            active_since: MonthStamp::new(2014, 1),
+            active_until: None,
+            egress,
+        }
+    }
+
+    fn site(id: &str, code: &str, scope: SiteScope) -> AnycastSite {
+        AnycastSite { id: id.into(), location: geo::airport(code).unwrap().location, scope }
+    }
+
+    #[test]
+    fn nearest_global_site_wins_without_detour() {
+        let fleet = AnycastFleet::new(vec![
+            site("bog", "bog", SiteScope::Global),
+            site("mia", "mia", SiteScope::Global),
+        ]);
+        // Probe in western Venezuela, no forced egress: Bogotá is closer.
+        let p = probe_at(8.6, -71.2, country::VE, None);
+        assert_eq!(fleet.catch(&p).unwrap().id, "bog");
+    }
+
+    #[test]
+    fn egress_detour_changes_catchment() {
+        let fleet = AnycastFleet::new(vec![
+            site("bog", "bog", SiteScope::Global),
+            site("mia", "mia", SiteScope::Global),
+        ]);
+        // Same probe, but its transit hauls everything through Miami:
+        // Miami now wins (zero extra hop from the gateway).
+        let p = probe_at(8.6, -71.2, country::VE, Some(geo::airport("mia").unwrap().location));
+        assert_eq!(fleet.catch(&p).unwrap().id, "mia");
+        // And the path via the gateway is much longer than direct Bogotá.
+        let bog = &fleet.sites()[0];
+        assert!(bog.path_km(&p) > 2.0 * geo::airport("bog").unwrap().location.distance_km(p.location));
+    }
+
+    #[test]
+    fn domestic_scope_restricts_visibility() {
+        let fleet = AnycastFleet::new(vec![
+            site("ccs-local", "ccs", SiteScope::Domestic(country::VE)),
+            site("mia", "mia", SiteScope::Global),
+        ]);
+        let ve = probe_at(10.5, -66.9, country::VE, None);
+        assert_eq!(fleet.catch(&ve).unwrap().id, "ccs-local");
+        let br = probe_at(-23.5, -46.6, country::BR, None);
+        assert_eq!(fleet.catch(&br).unwrap().id, "mia", "domestic VE node invisible abroad");
+    }
+
+    #[test]
+    fn domestic_site_ignores_egress_detour() {
+        // Local traffic must not take the international gateway.
+        let fleet = AnycastFleet::new(vec![site(
+            "ccs-local",
+            "ccs",
+            SiteScope::Domestic(country::VE),
+        )]);
+        let p = probe_at(10.5, -66.9, country::VE, Some(geo::airport("mia").unwrap().location));
+        let s = fleet.catch(&p).unwrap();
+        assert!(s.path_km(&p) < 50.0, "domestic path stays short, got {}", s.path_km(&p));
+    }
+
+    #[test]
+    fn empty_or_invisible_fleet_catches_nothing() {
+        let fleet = AnycastFleet::new(vec![]);
+        let p = probe_at(10.5, -66.9, country::VE, None);
+        assert!(fleet.catch(&p).is_none());
+        let fleet = AnycastFleet::new(vec![site("scl", "scl", SiteScope::Domestic(country::CL))]);
+        assert!(fleet.catch(&p).is_none());
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let a = site("aaa", "mia", SiteScope::Global);
+        let b = site("bbb", "mia", SiteScope::Global);
+        let fleet = AnycastFleet::new(vec![b, a]);
+        let p = probe_at(10.5, -66.9, country::VE, None);
+        assert_eq!(fleet.catch(&p).unwrap().id, "aaa");
+    }
+}

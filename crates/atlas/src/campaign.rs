@@ -1,0 +1,277 @@
+//! The CHAOS TXT built-in campaign and its aggregations.
+//!
+//! RIPE Atlas's built-in measurements query every root letter from every
+//! probe every 30 minutes; the study samples the first five days of each
+//! month. One simulated "round" per month is sufficient here because
+//! catchments are stable within a month in the model — what varies is the
+//! deployment and the probe population.
+
+use crate::anycast::{AnycastFleet, AnycastSite, SiteScope};
+use crate::chaos;
+use crate::probes::{ProbeId, ProbeRegistry};
+use crate::roots::{RootDeployment, RootInstance, RootLetter};
+use lacnet_types::{CountryCode, MonthStamp, TimeSeries};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One CHAOS TXT response as the platform would archive it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosObservation {
+    /// Month of the measurement round.
+    pub month: MonthStamp,
+    /// Probe that issued the query.
+    pub probe: ProbeId,
+    /// Country hosting the probe.
+    pub probe_country: CountryCode,
+    /// Letter queried.
+    pub letter: RootLetter,
+    /// The TXT payload returned by the instance that caught the query.
+    pub txt: String,
+}
+
+/// The campaign driver: probes × letters × months over a deployment.
+pub struct ChaosCampaign<'a> {
+    probes: &'a ProbeRegistry,
+    deployment: &'a RootDeployment,
+}
+
+impl<'a> ChaosCampaign<'a> {
+    /// Create a campaign over the given probe registry and deployment.
+    pub fn new(probes: &'a ProbeRegistry, deployment: &'a RootDeployment) -> Self {
+        ChaosCampaign { probes, deployment }
+    }
+
+    /// Build the anycast fleet for `letter` as announced in `month`.
+    fn fleet_for(&self, letter: RootLetter, month: MonthStamp) -> (AnycastFleet, BTreeMap<String, &'a RootInstance>) {
+        let mut sites = Vec::new();
+        let mut by_id = BTreeMap::new();
+        for inst in self.deployment.active(letter, month) {
+            let id = inst.identity();
+            sites.push(AnycastSite {
+                id: id.clone(),
+                location: inst.location,
+                scope: if inst.global {
+                    SiteScope::Global
+                } else {
+                    SiteScope::Domestic(inst.country)
+                },
+            });
+            by_id.insert(id, inst);
+        }
+        (AnycastFleet::new(sites), by_id)
+    }
+
+    /// Run one monthly round: every active probe queries every letter.
+    pub fn run_month(&self, month: MonthStamp) -> Vec<ChaosObservation> {
+        let mut out = Vec::new();
+        for letter in RootLetter::ALL {
+            let (fleet, by_id) = self.fleet_for(letter, month);
+            if fleet.is_empty() {
+                continue;
+            }
+            for probe in self.probes.active_in(month) {
+                if let Some(site) = fleet.catch(probe) {
+                    let inst = by_id[&site.id];
+                    out.push(ChaosObservation {
+                        month,
+                        probe: probe.id,
+                        probe_country: probe.country,
+                        letter,
+                        txt: chaos::encode(inst),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Decode a round's observations into the set of unique replica
+/// identities seen per hosting country — the per-month datum of Fig. 6.
+/// Responses that fail to decode or resolve to no country are dropped
+/// (as the paper's regex pipeline drops unmappable strings).
+pub fn replicas_by_country(
+    observations: &[ChaosObservation],
+) -> BTreeMap<CountryCode, BTreeSet<String>> {
+    let mut out: BTreeMap<CountryCode, BTreeSet<String>> = BTreeMap::new();
+    for obs in observations {
+        if let Ok(site_ref) = chaos::decode(obs.letter, &obs.txt) {
+            if let Some(cc) = site_ref.country() {
+                out.entry(cc).or_default().insert(site_ref.identity());
+            }
+        }
+    }
+    out
+}
+
+/// Monthly unique-replica counts for each country over `[start, end]` —
+/// the Fig. 6 lines (and, summed, its regional panel).
+pub fn replica_count_series(
+    probes: &ProbeRegistry,
+    deployment: &RootDeployment,
+    start: MonthStamp,
+    end: MonthStamp,
+) -> BTreeMap<CountryCode, TimeSeries> {
+    let campaign = ChaosCampaign::new(probes, deployment);
+    let mut out: BTreeMap<CountryCode, TimeSeries> = BTreeMap::new();
+    for m in start.through(end) {
+        let obs = campaign.run_month(m);
+        for (cc, replicas) in replicas_by_country(&obs) {
+            out.entry(cc).or_default().insert(m, replicas.len() as f64);
+        }
+    }
+    out
+}
+
+/// The Fig. 16 heatmap: from the probes of `vantage_country`, how many
+/// distinct replicas in each hosting country were reached each month.
+pub fn origin_heatmap(
+    probes: &ProbeRegistry,
+    deployment: &RootDeployment,
+    vantage_country: CountryCode,
+    start: MonthStamp,
+    end: MonthStamp,
+) -> BTreeMap<CountryCode, TimeSeries> {
+    let campaign = ChaosCampaign::new(probes, deployment);
+    let mut out: BTreeMap<CountryCode, TimeSeries> = BTreeMap::new();
+    for m in start.through(end) {
+        let obs: Vec<ChaosObservation> = campaign
+            .run_month(m)
+            .into_iter()
+            .filter(|o| o.probe_country == vantage_country)
+            .collect();
+        for (cc, replicas) in replicas_by_country(&obs) {
+            out.entry(cc).or_default().insert(m, replicas.len() as f64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probes::Probe;
+    use lacnet_types::{country, geo, Asn, GeoPoint};
+
+    fn m(y: i32, mo: u8) -> MonthStamp {
+        MonthStamp::new(y, mo)
+    }
+
+    fn probe(id: u32, cc: CountryCode, code: &str, egress: Option<&str>) -> Probe {
+        Probe {
+            id,
+            country: cc,
+            location: geo::airport(code).unwrap().location,
+            asn: Asn(8048),
+            active_since: m(2016, 1),
+            active_until: None,
+            egress: egress.map(|e| geo::airport(e).unwrap().location),
+        }
+    }
+
+    fn instance(
+        letter: RootLetter,
+        site: &str,
+        cc: CountryCode,
+        since: MonthStamp,
+        until: Option<MonthStamp>,
+        global: bool,
+    ) -> RootInstance {
+        RootInstance {
+            letter,
+            site: site.into(),
+            unit: 1,
+            country: cc,
+            location: geo::airport(site).map(|a| a.location).unwrap_or(GeoPoint::new(0.0, 0.0)),
+            active_since: since,
+            active_until: until,
+            global,
+        }
+    }
+
+    /// VE hosts a domestic L replica until mid-2019; Bogotá and Miami
+    /// global L replicas exist throughout; an F replica exists in Caracas
+    /// until 2018.
+    fn world() -> (ProbeRegistry, RootDeployment) {
+        let mut probes = ProbeRegistry::new();
+        probes.add(probe(1, country::VE, "ccs", Some("mia")));
+        probes.add(probe(2, country::VE, "mar", None));
+        probes.add(probe(3, country::CO, "bog", None));
+        let mut dep = RootDeployment::new();
+        dep.add(instance(RootLetter::L, "ccs", country::VE, m(2016, 1), Some(m(2019, 6)), false));
+        dep.add(instance(RootLetter::F, "ccs", country::VE, m(2016, 1), Some(m(2018, 3)), false));
+        dep.add(instance(RootLetter::L, "bog", country::CO, m(2016, 1), None, true));
+        dep.add(instance(RootLetter::L, "mia", country::US, m(2016, 1), None, true));
+        dep.add(instance(RootLetter::F, "mia", country::US, m(2016, 1), None, true));
+        (probes, dep)
+    }
+
+    #[test]
+    fn domestic_replica_caught_while_active() {
+        let (probes, dep) = world();
+        let campaign = ChaosCampaign::new(&probes, &dep);
+        let obs = campaign.run_month(m(2017, 1));
+        // VE probes hit the domestic L node.
+        let ve_l: Vec<_> = obs
+            .iter()
+            .filter(|o| o.probe_country == country::VE && o.letter == RootLetter::L)
+            .collect();
+        assert_eq!(ve_l.len(), 2);
+        assert!(ve_l.iter().all(|o| o.txt == "ccs01.l.root-servers.org"), "{ve_l:?}");
+        // Colombian probe cannot see the VE domestic node; Bogotá global wins.
+        let co_l = obs
+            .iter()
+            .find(|o| o.probe_country == country::CO && o.letter == RootLetter::L)
+            .unwrap();
+        assert_eq!(co_l.txt, "bog01.l.root-servers.org");
+    }
+
+    #[test]
+    fn replica_regression_after_shutdown() {
+        let (probes, dep) = world();
+        let series = replica_count_series(&probes, &dep, m(2017, 1), m(2020, 1));
+        let ve = &series[&country::VE];
+        // 2017: L-ccs + F-ccs = 2 replicas geolocated to VE.
+        assert_eq!(ve.get(m(2017, 1)), Some(2.0));
+        // After F retires (2018-04) only L remains.
+        assert_eq!(ve.get(m(2018, 6)), Some(1.0));
+        // After L retires (2019-07) VE disappears from the map entirely.
+        assert_eq!(ve.get(m(2020, 1)), None);
+        // The US and CO replicas persist.
+        assert!(series[&country::US].get(m(2020, 1)).unwrap() >= 1.0);
+        assert_eq!(series[&country::CO].get(m(2020, 1)), Some(1.0));
+    }
+
+    #[test]
+    fn origin_heatmap_shifts_to_foreign_sources() {
+        let (probes, dep) = world();
+        let heat = origin_heatmap(&probes, &dep, country::VE, m(2017, 1), m(2020, 1));
+        // While domestic nodes lived, VE probes saw VE replicas.
+        assert_eq!(heat[&country::VE].get(m(2017, 1)), Some(2.0));
+        // After the shutdowns, VE vanishes as an origin and the US/CO
+        // replicas serve Venezuela.
+        assert_eq!(heat[&country::VE].get(m(2020, 1)), None);
+        assert!(heat[&country::US].get(m(2020, 1)).is_some());
+        // The Maracaibo probe (no Miami egress) reaches Bogotá for L.
+        assert!(heat[&country::CO].get(m(2020, 1)).is_some());
+    }
+
+    #[test]
+    fn letters_without_instances_produce_no_observations() {
+        let (probes, dep) = world();
+        let campaign = ChaosCampaign::new(&probes, &dep);
+        let obs = campaign.run_month(m(2017, 1));
+        assert!(obs.iter().all(|o| matches!(o.letter, RootLetter::L | RootLetter::F)));
+    }
+
+    #[test]
+    fn undecodable_observations_are_dropped() {
+        let obs = vec![ChaosObservation {
+            month: m(2017, 1),
+            probe: 1,
+            probe_country: country::VE,
+            letter: RootLetter::L,
+            txt: "garbage".into(),
+        }];
+        assert!(replicas_by_country(&obs).is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! Outage detection from probe reachability — the study's future-work
+//! direction (§9 cites the Myanmar-shutdown and outage-characterisation
+//! literature; §2/§81 the electricity crisis).
+//!
+//! The detector consumes a daily per-country connected-probe series and
+//! flags windows where connectivity drops below a fraction of the
+//! trailing baseline — the standard signal behind IODA-style national
+//! outage detection, and exactly what the March 2019 Venezuelan blackouts
+//! look like from RIPE Atlas.
+
+use lacnet_types::{CountryCode, Date};
+use std::collections::BTreeMap;
+
+/// A daily probe-connectivity series for one country.
+#[derive(Debug, Clone, Default)]
+pub struct ReachabilitySeries {
+    days: BTreeMap<Date, u32>,
+}
+
+impl ReachabilitySeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the number of connected probes on `day`.
+    pub fn insert(&mut self, day: Date, connected: u32) {
+        self.days.insert(day, connected);
+    }
+
+    /// The recorded value for `day`.
+    pub fn get(&self, day: Date) -> Option<u32> {
+        self.days.get(&day).copied()
+    }
+
+    /// Number of days recorded.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// Iterate chronologically.
+    pub fn iter(&self) -> impl Iterator<Item = (Date, u32)> + '_ {
+        self.days.iter().map(|(&d, &v)| (d, v))
+    }
+}
+
+/// One detected outage window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutageEvent {
+    /// First affected day.
+    pub start: Date,
+    /// Last affected day, inclusive.
+    pub end: Date,
+    /// Baseline connected probes before the drop.
+    pub baseline: u32,
+    /// Minimum connected probes during the window.
+    pub trough: u32,
+}
+
+impl OutageEvent {
+    /// Duration in days.
+    pub fn duration_days(&self) -> i64 {
+        self.start.days_until(self.end) + 1
+    }
+
+    /// Depth of the outage as a fraction of baseline lost, in `[0, 1]`.
+    pub fn depth(&self) -> f64 {
+        if self.baseline == 0 {
+            return 0.0;
+        }
+        1.0 - self.trough as f64 / self.baseline as f64
+    }
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Days of trailing history forming the baseline (median).
+    pub baseline_days: usize,
+    /// A day is "out" when connectivity falls below this fraction of the
+    /// baseline.
+    pub drop_fraction: f64,
+    /// Countries with fewer baseline probes than this cannot be
+    /// monitored: one flapping probe would look like a national outage.
+    pub min_baseline: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig { baseline_days: 14, drop_fraction: 0.5, min_baseline: 5 }
+    }
+}
+
+/// Detect outage windows in a daily reachability series.
+///
+/// The baseline is the median of the trailing `baseline_days` *normal*
+/// days (days inside a detected outage do not poison the baseline, so
+/// multi-day blackouts are reported at full depth).
+pub fn detect(series: &ReachabilitySeries, config: DetectorConfig) -> Vec<OutageEvent> {
+    let mut events = Vec::new();
+    let mut normal_history: Vec<u32> = Vec::new();
+    let mut current: Option<OutageEvent> = None;
+
+    for (day, connected) in series.iter() {
+        let baseline = median_u32(&normal_history);
+        let is_out = match baseline {
+            Some(b) if b >= config.min_baseline => {
+                (connected as f64) < config.drop_fraction * b as f64
+            }
+            _ => false,
+        };
+        match (&mut current, is_out) {
+            (None, true) => {
+                current = Some(OutageEvent {
+                    start: day,
+                    end: day,
+                    baseline: baseline.unwrap_or(0),
+                    trough: connected,
+                });
+            }
+            (Some(ev), true) => {
+                ev.end = day;
+                ev.trough = ev.trough.min(connected);
+            }
+            (Some(_), false) => {
+                events.push(current.take().expect("event in progress"));
+            }
+            (None, false) => {}
+        }
+        if !is_out {
+            normal_history.push(connected);
+            let excess = normal_history.len().saturating_sub(config.baseline_days);
+            if excess > 0 {
+                normal_history.drain(..excess);
+            }
+        }
+    }
+    if let Some(ev) = current {
+        events.push(ev);
+    }
+    events
+}
+
+fn median_u32(v: &[u32]) -> Option<u32> {
+    if v.is_empty() {
+        return None;
+    }
+    let mut s = v.to_vec();
+    s.sort_unstable();
+    Some(s[s.len() / 2])
+}
+
+/// Detect per-country outages from a map of series.
+pub fn detect_all(
+    series: &BTreeMap<CountryCode, ReachabilitySeries>,
+    config: DetectorConfig,
+) -> BTreeMap<CountryCode, Vec<OutageEvent>> {
+    series
+        .iter()
+        .map(|(&cc, s)| (cc, detect(s, config)))
+        .filter(|(_, evs)| !evs.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_with_drop(days_out: &[(i32, u8, u8)]) -> ReachabilitySeries {
+        let mut s = ReachabilitySeries::new();
+        let start = Date::ymd(2019, 2, 1);
+        for d in 0..90 {
+            let day = start.plus_days(d);
+            let out = days_out
+                .iter()
+                .any(|&(y, m, dd)| day == Date::ymd(y, m, dd));
+            s.insert(day, if out { 3 } else { 20 });
+        }
+        s
+    }
+
+    #[test]
+    fn detects_single_blackout() {
+        let s = series_with_drop(&[(2019, 3, 7), (2019, 3, 8), (2019, 3, 9)]);
+        let events = detect(&s, DetectorConfig::default());
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert_eq!(ev.start, Date::ymd(2019, 3, 7));
+        assert_eq!(ev.end, Date::ymd(2019, 3, 9));
+        assert_eq!(ev.duration_days(), 3);
+        assert_eq!(ev.baseline, 20);
+        assert_eq!(ev.trough, 3);
+        assert!((ev.depth() - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_day_outage_does_not_poison_baseline() {
+        // A week-long blackout: the baseline must stay at the pre-outage
+        // level for the whole window.
+        let days: Vec<(i32, u8, u8)> = (7..=14).map(|d| (2019, 3, d)).collect();
+        let s = series_with_drop(&days);
+        let events = detect(&s, DetectorConfig::default());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].duration_days(), 8);
+        assert_eq!(events[0].baseline, 20);
+    }
+
+    #[test]
+    fn separate_events_are_distinct() {
+        let s = series_with_drop(&[(2019, 3, 7), (2019, 3, 8), (2019, 3, 25), (2019, 3, 26)]);
+        let events = detect(&s, DetectorConfig::default());
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].start, Date::ymd(2019, 3, 7));
+        assert_eq!(events[1].start, Date::ymd(2019, 3, 25));
+    }
+
+    #[test]
+    fn stable_series_has_no_events() {
+        let s = series_with_drop(&[]);
+        assert!(detect(&s, DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn shallow_dips_below_threshold_ignored() {
+        let mut s = ReachabilitySeries::new();
+        let start = Date::ymd(2019, 2, 1);
+        for d in 0..60 {
+            let day = start.plus_days(d);
+            // 20 probes, occasionally 12 (40% dip — under the 50% bar).
+            s.insert(day, if d % 10 == 5 { 12 } else { 20 });
+        }
+        assert!(detect(&s, DetectorConfig::default()).is_empty());
+        // A stricter detector does flag them.
+        let strict = DetectorConfig { drop_fraction: 0.7, ..DetectorConfig::default() };
+        assert!(!detect(&s, strict).is_empty());
+    }
+
+    #[test]
+    fn outage_still_open_at_series_end() {
+        let mut s = ReachabilitySeries::new();
+        let start = Date::ymd(2019, 3, 1);
+        for d in 0..20 {
+            s.insert(start.plus_days(d), if d >= 15 { 1 } else { 20 });
+        }
+        let events = detect(&s, DetectorConfig::default());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].end, start.plus_days(19));
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(detect(&ReachabilitySeries::new(), DetectorConfig::default()).is_empty());
+        assert!(ReachabilitySeries::new().is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! The probe registry.
+
+use lacnet_types::{Asn, CountryCode, GeoPoint, MonthStamp, TimeSeries};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A probe identifier.
+pub type ProbeId = u32;
+
+/// One Atlas probe: where it is, which network hosts it, and when it was
+/// connected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Probe {
+    /// Probe id.
+    pub id: ProbeId,
+    /// Country of the hosting network.
+    pub country: CountryCode,
+    /// Probe coordinates.
+    pub location: GeoPoint,
+    /// Hosting AS.
+    pub asn: Asn,
+    /// First month the probe reported measurements.
+    pub active_since: MonthStamp,
+    /// Last month the probe reported, inclusive (`None` = still active).
+    pub active_until: Option<MonthStamp>,
+    /// Forced international egress point, if the probe's traffic detours
+    /// through a remote gateway before reaching anycast infrastructure
+    /// (e.g. a CANTV customer whose transit hauls everything to Miami).
+    /// `None` means traffic takes the geographically direct route.
+    pub egress: Option<GeoPoint>,
+}
+
+impl Probe {
+    /// Whether the probe reported during `month`.
+    pub fn active_in(&self, month: MonthStamp) -> bool {
+        month >= self.active_since && self.active_until.map_or(true, |u| month <= u)
+    }
+}
+
+/// All probes known to the platform.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProbeRegistry {
+    probes: Vec<Probe>,
+}
+
+impl ProbeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a probe. Ids are expected unique; duplicates are rejected.
+    pub fn add(&mut self, probe: Probe) -> bool {
+        if self.probes.iter().any(|p| p.id == probe.id) {
+            return false;
+        }
+        self.probes.push(probe);
+        true
+    }
+
+    /// Every probe ever registered.
+    pub fn all(&self) -> &[Probe] {
+        &self.probes
+    }
+
+    /// Number of registered probes.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Probes active in `month`.
+    pub fn active_in(&self, month: MonthStamp) -> Vec<&Probe> {
+        self.probes.iter().filter(|p| p.active_in(month)).collect()
+    }
+
+    /// Probes active in `month` and hosted in `country`.
+    pub fn active_in_country(&self, month: MonthStamp, country: CountryCode) -> Vec<&Probe> {
+        self.probes
+            .iter()
+            .filter(|p| p.country == country && p.active_in(month))
+            .collect()
+    }
+
+    /// Per-country active-probe counts for `month`.
+    pub fn counts_by_country(&self, month: MonthStamp) -> BTreeMap<CountryCode, usize> {
+        let mut out = BTreeMap::new();
+        for p in self.active_in(month) {
+            *out.entry(p.country).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Monthly active-probe series for one country over `[start, end]` —
+    /// one Fig. 17 line.
+    pub fn count_series(
+        &self,
+        country: CountryCode,
+        start: MonthStamp,
+        end: MonthStamp,
+    ) -> TimeSeries {
+        start
+            .through(end)
+            .map(|m| (m, self.active_in_country(m, country).len() as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lacnet_types::country;
+
+    fn m(y: i32, mo: u8) -> MonthStamp {
+        MonthStamp::new(y, mo)
+    }
+
+    fn probe(id: u32, cc: CountryCode, since: MonthStamp, until: Option<MonthStamp>) -> Probe {
+        Probe {
+            id,
+            country: cc,
+            location: GeoPoint::new(10.0, -66.0),
+            asn: Asn(8048),
+            active_since: since,
+            active_until: until,
+            egress: None,
+        }
+    }
+
+    #[test]
+    fn activity_windows() {
+        let p = probe(1, country::VE, m(2016, 3), Some(m(2018, 6)));
+        assert!(!p.active_in(m(2016, 2)));
+        assert!(p.active_in(m(2016, 3)));
+        assert!(p.active_in(m(2018, 6)));
+        assert!(!p.active_in(m(2018, 7)));
+        let open = probe(2, country::VE, m(2016, 3), None);
+        assert!(open.active_in(m(2030, 1)));
+    }
+
+    #[test]
+    fn registry_queries() {
+        let mut reg = ProbeRegistry::new();
+        assert!(reg.add(probe(1, country::VE, m(2016, 1), None)));
+        assert!(reg.add(probe(2, country::VE, m(2020, 1), None)));
+        assert!(reg.add(probe(3, country::BR, m(2016, 1), Some(m(2019, 12)))));
+        assert!(!reg.add(probe(1, country::BR, m(2016, 1), None)), "duplicate id");
+        assert_eq!(reg.len(), 3);
+
+        assert_eq!(reg.active_in(m(2017, 1)).len(), 2);
+        assert_eq!(reg.active_in_country(m(2017, 1), country::VE).len(), 1);
+        assert_eq!(reg.active_in_country(m(2021, 1), country::VE).len(), 2);
+        assert_eq!(reg.active_in_country(m(2021, 1), country::BR).len(), 0);
+
+        let counts = reg.counts_by_country(m(2017, 1));
+        assert_eq!(counts[&country::VE], 1);
+        assert_eq!(counts[&country::BR], 1);
+    }
+
+    #[test]
+    fn count_series_shape() {
+        let mut reg = ProbeRegistry::new();
+        reg.add(probe(1, country::VE, m(2016, 1), None));
+        reg.add(probe(2, country::VE, m(2016, 6), Some(m(2016, 8))));
+        let s = reg.count_series(country::VE, m(2016, 1), m(2016, 12));
+        assert_eq!(s.get(m(2016, 1)), Some(1.0));
+        assert_eq!(s.get(m(2016, 7)), Some(2.0));
+        assert_eq!(s.get(m(2016, 9)), Some(1.0));
+        assert_eq!(s.len(), 12);
+    }
+}

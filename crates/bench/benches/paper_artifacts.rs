@@ -1,0 +1,72 @@
+//! One benchmark per paper artifact: how long the analysis pipeline takes
+//! to regenerate each figure/table from the world's datasets. (World
+//! generation is one-time setup, outside the measured loops.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lacnet_bench::bench_world;
+use lacnet_core::experiments as ex;
+use lacnet_crisis::World;
+use std::hint::black_box;
+
+macro_rules! artifact_bench {
+    ($fn_name:ident, $id:literal, $module:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            let world: &World = bench_world();
+            c.bench_function($id, |b| {
+                b.iter(|| black_box(ex::$module::run(black_box(world))))
+            });
+        }
+    };
+}
+
+artifact_bench!(bench_fig01, "fig01_macro", fig01_macro);
+artifact_bench!(bench_fig03, "fig03_facilities", fig03_facilities);
+artifact_bench!(bench_fig04, "fig04_cables", fig04_cables);
+artifact_bench!(bench_fig05, "fig05_ipv6", fig05_ipv6);
+artifact_bench!(bench_fig07, "fig07_offnets", fig07_offnets);
+artifact_bench!(bench_fig08, "fig08_cantv_degree", fig08_cantv_degree);
+artifact_bench!(bench_fig09, "fig09_transit_heatmap", fig09_transit_heatmap);
+artifact_bench!(bench_fig10, "fig10_ixp_matrix", fig10_ixp_matrix);
+artifact_bench!(bench_fig11, "fig11_bandwidth", fig11_bandwidth);
+artifact_bench!(bench_fig13, "fig13_gdp_ranks", fig13_gdp_ranks);
+artifact_bench!(bench_fig15, "fig15_ve_facilities", fig15_ve_facilities);
+artifact_bench!(bench_fig17, "fig17_probe_coverage", fig17_probe_coverage);
+artifact_bench!(bench_fig18, "fig18_all_hypergiants", fig18_all_hypergiants);
+artifact_bench!(bench_fig19, "fig19_third_party", fig19_third_party);
+artifact_bench!(bench_fig20, "fig20_probe_map", fig20_probe_map);
+artifact_bench!(bench_fig21, "fig21_us_ixps", fig21_us_ixps);
+artifact_bench!(bench_tab01, "tab01_isps", tab01_isps);
+
+/// The heavy experiments (monthly routing/propagation sweeps and
+/// campaign simulations) get a reduced sample count.
+fn bench_heavy(c: &mut Criterion) {
+    let world: &World = bench_world();
+    let mut group = c.benchmark_group("heavy");
+    group.sample_size(10);
+    group.bench_function("fig02_address_space", |b| {
+        b.iter(|| black_box(ex::fig02_address_space::run(black_box(world))))
+    });
+    group.bench_function("fig06_roots", |b| {
+        b.iter(|| black_box(ex::fig06_roots::run(black_box(world))))
+    });
+    group.bench_function("fig12_gpdns_rtt", |b| {
+        b.iter(|| black_box(ex::fig12_gpdns_rtt::run(black_box(world))))
+    });
+    group.bench_function("fig14_prefix_heatmap", |b| {
+        b.iter(|| black_box(ex::fig14_prefix_heatmap::run(black_box(world))))
+    });
+    group.bench_function("fig16_root_origins", |b| {
+        b.iter(|| black_box(ex::fig16_root_origins::run(black_box(world))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = artifacts;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig01, bench_fig03, bench_fig04, bench_fig05, bench_fig07,
+        bench_fig08, bench_fig09, bench_fig10, bench_fig11, bench_fig13,
+        bench_fig15, bench_fig17, bench_fig18, bench_fig19, bench_fig20,
+        bench_fig21, bench_tab01, bench_heavy
+);
+criterion_main!(artifacts);

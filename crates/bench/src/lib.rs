@@ -1,0 +1,17 @@
+//! Shared benchmark support: a lazily generated world so every Criterion
+//! target amortises the one-time generation cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lacnet_crisis::{World, WorldConfig};
+use std::sync::OnceLock;
+
+/// The world all benches run against (reduced M-Lab volume keeps world
+/// generation itself out of the measured loops' setup time).
+pub fn bench_world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        World::generate(WorldConfig { mlab_volume_scale: 0.2, ..WorldConfig::default() })
+    })
+}

@@ -1,0 +1,42 @@
+//! # lacnet-bgp
+//!
+//! The interdomain-routing substrate of the `lacnet` workspace.
+//!
+//! The SIGCOMM 2024 Venezuelan-crisis study reads two CAIDA products:
+//!
+//! * **AS relationship files** ("serial-1"), monthly since 1998, giving the
+//!   provider/customer/peer edges from which CANTV's upstream exodus
+//!   (Figs. 8 and 9) is computed;
+//! * **prefix-to-AS files** (RouteViews pfx2as), monthly since 2008, giving
+//!   the announced address space per origin AS from which the CANTV vs
+//!   Telefónica address-space shares (Fig. 2) and the Telefónica prefix
+//!   visibility heatmap (Fig. 14 / Appendix C) are computed.
+//!
+//! This crate implements both formats byte-for-byte, an [`AsGraph`] with
+//! customer-cone and degree analytics, a Gao–Rexford **valley-free route
+//! propagation** simulator (used by `lacnet-crisis` to decide which
+//! prefixes are *visible* at collectors, reproducing Telefónica's
+//! 2016–2023 visibility gap), and a longitudinal [`TopologyArchive`]
+//! holding one graph per month.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod proptests;
+
+pub mod analytics;
+pub mod graph;
+pub mod inference;
+pub mod paths;
+pub mod pfx2as;
+pub mod propagation;
+pub mod relationship;
+pub mod serial1;
+pub mod store;
+
+pub use graph::AsGraph;
+pub use pfx2as::{OriginSet, PfxToAs};
+pub use paths::{PathOutcome, PathRoute};
+pub use propagation::{PropagationOutcome, RouteSim};
+pub use relationship::{AsRelationship, RelEdge};
+pub use store::TopologyArchive;

@@ -1,0 +1,236 @@
+//! AS-path reconstruction on top of valley-free propagation.
+//!
+//! [`crate::propagation::RouteSim`] records, for each AS, only the best
+//! route's class and hop count — enough for visibility analysis. The
+//! path-aware simulator here also records each AS's chosen *next hop*,
+//! from which full AS paths (as a route collector would see them) can be
+//! reconstructed. These paths feed the relationship-inference baseline
+//! ([`crate::inference`]) and the traceroute models in `lacnet-atlas`.
+
+use crate::graph::AsGraph;
+use crate::propagation::RouteKind;
+use lacnet_types::Asn;
+use std::collections::{BTreeMap, VecDeque};
+
+/// One AS's best route toward the origin, with its chosen next hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathRoute {
+    /// Preference class.
+    pub kind: RouteKind,
+    /// AS-path length in hops.
+    pub hops: u32,
+    /// The neighbour the route was learned from (`None` at the origin).
+    pub next_hop: Option<Asn>,
+}
+
+/// All-AS best routes with next hops, for one origin.
+#[derive(Debug, Clone)]
+pub struct PathOutcome {
+    origin: Asn,
+    routes: BTreeMap<Asn, PathRoute>,
+}
+
+impl PathOutcome {
+    /// Propagate `origin`'s announcement over `graph`, recording next
+    /// hops. Same preference and export rules as
+    /// [`crate::propagation::RouteSim`]; ties inside a class break toward
+    /// the lowest neighbour ASN, as real BGP tie-breaks are deterministic.
+    pub fn compute(graph: &AsGraph, origin: Asn) -> Self {
+        let mut routes: BTreeMap<Asn, PathRoute> = BTreeMap::new();
+        routes.insert(origin, PathRoute { kind: RouteKind::Origin, hops: 0, next_hop: None });
+
+        // Phase 1 — customer routes up provider edges (BFS: minimal hops;
+        // first writer wins, and neighbours are visited in ascending ASN
+        // order via the BTreeSet adjacency, giving the lowest-ASN tie-break).
+        let mut queue: VecDeque<Asn> = VecDeque::from([origin]);
+        while let Some(u) = queue.pop_front() {
+            let hops = routes[&u].hops;
+            if let Some(adj) = graph.adjacency(u) {
+                for &p in &adj.providers {
+                    routes.entry(p).or_insert_with(|| {
+                        queue.push_back(p);
+                        PathRoute { kind: RouteKind::Customer, hops: hops + 1, next_hop: Some(u) }
+                    });
+                }
+            }
+        }
+
+        // Phase 2 — one hop across peering edges.
+        let phase1: Vec<(Asn, u32)> = routes.iter().map(|(&a, r)| (a, r.hops)).collect();
+        for (u, hops) in phase1 {
+            if let Some(adj) = graph.adjacency(u) {
+                for &v in &adj.peers {
+                    let candidate = PathRoute { kind: RouteKind::Peer, hops: hops + 1, next_hop: Some(u) };
+                    let replace = match routes.get(&v) {
+                        None => true,
+                        Some(r) => r.kind == RouteKind::Peer && candidate.hops < r.hops,
+                    };
+                    if replace {
+                        routes.insert(v, candidate);
+                    }
+                }
+            }
+        }
+
+        // Phase 3 — down customer edges, seeded in ascending hop order.
+        let mut seeds: Vec<Asn> = routes.keys().copied().collect();
+        seeds.sort_by_key(|a| routes[a].hops);
+        let mut queue: VecDeque<Asn> = seeds.into();
+        while let Some(u) = queue.pop_front() {
+            let hops = routes[&u].hops;
+            if let Some(adj) = graph.adjacency(u) {
+                for &c in &adj.customers {
+                    routes.entry(c).or_insert_with(|| {
+                        queue.push_back(c);
+                        PathRoute { kind: RouteKind::Provider, hops: hops + 1, next_hop: Some(u) }
+                    });
+                }
+            }
+        }
+
+        PathOutcome { origin, routes }
+    }
+
+    /// The origin.
+    pub fn origin(&self) -> Asn {
+        self.origin
+    }
+
+    /// The best route at `asn`, if any.
+    pub fn route(&self, asn: Asn) -> Option<PathRoute> {
+        self.routes.get(&asn).copied()
+    }
+
+    /// The full AS path from `vantage` to the origin (vantage first,
+    /// origin last), or `None` if the vantage has no route.
+    pub fn as_path(&self, vantage: Asn) -> Option<Vec<Asn>> {
+        let mut path = vec![vantage];
+        let mut cur = self.routes.get(&vantage)?;
+        // Bounded by hop count; a cycle would indicate a bug.
+        for _ in 0..=cur.hops {
+            match cur.next_hop {
+                None => return Some(path),
+                Some(nh) => {
+                    path.push(nh);
+                    cur = self.routes.get(&nh)?;
+                }
+            }
+        }
+        debug_assert!(false, "next-hop chain longer than hop count");
+        None
+    }
+
+    /// The paths from every routed AS — a synthetic route-collector RIB
+    /// for this origin.
+    pub fn all_paths(&self) -> Vec<Vec<Asn>> {
+        self.routes
+            .keys()
+            .filter_map(|&a| self.as_path(a))
+            .filter(|p| p.len() > 1)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relationship::RelEdge;
+
+    fn two_tier() -> AsGraph {
+        AsGraph::from_edges([
+            RelEdge::peering(Asn(10), Asn(20)),
+            RelEdge::transit(Asn(10), Asn(11)),
+            RelEdge::transit(Asn(10), Asn(12)),
+            RelEdge::transit(Asn(20), Asn(21)),
+            RelEdge::transit(Asn(20), Asn(22)),
+            RelEdge::transit(Asn(11), Asn(111)),
+            RelEdge::transit(Asn(22), Asn(221)),
+        ])
+    }
+
+    #[test]
+    fn paths_reconstruct_exactly() {
+        let g = two_tier();
+        let out = PathOutcome::compute(&g, Asn(111));
+        assert_eq!(out.as_path(Asn(111)).unwrap(), vec![Asn(111)]);
+        assert_eq!(out.as_path(Asn(10)).unwrap(), vec![Asn(10), Asn(11), Asn(111)]);
+        assert_eq!(out.as_path(Asn(20)).unwrap(), vec![Asn(20), Asn(10), Asn(11), Asn(111)]);
+        assert_eq!(
+            out.as_path(Asn(221)).unwrap(),
+            vec![Asn(221), Asn(22), Asn(20), Asn(10), Asn(11), Asn(111)]
+        );
+        assert_eq!(out.as_path(Asn(999)), None);
+    }
+
+    #[test]
+    fn path_lengths_match_hop_counts() {
+        let g = two_tier();
+        for origin in [Asn(111), Asn(221), Asn(12)] {
+            let out = PathOutcome::compute(&g, origin);
+            for &asn in g.asns().collect::<Vec<_>>().iter() {
+                if let Some(r) = out.route(asn) {
+                    let path = out.as_path(asn).unwrap();
+                    assert_eq!(path.len() as u32, r.hops + 1, "{asn} to {origin}");
+                    assert_eq!(*path.last().unwrap(), origin);
+                    assert_eq!(path[0], asn);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_valley_free() {
+        // Walk every reconstructed path and check the classic pattern:
+        // zero or more c2p, at most one p2p, zero or more p2c.
+        let g = two_tier();
+        for origin in [Asn(111), Asn(221), Asn(21)] {
+            let out = PathOutcome::compute(&g, origin);
+            for path in out.all_paths() {
+                // Reverse: origin-outward direction.
+                let fwd: Vec<Asn> = path.iter().rev().copied().collect();
+                let mut state = 0; // 0 = climbing, 1 = peered, 2 = descending
+                for w in fwd.windows(2) {
+                    let (from, to) = (w[0], w[1]);
+                    let adj = g.adjacency(from).unwrap();
+                    let step = if adj.providers.contains(&to) {
+                        0 // going up
+                    } else if adj.peers.contains(&to) {
+                        1
+                    } else {
+                        2 // going down
+                    };
+                    assert!(step >= state || (step == 2 && state <= 2), "valley in {path:?}");
+                    if step == 1 {
+                        assert!(state == 0, "peer edge after descent in {path:?}");
+                        state = 2; // after a peer edge only descent is allowed
+                    } else {
+                        state = state.max(step);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_paths_covers_every_routed_as() {
+        let g = two_tier();
+        let out = PathOutcome::compute(&g, Asn(111));
+        // 7 ASes besides the origin hear the route.
+        assert_eq!(out.all_paths().len(), g.node_count() - 1);
+    }
+
+    #[test]
+    fn agrees_with_route_sim_classes() {
+        use crate::propagation::RouteSim;
+        let g = two_tier();
+        for origin in [Asn(111), Asn(221), Asn(12), Asn(10)] {
+            let paths = PathOutcome::compute(&g, origin);
+            let sim = RouteSim::new(&g).propagate(origin);
+            for asn in g.asns() {
+                let a = paths.route(asn).map(|r| (r.kind, r.hops));
+                let b = sim.route(asn).map(|r| (r.kind, r.hops));
+                assert_eq!(a, b, "{asn} from {origin}");
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests over randomly generated valley-free topologies.
+//!
+//! The generators build arbitrary layered hierarchies (random tier sizes,
+//! random provider assignments, random peering at the top) and check the
+//! invariants every consumer of the propagation machinery relies on.
+
+#![cfg(test)]
+
+use crate::graph::AsGraph;
+use crate::paths::PathOutcome;
+use crate::propagation::{RouteKind, RouteSim};
+use crate::relationship::RelEdge;
+use lacnet_types::Asn;
+use proptest::prelude::*;
+
+/// Strategy: a random 3-layer hierarchy. Tier-1s form a full peering
+/// mesh; every lower node buys transit from 1–2 random nodes one layer
+/// up. ASNs are layer-coded for readability (1x, 2xx, 3xxx).
+fn hierarchy_strategy() -> impl Strategy<Value = AsGraph> {
+    (2usize..4, 2usize..6, 2usize..10, any::<u64>()).prop_map(|(n1, n2, n3, seed)| {
+        let mut rng = lacnet_types::rng::Rng::seeded(seed);
+        let t1: Vec<Asn> = (0..n1).map(|i| Asn(10 + i as u32)).collect();
+        let t2: Vec<Asn> = (0..n2).map(|i| Asn(200 + i as u32)).collect();
+        let t3: Vec<Asn> = (0..n3).map(|i| Asn(3000 + i as u32)).collect();
+        let mut edges = Vec::new();
+        for (i, &a) in t1.iter().enumerate() {
+            for &b in t1.iter().skip(i + 1) {
+                edges.push(RelEdge::peering(a, b));
+            }
+        }
+        for &c in &t2 {
+            let n_prov = 1 + rng.below(2) as usize;
+            for k in 0..n_prov {
+                let p = t1[(rng.below(t1.len() as u64) as usize + k) % t1.len()];
+                edges.push(RelEdge::transit(p, c));
+            }
+        }
+        for &c in &t3 {
+            let n_prov = 1 + rng.below(2) as usize;
+            for k in 0..n_prov {
+                let p = t2[(rng.below(t2.len() as u64) as usize + k) % t2.len()];
+                edges.push(RelEdge::transit(p, c));
+            }
+        }
+        AsGraph::from_edges(edges)
+    })
+}
+
+/// Walk a path origin-outward and assert the valley-free pattern.
+fn assert_valley_free(g: &AsGraph, path: &[Asn]) {
+    // Forward direction: origin → vantage.
+    let fwd: Vec<Asn> = path.iter().rev().copied().collect();
+    let mut descended = false;
+    let mut peered = false;
+    for w in fwd.windows(2) {
+        let (from, to) = (w[0], w[1]);
+        let adj = g.adjacency(from).expect("path AS exists");
+        if adj.providers.contains(&to) {
+            assert!(!descended && !peered, "climb after descent/peer in {path:?}");
+        } else if adj.peers.contains(&to) {
+            assert!(!descended && !peered, "second plateau in {path:?}");
+            peered = true;
+        } else {
+            assert!(adj.customers.contains(&to), "non-edge step in {path:?}");
+            descended = true;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn full_hierarchy_reaches_everyone(g in hierarchy_strategy()) {
+        // In a connected hierarchy (every node has a transit chain to the
+        // fully meshed top), every announcement reaches every AS.
+        let sim = RouteSim::new(&g);
+        let asns: Vec<Asn> = g.asns().collect();
+        for &origin in asns.iter().take(4) {
+            let out = sim.propagate(origin);
+            prop_assert_eq!(out.reach_count(), g.node_count(), "origin {}", origin);
+        }
+    }
+
+    #[test]
+    fn every_reconstructed_path_is_valley_free(g in hierarchy_strategy()) {
+        let asns: Vec<Asn> = g.asns().collect();
+        for &origin in asns.iter().rev().take(3) {
+            let out = PathOutcome::compute(&g, origin);
+            for path in out.all_paths() {
+                assert_valley_free(&g, &path);
+            }
+        }
+    }
+
+    #[test]
+    fn path_outcome_and_route_sim_agree(g in hierarchy_strategy()) {
+        let asns: Vec<Asn> = g.asns().collect();
+        let sim = RouteSim::new(&g);
+        for &origin in asns.iter().take(3) {
+            let a = PathOutcome::compute(&g, origin);
+            let b = sim.propagate(origin);
+            for &asn in &asns {
+                let ra = a.route(asn).map(|r| (r.kind, r.hops));
+                let rb = b.route(asn).map(|r| (r.kind, r.hops));
+                prop_assert_eq!(ra, rb, "{} from {}", asn, origin);
+            }
+        }
+    }
+
+    #[test]
+    fn customer_routes_at_ancestors_only(g in hierarchy_strategy()) {
+        // An AS holds a customer route iff the origin is in its customer
+        // cone (strictly below it).
+        let sim = RouteSim::new(&g);
+        let asns: Vec<Asn> = g.asns().collect();
+        for &origin in asns.iter().rev().take(3) {
+            let out = sim.propagate(origin);
+            for &asn in &asns {
+                if asn == origin {
+                    continue;
+                }
+                let has_customer_route =
+                    out.route(asn).is_some_and(|r| r.kind == RouteKind::Customer);
+                let in_cone = g.customer_cone(asn).contains(&origin);
+                prop_assert_eq!(has_customer_route, in_cone, "{} vs origin {}", asn, origin);
+            }
+        }
+    }
+
+    #[test]
+    fn hop_counts_are_shortest_within_class(g in hierarchy_strategy()) {
+        // Customer-route hop counts equal the shortest provider-edge
+        // distance (BFS over the reversed customer-cone edges).
+        let sim = RouteSim::new(&g);
+        let asns: Vec<Asn> = g.asns().collect();
+        let origin = *asns.last().expect("non-empty");
+        let out = sim.propagate(origin);
+        // Independent BFS up provider edges.
+        let mut dist = std::collections::BTreeMap::new();
+        dist.insert(origin, 0u32);
+        let mut queue = std::collections::VecDeque::from([origin]);
+        while let Some(u) = queue.pop_front() {
+            let d = dist[&u];
+            if let Some(adj) = g.adjacency(u) {
+                for &p in &adj.providers {
+                    dist.entry(p).or_insert_with(|| {
+                        queue.push_back(p);
+                        d + 1
+                    });
+                }
+            }
+        }
+        for (asn, d) in dist {
+            let r = out.route(asn).expect("ancestor routed");
+            prop_assert_eq!(r.hops, d, "{}", asn);
+        }
+    }
+
+    #[test]
+    fn serial1_roundtrip_preserves_any_graph(g in hierarchy_strategy()) {
+        let text = crate::serial1::to_text(&g.edges(), "proptest");
+        let back = AsGraph::from_edges(crate::serial1::parse(&text).unwrap());
+        prop_assert_eq!(back.edges(), g.edges());
+    }
+}

@@ -1,0 +1,205 @@
+//! Experiment outputs: figures, tables, heatmaps, and paper-vs-measured
+//! findings.
+
+use lacnet_types::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// One plotted line: a labelled time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Line {
+    /// Legend label (usually a country code or ASN).
+    pub label: String,
+    /// The series.
+    pub series: TimeSeries,
+}
+
+impl Line {
+    /// Construct a line.
+    pub fn new(label: impl Into<String>, series: TimeSeries) -> Self {
+        Line { label: label.into(), series }
+    }
+}
+
+/// One panel of a figure (the paper's figures are multi-panel).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Panel {
+    /// Panel title (e.g. `"VE"`, `"LACNIC"`).
+    pub title: String,
+    /// The lines plotted in the panel.
+    pub lines: Vec<Line>,
+}
+
+impl Panel {
+    /// Construct a panel.
+    pub fn new(title: impl Into<String>, lines: Vec<Line>) -> Self {
+        Panel { title: title.into(), lines }
+    }
+}
+
+/// A multi-panel figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Artifact id, e.g. `"fig11"`.
+    pub id: String,
+    /// Caption summarising what the figure shows.
+    pub caption: String,
+    /// The panels.
+    pub panels: Vec<Panel>,
+}
+
+/// A table artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Artifact id, e.g. `"tab01"`.
+    pub id: String,
+    /// Caption.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells, already formatted.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// A heatmap artifact (`None` cells are "not present / not registered").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heatmap {
+    /// Artifact id, e.g. `"fig09"`.
+    pub id: String,
+    /// Caption.
+    pub caption: String,
+    /// Row labels.
+    pub rows: Vec<String>,
+    /// Column labels.
+    pub cols: Vec<String>,
+    /// Cell values, row-major.
+    pub cells: Vec<Vec<Option<f64>>>,
+}
+
+/// Any experiment output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Artifact {
+    /// A multi-panel figure.
+    Figure(Figure),
+    /// A table.
+    Table(Table),
+    /// A heatmap.
+    Heatmap(Heatmap),
+}
+
+impl Artifact {
+    /// The artifact id.
+    pub fn id(&self) -> &str {
+        match self {
+            Artifact::Figure(f) => &f.id,
+            Artifact::Table(t) => &t.id,
+            Artifact::Heatmap(h) => &h.id,
+        }
+    }
+
+    /// The artifact caption.
+    pub fn caption(&self) -> &str {
+        match self {
+            Artifact::Figure(f) => &f.caption,
+            Artifact::Table(t) => &t.caption,
+            Artifact::Heatmap(h) => &h.caption,
+        }
+    }
+}
+
+/// One paper-vs-measured comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// What is being compared.
+    pub metric: String,
+    /// The paper's value, as quoted.
+    pub paper: String,
+    /// The measured value in this world.
+    pub measured: String,
+    /// Whether the measured value is within the experiment's tolerance.
+    pub matches: bool,
+}
+
+impl Finding {
+    /// A numeric finding with relative tolerance.
+    pub fn numeric(metric: impl Into<String>, paper: f64, measured: f64, rel_tol: f64) -> Self {
+        let matches = if paper == 0.0 {
+            measured.abs() < rel_tol
+        } else {
+            ((measured - paper) / paper).abs() <= rel_tol
+        };
+        Finding {
+            metric: metric.into(),
+            paper: format!("{paper:.2}"),
+            measured: format!("{measured:.2}"),
+            matches,
+        }
+    }
+
+    /// A boolean/qualitative finding.
+    pub fn claim(metric: impl Into<String>, expected: impl Into<String>, observed: impl Into<String>, matches: bool) -> Self {
+        Finding { metric: metric.into(), paper: expected.into(), measured: observed.into(), matches }
+    }
+}
+
+/// The full output of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id (`fig01` … `fig21`, `tab01`, `tab02`).
+    pub id: String,
+    /// What the experiment reproduces.
+    pub title: String,
+    /// The artifacts.
+    pub artifacts: Vec<Artifact>,
+    /// Paper-vs-measured findings.
+    pub findings: Vec<Finding>,
+}
+
+impl ExperimentResult {
+    /// Whether every finding matched.
+    pub fn all_match(&self) -> bool {
+        self.findings.iter().all(|f| f.matches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lacnet_types::MonthStamp;
+
+    #[test]
+    fn numeric_finding_tolerance() {
+        assert!(Finding::numeric("x", 100.0, 104.0, 0.05).matches);
+        assert!(!Finding::numeric("x", 100.0, 110.0, 0.05).matches);
+        assert!(Finding::numeric("neg", -81.49, -80.0, 0.05).matches);
+        assert!(Finding::numeric("zero", 0.0, 0.001, 0.01).matches);
+        assert!(!Finding::numeric("zero", 0.0, 0.5, 0.01).matches);
+    }
+
+    #[test]
+    fn artifact_accessors() {
+        let fig = Artifact::Figure(Figure {
+            id: "fig01".into(),
+            caption: "macro".into(),
+            panels: vec![Panel::new(
+                "VE",
+                vec![Line::new("oil", TimeSeries::from_points([(MonthStamp::new(2013, 1), 1.0)]))],
+            )],
+        });
+        assert_eq!(fig.id(), "fig01");
+        assert_eq!(fig.caption(), "macro");
+        let tab = Artifact::Table(Table { id: "tab01".into(), caption: "isps".into(), headers: vec![], rows: vec![] });
+        assert_eq!(tab.id(), "tab01");
+        let heat = Artifact::Heatmap(Heatmap { id: "fig09".into(), caption: "h".into(), rows: vec![], cols: vec![], cells: vec![] });
+        assert_eq!(heat.caption(), "h");
+    }
+
+    #[test]
+    fn result_all_match() {
+        let mut r = ExperimentResult { id: "x".into(), title: "t".into(), artifacts: vec![], findings: vec![] };
+        assert!(r.all_match());
+        r.findings.push(Finding::numeric("a", 1.0, 1.0, 0.1));
+        assert!(r.all_match());
+        r.findings.push(Finding::numeric("b", 1.0, 2.0, 0.1));
+        assert!(!r.all_match());
+    }
+}

@@ -1,0 +1,61 @@
+//! `lacnet-gen` — generate a world and export every dataset to disk in
+//! its native archive format.
+//!
+//! ```text
+//! lacnet-gen --out DIR [--seed N] [--verify]
+//! ```
+
+use lacnet_core::datasets;
+use lacnet_crisis::{World, WorldConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = WorldConfig::default();
+    let mut out: Option<PathBuf> = None;
+    let mut verify = false;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| die("--out needs a directory"))));
+            }
+            "--seed" => {
+                i += 1;
+                config.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--verify" => verify = true,
+            "--help" | "-h" => {
+                println!("usage: lacnet-gen --out DIR [--seed N] [--verify]");
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    let out = out.unwrap_or_else(|| die("--out is required"));
+
+    eprintln!("generating world (seed {:#x}) …", config.seed);
+    let world = World::generate(config);
+    let summary = datasets::dump(&world, &out).unwrap_or_else(|e| die(&format!("dump failed: {e}")));
+    println!(
+        "wrote {} files, {:.1} MiB, under {}",
+        summary.files.len(),
+        summary.bytes as f64 / (1024.0 * 1024.0),
+        out.display()
+    );
+    if verify {
+        let checked = datasets::verify(&out).unwrap_or_else(|e| die(&format!("verify failed: {e}")));
+        println!("re-parsed {checked} files successfully.");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,100 @@
+//! `vzla-report` — generate a world and reproduce every figure and table
+//! of the study.
+//!
+//! ```text
+//! vzla-report [--seed N] [--csv DIR] [--only figNN[,figMM…]]
+//! ```
+
+use lacnet_core::{experiments, render};
+use lacnet_crisis::{World, WorldConfig};
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = WorldConfig::default();
+    let mut csv_dir: Option<String> = None;
+    let mut markdown: Option<String> = None;
+    let mut only: Option<Vec<String>> = None;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                config.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args.get(i).cloned().unwrap_or_else(|| die("--csv needs a directory")));
+            }
+            "--markdown" => {
+                i += 1;
+                markdown = Some(args.get(i).cloned().unwrap_or_else(|| die("--markdown needs a file")));
+            }
+            "--only" => {
+                i += 1;
+                only = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--only needs ids"))
+                        .split(',')
+                        .map(str::to_owned)
+                        .collect(),
+                );
+            }
+            "--help" | "-h" => {
+                println!("usage: vzla-report [--seed N] [--csv DIR] [--markdown FILE] [--only figNN,...]");
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    eprintln!("generating world (seed {:#x}) …", config.seed);
+    let t0 = std::time::Instant::now();
+    let world = World::generate(config);
+    eprintln!("world ready in {:.1?}; running experiments …", t0.elapsed());
+
+    let mut results = experiments::all(&world);
+    results.extend(lacnet_core::extensions::all(&world));
+    let mut ok = 0usize;
+    let mut diverged = 0usize;
+    for result in &results {
+        if let Some(filter) = &only {
+            if !filter.iter().any(|f| f == &result.id) {
+                continue;
+            }
+        }
+        print!("{}", render::render_result(result));
+        if result.all_match() {
+            ok += 1;
+        } else {
+            diverged += 1;
+        }
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            for artifact in &result.artifacts {
+                let path = format!("{dir}/{}.csv", artifact.id());
+                let mut f = std::fs::File::create(&path).expect("create csv");
+                f.write_all(render::to_csv(artifact).as_bytes()).expect("write csv");
+            }
+        }
+    }
+    if let Some(path) = &markdown {
+        let md = lacnet_core::markdown::experiments_markdown(&results, config.seed);
+        std::fs::write(path, md).expect("write markdown");
+        eprintln!("wrote {path}");
+    }
+    println!("\n{ok} experiments matched (22 paper artifacts + extensions), {diverged} diverged.");
+    if diverged > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,244 @@
+//! Dataset export: write a generated world to disk as an archive tree in
+//! each dataset's native format — the shape of the artifact bundle the
+//! paper publishes ("we make available all datasets and code").
+//!
+//! ```text
+//! <out>/
+//!   serial1/19980101.as-rel.txt …        CAIDA serial-1, yearly
+//!   pfx2as/routeviews-rv2-20080101.pfx2as …  RouteViews pfx2as, yearly
+//!   delegations/delegated-lacnic-20080101 …  NRO delegation files, yearly
+//!   peeringdb/peeringdb_2_dump_2018_04_01.json …  schema-v2 dumps, yearly
+//!   cables/cable-map.json                Telegeography-style export
+//!   offnets/scan-2013.json …             yearly TLS scans
+//!   topsites/VE.json …                   per-country scrapes
+//!   mlab/ndt-2023-07.tsv                 one month of NDT rows
+//!   atlas/reachability-VE-2019.tsv       daily connected probes
+//!   MANIFEST.txt
+//! ```
+
+use lacnet_crisis::{bandwidth, blackouts, World};
+use lacnet_types::rng::Rng;
+use lacnet_types::{country, Date, MonthStamp, Result};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Summary of one export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpSummary {
+    /// Files written, with their archive-relative paths.
+    pub files: Vec<String>,
+    /// Total bytes written.
+    pub bytes: u64,
+}
+
+fn write(root: &Path, rel: &str, contents: &str, summary: &mut DumpSummary) -> io::Result<()> {
+    let path = root.join(rel);
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(&path, contents)?;
+    summary.files.push(rel.to_owned());
+    summary.bytes += contents.len() as u64;
+    Ok(())
+}
+
+/// Export the world's datasets under `root`. Yearly sampling for the
+/// monthly archives keeps the tree a few megabytes.
+pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
+    let mut summary = DumpSummary { files: Vec::new(), bytes: 0 };
+    let end = world.config.end;
+
+    // serial-1, one file per January.
+    for (m, graph) in world.topology.iter() {
+        if m.month() != 1 {
+            continue;
+        }
+        let rel = format!("serial1/{}0101.as-rel.txt", m.year());
+        let text = lacnet_bgp::serial1::to_text(&graph.edges(), &format!("lacnet world {m}"));
+        write(root, &rel, &text, &mut summary)?;
+    }
+
+    // pfx2as + delegations, one per January from 2008.
+    for year in 2008..=end.year() {
+        let m = MonthStamp::new(year, 1);
+        if m > end {
+            break;
+        }
+        let table = world.pfx2as_at(m);
+        write(
+            root,
+            &format!("pfx2as/routeviews-rv2-{year}0101.pfx2as"),
+            &table.to_text(),
+            &mut summary,
+        )?;
+        let file = world.addressing.delegation_file(Date::ymd(year, 1, 1));
+        write(
+            root,
+            &format!("delegations/delegated-lacnic-{year}0101"),
+            &file.to_text(Date::ymd(year, 1, 1)),
+            &mut summary,
+        )?;
+    }
+
+    // PeeringDB dumps, one per April (the schema-v2 anniversary month).
+    for (m, snap) in world.peeringdb.iter() {
+        if m.month() != 4 {
+            continue;
+        }
+        write(
+            root,
+            &format!("peeringdb/peeringdb_2_dump_{}_{:02}_01.json", m.year(), m.month()),
+            &snap.to_json(),
+            &mut summary,
+        )?;
+    }
+
+    // Cable map.
+    write(root, "cables/cable-map.json", &world.cables.to_json(), &mut summary)?;
+
+    // Off-net scans.
+    for scan in &world.cert_scans {
+        write(
+            root,
+            &format!("offnets/scan-{}.json", scan.month.year()),
+            &scan.to_json(),
+            &mut summary,
+        )?;
+    }
+
+    // Top sites.
+    for list in &world.top_sites {
+        write(root, &format!("topsites/{}.json", list.country), &list.to_json(), &mut summary)?;
+    }
+
+    // One month of raw NDT rows (July 2023, the paper's comparison month).
+    let mut rows = String::new();
+    let m = MonthStamp::new(2023, 7);
+    let rng_root = Rng::seeded(world.config.seed);
+    for cc in country::lacnic_codes() {
+        let mut rng = rng_root.fork(&format!("dump/mlab/{cc}"));
+        for t in bandwidth::generate_month(&world.operators, cc, m, world.config.mlab_volume_scale, &mut rng) {
+            rows.push_str(&t.to_row());
+            rows.push('\n');
+        }
+    }
+    write(root, "mlab/ndt-2023-07.tsv", &rows, &mut summary)?;
+
+    // A traceroute archive sample: every Venezuelan probe's path to
+    // GPDNS at the final month (the raw form of MSM 1591146).
+    {
+        use lacnet_atlas::anycast::{AnycastFleet, AnycastSite, SiteScope};
+        use lacnet_atlas::gpdns::LatencyModel;
+        use lacnet_atlas::traceroute;
+        let month = end;
+        let fleet = AnycastFleet::new(
+            world
+                .dns
+                .gpdns_sites
+                .iter()
+                .filter(|s| s.active_in(month))
+                .map(|s| AnycastSite { id: s.id.clone(), location: s.location, scope: SiteScope::Global })
+                .collect(),
+        );
+        let model = LatencyModel::default();
+        let transits = [
+            lacnet_types::Asn(23520),
+            lacnet_types::Asn(6762),
+            lacnet_types::Asn(52320),
+            lacnet_types::Asn(3356),
+        ];
+        let mut text = String::new();
+        let rng_root = Rng::seeded(world.config.seed);
+        for probe in world.dns.probes.active_in_country(month, country::VE) {
+            if let Some(site) = fleet.catch(probe) {
+                let path = traceroute::gpdns_path(probe, site, &transits);
+                let mut rng = rng_root.fork(&format!("dump/traceroute/{}", probe.id));
+                let tr = traceroute::simulate(probe, site, &model, &path, month, &mut rng);
+                text.push_str(&tr.to_text());
+            }
+        }
+        write(root, "atlas/traceroutes-ve.txt", &text, &mut summary)?;
+    }
+
+    // Daily reachability for the blackout year.
+    let reach = blackouts::daily_reachability(
+        &world.dns,
+        Date::ymd(2019, 1, 1),
+        Date::ymd(2019, 12, 31),
+        world.config.seed,
+    );
+    let mut text = String::new();
+    for (day, n) in reach[&country::VE].iter() {
+        let _ = writeln!(text, "{day}\t{n}");
+    }
+    write(root, "atlas/reachability-VE-2019.tsv", &text, &mut summary)?;
+
+    // Manifest.
+    let mut manifest = String::new();
+    let _ = writeln!(manifest, "# lacnet dataset dump (seed {:#x})", world.config.seed);
+    for f in &summary.files {
+        let _ = writeln!(manifest, "{f}");
+    }
+    // The manifest lists itself so `verify` covers the whole tree.
+    let _ = writeln!(manifest, "MANIFEST.txt");
+    write(root, "MANIFEST.txt", &manifest, &mut summary)?;
+    Ok(summary)
+}
+
+/// Re-parse every exported file, proving the tree is consumable by the
+/// substrate parsers alone (no access to the in-memory world).
+pub fn verify(root: &Path) -> Result<usize> {
+    let mut checked = 0usize;
+    let read = |rel: &str| -> String {
+        fs::read_to_string(root.join(rel)).unwrap_or_default()
+    };
+    let manifest = read("MANIFEST.txt");
+    for rel in manifest.lines().filter(|l| !l.starts_with('#')) {
+        let text = read(rel);
+        if rel.starts_with("serial1/") {
+            lacnet_bgp::serial1::parse(&text)?;
+        } else if rel.starts_with("pfx2as/") {
+            lacnet_bgp::PfxToAs::parse(&text)?;
+        } else if rel.starts_with("delegations/") {
+            lacnet_registry::DelegationFile::parse(&text)?;
+        } else if rel.starts_with("peeringdb/") {
+            lacnet_peeringdb::Snapshot::from_json(&text)?.validate()?;
+        } else if rel.starts_with("cables/") {
+            lacnet_telegeo::CableMap::from_json(&text)?;
+        } else if rel.starts_with("offnets/") {
+            lacnet_offnets::CertScan::from_json(&text)?;
+        } else if rel.starts_with("topsites/") {
+            lacnet_webmeas::CountryTopSites::from_json(&text)?;
+        } else if rel.starts_with("mlab/") {
+            lacnet_mlab::ndt::parse_rows(&text)?;
+        } else if rel.starts_with("atlas/traceroutes") {
+            lacnet_atlas::traceroute::parse_traceroutes(&text)?;
+        } else if rel.starts_with("atlas/") || rel == "MANIFEST.txt" {
+            // Plain TSV / manifest: nothing structured to validate.
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_and_verify_roundtrip() {
+        let world = crate::experiments::testworld::world();
+        let dir = std::env::temp_dir().join(format!("lacnet-dump-{}", std::process::id()));
+        let summary = dump(world, &dir).expect("dump succeeds");
+        assert!(summary.files.len() > 50, "{} files", summary.files.len());
+        assert!(summary.bytes > 1_000_000, "{} bytes", summary.bytes);
+        let checked = verify(&dir).expect("every file parses");
+        assert_eq!(checked, summary.files.len());
+        // Spot-check a known file exists with plausible content.
+        let serial = std::fs::read_to_string(dir.join("serial1/20130101.as-rel.txt")).unwrap();
+        assert!(serial.contains("|8048|-1"), "CANTV has providers in 2013");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,129 @@
+//! Fig. 2 — CANTV vs Telefónica de Venezuela: share and absolute size of
+//! the announced address space, monthly since 2008.
+
+use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
+use lacnet_crisis::config::windows;
+use lacnet_crisis::World;
+use lacnet_types::{Asn, TimeSeries};
+
+/// Run the experiment. Joins monthly pfx2as snapshots (announced) against
+/// the delegation ledger (allocated) the way §4 describes.
+pub fn run(world: &World) -> ExperimentResult {
+    let start = windows::pfx2as_start();
+    let end = world.config.end;
+    let cantv = Asn(8048);
+    let telefonica = Asn(6306);
+
+    let mut cantv_share = TimeSeries::new();
+    let mut telefonica_share = TimeSeries::new();
+    let mut cantv_abs = TimeSeries::new();
+    let mut telefonica_abs = TimeSeries::new();
+
+    for m in start.through(end) {
+        let table = world.pfx2as_at(m);
+        // The share denominator is Venezuela's announced space; in the
+        // generated world all VE announcements come from VE-registered
+        // holders, so the ledger's VE membership identifies them.
+        let ve_holders: Vec<Asn> = world
+            .addressing
+            .ledger()
+            .entries()
+            .iter()
+            .filter(|a| a.country == lacnet_types::country::VE)
+            .map(|a| a.holder)
+            .collect();
+        let ve_total: u64 = {
+            let mut holders = ve_holders.clone();
+            holders.sort_unstable();
+            holders.dedup();
+            holders.iter().map(|&h| table.address_space_of(h)).sum()
+        };
+        let c = table.address_space_of(cantv);
+        let t = table.address_space_of(telefonica);
+        if ve_total > 0 {
+            cantv_share.insert(m, c as f64 / ve_total as f64);
+            telefonica_share.insert(m, t as f64 / ve_total as f64);
+        }
+        cantv_abs.insert(m, c as f64);
+        telefonica_abs.insert(m, t as f64);
+    }
+
+    // Findings.
+    let cantv_mean_share = cantv_share.mean().unwrap_or(0.0);
+    let cantv_peak_share = cantv_share.max_value().unwrap_or(0.0);
+    // Gap at Telefónica's closest approach (pre-withdrawal window).
+    let gap = cantv_abs
+        .window(start, lacnet_crisis::addressing::withdrawal_start().plus(-1))
+        .zip_with(
+            &telefonica_abs,
+            |c, t| if c > 0.0 { (c - t) / c } else { 1.0 },
+        )
+        .min_value()
+        .unwrap_or(1.0);
+    // Telefónica's announced-space contraction during the withdrawal.
+    let before = telefonica_abs
+        .get(lacnet_crisis::addressing::withdrawal_start().plus(-6))
+        .unwrap_or(0.0);
+    let during = telefonica_abs
+        .get(lacnet_crisis::addressing::withdrawal_start().plus(12))
+        .unwrap_or(0.0);
+    let after = telefonica_abs
+        .get(lacnet_crisis::addressing::withdrawal_end().plus(2))
+        .unwrap_or(0.0);
+
+    let findings = vec![
+        Finding::numeric("CANTV mean share of VE announced space", 0.43, cantv_mean_share, 0.35),
+        Finding::numeric("CANTV peak share", 0.69, cantv_peak_share, 0.15),
+        Finding::numeric("minimum CANTV−Telefónica gap (fraction)", 0.11, gap, 0.8),
+        Finding::claim(
+            "Telefónica announced-space contraction 2016→ and 2023 return",
+            "shrinks then recovers",
+            format!("{before:.0} → {during:.0} → {after:.0}"),
+            during < before && after > during,
+        ),
+    ];
+
+    let figure = Figure {
+        id: "fig02".into(),
+        caption: "Evolution of announced address space: CANTV-AS8048 vs Telefónica-AS6306".into(),
+        panels: vec![
+            Panel::new(
+                "% addr. space",
+                vec![
+                    Line::new("CANTV-AS8048", cantv_share),
+                    Line::new("Telefonica-AS6306", telefonica_share),
+                ],
+            ),
+            Panel::new(
+                "# addr. space",
+                vec![
+                    Line::new("CANTV-AS8048", cantv_abs),
+                    Line::new("Telefonica-AS6306", telefonica_abs),
+                ],
+            ),
+        ],
+    };
+
+    ExperimentResult {
+        id: "fig02".into(),
+        title: "CANTV vs Telefónica address space".into(),
+        artifacts: vec![Artifact::Figure(figure)],
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig02_reproduces() {
+        let world = crate::experiments::testworld::world();
+        let r = run(world);
+        assert!(r.all_match(), "{:#?}", r.findings);
+        let Artifact::Figure(fig) = &r.artifacts[0] else { panic!("figure expected") };
+        assert_eq!(fig.panels.len(), 2);
+        // Share series covers the window monthly.
+        assert!(fig.panels[0].lines[0].series.len() > 150);
+    }
+}

@@ -1,0 +1,64 @@
+//! Fig. 8 — CANTV's upstream and downstream connectivity over time.
+
+use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
+use lacnet_bgp::analytics;
+use lacnet_crisis::World;
+use lacnet_types::{Asn, MonthStamp};
+
+/// Run the experiment.
+pub fn run(world: &World) -> ExperimentResult {
+    let cantv = Asn(8048);
+    let up = analytics::upstream_series(&world.topology, cantv);
+    let down = analytics::downstream_series(&world.topology, cantv);
+
+    let peak = up.max_value().unwrap_or(0.0);
+    let trough_2020 = up.get(MonthStamp::new(2020, 6)).unwrap_or(0.0);
+    let final_up = up.last().map(|(_, v)| v).unwrap_or(0.0);
+    let down_growth = down.last().map(|(_, v)| v).unwrap_or(0.0)
+        - down.get(MonthStamp::new(2007, 1)).unwrap_or(0.0);
+
+    let findings = vec![
+        Finding::numeric("peak upstream providers (2013)", 11.0, peak, 0.1),
+        Finding::numeric("upstream providers in 2020", 3.0, trough_2020, 0.01),
+        Finding::claim(
+            "recent rebound in upstreams",
+            "> 3 at the end of the window",
+            format!("{final_up}"),
+            final_up > 3.0,
+        ),
+        Finding::claim(
+            "domestic transit expansion since 2007 nationalisation",
+            "sustained downstream growth",
+            format!("+{down_growth} customers since 2007"),
+            down_growth >= 10.0,
+        ),
+    ];
+
+    let figure = Figure {
+        id: "fig08".into(),
+        caption: "Variation in the upstream and downstream connectivity of CANTV-AS8048".into(),
+        panels: vec![
+            Panel::new("# upstreams", vec![Line::new("8048", up)]),
+            Panel::new("# downstreams", vec![Line::new("8048", down)]),
+        ],
+    };
+
+    ExperimentResult {
+        id: "fig08".into(),
+        title: "CANTV's connectivity".into(),
+        artifacts: vec![Artifact::Figure(figure)],
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig08_reproduces() {
+        let world = crate::experiments::testworld::world();
+        let r = run(world);
+        assert!(r.all_match(), "{:#?}", r.findings);
+    }
+}

@@ -1,0 +1,101 @@
+//! One module per paper artifact. [`all`] runs the full battery.
+
+use crate::artifact::ExperimentResult;
+use lacnet_crisis::World;
+
+pub mod fig01_macro;
+pub mod fig02_address_space;
+pub mod fig03_facilities;
+pub mod fig04_cables;
+pub mod fig05_ipv6;
+pub mod fig06_roots;
+pub mod fig07_offnets;
+pub mod fig08_cantv_degree;
+pub mod fig09_transit_heatmap;
+pub mod fig10_ixp_matrix;
+pub mod fig11_bandwidth;
+pub mod fig12_gpdns_rtt;
+pub mod fig13_gdp_ranks;
+pub mod fig14_prefix_heatmap;
+pub mod fig15_ve_facilities;
+pub mod fig16_root_origins;
+pub mod fig17_probe_coverage;
+pub mod fig18_all_hypergiants;
+pub mod fig19_third_party;
+pub mod fig20_probe_map;
+pub mod fig21_us_ixps;
+pub mod tab01_isps;
+
+/// Shared helpers for the experiment modules.
+pub(crate) mod common {
+    use crate::artifact::Line;
+    use lacnet_types::{country, CountryCode, TimeSeries};
+    use std::collections::BTreeMap;
+
+    /// The comparable peers highlighted in vivid colours in most figures.
+    pub fn peers() -> Vec<CountryCode> {
+        country::COMPARABLE_PEERS.to_vec()
+    }
+
+    /// Build one line per country from a map of series, peers first.
+    pub fn country_lines(series: &BTreeMap<CountryCode, TimeSeries>) -> Vec<Line> {
+        let mut lines: Vec<Line> = Vec::new();
+        for cc in peers() {
+            if let Some(s) = series.get(&cc) {
+                lines.push(Line::new(cc.as_str(), s.clone()));
+            }
+        }
+        if let Some(s) = series.get(&country::VE) {
+            lines.push(Line::new("VE", s.clone()));
+        }
+        for (cc, s) in series {
+            if *cc != country::VE && !peers().contains(cc) {
+                lines.push(Line::new(cc.as_str(), s.clone()));
+            }
+        }
+        lines
+    }
+}
+
+/// Run every experiment in paper order.
+pub fn all(world: &World) -> Vec<ExperimentResult> {
+    vec![
+        fig01_macro::run(world),
+        fig02_address_space::run(world),
+        fig03_facilities::run(world),
+        fig04_cables::run(world),
+        fig05_ipv6::run(world),
+        fig06_roots::run(world),
+        fig07_offnets::run(world),
+        fig08_cantv_degree::run(world),
+        fig09_transit_heatmap::run(world),
+        fig10_ixp_matrix::run(world),
+        fig11_bandwidth::run(world),
+        fig12_gpdns_rtt::run(world),
+        tab01_isps::run(world),
+        fig13_gdp_ranks::run(world),
+        fig14_prefix_heatmap::run(world),
+        fig15_ve_facilities::run(world),
+        fig16_root_origins::run(world),
+        fig17_probe_coverage::run(world),
+        fig18_all_hypergiants::run(world),
+        fig19_third_party::run(world),
+        fig20_probe_map::run(world),
+        fig21_us_ixps::run(world),
+    ]
+}
+
+/// Shared lazily-generated world for the experiment test modules — world
+/// generation takes seconds, so the test binary builds it once.
+#[cfg(test)]
+pub(crate) mod testworld {
+    use lacnet_crisis::{World, WorldConfig};
+    use std::sync::OnceLock;
+
+    static WORLD: OnceLock<World> = OnceLock::new();
+
+    /// The shared test world.
+    pub fn world() -> &'static World {
+        WORLD.get_or_init(|| World::generate(WorldConfig::test()))
+    }
+}

@@ -1,0 +1,311 @@
+//! Plain-text and CSV rendering of artifacts.
+
+use crate::artifact::{Artifact, ExperimentResult, Figure, Heatmap, Table};
+use std::fmt::Write as _;
+
+/// Render a whole experiment result: header, findings table, artifacts.
+pub fn render_result(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    let status = if result.all_match() { "OK" } else { "DIVERGES" };
+    let _ = writeln!(out, "==== {} — {} [{status}] ====", result.id, result.title);
+    if !result.findings.is_empty() {
+        let tab = Table {
+            id: format!("{}-findings", result.id),
+            caption: "paper vs measured".into(),
+            headers: vec!["metric".into(), "paper".into(), "measured".into(), "ok".into()],
+            rows: result
+                .findings
+                .iter()
+                .map(|f| {
+                    vec![
+                        f.metric.clone(),
+                        f.paper.clone(),
+                        f.measured.clone(),
+                        if f.matches { "yes".into() } else { "NO".into() },
+                    ]
+                })
+                .collect(),
+        };
+        out.push_str(&render_table(&tab));
+    }
+    for a in &result.artifacts {
+        out.push_str(&render_artifact(a));
+    }
+    out
+}
+
+/// Render one artifact as text.
+pub fn render_artifact(artifact: &Artifact) -> String {
+    match artifact {
+        Artifact::Figure(f) => render_figure(f),
+        Artifact::Table(t) => render_table(t),
+        Artifact::Heatmap(h) => render_heatmap(h),
+    }
+}
+
+/// Render a figure: per panel, per line, an endpoint/extremum summary and
+/// an ASCII sparkline.
+pub fn render_figure(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "-- {}: {}", fig.id, fig.caption);
+    for panel in &fig.panels {
+        let _ = writeln!(out, "  [{}]", panel.title);
+        for line in &panel.lines {
+            let s = &line.series;
+            let (Some((m0, v0)), Some((m1, v1))) = (s.first(), s.last()) else {
+                let _ = writeln!(out, "    {:<10} (empty)", line.label);
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "    {:<10} {m0}: {v0:>10.2}  →  {m1}: {v1:>10.2}   {}",
+                line.label,
+                sparkline(s)
+            );
+        }
+    }
+    out
+}
+
+/// An 24-column ASCII sparkline of a series.
+pub fn sparkline(series: &lacnet_types::TimeSeries) -> String {
+    const GLYPHS: &[char] = &['_', '.', ':', '-', '=', '+', '*', '#'];
+    let vals: Vec<f64> = series.iter().map(|(_, v)| v).collect();
+    if vals.is_empty() {
+        return String::new();
+    }
+    let (min, max) = vals
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = (max - min).max(1e-12);
+    let cols = 24.min(vals.len());
+    (0..cols)
+        .map(|c| {
+            let idx = c * (vals.len() - 1) / cols.max(1).max(1);
+            let idx = idx.min(vals.len() - 1);
+            let t = (vals[idx] - min) / span;
+            GLYPHS[((t * (GLYPHS.len() - 1) as f64).round() as usize).min(GLYPHS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Render a table with aligned columns.
+pub fn render_table(tab: &Table) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "-- {}: {}", tab.id, tab.caption);
+    let ncols = tab.headers.len().max(tab.rows.iter().map(Vec::len).max().unwrap_or(0));
+    let mut widths = vec![0usize; ncols];
+    let all_rows: Vec<&Vec<String>> = std::iter::once(&tab.headers).chain(tab.rows.iter()).collect();
+    for row in &all_rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    for (r, row) in all_rows.iter().enumerate() {
+        out.push_str("  ");
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+        }
+        out.push('\n');
+        if r == 0 {
+            out.push_str("  ");
+            for w in &widths {
+                out.push_str(&"-".repeat(*w));
+                out.push_str("  ");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Render a heatmap as a character grid: `.` for absent cells, intensity
+/// digits 0–9 scaled to the maximum value.
+pub fn render_heatmap(heat: &Heatmap) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "-- {}: {}", heat.id, heat.caption);
+    let max = heat
+        .cells
+        .iter()
+        .flatten()
+        .flatten()
+        .fold(0.0f64, |a, &b| a.max(b));
+    let label_w = heat.rows.iter().map(|r| r.chars().count()).max().unwrap_or(0).min(24);
+    for (r, row_label) in heat.rows.iter().enumerate() {
+        let mut label: String = row_label.chars().take(24).collect();
+        while label.chars().count() < label_w {
+            label.push(' ');
+        }
+        let _ = write!(out, "  {label} |");
+        for c in 0..heat.cols.len() {
+            let ch = match heat.cells.get(r).and_then(|row| row.get(c)).copied().flatten() {
+                None => '.',
+                Some(v) if max <= 0.0 => if v > 0.0 { '9' } else { '0' },
+                Some(v) => char::from_digit(((v / max) * 9.0).round() as u32, 10).unwrap_or('9'),
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "  ({} columns: {} … {})", heat.cols.len(),
+        heat.cols.first().map(String::as_str).unwrap_or(""),
+        heat.cols.last().map(String::as_str).unwrap_or(""));
+    out
+}
+
+/// Serialise an artifact's data as CSV (figures: one row per month per
+/// line; tables: rows as-is; heatmaps: row-major with labels).
+pub fn to_csv(artifact: &Artifact) -> String {
+    let mut out = String::new();
+    match artifact {
+        Artifact::Figure(f) => {
+            out.push_str("panel,line,month,value\n");
+            for p in &f.panels {
+                for l in &p.lines {
+                    for (m, v) in l.series.iter() {
+                        let _ = writeln!(out, "{},{},{m},{v}", csv_escape(&p.title), csv_escape(&l.label));
+                    }
+                }
+            }
+        }
+        Artifact::Table(t) => {
+            let _ = writeln!(out, "{}", t.headers.iter().map(|h| csv_escape(h)).collect::<Vec<_>>().join(","));
+            for row in &t.rows {
+                let _ = writeln!(out, "{}", row.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","));
+            }
+        }
+        Artifact::Heatmap(h) => {
+            let _ = writeln!(out, "row,{}", h.cols.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","));
+            for (r, label) in h.rows.iter().enumerate() {
+                let cells: Vec<String> = h.cells[r]
+                    .iter()
+                    .map(|c| c.map(|v| v.to_string()).unwrap_or_default())
+                    .collect();
+                let _ = writeln!(out, "{},{}", csv_escape(label), cells.join(","));
+            }
+        }
+    }
+    out
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{Finding, Line, Panel};
+    use lacnet_types::{MonthStamp, TimeSeries};
+
+    fn fig() -> Figure {
+        Figure {
+            id: "figX".into(),
+            caption: "test".into(),
+            panels: vec![Panel::new(
+                "VE",
+                vec![Line::new(
+                    "VE",
+                    TimeSeries::from_points([
+                        (MonthStamp::new(2013, 1), 1.0),
+                        (MonthStamp::new(2014, 1), 2.0),
+                        (MonthStamp::new(2015, 1), 0.5),
+                    ]),
+                )],
+            )],
+        }
+    }
+
+    #[test]
+    fn figure_rendering() {
+        let text = render_figure(&fig());
+        assert!(text.contains("figX"));
+        assert!(text.contains("2013-01"));
+        assert!(text.contains("2015-01"));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = TimeSeries::from_points((0..30).map(|i| (MonthStamp::new(2013, 1).plus(i), i as f64)));
+        let line = sparkline(&s);
+        assert_eq!(line.chars().count(), 24);
+        assert!(line.starts_with('_'));
+        assert!(line.ends_with('#'));
+        assert_eq!(sparkline(&TimeSeries::new()), "");
+        // Constant series renders without NaN panic.
+        let flat = TimeSeries::from_points([(MonthStamp::new(2013, 1), 5.0), (MonthStamp::new(2013, 2), 5.0)]);
+        assert_eq!(sparkline(&flat).chars().count(), 2);
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = Table {
+            id: "tab".into(),
+            caption: "c".into(),
+            headers: vec!["ASN".into(), "Name".into()],
+            rows: vec![
+                vec!["8048".into(), "CANTV".into()],
+                vec!["6306".into(), "Telefonica Venezolana".into()],
+            ],
+        };
+        let text = render_table(&t);
+        assert!(text.contains("ASN"));
+        assert!(text.contains("CANTV"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 4);
+    }
+
+    #[test]
+    fn heatmap_rendering() {
+        let h = Heatmap {
+            id: "h".into(),
+            caption: "c".into(),
+            rows: vec!["AS701".into(), "AS23520".into()],
+            cols: vec!["2013".into(), "2014".into(), "2015".into()],
+            cells: vec![
+                vec![Some(1.0), None, None],
+                vec![Some(1.0), Some(1.0), Some(1.0)],
+            ],
+        };
+        let text = render_heatmap(&h);
+        assert!(text.contains("AS701"));
+        assert!(text.contains('.'), "absent cells rendered as dots");
+        assert!(text.contains('9'), "present cells rendered as intensity");
+    }
+
+    #[test]
+    fn csv_outputs() {
+        let csv = to_csv(&Artifact::Figure(fig()));
+        assert!(csv.starts_with("panel,line,month,value"));
+        assert!(csv.contains("VE,VE,2013-01,1"));
+        let t = Table {
+            id: "t".into(),
+            caption: "c".into(),
+            headers: vec!["a,b".into()],
+            rows: vec![vec!["x\"y".into()]],
+        };
+        let csv = to_csv(&Artifact::Table(t));
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    fn result_rendering_includes_status() {
+        let r = ExperimentResult {
+            id: "fig01".into(),
+            title: "macro".into(),
+            artifacts: vec![Artifact::Figure(fig())],
+            findings: vec![Finding::numeric("oil", -81.49, -81.0, 0.05)],
+        };
+        let text = render_result(&r);
+        assert!(text.contains("[OK]"));
+        assert!(text.contains("paper vs measured"));
+        let mut bad = r;
+        bad.findings.push(Finding::numeric("gdp", -70.0, -10.0, 0.05));
+        assert!(render_result(&bad).contains("[DIVERGES]"));
+    }
+}

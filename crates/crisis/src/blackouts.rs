@@ -1,0 +1,135 @@
+//! The 2019 Venezuelan blackouts, as probe-reachability data — the
+//! study's stated future-work direction (§9 points to outage and
+//! shutdown characterisation; §2 and the related work describe the
+//! electricity crisis that caused >100-hour supply losses).
+//!
+//! The generator produces a daily connected-probe series per country.
+//! Venezuela's series carries the three documented 2019 events: the
+//! nationwide March 7 blackout (≈week), the March 25 relapse, and the
+//! July 22 event. Everyone else sees only ordinary churn. The
+//! `lacnet-atlas` outage detector recovers the events from the series
+//! alone.
+
+use crate::dns::DnsWorld;
+use lacnet_atlas::outages::ReachabilitySeries;
+use lacnet_types::rng::Rng;
+use lacnet_types::{country, CountryCode, Date};
+use std::collections::BTreeMap;
+
+/// One scripted blackout: `(first day, last day, fraction of probes cut)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Blackout {
+    /// First affected day.
+    pub start: Date,
+    /// Last affected day, inclusive.
+    pub end: Date,
+    /// Fraction of the country's probes disconnected, in `(0, 1]`.
+    pub depth: f64,
+}
+
+/// The documented 2019 Venezuelan events.
+pub fn ve_blackouts_2019() -> Vec<Blackout> {
+    vec![
+        // The nationwide March 7 blackout (Guri failure), ≈ a week.
+        Blackout { start: Date::ymd(2019, 3, 7), end: Date::ymd(2019, 3, 14), depth: 0.9 },
+        // The March 25 relapse.
+        Blackout { start: Date::ymd(2019, 3, 25), end: Date::ymd(2019, 3, 28), depth: 0.75 },
+        // The July 22 event.
+        Blackout { start: Date::ymd(2019, 7, 22), end: Date::ymd(2019, 7, 24), depth: 0.7 },
+    ]
+}
+
+/// Generate daily connected-probe series for every LACNIC country over
+/// `[start, end]`. Venezuelan days inside a blackout lose `depth` of the
+/// active probes; every day carries ±1-probe churn noise.
+pub fn daily_reachability(
+    dns: &DnsWorld,
+    start: Date,
+    end: Date,
+    seed: u64,
+) -> BTreeMap<CountryCode, ReachabilitySeries> {
+    let blackouts = ve_blackouts_2019();
+    let root = Rng::seeded(seed);
+    let mut out: BTreeMap<CountryCode, ReachabilitySeries> = BTreeMap::new();
+    for cc in country::lacnic_codes() {
+        let mut rng = root.fork(&format!("blackouts/{cc}"));
+        let mut series = ReachabilitySeries::new();
+        let mut day = start;
+        while day <= end {
+            let active = dns.probes.active_in_country(day.month_stamp(), cc).len() as f64;
+            let mut connected = active;
+            if cc == country::VE {
+                if let Some(b) = blackouts.iter().find(|b| day >= b.start && day <= b.end) {
+                    connected *= 1.0 - b.depth;
+                }
+            }
+            // Ordinary churn: a probe or so flapping either way.
+            let noise = rng.range_inclusive(-1, 1) as f64;
+            series.insert(day, (connected + noise).max(0.0).round() as u32);
+            day = day.plus_days(1);
+        }
+        out.insert(cc, series);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dns::build_dns_world;
+    use lacnet_atlas::outages::{detect, detect_all, DetectorConfig};
+
+    fn world_series() -> BTreeMap<CountryCode, ReachabilitySeries> {
+        let dns = build_dns_world(42);
+        daily_reachability(&dns, Date::ymd(2019, 1, 1), Date::ymd(2019, 12, 31), 42)
+    }
+
+    #[test]
+    fn detector_recovers_the_three_events() {
+        let series = world_series();
+        let events = detect(&series[&country::VE], DetectorConfig::default());
+        assert_eq!(events.len(), 3, "{events:#?}");
+        // March 7 event: the right week, deep.
+        assert_eq!(events[0].start, Date::ymd(2019, 3, 7));
+        assert!(events[0].duration_days() >= 7);
+        assert!(events[0].depth() > 0.8, "depth {}", events[0].depth());
+        // March 25 relapse.
+        assert_eq!(events[1].start, Date::ymd(2019, 3, 25));
+        // July event.
+        assert_eq!(events[2].start.month(), 7);
+    }
+
+    #[test]
+    fn no_false_positives_elsewhere() {
+        let series = world_series();
+        let all = detect_all(&series, DetectorConfig::default());
+        assert_eq!(all.len(), 1, "only Venezuela blacks out: {:?}", all.keys().collect::<Vec<_>>());
+        assert!(all.contains_key(&country::VE));
+    }
+
+    #[test]
+    fn baselines_reflect_probe_counts() {
+        let series = world_series();
+        let ve = &series[&country::VE];
+        // Normal January day ≈ the registry's active count (±1 churn).
+        let dns = build_dns_world(42);
+        let expected = dns
+            .probes
+            .active_in_country(Date::ymd(2019, 1, 15).month_stamp(), country::VE)
+            .len() as i64;
+        let got = ve.get(Date::ymd(2019, 1, 15)).unwrap() as i64;
+        assert!((got - expected).abs() <= 1, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = world_series();
+        let b = world_series();
+        for cc in a.keys() {
+            assert_eq!(
+                a[cc].iter().collect::<Vec<_>>(),
+                b[cc].iter().collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! World-generation configuration and the study's observation windows.
+
+use lacnet_types::MonthStamp;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for one generated world.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Master seed; every dataset derives its own substream from it.
+    pub seed: u64,
+    /// First month of the macro-economy model (the paper's Fig. 1 starts
+    /// in 1980).
+    pub economy_start: MonthStamp,
+    /// Last month generated everywhere (the paper's data ends early 2024).
+    pub end: MonthStamp,
+    /// Scale factor on crowdsourced test volumes: 1.0 approximates the
+    /// paper's per-country monthly volumes divided by 1000 (the real
+    /// archive is 447M rows; the default world generates ≈450k). Raise it
+    /// for benchmark stress runs.
+    pub mlab_volume_scale: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 0x5ECC0_2024,
+            economy_start: MonthStamp::new(1980, 1),
+            end: MonthStamp::new(2024, 2),
+            mlab_volume_scale: 1.0,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A smaller, faster world for unit tests: same structure, lower
+    /// M-Lab volume.
+    pub fn test() -> Self {
+        WorldConfig { mlab_volume_scale: 0.4, ..Default::default() }
+    }
+}
+
+/// Observation windows of each dataset, as the paper states them.
+pub mod windows {
+    use lacnet_types::MonthStamp;
+
+    /// CAIDA AS relationships: since January 1998 (§3.2).
+    pub fn serial1_start() -> MonthStamp {
+        MonthStamp::new(1998, 1)
+    }
+
+    /// Prefix-to-AS and delegation snapshots: since 2008 (§4).
+    pub fn pfx2as_start() -> MonthStamp {
+        MonthStamp::new(2008, 1)
+    }
+
+    /// PeeringDB schema v2: since April 2018 (§3.1).
+    pub fn peeringdb_start() -> MonthStamp {
+        MonthStamp::new(2018, 4)
+    }
+
+    /// RIPE Atlas CHAOS built-ins analysed since 2016 (§3.1).
+    pub fn chaos_start() -> MonthStamp {
+        MonthStamp::new(2016, 1)
+    }
+
+    /// GPDNS traceroute campaign: since March 2014 (§3.3).
+    pub fn gpdns_start() -> MonthStamp {
+        MonthStamp::new(2014, 3)
+    }
+
+    /// M-Lab NDT: since July 2007 (§3.3).
+    pub fn mlab_start() -> MonthStamp {
+        MonthStamp::new(2007, 7)
+    }
+
+    /// IPv6 adoption panel: 2018–2023 (Fig. 5).
+    pub fn ipv6_start() -> MonthStamp {
+        MonthStamp::new(2018, 1)
+    }
+
+    /// Off-net artifacts: 2013–2021 (§5.5).
+    pub fn offnets_start() -> MonthStamp {
+        MonthStamp::new(2013, 1)
+    }
+
+    /// Off-net artifacts end (Gigis et al. coverage).
+    pub fn offnets_end() -> MonthStamp {
+        MonthStamp::new(2021, 12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_every_window() {
+        let cfg = WorldConfig::default();
+        assert!(cfg.economy_start < windows::serial1_start());
+        assert!(windows::serial1_start() < windows::mlab_start());
+        assert!(windows::mlab_start() < windows::pfx2as_start());
+        assert!(windows::gpdns_start() < windows::chaos_start());
+        assert!(windows::offnets_end() < cfg.end);
+        assert!(cfg.mlab_volume_scale > 0.0);
+    }
+
+    #[test]
+    fn test_config_is_smaller() {
+        assert!(WorldConfig::test().mlab_volume_scale < WorldConfig::default().mlab_volume_scale);
+    }
+}

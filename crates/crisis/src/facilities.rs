@@ -1,0 +1,528 @@
+//! The PeeringDB world: facilities, IXPs, and memberships
+//! (Figs. 3, 10, 15, 21 and Table 2).
+//!
+//! Calibration:
+//!
+//! * regional facility total 180 (2018-04) → 552 (2024-02), with the
+//!   quoted country trajectories (Brazil 102→311, Mexico 11→45,
+//!   Chile 18→45, Costa Rica 3→8) and Venezuela's four: Lumen/Cirion
+//!   La Urbina and Daycohost (registered 2021-11), GigaPOP Maracaibo and
+//!   GlobeNet Maiquetía (2023-01);
+//! * the Table-2 roster of networks at Venezuelan facilities, verbatim;
+//! * per-country flagship IXPs with membership tuned to the Fig. 10
+//!   population shares (AR-IX 62.4%, IX.br 45.53%, PIT Chile 49.57%;
+//!   Uruguay and Venezuela have none);
+//! * US IXPs with the minimal Venezuelan presence of Fig. 21 (seven
+//!   networks, ≈7% of the country's users) and Venezuela's single
+//!   regional foothold at Equinix Bogotá (≈4%).
+
+use crate::operators::Operators;
+use lacnet_peeringdb::{Facility, Ix, NetFac, NetIxLan, Network, Snapshot, SnapshotArchive};
+use lacnet_types::{country, Asn, CountryCode, MonthStamp};
+
+/// Facility-count anchors `(country, at 2018-04, at 2024-02)`.
+const FACILITY_ANCHORS: &[(&str, u32, u32)] = &[
+    ("BR", 102, 311),
+    ("MX", 11, 45),
+    ("CL", 18, 45),
+    ("CR", 3, 8),
+    ("AR", 12, 30),
+    ("CO", 8, 25),
+    ("PA", 5, 12),
+    ("PE", 4, 16),
+    ("UY", 3, 8),
+    ("EC", 3, 8),
+    ("DO", 2, 7),
+    ("GT", 2, 5),
+    ("TT", 2, 4),
+    ("BO", 1, 4),
+    ("PY", 1, 4),
+    ("SV", 1, 3),
+    ("HN", 1, 2),
+    ("HT", 0, 1),
+    ("NI", 0, 1),
+    ("CU", 0, 0),
+    ("BZ", 0, 1),
+    ("SR", 0, 1),
+    ("GY", 0, 1),
+    ("CW", 1, 3),
+    ("AW", 0, 1),
+    ("BQ", 0, 0),
+    ("SX", 0, 1),
+    ("GF", 0, 1),
+];
+
+/// Venezuela's facility timeline: `(name, city, registered)`.
+/// "Lumen La Urbina" is renamed "Cirion La Urbina" from October 2022
+/// (Lumen sold its Latin American business to Stonepeak).
+const VE_FACILITIES: &[(&str, &str, (i32, u8))] = &[
+    ("Lumen La Urbina", "Caracas", (2021, 11)),
+    ("Daycohost - Caracas", "Caracas", (2021, 11)),
+    ("GigaPOP Maracaibo", "Maracaibo", (2023, 1)),
+    ("Globenet Maiquetia", "Maiquetia", (2023, 1)),
+];
+
+/// Month of the Lumen → Cirion rename.
+fn cirion_rename() -> MonthStamp {
+    MonthStamp::new(2022, 10)
+}
+
+/// Table 2's roster: networks at the La Urbina facility, with the month
+/// they connected (arrival order shapes the Fig. 15 growth 1 → 11).
+const LA_URBINA_ROSTER: &[(u32, &str, (i32, u8))] = &[
+    (8053, "IFX Venezuela", (2021, 11)),
+    (265641, "CIX BROADBAND", (2022, 2)),
+    (269832, "MDSTELECOM", (2022, 6)),
+    (23379, "Blackburn Technologies II", (2022, 9)),
+    (270042, "RED DOT TECHNOLOGIES", (2022, 12)),
+    (269738, "Chircalnet Telecom", (2023, 3)),
+    (267809, "360NET", (2023, 5)),
+    (19978, "Cirion - VE", (2023, 7)),
+    (21826, "Corporacion Telemic Network", (2023, 9)),
+    (21980, "Dayco Telecom", (2023, 11)),
+    (269918, "SISTEMAS TELCORP, C.A.", (2024, 1)),
+];
+
+/// Daycohost's roster (Table 2).
+const DAYCOHOST_ROSTER: &[(u32, (i32, u8))] =
+    &[(8053, (2021, 11)), (269832, (2022, 8)), (270042, (2023, 6))];
+
+/// GlobeNet Maiquetía's roster (Table 2).
+const GLOBENET_ROSTER: &[(u32, (i32, u8))] = &[(272102, (2023, 6)), (21826, (2023, 10))];
+
+/// Extra `net` rows that exist only in PeeringDB (Table 2 names that are
+/// not part of the eyeball cast).
+const EXTRA_NETS: &[(u32, &str)] = &[
+    (8053, "IFX Venezuela"),
+    (265641, "CIX BROADBAND"),
+    (269832, "MDSTELECOM"),
+    (23379, "Blackburn Technologies II"),
+    (270042, "RED DOT TECHNOLOGIES"),
+    (269738, "Chircalnet Telecom"),
+    (267809, "360NET"),
+    (19978, "Cirion - VE"),
+    (21980, "Dayco Telecom"),
+    (269918, "SISTEMAS TELCORP, C.A."),
+    (272102, "BESSER SOLUTIONS"),
+];
+
+/// Flagship IXP per country and the share of the domestic eyeball
+/// population its membership should cover (Fig. 10's diagonal).
+const IXPS: &[(&str, &str, &str, f64)] = &[
+    ("AR", "AR-IX", "Buenos Aires", 0.624),
+    ("BR", "IX.br (SP)", "Sao Paulo", 0.4553),
+    ("CL", "PIT Chile (SCL)", "Santiago", 0.4957),
+    ("BO", "PIT.BO", "La Paz", 0.81),
+    ("CO", "NAP.CO", "Bogota", 0.12),
+    ("CR", "CRIX", "San Jose", 0.38),
+    ("CW", "AMS-IX (CW)", "Willemstad", 0.79),
+    ("EC", "NAP.EC - UIO", "Quito", 0.64),
+    ("GT", "GTIX", "Guatemala City", 0.20),
+    ("GY", "Guyanix", "Georgetown", 0.92),
+    ("HN", "IXP-HN", "Tegucigalpa", 0.13),
+    ("MX", "MEX-IX", "Mexico City", 0.27),
+    ("PA", "InteRed (PA)", "Panama City", 0.63),
+    ("PE", "Peru IX", "Lima", 0.49),
+    ("PY", "IXpy", "Asuncion", 0.86),
+    ("SX", "OCIX", "Philipsburg", 0.60),
+    ("TT", "TTIX", "Port of Spain", 0.14),
+    // Uruguay and Venezuela deliberately absent (§6.2).
+];
+
+/// US IXPs of the Fig. 21 matrix (a representative subset of the paper's
+/// ~70 columns).
+pub const US_IXPS: &[(&str, &str)] = &[
+    ("FL-IX", "Miami"),
+    ("Equinix Miami", "Miami"),
+    ("Equinix Ashburn", "Ashburn"),
+    ("DE-CIX New York", "New York"),
+    ("NYIIX New York", "New York"),
+    ("Equinix Dallas", "Dallas"),
+    ("Equinix Chicago", "Chicago"),
+    ("Any2West", "Los Angeles"),
+    ("SIX Seattle", "Seattle"),
+    ("MEX-IX McAllen", "McAllen"),
+    ("Equinix Los Angeles", "Los Angeles"),
+    ("CIX-ATL", "Atlanta"),
+];
+
+/// The Venezuelan networks with US-IXP ports (Fig. 21: seven networks,
+/// ≈7% of the country's users): NetUno (4.45%) and Thundernet (2.56%)
+/// carry the population; five enterprise networks carry none.
+const VE_AT_US_IXPS: &[u32] = &[11562, 272_809, 276_500, 276_501, 276_502, 276_503, 276_504];
+
+/// Builds the monthly PeeringDB archive.
+pub struct PeeringDbBuilder<'a> {
+    ops: &'a Operators,
+}
+
+impl<'a> PeeringDbBuilder<'a> {
+    /// Create a builder over the operator cast.
+    pub fn new(ops: &'a Operators) -> Self {
+        PeeringDbBuilder { ops }
+    }
+
+    /// Build monthly snapshots over `[start, end]`.
+    pub fn build(&self, start: MonthStamp, end: MonthStamp) -> SnapshotArchive {
+        let mut archive = SnapshotArchive::new();
+        for m in start.through(end) {
+            archive.insert(m, self.snapshot(m));
+        }
+        archive
+    }
+
+    /// Interpolated facility count for one country at `m`.
+    fn facility_count(cc: &str, m: MonthStamp) -> u32 {
+        let Some(&(_, n0, n1)) = FACILITY_ANCHORS.iter().find(|&&(c, ..)| c == cc) else {
+            return 0;
+        };
+        let start = MonthStamp::new(2018, 4);
+        let end = MonthStamp::new(2024, 2);
+        let t = (start.months_until(m).max(0) as f64 / start.months_until(end) as f64).min(1.0);
+        // Slightly convex growth (the region accelerated after 2020).
+        let t = t * t * (3.0 - 2.0 * t);
+        (n0 as f64 + (n1 as f64 - n0 as f64) * t).round() as u32
+    }
+
+    /// One monthly snapshot.
+    pub fn snapshot(&self, m: MonthStamp) -> Snapshot {
+        let mut snap = Snapshot::new();
+
+        // ——— net table: eyeball cast + PeeringDB-only extras ———
+        let mut net_id_of = std::collections::BTreeMap::<Asn, u32>::new();
+        let mut next_id = 1u32;
+        for op in self.ops.all() {
+            // Eyeballs register; so do Venezuelan enterprises (several
+            // universities and banks keep PeeringDB records).
+            if op.users > 0 || (op.country == country::VE && op.kind == crate::operators::OperatorKind::Enterprise) {
+                net_id_of.insert(op.asn, next_id);
+                snap.net.push(Network {
+                    id: next_id,
+                    asn: op.asn,
+                    name: op.name.clone(),
+                    info_type: "Cable/DSL/ISP".into(),
+                });
+                next_id += 1;
+            }
+        }
+        for &(asn, name) in EXTRA_NETS {
+            if !net_id_of.contains_key(&Asn(asn)) {
+                net_id_of.insert(Asn(asn), next_id);
+                snap.net.push(Network {
+                    id: next_id,
+                    asn: Asn(asn),
+                    name: name.into(),
+                    info_type: "NSP".into(),
+                });
+                next_id += 1;
+            }
+        }
+
+        // ——— fac table ———
+        let mut fac_id = 1u32;
+        // Venezuela's scripted four.
+        let mut ve_fac_ids = Vec::new();
+        for &(name, city, (y, mo)) in VE_FACILITIES {
+            if m >= MonthStamp::new(y, mo) {
+                let name = if name == "Lumen La Urbina" && m >= cirion_rename() {
+                    "Cirion La Urbina"
+                } else {
+                    name
+                };
+                snap.fac.push(Facility {
+                    id: fac_id,
+                    name: name.into(),
+                    city: city.into(),
+                    country: country::VE,
+                });
+                ve_fac_ids.push((fac_id, name.to_owned()));
+                fac_id += 1;
+            } else {
+                ve_fac_ids.push((0, String::new()));
+            }
+        }
+        // Everyone else: interpolated counts.
+        for info in country::LACNIC_REGION {
+            if info.code == country::VE {
+                continue;
+            }
+            let n = Self::facility_count(info.code.as_str(), m);
+            for k in 0..n {
+                snap.fac.push(Facility {
+                    id: fac_id,
+                    name: format!("{} Facility {}", info.code, k + 1),
+                    city: info.capital.into(),
+                    country: info.code,
+                });
+                fac_id += 1;
+            }
+        }
+
+        // ——— netfac: the Table-2 rosters ———
+        let push_roster = |snap: &mut Snapshot, fac_idx: usize, roster: &[(u32, (i32, u8))]| {
+            let (fid, _) = &ve_fac_ids[fac_idx];
+            if *fid == 0 {
+                return;
+            }
+            for &(asn, (y, mo)) in roster {
+                if m >= MonthStamp::new(y, mo) {
+                    if let Some(&nid) = net_id_of.get(&Asn(asn)) {
+                        snap.netfac.push(NetFac { net_id: nid, fac_id: *fid });
+                    }
+                }
+            }
+        };
+        let la_urbina: Vec<(u32, (i32, u8))> =
+            LA_URBINA_ROSTER.iter().map(|&(a, _, d)| (a, d)).collect();
+        push_roster(&mut snap, 0, &la_urbina);
+        push_roster(&mut snap, 1, DAYCOHOST_ROSTER);
+        // GigaPOP Maracaibo (index 2) never attracts a network.
+        push_roster(&mut snap, 3, GLOBENET_ROSTER);
+
+        // ——— ix table + netixlan ———
+        let mut ix_id = 1u32;
+        for &(cc, name, city, target_share) in IXPS {
+            let cc = CountryCode::of(cc);
+            snap.ix.push(Ix { id: ix_id, name: name.into(), city: city.into(), country: cc });
+            // Greedy membership: largest eyeballs first until the target
+            // share of the domestic population is covered.
+            let total = self.ops.populations().country_total(cc) as f64;
+            let mut covered = 0.0;
+            for op in self.ops.eyeballs(cc) {
+                if covered / total >= target_share {
+                    break;
+                }
+                // Skip a network that would overshoot the target by more
+                // than a few points; a smaller one downstream will fit.
+                if (covered + op.users as f64) / total > target_share + 0.05 {
+                    continue;
+                }
+                if let Some(&nid) = net_id_of.get(&op.asn) {
+                    snap.netixlan.push(NetIxLan { net_id: nid, ix_id, speed: 10_000 });
+                    covered += op.users as f64;
+                }
+            }
+            ix_id += 1;
+        }
+        // Equinix Bogotá: Venezuela's single regional foothold (§6.2,
+        // ≈4% of its users — Viginet).
+        snap.ix.push(Ix {
+            id: ix_id,
+            name: "Equinix Bogota".into(),
+            city: "Bogota".into(),
+            country: country::CO,
+        });
+        if let Some(&nid) = net_id_of.get(&Asn(263703)) {
+            snap.netixlan.push(NetIxLan { net_id: nid, ix_id, speed: 1_000 });
+        }
+        ix_id += 1;
+
+        // Uruguay's international presence (§6.2): Antel peers at AR-IX,
+        // IX.br, IXpy and PIT Chile.
+        if let Some(antel) = self.ops.incumbent(country::UY) {
+            if let Some(&nid) = net_id_of.get(&antel.asn) {
+                for target in ["AR-IX", "IX.br (SP)", "IXpy", "PIT Chile (SCL)"] {
+                    if let Some(ix) = snap.ix.iter().find(|i| i.name == target) {
+                        snap.netixlan.push(NetIxLan { net_id: nid, ix_id: ix.id, speed: 10_000 });
+                    }
+                }
+            }
+        }
+
+        // ——— US IXPs (Fig. 21) ———
+        let mut us_ix_ids = Vec::new();
+        for &(name, city) in US_IXPS {
+            snap.ix.push(Ix { id: ix_id, name: name.into(), city: city.into(), country: country::US });
+            us_ix_ids.push((name, ix_id));
+            ix_id += 1;
+        }
+        // Brazilian and Mexican networks spread across most US exchanges.
+        for cc in [country::BR, country::MX] {
+            for (k, op) in self.ops.eyeballs(cc).into_iter().take(4).enumerate() {
+                if let Some(&nid) = net_id_of.get(&op.asn) {
+                    for (j, &(_, id)) in us_ix_ids.iter().enumerate() {
+                        if (j + k) % 2 == 0 {
+                            snap.netixlan.push(NetIxLan { net_id: nid, ix_id: id, speed: 100_000 });
+                        }
+                    }
+                }
+            }
+        }
+        // Uruguay: few exchanges, big networks (Equinix Ashburn, Miami,
+        // FL-IX).
+        if let Some(antel) = self.ops.incumbent(country::UY) {
+            if let Some(&nid) = net_id_of.get(&antel.asn) {
+                for target in ["Equinix Ashburn", "Equinix Miami", "FL-IX"] {
+                    if let Some(&(_, id)) = us_ix_ids.iter().find(|&&(n, _)| n == target) {
+                        snap.netixlan.push(NetIxLan { net_id: nid, ix_id: id, speed: 100_000 });
+                    }
+                }
+            }
+        }
+        // Venezuela: the seven networks, concentrated in Florida.
+        for (k, &asn) in VE_AT_US_IXPS.iter().enumerate() {
+            if let Some(&nid) = net_id_of.get(&Asn(asn)) {
+                let targets: &[&str] = if k == 0 {
+                    &["FL-IX", "Equinix Miami"]
+                } else {
+                    &["FL-IX"]
+                };
+                for t in targets {
+                    if let Some(&(_, id)) = us_ix_ids.iter().find(|&&(n, _)| n == *t) {
+                        snap.netixlan.push(NetIxLan { net_id: nid, ix_id: id, speed: 1_000 });
+                    }
+                }
+            }
+        }
+        // A couple of Argentine and Colombian networks in the US too.
+        for cc in [country::AR, country::CO] {
+            if let Some(inc) = self.ops.incumbent(cc) {
+                if let Some(&nid) = net_id_of.get(&inc.asn) {
+                    if let Some(&(_, id)) = us_ix_ids.iter().find(|&&(n, _)| n == "Equinix Miami") {
+                        snap.netixlan.push(NetIxLan { net_id: nid, ix_id: id, speed: 100_000 });
+                    }
+                }
+            }
+        }
+
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lacnet_peeringdb::analytics;
+
+    fn archive() -> SnapshotArchive {
+        let ops = Operators::generate(42);
+        let builder = PeeringDbBuilder::new(&ops);
+        builder.build(MonthStamp::new(2018, 4), MonthStamp::new(2024, 2))
+    }
+
+    #[test]
+    fn fig3_regional_totals() {
+        let ops = Operators::generate(42);
+        let builder = PeeringDbBuilder::new(&ops);
+        let first = builder.snapshot(MonthStamp::new(2018, 4));
+        let last = builder.snapshot(MonthStamp::new(2024, 2));
+        let count = |s: &Snapshot| s.fac.len();
+        assert_eq!(count(&first), 180, "2018-04 regional total");
+        assert_eq!(count(&last), 552, "2024-02 regional total");
+    }
+
+    #[test]
+    fn fig3_country_trajectories() {
+        let ops = Operators::generate(42);
+        let builder = PeeringDbBuilder::new(&ops);
+        let first = builder.snapshot(MonthStamp::new(2018, 4));
+        let last = builder.snapshot(MonthStamp::new(2024, 2));
+        let count = |s: &Snapshot, cc: &str| s.facilities_in(CountryCode::of(cc)).len();
+        assert_eq!((count(&first, "BR"), count(&last, "BR")), (102, 311));
+        assert_eq!((count(&first, "MX"), count(&last, "MX")), (11, 45));
+        assert_eq!((count(&first, "CL"), count(&last, "CL")), (18, 45));
+        assert_eq!((count(&first, "CR"), count(&last, "CR")), (3, 8));
+        assert_eq!((count(&first, "VE"), count(&last, "VE")), (0, 4));
+    }
+
+    #[test]
+    fn ve_facility_timeline_and_rename() {
+        let ops = Operators::generate(42);
+        let builder = PeeringDbBuilder::new(&ops);
+        let s_2022 = builder.snapshot(MonthStamp::new(2022, 2));
+        assert_eq!(s_2022.facilities_in(country::VE).len(), 2, "two registered in 2021");
+        assert!(s_2022.fac.iter().any(|f| f.name == "Lumen La Urbina"));
+        let s_2023 = builder.snapshot(MonthStamp::new(2023, 2));
+        assert_eq!(s_2023.facilities_in(country::VE).len(), 4);
+        assert!(s_2023.fac.iter().any(|f| f.name == "Cirion La Urbina"), "renamed after Lumen sale");
+        assert!(!s_2023.fac.iter().any(|f| f.name == "Lumen La Urbina"));
+    }
+
+    #[test]
+    fn fig15_la_urbina_grows_to_eleven() {
+        let arch = archive();
+        let fp = analytics::FacilityPresence::compute(&arch, country::VE);
+        assert_eq!(fp.latest_count("La Urbina"), Some(11), "Cirion peaks at 11 networks");
+        assert_eq!(fp.latest_count("GigaPOP"), Some(0), "GigaPOP never attracts networks");
+        assert_eq!(fp.latest_count("Daycohost"), Some(3));
+        assert_eq!(fp.latest_count("Globenet"), Some(2));
+    }
+
+    #[test]
+    fn table2_roster() {
+        let arch = archive();
+        let roster = analytics::facility_roster(&arch, country::VE);
+        let cirion = &roster["Cirion La Urbina"];
+        assert!(cirion.contains(&Asn(8053)), "IFX");
+        assert!(cirion.contains(&Asn(21826)), "Telemic");
+        assert!(cirion.contains(&Asn(269918)), "Telcorp");
+        assert_eq!(cirion.len(), 11);
+        assert_eq!(roster["Globenet Maiquetia"].len(), 2);
+    }
+
+    #[test]
+    fn fig10_diagonal_shares() {
+        let ops = Operators::generate(42);
+        let arch = archive();
+        let largest = analytics::largest_ixp_members(
+            &arch,
+            &[country::AR, country::BR, country::CL, country::UY, country::VE],
+        );
+        let share = |cc: CountryCode| {
+            let (_, members) = &largest[&cc];
+            let set: std::collections::BTreeSet<Asn> = members.iter().copied().collect();
+            ops.populations().share_of(cc, &set)
+        };
+        assert!((share(country::AR) - 0.624).abs() < 0.15, "AR {}", share(country::AR));
+        assert!((share(country::BR) - 0.455).abs() < 0.15, "BR {}", share(country::BR));
+        assert!((share(country::CL) - 0.496).abs() < 0.15, "CL {}", share(country::CL));
+        assert!(!largest.contains_key(&country::UY), "no Uruguayan IXP");
+        assert!(!largest.contains_key(&country::VE), "no Venezuelan IXP");
+    }
+
+    #[test]
+    fn ve_single_foothold_at_equinix_bogota() {
+        let ops = Operators::generate(42);
+        let arch = archive();
+        let (_, snap) = arch.latest().unwrap();
+        let bogota = snap.ix.iter().find(|i| i.name == "Equinix Bogota").unwrap();
+        let members = snap.networks_at_ixp(bogota.id);
+        let ve_members: Vec<Asn> = members
+            .into_iter()
+            .filter(|a| ops.by_asn(*a).map(|o| o.country) == Some(country::VE))
+            .collect();
+        assert_eq!(ve_members, vec![Asn(263703)], "Viginet only");
+        let set: std::collections::BTreeSet<Asn> = ve_members.into_iter().collect();
+        let share = ops.populations().share_of(country::VE, &set);
+        assert!((share - 0.04).abs() < 0.02, "≈4% of VE users: {share}");
+    }
+
+    #[test]
+    fn fig21_ve_presence_in_us_is_minimal() {
+        let ops = Operators::generate(42);
+        let arch = archive();
+        let us = analytics::ixp_members_in(&arch, country::US);
+        assert!(!us.is_empty());
+        let mut ve_networks = std::collections::BTreeSet::new();
+        for (_, members) in &us {
+            for &a in members {
+                if ops.by_asn(a).map(|o| o.country) == Some(country::VE) {
+                    ve_networks.insert(a);
+                }
+            }
+        }
+        assert_eq!(ve_networks.len(), 7); assert!((7..=7).contains(&ve_networks.len()), "{} VE networks in the US", ve_networks.len());
+        let share = ops.populations().share_of(country::VE, &ve_networks);
+        assert!((0.06..=0.08).contains(&share), "≈7% of VE users: {share}");
+    }
+
+    #[test]
+    fn snapshots_validate_and_roundtrip() {
+        let ops = Operators::generate(42);
+        let builder = PeeringDbBuilder::new(&ops);
+        let snap = builder.snapshot(MonthStamp::new(2023, 6));
+        snap.validate().unwrap();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

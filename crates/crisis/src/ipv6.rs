@@ -1,0 +1,129 @@
+//! IPv6 adoption (Fig. 5): the Meta per-country request-share dataset.
+//!
+//! Each country follows a logistic adoption curve parameterised by a
+//! ceiling, a midpoint year, and a slope — the standard shape of the real
+//! Meta data. Venezuela's curve is crushed by the crisis: near zero until
+//! 2021 and only 1.5% by mid-2023. Leaders match the figure: Mexico and
+//! Brazil past 40%, Chile surging through 2022, the regional mean rising
+//! from under 5% (2018) through ≈11% (early 2021) to ≈20% (2023).
+
+use lacnet_types::{country, CountryCode, MonthStamp, TimeSeries};
+
+/// Logistic parameters: `(country, ceiling %, midpoint year, steepness)`.
+const ADOPTION: &[(&str, f64, f64, f64)] = &[
+    ("MX", 52.0, 2017.5, 0.55),
+    ("BR", 49.0, 2018.5, 0.55),
+    ("UY", 42.0, 2018.0, 0.60),
+    ("GY", 45.0, 2021.0, 0.90),
+    ("PE", 38.0, 2019.5, 0.60),
+    ("CL", 34.0, 2022.3, 1.90), // the 2022 surge
+    ("CO", 28.0, 2021.0, 0.80),
+    ("AR", 24.0, 2020.5, 0.60),
+    ("CR", 30.0, 2020.0, 0.70),
+    ("GT", 28.0, 2020.5, 0.70),
+    ("EC", 22.0, 2021.0, 0.70),
+    ("TT", 20.0, 2020.5, 0.60),
+    ("DO", 16.0, 2021.0, 0.60),
+    ("PA", 16.0, 2021.0, 0.60),
+    ("SR", 18.0, 2021.5, 0.70),
+    ("GF", 24.0, 2020.0, 0.70),
+    ("PY", 14.0, 2021.5, 0.70),
+    ("BO", 12.0, 2021.5, 0.60),
+    ("SV", 12.0, 2021.5, 0.60),
+    ("HN", 10.0, 2022.0, 0.60),
+    ("CW", 14.0, 2021.0, 0.60),
+    ("AW", 12.0, 2021.0, 0.60),
+    ("NI", 7.0, 2022.0, 0.60),
+    ("BZ", 6.0, 2022.0, 0.60),
+    ("HT", 3.0, 2022.5, 0.50),
+    ("CU", 2.0, 2023.0, 0.50),
+    ("BQ", 8.0, 2021.5, 0.60),
+    ("SX", 8.0, 2021.5, 0.60),
+    // Venezuela: the laggard — ≈1.5% by mid-2023, near zero before 2021.
+    ("VE", 2.6, 2023.4, 0.80),
+];
+
+/// The percentage of requests over IPv6 for `country` at `month`.
+pub fn adoption_pct(cc: CountryCode, month: MonthStamp) -> f64 {
+    let Some(&(_, cap, mid, k)) = ADOPTION.iter().find(|&&(c, ..)| c == cc.as_str()) else {
+        return 0.0;
+    };
+    let t = month.year() as f64 + (month.month() as f64 - 0.5) / 12.0;
+    cap / (1.0 + (-k * (t - mid)).exp())
+}
+
+/// Monthly adoption series for one country over `[start, end]`.
+pub fn adoption_series(cc: CountryCode, start: MonthStamp, end: MonthStamp) -> TimeSeries {
+    start.through(end).map(|m| (m, adoption_pct(cc, m))).collect()
+}
+
+/// The cross-country mean series (the Fig. 5 regional panel).
+pub fn regional_mean_series(start: MonthStamp, end: MonthStamp) -> TimeSeries {
+    let series: Vec<TimeSeries> = country::lacnic_codes()
+        .map(|cc| adoption_series(cc, start, end))
+        .collect();
+    let refs: Vec<&TimeSeries> = series.iter().collect();
+    lacnet_types::series::mean_of(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn venezuela_is_the_laggard() {
+        let ve_2018 = adoption_pct(country::VE, MonthStamp::new(2018, 1));
+        assert!(ve_2018 < 0.05, "near-zero in 2018: {ve_2018}");
+        let ve_2021 = adoption_pct(country::VE, MonthStamp::new(2021, 1));
+        assert!(ve_2021 < 0.5, "still near zero in 2021: {ve_2021}");
+        let ve_mid2023 = adoption_pct(country::VE, MonthStamp::new(2023, 7));
+        assert!((1.0..=2.0).contains(&ve_mid2023), "≈1.5% by mid-2023: {ve_mid2023}");
+    }
+
+    #[test]
+    fn leaders_match_fig5() {
+        let mx = adoption_pct(country::MX, MonthStamp::new(2023, 7));
+        let br = adoption_pct(country::BR, MonthStamp::new(2023, 7));
+        assert!(mx > 40.0, "MX {mx}");
+        assert!(br > 40.0, "BR {br}");
+        let ar = adoption_pct(country::AR, MonthStamp::new(2023, 7));
+        let cl = adoption_pct(country::CL, MonthStamp::new(2023, 7));
+        let co = adoption_pct(country::CO, MonthStamp::new(2023, 7));
+        for (name, v) in [("AR", ar), ("CL", cl), ("CO", co)] {
+            assert!((15.0..=35.0).contains(&v), "{name} around the 20% mark: {v}");
+        }
+    }
+
+    #[test]
+    fn chile_surges_in_2022() {
+        let before = adoption_pct(country::CL, MonthStamp::new(2021, 6));
+        let after = adoption_pct(country::CL, MonthStamp::new(2023, 1));
+        assert!(after > before * 2.0, "CL surge: {before} → {after}");
+    }
+
+    #[test]
+    fn regional_mean_trajectory() {
+        let mean = regional_mean_series(MonthStamp::new(2018, 1), MonthStamp::new(2023, 7));
+        let at = |y: i32, m: u8| mean.get(MonthStamp::new(y, m)).unwrap();
+        assert!(at(2018, 1) < 5.0, "2018 {}", at(2018, 1));
+        assert!((8.0..=14.0).contains(&at(2021, 1)), "2021 {}", at(2021, 1));
+        assert!((16.0..=24.0).contains(&at(2023, 7)), "2023 {}", at(2023, 7));
+        // Monotone growth.
+        let vals: Vec<f64> = mean.iter().map(|(_, v)| v).collect();
+        assert!(vals.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn unknown_country_is_zero() {
+        assert_eq!(adoption_pct(country::US, MonthStamp::new(2020, 1)), 0.0);
+    }
+
+    #[test]
+    fn every_lacnic_country_has_a_curve() {
+        for cc in country::lacnic_codes() {
+            let v = adoption_pct(cc, MonthStamp::new(2023, 1));
+            assert!(v > 0.0, "{cc} missing from the adoption table");
+            assert!(v < 100.0);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # lacnet-crisis
+//!
+//! The generative world behind the reproduction. Real inputs to the study
+//! are gated (multi-terabyte M-Lab archives, licensed Telegeography data,
+//! rate-limited RIPE Atlas / PeeringDB APIs), so this crate builds a
+//! *world model*: a macro-economy simulator whose investment signal drives
+//! per-country infrastructure growth processes, each of which emits its
+//! dataset in the native format the corresponding substrate crate parses.
+//!
+//! Calibration follows the paper's quoted endpoints (oil −81%, GDP −70%,
+//! region facilities 180→552 with VE = 4, cables 13→54 with VE +ALBA only,
+//! IPv6 region ≈22% vs VE 1.5%, root replicas 59→138 with VE 2→0, VE
+//! download < 1 Mbps for a decade then 2.93, GPDNS RTT 36.56 ms vs region
+//! 17.74 ms, …); everything between the endpoints emerges from the growth
+//! processes. EXPERIMENTS.md records paper-vs-measured for every figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addressing;
+pub mod bandwidth;
+pub mod blackouts;
+pub mod cables;
+pub mod cdn;
+pub mod config;
+pub mod dns;
+pub mod economy;
+pub mod facilities;
+pub mod ipv6;
+pub mod operators;
+pub mod topology;
+pub mod websites;
+pub mod world;
+
+pub use config::WorldConfig;
+pub use economy::Economy;
+pub use world::World;

@@ -1,0 +1,124 @@
+//! Assembly: one call builds every dataset the study consumes.
+
+use crate::addressing::Addressing;
+use crate::bandwidth;
+use crate::cables;
+use crate::cdn;
+use crate::config::{windows, WorldConfig};
+use crate::dns::{self, DnsWorld};
+use crate::economy::Economy;
+use crate::facilities::PeeringDbBuilder;
+use crate::operators::Operators;
+use crate::topology::TopologyBuilder;
+use crate::websites;
+use lacnet_bgp::{PfxToAs, TopologyArchive};
+use lacnet_mlab::aggregate::MonthlyAggregator;
+use lacnet_offnets::certs::CertScan;
+use lacnet_peeringdb::SnapshotArchive;
+use lacnet_telegeo::CableMap;
+use lacnet_types::MonthStamp;
+use lacnet_webmeas::CountryTopSites;
+
+/// A fully generated world: every dataset of the study, consistent with
+/// one macro-economy and one seed.
+pub struct World {
+    /// The configuration it was generated from.
+    pub config: WorldConfig,
+    /// The macro-economy (Fig. 1, Fig. 13).
+    pub economy: Economy,
+    /// The operator cast, as2org mapping and APNIC-style populations.
+    pub operators: Operators,
+    /// Monthly AS-relationship snapshots since 1998 (Figs. 8, 9).
+    pub topology: TopologyArchive,
+    /// The allocation ledger and announcement policy (Figs. 2, 14).
+    pub addressing: Addressing,
+    /// Monthly PeeringDB snapshots since 2018-04 (Figs. 3, 10, 15, 21).
+    pub peeringdb: SnapshotArchive,
+    /// The submarine cable map (Fig. 4).
+    pub cables: CableMap,
+    /// Probes, root deployment and GPDNS sites (Figs. 6, 12, 16, 17, 20).
+    pub dns: DnsWorld,
+    /// The streamed M-Lab aggregation (Fig. 11).
+    pub mlab: MonthlyAggregator,
+    /// Yearly TLS scans 2013–2021 (Figs. 7, 18).
+    pub cert_scans: Vec<CertScan>,
+    /// Top-site scrapes, January 2024 (Fig. 19).
+    pub top_sites: Vec<CountryTopSites>,
+}
+
+impl World {
+    /// Generate the world. Deterministic in `config.seed`.
+    pub fn generate(config: WorldConfig) -> World {
+        let economy = Economy::generate(config.economy_start, config.end);
+        let operators = Operators::generate(config.seed);
+        let topology =
+            TopologyBuilder::new(&operators, &economy).build(windows::serial1_start(), config.end);
+        let addressing = Addressing::generate(&operators, &economy);
+        let peeringdb =
+            PeeringDbBuilder::new(&operators).build(windows::peeringdb_start(), config.end);
+        let cables = cables::build_cable_map();
+        let dns = dns::build_dns_world(config.seed);
+        let mlab = bandwidth::build_aggregate(
+            &operators,
+            config.seed,
+            config.mlab_volume_scale,
+            windows::mlab_start(),
+            config.end,
+        );
+        let cert_scans = cdn::build_cert_scans(&operators);
+        let top_sites = websites::build_top_sites(config.seed);
+        World {
+            config,
+            economy,
+            operators,
+            topology,
+            addressing,
+            peeringdb,
+            cables,
+            dns,
+            mlab,
+            cert_scans,
+            top_sites,
+        }
+    }
+
+    /// The announced-prefix table for `month`, filtered by valley-free
+    /// visibility over that month's topology.
+    pub fn pfx2as_at(&self, month: MonthStamp) -> PfxToAs {
+        match self.topology.get(month) {
+            Some(graph) => self.addressing.pfx2as_at(month, graph),
+            None => PfxToAs::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lacnet_types::country;
+
+    #[test]
+    fn world_generates_consistently() {
+        let world = World::generate(WorldConfig::test());
+        // Every dataset is populated.
+        assert!(!world.topology.is_empty());
+        assert!(!world.peeringdb.is_empty());
+        assert!(!world.cables.is_empty());
+        assert!(!world.dns.probes.is_empty());
+        assert!(world.mlab.group_count() > 1000);
+        assert_eq!(world.cert_scans.len(), 9);
+        assert_eq!(world.top_sites.len(), 9);
+        // Cross-dataset consistency: CANTV appears in the topology, the
+        // ledger, the M-Lab aggregate's country and the populations.
+        let m = MonthStamp::new(2020, 6);
+        assert!(world.topology.get(m).unwrap().contains(lacnet_types::Asn(8048)));
+        assert!(world
+            .addressing
+            .ledger()
+            .space_of_holder(lacnet_types::Asn(8048), m.last_day())
+            > 0);
+        assert!(world.mlab.test_count_for(country::VE) > 0);
+        let table = world.pfx2as_at(m);
+        assert!(!table.prefixes_of(lacnet_types::Asn(8048)).is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! TLS certificates and scan snapshots.
+
+use lacnet_types::{Asn, CountryCode, Error, MonthStamp, Result};
+use serde::{Deserialize, Serialize};
+
+/// The identity content of one served TLS certificate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TlsCert {
+    /// Subject common name.
+    pub subject_cn: String,
+    /// Subject alternative names (dnsNames).
+    pub dns_names: Vec<String>,
+}
+
+impl TlsCert {
+    /// All names the certificate asserts (CN first, then SANs).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        std::iter::once(self.subject_cn.as_str()).chain(self.dns_names.iter().map(String::as_str))
+    }
+}
+
+/// One scan observation: a certificate served from an address inside an AS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanRecord {
+    /// AS hosting the responding address.
+    pub asn: Asn,
+    /// Country the AS is registered in.
+    pub country: CountryCode,
+    /// The certificate presented.
+    pub cert: TlsCert,
+}
+
+/// One scan snapshot (the artifacts are yearly; we key by month for
+/// uniformity with every other dataset).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CertScan {
+    /// When the scan ran.
+    pub month: MonthStamp,
+    /// Every observation.
+    pub records: Vec<ScanRecord>,
+}
+
+impl CertScan {
+    /// An empty scan for `month`.
+    pub fn new(month: MonthStamp) -> Self {
+        CertScan { month, records: Vec::new() }
+    }
+
+    /// Add an observation.
+    pub fn push(&mut self, record: ScanRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the scan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// JSON serialisation (the stand-in for the published artifacts).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("scan serialisation cannot fail")
+    }
+
+    /// Parse a JSON scan.
+    pub fn from_json(text: &str) -> Result<Self> {
+        serde_json::from_str(text).map_err(|e| Error::parse("cert scan JSON", &e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lacnet_types::country;
+
+    #[test]
+    fn cert_names_iterates_cn_and_sans() {
+        let cert = TlsCert {
+            subject_cn: "cache.google.com".into(),
+            dns_names: vec!["*.gstatic.com".into(), "youtube.com".into()],
+        };
+        let names: Vec<&str> = cert.names().collect();
+        assert_eq!(names, vec!["cache.google.com", "*.gstatic.com", "youtube.com"]);
+    }
+
+    #[test]
+    fn scan_roundtrip() {
+        let mut scan = CertScan::new(MonthStamp::new(2019, 1));
+        scan.push(ScanRecord {
+            asn: Asn(8048),
+            country: country::VE,
+            cert: TlsCert { subject_cn: "cache.google.com".into(), dns_names: vec![] },
+        });
+        assert_eq!(scan.len(), 1);
+        let back = CertScan::from_json(&scan.to_json()).unwrap();
+        assert_eq!(back, scan);
+        assert!(CertScan::from_json("{]").is_err());
+    }
+}

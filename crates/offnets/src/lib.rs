@@ -1,0 +1,30 @@
+//! # lacnet-offnets
+//!
+//! Hypergiant off-net detection in the style of Gigis et al. (SIGCOMM'21),
+//! whose published artifacts the study reuses (§5.5, Appendix G), plus the
+//! two auxiliary datasets the population weighting needs:
+//!
+//! * an **as2org+**-style AS-to-organisation mapping (deployments are
+//!   aggregated at the organisational level to remove per-AS churn);
+//! * **APNIC-style per-AS eyeball population estimates** (Table 1,
+//!   Figs. 7/10/18/21 all weight by "% of the country's Internet users").
+//!
+//! The detection method itself: scan TLS certificates served from
+//! addresses inside *other* networks; a certificate whose subject or
+//! dnsNames belong to a hypergiant, served from an AS that is not the
+//! hypergiant's own, reveals an off-net replica.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod as2org;
+pub mod certs;
+pub mod detect;
+pub mod hypergiants;
+pub mod population;
+
+pub use as2org::AsOrgMap;
+pub use certs::{CertScan, ScanRecord, TlsCert};
+pub use detect::{detect_offnets, OffnetHosts};
+pub use hypergiants::{Hypergiant, HYPERGIANTS};
+pub use population::PopulationEstimates;

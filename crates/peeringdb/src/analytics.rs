@@ -1,0 +1,253 @@
+//! Longitudinal PeeringDB analytics.
+//!
+//! The derivations behind Fig. 3 (facility growth), Fig. 15 (networks per
+//! Venezuelan facility over time), and the IXP-presence matrices of
+//! Figs. 10 and 21 (which ASNs peer at which exchanges; the population
+//! weighting happens in `lacnet-core` where APNIC estimates are in scope).
+
+use crate::model::PdbId;
+use crate::snapshot::SnapshotArchive;
+use lacnet_types::{Asn, CountryCode, MonthStamp, TimeSeries};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Monthly facility count for one country — a Fig. 3 line.
+pub fn facility_count_series(archive: &SnapshotArchive, country: CountryCode) -> TimeSeries {
+    archive
+        .iter()
+        .map(|(m, s)| (m, s.facilities_in(country).len() as f64))
+        .collect()
+}
+
+/// Monthly total facility count across a set of countries — the Fig. 3
+/// regional panel.
+pub fn facility_total_series(
+    archive: &SnapshotArchive,
+    countries: &[CountryCode],
+) -> TimeSeries {
+    let set: BTreeSet<CountryCode> = countries.iter().copied().collect();
+    archive
+        .iter()
+        .map(|(m, s)| {
+            let total = s.fac.iter().filter(|f| set.contains(&f.country)).count();
+            (m, total as f64)
+        })
+        .collect()
+}
+
+/// The Fig. 15 matrix: per-facility network counts over time for one
+/// country's facilities.
+#[derive(Debug, Clone)]
+pub struct FacilityPresence {
+    /// Facility names, one row each (ordered by first appearance id).
+    pub facilities: Vec<(PdbId, String)>,
+    /// Months, one column each.
+    pub months: Vec<MonthStamp>,
+    /// `counts[row][col]` — number of networks at that facility that
+    /// month; `None` when the facility was not yet registered.
+    pub counts: Vec<Vec<Option<usize>>>,
+}
+
+impl FacilityPresence {
+    /// Build the matrix for every facility ever registered in `country`.
+    pub fn compute(archive: &SnapshotArchive, country: CountryCode) -> Self {
+        let months: Vec<MonthStamp> = archive.iter().map(|(m, _)| m).collect();
+        // Collect the union of facilities across all months.
+        let mut facilities: BTreeMap<PdbId, String> = BTreeMap::new();
+        for (_, snap) in archive.iter() {
+            for f in snap.facilities_in(country) {
+                facilities.entry(f.id).or_insert_with(|| f.name.clone());
+            }
+        }
+        let fac_list: Vec<(PdbId, String)> =
+            facilities.into_iter().collect();
+        let mut counts = vec![vec![None; months.len()]; fac_list.len()];
+        for (col, (_, snap)) in archive.iter().enumerate() {
+            for (row, (fac_id, _)) in fac_list.iter().enumerate() {
+                if snap.facility(*fac_id).is_some() {
+                    counts[row][col] = Some(snap.networks_at_facility(*fac_id).len());
+                }
+            }
+        }
+        FacilityPresence { facilities: fac_list, months, counts }
+    }
+
+    /// The latest network count for the named facility (substring match).
+    pub fn latest_count(&self, name_fragment: &str) -> Option<usize> {
+        let row = self
+            .facilities
+            .iter()
+            .position(|(_, n)| n.contains(name_fragment))?;
+        self.counts[row].iter().rev().flatten().next().copied()
+    }
+}
+
+/// The roster behind Table 2: every `(facility name, ASN)` pair ever
+/// observed in `country` across the archive.
+pub fn facility_roster(
+    archive: &SnapshotArchive,
+    country: CountryCode,
+) -> BTreeMap<String, BTreeSet<Asn>> {
+    let mut roster: BTreeMap<String, BTreeSet<Asn>> = BTreeMap::new();
+    for (_, snap) in archive.iter() {
+        for f in snap.facilities_in(country) {
+            let entry = roster.entry(f.name.clone()).or_default();
+            entry.extend(snap.networks_at_facility(f.id));
+        }
+    }
+    roster
+}
+
+/// For the latest snapshot: the ASN set present at the largest IXP (by
+/// member count) in each of the given countries — the rows of Fig. 10.
+pub fn largest_ixp_members(
+    archive: &SnapshotArchive,
+    countries: &[CountryCode],
+) -> BTreeMap<CountryCode, (String, Vec<Asn>)> {
+    let Some((_, snap)) = archive.latest() else {
+        return BTreeMap::new();
+    };
+    let mut out = BTreeMap::new();
+    for &cc in countries {
+        let best = snap
+            .ix
+            .iter()
+            .filter(|ix| ix.country == cc)
+            .map(|ix| (ix, snap.networks_at_ixp(ix.id)))
+            .max_by_key(|(_, members)| members.len());
+        if let Some((ix, members)) = best {
+            if !members.is_empty() {
+                out.insert(cc, (ix.name.clone(), members));
+            }
+        }
+    }
+    out
+}
+
+/// For the latest snapshot: all IXPs in `country` with their member ASNs —
+/// the columns of the Fig. 21 US-IXP matrix.
+pub fn ixp_members_in(
+    archive: &SnapshotArchive,
+    country: CountryCode,
+) -> Vec<(String, Vec<Asn>)> {
+    let Some((_, snap)) = archive.latest() else {
+        return Vec::new();
+    };
+    let mut out: Vec<(String, Vec<Asn>)> = snap
+        .ix
+        .iter()
+        .filter(|ix| ix.country == country)
+        .map(|ix| (ix.name.clone(), snap.networks_at_ixp(ix.id)))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Facility, Ix, NetFac, NetIxLan, Network};
+    use crate::snapshot::Snapshot;
+    use lacnet_types::country;
+
+    fn m(y: i32, mo: u8) -> MonthStamp {
+        MonthStamp::new(y, mo)
+    }
+
+    /// Two-month archive: VE gains a facility in month 2; the existing
+    /// facility gains a member.
+    fn toy_archive() -> SnapshotArchive {
+        let net = vec![
+            Network { id: 1, asn: Asn(8053), name: "IFX".into(), info_type: "NSP".into() },
+            Network { id: 2, asn: Asn(265641), name: "CIX".into(), info_type: "Cable/DSL/ISP".into() },
+            Network { id: 3, asn: Asn(52320), name: "V.tal".into(), info_type: "NSP".into() },
+        ];
+        let mut s1 = Snapshot::new();
+        s1.net = net.clone();
+        s1.fac = vec![Facility { id: 10, name: "Lumen La Urbina".into(), city: "Caracas".into(), country: country::VE }];
+        s1.ix = vec![Ix { id: 30, name: "IX.br (SP)".into(), city: "Sao Paulo".into(), country: country::BR }];
+        s1.netfac = vec![NetFac { net_id: 1, fac_id: 10 }];
+        s1.netixlan = vec![NetIxLan { net_id: 3, ix_id: 30, speed: 100_000 }];
+
+        let mut s2 = Snapshot::new();
+        s2.net = net;
+        s2.fac = vec![
+            Facility { id: 10, name: "Cirion La Urbina".into(), city: "Caracas".into(), country: country::VE },
+            Facility { id: 11, name: "Daycohost - Caracas".into(), city: "Caracas".into(), country: country::VE },
+        ];
+        s2.ix = vec![Ix { id: 30, name: "IX.br (SP)".into(), city: "Sao Paulo".into(), country: country::BR }];
+        s2.netfac = vec![
+            NetFac { net_id: 1, fac_id: 10 },
+            NetFac { net_id: 2, fac_id: 10 },
+            NetFac { net_id: 1, fac_id: 11 },
+        ];
+        s2.netixlan = vec![
+            NetIxLan { net_id: 3, ix_id: 30, speed: 100_000 },
+            NetIxLan { net_id: 2, ix_id: 30, speed: 1_000 },
+        ];
+
+        let mut arch = SnapshotArchive::new();
+        arch.insert(m(2021, 11), s1);
+        arch.insert(m(2022, 2), s2);
+        arch
+    }
+
+    #[test]
+    fn facility_series() {
+        let arch = toy_archive();
+        let ve = facility_count_series(&arch, country::VE);
+        assert_eq!(ve.get(m(2021, 11)), Some(1.0));
+        assert_eq!(ve.get(m(2022, 2)), Some(2.0));
+        let br = facility_count_series(&arch, country::BR);
+        assert_eq!(br.get(m(2022, 2)), Some(0.0));
+        let total = facility_total_series(&arch, &[country::VE, country::BR]);
+        assert_eq!(total.get(m(2022, 2)), Some(2.0));
+    }
+
+    #[test]
+    fn presence_matrix_tracks_counts_and_registration() {
+        let arch = toy_archive();
+        let fp = FacilityPresence::compute(&arch, country::VE);
+        assert_eq!(fp.facilities.len(), 2);
+        assert_eq!(fp.months.len(), 2);
+        // Facility 10 has 1 then 2 members.
+        assert_eq!(fp.counts[0], vec![Some(1), Some(2)]);
+        // Facility 11 does not exist in month 1.
+        assert_eq!(fp.counts[1], vec![None, Some(1)]);
+        assert_eq!(fp.latest_count("La Urbina"), Some(2));
+        assert_eq!(fp.latest_count("Daycohost"), Some(1));
+        assert_eq!(fp.latest_count("GigaPOP"), None);
+    }
+
+    #[test]
+    fn roster_accumulates_over_time() {
+        let arch = toy_archive();
+        let roster = facility_roster(&arch, country::VE);
+        // Renamed facility appears under both names (they are distinct
+        // rows in the table, as in the paper's Lumen→Cirion note).
+        assert!(roster.contains_key("Lumen La Urbina"));
+        assert!(roster.contains_key("Cirion La Urbina"));
+        assert_eq!(roster["Cirion La Urbina"], BTreeSet::from([Asn(8053), Asn(265641)]));
+    }
+
+    #[test]
+    fn ixp_queries() {
+        let arch = toy_archive();
+        let largest = largest_ixp_members(&arch, &[country::BR, country::VE]);
+        assert_eq!(largest.len(), 1, "VE has no IXP");
+        let (name, members) = &largest[&country::BR];
+        assert_eq!(name, "IX.br (SP)");
+        assert_eq!(members, &vec![Asn(52320), Asn(265641)]);
+        let us = ixp_members_in(&arch, country::US);
+        assert!(us.is_empty());
+    }
+
+    #[test]
+    fn empty_archive_yields_empty_results() {
+        let arch = SnapshotArchive::new();
+        assert!(facility_count_series(&arch, country::VE).is_empty());
+        assert!(largest_ixp_members(&arch, &[country::BR]).is_empty());
+        assert!(ixp_members_in(&arch, country::US).is_empty());
+        let fp = FacilityPresence::compute(&arch, country::VE);
+        assert!(fp.facilities.is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! # lacnet-peeringdb
+//!
+//! A PeeringDB data model mirroring the schema-v2 JSON dumps that CAIDA
+//! archives daily (and that the study samples on the first of each month
+//! from April 2018).
+//!
+//! Three of the paper's artifacts come straight from these snapshots:
+//!
+//! * Fig. 3 — the number of peering *facilities* per country over time
+//!   (region 180 → 552, Venezuela stuck at 4);
+//! * Fig. 15 / Table 2 — which networks are present at each Venezuelan
+//!   facility (`netfac` join);
+//! * Figs. 10 & 21 — which networks peer at which IXPs (`netixlan` join),
+//!   later weighted by eyeball populations in `lacnet-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod model;
+pub mod snapshot;
+
+pub use model::{Facility, Ix, IxId, NetFac, NetIxLan, Network, PdbId};
+pub use snapshot::{Snapshot, SnapshotArchive};

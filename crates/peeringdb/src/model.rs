@@ -1,0 +1,100 @@
+//! The PeeringDB object model (schema v2 subset).
+//!
+//! Only the tables and columns the study touches are modelled: `net`,
+//! `fac`, `ix`, and the join tables `netfac` and `netixlan`. Field names
+//! follow the real dump so serialised snapshots look like the archive's.
+
+use lacnet_types::{Asn, CountryCode};
+use serde::{Deserialize, Serialize};
+
+/// A PeeringDB row id.
+pub type PdbId = u32;
+
+/// An IXP row id (alias kept distinct for readability at call sites).
+pub type IxId = u32;
+
+/// A network (`net` table row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    /// Row id.
+    pub id: PdbId,
+    /// The network's ASN.
+    pub asn: Asn,
+    /// Display name.
+    pub name: String,
+    /// Self-reported type (`"NSP"`, `"Content"`, `"Cable/DSL/ISP"`, …).
+    pub info_type: String,
+}
+
+/// A colocation/peering facility (`fac` table row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Facility {
+    /// Row id.
+    pub id: PdbId,
+    /// Facility name, e.g. `"Cirion La Urbina"`.
+    pub name: String,
+    /// City.
+    pub city: String,
+    /// ISO country code.
+    pub country: CountryCode,
+}
+
+/// An Internet exchange point (`ix` table row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ix {
+    /// Row id.
+    pub id: IxId,
+    /// IXP name, e.g. `"IX.br (SP)"`.
+    pub name: String,
+    /// City.
+    pub city: String,
+    /// ISO country code.
+    pub country: CountryCode,
+}
+
+/// Presence of a network at a facility (`netfac` join row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetFac {
+    /// `net` row id.
+    pub net_id: PdbId,
+    /// `fac` row id.
+    pub fac_id: PdbId,
+}
+
+/// A network's LAN port at an IXP (`netixlan` join row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetIxLan {
+    /// `net` row id.
+    pub net_id: PdbId,
+    /// `ix` row id.
+    pub ix_id: IxId,
+    /// Port speed in Mbit/s.
+    pub speed: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lacnet_types::country;
+
+    #[test]
+    fn serde_shapes_match_dump_style() {
+        let f = Facility {
+            id: 1,
+            name: "Cirion La Urbina".into(),
+            city: "Caracas".into(),
+            country: country::VE,
+        };
+        let json = serde_json::to_string(&f).unwrap();
+        assert!(json.contains("\"country\":\"VE\""), "{json}");
+        let back: Facility = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn network_roundtrip() {
+        let n = Network { id: 7, asn: Asn(8048), name: "CANTV Servicios".into(), info_type: "NSP".into() };
+        let back: Network = serde_json::from_str(&serde_json::to_string(&n).unwrap()).unwrap();
+        assert_eq!(back, n);
+    }
+}

@@ -1,0 +1,24 @@
+//! # lacnet-registry
+//!
+//! The Internet-number-registry substrate: LACNIC delegation files and the
+//! IPv4 exhaustion-phase policy machine.
+//!
+//! §4 of the study joins monthly LACNIC delegation files against
+//! prefix-to-AS snapshots to split Venezuela's address space between
+//! *allocated* and *announced*, and notes that the 2014–2017 growth stall
+//! of both CANTV and Telefónica "aligns temporally with the implementation
+//! of phases 1 and 2 of LACNIC IPv4 exhaustion policies". This crate
+//! implements the NRO extended delegation-file format ([`delegation`]) and
+//! the published phase timeline ([`exhaustion`]) so the generator can make
+//! allocation decisions the same way the registry did.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delegation;
+pub mod exhaustion;
+pub mod ledger;
+
+pub use delegation::{DelegationFile, DelegationRecord, DelegationStatus, NumberResource};
+pub use exhaustion::ExhaustionPhase;
+pub use ledger::AllocationLedger;

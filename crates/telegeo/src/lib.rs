@@ -1,0 +1,16 @@
+//! # lacnet-telegeo
+//!
+//! A submarine-cable registry modelled on Telegeography's Submarine Cable
+//! Map: cables with landing points and ready-for-service (RFS) dates.
+//!
+//! Fig. 4 of the study counts, per country and per year, the cables whose
+//! landing points touch that country's shore — showing the LACNIC region
+//! growing from 13 to 54 cables between 2000 and 2024 while Venezuela
+//! added only the ALBA-1 link to Cuba.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cables;
+
+pub use cables::{Cable, CableMap, LandingPoint};

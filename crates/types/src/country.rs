@@ -1,0 +1,250 @@
+//! ISO 3166-1 alpha-2 country codes and the LACNIC service-region registry.
+//!
+//! The study contextualises every Venezuelan signal against the rest of the
+//! LACNIC region, with a recurring set of "comparable peers" (Argentina,
+//! Brazil, Chile, Colombia, Mexico, Uruguay — Appendix B). This module
+//! carries the static metadata those comparisons need: names, capital
+//! coordinates (for the geo/RTT models), subregion, and 2023 population.
+
+use crate::error::{Error, Result};
+use crate::geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A two-letter ISO 3166-1 alpha-2 country code, stored as two ASCII
+/// uppercase bytes so it is `Copy` and hashes cheaply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(try_from = "String", into = "String")]
+pub struct CountryCode([u8; 2]);
+
+impl CountryCode {
+    /// Construct from a 2-byte ASCII-alphabetic code; lowercase accepted.
+    pub fn new(code: &str) -> Result<Self> {
+        let bytes = code.as_bytes();
+        if bytes.len() != 2 || !bytes.iter().all(|b| b.is_ascii_alphabetic()) {
+            return Err(Error::parse("two-letter country code", code));
+        }
+        Ok(CountryCode([
+            bytes[0].to_ascii_uppercase(),
+            bytes[1].to_ascii_uppercase(),
+        ]))
+    }
+
+    /// Infallible constructor for static literals; panics on invalid input.
+    pub fn of(code: &str) -> Self {
+        Self::new(code).expect("invalid country code literal")
+    }
+
+    /// The code as a `&str`.
+    pub fn as_str(&self) -> &str {
+        // SAFETY-free: bytes are validated ASCII on construction.
+        std::str::from_utf8(&self.0).expect("country code is ASCII")
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for CountryCode {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self> {
+        Self::new(s)
+    }
+}
+
+impl TryFrom<String> for CountryCode {
+    type Error = Error;
+    fn try_from(s: String) -> Result<Self> {
+        Self::new(&s)
+    }
+}
+
+impl From<CountryCode> for String {
+    fn from(c: CountryCode) -> String {
+        c.as_str().to_owned()
+    }
+}
+
+/// Subregions of the LACNIC service region, used when the growth models
+/// need coarse geography (e.g. cable-route plausibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Subregion {
+    /// Continental South America.
+    SouthAmerica,
+    /// Central America including Mexico.
+    CentralAmerica,
+    /// Caribbean islands.
+    Caribbean,
+}
+
+/// Static metadata for one economy in the LACNIC region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountryInfo {
+    /// ISO alpha-2 code.
+    pub code: CountryCode,
+    /// English short name.
+    pub name: &'static str,
+    /// Capital (or main population centre hosting infrastructure).
+    pub capital: &'static str,
+    /// Coordinates of the capital, used by the geo/RTT models.
+    pub location: GeoPoint,
+    /// Subregion.
+    pub subregion: Subregion,
+    /// Approximate 2023 population, millions.
+    pub population_millions: f64,
+}
+
+macro_rules! country_table {
+    ($( $code:literal, $name:literal, $capital:literal, $lat:literal, $lon:literal, $sub:ident, $pop:literal; )*) => {
+        /// Every economy in the LACNIC service region tracked by the study.
+        pub const LACNIC_REGION: &[CountryInfo] = &[
+            $( CountryInfo {
+                code: CountryCode([$code.as_bytes()[0], $code.as_bytes()[1]]),
+                name: $name,
+                capital: $capital,
+                location: GeoPoint::new($lat, $lon),
+                subregion: Subregion::$sub,
+                population_millions: $pop,
+            }, )*
+        ];
+    };
+}
+
+country_table! {
+    "AR", "Argentina",           "Buenos Aires",   -34.60, -58.38, SouthAmerica,   46.2;
+    "BO", "Bolivia",             "La Paz",         -16.50, -68.15, SouthAmerica,   12.2;
+    "BQ", "Bonaire",             "Kralendijk",      12.15, -68.27, Caribbean,       0.02;
+    "BR", "Brazil",              "Sao Paulo",      -23.55, -46.63, SouthAmerica,  214.0;
+    "BZ", "Belize",              "Belmopan",        17.25, -88.77, CentralAmerica,  0.4;
+    "CL", "Chile",               "Santiago",       -33.45, -70.67, SouthAmerica,   19.5;
+    "CO", "Colombia",            "Bogota",           4.71, -74.07, SouthAmerica,   51.9;
+    "CR", "Costa Rica",          "San Jose",         9.93, -84.08, CentralAmerica,  5.2;
+    "CU", "Cuba",                "Havana",          23.11, -82.37, Caribbean,      11.2;
+    "CW", "Curacao",             "Willemstad",      12.11, -68.93, Caribbean,       0.19;
+    "DO", "Dominican Republic",  "Santo Domingo",   18.49, -69.93, Caribbean,      11.2;
+    "EC", "Ecuador",             "Quito",           -0.18, -78.47, SouthAmerica,   18.0;
+    "GF", "French Guiana",       "Cayenne",          4.92, -52.33, SouthAmerica,    0.3;
+    "GT", "Guatemala",           "Guatemala City",  14.63, -90.51, CentralAmerica, 17.6;
+    "GY", "Guyana",              "Georgetown",       6.80, -58.16, SouthAmerica,    0.8;
+    "HN", "Honduras",            "Tegucigalpa",     14.07, -87.19, CentralAmerica, 10.4;
+    "HT", "Haiti",               "Port-au-Prince",  18.54, -72.34, Caribbean,      11.6;
+    "MX", "Mexico",              "Mexico City",     19.43, -99.13, CentralAmerica,128.5;
+    "NI", "Nicaragua",           "Managua",         12.11, -86.24, CentralAmerica,  6.9;
+    "PA", "Panama",              "Panama City",      8.98, -79.52, CentralAmerica,  4.4;
+    "PE", "Peru",                "Lima",           -12.05, -77.04, SouthAmerica,   34.0;
+    "PY", "Paraguay",            "Asuncion",       -25.26, -57.58, SouthAmerica,    6.8;
+    "SR", "Suriname",            "Paramaribo",       5.85, -55.20, SouthAmerica,    0.6;
+    "SV", "El Salvador",         "San Salvador",    13.69, -89.22, CentralAmerica,  6.3;
+    "SX", "Sint Maarten",        "Philipsburg",     18.03, -63.05, Caribbean,       0.04;
+    "TT", "Trinidad and Tobago", "Port of Spain",   10.65, -61.51, Caribbean,       1.5;
+    "UY", "Uruguay",             "Montevideo",     -34.90, -56.19, SouthAmerica,    3.4;
+    "VE", "Venezuela",           "Caracas",         10.48, -66.90, SouthAmerica,   28.3;
+    "AW", "Aruba",               "Oranjestad",      12.52, -70.03, Caribbean,       0.11;
+}
+
+/// Venezuela.
+pub const VE: CountryCode = CountryCode([b'V', b'E']);
+/// Argentina.
+pub const AR: CountryCode = CountryCode([b'A', b'R']);
+/// Brazil.
+pub const BR: CountryCode = CountryCode([b'B', b'R']);
+/// Chile.
+pub const CL: CountryCode = CountryCode([b'C', b'L']);
+/// Colombia.
+pub const CO: CountryCode = CountryCode([b'C', b'O']);
+/// Mexico.
+pub const MX: CountryCode = CountryCode([b'M', b'X']);
+/// Uruguay.
+pub const UY: CountryCode = CountryCode([b'U', b'Y']);
+/// Costa Rica (the §5.1 state-incumbent counter-example).
+pub const CR: CountryCode = CountryCode([b'C', b'R']);
+/// Cuba (the ALBA cable's far end).
+pub const CU: CountryCode = CountryCode([b'C', b'U']);
+/// The United States — outside LACNIC but central to §6 and Appendix I.
+pub const US: CountryCode = CountryCode([b'U', b'S']);
+
+/// The "comparable peers" the paper highlights in vivid colours
+/// (Appendix B): Argentina, Brazil, Chile, Colombia, Mexico, Uruguay.
+pub const COMPARABLE_PEERS: &[CountryCode] = &[AR, BR, CL, CO, MX, UY];
+
+/// Look up static metadata for a LACNIC-region country.
+pub fn info(code: CountryCode) -> Option<&'static CountryInfo> {
+    LACNIC_REGION.iter().find(|c| c.code == code)
+}
+
+/// Iterate over all LACNIC-region country codes.
+pub fn lacnic_codes() -> impl Iterator<Item = CountryCode> {
+    LACNIC_REGION.iter().map(|c| c.code)
+}
+
+/// Whether `code` belongs to the LACNIC service region.
+pub fn in_lacnic(code: CountryCode) -> bool {
+    info(code).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_normalises_case() {
+        assert_eq!(CountryCode::new("ve").unwrap(), VE);
+        assert_eq!(CountryCode::new("Ve").unwrap().as_str(), "VE");
+    }
+
+    #[test]
+    fn code_rejects_bad_input() {
+        assert!(CountryCode::new("V").is_err());
+        assert!(CountryCode::new("VEN").is_err());
+        assert!(CountryCode::new("V1").is_err());
+        assert!(CountryCode::new("").is_err());
+    }
+
+    #[test]
+    fn registry_has_unique_codes() {
+        let mut codes: Vec<_> = lacnic_codes().collect();
+        let n = codes.len();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), n, "duplicate country in registry");
+        assert!(n >= 28, "paper aggregates 28 LACNIC countries in M-Lab");
+    }
+
+    #[test]
+    fn venezuela_metadata() {
+        let ve = info(VE).unwrap();
+        assert_eq!(ve.name, "Venezuela");
+        assert_eq!(ve.capital, "Caracas");
+        assert_eq!(ve.subregion, Subregion::SouthAmerica);
+        assert!(ve.population_millions > 25.0);
+    }
+
+    #[test]
+    fn peers_are_in_region() {
+        for &peer in COMPARABLE_PEERS {
+            assert!(in_lacnic(peer), "{peer} missing from registry");
+        }
+        assert!(!in_lacnic(US));
+    }
+
+    #[test]
+    fn capitals_are_plausible_coordinates() {
+        for c in LACNIC_REGION {
+            assert!(c.location.lat_deg().abs() <= 40.0, "{}", c.name);
+            assert!(c.location.lon_deg() < -40.0 && c.location.lon_deg() > -120.0, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&VE).unwrap();
+        assert_eq!(json, "\"VE\"");
+        let back: CountryCode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, VE);
+        assert!(serde_json::from_str::<CountryCode>("\"V1\"").is_err());
+    }
+}

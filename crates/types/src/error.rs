@@ -1,0 +1,107 @@
+//! Error type shared by the parsing and modelling layers.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while parsing dataset records or constructing model
+/// values.
+///
+/// The variants are deliberately coarse: dataset parsers attach the
+/// offending input via [`Error::parse`] so a failing line in a 10M-line
+/// archive can be located, while domain constructors use
+/// [`Error::invalid`] for out-of-range values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A textual record could not be parsed. Holds a description of what
+    /// was expected and the offending input fragment.
+    Parse {
+        /// What the parser expected (e.g. `"ipv4 prefix"`).
+        expected: &'static str,
+        /// The input fragment that failed to parse (truncated to 128 bytes).
+        input: String,
+    },
+    /// A value was syntactically fine but semantically out of range
+    /// (e.g. month 13, prefix length 33).
+    Invalid {
+        /// Description of the constraint that was violated.
+        what: &'static str,
+    },
+    /// A lookup referenced an entity that does not exist in the given
+    /// snapshot or registry (e.g. an unknown airport code).
+    Missing {
+        /// Description of the missing entity.
+        what: &'static str,
+        /// The key that was looked up.
+        key: String,
+    },
+}
+
+impl Error {
+    /// Build a [`Error::Parse`], truncating the echoed input to keep error
+    /// values small even when fed multi-kilobyte garbage lines.
+    pub fn parse(expected: &'static str, input: &str) -> Self {
+        let mut input = input.to_owned();
+        if input.len() > 128 {
+            input.truncate(128);
+            input.push('…');
+        }
+        Error::Parse { expected, input }
+    }
+
+    /// Build a [`Error::Invalid`].
+    pub fn invalid(what: &'static str) -> Self {
+        Error::Invalid { what }
+    }
+
+    /// Build a [`Error::Missing`].
+    pub fn missing(what: &'static str, key: impl Into<String>) -> Self {
+        Error::Missing { what, key: key.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { expected, input } => {
+                write!(f, "expected {expected}, got {input:?}")
+            }
+            Error::Invalid { what } => write!(f, "invalid value: {what}"),
+            Error::Missing { what, key } => write!(f, "unknown {what}: {key:?}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_truncates_long_input() {
+        let long = "x".repeat(1000);
+        let err = Error::parse("prefix", &long);
+        match err {
+            Error::Parse { input, .. } => {
+                assert!(input.len() < 140);
+                assert!(input.ends_with('…'));
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Error::parse("asn", "abc").to_string(),
+            "expected asn, got \"abc\""
+        );
+        assert_eq!(Error::invalid("month out of range").to_string(), "invalid value: month out of range");
+        assert_eq!(
+            Error::missing("airport code", "XXX").to_string(),
+            "unknown airport code: \"XXX\""
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # lacnet-types
+//!
+//! Foundational types shared by every crate in the `lacnet` workspace:
+//!
+//! * [`Asn`] — autonomous system numbers, plus the well-known ASNs that the
+//!   SIGCOMM 2024 Venezuelan-crisis study keys its analysis on.
+//! * [`CountryCode`] and the [`country`] registry — ISO 3166-1 alpha-2 codes
+//!   with metadata for every economy in the LACNIC service region.
+//! * [`Date`] / [`MonthStamp`] — proleptic-Gregorian civil dates and a
+//!   compact month index used for every longitudinal series in the study.
+//! * [`Ipv4Net`] and [`PrefixTrie`] — CIDR arithmetic and longest-prefix
+//!   matching for prefix-to-AS joins.
+//! * [`GeoPoint`] — great-circle geometry for the anycast/RTT models.
+//! * [`TimeSeries`] — the month-indexed series container all figures use.
+//! * [`stats`] — exact and streaming (P²) quantiles, log-normal sampling.
+//! * [`rng`] — self-contained deterministic PRNGs (SplitMix64,
+//!   xoshiro256**) so generated worlds are bit-stable across dependency
+//!   upgrades.
+//!
+//! Everything here is `no_std`-adjacent plain data: no I/O, no clocks, no
+//! global state. Higher crates layer dataset formats and simulators on top.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asn;
+pub mod country;
+pub mod date;
+pub mod error;
+pub mod geo;
+pub mod net;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod trie;
+
+pub use asn::Asn;
+pub use country::CountryCode;
+pub use date::{Date, MonthStamp};
+pub use error::{Error, Result};
+pub use geo::GeoPoint;
+pub use net::Ipv4Net;
+pub use series::TimeSeries;
+pub use trie::PrefixTrie;

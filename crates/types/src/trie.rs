@@ -1,0 +1,301 @@
+//! Binary radix trie for longest-prefix matching.
+//!
+//! Prefix-to-AS joins (§4, Appendix C: "which AS originates this address?")
+//! and delegation-file attribution need longest-prefix lookups over tens of
+//! thousands of prefixes per monthly snapshot. A path-compressed trie would
+//! be faster still, but a plain binary trie keyed on prefix bits is simple,
+//! predictable, and — as the `lacnet-bench` ablation shows — already orders
+//! of magnitude faster than a linear scan.
+
+use crate::net::Ipv4Net;
+use std::net::Ipv4Addr;
+
+/// A binary trie mapping IPv4 prefixes to values, answering exact,
+/// longest-prefix, and covering queries.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node { value: None, children: [None, None] }
+    }
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// Create an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie { root: Node::default(), len: 0 }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `value` under `prefix`, returning the previous value if the
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Ipv4Net, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Remove `prefix`, returning its value if present. Does not prune
+    /// empty interior nodes (snapshot tries are built once and dropped).
+    pub fn remove(&mut self, prefix: Ipv4Net) -> Option<V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].as_deref_mut()?;
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Ipv4Net) -> Option<&V> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Longest-prefix match for a single address: the most specific stored
+    /// prefix containing `ip`, with its value.
+    pub fn longest_match(&self, ip: Ipv4Addr) -> Option<(Ipv4Net, &V)> {
+        let addr = u32::from(ip);
+        let mut node = &self.root;
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..32u8 {
+            let b = ((addr >> (31 - i)) & 1) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| {
+            (Ipv4Net::truncating(ip, len), v)
+        })
+    }
+
+    /// All stored prefixes covering `ip`, least-specific first.
+    pub fn matches(&self, ip: Ipv4Addr) -> Vec<(Ipv4Net, &V)> {
+        let addr = u32::from(ip);
+        let mut out = Vec::new();
+        let mut node = &self.root;
+        if let Some(v) = node.value.as_ref() {
+            out.push((Ipv4Net::truncating(ip, 0), v));
+        }
+        for i in 0..32u8 {
+            let b = ((addr >> (31 - i)) & 1) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        out.push((Ipv4Net::truncating(ip, i + 1), v));
+                    }
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Iterate over every `(prefix, value)` pair in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Net, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        Self::walk(&self.root, 0, 0, &mut out);
+        out.into_iter()
+    }
+
+    fn walk<'a>(node: &'a Node<V>, addr: u32, depth: u8, out: &mut Vec<(Ipv4Net, &'a V)>) {
+        if let Some(v) = node.value.as_ref() {
+            out.push((Ipv4Net::truncating(Ipv4Addr::from(addr), depth), v));
+        }
+        if depth == 32 {
+            return;
+        }
+        if let Some(child) = node.children[0].as_deref() {
+            Self::walk(child, addr, depth + 1, out);
+        }
+        if let Some(child) = node.children[1].as_deref() {
+            Self::walk(child, addr | (1u32 << (31 - depth)), depth + 1, out);
+        }
+    }
+}
+
+impl<V> FromIterator<(Ipv4Net, V)> for PrefixTrie<V> {
+    fn from_iter<T: IntoIterator<Item = (Ipv4Net, V)>>(iter: T) -> Self {
+        let mut trie = PrefixTrie::new();
+        for (p, v) in iter {
+            trie.insert(p, v);
+        }
+        trie
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::net;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(net("186.24.0.0/17"), 8048u32), None);
+        assert_eq!(t.insert(net("186.24.0.0/17"), 6306), Some(8048));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(net("186.24.0.0/17")), Some(&6306));
+        assert_eq!(t.get(net("186.24.0.0/16")), None);
+        assert_eq!(t.remove(net("186.24.0.0/17")), Some(6306));
+        assert!(t.is_empty());
+        assert_eq!(t.remove(net("186.24.0.0/17")), None);
+    }
+
+    #[test]
+    fn longest_match_prefers_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("186.24.0.0/16"), "wide");
+        t.insert(net("186.24.128.0/17"), "narrow");
+        let ip = Ipv4Addr::new(186, 24, 200, 1);
+        let (p, v) = t.longest_match(ip).unwrap();
+        assert_eq!(p, net("186.24.128.0/17"));
+        assert_eq!(*v, "narrow");
+        let ip = Ipv4Addr::new(186, 24, 10, 1);
+        let (p, v) = t.longest_match(ip).unwrap();
+        assert_eq!(p, net("186.24.0.0/16"));
+        assert_eq!(*v, "wide");
+        assert!(t.longest_match(Ipv4Addr::new(10, 0, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn default_route_always_matches() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("0.0.0.0/0"), "default");
+        let (p, v) = t.longest_match(Ipv4Addr::new(200, 1, 2, 3)).unwrap();
+        assert!(p.is_default());
+        assert_eq!(*v, "default");
+    }
+
+    #[test]
+    fn matches_returns_chain() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("0.0.0.0/0"), 0);
+        t.insert(net("186.0.0.0/8"), 8);
+        t.insert(net("186.24.0.0/16"), 16);
+        t.insert(net("186.24.0.0/24"), 24);
+        let chain = t.matches(Ipv4Addr::new(186, 24, 0, 9));
+        let lens: Vec<u8> = chain.iter().map(|(p, _)| p.len()).collect();
+        assert_eq!(lens, vec![0, 8, 16, 24]);
+    }
+
+    #[test]
+    fn iter_in_address_order() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("200.35.64.0/18"), 3);
+        t.insert(net("10.0.0.0/8"), 1);
+        t.insert(net("186.24.0.0/17"), 2);
+        let prefixes: Vec<_> = t.iter().map(|(p, _)| p).collect();
+        assert_eq!(
+            prefixes,
+            vec![net("10.0.0.0/8"), net("186.24.0.0/17"), net("200.35.64.0/18")]
+        );
+    }
+
+    #[test]
+    fn slash32_entries() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("8.8.8.8/32"), "gpdns");
+        let (p, v) = t.longest_match(Ipv4Addr::new(8, 8, 8, 8)).unwrap();
+        assert_eq!(p, net("8.8.8.8/32"));
+        assert_eq!(*v, "gpdns");
+        assert!(t.longest_match(Ipv4Addr::new(8, 8, 8, 9)).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn trie_agrees_with_linear_scan(
+            entries in proptest::collection::vec((any::<u32>(), 8u8..=28), 1..60),
+            probes in proptest::collection::vec(any::<u32>(), 1..40),
+        ) {
+            let nets: Vec<(Ipv4Net, usize)> = entries
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, l))| (Ipv4Net::truncating(Ipv4Addr::from(a), l), i))
+                .collect();
+            // Deduplicate: trie keeps the last insert per prefix, so build
+            // the reference map the same way.
+            let mut trie = PrefixTrie::new();
+            let mut reference: Vec<(Ipv4Net, usize)> = Vec::new();
+            for &(p, i) in &nets {
+                trie.insert(p, i);
+                reference.retain(|(q, _)| *q != p);
+                reference.push((p, i));
+            }
+            for &probe in &probes {
+                let ip = Ipv4Addr::from(probe);
+                let expect = reference
+                    .iter()
+                    .filter(|(p, _)| p.contains(ip))
+                    .max_by_key(|(p, _)| p.len())
+                    .map(|&(p, i)| (p, i));
+                let got = trie.longest_match(ip).map(|(p, &i)| (p, i));
+                prop_assert_eq!(got, expect);
+            }
+        }
+
+        #[test]
+        fn len_tracks_distinct_prefixes(
+            entries in proptest::collection::vec((any::<u32>(), 0u8..=32), 0..80),
+        ) {
+            let mut trie = PrefixTrie::new();
+            let mut set = std::collections::BTreeSet::new();
+            for &(a, l) in &entries {
+                let p = Ipv4Net::truncating(Ipv4Addr::from(a), l);
+                trie.insert(p, ());
+                set.insert(p);
+            }
+            prop_assert_eq!(trie.len(), set.len());
+            prop_assert_eq!(trie.iter().count(), set.len());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Top-site scrape observations.
+
+use lacnet_types::{CountryCode, Error, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// What the scraper learned about one site, as seen from a local VPN
+/// vantage point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteObservation {
+    /// Registered domain.
+    pub domain: String,
+    /// Whether the landing page is served over HTTPS.
+    pub https: bool,
+    /// Authoritative DNS operator, and whether it is a third party.
+    pub dns_provider: Provider,
+    /// Certificate authority (empty provider when not HTTPS).
+    pub ca: Provider,
+    /// CDN fronting the site, if any; `None` means origin-hosted.
+    pub cdn: Option<Provider>,
+}
+
+/// A serving-infrastructure provider.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Provider {
+    /// Provider name (e.g. `"Cloudflare"`, `"self-hosted"`).
+    pub name: String,
+    /// Whether the provider is a third party relative to the site owner.
+    pub third_party: bool,
+}
+
+impl Provider {
+    /// A third-party provider.
+    pub fn third_party(name: &str) -> Self {
+        Provider { name: name.into(), third_party: true }
+    }
+
+    /// Self-hosted / first-party infrastructure.
+    pub fn self_hosted() -> Self {
+        Provider { name: "self-hosted".into(), third_party: false }
+    }
+}
+
+/// One country's top-site scrape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountryTopSites {
+    /// The vantage/ranking country.
+    pub country: CountryCode,
+    /// Observed sites, rank order.
+    pub sites: Vec<SiteObservation>,
+}
+
+impl CountryTopSites {
+    /// Create an empty list.
+    pub fn new(country: CountryCode) -> Self {
+        CountryTopSites { country, sites: Vec::new() }
+    }
+
+    /// The domains in this list.
+    pub fn domains(&self) -> BTreeSet<&str> {
+        self.sites.iter().map(|s| s.domain.as_str()).collect()
+    }
+
+    /// JSON serialisation.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("top-site serialisation cannot fail")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(text: &str) -> Result<Self> {
+        serde_json::from_str(text).map_err(|e| Error::parse("top-sites JSON", &e.to_string()))
+    }
+}
+
+/// For each country, the subset of its sites whose domain appears in *no
+/// other* country's list — the paper's unique-top-sites filter.
+pub fn unique_sites(lists: &[CountryTopSites]) -> Vec<CountryTopSites> {
+    use std::collections::BTreeMap;
+    let mut seen_in: BTreeMap<&str, usize> = BTreeMap::new();
+    for list in lists {
+        for d in list.domains() {
+            *seen_in.entry(d).or_insert(0) += 1;
+        }
+    }
+    lists
+        .iter()
+        .map(|list| CountryTopSites {
+            country: list.country,
+            sites: list
+                .sites
+                .iter()
+                .filter(|s| seen_in[s.domain.as_str()] == 1)
+                .cloned()
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lacnet_types::country;
+
+    pub(crate) fn obs(domain: &str, https: bool, dns3p: bool, ca3p: bool, cdn: Option<&str>) -> SiteObservation {
+        SiteObservation {
+            domain: domain.into(),
+            https,
+            dns_provider: if dns3p { Provider::third_party("Cloudflare DNS") } else { Provider::self_hosted() },
+            ca: if ca3p { Provider::third_party("DigiCert") } else { Provider::self_hosted() },
+            cdn: cdn.map(Provider::third_party),
+        }
+    }
+
+    #[test]
+    fn unique_filter_drops_shared_sites() {
+        let ve = CountryTopSites {
+            country: country::VE,
+            sites: vec![
+                obs("google.com", true, true, true, Some("Google")),
+                obs("banco-venezuela.ve", true, false, true, None),
+            ],
+        };
+        let ar = CountryTopSites {
+            country: country::AR,
+            sites: vec![
+                obs("google.com", true, true, true, Some("Google")),
+                obs("lanacion.ar", true, true, true, Some("Fastly")),
+            ],
+        };
+        let unique = unique_sites(&[ve, ar]);
+        assert_eq!(unique[0].sites.len(), 1);
+        assert_eq!(unique[0].sites[0].domain, "banco-venezuela.ve");
+        assert_eq!(unique[1].sites.len(), 1);
+        assert_eq!(unique[1].sites[0].domain, "lanacion.ar");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let list = CountryTopSites {
+            country: country::VE,
+            sites: vec![obs("el-sitio.ve", false, false, false, None)],
+        };
+        let back = CountryTopSites::from_json(&list.to_json()).unwrap();
+        assert_eq!(back, list);
+        assert!(CountryTopSites::from_json("[").is_err());
+    }
+
+    #[test]
+    fn empty_lists_are_fine() {
+        let unique = unique_sites(&[CountryTopSites::new(country::VE)]);
+        assert!(unique[0].sites.is_empty());
+        assert!(unique_sites(&[]).is_empty());
+    }
+}

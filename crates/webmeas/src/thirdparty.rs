@@ -1,0 +1,182 @@
+//! Third-party adoption metrics (the four Fig. 19 panels).
+
+use crate::scrape::CountryTopSites;
+use lacnet_types::CountryCode;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The four adoption dimensions of Fig. 19.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// Third-party authoritative DNS.
+    Dns,
+    /// HTTPS on the landing page.
+    Https,
+    /// Third-party certificate authority.
+    Ca,
+    /// Third-party CDN.
+    Cdn,
+}
+
+impl ServiceKind {
+    /// All four dimensions in the paper's panel order.
+    pub const ALL: [ServiceKind; 4] = [
+        ServiceKind::Dns,
+        ServiceKind::Https,
+        ServiceKind::Ca,
+        ServiceKind::Cdn,
+    ];
+
+    /// Panel label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ServiceKind::Dns => "DNS",
+            ServiceKind::Https => "HTTPS",
+            ServiceKind::Ca => "CA",
+            ServiceKind::Cdn => "CDN",
+        }
+    }
+}
+
+/// Adoption fractions per country and dimension.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdoptionReport {
+    /// `(country, kind) → fraction in [0, 1]`.
+    fractions: BTreeMap<(CountryCode, ServiceKind), f64>,
+}
+
+impl AdoptionReport {
+    /// Compute adoption over a set of (already unique-filtered) country
+    /// top-site lists. Countries with empty lists are omitted.
+    pub fn compute(lists: &[CountryTopSites]) -> Self {
+        let mut fractions = BTreeMap::new();
+        for list in lists {
+            let n = list.sites.len();
+            if n == 0 {
+                continue;
+            }
+            let frac = |count: usize| count as f64 / n as f64;
+            let dns = list.sites.iter().filter(|s| s.dns_provider.third_party).count();
+            let https = list.sites.iter().filter(|s| s.https).count();
+            let ca = list.sites.iter().filter(|s| s.https && s.ca.third_party).count();
+            let cdn = list
+                .sites
+                .iter()
+                .filter(|s| s.cdn.as_ref().is_some_and(|c| c.third_party))
+                .count();
+            fractions.insert((list.country, ServiceKind::Dns), frac(dns));
+            fractions.insert((list.country, ServiceKind::Https), frac(https));
+            fractions.insert((list.country, ServiceKind::Ca), frac(ca));
+            fractions.insert((list.country, ServiceKind::Cdn), frac(cdn));
+        }
+        AdoptionReport { fractions }
+    }
+
+    /// The adoption fraction for one country and dimension.
+    pub fn get(&self, country: CountryCode, kind: ServiceKind) -> Option<f64> {
+        self.fractions.get(&(country, kind)).copied()
+    }
+
+    /// Countries present in the report.
+    pub fn countries(&self) -> Vec<CountryCode> {
+        let mut v: Vec<CountryCode> = self.fractions.keys().map(|&(cc, _)| cc).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Cross-country mean for one dimension (the paper's "regional
+    /// average" annotations: DNS 0.32, HTTPS 0.60, CA 0.26, CDN 0.46).
+    pub fn regional_mean(&self, kind: ServiceKind) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .fractions
+            .iter()
+            .filter(|(&(_, k), _)| k == kind)
+            .map(|(_, &v)| v)
+            .collect();
+        if vals.is_empty() {
+            return None;
+        }
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+
+    /// Countries sorted ascending by adoption in one dimension — the bar
+    /// order of Fig. 19.
+    pub fn ranking(&self, kind: ServiceKind) -> Vec<(CountryCode, f64)> {
+        let mut v: Vec<(CountryCode, f64)> = self
+            .fractions
+            .iter()
+            .filter(|(&(_, k), _)| k == kind)
+            .map(|(&(cc, _), &f)| (cc, f))
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("fractions are finite").then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrape::{Provider, SiteObservation};
+    use lacnet_types::country;
+
+    fn obs(https: bool, dns3p: bool, ca3p: bool, cdn3p: bool) -> SiteObservation {
+        SiteObservation {
+            domain: format!("site-{https}-{dns3p}-{ca3p}-{cdn3p}.example"),
+            https,
+            dns_provider: if dns3p { Provider::third_party("NS1") } else { Provider::self_hosted() },
+            ca: if ca3p { Provider::third_party("LE") } else { Provider::self_hosted() },
+            cdn: cdn3p.then(|| Provider::third_party("Cloudflare")),
+        }
+    }
+
+    fn list(cc: CountryCode, sites: Vec<SiteObservation>) -> CountryTopSites {
+        CountryTopSites { country: cc, sites }
+    }
+
+    #[test]
+    fn fractions_per_dimension() {
+        let ve = list(
+            country::VE,
+            vec![
+                obs(true, true, true, false),
+                obs(true, false, true, true),
+                obs(false, false, false, false),
+                obs(true, false, false, false),
+            ],
+        );
+        let report = AdoptionReport::compute(&[ve]);
+        assert_eq!(report.get(country::VE, ServiceKind::Https), Some(0.75));
+        assert_eq!(report.get(country::VE, ServiceKind::Dns), Some(0.25));
+        assert_eq!(report.get(country::VE, ServiceKind::Ca), Some(0.5));
+        assert_eq!(report.get(country::VE, ServiceKind::Cdn), Some(0.25));
+    }
+
+    #[test]
+    fn ca_requires_https() {
+        // A site can't have a third-party CA counted without HTTPS.
+        let ve = list(country::VE, vec![obs(false, false, true, false)]);
+        let report = AdoptionReport::compute(&[ve]);
+        assert_eq!(report.get(country::VE, ServiceKind::Ca), Some(0.0));
+    }
+
+    #[test]
+    fn regional_mean_and_ranking() {
+        let ve = list(country::VE, vec![obs(true, false, false, false), obs(true, true, false, false)]);
+        let br = list(country::BR, vec![obs(true, true, true, true)]);
+        let report = AdoptionReport::compute(&[ve, br]);
+        assert_eq!(report.regional_mean(ServiceKind::Dns), Some(0.75));
+        let rank = report.ranking(ServiceKind::Dns);
+        assert_eq!(rank[0], (country::VE, 0.5));
+        assert_eq!(rank[1], (country::BR, 1.0));
+        assert_eq!(report.countries(), vec![country::BR, country::VE]);
+    }
+
+    #[test]
+    fn empty_lists_omitted() {
+        let report = AdoptionReport::compute(&[CountryTopSites::new(country::VE)]);
+        assert_eq!(report.get(country::VE, ServiceKind::Https), None);
+        assert_eq!(report.regional_mean(ServiceKind::Https), None);
+        assert!(report.ranking(ServiceKind::Https).is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! The substrates are not Venezuela-specific: this example assembles a
+//! tiny fictional country ("Meridia") from the raw building blocks — an
+//! AS topology with valley-free routing, a delegation ledger, probes and
+//! an anycast fleet — and answers the study's questions about it.
+//!
+//! ```text
+//! cargo run --example build_your_own_country
+//! ```
+
+use lacnet::atlas::{AnycastFleet, AnycastSite, Probe, SiteScope};
+use lacnet::bgp::propagation::RouteSim;
+use lacnet::bgp::{AsGraph, RelEdge};
+use lacnet::registry::ledger::{Allocation, AllocationLedger, PoolCarver};
+use lacnet::types::net::net;
+use lacnet::types::{country, geo, Asn, CountryCode, Date, GeoPoint, MonthStamp};
+
+fn main() {
+    // Meridia: a small coastal economy with one incumbent and two ISPs.
+    // (Using an ISO code from the region so the registry accepts it.)
+    let meridia: CountryCode = country::CR;
+    let incumbent = Asn(65_001);
+    let isp_a = Asn(65_002);
+    let isp_b = Asn(65_003);
+
+    // 1. Interdomain topology: the incumbent buys from two tier-1s, the
+    //    ISPs buy from the incumbent, and the ISPs peer with each other.
+    let graph = AsGraph::from_edges([
+        RelEdge::transit(Asn(3356), incumbent),
+        RelEdge::transit(Asn(1299), incumbent),
+        RelEdge::transit(incumbent, isp_a),
+        RelEdge::transit(incumbent, isp_b),
+        RelEdge::peering(isp_a, isp_b),
+    ]);
+    let sim = RouteSim::new(&graph);
+    let out = sim.propagate(isp_a);
+    println!("Meridia's topology: {} ASes, {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "  ISP-A's announcement reaches {} ASes; tier-1 visibility {:.0}%",
+        out.reach_count(),
+        out.visibility(&[Asn(3356), Asn(1299)]) * 100.0
+    );
+    println!(
+        "  ISP-B hears ISP-A via {:?} (the peering link, not transit)",
+        out.route(isp_b).expect("route exists").kind
+    );
+
+    // 2. Address space: carve a national pool, respecting overlaps.
+    let mut carver = PoolCarver::new(net("203.0.0.0/12"));
+    let mut ledger = AllocationLedger::new();
+    for (holder, len, year) in [(incumbent, 16u8, 2002), (isp_a, 18, 2008), (isp_b, 19, 2012)] {
+        let prefix = carver.carve(len).expect("pool has room");
+        ledger
+            .allocate(Allocation { country: meridia, holder, prefix, date: Date::ymd(year, 6, 1) })
+            .expect("no overlaps by construction");
+    }
+    println!("\nMeridia's registry (as a LACNIC-format delegation file):");
+    let file = ledger.to_delegation_file(Date::ymd(2024, 1, 1));
+    for line in file.to_text(Date::ymd(2024, 1, 1)).lines().take(8) {
+        println!("  {line}");
+    }
+
+    // 3. Measurement: two probes and an anycast service with one domestic
+    //    node. The capital probe is hauled abroad by the incumbent; the
+    //    border probe routes directly.
+    let mk_probe = |id, lat, lon, egress: Option<GeoPoint>| Probe {
+        id,
+        country: meridia,
+        location: GeoPoint::new(lat, lon),
+        asn: incumbent,
+        active_since: MonthStamp::new(2020, 1),
+        active_until: None,
+        egress,
+    };
+    let capital = mk_probe(1, 9.93, -84.08, Some(geo::airport("mia").unwrap().location));
+    let border = mk_probe(2, 8.60, -83.10, None);
+    let fleet = AnycastFleet::new(vec![
+        AnycastSite {
+            id: "domestic".into(),
+            location: GeoPoint::new(9.93, -84.08),
+            scope: SiteScope::Domestic(meridia),
+        },
+        AnycastSite {
+            id: "miami".into(),
+            location: geo::airport("mia").unwrap().location,
+            scope: SiteScope::Global,
+        },
+    ]);
+    println!("\nanycast catchment:");
+    for p in [&capital, &border] {
+        let site = fleet.catch(p).expect("a site is visible");
+        println!(
+            "  probe {} → {} ({:.0} km path)",
+            p.id,
+            site.id,
+            site.path_km(p)
+        );
+    }
+    println!("\nEvery piece above is the same API the Venezuelan reproduction uses.");
+}
