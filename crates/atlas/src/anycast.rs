@@ -15,10 +15,9 @@
 
 use crate::probes::Probe;
 use lacnet_types::{CountryCode, GeoPoint};
-use serde::{Deserialize, Serialize};
 
 /// Announcement scope of an anycast site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SiteScope {
     /// Globally announced: any probe may be caught.
     Global,
@@ -27,7 +26,7 @@ pub enum SiteScope {
 }
 
 /// One anycast site.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnycastSite {
     /// Stable identifier (for roots, the `letter/site/unit` identity).
     pub id: String,
@@ -53,15 +52,13 @@ impl AnycastSite {
         match (domestic, probe.egress) {
             // Domestic traffic stays domestic.
             (true, _) | (false, None) => probe.location.distance_km(self.location),
-            (false, Some(gw)) => {
-                probe.location.distance_km(gw) + gw.distance_km(self.location)
-            }
+            (false, Some(gw)) => probe.location.distance_km(gw) + gw.distance_km(self.location),
         }
     }
 }
 
 /// A set of simultaneously announced sites for one anycast service.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AnycastFleet {
     sites: Vec<AnycastSite>,
 }
@@ -116,7 +113,11 @@ mod tests {
     }
 
     fn site(id: &str, code: &str, scope: SiteScope) -> AnycastSite {
-        AnycastSite { id: id.into(), location: geo::airport(code).unwrap().location, scope }
+        AnycastSite {
+            id: id.into(),
+            location: geo::airport(code).unwrap().location,
+            scope,
+        }
     }
 
     #[test]
@@ -138,11 +139,23 @@ mod tests {
         ]);
         // Same probe, but its transit hauls everything through Miami:
         // Miami now wins (zero extra hop from the gateway).
-        let p = probe_at(8.6, -71.2, country::VE, Some(geo::airport("mia").unwrap().location));
+        let p = probe_at(
+            8.6,
+            -71.2,
+            country::VE,
+            Some(geo::airport("mia").unwrap().location),
+        );
         assert_eq!(fleet.catch(&p).unwrap().id, "mia");
         // And the path via the gateway is much longer than direct Bogotá.
         let bog = &fleet.sites()[0];
-        assert!(bog.path_km(&p) > 2.0 * geo::airport("bog").unwrap().location.distance_km(p.location));
+        assert!(
+            bog.path_km(&p)
+                > 2.0
+                    * geo::airport("bog")
+                        .unwrap()
+                        .location
+                        .distance_km(p.location)
+        );
     }
 
     #[test]
@@ -154,7 +167,11 @@ mod tests {
         let ve = probe_at(10.5, -66.9, country::VE, None);
         assert_eq!(fleet.catch(&ve).unwrap().id, "ccs-local");
         let br = probe_at(-23.5, -46.6, country::BR, None);
-        assert_eq!(fleet.catch(&br).unwrap().id, "mia", "domestic VE node invisible abroad");
+        assert_eq!(
+            fleet.catch(&br).unwrap().id,
+            "mia",
+            "domestic VE node invisible abroad"
+        );
     }
 
     #[test]
@@ -165,9 +182,18 @@ mod tests {
             "ccs",
             SiteScope::Domestic(country::VE),
         )]);
-        let p = probe_at(10.5, -66.9, country::VE, Some(geo::airport("mia").unwrap().location));
+        let p = probe_at(
+            10.5,
+            -66.9,
+            country::VE,
+            Some(geo::airport("mia").unwrap().location),
+        );
         let s = fleet.catch(&p).unwrap();
-        assert!(s.path_km(&p) < 50.0, "domestic path stays short, got {}", s.path_km(&p));
+        assert!(
+            s.path_km(&p) < 50.0,
+            "domestic path stays short, got {}",
+            s.path_km(&p)
+        );
     }
 
     #[test]

@@ -41,7 +41,11 @@ impl<'a> ChaosCampaign<'a> {
     }
 
     /// Build the anycast fleet for `letter` as announced in `month`.
-    fn fleet_for(&self, letter: RootLetter, month: MonthStamp) -> (AnycastFleet, BTreeMap<String, &'a RootInstance>) {
+    fn fleet_for(
+        &self,
+        letter: RootLetter,
+        month: MonthStamp,
+    ) -> (AnycastFleet, BTreeMap<String, &'a RootInstance>) {
         let mut sites = Vec::new();
         let mut by_id = BTreeMap::new();
         for inst in self.deployment.active(letter, month) {
@@ -181,7 +185,9 @@ mod tests {
             site: site.into(),
             unit: 1,
             country: cc,
-            location: geo::airport(site).map(|a| a.location).unwrap_or(GeoPoint::new(0.0, 0.0)),
+            location: geo::airport(site)
+                .map(|a| a.location)
+                .unwrap_or(GeoPoint::new(0.0, 0.0)),
             active_since: since,
             active_until: until,
             global,
@@ -197,11 +203,46 @@ mod tests {
         probes.add(probe(2, country::VE, "mar", None));
         probes.add(probe(3, country::CO, "bog", None));
         let mut dep = RootDeployment::new();
-        dep.add(instance(RootLetter::L, "ccs", country::VE, m(2016, 1), Some(m(2019, 6)), false));
-        dep.add(instance(RootLetter::F, "ccs", country::VE, m(2016, 1), Some(m(2018, 3)), false));
-        dep.add(instance(RootLetter::L, "bog", country::CO, m(2016, 1), None, true));
-        dep.add(instance(RootLetter::L, "mia", country::US, m(2016, 1), None, true));
-        dep.add(instance(RootLetter::F, "mia", country::US, m(2016, 1), None, true));
+        dep.add(instance(
+            RootLetter::L,
+            "ccs",
+            country::VE,
+            m(2016, 1),
+            Some(m(2019, 6)),
+            false,
+        ));
+        dep.add(instance(
+            RootLetter::F,
+            "ccs",
+            country::VE,
+            m(2016, 1),
+            Some(m(2018, 3)),
+            false,
+        ));
+        dep.add(instance(
+            RootLetter::L,
+            "bog",
+            country::CO,
+            m(2016, 1),
+            None,
+            true,
+        ));
+        dep.add(instance(
+            RootLetter::L,
+            "mia",
+            country::US,
+            m(2016, 1),
+            None,
+            true,
+        ));
+        dep.add(instance(
+            RootLetter::F,
+            "mia",
+            country::US,
+            m(2016, 1),
+            None,
+            true,
+        ));
         (probes, dep)
     }
 
@@ -216,7 +257,10 @@ mod tests {
             .filter(|o| o.probe_country == country::VE && o.letter == RootLetter::L)
             .collect();
         assert_eq!(ve_l.len(), 2);
-        assert!(ve_l.iter().all(|o| o.txt == "ccs01.l.root-servers.org"), "{ve_l:?}");
+        assert!(
+            ve_l.iter().all(|o| o.txt == "ccs01.l.root-servers.org"),
+            "{ve_l:?}"
+        );
         // Colombian probe cannot see the VE domestic node; Bogotá global wins.
         let co_l = obs
             .iter()
@@ -260,7 +304,9 @@ mod tests {
         let (probes, dep) = world();
         let campaign = ChaosCampaign::new(&probes, &dep);
         let obs = campaign.run_month(m(2017, 1));
-        assert!(obs.iter().all(|o| matches!(o.letter, RootLetter::L | RootLetter::F)));
+        assert!(obs
+            .iter()
+            .all(|o| matches!(o.letter, RootLetter::L | RootLetter::F)));
     }
 
     #[test]

@@ -84,7 +84,11 @@ fn err(txt: &str) -> Error {
 
 /// Split a trailing decimal unit off a token: `"ccs12"` → `("ccs", 12)`.
 fn split_trailing_unit(token: &str) -> Option<(&str, u8)> {
-    let digits = token.chars().rev().take_while(|c| c.is_ascii_digit()).count();
+    let digits = token
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_digit())
+        .count();
     if digits == 0 || digits == token.len() {
         return None;
     }
@@ -140,7 +144,9 @@ pub fn decode(letter: RootLetter, txt: &str) -> Result<SiteRef> {
         }
         RootLetter::C => {
             // <site><unit>b.c.root-servers.org
-            let rest = txt.strip_suffix("b.c.root-servers.org").ok_or_else(|| err(txt))?;
+            let rest = txt
+                .strip_suffix("b.c.root-servers.org")
+                .ok_or_else(|| err(txt))?;
             let (site, unit) = split_trailing_unit(rest).ok_or_else(|| err(txt))?;
             if !valid_site(site) {
                 return Err(err(txt));
@@ -150,7 +156,9 @@ pub fn decode(letter: RootLetter, txt: &str) -> Result<SiteRef> {
         RootLetter::D => {
             // dns<unit>.<site>.d.root-servers.net
             let rest = txt.strip_prefix("dns").ok_or_else(|| err(txt))?;
-            let rest = rest.strip_suffix(".d.root-servers.net").ok_or_else(|| err(txt))?;
+            let rest = rest
+                .strip_suffix(".d.root-servers.net")
+                .ok_or_else(|| err(txt))?;
             let (unit, site) = rest.split_once('.').ok_or_else(|| err(txt))?;
             let unit: u8 = unit.parse().map_err(|_| err(txt))?;
             if !valid_site(site) {
@@ -171,7 +179,9 @@ pub fn decode(letter: RootLetter, txt: &str) -> Result<SiteRef> {
         }
         RootLetter::F => {
             // <site><unit>a.f.root-servers.org
-            let rest = txt.strip_suffix("a.f.root-servers.org").ok_or_else(|| err(txt))?;
+            let rest = txt
+                .strip_suffix("a.f.root-servers.org")
+                .ok_or_else(|| err(txt))?;
             let (site, unit) = split_trailing_unit(rest).ok_or_else(|| err(txt))?;
             if !valid_site(site) {
                 return Err(err(txt));
@@ -234,7 +244,9 @@ pub fn decode(letter: RootLetter, txt: &str) -> Result<SiteRef> {
                 Ok(mk(&site, None, Some(cc)))
             } else {
                 // <site><unit:02>.l.root-servers.org
-                let rest = txt.strip_suffix(".l.root-servers.org").ok_or_else(|| err(txt))?;
+                let rest = txt
+                    .strip_suffix(".l.root-servers.org")
+                    .ok_or_else(|| err(txt))?;
                 let (site, unit) = split_trailing_unit(rest).ok_or_else(|| err(txt))?;
                 if !valid_site(site) {
                     return Err(err(txt));
@@ -260,7 +272,13 @@ mod tests {
     use super::*;
     use lacnet_types::{country, GeoPoint, MonthStamp};
 
-    fn instance(letter: RootLetter, site: &str, unit: u8, cc: CountryCode, year: i32) -> RootInstance {
+    fn instance(
+        letter: RootLetter,
+        site: &str,
+        unit: u8,
+        cc: CountryCode,
+        year: i32,
+    ) -> RootInstance {
         RootInstance {
             letter,
             site: site.into(),
@@ -288,13 +306,21 @@ mod tests {
         let l_new = decode(RootLetter::L, "aa.ve-mai.l.root").unwrap();
         assert_eq!(l_new.site, "mai");
         assert_eq!(l_new.country_hint, Some(country::VE));
-        assert_eq!(l_new.country(), Some(country::VE), "hint beats airport table");
+        assert_eq!(
+            l_new.country(),
+            Some(country::VE),
+            "hint beats airport table"
+        );
     }
 
     #[test]
     fn encode_decode_roundtrip_all_letters() {
         for letter in RootLetter::ALL {
-            for (site, cc) in [("ccs", country::VE), ("bog", country::CO), ("gru", country::BR)] {
+            for (site, cc) in [
+                ("ccs", country::VE),
+                ("bog", country::CO),
+                ("gru", country::BR),
+            ] {
                 for year in [2016, 2021] {
                     let inst = instance(letter, site, 2, cc, year);
                     let txt = encode(&inst);
@@ -330,7 +356,10 @@ mod tests {
     fn malformed_inputs_rejected() {
         for letter in RootLetter::ALL {
             assert!(decode(letter, "").is_err(), "{letter}: empty");
-            assert!(decode(letter, "completely-unrelated-string-1234").is_err(), "{letter}");
+            assert!(
+                decode(letter, "completely-unrelated-string-1234").is_err(),
+                "{letter}"
+            );
             assert!(decode(letter, "...").is_err(), "{letter}");
         }
         // Wrong-letter shapes must not decode.

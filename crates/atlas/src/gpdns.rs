@@ -11,12 +11,11 @@ use crate::anycast::{AnycastFleet, AnycastSite, SiteScope};
 use crate::probes::{Probe, ProbeId, ProbeRegistry};
 use lacnet_types::rng::Rng;
 use lacnet_types::stats;
-use lacnet_types::{geo, CountryCode, GeoPoint, MonthStamp, TimeSeries};
-use serde::{Deserialize, Serialize};
+use lacnet_types::{geo, sweep, CountryCode, GeoPoint, MonthStamp, TimeSeries};
 use std::collections::BTreeMap;
 
 /// One Google Public DNS point of presence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpdnsSite {
     /// Site identifier (airport-style).
     pub id: String,
@@ -31,12 +30,12 @@ pub struct GpdnsSite {
 impl GpdnsSite {
     /// Whether the site answered queries in `month`.
     pub fn active_in(&self, month: MonthStamp) -> bool {
-        month >= self.active_since && self.active_until.map_or(true, |u| month <= u)
+        month >= self.active_since && self.active_until.is_none_or(|u| month <= u)
     }
 }
 
 /// Tunable latency model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyModel {
     /// Fibre path stretch over the great circle.
     pub stretch: f64,
@@ -111,8 +110,18 @@ pub struct GpdnsCampaign<'a> {
 
 impl<'a> GpdnsCampaign<'a> {
     /// Create a campaign over probes and the GPDNS site deployment.
-    pub fn new(probes: &'a ProbeRegistry, sites: &'a [GpdnsSite], model: LatencyModel, seed: u64) -> Self {
-        GpdnsCampaign { probes, sites, model, seed }
+    pub fn new(
+        probes: &'a ProbeRegistry,
+        sites: &'a [GpdnsSite],
+        model: LatencyModel,
+        seed: u64,
+    ) -> Self {
+        GpdnsCampaign {
+            probes,
+            sites,
+            model,
+            seed,
+        }
     }
 
     fn fleet_for(&self, month: MonthStamp) -> AnycastFleet {
@@ -138,7 +147,9 @@ impl<'a> GpdnsCampaign<'a> {
         let root = Rng::seeded(self.seed);
         let mut out = Vec::new();
         for probe in self.probes.active_in(month) {
-            let Some(site) = fleet.catch(probe) else { continue };
+            let Some(site) = fleet.catch(probe) else {
+                continue;
+            };
             let mut rng = root.fork(&format!("gpdns/{}/{}", probe.id, month.index()));
             let rtt = self.model.monthly_min_rtt(probe, site, &mut rng);
             out.push(RttObservation {
@@ -155,21 +166,32 @@ impl<'a> GpdnsCampaign<'a> {
 
     /// Per-country median min-RTT series over `[start, end]` — the Fig. 12
     /// country lines.
+    ///
+    /// Months are simulated across worker threads (every probe's RNG is
+    /// forked from a per-probe-per-month label, so each month is an
+    /// independent deterministic unit) and merged in month order.
     pub fn median_series(
         &self,
         start: MonthStamp,
         end: MonthStamp,
     ) -> BTreeMap<CountryCode, TimeSeries> {
-        let mut out: BTreeMap<CountryCode, TimeSeries> = BTreeMap::new();
-        for m in start.through(end) {
+        let monthly = sweep::month_range(start, end, |m| {
             let mut by_country: BTreeMap<CountryCode, Vec<f64>> = BTreeMap::new();
             for obs in self.run_month(m) {
-                by_country.entry(obs.probe_country).or_default().push(obs.rtt_ms);
+                by_country
+                    .entry(obs.probe_country)
+                    .or_default()
+                    .push(obs.rtt_ms);
             }
-            for (cc, mut rtts) in by_country {
-                if let Some(med) = stats::median(&mut rtts) {
-                    out.entry(cc).or_default().insert(m, med);
-                }
+            by_country
+                .into_iter()
+                .filter_map(|(cc, mut rtts)| stats::median(&mut rtts).map(|med| (cc, med)))
+                .collect::<Vec<_>>()
+        });
+        let mut out: BTreeMap<CountryCode, TimeSeries> = BTreeMap::new();
+        for (m, medians) in monthly {
+            for (cc, med) in medians {
+                out.entry(cc).or_default().insert(m, med);
             }
         }
         out
@@ -258,9 +280,16 @@ mod tests {
         assert_eq!(by_id[&2].site_id, "bog");
         assert_eq!(by_id[&1].site_id, "mia");
         assert!(by_id[&2].rtt_ms < 16.0, "border: {}", by_id[&2].rtt_ms);
-        assert!(by_id[&2].rtt_ms < by_id[&1].rtt_ms / 2.0, "border must be far faster");
+        assert!(
+            by_id[&2].rtt_ms < by_id[&1].rtt_ms / 2.0,
+            "border must be far faster"
+        );
         assert!(by_id[&1].rtt_ms > 30.0, "caracas: {}", by_id[&1].rtt_ms);
-        assert!(by_id[&3].rtt_ms < 10.0, "bogota local: {}", by_id[&3].rtt_ms);
+        assert!(
+            by_id[&3].rtt_ms < 10.0,
+            "bogota local: {}",
+            by_id[&3].rtt_ms
+        );
     }
 
     #[test]
@@ -274,10 +303,18 @@ mod tests {
             let s = sites.iter().find(|s| s.id == o.site_id).unwrap();
             let base = model.base_rtt_ms(
                 p,
-                &AnycastSite { id: s.id.clone(), location: s.location, scope: SiteScope::Global },
+                &AnycastSite {
+                    id: s.id.clone(),
+                    location: s.location,
+                    scope: SiteScope::Global,
+                },
             );
             assert!(o.rtt_ms >= base, "min cannot undercut the floor");
-            assert!(o.rtt_ms < base + 3.0, "min() should strip most congestion: {} vs {base}", o.rtt_ms);
+            assert!(
+                o.rtt_ms < base + 3.0,
+                "min() should strip most congestion: {} vs {base}",
+                o.rtt_ms
+            );
         }
     }
 

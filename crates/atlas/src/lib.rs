@@ -32,5 +32,5 @@ pub use chaos::{decode, encode, SiteRef};
 pub use gpdns::{GpdnsCampaign, GpdnsSite, LatencyModel, RttBucket, RttObservation};
 pub use outages::{DetectorConfig, OutageEvent, ReachabilitySeries};
 pub use probes::{Probe, ProbeId, ProbeRegistry};
-pub use traceroute::{Hop, Traceroute};
 pub use roots::{RootDeployment, RootInstance, RootLetter};
+pub use traceroute::{Hop, Traceroute};

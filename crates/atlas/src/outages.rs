@@ -92,7 +92,11 @@ pub struct DetectorConfig {
 
 impl Default for DetectorConfig {
     fn default() -> Self {
-        DetectorConfig { baseline_days: 14, drop_fraction: 0.5, min_baseline: 5 }
+        DetectorConfig {
+            baseline_days: 14,
+            drop_fraction: 0.5,
+            min_baseline: 5,
+        }
     }
 }
 
@@ -236,7 +240,10 @@ mod tests {
         }
         assert!(detect(&s, DetectorConfig::default()).is_empty());
         // A stricter detector does flag them.
-        let strict = DetectorConfig { drop_fraction: 0.7, ..DetectorConfig::default() };
+        let strict = DetectorConfig {
+            drop_fraction: 0.7,
+            ..DetectorConfig::default()
+        };
         assert!(!detect(&s, strict).is_empty());
     }
 

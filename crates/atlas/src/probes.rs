@@ -1,7 +1,6 @@
 //! The probe registry.
 
 use lacnet_types::{Asn, CountryCode, GeoPoint, MonthStamp, TimeSeries};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A probe identifier.
@@ -9,7 +8,7 @@ pub type ProbeId = u32;
 
 /// One Atlas probe: where it is, which network hosts it, and when it was
 /// connected.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Probe {
     /// Probe id.
     pub id: ProbeId,
@@ -33,12 +32,12 @@ pub struct Probe {
 impl Probe {
     /// Whether the probe reported during `month`.
     pub fn active_in(&self, month: MonthStamp) -> bool {
-        month >= self.active_since && self.active_until.map_or(true, |u| month <= u)
+        month >= self.active_since && self.active_until.is_none_or(|u| month <= u)
     }
 }
 
 /// All probes known to the platform.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ProbeRegistry {
     probes: Vec<Probe>,
 }
@@ -148,7 +147,10 @@ mod tests {
         assert!(reg.add(probe(1, country::VE, m(2016, 1), None)));
         assert!(reg.add(probe(2, country::VE, m(2020, 1), None)));
         assert!(reg.add(probe(3, country::BR, m(2016, 1), Some(m(2019, 12)))));
-        assert!(!reg.add(probe(1, country::BR, m(2016, 1), None)), "duplicate id");
+        assert!(
+            !reg.add(probe(1, country::BR, m(2016, 1), None)),
+            "duplicate id"
+        );
         assert_eq!(reg.len(), 3);
 
         assert_eq!(reg.active_in(m(2017, 1)).len(), 2);

@@ -1,31 +1,60 @@
 //! Root DNS letters, instances, and deployments over time.
 
 use lacnet_types::{CountryCode, Error, GeoPoint, MonthStamp, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The thirteen root-server letters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum RootLetter {
-    A, B, C, D, E, F, G, H, I, J, K, L, M,
+    A,
+    B,
+    C,
+    D,
+    E,
+    F,
+    G,
+    H,
+    I,
+    J,
+    K,
+    L,
+    M,
 }
 
 impl RootLetter {
     /// All thirteen letters, in order.
     pub const ALL: [RootLetter; 13] = [
-        RootLetter::A, RootLetter::B, RootLetter::C, RootLetter::D, RootLetter::E,
-        RootLetter::F, RootLetter::G, RootLetter::H, RootLetter::I, RootLetter::J,
-        RootLetter::K, RootLetter::L, RootLetter::M,
+        RootLetter::A,
+        RootLetter::B,
+        RootLetter::C,
+        RootLetter::D,
+        RootLetter::E,
+        RootLetter::F,
+        RootLetter::G,
+        RootLetter::H,
+        RootLetter::I,
+        RootLetter::J,
+        RootLetter::K,
+        RootLetter::L,
+        RootLetter::M,
     ];
 
     /// Lowercase letter, as used in hostnames.
     pub const fn as_char(self) -> char {
         match self {
-            RootLetter::A => 'a', RootLetter::B => 'b', RootLetter::C => 'c',
-            RootLetter::D => 'd', RootLetter::E => 'e', RootLetter::F => 'f',
-            RootLetter::G => 'g', RootLetter::H => 'h', RootLetter::I => 'i',
-            RootLetter::J => 'j', RootLetter::K => 'k', RootLetter::L => 'l',
+            RootLetter::A => 'a',
+            RootLetter::B => 'b',
+            RootLetter::C => 'c',
+            RootLetter::D => 'd',
+            RootLetter::E => 'e',
+            RootLetter::F => 'f',
+            RootLetter::G => 'g',
+            RootLetter::H => 'h',
+            RootLetter::I => 'i',
+            RootLetter::J => 'j',
+            RootLetter::K => 'k',
+            RootLetter::L => 'l',
             RootLetter::M => 'm',
         }
     }
@@ -33,10 +62,18 @@ impl RootLetter {
     /// Parse from a (case-insensitive) letter.
     pub fn from_char(c: char) -> Result<Self> {
         match c.to_ascii_lowercase() {
-            'a' => Ok(RootLetter::A), 'b' => Ok(RootLetter::B), 'c' => Ok(RootLetter::C),
-            'd' => Ok(RootLetter::D), 'e' => Ok(RootLetter::E), 'f' => Ok(RootLetter::F),
-            'g' => Ok(RootLetter::G), 'h' => Ok(RootLetter::H), 'i' => Ok(RootLetter::I),
-            'j' => Ok(RootLetter::J), 'k' => Ok(RootLetter::K), 'l' => Ok(RootLetter::L),
+            'a' => Ok(RootLetter::A),
+            'b' => Ok(RootLetter::B),
+            'c' => Ok(RootLetter::C),
+            'd' => Ok(RootLetter::D),
+            'e' => Ok(RootLetter::E),
+            'f' => Ok(RootLetter::F),
+            'g' => Ok(RootLetter::G),
+            'h' => Ok(RootLetter::H),
+            'i' => Ok(RootLetter::I),
+            'j' => Ok(RootLetter::J),
+            'k' => Ok(RootLetter::K),
+            'l' => Ok(RootLetter::L),
             'm' => Ok(RootLetter::M),
             _ => Err(Error::invalid("root letter must be a..=m")),
         }
@@ -69,7 +106,7 @@ impl fmt::Display for RootLetter {
 }
 
 /// One anycast instance of a root letter at a specific site.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RootInstance {
     /// The letter served.
     pub letter: RootLetter,
@@ -94,7 +131,7 @@ pub struct RootInstance {
 impl RootInstance {
     /// Whether the instance served queries during `month`.
     pub fn active_in(&self, month: MonthStamp) -> bool {
-        month >= self.active_since && self.active_until.map_or(true, |u| month <= u)
+        month >= self.active_since && self.active_until.is_none_or(|u| month <= u)
     }
 
     /// Stable site identity string `letter/site/unit`, used as a unique
@@ -106,7 +143,7 @@ impl RootInstance {
 }
 
 /// The time-varying set of root instances worldwide.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RootDeployment {
     instances: Vec<RootInstance>,
 }
@@ -137,7 +174,10 @@ impl RootDeployment {
 
     /// All instances active in `month`, any letter.
     pub fn active_any(&self, month: MonthStamp) -> Vec<&RootInstance> {
-        self.instances.iter().filter(|i| i.active_in(month)).collect()
+        self.instances
+            .iter()
+            .filter(|i| i.active_in(month))
+            .collect()
     }
 
     /// Instances active in `month` hosted by `country`.
@@ -181,7 +221,10 @@ mod tests {
     fn letters_roundtrip() {
         for l in RootLetter::ALL {
             assert_eq!(RootLetter::from_char(l.as_char()).unwrap(), l);
-            assert_eq!(RootLetter::from_char(l.as_char().to_ascii_uppercase()).unwrap(), l);
+            assert_eq!(
+                RootLetter::from_char(l.as_char().to_ascii_uppercase()).unwrap(),
+                l
+            );
             assert!(!l.operator().is_empty());
         }
         assert!(RootLetter::from_char('z').is_err());
@@ -190,7 +233,13 @@ mod tests {
 
     #[test]
     fn instance_identity_and_window() {
-        let i = inst(RootLetter::L, "ccs", country::VE, m(2016, 1), Some(m(2019, 6)));
+        let i = inst(
+            RootLetter::L,
+            "ccs",
+            country::VE,
+            m(2016, 1),
+            Some(m(2019, 6)),
+        );
         assert_eq!(i.identity(), "l/ccs/1");
         assert!(i.active_in(m(2016, 1)));
         assert!(i.active_in(m(2019, 6)));
@@ -200,9 +249,27 @@ mod tests {
     #[test]
     fn deployment_queries() {
         let mut d = RootDeployment::new();
-        d.add(inst(RootLetter::L, "ccs", country::VE, m(2016, 1), Some(m(2019, 6))));
-        d.add(inst(RootLetter::F, "ccs", country::VE, m(2016, 1), Some(m(2018, 3))));
-        d.add(inst(RootLetter::L, "mar", country::VE, m(2019, 8), Some(m(2021, 2))));
+        d.add(inst(
+            RootLetter::L,
+            "ccs",
+            country::VE,
+            m(2016, 1),
+            Some(m(2019, 6)),
+        ));
+        d.add(inst(
+            RootLetter::F,
+            "ccs",
+            country::VE,
+            m(2016, 1),
+            Some(m(2018, 3)),
+        ));
+        d.add(inst(
+            RootLetter::L,
+            "mar",
+            country::VE,
+            m(2019, 8),
+            Some(m(2021, 2)),
+        ));
         d.add(inst(RootLetter::L, "bog", country::CO, m(2016, 1), None));
 
         assert_eq!(d.active(RootLetter::L, m(2016, 6)).len(), 2);

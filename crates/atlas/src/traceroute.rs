@@ -60,10 +60,17 @@ impl Traceroute {
             self.probe,
             self.month,
             self.target,
-            if self.dst_reached { "reached" } else { "incomplete" }
+            if self.dst_reached {
+                "reached"
+            } else {
+                "incomplete"
+            }
         );
         for h in &self.hops {
-            let asn = h.asn.map(|a| a.raw().to_string()).unwrap_or_else(|| "*".into());
+            let asn = h
+                .asn
+                .map(|a| a.raw().to_string())
+                .unwrap_or_else(|| "*".into());
             out.push_str(&format!("{}\t{}\t{:.2}\n", h.hop, asn, h.rtt_ms));
         }
         out.push('\n');
@@ -84,7 +91,9 @@ pub fn parse_traceroutes(text: &str) -> Result<Vec<Traceroute>> {
         if cols.len() != 4 {
             return Err(Error::parse("traceroute header (4 columns)", header));
         }
-        let probe: ProbeId = cols[0].parse().map_err(|_| Error::parse("probe id", header))?;
+        let probe: ProbeId = cols[0]
+            .parse()
+            .map_err(|_| Error::parse("probe id", header))?;
         let month: MonthStamp = cols[1].parse()?;
         let target = cols[2].to_owned();
         let dst_reached = match cols[3] {
@@ -101,7 +110,13 @@ pub fn parse_traceroutes(text: &str) -> Result<Vec<Traceroute>> {
             let h: Hop = line.parse()?;
             hops.push(h);
         }
-        out.push(Traceroute { probe, month, target, hops, dst_reached });
+        out.push(Traceroute {
+            probe,
+            month,
+            target,
+            hops,
+            dst_reached,
+        });
     }
     Ok(out)
 }
@@ -117,7 +132,9 @@ impl FromStr for Hop {
         let asn = if cols[1] == "*" {
             None
         } else {
-            Some(Asn(cols[1].parse().map_err(|_| Error::parse("hop asn", s))?))
+            Some(Asn(cols[1]
+                .parse()
+                .map_err(|_| Error::parse("hop asn", s))?))
         };
         let rtt_ms: f64 = cols[2].parse().map_err(|_| Error::parse("hop rtt", s))?;
         Ok(Hop { hop, asn, rtt_ms })
@@ -144,7 +161,11 @@ pub fn simulate(
     let mut hops = Vec::new();
     let mut idx = 1u8;
     // Last-mile hop inside the probe's AS.
-    hops.push(Hop { hop: idx, asn: as_path.first().copied(), rtt_ms: model.last_mile_ms * (0.4 + 0.4 * rng.f64()) });
+    hops.push(Hop {
+        hop: idx,
+        asn: as_path.first().copied(),
+        rtt_ms: model.last_mile_ms * (0.4 + 0.4 * rng.f64()),
+    });
     idx += 1;
     // Transit hops: split the remaining propagation budget across the
     // path, front-loaded toward the destination side when an egress
@@ -155,18 +176,26 @@ pub fn simulate(
         let frac = (k as f64) / inter as f64;
         // Two router hops per AS: entry and exit.
         for sub in 0..2 {
-            let progress = (frac - 0.5 / inter as f64 + sub as f64 * 0.25 / inter as f64)
-                .clamp(0.05, 1.0);
+            let progress =
+                (frac - 0.5 / inter as f64 + sub as f64 * 0.25 / inter as f64).clamp(0.05, 1.0);
             let rtt = hops[0].rtt_ms + remaining * progress * (0.95 + 0.1 * rng.f64());
             let responds = rng.f64() > 0.06;
-            hops.push(Hop { hop: idx, asn: responds.then_some(*asn), rtt_ms: rtt });
+            hops.push(Hop {
+                hop: idx,
+                asn: responds.then_some(*asn),
+                rtt_ms: rtt,
+            });
             idx += 1;
         }
     }
     // Destination hop at the full RTT.
     let dst_reached = rng.f64() > 0.02;
     if dst_reached {
-        hops.push(Hop { hop: idx, asn: as_path.last().copied(), rtt_ms: total });
+        hops.push(Hop {
+            hop: idx,
+            asn: as_path.last().copied(),
+            rtt_ms: total,
+        });
     }
     Traceroute {
         probe: probe.id,
@@ -285,7 +314,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed() {
-        assert!(parse_traceroutes("7\t2020-06\tmia\n").is_err(), "missing column");
+        assert!(
+            parse_traceroutes("7\t2020-06\tmia\n").is_err(),
+            "missing column"
+        );
         assert!(parse_traceroutes("7\t2020-06\tmia\tmaybe\n").is_err());
         assert!(parse_traceroutes("7\t2020-06\tmia\treached\nbogus hop\n").is_err());
         assert!(parse_traceroutes("").unwrap().is_empty());

@@ -81,7 +81,10 @@ fn ablation_median(c: &mut Criterion) {
 /// overstates visibility and is barely cheaper).
 fn ablation_visibility(c: &mut Criterion) {
     let world = bench_world();
-    let graph = world.topology.get(MonthStamp::new(2020, 6)).expect("snapshot");
+    let graph = world
+        .topology
+        .get(MonthStamp::new(2020, 6))
+        .expect("snapshot");
     let origins: Vec<Asn> = world
         .operators
         .eyeballs(lacnet_types::country::VE)
@@ -171,13 +174,16 @@ fn ablation_catchment(c: &mut Criterion) {
     let moved = probes
         .iter()
         .zip(&blind)
-        .filter(|(a, b)| {
-            fleet.catch(a).map(|s| &s.id) != fleet.catch(b).map(|s| &s.id)
-        })
+        .filter(|(a, b)| fleet.catch(a).map(|s| &s.id) != fleet.catch(b).map(|s| &s.id))
         .count();
-    let miami = geo::airport("mia").map(|a| a.location).unwrap_or(GeoPoint::new(0.0, 0.0));
+    let miami = geo::airport("mia")
+        .map(|a| a.location)
+        .unwrap_or(GeoPoint::new(0.0, 0.0));
     let _ = miami;
-    eprintln!("[ablation_catchment] {moved} of {} probes change site without egress modelling", probes.len());
+    eprintln!(
+        "[ablation_catchment] {moved} of {} probes change site without egress modelling",
+        probes.len()
+    );
 }
 
 criterion_group!(

@@ -15,7 +15,10 @@ use std::hint::black_box;
 
 fn bench_serial1_parse(c: &mut Criterion) {
     let world = bench_world();
-    let graph = world.topology.get(MonthStamp::new(2020, 6)).expect("snapshot");
+    let graph = world
+        .topology
+        .get(MonthStamp::new(2020, 6))
+        .expect("snapshot");
     let text = serial1::to_text(&graph.edges(), "bench");
     let mut group = c.benchmark_group("serial1");
     group.throughput(Throughput::Bytes(text.len() as u64));

@@ -12,6 +12,9 @@ use std::sync::OnceLock;
 pub fn bench_world() -> &'static World {
     static WORLD: OnceLock<World> = OnceLock::new();
     WORLD.get_or_init(|| {
-        World::generate(WorldConfig { mlab_volume_scale: 0.2, ..WorldConfig::default() })
+        World::generate(WorldConfig {
+            mlab_volume_scale: 0.2,
+            ..WorldConfig::default()
+        })
     })
 }

@@ -49,15 +49,18 @@ impl ProviderPresence {
         let mut tally: BTreeMap<Asn, Vec<bool>> = BTreeMap::new();
         for (col, (_, graph)) in archive.iter().enumerate() {
             for p in graph.providers(customer) {
-                tally
-                    .entry(p)
-                    .or_insert_with(|| vec![false; months.len()])[col] = true;
+                tally.entry(p).or_insert_with(|| vec![false; months.len()])[col] = true;
             }
         }
         tally.retain(|_, row| row.iter().filter(|&&b| b).count() >= min_months);
         let providers: Vec<Asn> = tally.keys().copied().collect();
         let presence: Vec<Vec<bool>> = tally.into_values().collect();
-        ProviderPresence { customer, providers, months, presence }
+        ProviderPresence {
+            customer,
+            providers,
+            months,
+            presence,
+        }
     }
 
     /// Months during which `provider` served the customer (row sum).
@@ -190,7 +193,11 @@ mod tests {
     fn presence_matrix_min_months_filter() {
         let arch = toy_archive();
         let pp = ProviderPresence::compute(&arch, Asn(8048), 2);
-        assert_eq!(pp.providers, vec![Asn(701), Asn(23520)], "5511 served only 1 month");
+        assert_eq!(
+            pp.providers,
+            vec![Asn(701), Asn(23520)],
+            "5511 served only 1 month"
+        );
         let pp = ProviderPresence::compute(&arch, Asn(8048), 4);
         assert!(pp.providers.is_empty());
     }

@@ -52,7 +52,11 @@ impl AsGraph {
                     .or_default()
                     .providers
                     .insert(edge.a);
-                self.nodes.entry(edge.a).or_default().customers.insert(edge.b);
+                self.nodes
+                    .entry(edge.a)
+                    .or_default()
+                    .customers
+                    .insert(edge.b);
                 inserted
             }
             AsRelationship::PeerToPeer => {
@@ -94,17 +98,26 @@ impl AsGraph {
 
     /// Transit providers of `asn` (its *upstreams* in the paper's Fig. 8).
     pub fn providers(&self, asn: Asn) -> BTreeSet<Asn> {
-        self.nodes.get(&asn).map(|a| a.providers.clone()).unwrap_or_default()
+        self.nodes
+            .get(&asn)
+            .map(|a| a.providers.clone())
+            .unwrap_or_default()
     }
 
     /// Transit customers of `asn` (its *downstreams* in Fig. 8).
     pub fn customers(&self, asn: Asn) -> BTreeSet<Asn> {
-        self.nodes.get(&asn).map(|a| a.customers.clone()).unwrap_or_default()
+        self.nodes
+            .get(&asn)
+            .map(|a| a.customers.clone())
+            .unwrap_or_default()
     }
 
     /// Peers of `asn`.
     pub fn peers(&self, asn: Asn) -> BTreeSet<Asn> {
-        self.nodes.get(&asn).map(|a| a.peers.clone()).unwrap_or_default()
+        self.nodes
+            .get(&asn)
+            .map(|a| a.peers.clone())
+            .unwrap_or_default()
     }
 
     /// Number of upstream providers.
@@ -184,7 +197,10 @@ mod tests {
         assert_eq!(g.node_count(), 5);
         assert_eq!(g.edge_count(), 5);
         assert_eq!(g.providers(Asn(8048)), BTreeSet::from([Asn(701)]));
-        assert_eq!(g.providers(Asn(6306)), BTreeSet::from([Asn(701), Asn(1299)]));
+        assert_eq!(
+            g.providers(Asn(6306)),
+            BTreeSet::from([Asn(701), Asn(1299)])
+        );
         assert_eq!(g.customers(Asn(8048)), BTreeSet::from([Asn(27889)]));
         assert_eq!(g.peers(Asn(8048)), BTreeSet::from([Asn(6306)]));
         assert_eq!(g.peers(Asn(6306)), BTreeSet::from([Asn(8048)]));
@@ -197,7 +213,10 @@ mod tests {
     fn duplicate_edges_ignored() {
         let mut g = toy();
         assert!(!g.insert(RelEdge::transit(Asn(701), Asn(8048))));
-        assert!(!g.insert(RelEdge::peering(Asn(6306), Asn(8048))), "peer edges are symmetric");
+        assert!(
+            !g.insert(RelEdge::peering(Asn(6306), Asn(8048))),
+            "peer edges are symmetric"
+        );
         assert_eq!(g.edge_count(), 5);
     }
 
@@ -208,7 +227,10 @@ mod tests {
             g.customer_cone(Asn(701)),
             BTreeSet::from([Asn(701), Asn(8048), Asn(6306), Asn(27889)])
         );
-        assert_eq!(g.customer_cone(Asn(8048)), BTreeSet::from([Asn(8048), Asn(27889)]));
+        assert_eq!(
+            g.customer_cone(Asn(8048)),
+            BTreeSet::from([Asn(8048), Asn(27889)])
+        );
         assert_eq!(g.customer_cone(Asn(27889)), BTreeSet::from([Asn(27889)]));
         // Unknown AS: cone of itself only.
         assert_eq!(g.customer_cone(Asn(4)), BTreeSet::from([Asn(4)]));

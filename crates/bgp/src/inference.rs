@@ -42,7 +42,10 @@ impl RelationshipInference {
     /// on real data; the synthetic worlds here are cleaner and use small
     /// thresholds).
     pub fn new(peer_ratio_threshold: f64) -> Self {
-        RelationshipInference { peer_ratio_threshold, ..Default::default() }
+        RelationshipInference {
+            peer_ratio_threshold,
+            ..Default::default()
+        }
     }
 
     /// First pass: collect each AS's distinct neighbours across the path
@@ -205,7 +208,10 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert_eq!(correct, total, "some tier-1 transit edges inverted: {inferred:?}");
+        assert_eq!(
+            correct, total,
+            "some tier-1 transit edges inverted: {inferred:?}"
+        );
     }
 
     #[test]
@@ -213,9 +219,9 @@ mod tests {
         let g = hierarchy();
         let inferred = RelationshipInference::infer_from_graph(&g, 1.1);
         assert!(
-            inferred
-                .iter()
-                .any(|e| e.rel == AsRelationship::PeerToPeer && e.touches(Asn(1)) && e.touches(Asn(2))),
+            inferred.iter().any(|e| e.rel == AsRelationship::PeerToPeer
+                && e.touches(Asn(1))
+                && e.touches(Asn(2))),
             "tier-1 peering not recovered: {inferred:?}"
         );
     }

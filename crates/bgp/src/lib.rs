@@ -35,8 +35,8 @@ pub mod serial1;
 pub mod store;
 
 pub use graph::AsGraph;
-pub use pfx2as::{OriginSet, PfxToAs};
 pub use paths::{PathOutcome, PathRoute};
+pub use pfx2as::{OriginSet, PfxToAs};
 pub use propagation::{PropagationOutcome, RouteSim};
 pub use relationship::{AsRelationship, RelEdge};
 pub use store::TopologyArchive;

@@ -37,7 +37,14 @@ impl PathOutcome {
     /// the lowest neighbour ASN, as real BGP tie-breaks are deterministic.
     pub fn compute(graph: &AsGraph, origin: Asn) -> Self {
         let mut routes: BTreeMap<Asn, PathRoute> = BTreeMap::new();
-        routes.insert(origin, PathRoute { kind: RouteKind::Origin, hops: 0, next_hop: None });
+        routes.insert(
+            origin,
+            PathRoute {
+                kind: RouteKind::Origin,
+                hops: 0,
+                next_hop: None,
+            },
+        );
 
         // Phase 1 — customer routes up provider edges (BFS: minimal hops;
         // first writer wins, and neighbours are visited in ascending ASN
@@ -49,7 +56,11 @@ impl PathOutcome {
                 for &p in &adj.providers {
                     routes.entry(p).or_insert_with(|| {
                         queue.push_back(p);
-                        PathRoute { kind: RouteKind::Customer, hops: hops + 1, next_hop: Some(u) }
+                        PathRoute {
+                            kind: RouteKind::Customer,
+                            hops: hops + 1,
+                            next_hop: Some(u),
+                        }
                     });
                 }
             }
@@ -60,7 +71,11 @@ impl PathOutcome {
         for (u, hops) in phase1 {
             if let Some(adj) = graph.adjacency(u) {
                 for &v in &adj.peers {
-                    let candidate = PathRoute { kind: RouteKind::Peer, hops: hops + 1, next_hop: Some(u) };
+                    let candidate = PathRoute {
+                        kind: RouteKind::Peer,
+                        hops: hops + 1,
+                        next_hop: Some(u),
+                    };
                     let replace = match routes.get(&v) {
                         None => true,
                         Some(r) => r.kind == RouteKind::Peer && candidate.hops < r.hops,
@@ -82,7 +97,11 @@ impl PathOutcome {
                 for &c in &adj.customers {
                     routes.entry(c).or_insert_with(|| {
                         queue.push_back(c);
-                        PathRoute { kind: RouteKind::Provider, hops: hops + 1, next_hop: Some(u) }
+                        PathRoute {
+                            kind: RouteKind::Provider,
+                            hops: hops + 1,
+                            next_hop: Some(u),
+                        }
                     });
                 }
             }
@@ -153,8 +172,14 @@ mod tests {
         let g = two_tier();
         let out = PathOutcome::compute(&g, Asn(111));
         assert_eq!(out.as_path(Asn(111)).unwrap(), vec![Asn(111)]);
-        assert_eq!(out.as_path(Asn(10)).unwrap(), vec![Asn(10), Asn(11), Asn(111)]);
-        assert_eq!(out.as_path(Asn(20)).unwrap(), vec![Asn(20), Asn(10), Asn(11), Asn(111)]);
+        assert_eq!(
+            out.as_path(Asn(10)).unwrap(),
+            vec![Asn(10), Asn(11), Asn(111)]
+        );
+        assert_eq!(
+            out.as_path(Asn(20)).unwrap(),
+            vec![Asn(20), Asn(10), Asn(11), Asn(111)]
+        );
         assert_eq!(
             out.as_path(Asn(221)).unwrap(),
             vec![Asn(221), Asn(22), Asn(20), Asn(10), Asn(11), Asn(111)]
@@ -199,7 +224,10 @@ mod tests {
                     } else {
                         2 // going down
                     };
-                    assert!(step >= state || (step == 2 && state <= 2), "valley in {path:?}");
+                    assert!(
+                        step >= state || (step == 2 && state <= 2),
+                        "valley in {path:?}"
+                    );
                     if step == 1 {
                         assert!(state == 0, "peer edge after descent in {path:?}");
                         state = 2; // after a peer edge only descent is allowed

@@ -66,10 +66,13 @@ impl FromStr for OriginSet {
 
     /// Parses `8048`, `8048_6306` (MOAS), or `8048,6306` (AS-set).
     fn from_str(s: &str) -> Result<Self> {
-        let parts: Vec<&str> = s.split(|c| c == '_' || c == ',').collect();
+        let parts: Vec<&str> = s.split(['_', ',']).collect();
         let mut asns = Vec::with_capacity(parts.len());
         for p in parts {
-            let raw: u32 = p.trim().parse().map_err(|_| Error::parse("origin ASN", s))?;
+            let raw: u32 = p
+                .trim()
+                .parse()
+                .map_err(|_| Error::parse("origin ASN", s))?;
             asns.push(Asn(raw));
         }
         OriginSet::multi(asns)
@@ -90,7 +93,9 @@ impl PfxToAs {
 
     /// Build from `(prefix, origins)` pairs; later duplicates win.
     pub fn from_entries(entries: impl IntoIterator<Item = (Ipv4Net, OriginSet)>) -> Self {
-        PfxToAs { entries: entries.into_iter().collect() }
+        PfxToAs {
+            entries: entries.into_iter().collect(),
+        }
     }
 
     /// Record an announcement.
@@ -190,7 +195,9 @@ impl PfxToAs {
             let addr: Ipv4Addr = net
                 .parse()
                 .map_err(|_| Error::parse("pfx2as network address", line))?;
-            let len: u8 = len.parse().map_err(|_| Error::parse("pfx2as mask length", line))?;
+            let len: u8 = len
+                .parse()
+                .map_err(|_| Error::parse("pfx2as mask length", line))?;
             let prefix = Ipv4Net::new(addr, len)
                 .map_err(|_| Error::parse("canonical pfx2as prefix", line))?;
             let origins: OriginSet = origins.parse()?;
@@ -253,11 +260,18 @@ mod tests {
 
     #[test]
     fn parse_and_query() {
-        let text = "# comment\n186.24.0.0\t17\t8048\n200.35.64.0\t18\t6306\n190.0.0.0\t16\t8048_6306\n";
+        let text =
+            "# comment\n186.24.0.0\t17\t8048\n200.35.64.0\t18\t6306\n190.0.0.0\t16\t8048_6306\n";
         let t = PfxToAs::parse(text).unwrap();
         assert_eq!(t.len(), 3);
-        assert_eq!(t.origins_of(net("186.24.0.0/17")).unwrap().asns(), &[Asn(8048)]);
-        assert_eq!(t.prefixes_of(Asn(8048)), vec![net("186.24.0.0/17"), net("190.0.0.0/16")]);
+        assert_eq!(
+            t.origins_of(net("186.24.0.0/17")).unwrap().asns(),
+            &[Asn(8048)]
+        );
+        assert_eq!(
+            t.prefixes_of(Asn(8048)),
+            vec![net("186.24.0.0/17"), net("190.0.0.0/16")]
+        );
         assert_eq!(t.prefixes_of(Asn(6306)).len(), 2);
         assert!(t.prefixes_of(Asn(701)).is_empty());
     }
@@ -265,7 +279,10 @@ mod tests {
     #[test]
     fn parse_rejects_malformed() {
         assert!(PfxToAs::parse("186.24.0.0\t17\n").is_err());
-        assert!(PfxToAs::parse("186.24.0.1\t17\t8048\n").is_err(), "host bits set");
+        assert!(
+            PfxToAs::parse("186.24.0.1\t17\t8048\n").is_err(),
+            "host bits set"
+        );
         assert!(PfxToAs::parse("186.24.0.0\t40\t8048\n").is_err());
         assert!(PfxToAs::parse("notanip\t17\t8048\n").is_err());
     }
@@ -321,7 +338,11 @@ mod tests {
     fn union_length_edge_cases() {
         assert_eq!(union_length(&mut []), 0);
         assert_eq!(union_length(&mut [(0, 10)]), 10);
-        assert_eq!(union_length(&mut [(0, 10), (10, 20)]), 20, "touching intervals merge");
+        assert_eq!(
+            union_length(&mut [(0, 10), (10, 20)]),
+            20,
+            "touching intervals merge"
+        );
         assert_eq!(union_length(&mut [(0, 10), (5, 7)]), 10, "nested");
         assert_eq!(union_length(&mut [(20, 30), (0, 5)]), 15, "unsorted input");
     }

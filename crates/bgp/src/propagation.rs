@@ -102,7 +102,13 @@ impl<'g> RouteSim<'g> {
     /// class first, then hop count).
     pub fn propagate(&self, origin: Asn) -> PropagationOutcome {
         let mut routes: BTreeMap<Asn, Route> = BTreeMap::new();
-        routes.insert(origin, Route { kind: RouteKind::Origin, hops: 0 });
+        routes.insert(
+            origin,
+            Route {
+                kind: RouteKind::Origin,
+                hops: 0,
+            },
+        );
 
         // Phase 1 — customer routes ride up provider edges. BFS gives
         // minimal hop counts within the class.
@@ -111,8 +117,11 @@ impl<'g> RouteSim<'g> {
             let hops = routes[&u].hops;
             if let Some(adj) = self.graph.adjacency(u) {
                 for &p in &adj.providers {
-                    if !routes.contains_key(&p) {
-                        routes.insert(p, Route { kind: RouteKind::Customer, hops: hops + 1 });
+                    if let std::collections::btree_map::Entry::Vacant(slot) = routes.entry(p) {
+                        slot.insert(Route {
+                            kind: RouteKind::Customer,
+                            hops: hops + 1,
+                        });
                         queue.push_back(p);
                     }
                 }
@@ -126,7 +135,10 @@ impl<'g> RouteSim<'g> {
         for (u, hops) in phase1 {
             if let Some(adj) = self.graph.adjacency(u) {
                 for &v in &adj.peers {
-                    let candidate = Route { kind: RouteKind::Peer, hops: hops + 1 };
+                    let candidate = Route {
+                        kind: RouteKind::Peer,
+                        hops: hops + 1,
+                    };
                     // Customer/origin routes always win regardless of
                     // length; an existing peer route is only replaced by a
                     // strictly shorter one. (Provider routes cannot exist
@@ -153,8 +165,11 @@ impl<'g> RouteSim<'g> {
             let hops = routes[&u].hops;
             if let Some(adj) = self.graph.adjacency(u) {
                 for &c in &adj.customers {
-                    if !routes.contains_key(&c) {
-                        routes.insert(c, Route { kind: RouteKind::Provider, hops: hops + 1 });
+                    if let std::collections::btree_map::Entry::Vacant(slot) = routes.entry(c) {
+                        slot.insert(Route {
+                            kind: RouteKind::Provider,
+                            hops: hops + 1,
+                        });
                         queue.push_back(c);
                     }
                 }
@@ -220,7 +235,10 @@ mod tests {
         ]);
         let out = RouteSim::new(&g).propagate(Asn(1));
         assert!(out.reaches(Asn(2)));
-        assert!(!out.reaches(Asn(3)), "peer route must not re-export to a peer");
+        assert!(
+            !out.reaches(Asn(3)),
+            "peer route must not re-export to a peer"
+        );
     }
 
     #[test]
@@ -229,9 +247,9 @@ mod tests {
         // route. But a *sibling customer* S of P hears a provider route
         // and must not export it to its own peer T.
         let g = AsGraph::from_edges([
-            RelEdge::transit(Asn(5), Asn(1)),  // P=5 provider of origin 1
-            RelEdge::transit(Asn(5), Asn(6)),  // S=6 sibling customer
-            RelEdge::peering(Asn(6), Asn(7)),  // T=7 peer of S
+            RelEdge::transit(Asn(5), Asn(1)), // P=5 provider of origin 1
+            RelEdge::transit(Asn(5), Asn(6)), // S=6 sibling customer
+            RelEdge::peering(Asn(6), Asn(7)), // T=7 peer of S
         ]);
         let out = RouteSim::new(&g).propagate(Asn(1));
         assert_eq!(out.route(Asn(6)).unwrap().kind, RouteKind::Provider);
@@ -269,7 +287,11 @@ mod tests {
         ]);
         let out = RouteSim::new(&g).propagate(Asn(40));
         let r = out.route(Asn(30)).unwrap();
-        assert_eq!(r.kind, RouteKind::Customer, "customer route preferred over shorter peer route");
+        assert_eq!(
+            r.kind,
+            RouteKind::Customer,
+            "customer route preferred over shorter peer route"
+        );
         assert_eq!(r.hops, 2);
     }
 
@@ -285,6 +307,12 @@ mod tests {
             RelEdge::peering(Asn(3), Asn(9)),
         ]);
         let out = RouteSim::new(&g).propagate(Asn(1));
-        assert_eq!(out.route(Asn(9)).unwrap(), Route { kind: RouteKind::Peer, hops: 2 });
+        assert_eq!(
+            out.route(Asn(9)).unwrap(),
+            Route {
+                kind: RouteKind::Peer,
+                hops: 2
+            }
+        );
     }
 }

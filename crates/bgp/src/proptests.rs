@@ -56,7 +56,10 @@ fn assert_valley_free(g: &AsGraph, path: &[Asn]) {
         let (from, to) = (w[0], w[1]);
         let adj = g.adjacency(from).expect("path AS exists");
         if adj.providers.contains(&to) {
-            assert!(!descended && !peered, "climb after descent/peer in {path:?}");
+            assert!(
+                !descended && !peered,
+                "climb after descent/peer in {path:?}"
+            );
         } else if adj.peers.contains(&to) {
             assert!(!descended && !peered, "second plateau in {path:?}");
             peered = true;

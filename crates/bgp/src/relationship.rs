@@ -1,7 +1,6 @@
 //! AS business relationships and edges.
 
 use lacnet_types::{Asn, Error, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -9,7 +8,7 @@ use std::str::FromStr;
 ///
 /// In a serial-1 line `a|b|code`, `code == -1` means *a is a provider of b*
 /// (a transit, "p2c") and `code == 0` means *a and b are peers* ("p2p").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AsRelationship {
     /// Provider-to-customer: the first AS sells transit to the second.
     ProviderToCustomer,
@@ -48,7 +47,7 @@ impl fmt::Display for AsRelationship {
 /// One edge of the AS-level topology: `(a, b, relationship)` with the
 /// serial-1 orientation (`a` is the provider when the relationship is
 /// provider-to-customer).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RelEdge {
     /// First AS (provider side for p2c edges).
     pub a: Asn,
@@ -61,22 +60,32 @@ pub struct RelEdge {
 impl RelEdge {
     /// A provider→customer edge.
     pub const fn transit(provider: Asn, customer: Asn) -> Self {
-        RelEdge { a: provider, b: customer, rel: AsRelationship::ProviderToCustomer }
+        RelEdge {
+            a: provider,
+            b: customer,
+            rel: AsRelationship::ProviderToCustomer,
+        }
     }
 
     /// A peering edge. Stored with the given order; [`RelEdge::canonical`]
     /// normalises peer edges to `a < b` for set semantics.
     pub const fn peering(a: Asn, b: Asn) -> Self {
-        RelEdge { a, b, rel: AsRelationship::PeerToPeer }
+        RelEdge {
+            a,
+            b,
+            rel: AsRelationship::PeerToPeer,
+        }
     }
 
     /// Canonical form: peer edges ordered `a <= b`; p2c edges unchanged
     /// (their orientation is meaningful).
     pub fn canonical(self) -> Self {
         match self.rel {
-            AsRelationship::PeerToPeer if self.b < self.a => {
-                RelEdge { a: self.b, b: self.a, rel: self.rel }
-            }
+            AsRelationship::PeerToPeer if self.b < self.a => RelEdge {
+                a: self.b,
+                b: self.a,
+                rel: self.rel,
+            },
             _ => self,
         }
     }
@@ -106,9 +115,17 @@ impl FromStr for RelEdge {
         };
         let a: u32 = a.trim().parse().map_err(|_| Error::parse("ASN", s))?;
         let b: u32 = b.trim().parse().map_err(|_| Error::parse("ASN", s))?;
-        let code: i8 = code.trim().parse().map_err(|_| Error::parse("relationship code", s))?;
-        let rel = AsRelationship::from_code(code).map_err(|_| Error::parse("relationship code -1|0", s))?;
-        Ok(RelEdge { a: Asn(a), b: Asn(b), rel })
+        let code: i8 = code
+            .trim()
+            .parse()
+            .map_err(|_| Error::parse("relationship code", s))?;
+        let rel = AsRelationship::from_code(code)
+            .map_err(|_| Error::parse("relationship code -1|0", s))?;
+        Ok(RelEdge {
+            a: Asn(a),
+            b: Asn(b),
+            rel,
+        })
     }
 }
 
@@ -118,8 +135,14 @@ mod tests {
 
     #[test]
     fn codes_roundtrip() {
-        assert_eq!(AsRelationship::from_code(-1).unwrap(), AsRelationship::ProviderToCustomer);
-        assert_eq!(AsRelationship::from_code(0).unwrap(), AsRelationship::PeerToPeer);
+        assert_eq!(
+            AsRelationship::from_code(-1).unwrap(),
+            AsRelationship::ProviderToCustomer
+        );
+        assert_eq!(
+            AsRelationship::from_code(0).unwrap(),
+            AsRelationship::PeerToPeer
+        );
         assert!(AsRelationship::from_code(1).is_err());
         assert_eq!(AsRelationship::ProviderToCustomer.code(), -1);
     }
@@ -152,7 +175,11 @@ mod tests {
         let p = RelEdge::peering(Asn(9), Asn(3)).canonical();
         assert_eq!((p.a, p.b), (Asn(3), Asn(9)));
         let t = RelEdge::transit(Asn(9), Asn(3)).canonical();
-        assert_eq!((t.a, t.b), (Asn(9), Asn(3)), "p2c orientation is meaningful");
+        assert_eq!(
+            (t.a, t.b),
+            (Asn(9), Asn(3)),
+            "p2c orientation is meaningful"
+        );
     }
 
     #[test]

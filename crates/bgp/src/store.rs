@@ -75,8 +75,14 @@ mod tests {
     fn insert_and_query() {
         let mut arch = TopologyArchive::new();
         assert!(arch.is_empty());
-        arch.insert(m(2013, 1), AsGraph::from_edges([RelEdge::transit(Asn(701), Asn(8048))]));
-        arch.insert(m(2014, 1), AsGraph::from_edges([RelEdge::transit(Asn(23520), Asn(8048))]));
+        arch.insert(
+            m(2013, 1),
+            AsGraph::from_edges([RelEdge::transit(Asn(701), Asn(8048))]),
+        );
+        arch.insert(
+            m(2014, 1),
+            AsGraph::from_edges([RelEdge::transit(Asn(23520), Asn(8048))]),
+        );
         assert_eq!(arch.len(), 2);
         assert_eq!(arch.first_month(), Some(m(2013, 1)));
         assert_eq!(arch.last_month(), Some(m(2014, 1)));

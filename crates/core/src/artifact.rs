@@ -2,10 +2,9 @@
 //! findings.
 
 use lacnet_types::TimeSeries;
-use serde::{Deserialize, Serialize};
 
 /// One plotted line: a labelled time series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Line {
     /// Legend label (usually a country code or ASN).
     pub label: String,
@@ -16,12 +15,15 @@ pub struct Line {
 impl Line {
     /// Construct a line.
     pub fn new(label: impl Into<String>, series: TimeSeries) -> Self {
-        Line { label: label.into(), series }
+        Line {
+            label: label.into(),
+            series,
+        }
     }
 }
 
 /// One panel of a figure (the paper's figures are multi-panel).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Panel {
     /// Panel title (e.g. `"VE"`, `"LACNIC"`).
     pub title: String,
@@ -32,12 +34,15 @@ pub struct Panel {
 impl Panel {
     /// Construct a panel.
     pub fn new(title: impl Into<String>, lines: Vec<Line>) -> Self {
-        Panel { title: title.into(), lines }
+        Panel {
+            title: title.into(),
+            lines,
+        }
     }
 }
 
 /// A multi-panel figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     /// Artifact id, e.g. `"fig11"`.
     pub id: String,
@@ -48,7 +53,7 @@ pub struct Figure {
 }
 
 /// A table artifact.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Artifact id, e.g. `"tab01"`.
     pub id: String,
@@ -61,7 +66,7 @@ pub struct Table {
 }
 
 /// A heatmap artifact (`None` cells are "not present / not registered").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Heatmap {
     /// Artifact id, e.g. `"fig09"`.
     pub id: String,
@@ -76,7 +81,7 @@ pub struct Heatmap {
 }
 
 /// Any experiment output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Artifact {
     /// A multi-panel figure.
     Figure(Figure),
@@ -107,7 +112,7 @@ impl Artifact {
 }
 
 /// One paper-vs-measured comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Finding {
     /// What is being compared.
     pub metric: String,
@@ -136,13 +141,23 @@ impl Finding {
     }
 
     /// A boolean/qualitative finding.
-    pub fn claim(metric: impl Into<String>, expected: impl Into<String>, observed: impl Into<String>, matches: bool) -> Self {
-        Finding { metric: metric.into(), paper: expected.into(), measured: observed.into(), matches }
+    pub fn claim(
+        metric: impl Into<String>,
+        expected: impl Into<String>,
+        observed: impl Into<String>,
+        matches: bool,
+    ) -> Self {
+        Finding {
+            metric: metric.into(),
+            paper: expected.into(),
+            measured: observed.into(),
+            matches,
+        }
     }
 }
 
 /// The full output of one experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
     /// Experiment id (`fig01` … `fig21`, `tab01`, `tab02`).
     pub id: String,
@@ -182,20 +197,39 @@ mod tests {
             caption: "macro".into(),
             panels: vec![Panel::new(
                 "VE",
-                vec![Line::new("oil", TimeSeries::from_points([(MonthStamp::new(2013, 1), 1.0)]))],
+                vec![Line::new(
+                    "oil",
+                    TimeSeries::from_points([(MonthStamp::new(2013, 1), 1.0)]),
+                )],
             )],
         });
         assert_eq!(fig.id(), "fig01");
         assert_eq!(fig.caption(), "macro");
-        let tab = Artifact::Table(Table { id: "tab01".into(), caption: "isps".into(), headers: vec![], rows: vec![] });
+        let tab = Artifact::Table(Table {
+            id: "tab01".into(),
+            caption: "isps".into(),
+            headers: vec![],
+            rows: vec![],
+        });
         assert_eq!(tab.id(), "tab01");
-        let heat = Artifact::Heatmap(Heatmap { id: "fig09".into(), caption: "h".into(), rows: vec![], cols: vec![], cells: vec![] });
+        let heat = Artifact::Heatmap(Heatmap {
+            id: "fig09".into(),
+            caption: "h".into(),
+            rows: vec![],
+            cols: vec![],
+            cells: vec![],
+        });
         assert_eq!(heat.caption(), "h");
     }
 
     #[test]
     fn result_all_match() {
-        let mut r = ExperimentResult { id: "x".into(), title: "t".into(), artifacts: vec![], findings: vec![] };
+        let mut r = ExperimentResult {
+            id: "x".into(),
+            title: "t".into(),
+            artifacts: vec![],
+            findings: vec![],
+        };
         assert!(r.all_match());
         r.findings.push(Finding::numeric("a", 1.0, 1.0, 0.1));
         assert!(r.all_match());

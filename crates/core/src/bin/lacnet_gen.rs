@@ -20,7 +20,10 @@ fn main() {
         match args[i].as_str() {
             "--out" => {
                 i += 1;
-                out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| die("--out needs a directory"))));
+                out = Some(PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--out needs a directory")),
+                ));
             }
             "--seed" => {
                 i += 1;
@@ -42,7 +45,8 @@ fn main() {
 
     eprintln!("generating world (seed {:#x}) …", config.seed);
     let world = World::generate(config);
-    let summary = datasets::dump(&world, &out).unwrap_or_else(|e| die(&format!("dump failed: {e}")));
+    let summary =
+        datasets::dump(&world, &out).unwrap_or_else(|e| die(&format!("dump failed: {e}")));
     println!(
         "wrote {} files, {:.1} MiB, under {}",
         summary.files.len(),
@@ -50,7 +54,8 @@ fn main() {
         out.display()
     );
     if verify {
-        let checked = datasets::verify(&out).unwrap_or_else(|e| die(&format!("verify failed: {e}")));
+        let checked =
+            datasets::verify(&out).unwrap_or_else(|e| die(&format!("verify failed: {e}")));
         println!("re-parsed {checked} files successfully.");
     }
 }

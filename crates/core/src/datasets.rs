@@ -47,7 +47,10 @@ fn write(root: &Path, rel: &str, contents: &str, summary: &mut DumpSummary) -> i
 /// Export the world's datasets under `root`. Yearly sampling for the
 /// monthly archives keeps the tree a few megabytes.
 pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
-    let mut summary = DumpSummary { files: Vec::new(), bytes: 0 };
+    let mut summary = DumpSummary {
+        files: Vec::new(),
+        bytes: 0,
+    };
     let end = world.config.end;
 
     // serial-1, one file per January.
@@ -89,14 +92,23 @@ pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
         }
         write(
             root,
-            &format!("peeringdb/peeringdb_2_dump_{}_{:02}_01.json", m.year(), m.month()),
+            &format!(
+                "peeringdb/peeringdb_2_dump_{}_{:02}_01.json",
+                m.year(),
+                m.month()
+            ),
             &snap.to_json(),
             &mut summary,
         )?;
     }
 
     // Cable map.
-    write(root, "cables/cable-map.json", &world.cables.to_json(), &mut summary)?;
+    write(
+        root,
+        "cables/cable-map.json",
+        &world.cables.to_json(),
+        &mut summary,
+    )?;
 
     // Off-net scans.
     for scan in &world.cert_scans {
@@ -110,7 +122,12 @@ pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
 
     // Top sites.
     for list in &world.top_sites {
-        write(root, &format!("topsites/{}.json", list.country), &list.to_json(), &mut summary)?;
+        write(
+            root,
+            &format!("topsites/{}.json", list.country),
+            &list.to_json(),
+            &mut summary,
+        )?;
     }
 
     // One month of raw NDT rows (July 2023, the paper's comparison month).
@@ -119,7 +136,13 @@ pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
     let rng_root = Rng::seeded(world.config.seed);
     for cc in country::lacnic_codes() {
         let mut rng = rng_root.fork(&format!("dump/mlab/{cc}"));
-        for t in bandwidth::generate_month(&world.operators, cc, m, world.config.mlab_volume_scale, &mut rng) {
+        for t in bandwidth::generate_month(
+            &world.operators,
+            cc,
+            m,
+            world.config.mlab_volume_scale,
+            &mut rng,
+        ) {
             rows.push_str(&t.to_row());
             rows.push('\n');
         }
@@ -139,7 +162,11 @@ pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
                 .gpdns_sites
                 .iter()
                 .filter(|s| s.active_in(month))
-                .map(|s| AnycastSite { id: s.id.clone(), location: s.location, scope: SiteScope::Global })
+                .map(|s| AnycastSite {
+                    id: s.id.clone(),
+                    location: s.location,
+                    scope: SiteScope::Global,
+                })
                 .collect(),
         );
         let model = LatencyModel::default();
@@ -177,7 +204,11 @@ pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
 
     // Manifest.
     let mut manifest = String::new();
-    let _ = writeln!(manifest, "# lacnet dataset dump (seed {:#x})", world.config.seed);
+    let _ = writeln!(
+        manifest,
+        "# lacnet dataset dump (seed {:#x})",
+        world.config.seed
+    );
     for f in &summary.files {
         let _ = writeln!(manifest, "{f}");
     }
@@ -191,9 +222,7 @@ pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
 /// substrate parsers alone (no access to the in-memory world).
 pub fn verify(root: &Path) -> Result<usize> {
     let mut checked = 0usize;
-    let read = |rel: &str| -> String {
-        fs::read_to_string(root.join(rel)).unwrap_or_default()
-    };
+    let read = |rel: &str| -> String { fs::read_to_string(root.join(rel)).unwrap_or_default() };
     let manifest = read("MANIFEST.txt");
     for rel in manifest.lines().filter(|l| !l.starts_with('#')) {
         let text = read(rel);

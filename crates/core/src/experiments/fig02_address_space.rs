@@ -4,7 +4,7 @@
 use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
 use lacnet_crisis::config::windows;
 use lacnet_crisis::World;
-use lacnet_types::{Asn, TimeSeries};
+use lacnet_types::{sweep, Asn, TimeSeries};
 
 /// Run the experiment. Joins monthly pfx2as snapshots (announced) against
 /// the delegation ledger (allocated) the way §4 describes.
@@ -14,17 +14,12 @@ pub fn run(world: &World) -> ExperimentResult {
     let cantv = Asn(8048);
     let telefonica = Asn(6306);
 
-    let mut cantv_share = TimeSeries::new();
-    let mut telefonica_share = TimeSeries::new();
-    let mut cantv_abs = TimeSeries::new();
-    let mut telefonica_abs = TimeSeries::new();
-
-    for m in start.through(end) {
-        let table = world.pfx2as_at(m);
-        // The share denominator is Venezuela's announced space; in the
-        // generated world all VE announcements come from VE-registered
-        // holders, so the ledger's VE membership identifies them.
-        let ve_holders: Vec<Asn> = world
+    // The share denominator is Venezuela's announced space; in the
+    // generated world all VE announcements come from VE-registered
+    // holders, so the ledger's VE membership identifies them. The ledger
+    // scan does not depend on the month, so it runs once.
+    let ve_holders: Vec<Asn> = {
+        let mut holders: Vec<Asn> = world
             .addressing
             .ledger()
             .entries()
@@ -32,14 +27,26 @@ pub fn run(world: &World) -> ExperimentResult {
             .filter(|a| a.country == lacnet_types::country::VE)
             .map(|a| a.holder)
             .collect();
-        let ve_total: u64 = {
-            let mut holders = ve_holders.clone();
-            holders.sort_unstable();
-            holders.dedup();
-            holders.iter().map(|&h| table.address_space_of(h)).sum()
-        };
-        let c = table.address_space_of(cantv);
-        let t = table.address_space_of(telefonica);
+        holders.sort_unstable();
+        holders.dedup();
+        holders
+    };
+
+    let monthly = sweep::month_range(start, end, |m| {
+        let table = world.pfx2as_at(m);
+        let ve_total: u64 = ve_holders.iter().map(|&h| table.address_space_of(h)).sum();
+        (
+            ve_total,
+            table.address_space_of(cantv),
+            table.address_space_of(telefonica),
+        )
+    });
+
+    let mut cantv_share = TimeSeries::new();
+    let mut telefonica_share = TimeSeries::new();
+    let mut cantv_abs = TimeSeries::new();
+    let mut telefonica_abs = TimeSeries::new();
+    for (m, (ve_total, c, t)) in monthly {
         if ve_total > 0 {
             cantv_share.insert(m, c as f64 / ve_total as f64);
             telefonica_share.insert(m, t as f64 / ve_total as f64);
@@ -53,7 +60,10 @@ pub fn run(world: &World) -> ExperimentResult {
     let cantv_peak_share = cantv_share.max_value().unwrap_or(0.0);
     // Gap at Telefónica's closest approach (pre-withdrawal window).
     let gap = cantv_abs
-        .window(start, lacnet_crisis::addressing::withdrawal_start().plus(-1))
+        .window(
+            start,
+            lacnet_crisis::addressing::withdrawal_start().plus(-1),
+        )
         .zip_with(
             &telefonica_abs,
             |c, t| if c > 0.0 { (c - t) / c } else { 1.0 },
@@ -72,7 +82,12 @@ pub fn run(world: &World) -> ExperimentResult {
         .unwrap_or(0.0);
 
     let findings = vec![
-        Finding::numeric("CANTV mean share of VE announced space", 0.43, cantv_mean_share, 0.35),
+        Finding::numeric(
+            "CANTV mean share of VE announced space",
+            0.43,
+            cantv_mean_share,
+            0.35,
+        ),
         Finding::numeric("CANTV peak share", 0.69, cantv_peak_share, 0.15),
         Finding::numeric("minimum CANTV−Telefónica gap (fraction)", 0.11, gap, 0.8),
         Finding::claim(
@@ -121,7 +136,9 @@ mod tests {
         let world = crate::experiments::testworld::world();
         let r = run(world);
         assert!(r.all_match(), "{:#?}", r.findings);
-        let Artifact::Figure(fig) = &r.artifacts[0] else { panic!("figure expected") };
+        let Artifact::Figure(fig) = &r.artifacts[0] else {
+            panic!("figure expected")
+        };
         assert_eq!(fig.panels.len(), 2);
         // Share series covers the window monthly.
         assert!(fig.panels[0].lines[0].series.len() > 150);

@@ -23,11 +23,36 @@ pub fn run(world: &World) -> ExperimentResult {
     let findings = vec![
         Finding::numeric("region facilities 2018", 180.0, first(&total), 0.05),
         Finding::numeric("region facilities 2024", 552.0, last(&total), 0.05),
-        Finding::numeric("Venezuela facilities 2024", 4.0, last(&series[&country::VE]), 0.01),
-        Finding::numeric("Brazil facilities 2018", 102.0, first(&series[&country::BR]), 0.05),
-        Finding::numeric("Brazil facilities 2024", 311.0, last(&series[&country::BR]), 0.05),
-        Finding::numeric("Mexico facilities 2024", 45.0, last(&series[&country::MX]), 0.05),
-        Finding::numeric("Chile facilities 2024", 45.0, last(&series[&country::CL]), 0.05),
+        Finding::numeric(
+            "Venezuela facilities 2024",
+            4.0,
+            last(&series[&country::VE]),
+            0.01,
+        ),
+        Finding::numeric(
+            "Brazil facilities 2018",
+            102.0,
+            first(&series[&country::BR]),
+            0.05,
+        ),
+        Finding::numeric(
+            "Brazil facilities 2024",
+            311.0,
+            last(&series[&country::BR]),
+            0.05,
+        ),
+        Finding::numeric(
+            "Mexico facilities 2024",
+            45.0,
+            last(&series[&country::MX]),
+            0.05,
+        ),
+        Finding::numeric(
+            "Chile facilities 2024",
+            45.0,
+            last(&series[&country::CL]),
+            0.05,
+        ),
         Finding::numeric(
             "Costa Rica facilities 2024 (state-incumbent counter-example)",
             8.0,
@@ -64,7 +89,9 @@ mod tests {
         let world = crate::experiments::testworld::world();
         let r = run(world);
         assert!(r.all_match(), "{:#?}", r.findings);
-        let Artifact::Figure(fig) = &r.artifacts[0] else { panic!() };
+        let Artifact::Figure(fig) = &r.artifacts[0] else {
+            panic!()
+        };
         assert_eq!(fig.panels.len(), 4);
     }
 }

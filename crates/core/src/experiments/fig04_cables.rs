@@ -28,17 +28,46 @@ pub fn run(world: &World) -> ExperimentResult {
             total.get(MonthStamp::new(2000, 12)).unwrap_or(0.0),
             0.01,
         ),
-        Finding::numeric("region cables in 2024", 54.0, total.last().map(|(_, v)| v).unwrap_or(0.0), 0.02),
+        Finding::numeric(
+            "region cables in 2024",
+            54.0,
+            total.last().map(|(_, v)| v).unwrap_or(0.0),
+            0.02,
+        ),
         Finding::claim(
             "Venezuela's only addition in the past decade",
             "ALBA (to Cuba)",
-            added_ve.iter().map(|c| c.name.as_str()).collect::<Vec<_>>().join(", "),
+            added_ve
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
             added_ve.len() == 1 && added_ve[0].lands_in(country::CU),
         ),
-        Finding::numeric("Brazil cables 2024", 17.0, series[&country::BR].last().map(|(_, v)| v).unwrap_or(0.0), 0.01),
-        Finding::numeric("Colombia cables 2024", 13.0, series[&country::CO].last().map(|(_, v)| v).unwrap_or(0.0), 0.01),
-        Finding::numeric("Chile cables 2024", 9.0, series[&country::CL].last().map(|(_, v)| v).unwrap_or(0.0), 0.01),
-        Finding::numeric("Argentina cables 2024", 9.0, series[&country::AR].last().map(|(_, v)| v).unwrap_or(0.0), 0.01),
+        Finding::numeric(
+            "Brazil cables 2024",
+            17.0,
+            series[&country::BR].last().map(|(_, v)| v).unwrap_or(0.0),
+            0.01,
+        ),
+        Finding::numeric(
+            "Colombia cables 2024",
+            13.0,
+            series[&country::CO].last().map(|(_, v)| v).unwrap_or(0.0),
+            0.01,
+        ),
+        Finding::numeric(
+            "Chile cables 2024",
+            9.0,
+            series[&country::CL].last().map(|(_, v)| v).unwrap_or(0.0),
+            0.01,
+        ),
+        Finding::numeric(
+            "Argentina cables 2024",
+            9.0,
+            series[&country::AR].last().map(|(_, v)| v).unwrap_or(0.0),
+            0.01,
+        ),
     ];
 
     let figure = Figure {
@@ -46,7 +75,10 @@ pub fn run(world: &World) -> ExperimentResult {
         caption: "Expansion of Submarine Cable Networks in the LACNIC Region".into(),
         panels: vec![
             Panel::new("countries", common::country_lines(&series)),
-            Panel::new("Venezuela", vec![Line::new("VE", series[&country::VE].clone())]),
+            Panel::new(
+                "Venezuela",
+                vec![Line::new("VE", series[&country::VE].clone())],
+            ),
             Panel::new("LACNIC", vec![Line::new("total", total)]),
         ],
     };

@@ -52,8 +52,16 @@ pub fn run(world: &World) -> ExperimentResult {
         Finding::claim(
             "Venezuela near zero until 2021",
             "< 0.5% before 2021",
-            format!("{:.2}% at 2020-12", series[&country::VE].get(MonthStamp::new(2020, 12)).unwrap_or(0.0)),
-            series[&country::VE].get(MonthStamp::new(2020, 12)).unwrap_or(1.0) < 0.5,
+            format!(
+                "{:.2}% at 2020-12",
+                series[&country::VE]
+                    .get(MonthStamp::new(2020, 12))
+                    .unwrap_or(0.0)
+            ),
+            series[&country::VE]
+                .get(MonthStamp::new(2020, 12))
+                .unwrap_or(1.0)
+                < 0.5,
         ),
     ];
 

@@ -5,7 +5,7 @@ use crate::experiments::common;
 use lacnet_atlas::campaign;
 use lacnet_crisis::config::windows;
 use lacnet_crisis::World;
-use lacnet_types::{country, MonthStamp, TimeSeries};
+use lacnet_types::{country, sweep, MonthStamp, TimeSeries};
 use std::collections::BTreeMap;
 
 /// Run the experiment. To keep the battery fast the campaign samples
@@ -23,20 +23,25 @@ pub fn run(world: &World) -> ExperimentResult {
         months.push(end);
     }
 
+    // Each sample month's campaign is independent; sweep them across
+    // worker threads and merge in month order.
     let camp = campaign::ChaosCampaign::new(&world.dns.probes, &world.dns.roots);
-    let mut series: BTreeMap<_, TimeSeries> = BTreeMap::new();
-    for &m in &months {
+    let sampled = sweep::months_sweep(&months, |m| {
         let obs = camp.run_month(m);
-        for (cc, replicas) in campaign::replicas_by_country(&obs) {
-            if country::in_lacnic(cc) {
-                series.entry(cc).or_default().insert(m, replicas.len() as f64);
-            }
+        campaign::replicas_by_country(&obs)
+            .into_iter()
+            .filter(|(cc, _)| country::in_lacnic(*cc))
+            .map(|(cc, replicas)| (cc, replicas.len() as f64))
+            .collect::<Vec<_>>()
+    });
+    let mut series: BTreeMap<_, TimeSeries> = BTreeMap::new();
+    for (m, counts) in sampled {
+        for (cc, n) in counts {
+            series.entry(cc).or_default().insert(m, n);
         }
     }
 
-    let region_total = |m: MonthStamp| -> f64 {
-        series.values().filter_map(|s| s.get(m)).sum()
-    };
+    let region_total = |m: MonthStamp| -> f64 { series.values().filter_map(|s| s.get(m)).sum() };
     let t0 = region_total(MonthStamp::new(2016, 1));
     let t1 = region_total(end);
     let ve = series.get(&country::VE).cloned().unwrap_or_default();
@@ -52,8 +57,18 @@ pub fn run(world: &World) -> ExperimentResult {
         Finding::numeric("region replicas 2016", 59.0, t0, 0.10),
         Finding::numeric("region replicas 2024", 138.0, t1, 0.07),
         Finding::numeric("region growth factor", 2.34, t1 / t0.max(1.0), 0.12),
-        Finding::numeric("Venezuela replicas 2016", 2.0, ve.get(MonthStamp::new(2016, 1)).unwrap_or(0.0), 0.01),
-        Finding::numeric("Venezuela replicas 2024", 0.0, ve.get(end).unwrap_or(0.0), 0.01),
+        Finding::numeric(
+            "Venezuela replicas 2016",
+            2.0,
+            ve.get(MonthStamp::new(2016, 1)).unwrap_or(0.0),
+            0.01,
+        ),
+        Finding::numeric(
+            "Venezuela replicas 2024",
+            0.0,
+            ve.get(end).unwrap_or(0.0),
+            0.01,
+        ),
         Finding::numeric("Brazil replicas: 2024", 41.0, at_end(country::BR), 0.05),
         Finding::numeric("Chile replicas: 2024", 20.0, at_end(country::CL), 0.05),
         Finding::numeric("Mexico replicas: 2024", 16.0, at_end(country::MX), 0.07),

@@ -12,7 +12,14 @@ pub const FIG7_PROVIDERS: [&str; 4] = ["Google", "Akamai", "Facebook", "Netflix"
 
 /// The figure's six countries.
 fn fig7_countries() -> Vec<lacnet_types::CountryCode> {
-    vec![country::AR, country::BR, country::CL, country::CO, country::MX, country::VE]
+    vec![
+        country::AR,
+        country::BR,
+        country::CL,
+        country::CO,
+        country::MX,
+        country::VE,
+    ]
 }
 
 /// Run the experiment.
@@ -43,7 +50,8 @@ pub fn run(world: &World) -> ExperimentResult {
         ("Facebook", 28.33, 0.25),
         ("Netflix", 5.87, 0.4),
     ] {
-        let measured = lacnet_crisis::cdn::ve_mean_coverage(&world.operators, &world.cert_scans, name);
+        let measured =
+            lacnet_crisis::cdn::ve_mean_coverage(&world.operators, &world.cert_scans, name);
         findings.push(Finding::numeric(
             format!("VE mean coverage, {name} (%)"),
             paper_mean,
@@ -80,7 +88,8 @@ pub fn run(world: &World) -> ExperimentResult {
         title: "Hypergiant off-net population coverage".into(),
         artifacts: vec![Artifact::Figure(Figure {
             id: "fig07".into(),
-            caption: "Share of each country's Internet population in networks hosting off-nets".into(),
+            caption: "Share of each country's Internet population in networks hosting off-nets"
+                .into(),
             panels,
         })],
         findings,
@@ -96,7 +105,9 @@ mod tests {
         let world = crate::experiments::testworld::world();
         let r = run(world);
         assert!(r.all_match(), "{:#?}", r.findings);
-        let Artifact::Figure(fig) = &r.artifacts[0] else { panic!() };
+        let Artifact::Figure(fig) = &r.artifacts[0] else {
+            panic!()
+        };
         assert_eq!(fig.panels.len(), 4);
         assert_eq!(fig.panels[0].lines.len(), 6);
     }

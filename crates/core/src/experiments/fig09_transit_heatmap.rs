@@ -12,19 +12,29 @@ pub fn run(world: &World) -> ExperimentResult {
 
     let heat = Heatmap {
         id: "fig09".into(),
-        caption: "Changes over time in CANTV's upstream connectivity (providers ≥ 12 months)".into(),
+        caption: "Changes over time in CANTV's upstream connectivity (providers ≥ 12 months)"
+            .into(),
         rows: pp.providers.iter().map(|a| a.to_string()).collect(),
         cols: pp.months.iter().map(|m| m.to_string()).collect(),
         cells: pp
             .presence
             .iter()
-            .map(|row| row.iter().map(|&b| if b { Some(1.0) } else { None }).collect())
+            .map(|row| {
+                row.iter()
+                    .map(|&b| if b { Some(1.0) } else { None })
+                    .collect()
+            })
             .collect(),
     };
 
     let year_left = |asn: u32| pp.last_seen(Asn(asn)).map(|m| m.year());
     let findings = vec![
-        Finding::numeric("providers in the heatmap", 18.0, pp.providers.len() as f64, 0.01),
+        Finding::numeric(
+            "providers in the heatmap",
+            18.0,
+            pp.providers.len() as f64,
+            0.01,
+        ),
         Finding::claim(
             "Verizon (AS701) departs",
             "2013",
@@ -98,7 +108,9 @@ mod tests {
         let world = crate::experiments::testworld::world();
         let r = run(world);
         assert!(r.all_match(), "{:#?}", r.findings);
-        let Artifact::Heatmap(h) = &r.artifacts[0] else { panic!() };
+        let Artifact::Heatmap(h) = &r.artifacts[0] else {
+            panic!()
+        };
         assert_eq!(h.rows.len(), 18);
         assert_eq!(h.cells.len(), 18);
         assert!(h.cols.len() > 300, "monthly columns since 1998");

@@ -43,8 +43,12 @@ pub fn run(world: &World) -> ExperimentResult {
 
     // Findings: the diagonals the paper quotes and Venezuela's absence.
     let share_at = |row: CountryCode, ixp: &str| -> f64 {
-        let Some(ci) = cols.iter().position(|(n, _)| n == ixp) else { return 0.0 };
-        let Some(ri) = rows.iter().position(|&r| r == row) else { return 0.0 };
+        let Some(ci) = cols.iter().position(|(n, _)| n == ixp) else {
+            return 0.0;
+        };
+        let Some(ri) = rows.iter().position(|&r| r == row) else {
+            return 0.0;
+        };
         cells[ri][ci].unwrap_or(0.0)
     };
     let ve_row_total: f64 = {
@@ -86,7 +90,9 @@ mod tests {
         let world = crate::experiments::testworld::world();
         let r = run(world);
         assert!(r.all_match(), "{:#?}", r.findings);
-        let Artifact::Heatmap(h) = &r.artifacts[0] else { panic!() };
+        let Artifact::Heatmap(h) = &r.artifacts[0] else {
+            panic!()
+        };
         assert!(h.cols.len() >= 15, "one flagship IXP per country with one");
     }
 }

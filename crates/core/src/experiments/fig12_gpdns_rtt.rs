@@ -26,7 +26,10 @@ pub fn run(world: &World) -> ExperimentResult {
         .collect();
 
     let trailing = |cc: lacnet_types::CountryCode| -> f64 {
-        series.get(&cc).and_then(|s| s.trailing_mean(6)).unwrap_or(0.0)
+        series
+            .get(&cc)
+            .and_then(|s| s.trailing_mean(6))
+            .unwrap_or(0.0)
     };
     let ve = trailing(country::VE);
     let regional: Vec<f64> = series.keys().map(|&cc| trailing(cc)).collect();
@@ -34,7 +37,12 @@ pub fn run(world: &World) -> ExperimentResult {
 
     let findings = vec![
         Finding::numeric("VE latency, last 6 months (ms)", 36.56, ve, 0.2),
-        Finding::numeric("LACNIC average, last 6 months (ms)", 17.74, region_mean, 0.25),
+        Finding::numeric(
+            "LACNIC average, last 6 months (ms)",
+            17.74,
+            region_mean,
+            0.25,
+        ),
         Finding::numeric("VE / region ratio", 2.06, ve / region_mean.max(1e-9), 0.25),
         Finding::claim(
             "Colombia's dramatic decline (48.48 → 16.10 ms)",
@@ -43,13 +51,18 @@ pub fn run(world: &World) -> ExperimentResult {
                 let co = &series[&country::CO];
                 format!(
                     "{:.1} → {:.1} ms",
-                    co.window(MonthStamp::new(2016, 1), MonthStamp::new(2016, 6)).mean().unwrap_or(0.0),
+                    co.window(MonthStamp::new(2016, 1), MonthStamp::new(2016, 6))
+                        .mean()
+                        .unwrap_or(0.0),
                     co.trailing_mean(6).unwrap_or(0.0)
                 )
             },
             {
                 let co = &series[&country::CO];
-                let early = co.window(MonthStamp::new(2016, 1), MonthStamp::new(2016, 6)).mean().unwrap_or(0.0);
+                let early = co
+                    .window(MonthStamp::new(2016, 1), MonthStamp::new(2016, 6))
+                    .mean()
+                    .unwrap_or(0.0);
                 early - co.trailing_mean(6).unwrap_or(early) > 25.0
             },
         ),

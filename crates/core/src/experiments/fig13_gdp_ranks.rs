@@ -29,7 +29,8 @@ pub fn run(world: &World) -> ExperimentResult {
     }
 
     let n = e.imf_countries().len();
-    let findings = vec![
+    let findings =
+        vec![
         Finding::numeric("VE rank 1980", 3.0, ranks.get(&1980).copied().unwrap_or(99) as f64, 0.01),
         Finding::claim(
             "VE second wealthiest by 1985",

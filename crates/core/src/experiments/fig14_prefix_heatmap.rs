@@ -4,7 +4,7 @@
 use crate::artifact::{Artifact, ExperimentResult, Finding, Heatmap};
 use lacnet_crisis::addressing;
 use lacnet_crisis::World;
-use lacnet_types::{Asn, Ipv4Net, MonthStamp};
+use lacnet_types::{sweep, Asn, Ipv4Net, MonthStamp};
 use std::collections::BTreeMap;
 
 /// Run the experiment. Columns are quarterly to match the paper's
@@ -18,11 +18,13 @@ pub fn run(world: &World) -> ExperimentResult {
         .filter(|m| matches!(m.month(), 3 | 6 | 9 | 12))
         .collect();
 
-    // Union of all prefixes ever announced by Telefónica over the window.
+    // Union of all prefixes ever announced by Telefónica over the window:
+    // read each column's snapshot across worker threads, then merge in
+    // column order.
+    let columns = sweep::months_sweep(&months, |m| world.pfx2as_at(m).prefixes_of(telefonica));
     let mut prefixes: BTreeMap<Ipv4Net, Vec<bool>> = BTreeMap::new();
-    for (col, &m) in months.iter().enumerate() {
-        let table = world.pfx2as_at(m);
-        for p in table.prefixes_of(telefonica) {
+    for (col, (_, announced)) in columns.into_iter().enumerate() {
+        for p in announced {
             prefixes
                 .entry(p)
                 .or_insert_with(|| vec![false; months.len()])[col] = true;
@@ -32,7 +34,11 @@ pub fn run(world: &World) -> ExperimentResult {
     let rows: Vec<Ipv4Net> = prefixes.keys().copied().collect();
     let cells: Vec<Vec<Option<f64>>> = prefixes
         .values()
-        .map(|row| row.iter().map(|&b| if b { Some(1.0) } else { None }).collect())
+        .map(|row| {
+            row.iter()
+                .map(|&b| if b { Some(1.0) } else { None })
+                .collect()
+        })
         .collect();
 
     let heat = Heatmap {
@@ -69,7 +75,10 @@ pub fn run(world: &World) -> ExperimentResult {
 
     let pre = visible_17s_at(MonthStamp::new(2016, 3));
     let mid = visible_17s_at(MonthStamp::new(2019, 3));
-    let post_aggr = visible_aggregates_at(end.plus(-(end.month() as i32 % 3) as i32).max(MonthStamp::new(2023, 9)));
+    let post_aggr = visible_aggregates_at(
+        end.plus(-(end.month() as i32 % 3))
+            .max(MonthStamp::new(2023, 9)),
+    );
 
     let findings = vec![
         Finding::claim(
@@ -113,7 +122,9 @@ mod tests {
         let world = crate::experiments::testworld::world();
         let r = run(world);
         assert!(r.all_match(), "{:#?}", r.findings);
-        let Artifact::Heatmap(h) = &r.artifacts[0] else { panic!() };
+        let Artifact::Heatmap(h) = &r.artifacts[0] else {
+            panic!()
+        };
         assert!(h.rows.len() >= 15, "rows: {}", h.rows.len());
     }
 }

@@ -79,9 +79,10 @@ pub fn run(world: &World) -> ExperimentResult {
             "Table 2 contains no hypergiants or large transits",
             "no Google/Cloudflare/tier-1 rows",
             "roster checked",
-            !roster.values().flatten().any(|a| {
-                matches!(a.raw(), 15169 | 13335 | 701 | 1239 | 3356 | 7018 | 1299)
-            }),
+            !roster
+                .values()
+                .flatten()
+                .any(|a| matches!(a.raw(), 15169 | 13335 | 701 | 1239 | 3356 | 7018 | 1299)),
         ),
     ];
 
@@ -102,7 +103,9 @@ mod tests {
         let world = crate::experiments::testworld::world();
         let r = run(world);
         assert!(r.all_match(), "{:#?}", r.findings);
-        let Artifact::Table(t) = &r.artifacts[1] else { panic!() };
+        let Artifact::Table(t) = &r.artifacts[1] else {
+            panic!()
+        };
         assert!(t.rows.len() >= 14, "Table 2 rows: {}", t.rows.len());
     }
 }

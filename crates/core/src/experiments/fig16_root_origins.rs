@@ -5,7 +5,7 @@ use crate::artifact::{Artifact, ExperimentResult, Finding, Heatmap};
 use lacnet_atlas::campaign;
 use lacnet_crisis::config::windows;
 use lacnet_crisis::World;
-use lacnet_types::{country, CountryCode, MonthStamp, TimeSeries};
+use lacnet_types::{country, sweep, CountryCode, MonthStamp, TimeSeries};
 use std::collections::BTreeMap;
 
 /// Run the experiment (quarterly sampling).
@@ -17,9 +17,13 @@ pub fn run(world: &World) -> ExperimentResult {
         .filter(|m| matches!(m.month(), 1 | 4 | 7 | 10))
         .collect();
 
+    // One origin sample per quarter, swept across worker threads and
+    // merged in month order.
+    let sampled = sweep::months_sweep(&months, |m| {
+        campaign::origin_heatmap(&world.dns.probes, &world.dns.roots, country::VE, m, m)
+    });
     let mut heat_data: BTreeMap<CountryCode, TimeSeries> = BTreeMap::new();
-    for &m in &months {
-        let partial = campaign::origin_heatmap(&world.dns.probes, &world.dns.roots, country::VE, m, m);
+    for (m, partial) in sampled {
         for (cc, s) in partial {
             if let Some(v) = s.get(m) {
                 heat_data.entry(cc).or_default().insert(m, v);
@@ -54,7 +58,9 @@ pub fn run(world: &World) -> ExperimentResult {
             "VE row ≥ 2 in 2017",
             format!(
                 "{:?}",
-                heat_data.get(&country::VE).and_then(|s| s.get(MonthStamp::new(2017, 1)))
+                heat_data
+                    .get(&country::VE)
+                    .and_then(|s| s.get(MonthStamp::new(2017, 1)))
             ),
             heat_data
                 .get(&country::VE)
@@ -79,7 +85,10 @@ pub fn run(world: &World) -> ExperimentResult {
             "all four present",
             format!(
                 "GB {} DE {} FR {} NL {}",
-                at_end("GB"), at_end("DE"), at_end("FR"), at_end("NL")
+                at_end("GB"),
+                at_end("DE"),
+                at_end("FR"),
+                at_end("NL")
             ),
             ["GB", "DE", "FR", "NL"].iter().all(|cc| at_end(cc) >= 1.0),
         ),

@@ -28,13 +28,32 @@ pub fn run(world: &World) -> ExperimentResult {
     let ve = series[&country::VE].clone();
     let counts = probes.counts_by_country(MonthStamp::new(2023, 6));
     let mut ranked: Vec<(usize, _)> = counts.iter().map(|(&cc, &n)| (n, cc)).collect();
-    ranked.sort_by(|a, b| b.0.cmp(&a.0));
-    let ve_rank = ranked.iter().position(|&(_, cc)| cc == country::VE).map(|i| i + 1).unwrap_or(0);
+    ranked.sort_by_key(|r| std::cmp::Reverse(r.0));
+    let ve_rank = ranked
+        .iter()
+        .position(|&(_, cc)| cc == country::VE)
+        .map(|i| i + 1)
+        .unwrap_or(0);
 
     let findings = vec![
-        Finding::numeric("VE probes in 2016", 10.0, ve.first().map(|(_, v)| v).unwrap_or(0.0), 0.05),
-        Finding::numeric("VE probes in 2024", 30.0, ve.last().map(|(_, v)| v).unwrap_or(0.0), 0.05),
-        Finding::numeric("VE probe-count rank in the region", 6.0, ve_rank as f64, 0.2),
+        Finding::numeric(
+            "VE probes in 2016",
+            10.0,
+            ve.first().map(|(_, v)| v).unwrap_or(0.0),
+            0.05,
+        ),
+        Finding::numeric(
+            "VE probes in 2024",
+            30.0,
+            ve.last().map(|(_, v)| v).unwrap_or(0.0),
+            0.05,
+        ),
+        Finding::numeric(
+            "VE probe-count rank in the region",
+            6.0,
+            ve_rank as f64,
+            0.2,
+        ),
         Finding::claim(
             "coverage grew from 10 to 30 in the last two years of the window",
             "late growth",
@@ -43,16 +62,26 @@ pub fn run(world: &World) -> ExperimentResult {
                 ve.get(MonthStamp::new(2021, 6)).unwrap_or(0.0),
                 ve.last().map(|(_, v)| v).unwrap_or(0.0)
             ),
-            ve.last().map(|(_, v)| v).unwrap_or(0.0) > ve.get(MonthStamp::new(2021, 6)).unwrap_or(0.0),
+            ve.last().map(|(_, v)| v).unwrap_or(0.0)
+                > ve.get(MonthStamp::new(2021, 6)).unwrap_or(0.0),
         ),
         Finding::claim(
             "CANTV hosts only 8 probes",
             "8",
             format!(
                 "{}",
-                probes.all().iter().filter(|p| p.asn == lacnet_types::Asn(8048)).count()
+                probes
+                    .all()
+                    .iter()
+                    .filter(|p| p.asn == lacnet_types::Asn(8048))
+                    .count()
             ),
-            probes.all().iter().filter(|p| p.asn == lacnet_types::Asn(8048)).count() == 8,
+            probes
+                .all()
+                .iter()
+                .filter(|p| p.asn == lacnet_types::Asn(8048))
+                .count()
+                == 8,
         ),
     ];
 

@@ -81,7 +81,9 @@ mod tests {
         let world = crate::experiments::testworld::world();
         let r = run(world);
         assert!(r.all_match(), "{:#?}", r.findings);
-        let Artifact::Figure(fig) = &r.artifacts[0] else { panic!() };
+        let Artifact::Figure(fig) = &r.artifacts[0] else {
+            panic!()
+        };
         assert_eq!(fig.panels.len(), 10);
     }
 }

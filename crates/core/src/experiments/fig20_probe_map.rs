@@ -32,7 +32,13 @@ pub fn run(world: &World) -> ExperimentResult {
     let table = Table {
         id: "fig20".into(),
         caption: format!("Venezuelan probes and their min-RTT to GPDNS, {month}"),
-        headers: vec!["probe".into(), "lat".into(), "lon".into(), "rtt_ms".into(), "bucket".into()],
+        headers: vec![
+            "probe".into(),
+            "lat".into(),
+            "lon".into(),
+            "rtt_ms".into(),
+            "bucket".into(),
+        ],
         rows: ve
             .iter()
             .map(|o| {
@@ -51,8 +57,10 @@ pub fn run(world: &World) -> ExperimentResult {
     // (Colombian border / Maracaibo), slow ones in the east (Caracas).
     let fast: Vec<_> = ve.iter().filter(|o| o.rtt_ms < 20.0).collect();
     let slow: Vec<_> = ve.iter().filter(|o| o.rtt_ms > 30.0).collect();
-    let fast_mean_lon = fast.iter().map(|o| o.location.lon_deg()).sum::<f64>() / fast.len().max(1) as f64;
-    let slow_mean_lon = slow.iter().map(|o| o.location.lon_deg()).sum::<f64>() / slow.len().max(1) as f64;
+    let fast_mean_lon =
+        fast.iter().map(|o| o.location.lon_deg()).sum::<f64>() / fast.len().max(1) as f64;
+    let slow_mean_lon =
+        slow.iter().map(|o| o.location.lon_deg()).sum::<f64>() / slow.len().max(1) as f64;
 
     let findings = vec![
         Finding::claim(
@@ -70,7 +78,10 @@ pub fn run(world: &World) -> ExperimentResult {
         Finding::claim(
             "no GPDNS server inside Venezuela",
             "even the fastest probe pays a border-crossing RTT",
-            format!("min RTT {:.1} ms", ve.first().map(|o| o.rtt_ms).unwrap_or(0.0)),
+            format!(
+                "min RTT {:.1} ms",
+                ve.first().map(|o| o.rtt_ms).unwrap_or(0.0)
+            ),
             ve.first().map(|o| o.rtt_ms).unwrap_or(0.0) > 5.0,
         ),
         Finding::claim(
@@ -107,7 +118,9 @@ mod tests {
         let world = crate::experiments::testworld::world();
         let r = run(world);
         assert!(r.all_match(), "{:#?}", r.findings);
-        let Artifact::Table(t) = &r.artifacts[0] else { panic!() };
+        let Artifact::Table(t) = &r.artifacts[0] else {
+            panic!()
+        };
         assert_eq!(t.rows.len(), 30, "all 30 VE probes mapped");
     }
 }

@@ -81,7 +81,12 @@ pub fn run(world: &World) -> ExperimentResult {
     };
 
     let findings = vec![
-        Finding::numeric("VE networks at US IXPs", 7.0, ve_networks.len() as f64, 0.01),
+        Finding::numeric(
+            "VE networks at US IXPs",
+            7.0,
+            ve_networks.len() as f64,
+            0.01,
+        ),
         Finding::numeric("VE population share at US IXPs (%)", 7.0, ve_share, 0.15),
         Finding::claim(
             "BR/MX networks present across most US exchanges",
@@ -103,7 +108,12 @@ pub fn run(world: &World) -> ExperimentResult {
                 let breadth = presence_breadth(country::UY);
                 let ri = rows.iter().position(|&r| r == country::UY);
                 let max_share = ri
-                    .map(|i| shares.cells[i].iter().flatten().fold(0.0f64, |a, &b| a.max(b)))
+                    .map(|i| {
+                        shares.cells[i]
+                            .iter()
+                            .flatten()
+                            .fold(0.0f64, |a, &b| a.max(b))
+                    })
                     .unwrap_or(0.0);
                 breadth <= 4 && max_share > 40.0
             },

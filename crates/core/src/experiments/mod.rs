@@ -39,8 +39,9 @@ pub(crate) mod common {
 
     /// Build one line per country from a map of series, peers first.
     pub fn country_lines(series: &BTreeMap<CountryCode, TimeSeries>) -> Vec<Line> {
+        let peers = peers();
         let mut lines: Vec<Line> = Vec::new();
-        for cc in peers() {
+        for &cc in &peers {
             if let Some(s) = series.get(&cc) {
                 lines.push(Line::new(cc.as_str(), s.clone()));
             }
@@ -49,7 +50,7 @@ pub(crate) mod common {
             lines.push(Line::new("VE", s.clone()));
         }
         for (cc, s) in series {
-            if *cc != country::VE && !peers().contains(cc) {
+            if *cc != country::VE && !peers.contains(cc) {
                 lines.push(Line::new(cc.as_str(), s.clone()));
             }
         }
@@ -57,32 +58,45 @@ pub(crate) mod common {
     }
 }
 
-/// Run every experiment in paper order.
+/// The battery, in paper order. Every experiment is a pure function of
+/// the world, which is what lets [`all`] distribute them across threads.
+const BATTERY: [fn(&World) -> ExperimentResult; 22] = [
+    fig01_macro::run,
+    fig02_address_space::run,
+    fig03_facilities::run,
+    fig04_cables::run,
+    fig05_ipv6::run,
+    fig06_roots::run,
+    fig07_offnets::run,
+    fig08_cantv_degree::run,
+    fig09_transit_heatmap::run,
+    fig10_ixp_matrix::run,
+    fig11_bandwidth::run,
+    fig12_gpdns_rtt::run,
+    tab01_isps::run,
+    fig13_gdp_ranks::run,
+    fig14_prefix_heatmap::run,
+    fig15_ve_facilities::run,
+    fig16_root_origins::run,
+    fig17_probe_coverage::run,
+    fig18_all_hypergiants::run,
+    fig19_third_party::run,
+    fig20_probe_map::run,
+    fig21_us_ixps::run,
+];
+
+/// Run every experiment in paper order, distributing the battery across
+/// worker threads. The result is identical — byte for byte once rendered
+/// — to [`all_serial`]; `tests/parallel_equivalence.rs` holds that
+/// invariant.
 pub fn all(world: &World) -> Vec<ExperimentResult> {
-    vec![
-        fig01_macro::run(world),
-        fig02_address_space::run(world),
-        fig03_facilities::run(world),
-        fig04_cables::run(world),
-        fig05_ipv6::run(world),
-        fig06_roots::run(world),
-        fig07_offnets::run(world),
-        fig08_cantv_degree::run(world),
-        fig09_transit_heatmap::run(world),
-        fig10_ixp_matrix::run(world),
-        fig11_bandwidth::run(world),
-        fig12_gpdns_rtt::run(world),
-        tab01_isps::run(world),
-        fig13_gdp_ranks::run(world),
-        fig14_prefix_heatmap::run(world),
-        fig15_ve_facilities::run(world),
-        fig16_root_origins::run(world),
-        fig17_probe_coverage::run(world),
-        fig18_all_hypergiants::run(world),
-        fig19_third_party::run(world),
-        fig20_probe_map::run(world),
-        fig21_us_ixps::run(world),
-    ]
+    lacnet_types::sweep::parallel_map(&BATTERY, |run| run(world))
+}
+
+/// Run every experiment in paper order on the calling thread — the
+/// reference implementation the parallel battery is checked against.
+pub fn all_serial(world: &World) -> Vec<ExperimentResult> {
+    BATTERY.iter().map(|run| run(world)).collect()
 }
 
 /// Shared lazily-generated world for the experiment test modules — world

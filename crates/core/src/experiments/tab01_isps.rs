@@ -80,7 +80,9 @@ mod tests {
         let world = crate::experiments::testworld::world();
         let r = run(world);
         assert!(r.all_match(), "{:#?}", r.findings);
-        let Artifact::Table(t) = &r.artifacts[0] else { panic!() };
+        let Artifact::Table(t) = &r.artifacts[0] else {
+            panic!()
+        };
         assert_eq!(t.rows.len(), 10);
         assert_eq!(t.rows[0][0], "8048");
         assert_eq!(t.rows[0][2], "4330868");

@@ -17,9 +17,12 @@ use lacnet_mlab::multi::{Group, Metric, MultiAggregator};
 use lacnet_types::rng::Rng;
 use lacnet_types::{country, Asn, Date, MonthStamp};
 
-/// Run all extension analyses.
+/// Run all extension analyses, each on its own worker thread (they are
+/// independent pure functions of the world, like the paper battery).
 pub fn all(world: &World) -> Vec<ExperimentResult> {
-    vec![ext_blackouts(world), ext_inference(world), ext_network_split(world)]
+    const EXTENSIONS: [fn(&World) -> ExperimentResult; 3] =
+        [ext_blackouts, ext_inference, ext_network_split];
+    lacnet_types::sweep::parallel_map(&EXTENSIONS, |run| run(world))
 }
 
 /// Outage detection over the 2019 blackout year.
@@ -68,7 +71,10 @@ pub fn ext_blackouts(world: &World) -> ExperimentResult {
         Finding::claim(
             "no other country shows national outages",
             "Venezuela only",
-            format!("{:?}", detected.keys().map(|c| c.to_string()).collect::<Vec<_>>()),
+            format!(
+                "{:?}",
+                detected.keys().map(|c| c.to_string()).collect::<Vec<_>>()
+            ),
             detected.len() == 1,
         ),
     ];
@@ -170,7 +176,11 @@ pub fn ext_inference(world: &World) -> ExperimentResult {
         Finding::claim(
             "Gao's documented weakness appears at the eyeball/wholesale boundary",
             "at least one CANTV provider edge misclassified (degree is not altitude)",
-            if cantv_edges_clean { "all clean (unexpected)".into() } else { "misclassification observed".to_string() },
+            if cantv_edges_clean {
+                "all clean (unexpected)".into()
+            } else {
+                "misclassification observed".to_string()
+            },
             !cantv_edges_clean,
         ),
     ];

@@ -12,7 +12,12 @@ pub fn render_result(result: &ExperimentResult) -> String {
         let tab = Table {
             id: format!("{}-findings", result.id),
             caption: "paper vs measured".into(),
-            headers: vec!["metric".into(), "paper".into(), "measured".into(), "ok".into()],
+            headers: vec![
+                "metric".into(),
+                "paper".into(),
+                "measured".into(),
+                "ok".into(),
+            ],
             rows: result
                 .findings
                 .iter()
@@ -76,7 +81,9 @@ pub fn sparkline(series: &lacnet_types::TimeSeries) -> String {
     }
     let (min, max) = vals
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     let span = (max - min).max(1e-12);
     let cols = 24.min(vals.len());
     (0..cols)
@@ -93,9 +100,14 @@ pub fn sparkline(series: &lacnet_types::TimeSeries) -> String {
 pub fn render_table(tab: &Table) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "-- {}: {}", tab.id, tab.caption);
-    let ncols = tab.headers.len().max(tab.rows.iter().map(Vec::len).max().unwrap_or(0));
+    let ncols = tab
+        .headers
+        .len()
+        .max(tab.rows.iter().map(Vec::len).max().unwrap_or(0));
     let mut widths = vec![0usize; ncols];
-    let all_rows: Vec<&Vec<String>> = std::iter::once(&tab.headers).chain(tab.rows.iter()).collect();
+    let all_rows: Vec<&Vec<String>> = std::iter::once(&tab.headers)
+        .chain(tab.rows.iter())
+        .collect();
     for row in &all_rows {
         for (i, cell) in row.iter().enumerate() {
             widths[i] = widths[i].max(cell.chars().count());
@@ -130,7 +142,13 @@ pub fn render_heatmap(heat: &Heatmap) -> String {
         .flatten()
         .flatten()
         .fold(0.0f64, |a, &b| a.max(b));
-    let label_w = heat.rows.iter().map(|r| r.chars().count()).max().unwrap_or(0).min(24);
+    let label_w = heat
+        .rows
+        .iter()
+        .map(|r| r.chars().count())
+        .max()
+        .unwrap_or(0)
+        .min(24);
     for (r, row_label) in heat.rows.iter().enumerate() {
         let mut label: String = row_label.chars().take(24).collect();
         while label.chars().count() < label_w {
@@ -138,18 +156,34 @@ pub fn render_heatmap(heat: &Heatmap) -> String {
         }
         let _ = write!(out, "  {label} |");
         for c in 0..heat.cols.len() {
-            let ch = match heat.cells.get(r).and_then(|row| row.get(c)).copied().flatten() {
+            let ch = match heat
+                .cells
+                .get(r)
+                .and_then(|row| row.get(c))
+                .copied()
+                .flatten()
+            {
                 None => '.',
-                Some(v) if max <= 0.0 => if v > 0.0 { '9' } else { '0' },
+                Some(v) if max <= 0.0 => {
+                    if v > 0.0 {
+                        '9'
+                    } else {
+                        '0'
+                    }
+                }
                 Some(v) => char::from_digit(((v / max) * 9.0).round() as u32, 10).unwrap_or('9'),
             };
             out.push(ch);
         }
         out.push('\n');
     }
-    let _ = writeln!(out, "  ({} columns: {} … {})", heat.cols.len(),
+    let _ = writeln!(
+        out,
+        "  ({} columns: {} … {})",
+        heat.cols.len(),
         heat.cols.first().map(String::as_str).unwrap_or(""),
-        heat.cols.last().map(String::as_str).unwrap_or(""));
+        heat.cols.last().map(String::as_str).unwrap_or("")
+    );
     out
 }
 
@@ -163,19 +197,47 @@ pub fn to_csv(artifact: &Artifact) -> String {
             for p in &f.panels {
                 for l in &p.lines {
                     for (m, v) in l.series.iter() {
-                        let _ = writeln!(out, "{},{},{m},{v}", csv_escape(&p.title), csv_escape(&l.label));
+                        let _ = writeln!(
+                            out,
+                            "{},{},{m},{v}",
+                            csv_escape(&p.title),
+                            csv_escape(&l.label)
+                        );
                     }
                 }
             }
         }
         Artifact::Table(t) => {
-            let _ = writeln!(out, "{}", t.headers.iter().map(|h| csv_escape(h)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                t.headers
+                    .iter()
+                    .map(|h| csv_escape(h))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
             for row in &t.rows {
-                let _ = writeln!(out, "{}", row.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","));
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    row.iter()
+                        .map(|c| csv_escape(c))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
             }
         }
         Artifact::Heatmap(h) => {
-            let _ = writeln!(out, "row,{}", h.cols.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "row,{}",
+                h.cols
+                    .iter()
+                    .map(|c| csv_escape(c))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
             for (r, label) in h.rows.iter().enumerate() {
                 let cells: Vec<String> = h.cells[r]
                     .iter()
@@ -230,14 +292,18 @@ mod tests {
 
     #[test]
     fn sparkline_shape() {
-        let s = TimeSeries::from_points((0..30).map(|i| (MonthStamp::new(2013, 1).plus(i), i as f64)));
+        let s =
+            TimeSeries::from_points((0..30).map(|i| (MonthStamp::new(2013, 1).plus(i), i as f64)));
         let line = sparkline(&s);
         assert_eq!(line.chars().count(), 24);
         assert!(line.starts_with('_'));
         assert!(line.ends_with('#'));
         assert_eq!(sparkline(&TimeSeries::new()), "");
         // Constant series renders without NaN panic.
-        let flat = TimeSeries::from_points([(MonthStamp::new(2013, 1), 5.0), (MonthStamp::new(2013, 2), 5.0)]);
+        let flat = TimeSeries::from_points([
+            (MonthStamp::new(2013, 1), 5.0),
+            (MonthStamp::new(2013, 2), 5.0),
+        ]);
         assert_eq!(sparkline(&flat).chars().count(), 2);
     }
 
@@ -305,7 +371,8 @@ mod tests {
         assert!(text.contains("[OK]"));
         assert!(text.contains("paper vs measured"));
         let mut bad = r;
-        bad.findings.push(Finding::numeric("gdp", -70.0, -10.0, 0.05));
+        bad.findings
+            .push(Finding::numeric("gdp", -70.0, -10.0, 0.05));
         assert!(render_result(&bad).contains("[DIVERGES]"));
     }
 }

@@ -58,31 +58,40 @@ impl Addressing {
         // One disjoint /8-scale pool per country, by registry order.
         let mut carvers: BTreeMap<CountryCode, PoolCarver> = BTreeMap::new();
         for (i, info) in country::LACNIC_REGION.iter().enumerate() {
-            let base = Ipv4Net::truncating(
-                std::net::Ipv4Addr::new(150 + i as u8, 0, 0, 0),
-                8,
-            );
+            let base = Ipv4Net::truncating(std::net::Ipv4Addr::new(150 + i as u8, 0, 0, 0), 8);
             carvers.insert(info.code, PoolCarver::new(base));
         }
 
         let alloc = |carvers: &mut BTreeMap<CountryCode, PoolCarver>,
-                         ledger: &mut AllocationLedger,
-                         cc: CountryCode,
-                         asn: Asn,
-                         len: u8,
-                         when: MonthStamp|
+                     ledger: &mut AllocationLedger,
+                     cc: CountryCode,
+                     asn: Asn,
+                     len: u8,
+                     when: MonthStamp|
          -> Option<Ipv4Net> {
             let carver = carvers.get_mut(&cc)?;
             let prefix = carver.carve(len).ok()?;
             ledger
-                .allocate(Allocation { country: cc, holder: asn, prefix, date: when.first_day() })
+                .allocate(Allocation {
+                    country: cc,
+                    holder: asn,
+                    prefix,
+                    date: when.first_day(),
+                })
                 .ok()?;
             Some(prefix)
         };
 
         // CANTV: a /14 at founding, then a /16 every two years until the
         // exhaustion phases bite.
-        alloc(&mut carvers, &mut ledger, country::VE, Asn(8048), 14, MonthStamp::new(1996, 1));
+        alloc(
+            &mut carvers,
+            &mut ledger,
+            country::VE,
+            Asn(8048),
+            14,
+            MonthStamp::new(1996, 1),
+        );
         for k in 0..9 {
             let when = MonthStamp::new(1998, 3).plus(k * 24);
             if Self::phase_allows(when, 16) {
@@ -106,8 +115,7 @@ impl Addressing {
                 MonthStamp::new(2006, 3).plus((k - 2) * 12)
             };
             if Self::phase_allows(when, 16) {
-                if let Some(p) =
-                    alloc(&mut carvers, &mut ledger, country::VE, Asn(6306), 16, when)
+                if let Some(p) = alloc(&mut carvers, &mut ledger, country::VE, Asn(6306), 16, when)
                 {
                     telefonica_blocks.push(p);
                 }
@@ -171,7 +179,10 @@ impl Addressing {
             }
         }
 
-        Addressing { ledger, telefonica_blocks }
+        Addressing {
+            ledger,
+            telefonica_blocks,
+        }
     }
 
     /// Whether the exhaustion phase in force at `when` allows a block of
@@ -180,9 +191,7 @@ impl Addressing {
         let phase = ExhaustionPhase::at(when.first_day());
         match phase.max_allocation() {
             None => true,
-            Some(max) => {
-                phase.open_to_existing_members() && (1u64 << (32 - len)) <= max
-            }
+            Some(max) => phase.open_to_existing_members() && (1u64 << (32 - len)) <= max,
         }
     }
 
@@ -230,9 +239,8 @@ impl Addressing {
                     .iter()
                     .position(|p| *p == a.prefix)
                     .expect("block is in list");
-                let withdrawn = idx % 2 == 1
-                    && month >= withdrawal_start()
-                    && month < withdrawal_end();
+                let withdrawn =
+                    idx % 2 == 1 && month >= withdrawal_start() && month < withdrawal_end();
                 if withdrawn {
                     continue;
                 }
@@ -308,7 +316,11 @@ mod tests {
         let at_2014 = ledger.space_of_holder(Asn(8048), Date::ymd(2014, 6, 1));
         let at_2017 = ledger.space_of_holder(Asn(8048), Date::ymd(2017, 1, 1));
         // Only /22 trickles are possible in between.
-        assert!(at_2017 - at_2014 <= 4 * 1024, "grew {} post-exhaustion", at_2017 - at_2014);
+        assert!(
+            at_2017 - at_2014 <= 4 * 1024,
+            "grew {} post-exhaustion",
+            at_2017 - at_2014
+        );
     }
 
     #[test]
@@ -326,8 +338,18 @@ mod tests {
         let post = addr.pfx2as_at(m_post, &builder.snapshot(m_post));
 
         let space = |t: &PfxToAs| t.address_space_of(Asn(6306));
-        assert!(space(&mid) < space(&pre), "withdrawal shrinks: {} vs {}", space(&mid), space(&pre));
-        assert!(space(&post) > space(&mid), "2023 return: {} vs {}", space(&post), space(&mid));
+        assert!(
+            space(&mid) < space(&pre),
+            "withdrawal shrinks: {} vs {}",
+            space(&mid),
+            space(&pre)
+        );
+        assert!(
+            space(&post) > space(&mid),
+            "2023 return: {} vs {}",
+            space(&post),
+            space(&mid)
+        );
         // Allocated space never shrank: the ledger is unchanged.
         let ledger = addr.ledger();
         assert!(
@@ -350,7 +372,8 @@ mod tests {
         assert_eq!(back.records.len(), f2024.records.len());
         assert_eq!(
             back.ipv4_space(country::VE, Date::ymd(2024, 1, 1)),
-            addr.ledger().space_of_country(country::VE, Date::ymd(2024, 1, 1))
+            addr.ledger()
+                .space_of_country(country::VE, Date::ymd(2024, 1, 1))
         );
     }
 
@@ -379,7 +402,9 @@ mod tests {
     fn every_country_has_allocations() {
         let (_, _, addr) = world();
         for info in country::LACNIC_REGION {
-            let space = addr.ledger().space_of_country(info.code, Date::ymd(2024, 1, 1));
+            let space = addr
+                .ledger()
+                .space_of_country(info.code, Date::ymd(2024, 1, 1));
             assert!(space > 0, "{} has no space", info.code);
         }
     }

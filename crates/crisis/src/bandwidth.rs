@@ -20,36 +20,332 @@ use lacnet_types::rng::Rng;
 use lacnet_types::{country, CountryCode, MonthStamp, TimeSeries};
 
 /// Median download anchors `(country, [(year, month, mbps)])`.
-const ANCHORS: &[(&str, &[(i32, u8, f64)])] = &[
-    ("VE", &[(2007, 7, 0.45), (2010, 1, 0.80), (2013, 1, 0.85), (2016, 1, 0.62), (2019, 1, 0.55), (2021, 10, 0.95), (2023, 7, 2.93), (2024, 2, 3.1)]),
-    ("UY", &[(2007, 7, 0.70), (2013, 11, 2.93), (2017, 1, 11.0), (2020, 1, 28.0), (2023, 7, 47.33), (2024, 2, 49.0)]),
-    ("MX", &[(2007, 7, 0.80), (2013, 11, 2.93), (2017, 1, 6.5), (2020, 1, 11.0), (2023, 7, 18.66), (2024, 2, 19.5)]),
-    ("CL", &[(2007, 7, 0.60), (2013, 1, 1.7), (2017, 6, 2.93), (2020, 1, 11.0), (2023, 7, 25.25), (2024, 2, 26.5)]),
-    ("AR", &[(2007, 7, 0.50), (2013, 1, 1.5), (2018, 4, 2.93), (2020, 6, 7.0), (2023, 7, 15.48), (2024, 2, 16.2)]),
-    ("BR", &[(2007, 7, 0.45), (2013, 1, 1.1), (2019, 9, 2.93), (2021, 6, 11.0), (2023, 7, 32.44), (2024, 2, 34.0)]),
-    ("CO", &[(2007, 7, 0.50), (2013, 1, 1.3), (2018, 1, 3.5), (2021, 1, 7.5), (2023, 7, 14.0), (2024, 2, 15.0)]),
-    ("CR", &[(2007, 7, 0.60), (2013, 1, 1.8), (2018, 1, 5.0), (2021, 1, 11.0), (2023, 7, 20.0), (2024, 2, 21.0)]),
-    ("PA", &[(2007, 7, 0.55), (2013, 1, 1.8), (2018, 1, 5.5), (2021, 1, 11.0), (2023, 7, 18.0), (2024, 2, 19.0)]),
-    ("PE", &[(2007, 7, 0.40), (2013, 1, 1.0), (2018, 1, 3.5), (2021, 1, 7.0), (2023, 7, 13.0), (2024, 2, 14.0)]),
-    ("EC", &[(2007, 7, 0.35), (2013, 1, 1.0), (2018, 1, 3.0), (2021, 1, 7.0), (2023, 7, 12.0), (2024, 2, 13.0)]),
-    ("DO", &[(2007, 7, 0.40), (2013, 1, 1.1), (2018, 1, 3.2), (2021, 1, 6.5), (2023, 7, 12.0), (2024, 2, 13.0)]),
-    ("TT", &[(2007, 7, 0.60), (2013, 1, 1.9), (2018, 1, 5.0), (2021, 1, 9.0), (2023, 7, 15.0), (2024, 2, 16.0)]),
-    ("PY", &[(2007, 7, 0.30), (2013, 1, 0.9), (2018, 1, 2.8), (2021, 1, 7.0), (2023, 7, 14.0), (2024, 2, 15.0)]),
-    ("GT", &[(2007, 7, 0.30), (2013, 1, 0.8), (2018, 1, 2.2), (2021, 1, 4.5), (2023, 7, 8.0), (2024, 2, 8.5)]),
-    ("BO", &[(2007, 7, 0.20), (2013, 1, 0.6), (2018, 1, 1.6), (2021, 1, 3.5), (2023, 7, 6.5), (2024, 2, 7.0)]),
-    ("SV", &[(2007, 7, 0.30), (2013, 1, 0.8), (2018, 1, 2.2), (2021, 1, 4.5), (2023, 7, 8.5), (2024, 2, 9.0)]),
-    ("HN", &[(2007, 7, 0.25), (2013, 1, 0.7), (2018, 1, 1.8), (2021, 1, 3.5), (2023, 7, 6.0), (2024, 2, 6.5)]),
-    ("NI", &[(2007, 7, 0.20), (2013, 1, 0.6), (2018, 1, 1.5), (2021, 1, 3.0), (2023, 7, 5.0), (2024, 2, 5.5)]),
-    ("HT", &[(2007, 7, 0.15), (2013, 1, 0.4), (2018, 1, 0.9), (2021, 1, 1.5), (2023, 7, 2.2), (2024, 2, 2.4)]),
-    ("CU", &[(2007, 7, 0.10), (2013, 1, 0.3), (2018, 1, 0.7), (2021, 1, 1.1), (2023, 7, 1.6), (2024, 2, 1.8)]),
-    ("GY", &[(2007, 7, 0.25), (2013, 1, 0.7), (2018, 1, 2.0), (2021, 1, 5.0), (2023, 7, 12.0), (2024, 2, 14.0)]),
-    ("SR", &[(2007, 7, 0.30), (2013, 1, 0.8), (2018, 1, 2.5), (2021, 1, 5.5), (2023, 7, 10.0), (2024, 2, 11.0)]),
-    ("GF", &[(2007, 7, 0.70), (2013, 1, 2.2), (2018, 1, 6.0), (2021, 1, 12.0), (2023, 7, 20.0), (2024, 2, 21.0)]),
-    ("CW", &[(2007, 7, 0.80), (2013, 1, 2.6), (2018, 1, 8.0), (2021, 1, 15.0), (2023, 7, 25.0), (2024, 2, 26.0)]),
-    ("AW", &[(2007, 7, 0.80), (2013, 1, 2.6), (2018, 1, 8.0), (2021, 1, 15.0), (2023, 7, 25.0), (2024, 2, 26.0)]),
-    ("BQ", &[(2007, 7, 0.70), (2013, 1, 2.2), (2018, 1, 6.5), (2021, 1, 12.0), (2023, 7, 20.0), (2024, 2, 21.0)]),
-    ("SX", &[(2007, 7, 0.75), (2013, 1, 2.4), (2018, 1, 7.0), (2021, 1, 13.0), (2023, 7, 22.0), (2024, 2, 23.0)]),
-    ("BZ", &[(2007, 7, 0.25), (2013, 1, 0.7), (2018, 1, 1.9), (2021, 1, 4.0), (2023, 7, 7.0), (2024, 2, 7.5)]),
+/// `(country, anchor points)` where each anchor is `(year, month, Mbps)`.
+type SpeedAnchors = (&'static str, &'static [(i32, u8, f64)]);
+
+#[allow(clippy::type_complexity)]
+const ANCHORS: &[SpeedAnchors] = &[
+    (
+        "VE",
+        &[
+            (2007, 7, 0.45),
+            (2010, 1, 0.80),
+            (2013, 1, 0.85),
+            (2016, 1, 0.62),
+            (2019, 1, 0.55),
+            (2021, 10, 0.95),
+            (2023, 7, 2.93),
+            (2024, 2, 3.1),
+        ],
+    ),
+    (
+        "UY",
+        &[
+            (2007, 7, 0.70),
+            (2013, 11, 2.93),
+            (2017, 1, 11.0),
+            (2020, 1, 28.0),
+            (2023, 7, 47.33),
+            (2024, 2, 49.0),
+        ],
+    ),
+    (
+        "MX",
+        &[
+            (2007, 7, 0.80),
+            (2013, 11, 2.93),
+            (2017, 1, 6.5),
+            (2020, 1, 11.0),
+            (2023, 7, 18.66),
+            (2024, 2, 19.5),
+        ],
+    ),
+    (
+        "CL",
+        &[
+            (2007, 7, 0.60),
+            (2013, 1, 1.7),
+            (2017, 6, 2.93),
+            (2020, 1, 11.0),
+            (2023, 7, 25.25),
+            (2024, 2, 26.5),
+        ],
+    ),
+    (
+        "AR",
+        &[
+            (2007, 7, 0.50),
+            (2013, 1, 1.5),
+            (2018, 4, 2.93),
+            (2020, 6, 7.0),
+            (2023, 7, 15.48),
+            (2024, 2, 16.2),
+        ],
+    ),
+    (
+        "BR",
+        &[
+            (2007, 7, 0.45),
+            (2013, 1, 1.1),
+            (2019, 9, 2.93),
+            (2021, 6, 11.0),
+            (2023, 7, 32.44),
+            (2024, 2, 34.0),
+        ],
+    ),
+    (
+        "CO",
+        &[
+            (2007, 7, 0.50),
+            (2013, 1, 1.3),
+            (2018, 1, 3.5),
+            (2021, 1, 7.5),
+            (2023, 7, 14.0),
+            (2024, 2, 15.0),
+        ],
+    ),
+    (
+        "CR",
+        &[
+            (2007, 7, 0.60),
+            (2013, 1, 1.8),
+            (2018, 1, 5.0),
+            (2021, 1, 11.0),
+            (2023, 7, 20.0),
+            (2024, 2, 21.0),
+        ],
+    ),
+    (
+        "PA",
+        &[
+            (2007, 7, 0.55),
+            (2013, 1, 1.8),
+            (2018, 1, 5.5),
+            (2021, 1, 11.0),
+            (2023, 7, 18.0),
+            (2024, 2, 19.0),
+        ],
+    ),
+    (
+        "PE",
+        &[
+            (2007, 7, 0.40),
+            (2013, 1, 1.0),
+            (2018, 1, 3.5),
+            (2021, 1, 7.0),
+            (2023, 7, 13.0),
+            (2024, 2, 14.0),
+        ],
+    ),
+    (
+        "EC",
+        &[
+            (2007, 7, 0.35),
+            (2013, 1, 1.0),
+            (2018, 1, 3.0),
+            (2021, 1, 7.0),
+            (2023, 7, 12.0),
+            (2024, 2, 13.0),
+        ],
+    ),
+    (
+        "DO",
+        &[
+            (2007, 7, 0.40),
+            (2013, 1, 1.1),
+            (2018, 1, 3.2),
+            (2021, 1, 6.5),
+            (2023, 7, 12.0),
+            (2024, 2, 13.0),
+        ],
+    ),
+    (
+        "TT",
+        &[
+            (2007, 7, 0.60),
+            (2013, 1, 1.9),
+            (2018, 1, 5.0),
+            (2021, 1, 9.0),
+            (2023, 7, 15.0),
+            (2024, 2, 16.0),
+        ],
+    ),
+    (
+        "PY",
+        &[
+            (2007, 7, 0.30),
+            (2013, 1, 0.9),
+            (2018, 1, 2.8),
+            (2021, 1, 7.0),
+            (2023, 7, 14.0),
+            (2024, 2, 15.0),
+        ],
+    ),
+    (
+        "GT",
+        &[
+            (2007, 7, 0.30),
+            (2013, 1, 0.8),
+            (2018, 1, 2.2),
+            (2021, 1, 4.5),
+            (2023, 7, 8.0),
+            (2024, 2, 8.5),
+        ],
+    ),
+    (
+        "BO",
+        &[
+            (2007, 7, 0.20),
+            (2013, 1, 0.6),
+            (2018, 1, 1.6),
+            (2021, 1, 3.5),
+            (2023, 7, 6.5),
+            (2024, 2, 7.0),
+        ],
+    ),
+    (
+        "SV",
+        &[
+            (2007, 7, 0.30),
+            (2013, 1, 0.8),
+            (2018, 1, 2.2),
+            (2021, 1, 4.5),
+            (2023, 7, 8.5),
+            (2024, 2, 9.0),
+        ],
+    ),
+    (
+        "HN",
+        &[
+            (2007, 7, 0.25),
+            (2013, 1, 0.7),
+            (2018, 1, 1.8),
+            (2021, 1, 3.5),
+            (2023, 7, 6.0),
+            (2024, 2, 6.5),
+        ],
+    ),
+    (
+        "NI",
+        &[
+            (2007, 7, 0.20),
+            (2013, 1, 0.6),
+            (2018, 1, 1.5),
+            (2021, 1, 3.0),
+            (2023, 7, 5.0),
+            (2024, 2, 5.5),
+        ],
+    ),
+    (
+        "HT",
+        &[
+            (2007, 7, 0.15),
+            (2013, 1, 0.4),
+            (2018, 1, 0.9),
+            (2021, 1, 1.5),
+            (2023, 7, 2.2),
+            (2024, 2, 2.4),
+        ],
+    ),
+    (
+        "CU",
+        &[
+            (2007, 7, 0.10),
+            (2013, 1, 0.3),
+            (2018, 1, 0.7),
+            (2021, 1, 1.1),
+            (2023, 7, 1.6),
+            (2024, 2, 1.8),
+        ],
+    ),
+    (
+        "GY",
+        &[
+            (2007, 7, 0.25),
+            (2013, 1, 0.7),
+            (2018, 1, 2.0),
+            (2021, 1, 5.0),
+            (2023, 7, 12.0),
+            (2024, 2, 14.0),
+        ],
+    ),
+    (
+        "SR",
+        &[
+            (2007, 7, 0.30),
+            (2013, 1, 0.8),
+            (2018, 1, 2.5),
+            (2021, 1, 5.5),
+            (2023, 7, 10.0),
+            (2024, 2, 11.0),
+        ],
+    ),
+    (
+        "GF",
+        &[
+            (2007, 7, 0.70),
+            (2013, 1, 2.2),
+            (2018, 1, 6.0),
+            (2021, 1, 12.0),
+            (2023, 7, 20.0),
+            (2024, 2, 21.0),
+        ],
+    ),
+    (
+        "CW",
+        &[
+            (2007, 7, 0.80),
+            (2013, 1, 2.6),
+            (2018, 1, 8.0),
+            (2021, 1, 15.0),
+            (2023, 7, 25.0),
+            (2024, 2, 26.0),
+        ],
+    ),
+    (
+        "AW",
+        &[
+            (2007, 7, 0.80),
+            (2013, 1, 2.6),
+            (2018, 1, 8.0),
+            (2021, 1, 15.0),
+            (2023, 7, 25.0),
+            (2024, 2, 26.0),
+        ],
+    ),
+    (
+        "BQ",
+        &[
+            (2007, 7, 0.70),
+            (2013, 1, 2.2),
+            (2018, 1, 6.5),
+            (2021, 1, 12.0),
+            (2023, 7, 20.0),
+            (2024, 2, 21.0),
+        ],
+    ),
+    (
+        "SX",
+        &[
+            (2007, 7, 0.75),
+            (2013, 1, 2.4),
+            (2018, 1, 7.0),
+            (2021, 1, 13.0),
+            (2023, 7, 22.0),
+            (2024, 2, 23.0),
+        ],
+    ),
+    (
+        "BZ",
+        &[
+            (2007, 7, 0.25),
+            (2013, 1, 0.7),
+            (2018, 1, 1.9),
+            (2021, 1, 4.0),
+            (2023, 7, 7.0),
+            (2024, 2, 7.5),
+        ],
+    ),
 ];
 
 /// The paper's aggregate volumes, scaled: monthly expected NDT tests per
@@ -84,7 +380,10 @@ pub fn median_target(cc: CountryCode, month: MonthStamp) -> f64 {
 
 /// The target series over a window.
 pub fn target_series(cc: CountryCode, start: MonthStamp, end: MonthStamp) -> TimeSeries {
-    start.through(end).map(|m| (m, median_target(cc, m))).collect()
+    start
+        .through(end)
+        .map(|m| (m, median_target(cc, m)))
+        .collect()
 }
 
 /// Generate one country-month of NDT rows, attributed to the incumbent
@@ -100,7 +399,10 @@ pub fn generate_month(
     if median <= 0.0 {
         return Vec::new();
     }
-    let asn = ops.incumbent(cc).map(|o| o.asn).unwrap_or(lacnet_types::Asn(0));
+    let asn = ops
+        .incumbent(cc)
+        .map(|o| o.asn)
+        .unwrap_or(lacnet_types::Asn(0));
     let sampler = SpeedSampler::default();
     sampler.generate_month(cc, asn, month, median, monthly_volume(cc) * scale, rng)
 }
@@ -124,12 +426,12 @@ pub fn network_speed_factor(cc: CountryCode, asn: lacnet_types::Asn, month: Mont
                 0.65
             }
         }
-        21826 => 1.3,            // Telemic/Inter: cable, above median
-        6306 => 1.1,             // Telefónica
-        264731 => 1.2,           // Digitel (mobile broadband)
+        21826 => 1.3,                            // Telemic/Inter: cable, above median
+        6306 => 1.1,                             // Telefónica
+        264731 => 1.2,                           // Digitel (mobile broadband)
         61461 | 264628 | 263703 | 272809 => 3.0, // the fibre entrants
-        11562 => 1.4,            // NetUno cable
-        _ => 0.9,                // the small-access tail
+        11562 => 1.4,                            // NetUno cable
+        _ => 0.9,                                // the small-access tail
     }
 }
 
@@ -219,7 +521,13 @@ mod tests {
         // "equivalent to the values achieved in Uruguay and Mexico in
         // November 2013, Chile in June 2017, Argentina in April 2018, and
         // Brazil in September 2019."
-        for (cc, y, m) in [("UY", 2013, 11), ("MX", 2013, 11), ("CL", 2017, 6), ("AR", 2018, 4), ("BR", 2019, 9)] {
+        for (cc, y, m) in [
+            ("UY", 2013, 11),
+            ("MX", 2013, 11),
+            ("CL", 2017, 6),
+            ("AR", 2018, 4),
+            ("BR", 2019, 9),
+        ] {
             let v = median_target(CountryCode::of(cc), MonthStamp::new(y, m));
             assert!((v - 2.93).abs() < 0.3, "{cc} {y}-{m}: {v}");
         }
@@ -256,7 +564,10 @@ mod tests {
         let ve = agg.median_series(country::VE);
         let est = ve.get(MonthStamp::new(2023, 7)).unwrap();
         assert!((est - 2.93).abs() / 2.93 < 0.3, "estimated {est}");
-        let uy = agg.median_series(country::UY).get(MonthStamp::new(2023, 7)).unwrap();
+        let uy = agg
+            .median_series(country::UY)
+            .get(MonthStamp::new(2023, 7))
+            .unwrap();
         assert!((uy - 47.33).abs() / 47.33 < 0.35, "estimated UY {uy}");
     }
 
@@ -269,7 +580,13 @@ mod tests {
         let mut agg = MultiAggregator::by_asn();
         let m = MonthStamp::new(2023, 7);
         for _ in 0..5 {
-            agg.observe_all(&generate_month_by_network(&ops, country::VE, m, 3.0, &mut rng));
+            agg.observe_all(&generate_month_by_network(
+                &ops,
+                country::VE,
+                m,
+                3.0,
+                &mut rng,
+            ));
         }
         let med = |asn: u32| {
             agg.median_series(
@@ -282,7 +599,10 @@ mod tests {
         let cantv = med(8048);
         let airtek = med(61461);
         assert!(cantv > 0.0 && airtek > 0.0);
-        assert!(airtek > 2.5 * cantv, "fibre entrant {airtek} vs CANTV {cantv}");
+        assert!(
+            airtek > 2.5 * cantv,
+            "fibre entrant {airtek} vs CANTV {cantv}"
+        );
     }
 
     #[test]
@@ -291,11 +611,17 @@ mod tests {
         let root = Rng::seeded(6);
         let mut rng = root.fork("volumes");
         // Before Airtek's 2016 founding it produces no tests.
-        let early = generate_month_by_network(&ops, country::VE, MonthStamp::new(2014, 1), 3.0, &mut rng);
+        let early =
+            generate_month_by_network(&ops, country::VE, MonthStamp::new(2014, 1), 3.0, &mut rng);
         assert!(early.iter().all(|t| t.asn != lacnet_types::Asn(61461)));
         // Later, CANTV (21.5% of users) produces the most tests.
-        let late = generate_month_by_network(&ops, country::VE, MonthStamp::new(2023, 7), 3.0, &mut rng);
-        let count = |asn: u32| late.iter().filter(|t| t.asn == lacnet_types::Asn(asn)).count();
+        let late =
+            generate_month_by_network(&ops, country::VE, MonthStamp::new(2023, 7), 3.0, &mut rng);
+        let count = |asn: u32| {
+            late.iter()
+                .filter(|t| t.asn == lacnet_types::Asn(asn))
+                .count()
+        };
         assert!(count(8048) > count(21826));
         assert!(count(61461) > 0);
     }

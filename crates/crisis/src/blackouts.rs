@@ -31,11 +31,23 @@ pub struct Blackout {
 pub fn ve_blackouts_2019() -> Vec<Blackout> {
     vec![
         // The nationwide March 7 blackout (Guri failure), ≈ a week.
-        Blackout { start: Date::ymd(2019, 3, 7), end: Date::ymd(2019, 3, 14), depth: 0.9 },
+        Blackout {
+            start: Date::ymd(2019, 3, 7),
+            end: Date::ymd(2019, 3, 14),
+            depth: 0.9,
+        },
         // The March 25 relapse.
-        Blackout { start: Date::ymd(2019, 3, 25), end: Date::ymd(2019, 3, 28), depth: 0.75 },
+        Blackout {
+            start: Date::ymd(2019, 3, 25),
+            end: Date::ymd(2019, 3, 28),
+            depth: 0.75,
+        },
         // The July 22 event.
-        Blackout { start: Date::ymd(2019, 7, 22), end: Date::ymd(2019, 7, 24), depth: 0.7 },
+        Blackout {
+            start: Date::ymd(2019, 7, 22),
+            end: Date::ymd(2019, 7, 24),
+            depth: 0.7,
+        },
     ]
 }
 
@@ -103,7 +115,12 @@ mod tests {
     fn no_false_positives_elsewhere() {
         let series = world_series();
         let all = detect_all(&series, DetectorConfig::default());
-        assert_eq!(all.len(), 1, "only Venezuela blacks out: {:?}", all.keys().collect::<Vec<_>>());
+        assert_eq!(
+            all.len(),
+            1,
+            "only Venezuela blacks out: {:?}",
+            all.keys().collect::<Vec<_>>()
+        );
         assert!(all.contains_key(&country::VE));
     }
 

@@ -18,21 +18,51 @@ type Row = (&'static str, i32, u8, &'static [&'static str], f64);
 /// 2000" baseline; the rest are the post-2000 wave Venezuela missed.
 const CABLES: &[Row] = &[
     // ——— In service by end-2000 (13 systems) ———
-    ("PAN-AM", 1999, 1, &["VE", "CO", "EC", "PE", "CL", "PA", "AW"], 7_225.0),
-    ("Americas-II", 2000, 8, &["VE", "BR", "TT", "GF", "CW"], 8_373.0),
+    (
+        "PAN-AM",
+        1999,
+        1,
+        &["VE", "CO", "EC", "PE", "CL", "PA", "AW"],
+        7_225.0,
+    ),
+    (
+        "Americas-II",
+        2000,
+        8,
+        &["VE", "BR", "TT", "GF", "CW"],
+        8_373.0,
+    ),
     ("GlobeNet", 2000, 11, &["VE", "BR", "CO"], 23_500.0),
     ("CANTV Festoon", 1998, 5, &["VE", "CW"], 1_300.0),
-    ("South American Crossing (SAC)", 2000, 9, &["BR", "AR", "CL", "PE", "CO", "PA"], 20_000.0),
+    (
+        "South American Crossing (SAC)",
+        2000,
+        9,
+        &["BR", "AR", "CL", "PE", "CO", "PA"],
+        20_000.0,
+    ),
     ("Atlantis-2", 2000, 2, &["BR", "AR"], 8_500.0),
     ("UNISUR", 1995, 3, &["BR", "UY", "AR"], 1_715.0),
     ("Columbus-II", 1994, 6, &["MX"], 12_200.0),
     ("Maya-1", 2000, 10, &["MX", "HN", "CR", "PA", "CO"], 4_400.0),
-    ("ARCOS", 2000, 12, &["MX", "BZ", "HN", "GT", "NI", "CR", "PA", "CO", "DO"], 8_600.0),
+    (
+        "ARCOS",
+        2000,
+        12,
+        &["MX", "BZ", "HN", "GT", "NI", "CR", "PA", "CO", "DO"],
+        8_600.0,
+    ),
     ("TCS-1", 1995, 1, &["TT"], 320.0),
     ("ECFS", 1995, 9, &["TT"], 1_730.0),
     ("Antillas-1", 1997, 4, &["DO", "HT"], 650.0),
     // ——— The post-2000 wave (41 systems; VE only in ALBA-1) ———
-    ("SAm-1", 2001, 3, &["BR", "AR", "CL", "PE", "EC", "GT"], 25_000.0),
+    (
+        "SAm-1",
+        2001,
+        3,
+        &["BR", "AR", "CL", "PE", "EC", "GT"],
+        25_000.0,
+    ),
     ("ALBA-1", 2011, 2, &["VE", "CU"], 1_860.0),
     ("Fibralink", 2006, 8, &["DO"], 1_100.0),
     ("East-West", 2008, 6, &["TT", "GY", "SR"], 1_700.0),
@@ -48,7 +78,13 @@ const CABLES: &[Row] = &[
     ("Curie", 2020, 4, &["CL", "PA"], 10_500.0),
     ("Prat", 2016, 1, &["CL"], 3_500.0),
     ("FOS Quellon-Chacabuco", 2019, 3, &["CL"], 2_800.0),
-    ("Asia-South America Digital Gateway", 2024, 1, &["CL"], 14_800.0),
+    (
+        "Asia-South America Digital Gateway",
+        2024,
+        1,
+        &["CL"],
+        14_800.0,
+    ),
     ("ARBR", 2020, 7, &["AR", "BR"], 2_600.0),
     ("Malbec", 2021, 4, &["AR", "BR"], 2_600.0),
     ("Firmina", 2023, 11, &["BR", "AR", "UY"], 14_500.0),
@@ -84,7 +120,11 @@ pub fn build_cable_map() -> CableMap {
             .map(|cc| {
                 let code = CountryCode::of(cc);
                 let (city, loc) = coastal_landing(code);
-                LandingPoint { city: city.into(), country: code, location: loc }
+                LandingPoint {
+                    city: city.into(),
+                    country: code,
+                    location: loc,
+                }
             })
             .collect();
         // Domestic festoons (one country) still have two landing
@@ -94,11 +134,19 @@ pub fn build_cable_map() -> CableMap {
             landings.push(LandingPoint {
                 city: format!("{} Norte", first.city),
                 country: first.country,
-                location: GeoPoint::new(first.location.lat_deg() + 1.5, first.location.lon_deg() + 0.5),
+                location: GeoPoint::new(
+                    first.location.lat_deg() + 1.5,
+                    first.location.lon_deg() + 0.5,
+                ),
             });
         }
-        map.add(Cable { name: name.into(), rfs: Date::ymd(y, m, 15), landings, length_km: length })
-            .expect("static cable table is valid");
+        map.add(Cable {
+            name: name.into(),
+            rfs: Date::ymd(y, m, 15),
+            landings,
+            length_km: length,
+        })
+        .expect("static cable table is valid");
     }
     map
 }
@@ -138,8 +186,16 @@ mod tests {
         let map = build_cable_map();
         let region: Vec<CountryCode> = country::lacnic_codes().collect();
         let s = map.region_series(&region, MonthStamp::new(2000, 12), MonthStamp::new(2024, 2));
-        assert_eq!(s.get(MonthStamp::new(2000, 12)), Some(13.0), "13 cables by 2000");
-        assert_eq!(s.get(MonthStamp::new(2024, 2)), Some(54.0), "54 cables by 2024");
+        assert_eq!(
+            s.get(MonthStamp::new(2000, 12)),
+            Some(13.0),
+            "13 cables by 2000"
+        );
+        assert_eq!(
+            s.get(MonthStamp::new(2024, 2)),
+            Some(54.0),
+            "54 cables by 2024"
+        );
     }
 
     #[test]
@@ -195,7 +251,11 @@ mod tests {
         for cable in map.cables() {
             assert!(cable.landings.len() >= 2, "{}", cable.name);
             for l in &cable.landings {
-                assert!(country::in_lacnic(l.country), "{} lands outside region", cable.name);
+                assert!(
+                    country::in_lacnic(l.country),
+                    "{} lands outside region",
+                    cable.name
+                );
             }
         }
     }

@@ -134,7 +134,10 @@ pub fn build_cert_scans(ops: &Operators) -> Vec<CertScan> {
                 scan.push(ScanRecord {
                     asn: hg.own_asns[0],
                     country: country::US,
-                    cert: TlsCert { subject_cn: cert_name(hg), dns_names: vec![] },
+                    cert: TlsCert {
+                        subject_cn: cert_name(hg),
+                        dns_names: vec![],
+                    },
                 });
             }
             scan
@@ -204,18 +207,38 @@ mod tests {
         // Facebook never entered CANTV.
         for scan in &scans {
             let hosts = detect_offnets(scan, by_name("Facebook").unwrap());
-            assert!(!hosts.hosts.contains(&Asn(8048)), "Facebook must not be in CANTV");
+            assert!(
+                !hosts.hosts.contains(&Asn(8048)),
+                "Facebook must not be in CANTV"
+            );
         }
         // Netflix only in 2021.
         let netflix = by_name("Netflix").unwrap();
-        assert!(!detect_offnets(&scans[7], netflix).hosts.contains(&Asn(8048)), "not in 2020");
-        assert!(detect_offnets(scan_2021, netflix).hosts.contains(&Asn(8048)), "in 2021");
+        assert!(
+            !detect_offnets(&scans[7], netflix)
+                .hosts
+                .contains(&Asn(8048)),
+            "not in 2020"
+        );
+        assert!(
+            detect_offnets(scan_2021, netflix)
+                .hosts
+                .contains(&Asn(8048)),
+            "in 2021"
+        );
     }
 
     #[test]
     fn minor_hypergiants_absent_from_venezuela() {
         let (_, scans) = world();
-        for name in ["Microsoft", "Limelight", "Cdnetworks", "Alibaba", "Amazon", "Cloudflare"] {
+        for name in [
+            "Microsoft",
+            "Limelight",
+            "Cdnetworks",
+            "Alibaba",
+            "Amazon",
+            "Cloudflare",
+        ] {
             let hg = by_name(name).unwrap();
             for scan in &scans {
                 let hosts = detect_offnets(scan, hg);
@@ -242,7 +265,11 @@ mod tests {
             );
             let rank = detect::rank_of(&ranking, country::VE).unwrap();
             let frac = rank as f64 / ranking.len() as f64;
-            assert!(frac >= min_rank_frac, "{name}: VE rank {rank}/{} ", ranking.len());
+            assert!(
+                frac >= min_rank_frac,
+                "{name}: VE rank {rank}/{} ",
+                ranking.len()
+            );
         }
     }
 

@@ -1,10 +1,9 @@
 //! World-generation configuration and the study's observation windows.
 
 use lacnet_types::MonthStamp;
-use serde::{Deserialize, Serialize};
 
 /// Configuration for one generated world.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorldConfig {
     /// Master seed; every dataset derives its own substream from it.
     pub seed: u64,
@@ -23,7 +22,7 @@ pub struct WorldConfig {
 impl Default for WorldConfig {
     fn default() -> Self {
         WorldConfig {
-            seed: 0x5ECC0_2024,
+            seed: 0x0005_ECC0_2024,
             economy_start: MonthStamp::new(1980, 1),
             end: MonthStamp::new(2024, 2),
             mlab_volume_scale: 1.0,
@@ -35,7 +34,10 @@ impl WorldConfig {
     /// A smaller, faster world for unit tests: same structure, lower
     /// M-Lab volume.
     pub fn test() -> Self {
-        WorldConfig { mlab_volume_scale: 0.4, ..Default::default() }
+        WorldConfig {
+            mlab_volume_scale: 0.4,
+            ..Default::default()
+        }
     }
 }
 

@@ -35,49 +35,134 @@ struct City {
 fn cities(cc: CountryCode) -> Vec<City> {
     match cc.as_str() {
         "VE" => vec![
-            City { code: "ccs", lat: 10.48, lon: -66.90 },
-            City { code: "mar", lat: 10.65, lon: -71.61 },
+            City {
+                code: "ccs",
+                lat: 10.48,
+                lon: -66.90,
+            },
+            City {
+                code: "mar",
+                lat: 10.65,
+                lon: -71.61,
+            },
             // San Cristóbal, on the Colombian border (Appendix J).
-            City { code: "sci", lat: 7.77, lon: -72.22 },
+            City {
+                code: "sci",
+                lat: 7.77,
+                lon: -72.22,
+            },
         ],
         "BR" => vec![
-            City { code: "gru", lat: -23.55, lon: -46.63 },
-            City { code: "gig", lat: -22.91, lon: -43.17 },
-            City { code: "bsb", lat: -15.79, lon: -47.88 },
-            City { code: "for", lat: -3.73, lon: -38.52 },
+            City {
+                code: "gru",
+                lat: -23.55,
+                lon: -46.63,
+            },
+            City {
+                code: "gig",
+                lat: -22.91,
+                lon: -43.17,
+            },
+            City {
+                code: "bsb",
+                lat: -15.79,
+                lon: -47.88,
+            },
+            City {
+                code: "for",
+                lat: -3.73,
+                lon: -38.52,
+            },
         ],
         "AR" => vec![
-            City { code: "eze", lat: -34.60, lon: -58.38 },
-            City { code: "cor", lat: -31.42, lon: -64.18 },
+            City {
+                code: "eze",
+                lat: -34.60,
+                lon: -58.38,
+            },
+            City {
+                code: "cor",
+                lat: -31.42,
+                lon: -64.18,
+            },
         ],
         "CL" => vec![
-            City { code: "scl", lat: -33.45, lon: -70.67 },
-            City { code: "ccp", lat: -36.83, lon: -73.05 },
+            City {
+                code: "scl",
+                lat: -33.45,
+                lon: -70.67,
+            },
+            City {
+                code: "ccp",
+                lat: -36.83,
+                lon: -73.05,
+            },
         ],
         "MX" => vec![
-            City { code: "mex", lat: 19.43, lon: -99.13 },
-            City { code: "gdl", lat: 20.67, lon: -103.35 },
-            City { code: "mty", lat: 25.67, lon: -100.31 },
+            City {
+                code: "mex",
+                lat: 19.43,
+                lon: -99.13,
+            },
+            City {
+                code: "gdl",
+                lat: 20.67,
+                lon: -103.35,
+            },
+            City {
+                code: "mty",
+                lat: 25.67,
+                lon: -100.31,
+            },
         ],
         "CO" => vec![
-            City { code: "bog", lat: 4.71, lon: -74.07 },
-            City { code: "mde", lat: 6.25, lon: -75.56 },
+            City {
+                code: "bog",
+                lat: 4.71,
+                lon: -74.07,
+            },
+            City {
+                code: "mde",
+                lat: 6.25,
+                lon: -75.56,
+            },
         ],
         other => {
             // Single-city countries use their capital's IATA code, which
             // is present in the airport registry so decoded identities
             // geolocate.
             let code = match other {
-                "BO" => "lpb", "BQ" => "bon", "CR" => "sjo", "CU" => "hav",
-                "CW" => "cur", "DO" => "sdq", "EC" => "uio", "GF" => "cay",
-                "GT" => "gua", "GY" => "geo", "HN" => "tgu", "HT" => "pap",
-                "NI" => "mga", "PA" => "pty", "PE" => "lim", "PY" => "asu",
-                "SR" => "pbm", "SV" => "sal", "SX" => "sxm", "TT" => "pos",
-                "UY" => "mvd", "AW" => "aua", "BZ" => "bze",
+                "BO" => "lpb",
+                "BQ" => "bon",
+                "CR" => "sjo",
+                "CU" => "hav",
+                "CW" => "cur",
+                "DO" => "sdq",
+                "EC" => "uio",
+                "GF" => "cay",
+                "GT" => "gua",
+                "GY" => "geo",
+                "HN" => "tgu",
+                "HT" => "pap",
+                "NI" => "mga",
+                "PA" => "pty",
+                "PE" => "lim",
+                "PY" => "asu",
+                "SR" => "pbm",
+                "SV" => "sal",
+                "SX" => "sxm",
+                "TT" => "pos",
+                "UY" => "mvd",
+                "AW" => "aua",
+                "BZ" => "bze",
                 _ => panic!("no measurement city for {other}"),
             };
             let info = country::info(cc).expect("known country");
-            vec![City { code, lat: info.location.lat_deg(), lon: info.location.lon_deg() }]
+            vec![City {
+                code,
+                lat: info.location.lat_deg(),
+                lon: info.location.lon_deg(),
+            }]
         }
     }
 }
@@ -185,7 +270,7 @@ fn build_probes(rng: &mut Rng) -> ProbeRegistry {
             } else {
                 i as usize % city_list.len()
             };
-            let city = city_list[city_idx as usize % city_list.len()];
+            let city = city_list[city_idx % city_list.len()];
             // First `n2016` probes predate the window; later ones arrive
             // on a linear schedule through 2023.
             let active_since = if i < n2016 {
@@ -313,8 +398,32 @@ fn build_roots() -> RootDeployment {
     // ——— Overseas global nodes (Appendix E's origin countries) ———
     let overseas: &[(&str, &str, &[RootLetter])] = &[
         // US sites host most letters.
-        ("mia", "US", &[RootLetter::A, RootLetter::B, RootLetter::C, RootLetter::D, RootLetter::F, RootLetter::J, RootLetter::L, RootLetter::M]),
-        ("iad", "US", &[RootLetter::A, RootLetter::C, RootLetter::D, RootLetter::H, RootLetter::J, RootLetter::L]),
+        (
+            "mia",
+            "US",
+            &[
+                RootLetter::A,
+                RootLetter::B,
+                RootLetter::C,
+                RootLetter::D,
+                RootLetter::F,
+                RootLetter::J,
+                RootLetter::L,
+                RootLetter::M,
+            ],
+        ),
+        (
+            "iad",
+            "US",
+            &[
+                RootLetter::A,
+                RootLetter::C,
+                RootLetter::D,
+                RootLetter::H,
+                RootLetter::J,
+                RootLetter::L,
+            ],
+        ),
         ("jfk", "US", &[RootLetter::B, RootLetter::F, RootLetter::M]),
         ("lax", "US", &[RootLetter::A, RootLetter::C, RootLetter::L]),
         // European operators: some letters have no US-east presence, so
@@ -392,7 +501,11 @@ mod tests {
     #[test]
     fn fig17_probe_counts() {
         let w = world();
-        let ve = w.probes.count_series(country::VE, MonthStamp::new(2016, 1), MonthStamp::new(2024, 1));
+        let ve = w.probes.count_series(
+            country::VE,
+            MonthStamp::new(2016, 1),
+            MonthStamp::new(2024, 1),
+        );
         assert_eq!(ve.get(MonthStamp::new(2016, 1)), Some(10.0));
         assert_eq!(ve.get(MonthStamp::new(2024, 1)), Some(30.0));
         // Region total ≈ 300 → 450.
@@ -402,9 +515,14 @@ mod tests {
         assert!((430..=470).contains(&total_2024), "2024 total {total_2024}");
         // Venezuela ranks ≈6th by probes in the region.
         let counts = w.probes.counts_by_country(MonthStamp::new(2023, 6));
-        let mut ranked: Vec<(usize, CountryCode)> = counts.iter().map(|(&cc, &n)| (n, cc)).collect();
-        ranked.sort_by(|a, b| b.0.cmp(&a.0));
-        let rank = ranked.iter().position(|&(_, cc)| cc == country::VE).unwrap() + 1;
+        let mut ranked: Vec<(usize, CountryCode)> =
+            counts.iter().map(|(&cc, &n)| (n, cc)).collect();
+        ranked.sort_by_key(|r| std::cmp::Reverse(r.0));
+        let rank = ranked
+            .iter()
+            .position(|&(_, cc)| cc == country::VE)
+            .unwrap()
+            + 1;
         assert!((5..=7).contains(&rank), "VE probe rank {rank}");
         // CANTV hosts exactly 8 probes.
         let cantv = w.probes.all().iter().filter(|p| p.asn == Asn(8048)).count();
@@ -421,11 +539,24 @@ mod tests {
             MonthStamp::new(2016, 1),
         );
         let total_2016: f64 = country::lacnic_codes()
-            .filter_map(|cc| series.get(&cc).and_then(|s| s.get(MonthStamp::new(2016, 1))))
+            .filter_map(|cc| {
+                series
+                    .get(&cc)
+                    .and_then(|s| s.get(MonthStamp::new(2016, 1)))
+            })
             .sum();
-        assert!((54.0..=64.0).contains(&total_2016), "2016 region total {total_2016}");
-        assert_eq!(series[&country::VE].get(MonthStamp::new(2016, 1)), Some(2.0));
-        assert_eq!(series[&country::BR].get(MonthStamp::new(2016, 1)), Some(18.0));
+        assert!(
+            (54.0..=64.0).contains(&total_2016),
+            "2016 region total {total_2016}"
+        );
+        assert_eq!(
+            series[&country::VE].get(MonthStamp::new(2016, 1)),
+            Some(2.0)
+        );
+        assert_eq!(
+            series[&country::BR].get(MonthStamp::new(2016, 1)),
+            Some(18.0)
+        );
 
         let series = campaign::replica_count_series(
             &w.probes,
@@ -434,15 +565,38 @@ mod tests {
             MonthStamp::new(2024, 1),
         );
         let total_2024: f64 = country::lacnic_codes()
-            .filter_map(|cc| series.get(&cc).and_then(|s| s.get(MonthStamp::new(2024, 1))))
+            .filter_map(|cc| {
+                series
+                    .get(&cc)
+                    .and_then(|s| s.get(MonthStamp::new(2024, 1)))
+            })
             .sum();
-        assert!((130.0..=146.0).contains(&total_2024), "2024 region total {total_2024}");
-        assert!(series.get(&country::VE).map_or(true, |s| s.get(MonthStamp::new(2024, 1)).is_none()),
-            "no VE replicas remain");
-        assert_eq!(series[&country::BR].get(MonthStamp::new(2024, 1)), Some(41.0));
-        assert_eq!(series[&country::CL].get(MonthStamp::new(2024, 1)), Some(20.0));
-        assert_eq!(series[&country::MX].get(MonthStamp::new(2024, 1)), Some(16.0));
-        assert_eq!(series[&country::AR].get(MonthStamp::new(2024, 1)), Some(15.0));
+        assert!(
+            (130.0..=146.0).contains(&total_2024),
+            "2024 region total {total_2024}"
+        );
+        assert!(
+            series
+                .get(&country::VE)
+                .is_none_or(|s| s.get(MonthStamp::new(2024, 1)).is_none()),
+            "no VE replicas remain"
+        );
+        assert_eq!(
+            series[&country::BR].get(MonthStamp::new(2024, 1)),
+            Some(41.0)
+        );
+        assert_eq!(
+            series[&country::CL].get(MonthStamp::new(2024, 1)),
+            Some(20.0)
+        );
+        assert_eq!(
+            series[&country::MX].get(MonthStamp::new(2024, 1)),
+            Some(16.0)
+        );
+        assert_eq!(
+            series[&country::AR].get(MonthStamp::new(2024, 1)),
+            Some(15.0)
+        );
     }
 
     #[test]
@@ -497,7 +651,10 @@ mod tests {
         }
         let region = vals.iter().sum::<f64>() / vals.len() as f64;
         let ratio = ve / region;
-        assert!((1.5..=2.8).contains(&ratio), "VE/region ratio {ratio} (region {region})");
+        assert!(
+            (1.5..=2.8).contains(&ratio),
+            "VE/region ratio {ratio} (region {region})"
+        );
     }
 
     #[test]
@@ -518,15 +675,25 @@ mod tests {
         let w = world();
         let campaign = GpdnsCampaign::new(&w.probes, &w.gpdns_sites, LatencyModel::default(), 42);
         let obs = campaign.run_month(MonthStamp::new(2023, 12));
-        let ve: Vec<_> = obs.iter().filter(|o| o.probe_country == country::VE).collect();
+        let ve: Vec<_> = obs
+            .iter()
+            .filter(|o| o.probe_country == country::VE)
+            .collect();
         assert!(!ve.is_empty());
         // The fastest VE probes are in the west (border / Maracaibo).
         let fastest = ve
             .iter()
             .min_by(|a, b| a.rtt_ms.partial_cmp(&b.rtt_ms).unwrap())
             .unwrap();
-        assert!(fastest.location.lon_deg() < -70.0, "fastest at lon {}", fastest.location.lon_deg());
-        assert!(matches!(RttBucket::of(fastest.rtt_ms), RttBucket::Under10 | RttBucket::From10To20));
+        assert!(
+            fastest.location.lon_deg() < -70.0,
+            "fastest at lon {}",
+            fastest.location.lon_deg()
+        );
+        assert!(matches!(
+            RttBucket::of(fastest.rtt_ms),
+            RttBucket::Under10 | RttBucket::From10To20
+        ));
         // Caracas probes behind Miami haulage sit above 30 ms.
         let caracas_max = ve
             .iter()

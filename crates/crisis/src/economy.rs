@@ -25,35 +25,303 @@ struct GdpAnchors {
 }
 
 const GDP_TABLE: &[GdpAnchors] = &[
-    GdpAnchors { cc: "AR", imf_data: true, anchors: &[(1980, 8400.0), (1985, 7000.0), (1990, 5800.0), (1995, 7200.0), (2002, 3000.0), (2008, 9000.0), (2015, 13800.0), (2020, 8500.0), (2024, 13000.0)] },
-    GdpAnchors { cc: "BO", imf_data: true, anchors: &[(1980, 1200.0), (1995, 900.0), (2005, 1000.0), (2015, 3000.0), (2024, 3700.0)] },
-    GdpAnchors { cc: "BQ", imf_data: false, anchors: &[(1980, 12000.0), (2024, 27000.0)] },
-    GdpAnchors { cc: "BR", imf_data: true, anchors: &[(1980, 3200.0), (1995, 4700.0), (2005, 4800.0), (2011, 13200.0), (2015, 8800.0), (2024, 10300.0)] },
-    GdpAnchors { cc: "BZ", imf_data: true, anchors: &[(1980, 2200.0), (1995, 2900.0), (2005, 3900.0), (2015, 4800.0), (2024, 6800.0)] },
-    GdpAnchors { cc: "CL", imf_data: true, anchors: &[(1980, 2600.0), (1995, 5100.0), (2005, 7600.0), (2013, 15800.0), (2020, 13000.0), (2024, 17000.0)] },
-    GdpAnchors { cc: "CO", imf_data: true, anchors: &[(1980, 1600.0), (1995, 2500.0), (2005, 3400.0), (2014, 8100.0), (2020, 5300.0), (2024, 7400.0)] },
-    GdpAnchors { cc: "CR", imf_data: true, anchors: &[(1980, 2400.0), (1995, 3300.0), (2005, 4700.0), (2015, 11600.0), (2024, 16600.0)] },
-    GdpAnchors { cc: "CU", imf_data: false, anchors: &[(1980, 2000.0), (2005, 3800.0), (2024, 9500.0)] },
-    GdpAnchors { cc: "CW", imf_data: false, anchors: &[(1980, 10000.0), (2024, 20000.0)] },
-    GdpAnchors { cc: "DO", imf_data: true, anchors: &[(1980, 1200.0), (1995, 1800.0), (2005, 3700.0), (2015, 6800.0), (2024, 10800.0)] },
-    GdpAnchors { cc: "EC", imf_data: true, anchors: &[(1980, 1700.0), (1995, 2200.0), (2005, 3000.0), (2015, 6100.0), (2024, 6500.0)] },
-    GdpAnchors { cc: "GF", imf_data: false, anchors: &[(1980, 6000.0), (2024, 18000.0)] },
-    GdpAnchors { cc: "GT", imf_data: true, anchors: &[(1980, 1200.0), (1995, 1500.0), (2005, 2100.0), (2015, 3900.0), (2024, 5700.0)] },
-    GdpAnchors { cc: "GY", imf_data: true, anchors: &[(1980, 800.0), (1995, 900.0), (2005, 1100.0), (2015, 4100.0), (2019, 6600.0), (2024, 20000.0)] },
-    GdpAnchors { cc: "HN", imf_data: true, anchors: &[(1980, 1000.0), (1995, 1100.0), (2005, 1400.0), (2015, 2300.0), (2024, 3200.0)] },
-    GdpAnchors { cc: "HT", imf_data: true, anchors: &[(1980, 600.0), (1995, 500.0), (2005, 600.0), (2015, 1400.0), (2024, 1700.0)] },
-    GdpAnchors { cc: "MX", imf_data: true, anchors: &[(1980, 3700.0), (1995, 4000.0), (2005, 8300.0), (2015, 9600.0), (2024, 13800.0)] },
-    GdpAnchors { cc: "NI", imf_data: true, anchors: &[(1980, 700.0), (1995, 900.0), (2005, 1200.0), (2015, 2100.0), (2024, 2500.0)] },
-    GdpAnchors { cc: "PA", imf_data: true, anchors: &[(1980, 2200.0), (1995, 3200.0), (2005, 4800.0), (2015, 13600.0), (2024, 18500.0)] },
-    GdpAnchors { cc: "PE", imf_data: true, anchors: &[(1980, 1000.0), (1995, 2100.0), (2005, 2900.0), (2015, 6200.0), (2024, 7900.0)] },
-    GdpAnchors { cc: "PY", imf_data: true, anchors: &[(1980, 1600.0), (1995, 1900.0), (2005, 1700.0), (2015, 5400.0), (2024, 6400.0)] },
-    GdpAnchors { cc: "SR", imf_data: true, anchors: &[(1980, 3000.0), (1995, 2000.0), (2005, 3300.0), (2015, 8800.0), (2024, 7000.0)] },
-    GdpAnchors { cc: "SV", imf_data: true, anchors: &[(1980, 900.0), (1995, 1700.0), (2005, 2900.0), (2015, 4200.0), (2024, 5400.0)] },
-    GdpAnchors { cc: "SX", imf_data: false, anchors: &[(1980, 15000.0), (2024, 32000.0)] },
-    GdpAnchors { cc: "TT", imf_data: true, anchors: &[(1980, 8000.0), (1985, 5200.0), (1995, 4000.0), (2008, 16000.0), (2015, 18200.0), (2024, 18200.0)] },
-    GdpAnchors { cc: "UY", imf_data: true, anchors: &[(1980, 4300.0), (1995, 5500.0), (2003, 3600.0), (2014, 16800.0), (2024, 22800.0)] },
-    GdpAnchors { cc: "VE", imf_data: true, anchors: &[(1980, 7800.0), (1985, 6800.0), (1990, 5800.0), (1995, 5000.0), (2003, 5200.0), (2008, 10800.0), (2012, 12200.0), (2016, 8000.0), (2020, 3550.0), (2024, 3900.0)] },
-    GdpAnchors { cc: "AW", imf_data: false, anchors: &[(1980, 8000.0), (2024, 33000.0)] },
+    GdpAnchors {
+        cc: "AR",
+        imf_data: true,
+        anchors: &[
+            (1980, 8400.0),
+            (1985, 7000.0),
+            (1990, 5800.0),
+            (1995, 7200.0),
+            (2002, 3000.0),
+            (2008, 9000.0),
+            (2015, 13800.0),
+            (2020, 8500.0),
+            (2024, 13000.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "BO",
+        imf_data: true,
+        anchors: &[
+            (1980, 1200.0),
+            (1995, 900.0),
+            (2005, 1000.0),
+            (2015, 3000.0),
+            (2024, 3700.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "BQ",
+        imf_data: false,
+        anchors: &[(1980, 12000.0), (2024, 27000.0)],
+    },
+    GdpAnchors {
+        cc: "BR",
+        imf_data: true,
+        anchors: &[
+            (1980, 3200.0),
+            (1995, 4700.0),
+            (2005, 4800.0),
+            (2011, 13200.0),
+            (2015, 8800.0),
+            (2024, 10300.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "BZ",
+        imf_data: true,
+        anchors: &[
+            (1980, 2200.0),
+            (1995, 2900.0),
+            (2005, 3900.0),
+            (2015, 4800.0),
+            (2024, 6800.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "CL",
+        imf_data: true,
+        anchors: &[
+            (1980, 2600.0),
+            (1995, 5100.0),
+            (2005, 7600.0),
+            (2013, 15800.0),
+            (2020, 13000.0),
+            (2024, 17000.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "CO",
+        imf_data: true,
+        anchors: &[
+            (1980, 1600.0),
+            (1995, 2500.0),
+            (2005, 3400.0),
+            (2014, 8100.0),
+            (2020, 5300.0),
+            (2024, 7400.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "CR",
+        imf_data: true,
+        anchors: &[
+            (1980, 2400.0),
+            (1995, 3300.0),
+            (2005, 4700.0),
+            (2015, 11600.0),
+            (2024, 16600.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "CU",
+        imf_data: false,
+        anchors: &[(1980, 2000.0), (2005, 3800.0), (2024, 9500.0)],
+    },
+    GdpAnchors {
+        cc: "CW",
+        imf_data: false,
+        anchors: &[(1980, 10000.0), (2024, 20000.0)],
+    },
+    GdpAnchors {
+        cc: "DO",
+        imf_data: true,
+        anchors: &[
+            (1980, 1200.0),
+            (1995, 1800.0),
+            (2005, 3700.0),
+            (2015, 6800.0),
+            (2024, 10800.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "EC",
+        imf_data: true,
+        anchors: &[
+            (1980, 1700.0),
+            (1995, 2200.0),
+            (2005, 3000.0),
+            (2015, 6100.0),
+            (2024, 6500.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "GF",
+        imf_data: false,
+        anchors: &[(1980, 6000.0), (2024, 18000.0)],
+    },
+    GdpAnchors {
+        cc: "GT",
+        imf_data: true,
+        anchors: &[
+            (1980, 1200.0),
+            (1995, 1500.0),
+            (2005, 2100.0),
+            (2015, 3900.0),
+            (2024, 5700.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "GY",
+        imf_data: true,
+        anchors: &[
+            (1980, 800.0),
+            (1995, 900.0),
+            (2005, 1100.0),
+            (2015, 4100.0),
+            (2019, 6600.0),
+            (2024, 20000.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "HN",
+        imf_data: true,
+        anchors: &[
+            (1980, 1000.0),
+            (1995, 1100.0),
+            (2005, 1400.0),
+            (2015, 2300.0),
+            (2024, 3200.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "HT",
+        imf_data: true,
+        anchors: &[
+            (1980, 600.0),
+            (1995, 500.0),
+            (2005, 600.0),
+            (2015, 1400.0),
+            (2024, 1700.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "MX",
+        imf_data: true,
+        anchors: &[
+            (1980, 3700.0),
+            (1995, 4000.0),
+            (2005, 8300.0),
+            (2015, 9600.0),
+            (2024, 13800.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "NI",
+        imf_data: true,
+        anchors: &[
+            (1980, 700.0),
+            (1995, 900.0),
+            (2005, 1200.0),
+            (2015, 2100.0),
+            (2024, 2500.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "PA",
+        imf_data: true,
+        anchors: &[
+            (1980, 2200.0),
+            (1995, 3200.0),
+            (2005, 4800.0),
+            (2015, 13600.0),
+            (2024, 18500.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "PE",
+        imf_data: true,
+        anchors: &[
+            (1980, 1000.0),
+            (1995, 2100.0),
+            (2005, 2900.0),
+            (2015, 6200.0),
+            (2024, 7900.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "PY",
+        imf_data: true,
+        anchors: &[
+            (1980, 1600.0),
+            (1995, 1900.0),
+            (2005, 1700.0),
+            (2015, 5400.0),
+            (2024, 6400.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "SR",
+        imf_data: true,
+        anchors: &[
+            (1980, 3000.0),
+            (1995, 2000.0),
+            (2005, 3300.0),
+            (2015, 8800.0),
+            (2024, 7000.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "SV",
+        imf_data: true,
+        anchors: &[
+            (1980, 900.0),
+            (1995, 1700.0),
+            (2005, 2900.0),
+            (2015, 4200.0),
+            (2024, 5400.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "SX",
+        imf_data: false,
+        anchors: &[(1980, 15000.0), (2024, 32000.0)],
+    },
+    GdpAnchors {
+        cc: "TT",
+        imf_data: true,
+        anchors: &[
+            (1980, 8000.0),
+            (1985, 5200.0),
+            (1995, 4000.0),
+            (2008, 16000.0),
+            (2015, 18200.0),
+            (2024, 18200.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "UY",
+        imf_data: true,
+        anchors: &[
+            (1980, 4300.0),
+            (1995, 5500.0),
+            (2003, 3600.0),
+            (2014, 16800.0),
+            (2024, 22800.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "VE",
+        imf_data: true,
+        anchors: &[
+            (1980, 7800.0),
+            (1985, 6800.0),
+            (1990, 5800.0),
+            (1995, 5000.0),
+            (2003, 5200.0),
+            (2008, 10800.0),
+            (2012, 12200.0),
+            (2016, 8000.0),
+            (2020, 3550.0),
+            (2024, 3900.0),
+        ],
+    },
+    GdpAnchors {
+        cc: "AW",
+        imf_data: false,
+        anchors: &[(1980, 8000.0), (2024, 33000.0)],
+    },
 ];
 
 /// Venezuela's oil production anchors, in the kbbl/day-scaled units of
@@ -100,7 +368,12 @@ const VE_INFLATION_ANCHORS: &[(i32, f64)] = &[
     (2024, 180.0),
 ];
 
-fn anchors_to_series(anchors: &[(i32, f64)], start: MonthStamp, end: MonthStamp, log: bool) -> TimeSeries {
+fn anchors_to_series(
+    anchors: &[(i32, f64)],
+    start: MonthStamp,
+    end: MonthStamp,
+    log: bool,
+) -> TimeSeries {
     let pts: TimeSeries = anchors
         .iter()
         .map(|&(y, v)| (MonthStamp::new(y, 1), if log { v.ln() } else { v }))
@@ -235,13 +508,19 @@ mod tests {
         // recovery. Check the trough-style collapse.
         let oil = e.oil_production_ve();
         let peak = oil.max_value().unwrap();
-        let trough = oil.window(MonthStamp::new(2020, 1), MonthStamp::new(2022, 1)).min_value().unwrap();
+        let trough = oil
+            .window(MonthStamp::new(2020, 1), MonthStamp::new(2022, 1))
+            .min_value()
+            .unwrap();
         let drop = (trough - peak) / peak * 100.0;
         assert!((-84.0..=-78.0).contains(&drop), "oil collapse {drop}%");
 
         // GDP: −70.90% from peak.
         let gdp = e.gdp_per_capita(country::VE).unwrap();
-        let drop = (gdp.window(MonthStamp::new(2019, 1), MonthStamp::new(2021, 1)).min_value().unwrap()
+        let drop = (gdp
+            .window(MonthStamp::new(2019, 1), MonthStamp::new(2021, 1))
+            .min_value()
+            .unwrap()
             - gdp.max_value().unwrap())
             / gdp.max_value().unwrap()
             * 100.0;
@@ -249,15 +528,24 @@ mod tests {
 
         // Population: −13.85% from peak.
         let pop = e.population_ve();
-        let drop = (pop.window(MonthStamp::new(2021, 1), MonthStamp::new(2022, 1)).min_value().unwrap()
+        let drop = (pop
+            .window(MonthStamp::new(2021, 1), MonthStamp::new(2022, 1))
+            .min_value()
+            .unwrap()
             - pop.max_value().unwrap())
             / pop.max_value().unwrap()
             * 100.0;
-        assert!((-15.0..=-12.5).contains(&drop), "population decline {drop}%");
+        assert!(
+            (-15.0..=-12.5).contains(&drop),
+            "population decline {drop}%"
+        );
 
         // Inflation peaks at 32,000%.
         let peak = e.inflation_ve().max_value().unwrap();
-        assert!((30_000.0..=33_000.0).contains(&peak), "inflation peak {peak}");
+        assert!(
+            (30_000.0..=33_000.0).contains(&peak),
+            "inflation peak {peak}"
+        );
     }
 
     #[test]
@@ -294,14 +582,22 @@ mod tests {
         let cl = e.investment_index(country::CL, MonthStamp::new(2020, 6));
         assert!(cl > 0.75, "chile {cl}");
         // Unknown countries default to 1.
-        assert_eq!(e.investment_index(country::US, MonthStamp::new(2020, 6)), 1.0);
+        assert_eq!(
+            e.investment_index(country::US, MonthStamp::new(2020, 6)),
+            1.0
+        );
     }
 
     #[test]
     fn series_cover_window_monthly() {
         let e = economy();
         let gdp = e.gdp_per_capita(country::VE).unwrap();
-        assert_eq!(gdp.len(), MonthStamp::new(1980, 1).through(MonthStamp::new(2024, 2)).count());
+        assert_eq!(
+            gdp.len(),
+            MonthStamp::new(1980, 1)
+                .through(MonthStamp::new(2024, 2))
+                .count()
+        );
         assert!(gdp.iter().all(|(_, v)| v > 0.0));
         assert!(e.inflation_ve().iter().all(|(_, v)| v > 0.0));
     }
@@ -309,7 +605,9 @@ mod tests {
     #[test]
     fn rank_universe_excludes_non_imf() {
         let e = economy();
-        assert!(e.gdp_rank(CountryCode::of("CW"), MonthStamp::new(2000, 1)).is_none());
+        assert!(e
+            .gdp_rank(CountryCode::of("CW"), MonthStamp::new(2000, 1))
+            .is_none());
         assert!(e.imf_countries().len() >= 20);
         // Ranks are within the universe size.
         for cc in e.imf_countries() {

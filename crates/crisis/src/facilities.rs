@@ -194,7 +194,10 @@ impl<'a> PeeringDbBuilder<'a> {
         for op in self.ops.all() {
             // Eyeballs register; so do Venezuelan enterprises (several
             // universities and banks keep PeeringDB records).
-            if op.users > 0 || (op.country == country::VE && op.kind == crate::operators::OperatorKind::Enterprise) {
+            if op.users > 0
+                || (op.country == country::VE
+                    && op.kind == crate::operators::OperatorKind::Enterprise)
+            {
                 net_id_of.insert(op.asn, next_id);
                 snap.net.push(Network {
                     id: next_id,
@@ -206,8 +209,8 @@ impl<'a> PeeringDbBuilder<'a> {
             }
         }
         for &(asn, name) in EXTRA_NETS {
-            if !net_id_of.contains_key(&Asn(asn)) {
-                net_id_of.insert(Asn(asn), next_id);
+            if let std::collections::btree_map::Entry::Vacant(slot) = net_id_of.entry(Asn(asn)) {
+                slot.insert(next_id);
                 snap.net.push(Network {
                     id: next_id,
                     asn: Asn(asn),
@@ -267,7 +270,10 @@ impl<'a> PeeringDbBuilder<'a> {
             for &(asn, (y, mo)) in roster {
                 if m >= MonthStamp::new(y, mo) {
                     if let Some(&nid) = net_id_of.get(&Asn(asn)) {
-                        snap.netfac.push(NetFac { net_id: nid, fac_id: *fid });
+                        snap.netfac.push(NetFac {
+                            net_id: nid,
+                            fac_id: *fid,
+                        });
                     }
                 }
             }
@@ -283,7 +289,12 @@ impl<'a> PeeringDbBuilder<'a> {
         let mut ix_id = 1u32;
         for &(cc, name, city, target_share) in IXPS {
             let cc = CountryCode::of(cc);
-            snap.ix.push(Ix { id: ix_id, name: name.into(), city: city.into(), country: cc });
+            snap.ix.push(Ix {
+                id: ix_id,
+                name: name.into(),
+                city: city.into(),
+                country: cc,
+            });
             // Greedy membership: largest eyeballs first until the target
             // share of the domestic population is covered.
             let total = self.ops.populations().country_total(cc) as f64;
@@ -298,7 +309,11 @@ impl<'a> PeeringDbBuilder<'a> {
                     continue;
                 }
                 if let Some(&nid) = net_id_of.get(&op.asn) {
-                    snap.netixlan.push(NetIxLan { net_id: nid, ix_id, speed: 10_000 });
+                    snap.netixlan.push(NetIxLan {
+                        net_id: nid,
+                        ix_id,
+                        speed: 10_000,
+                    });
                     covered += op.users as f64;
                 }
             }
@@ -313,7 +328,11 @@ impl<'a> PeeringDbBuilder<'a> {
             country: country::CO,
         });
         if let Some(&nid) = net_id_of.get(&Asn(263703)) {
-            snap.netixlan.push(NetIxLan { net_id: nid, ix_id, speed: 1_000 });
+            snap.netixlan.push(NetIxLan {
+                net_id: nid,
+                ix_id,
+                speed: 1_000,
+            });
         }
         ix_id += 1;
 
@@ -323,7 +342,11 @@ impl<'a> PeeringDbBuilder<'a> {
             if let Some(&nid) = net_id_of.get(&antel.asn) {
                 for target in ["AR-IX", "IX.br (SP)", "IXpy", "PIT Chile (SCL)"] {
                     if let Some(ix) = snap.ix.iter().find(|i| i.name == target) {
-                        snap.netixlan.push(NetIxLan { net_id: nid, ix_id: ix.id, speed: 10_000 });
+                        snap.netixlan.push(NetIxLan {
+                            net_id: nid,
+                            ix_id: ix.id,
+                            speed: 10_000,
+                        });
                     }
                 }
             }
@@ -332,7 +355,12 @@ impl<'a> PeeringDbBuilder<'a> {
         // ——— US IXPs (Fig. 21) ———
         let mut us_ix_ids = Vec::new();
         for &(name, city) in US_IXPS {
-            snap.ix.push(Ix { id: ix_id, name: name.into(), city: city.into(), country: country::US });
+            snap.ix.push(Ix {
+                id: ix_id,
+                name: name.into(),
+                city: city.into(),
+                country: country::US,
+            });
             us_ix_ids.push((name, ix_id));
             ix_id += 1;
         }
@@ -342,7 +370,11 @@ impl<'a> PeeringDbBuilder<'a> {
                 if let Some(&nid) = net_id_of.get(&op.asn) {
                     for (j, &(_, id)) in us_ix_ids.iter().enumerate() {
                         if (j + k) % 2 == 0 {
-                            snap.netixlan.push(NetIxLan { net_id: nid, ix_id: id, speed: 100_000 });
+                            snap.netixlan.push(NetIxLan {
+                                net_id: nid,
+                                ix_id: id,
+                                speed: 100_000,
+                            });
                         }
                     }
                 }
@@ -354,7 +386,11 @@ impl<'a> PeeringDbBuilder<'a> {
             if let Some(&nid) = net_id_of.get(&antel.asn) {
                 for target in ["Equinix Ashburn", "Equinix Miami", "FL-IX"] {
                     if let Some(&(_, id)) = us_ix_ids.iter().find(|&&(n, _)| n == target) {
-                        snap.netixlan.push(NetIxLan { net_id: nid, ix_id: id, speed: 100_000 });
+                        snap.netixlan.push(NetIxLan {
+                            net_id: nid,
+                            ix_id: id,
+                            speed: 100_000,
+                        });
                     }
                 }
             }
@@ -369,7 +405,11 @@ impl<'a> PeeringDbBuilder<'a> {
                 };
                 for t in targets {
                     if let Some(&(_, id)) = us_ix_ids.iter().find(|&&(n, _)| n == *t) {
-                        snap.netixlan.push(NetIxLan { net_id: nid, ix_id: id, speed: 1_000 });
+                        snap.netixlan.push(NetIxLan {
+                            net_id: nid,
+                            ix_id: id,
+                            speed: 1_000,
+                        });
                     }
                 }
             }
@@ -379,7 +419,11 @@ impl<'a> PeeringDbBuilder<'a> {
             if let Some(inc) = self.ops.incumbent(cc) {
                 if let Some(&nid) = net_id_of.get(&inc.asn) {
                     if let Some(&(_, id)) = us_ix_ids.iter().find(|&&(n, _)| n == "Equinix Miami") {
-                        snap.netixlan.push(NetIxLan { net_id: nid, ix_id: id, speed: 100_000 });
+                        snap.netixlan.push(NetIxLan {
+                            net_id: nid,
+                            ix_id: id,
+                            speed: 100_000,
+                        });
                     }
                 }
             }
@@ -430,11 +474,18 @@ mod tests {
         let ops = Operators::generate(42);
         let builder = PeeringDbBuilder::new(&ops);
         let s_2022 = builder.snapshot(MonthStamp::new(2022, 2));
-        assert_eq!(s_2022.facilities_in(country::VE).len(), 2, "two registered in 2021");
+        assert_eq!(
+            s_2022.facilities_in(country::VE).len(),
+            2,
+            "two registered in 2021"
+        );
         assert!(s_2022.fac.iter().any(|f| f.name == "Lumen La Urbina"));
         let s_2023 = builder.snapshot(MonthStamp::new(2023, 2));
         assert_eq!(s_2023.facilities_in(country::VE).len(), 4);
-        assert!(s_2023.fac.iter().any(|f| f.name == "Cirion La Urbina"), "renamed after Lumen sale");
+        assert!(
+            s_2023.fac.iter().any(|f| f.name == "Cirion La Urbina"),
+            "renamed after Lumen sale"
+        );
         assert!(!s_2023.fac.iter().any(|f| f.name == "Lumen La Urbina"));
     }
 
@@ -442,8 +493,16 @@ mod tests {
     fn fig15_la_urbina_grows_to_eleven() {
         let arch = archive();
         let fp = analytics::FacilityPresence::compute(&arch, country::VE);
-        assert_eq!(fp.latest_count("La Urbina"), Some(11), "Cirion peaks at 11 networks");
-        assert_eq!(fp.latest_count("GigaPOP"), Some(0), "GigaPOP never attracts networks");
+        assert_eq!(
+            fp.latest_count("La Urbina"),
+            Some(11),
+            "Cirion peaks at 11 networks"
+        );
+        assert_eq!(
+            fp.latest_count("GigaPOP"),
+            Some(0),
+            "GigaPOP never attracts networks"
+        );
         assert_eq!(fp.latest_count("Daycohost"), Some(3));
         assert_eq!(fp.latest_count("Globenet"), Some(2));
     }
@@ -466,16 +525,34 @@ mod tests {
         let arch = archive();
         let largest = analytics::largest_ixp_members(
             &arch,
-            &[country::AR, country::BR, country::CL, country::UY, country::VE],
+            &[
+                country::AR,
+                country::BR,
+                country::CL,
+                country::UY,
+                country::VE,
+            ],
         );
         let share = |cc: CountryCode| {
             let (_, members) = &largest[&cc];
             let set: std::collections::BTreeSet<Asn> = members.iter().copied().collect();
             ops.populations().share_of(cc, &set)
         };
-        assert!((share(country::AR) - 0.624).abs() < 0.15, "AR {}", share(country::AR));
-        assert!((share(country::BR) - 0.455).abs() < 0.15, "BR {}", share(country::BR));
-        assert!((share(country::CL) - 0.496).abs() < 0.15, "CL {}", share(country::CL));
+        assert!(
+            (share(country::AR) - 0.624).abs() < 0.15,
+            "AR {}",
+            share(country::AR)
+        );
+        assert!(
+            (share(country::BR) - 0.455).abs() < 0.15,
+            "BR {}",
+            share(country::BR)
+        );
+        assert!(
+            (share(country::CL) - 0.496).abs() < 0.15,
+            "CL {}",
+            share(country::CL)
+        );
         assert!(!largest.contains_key(&country::UY), "no Uruguayan IXP");
         assert!(!largest.contains_key(&country::VE), "no Venezuelan IXP");
     }
@@ -511,7 +588,12 @@ mod tests {
                 }
             }
         }
-        assert_eq!(ve_networks.len(), 7); assert!((7..=7).contains(&ve_networks.len()), "{} VE networks in the US", ve_networks.len());
+        assert_eq!(ve_networks.len(), 7);
+        assert!(
+            (7..=7).contains(&ve_networks.len()),
+            "{} VE networks in the US",
+            ve_networks.len()
+        );
         let share = ops.populations().share_of(country::VE, &ve_networks);
         assert!((0.06..=0.08).contains(&share), "≈7% of VE users: {share}");
     }

@@ -54,7 +54,10 @@ pub fn adoption_pct(cc: CountryCode, month: MonthStamp) -> f64 {
 
 /// Monthly adoption series for one country over `[start, end]`.
 pub fn adoption_series(cc: CountryCode, start: MonthStamp, end: MonthStamp) -> TimeSeries {
-    start.through(end).map(|m| (m, adoption_pct(cc, m))).collect()
+    start
+        .through(end)
+        .map(|m| (m, adoption_pct(cc, m)))
+        .collect()
 }
 
 /// The cross-country mean series (the Fig. 5 regional panel).
@@ -77,7 +80,10 @@ mod tests {
         let ve_2021 = adoption_pct(country::VE, MonthStamp::new(2021, 1));
         assert!(ve_2021 < 0.5, "still near zero in 2021: {ve_2021}");
         let ve_mid2023 = adoption_pct(country::VE, MonthStamp::new(2023, 7));
-        assert!((1.0..=2.0).contains(&ve_mid2023), "≈1.5% by mid-2023: {ve_mid2023}");
+        assert!(
+            (1.0..=2.0).contains(&ve_mid2023),
+            "≈1.5% by mid-2023: {ve_mid2023}"
+        );
     }
 
     #[test]
@@ -90,7 +96,10 @@ mod tests {
         let cl = adoption_pct(country::CL, MonthStamp::new(2023, 7));
         let co = adoption_pct(country::CO, MonthStamp::new(2023, 7));
         for (name, v) in [("AR", ar), ("CL", cl), ("CO", co)] {
-            assert!((15.0..=35.0).contains(&v), "{name} around the 20% mark: {v}");
+            assert!(
+                (15.0..=35.0).contains(&v),
+                "{name} around the 20% mark: {v}"
+            );
         }
     }
 

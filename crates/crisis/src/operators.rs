@@ -13,10 +13,9 @@
 use lacnet_offnets::{AsOrgMap, PopulationEstimates};
 use lacnet_types::rng::Rng;
 use lacnet_types::{country, Asn, CountryCode};
-use serde::{Deserialize, Serialize};
 
 /// What role an AS plays in its domestic market.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OperatorKind {
     /// The (often state-owned) incumbent eyeball network.
     Incumbent,
@@ -30,7 +29,7 @@ pub enum OperatorKind {
 }
 
 /// One domestic operator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Operator {
     /// The operator's ASN.
     pub asn: Asn,
@@ -118,7 +117,13 @@ impl Operators {
                 27889 | 264731 => OperatorKind::Mobile,
                 _ => OperatorKind::Isp,
             };
-            all.push(Operator { asn: Asn(asn), name: name.into(), country: country::VE, kind, users });
+            all.push(Operator {
+                asn: Asn(asn),
+                name: name.into(),
+                country: country::VE,
+                kind,
+                users,
+            });
         }
         let table1_total: u64 = VE_TABLE1.iter().map(|&(_, _, u)| u).sum();
         let mut residual = VE_INTERNET_USERS - table1_total;
@@ -212,7 +217,11 @@ impl Operators {
                     asn: Asn(280_000 + fnv(info.code.as_str()) * 10 + k as u32),
                     name: format!("{} ISP {}", info.code, k + 1),
                     country: info.code,
-                    kind: if k == 0 { OperatorKind::Mobile } else { OperatorKind::Isp },
+                    kind: if k == 0 {
+                        OperatorKind::Mobile
+                    } else {
+                        OperatorKind::Isp
+                    },
                     users: (market as f64 * share) as u64,
                 });
             }
@@ -238,7 +247,11 @@ impl Operators {
             }
         }
 
-        Operators { all, as2org, populations }
+        Operators {
+            all,
+            as2org,
+            populations,
+        }
     }
 
     /// Every operator.
@@ -330,7 +343,10 @@ mod tests {
     #[test]
     fn ve_market_sums_to_total() {
         let ops = ops();
-        assert_eq!(ops.populations().country_total(country::VE), VE_INTERNET_USERS);
+        assert_eq!(
+            ops.populations().country_total(country::VE),
+            VE_INTERNET_USERS
+        );
     }
 
     #[test]

@@ -22,44 +22,47 @@ use lacnet_bgp::{AsGraph, RelEdge, TopologyArchive};
 use lacnet_types::{country, Asn, MonthStamp};
 
 /// The tier-1 clique (transit-free, fully peered).
-pub const TIER1: &[u32] = &[701, 1239, 7018, 3356, 3549, 1299, 3257, 2914, 6453, 6762, 5511];
+pub const TIER1: &[u32] = &[
+    701, 1239, 7018, 3356, 3549, 1299, 3257, 2914, 6453, 6762, 5511,
+];
 
 /// Regional wholesale transits and their own (two) tier-1 providers,
 /// with the month they entered the market.
 const REGIONALS: &[(u32, u32, u32, (i32, u8))] = &[
-    (23520, 3356, 7018, (1999, 1)),  // Columbus Networks
-    (52320, 6762, 3356, (2009, 1)),  // V.tal / Brasil Telecom (GlobeNet)
-    (12956, 6762, 1299, (2001, 1)),  // Telxius
-    (28007, 7018, 1299, (2012, 1)),  // Gold Data
-    (4436, 3257, 701, (2000, 1)),    // GTT (ex-nLayer)
-    (4004, 701, 1239, (1998, 6)),    // legacy US wholesale
-    (7927, 7018, 1239, (1998, 1)),   // early LatAm wholesale
-    (19962, 3356, 1299, (2003, 1)),  // regional carrier
+    (23520, 3356, 7018, (1999, 1)),   // Columbus Networks
+    (52320, 6762, 3356, (2009, 1)),   // V.tal / Brasil Telecom (GlobeNet)
+    (12956, 6762, 1299, (2001, 1)),   // Telxius
+    (28007, 7018, 1299, (2012, 1)),   // Gold Data
+    (4436, 3257, 701, (2000, 1)),     // GTT (ex-nLayer)
+    (4004, 701, 1239, (1998, 6)),     // legacy US wholesale
+    (7927, 7018, 1239, (1998, 1)),    // early LatAm wholesale
+    (19962, 3356, 1299, (2003, 1)),   // regional carrier
     (262589, 52320, 6762, (2013, 1)), // LACNIC-region wholesale
 ];
 
 /// CANTV's transit providers as `(asn, start, end)` intervals (end
 /// exclusive; `None` = still serving). Transcribed from Fig. 9.
+#[allow(clippy::type_complexity)]
 pub const CANTV_TRANSIT_INTERVALS: &[(u32, (i32, u8), Option<(i32, u8)>)] = &[
-    (701, (1998, 1), Some((2013, 7))),    // Verizon leaves 2013
-    (1239, (1999, 3), Some((2013, 5))),   // Sprint leaves 2013
-    (7018, (1998, 6), Some((2013, 10))),  // AT&T leaves 2013
-    (3356, (2001, 5), Some((2018, 3))),   // Level3 leaves 2018
-    (3549, (2003, 8), Some((2018, 3))),   // Level3/GBLX leaves 2018
-    (1299, (2005, 4), Some((2015, 9))),   // Arelion stops serving
-    (3257, (2006, 9), Some((2017, 4))),   // GTT leaves 2017
-    (4436, (2013, 10), Some((2017, 4))),  // GTT's second ASN
-    (6762, (2002, 2), None),              // Telecom Italia — longstanding
-    (23520, (2007, 1), None),             // Columbus — sole US survivor
-    (12956, (2009, 2), Some((2016, 6))),  // Telxius stops serving
+    (701, (1998, 1), Some((2013, 7))),   // Verizon leaves 2013
+    (1239, (1999, 3), Some((2013, 5))),  // Sprint leaves 2013
+    (7018, (1998, 6), Some((2013, 10))), // AT&T leaves 2013
+    (3356, (2001, 5), Some((2018, 3))),  // Level3 leaves 2018
+    (3549, (2003, 8), Some((2018, 3))),  // Level3/GBLX leaves 2018
+    (1299, (2005, 4), Some((2015, 9))),  // Arelion stops serving
+    (3257, (2006, 9), Some((2017, 4))),  // GTT leaves 2017
+    (4436, (2013, 10), Some((2017, 4))), // GTT's second ASN
+    (6762, (2002, 2), None),             // Telecom Italia — longstanding
+    (23520, (2007, 1), None),            // Columbus — sole US survivor
+    (12956, (2009, 2), Some((2016, 6))), // Telxius stops serving
     (4004, (2011, 11), Some((2014, 7))),
     (7927, (1998, 1), Some((2004, 1))),
     (19962, (2004, 6), Some((2009, 1))),
-    (5511, (2008, 3), Some((2011, 7))),   // Orange, first stint
-    (5511, (2021, 3), None),              // Orange returns (§6.1)
+    (5511, (2008, 3), Some((2011, 7))), // Orange, first stint
+    (5511, (2021, 3), None),            // Orange returns (§6.1)
     (262589, (2013, 5), Some((2016, 3))),
-    (52320, (2019, 6), None),             // V.tal via GlobeNet
-    (28007, (2022, 4), None),             // Gold Data — recent addition
+    (52320, (2019, 6), None), // V.tal via GlobeNet
+    (28007, (2022, 4), None), // Gold Data — recent addition
 ];
 
 /// Founding month of each Venezuelan Table-1 operator (Telefónica began
@@ -67,15 +70,15 @@ pub const CANTV_TRANSIT_INTERVALS: &[(u32, (i32, u8), Option<(i32, u8)>)] = &[
 pub fn ve_founding_month(asn: Asn) -> MonthStamp {
     match asn.raw() {
         8048 => MonthStamp::new(1996, 1),
-        21826 => MonthStamp::new(2001, 6),   // Telemic / Inter
-        6306 => MonthStamp::new(2005, 3),    // Telefónica de Venezuela
-        11562 => MonthStamp::new(1999, 9),   // NetUno
-        27889 => MonthStamp::new(2002, 1),   // Movilnet
-        264731 => MonthStamp::new(2011, 5),  // Digitel
-        264628 => MonthStamp::new(2014, 8),  // Fibex
-        263703 => MonthStamp::new(2015, 2),  // Viginet
-        61461 => MonthStamp::new(2016, 4),   // Airtek
-        272809 => MonthStamp::new(2018, 9),  // Thundernet
+        21826 => MonthStamp::new(2001, 6),  // Telemic / Inter
+        6306 => MonthStamp::new(2005, 3),   // Telefónica de Venezuela
+        11562 => MonthStamp::new(1999, 9),  // NetUno
+        27889 => MonthStamp::new(2002, 1),  // Movilnet
+        264731 => MonthStamp::new(2011, 5), // Digitel
+        264628 => MonthStamp::new(2014, 8), // Fibex
+        263703 => MonthStamp::new(2015, 2), // Viginet
+        61461 => MonthStamp::new(2016, 4),  // Airtek
+        272809 => MonthStamp::new(2018, 9), // Thundernet
         a if (275_000..276_000).contains(&a) => {
             // Small access networks appear from 2016 on.
             MonthStamp::new(2016, 1).plus(((a - 275_000) * 5) as i32 % 84)
@@ -148,7 +151,7 @@ impl<'a> TopologyBuilder<'a> {
         // CANTV's scripted providers.
         for &(prov, (sy, sm), until) in CANTV_TRANSIT_INTERVALS {
             let active = m >= MonthStamp::new(sy, sm)
-                && until.map_or(true, |(ey, em)| m < MonthStamp::new(ey, em));
+                && until.is_none_or(|(ey, em)| m < MonthStamp::new(ey, em));
             if active {
                 edges.push(RelEdge::transit(Asn(prov), Asn(8048)));
             }
@@ -173,10 +176,11 @@ impl<'a> TopologyBuilder<'a> {
                     let menu: &[u32] = &[23520, 6762, 52320, 28007, 12956];
                     let h = op.asn.raw() as usize;
                     let first = menu[h % menu.len()];
-                    if m >= MonthStamp::new(2009, 1).plus((h % 36) as i32) || op.asn.raw() < 100_000 {
-                        if self.active_regional(first, m) {
-                            edges.push(RelEdge::transit(Asn(first), op.asn));
-                        }
+                    if (m >= MonthStamp::new(2009, 1).plus((h % 36) as i32)
+                        || op.asn.raw() < 100_000)
+                        && self.active_regional(first, m)
+                    {
+                        edges.push(RelEdge::transit(Asn(first), op.asn));
                     }
                     // Multihome the bigger ISPs.
                     if op.users > 1_000_000 {
@@ -186,7 +190,11 @@ impl<'a> TopologyBuilder<'a> {
                         }
                     }
                     // A few small networks buy from CANTV domestically.
-                    if op.users > 0 && op.users < 600_000 && h % 3 == 0 && m >= MonthStamp::new(2014, 1) {
+                    if op.users > 0
+                        && op.users < 600_000
+                        && h.is_multiple_of(3)
+                        && m >= MonthStamp::new(2014, 1)
+                    {
                         edges.push(RelEdge::transit(Asn(8048), op.asn));
                     }
                 }
@@ -200,7 +208,9 @@ impl<'a> TopologyBuilder<'a> {
             if info.code == country::VE {
                 continue;
             }
-            let Some(incumbent) = self.ops.incumbent(info.code) else { continue };
+            let Some(incumbent) = self.ops.incumbent(info.code) else {
+                continue;
+            };
             let inv = self.economy.investment_index(info.code, m);
             // Upstream count: 2 at founding, +1 per 6 years of healthy
             // investment, capped by the tier-1 pool.
@@ -281,7 +291,9 @@ mod tests {
         let builder = TopologyBuilder::new(&ops, &eco);
         let archive = builder.build(MonthStamp::new(1998, 1), MonthStamp::new(2024, 2));
         let gone: std::collections::BTreeMap<Asn, MonthStamp> =
-            analytics::departed_providers(&archive, Asn(8048)).into_iter().collect();
+            analytics::departed_providers(&archive, Asn(8048))
+                .into_iter()
+                .collect();
         // Verizon, Sprint, AT&T leave during 2013.
         assert_eq!(gone[&Asn(701)].year(), 2013);
         assert_eq!(gone[&Asn(1239)].year(), 2013);
@@ -354,7 +366,7 @@ mod tests {
     }
 
     #[test]
-    fn telefonica_served_by_telxius(){
+    fn telefonica_served_by_telxius() {
         let (ops, eco) = world();
         let builder = TopologyBuilder::new(&ops, &eco);
         let g = builder.snapshot(MonthStamp::new(2012, 1));

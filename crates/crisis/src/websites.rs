@@ -28,9 +28,21 @@ const ADOPTION: &[(&str, f64, f64, f64, f64)] = &[
 /// Sites shared by every country's top list (filtered out by the
 /// unique-sites step, as in the paper's methodology).
 const GLOBAL_SITES: &[&str] = &[
-    "google.com", "youtube.com", "facebook.com", "whatsapp.com", "instagram.com",
-    "wikipedia.org", "twitter.com", "netflix.com", "tiktok.com", "amazon.com",
-    "live.com", "bing.com", "yahoo.com", "telegram.org", "linkedin.com",
+    "google.com",
+    "youtube.com",
+    "facebook.com",
+    "whatsapp.com",
+    "instagram.com",
+    "wikipedia.org",
+    "twitter.com",
+    "netflix.com",
+    "tiktok.com",
+    "amazon.com",
+    "live.com",
+    "bing.com",
+    "yahoo.com",
+    "telegram.org",
+    "linkedin.com",
 ];
 
 /// Number of domestic (unique) sites per country list.
@@ -38,7 +50,10 @@ const DOMESTIC_SITES: usize = 700;
 
 /// The countries Fig. 19 covers.
 pub fn fig19_countries() -> Vec<CountryCode> {
-    ADOPTION.iter().map(|&(cc, ..)| CountryCode::of(cc)).collect()
+    ADOPTION
+        .iter()
+        .map(|&(cc, ..)| CountryCode::of(cc))
+        .collect()
 }
 
 /// The scrape month (the paper's snapshot is January 2024).
@@ -85,10 +100,15 @@ pub fn build_top_sites(seed: u64) -> Vec<CountryTopSites> {
                     } else {
                         Provider::self_hosted()
                     },
-                    cdn: rng.chance(p_cdn).then(|| Provider::third_party("Cloudflare")),
+                    cdn: rng
+                        .chance(p_cdn)
+                        .then(|| Provider::third_party("Cloudflare")),
                 });
             }
-            CountryTopSites { country: code, sites }
+            CountryTopSites {
+                country: code,
+                sites,
+            }
         })
         .collect()
 }
@@ -127,7 +147,10 @@ mod tests {
         let unique = unique_sites(&lists);
         for list in &unique {
             assert_eq!(list.sites.len(), DOMESTIC_SITES, "{}", list.country);
-            assert!(list.sites.iter().all(|s| !GLOBAL_SITES.contains(&s.domain.as_str())));
+            assert!(list
+                .sites
+                .iter()
+                .all(|s| !GLOBAL_SITES.contains(&s.domain.as_str())));
         }
     }
 
@@ -135,20 +158,52 @@ mod tests {
     fn fig19_ve_values() {
         let r = report();
         let ve = |k| r.get(country::VE, k).unwrap();
-        assert!((ve(ServiceKind::Dns) - 0.29).abs() < 0.05, "DNS {}", ve(ServiceKind::Dns));
-        assert!((ve(ServiceKind::Https) - 0.58).abs() < 0.05, "HTTPS {}", ve(ServiceKind::Https));
-        assert!((ve(ServiceKind::Ca) - 0.22).abs() < 0.05, "CA {}", ve(ServiceKind::Ca));
-        assert!((ve(ServiceKind::Cdn) - 0.37).abs() < 0.05, "CDN {}", ve(ServiceKind::Cdn));
+        assert!(
+            (ve(ServiceKind::Dns) - 0.29).abs() < 0.05,
+            "DNS {}",
+            ve(ServiceKind::Dns)
+        );
+        assert!(
+            (ve(ServiceKind::Https) - 0.58).abs() < 0.05,
+            "HTTPS {}",
+            ve(ServiceKind::Https)
+        );
+        assert!(
+            (ve(ServiceKind::Ca) - 0.22).abs() < 0.05,
+            "CA {}",
+            ve(ServiceKind::Ca)
+        );
+        assert!(
+            (ve(ServiceKind::Cdn) - 0.37).abs() < 0.05,
+            "CDN {}",
+            ve(ServiceKind::Cdn)
+        );
     }
 
     #[test]
     fn fig19_regional_means() {
         let r = report();
         let mean = |k| r.regional_mean(k).unwrap();
-        assert!((mean(ServiceKind::Dns) - 0.32).abs() < 0.04, "DNS {}", mean(ServiceKind::Dns));
-        assert!((mean(ServiceKind::Https) - 0.60).abs() < 0.04, "HTTPS {}", mean(ServiceKind::Https));
-        assert!((mean(ServiceKind::Ca) - 0.26).abs() < 0.04, "CA {}", mean(ServiceKind::Ca));
-        assert!((mean(ServiceKind::Cdn) - 0.46).abs() < 0.06, "CDN {}", mean(ServiceKind::Cdn));
+        assert!(
+            (mean(ServiceKind::Dns) - 0.32).abs() < 0.04,
+            "DNS {}",
+            mean(ServiceKind::Dns)
+        );
+        assert!(
+            (mean(ServiceKind::Https) - 0.60).abs() < 0.04,
+            "HTTPS {}",
+            mean(ServiceKind::Https)
+        );
+        assert!(
+            (mean(ServiceKind::Ca) - 0.26).abs() < 0.04,
+            "CA {}",
+            mean(ServiceKind::Ca)
+        );
+        assert!(
+            (mean(ServiceKind::Cdn) - 0.46).abs() < 0.06,
+            "CDN {}",
+            mean(ServiceKind::Cdn)
+        );
     }
 
     #[test]
@@ -156,11 +211,18 @@ mod tests {
         let r = report();
         for kind in [ServiceKind::Dns, ServiceKind::Ca, ServiceKind::Cdn] {
             let ranking = r.ranking(kind);
-            let pos = ranking.iter().position(|&(cc, _)| cc == country::VE).unwrap();
+            let pos = ranking
+                .iter()
+                .position(|&(cc, _)| cc == country::VE)
+                .unwrap();
             // Sampling noise can swap adjacent bars (the VE–CO CDN gap
             // is 0.03); the claim is "near the bottom", not an exact slot.
             assert!(pos <= 3, "{kind:?}: VE at position {pos}");
-            assert_eq!(ranking[0].0, CountryCode::of("BO"), "{kind:?}: Bolivia lowest");
+            assert_eq!(
+                ranking[0].0,
+                CountryCode::of("BO"),
+                "{kind:?}: Bolivia lowest"
+            );
         }
         // HTTPS: VE sits mid-pack, slightly below the mean but above AR/CO.
         let https = r.ranking(ServiceKind::Https);

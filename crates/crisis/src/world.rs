@@ -16,8 +16,55 @@ use lacnet_mlab::aggregate::MonthlyAggregator;
 use lacnet_offnets::certs::CertScan;
 use lacnet_peeringdb::SnapshotArchive;
 use lacnet_telegeo::CableMap;
-use lacnet_types::MonthStamp;
+use lacnet_types::{sweep, MonthStamp};
 use lacnet_webmeas::CountryTopSites;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Memoises the per-month announced-prefix tables.
+///
+/// Deriving a month's [`PfxToAs`] runs valley-free propagation over that
+/// month's topology — by far the most expensive per-month computation in
+/// the battery — and Fig. 2, Fig. 14 and the dataset export all walk the
+/// same window. The cache guarantees each month is computed at most once
+/// per process, even when sweeps race from several threads: each month
+/// owns a [`OnceLock`] slot, so two threads asking for the *same* month
+/// serialise on its initialiser while *different* months still compute
+/// concurrently.
+#[derive(Default)]
+pub struct SnapshotCache {
+    slots: RwLock<BTreeMap<MonthStamp, Arc<OnceLock<Arc<PfxToAs>>>>>,
+    computations: AtomicUsize,
+}
+
+impl SnapshotCache {
+    /// The table for `month`, computing it with `compute` on first use.
+    fn get_or_compute(&self, month: MonthStamp, compute: impl FnOnce() -> PfxToAs) -> Arc<PfxToAs> {
+        let slot = {
+            let slots = self.slots.read().expect("pfx2as cache lock poisoned");
+            slots.get(&month).cloned()
+        };
+        let slot = match slot {
+            Some(slot) => slot,
+            None => {
+                let mut slots = self.slots.write().expect("pfx2as cache lock poisoned");
+                slots.entry(month).or_default().clone()
+            }
+        };
+        slot.get_or_init(|| {
+            self.computations.fetch_add(1, Ordering::Relaxed);
+            Arc::new(compute())
+        })
+        .clone()
+    }
+
+    /// How many tables have actually been computed (not served from
+    /// cache) so far.
+    fn computations(&self) -> usize {
+        self.computations.load(Ordering::Relaxed)
+    }
+}
 
 /// A fully generated world: every dataset of the study, consistent with
 /// one macro-economy and one seed.
@@ -44,29 +91,56 @@ pub struct World {
     pub cert_scans: Vec<CertScan>,
     /// Top-site scrapes, January 2024 (Fig. 19).
     pub top_sites: Vec<CountryTopSites>,
+    /// Shared per-month pfx2as tables (see [`SnapshotCache`]).
+    pfx2as_cache: SnapshotCache,
 }
 
 impl World {
-    /// Generate the world. Deterministic in `config.seed`.
+    /// Generate the world. Deterministic in `config.seed` — every builder
+    /// is a pure function of the config, so running the independent ones
+    /// on separate threads yields a byte-identical world.
     pub fn generate(config: WorldConfig) -> World {
-        let economy = Economy::generate(config.economy_start, config.end);
-        let operators = Operators::generate(config.seed);
-        let topology =
-            TopologyBuilder::new(&operators, &economy).build(windows::serial1_start(), config.end);
-        let addressing = Addressing::generate(&operators, &economy);
-        let peeringdb =
-            PeeringDbBuilder::new(&operators).build(windows::peeringdb_start(), config.end);
-        let cables = cables::build_cable_map();
-        let dns = dns::build_dns_world(config.seed);
-        let mlab = bandwidth::build_aggregate(
-            &operators,
-            config.seed,
-            config.mlab_volume_scale,
-            windows::mlab_start(),
-            config.end,
+        // Phase 1: the two roots every other dataset derives from.
+        let (economy, operators) = sweep::join2(
+            || Economy::generate(config.economy_start, config.end),
+            || Operators::generate(config.seed),
         );
-        let cert_scans = cdn::build_cert_scans(&operators);
-        let top_sites = websites::build_top_sites(config.seed);
+        // Phase 2: the eight datasets, each a function of the roots and
+        // the config alone.
+        let (topology, addressing, peeringdb, cables, dns, mlab, cert_scans, top_sites) =
+            std::thread::scope(|s| {
+                let topology = s.spawn(|| {
+                    TopologyBuilder::new(&operators, &economy)
+                        .build(windows::serial1_start(), config.end)
+                });
+                let addressing = s.spawn(|| Addressing::generate(&operators, &economy));
+                let peeringdb = s.spawn(|| {
+                    PeeringDbBuilder::new(&operators).build(windows::peeringdb_start(), config.end)
+                });
+                let cables = s.spawn(cables::build_cable_map);
+                let dns = s.spawn(|| dns::build_dns_world(config.seed));
+                let mlab = s.spawn(|| {
+                    bandwidth::build_aggregate(
+                        &operators,
+                        config.seed,
+                        config.mlab_volume_scale,
+                        windows::mlab_start(),
+                        config.end,
+                    )
+                });
+                let cert_scans = s.spawn(|| cdn::build_cert_scans(&operators));
+                let top_sites = s.spawn(|| websites::build_top_sites(config.seed));
+                (
+                    topology.join().expect("topology builder panicked"),
+                    addressing.join().expect("addressing builder panicked"),
+                    peeringdb.join().expect("peeringdb builder panicked"),
+                    cables.join().expect("cable builder panicked"),
+                    dns.join().expect("dns builder panicked"),
+                    mlab.join().expect("mlab builder panicked"),
+                    cert_scans.join().expect("cert-scan builder panicked"),
+                    top_sites.join().expect("top-site builder panicked"),
+                )
+            });
         World {
             config,
             economy,
@@ -79,16 +153,43 @@ impl World {
             mlab,
             cert_scans,
             top_sites,
+            pfx2as_cache: SnapshotCache::default(),
         }
     }
 
     /// The announced-prefix table for `month`, filtered by valley-free
     /// visibility over that month's topology.
-    pub fn pfx2as_at(&self, month: MonthStamp) -> PfxToAs {
+    ///
+    /// Tables are memoised: across Fig. 2, Fig. 14, the dataset export
+    /// and any number of threads, each month is derived at most once per
+    /// process (see [`Self::pfx2as_computations`]).
+    pub fn pfx2as_at(&self, month: MonthStamp) -> Arc<PfxToAs> {
+        self.pfx2as_cache
+            .get_or_compute(month, || self.pfx2as_uncached(month))
+    }
+
+    /// Derive `month`'s table from scratch, bypassing the cache. The
+    /// reference implementation [`Self::pfx2as_at`] is checked against,
+    /// and the baseline the ablation benches measure.
+    pub fn pfx2as_uncached(&self, month: MonthStamp) -> PfxToAs {
         match self.topology.get(month) {
             Some(graph) => self.addressing.pfx2as_at(month, graph),
             None => PfxToAs::new(),
         }
+    }
+
+    /// How many months have actually been derived (cache misses) so far.
+    pub fn pfx2as_computations(&self) -> usize {
+        self.pfx2as_cache.computations()
+    }
+
+    /// Derive every month in `[start, end]` across worker threads so
+    /// later sweeps hit the cache. Months already cached are not
+    /// recomputed.
+    pub fn prewarm(&self, start: MonthStamp, end: MonthStamp) {
+        sweep::month_range(start, end, |m| {
+            self.pfx2as_at(m);
+        });
     }
 }
 
@@ -97,9 +198,15 @@ mod tests {
     use super::*;
     use lacnet_types::country;
 
+    /// Generation takes seconds, so the module's tests share one world.
+    fn test_world() -> &'static World {
+        static WORLD: OnceLock<World> = OnceLock::new();
+        WORLD.get_or_init(|| World::generate(WorldConfig::test()))
+    }
+
     #[test]
     fn world_generates_consistently() {
-        let world = World::generate(WorldConfig::test());
+        let world = test_world();
         // Every dataset is populated.
         assert!(!world.topology.is_empty());
         assert!(!world.peeringdb.is_empty());
@@ -111,14 +218,55 @@ mod tests {
         // Cross-dataset consistency: CANTV appears in the topology, the
         // ledger, the M-Lab aggregate's country and the populations.
         let m = MonthStamp::new(2020, 6);
-        assert!(world.topology.get(m).unwrap().contains(lacnet_types::Asn(8048)));
         assert!(world
-            .addressing
-            .ledger()
-            .space_of_holder(lacnet_types::Asn(8048), m.last_day())
-            > 0);
+            .topology
+            .get(m)
+            .unwrap()
+            .contains(lacnet_types::Asn(8048)));
+        assert!(
+            world
+                .addressing
+                .ledger()
+                .space_of_holder(lacnet_types::Asn(8048), m.last_day())
+                > 0
+        );
         assert!(world.mlab.test_count_for(country::VE) > 0);
         let table = world.pfx2as_at(m);
         assert!(!table.prefixes_of(lacnet_types::Asn(8048)).is_empty());
+    }
+
+    #[test]
+    fn pfx2as_cache_computes_each_month_at_most_once() {
+        let world = test_world();
+        let m = MonthStamp::new(2019, 3);
+        let fresh = world.pfx2as_uncached(m);
+        let before = world.pfx2as_computations();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| world.pfx2as_at(m));
+            }
+        });
+        assert_eq!(
+            world.pfx2as_computations() - before,
+            1,
+            "eight concurrent requests must share one computation"
+        );
+        assert_eq!(world.pfx2as_at(m).to_text(), fresh.to_text());
+        // Served again: still no further computation.
+        world.pfx2as_at(m);
+        assert_eq!(world.pfx2as_computations() - before, 1);
+    }
+
+    #[test]
+    fn prewarm_covers_the_range_without_duplicates() {
+        let world = test_world();
+        let start = MonthStamp::new(2010, 1);
+        let end = MonthStamp::new(2010, 12);
+        world.prewarm(start, end);
+        let after = world.pfx2as_computations();
+        // A second prewarm of the same window is a no-op.
+        world.prewarm(start, end);
+        assert_eq!(world.pfx2as_computations(), after);
+        assert!(!world.pfx2as_at(MonthStamp::new(2010, 6)).is_empty());
     }
 }

@@ -64,7 +64,10 @@ pub struct MonthlyAggregator {
 impl MonthlyAggregator {
     /// Create an aggregator in the given mode.
     pub fn new(mode: Mode) -> Self {
-        MonthlyAggregator { mode, groups: BTreeMap::new() }
+        MonthlyAggregator {
+            mode,
+            groups: BTreeMap::new(),
+        }
     }
 
     /// Feed one test.
@@ -123,8 +126,11 @@ impl MonthlyAggregator {
     /// The cross-country mean of per-country medians, per month — the
     /// "mean LACNIC" curve of Fig. 11.
     pub fn regional_mean_series(&self) -> TimeSeries {
-        let per_country: Vec<TimeSeries> =
-            self.countries().iter().map(|&cc| self.median_series(cc)).collect();
+        let per_country: Vec<TimeSeries> = self
+            .countries()
+            .iter()
+            .map(|&cc| self.median_series(cc))
+            .collect();
         let refs: Vec<&TimeSeries> = per_country.iter().collect();
         lacnet_types::series::mean_of(&refs)
     }
@@ -189,8 +195,14 @@ mod tests {
             streaming.observe(&t);
             exact.observe(&t);
         }
-        let s = streaming.median_series(country::VE).get(MonthStamp::new(2019, 7)).unwrap();
-        let e = exact.median_series(country::VE).get(MonthStamp::new(2019, 7)).unwrap();
+        let s = streaming
+            .median_series(country::VE)
+            .get(MonthStamp::new(2019, 7))
+            .unwrap();
+        let e = exact
+            .median_series(country::VE)
+            .get(MonthStamp::new(2019, 7))
+            .unwrap();
         assert!((s - e).abs() / e < 0.05, "streaming {s} vs exact {e}");
     }
 

@@ -26,7 +26,12 @@ pub enum Metric {
 
 impl Metric {
     /// All four metrics.
-    pub const ALL: [Metric; 4] = [Metric::Download, Metric::Upload, Metric::MinRtt, Metric::Loss];
+    pub const ALL: [Metric; 4] = [
+        Metric::Download,
+        Metric::Upload,
+        Metric::MinRtt,
+        Metric::Loss,
+    ];
 
     /// Extract the metric from a test.
     pub fn of(self, t: &NdtTest) -> f64 {
@@ -59,12 +64,18 @@ pub struct MultiAggregator {
 impl MultiAggregator {
     /// Country-level aggregation.
     pub fn by_country() -> Self {
-        MultiAggregator { by_asn: false, ..Default::default() }
+        MultiAggregator {
+            by_asn: false,
+            ..Default::default()
+        }
     }
 
     /// `(country, ASN)`-level aggregation.
     pub fn by_asn() -> Self {
-        MultiAggregator { by_asn: true, ..Default::default() }
+        MultiAggregator {
+            by_asn: true,
+            ..Default::default()
+        }
     }
 
     fn group_of(&self, t: &NdtTest) -> Group {
@@ -183,6 +194,9 @@ mod tests {
         assert!(agg
             .median_series(Group::Country(country::VE), Metric::Download)
             .is_empty());
-        assert_eq!(agg.count(Group::Country(country::VE), MonthStamp::new(2020, 6)), 0);
+        assert_eq!(
+            agg.count(Group::Country(country::VE), MonthStamp::new(2020, 6)),
+            0
+        );
     }
 }

@@ -6,11 +6,10 @@
 //! pipeline exercises realistic row widths.
 
 use lacnet_types::{Asn, CountryCode, Date, Error, Result};
-use serde::{Deserialize, Serialize};
 use std::str::FromStr;
 
 /// One NDT speed test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NdtTest {
     /// Test date.
     pub date: Date,
@@ -71,12 +70,15 @@ impl FromStr for NdtTest {
             date: cols[0].parse()?,
             country: cols[1].parse()?,
             asn: Asn(cols[2].parse().map_err(|_| Error::parse("NDT asn", s))?),
-            download_mbps: cols[3].parse().map_err(|_| Error::parse("NDT download", s))?,
+            download_mbps: cols[3]
+                .parse()
+                .map_err(|_| Error::parse("NDT download", s))?,
             upload_mbps: cols[4].parse().map_err(|_| Error::parse("NDT upload", s))?,
             min_rtt_ms: cols[5].parse().map_err(|_| Error::parse("NDT rtt", s))?,
             loss_rate: cols[6].parse().map_err(|_| Error::parse("NDT loss", s))?,
         };
-        test.validate().map_err(|_| Error::parse("NDT row values in range", s))?;
+        test.validate()
+            .map_err(|_| Error::parse("NDT row values in range", s))?;
         Ok(test)
     }
 }
@@ -138,6 +140,9 @@ mod tests {
         assert_eq!(parse_rows(&text).unwrap().len(), 2);
         assert!(parse_rows("not\ta\trow\n").is_err());
         let bad = "2019-07-14\tVE\t8048\t-5\t0.3\t58\t0.01\n";
-        assert!(parse_rows(bad).is_err(), "range validation applies on parse");
+        assert!(
+            parse_rows(bad).is_err(),
+            "range validation applies on parse"
+        );
     }
 }

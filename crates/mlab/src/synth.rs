@@ -24,7 +24,11 @@ pub struct SpeedSampler {
 
 impl Default for SpeedSampler {
     fn default() -> Self {
-        SpeedSampler { sigma: 0.9, asymmetry: 3.5, base_rtt_ms: 30.0 }
+        SpeedSampler {
+            sigma: 0.9,
+            asymmetry: 3.5,
+            base_rtt_ms: 30.0,
+        }
     }
 }
 
@@ -84,7 +88,11 @@ mod tests {
             20_000.0,
             &mut rng,
         );
-        assert!((19_000..21_000).contains(&tests.len()), "poisson count {}", tests.len());
+        assert!(
+            (19_000..21_000).contains(&tests.len()),
+            "poisson count {}",
+            tests.len()
+        );
         let mut speeds: Vec<f64> = tests.iter().map(|t| t.download_mbps).collect();
         let med = stats::median(&mut speeds).unwrap();
         assert!((med - 0.8).abs() / 0.8 < 0.05, "median {med}");
@@ -107,8 +115,22 @@ mod tests {
     fn slower_links_have_worse_rtt_on_average() {
         let sampler = SpeedSampler::default();
         let mut rng = Rng::seeded(11);
-        let slow = sampler.generate_month(country::VE, Asn(8048), MonthStamp::new(2019, 7), 0.6, 3000.0, &mut rng);
-        let fast = sampler.generate_month(country::CL, Asn(27651), MonthStamp::new(2019, 7), 25.0, 3000.0, &mut rng);
+        let slow = sampler.generate_month(
+            country::VE,
+            Asn(8048),
+            MonthStamp::new(2019, 7),
+            0.6,
+            3000.0,
+            &mut rng,
+        );
+        let fast = sampler.generate_month(
+            country::CL,
+            Asn(27651),
+            MonthStamp::new(2019, 7),
+            25.0,
+            3000.0,
+            &mut rng,
+        );
         let mean = |v: &[NdtTest]| v.iter().map(|t| t.min_rtt_ms).sum::<f64>() / v.len() as f64;
         assert!(mean(&slow) > mean(&fast));
     }
@@ -119,7 +141,14 @@ mod tests {
         // analysis takes over the archive.
         let sampler = SpeedSampler::default();
         let mut rng = Rng::seeded(13);
-        let tests = sampler.generate_month(country::VE, Asn(8048), MonthStamp::new(2019, 7), 0.8, 2000.0, &mut rng);
+        let tests = sampler.generate_month(
+            country::VE,
+            Asn(8048),
+            MonthStamp::new(2019, 7),
+            0.8,
+            2000.0,
+            &mut rng,
+        );
         let text: String = tests.iter().map(|t| t.to_row() + "\n").collect();
         let parsed = crate::ndt::parse_rows(&text).unwrap();
         assert_eq!(parsed.len(), tests.len());
@@ -136,7 +165,14 @@ mod tests {
     fn zero_expected_tests_yields_empty() {
         let sampler = SpeedSampler::default();
         let mut rng = Rng::seeded(1);
-        let tests = sampler.generate_month(country::VE, Asn(8048), MonthStamp::new(2019, 7), 1.0, 0.0, &mut rng);
+        let tests = sampler.generate_month(
+            country::VE,
+            Asn(8048),
+            MonthStamp::new(2019, 7),
+            1.0,
+            0.0,
+            &mut rng,
+        );
         assert!(tests.is_empty());
     }
 }

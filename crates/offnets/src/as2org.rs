@@ -7,14 +7,13 @@
 //! sibling credits the whole organisation's eyeballs.
 
 use lacnet_types::Asn;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// An organisation identifier.
 pub type OrgId = u32;
 
 /// The AS → organisation mapping.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AsOrgMap {
     asn_to_org: BTreeMap<Asn, OrgId>,
     org_names: BTreeMap<OrgId, String>,

@@ -1,10 +1,9 @@
 //! TLS certificates and scan snapshots.
 
-use lacnet_types::{Asn, CountryCode, Error, MonthStamp, Result};
-use serde::{Deserialize, Serialize};
+use lacnet_types::{Asn, CountryCode, MonthStamp, Result};
 
 /// The identity content of one served TLS certificate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TlsCert {
     /// Subject common name.
     pub subject_cn: String,
@@ -20,7 +19,7 @@ impl TlsCert {
 }
 
 /// One scan observation: a certificate served from an address inside an AS.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScanRecord {
     /// AS hosting the responding address.
     pub asn: Asn,
@@ -32,7 +31,7 @@ pub struct ScanRecord {
 
 /// One scan snapshot (the artifacts are yearly; we key by month for
 /// uniformity with every other dataset).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CertScan {
     /// When the scan ran.
     pub month: MonthStamp,
@@ -43,7 +42,10 @@ pub struct CertScan {
 impl CertScan {
     /// An empty scan for `month`.
     pub fn new(month: MonthStamp) -> Self {
-        CertScan { month, records: Vec::new() }
+        CertScan {
+            month,
+            records: Vec::new(),
+        }
     }
 
     /// Add an observation.
@@ -63,14 +65,21 @@ impl CertScan {
 
     /// JSON serialisation (the stand-in for the published artifacts).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("scan serialisation cannot fail")
+        lacnet_types::json::to_string(self)
     }
 
     /// Parse a JSON scan.
     pub fn from_json(text: &str) -> Result<Self> {
-        serde_json::from_str(text).map_err(|e| Error::parse("cert scan JSON", &e.to_string()))
+        lacnet_types::json::from_str(text)
     }
 }
+
+lacnet_types::impl_json_struct!(TlsCert {
+    subject_cn,
+    dns_names
+});
+lacnet_types::impl_json_struct!(ScanRecord { asn, country, cert });
+lacnet_types::impl_json_struct!(CertScan { month, records });
 
 #[cfg(test)]
 mod tests {
@@ -84,7 +93,10 @@ mod tests {
             dns_names: vec!["*.gstatic.com".into(), "youtube.com".into()],
         };
         let names: Vec<&str> = cert.names().collect();
-        assert_eq!(names, vec!["cache.google.com", "*.gstatic.com", "youtube.com"]);
+        assert_eq!(
+            names,
+            vec!["cache.google.com", "*.gstatic.com", "youtube.com"]
+        );
     }
 
     #[test]
@@ -93,7 +105,10 @@ mod tests {
         scan.push(ScanRecord {
             asn: Asn(8048),
             country: country::VE,
-            cert: TlsCert { subject_cn: "cache.google.com".into(), dns_names: vec![] },
+            cert: TlsCert {
+                subject_cn: "cache.google.com".into(),
+                dns_names: vec![],
+            },
         });
         assert_eq!(scan.len(), 1);
         let back = CertScan::from_json(&scan.to_json()).unwrap();

@@ -31,7 +31,11 @@ pub fn detect_offnets(scan: &CertScan, hg: &Hypergiant) -> OffnetHosts {
             hosts.insert(rec.asn);
         }
     }
-    OffnetHosts { month: scan.month, hypergiant: hg.name, hosts }
+    OffnetHosts {
+        month: scan.month,
+        hypergiant: hg.name,
+        hosts,
+    }
 }
 
 /// The Fig. 7/18 metric for one `(hypergiant, country, scan)`: the
@@ -59,7 +63,10 @@ pub fn coverage_series(
         .iter()
         .map(|scan| {
             let hosts = detect_offnets(scan, hg);
-            (scan.month, population_coverage(&hosts, country, populations, as2org))
+            (
+                scan.month,
+                population_coverage(&hosts, country, populations, as2org),
+            )
         })
         .collect()
 }
@@ -80,14 +87,21 @@ pub fn mean_coverage_ranking(
             (cc, s.mean().unwrap_or(0.0))
         })
         .collect();
-    means.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("coverage is finite").then(a.0.cmp(&b.0)));
+    means.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("coverage is finite")
+            .then(a.0.cmp(&b.0))
+    });
     means
 }
 
 /// The rank (1-based) of `country` in a ranking produced by
 /// [`mean_coverage_ranking`]; `None` if absent.
 pub fn rank_of(ranking: &[(CountryCode, f64)], country: CountryCode) -> Option<usize> {
-    ranking.iter().position(|&(cc, _)| cc == country).map(|i| i + 1)
+    ranking
+        .iter()
+        .position(|&(cc, _)| cc == country)
+        .map(|i| i + 1)
 }
 
 #[cfg(test)]
@@ -98,19 +112,38 @@ mod tests {
     use lacnet_types::country;
 
     fn cert(cn: &str) -> TlsCert {
-        TlsCert { subject_cn: cn.into(), dns_names: vec![] }
+        TlsCert {
+            subject_cn: cn.into(),
+            dns_names: vec![],
+        }
     }
 
     fn scan_2019() -> CertScan {
         let mut scan = CertScan::new(MonthStamp::new(2019, 1));
         // Google cache inside CANTV (off-net).
-        scan.push(ScanRecord { asn: Asn(8048), country: country::VE, cert: cert("cache.google.com") });
+        scan.push(ScanRecord {
+            asn: Asn(8048),
+            country: country::VE,
+            cert: cert("cache.google.com"),
+        });
         // Google serving from its own AS — not an off-net.
-        scan.push(ScanRecord { asn: Asn(15169), country: country::US, cert: cert("edge.google.com") });
+        scan.push(ScanRecord {
+            asn: Asn(15169),
+            country: country::US,
+            cert: cert("edge.google.com"),
+        });
         // Netflix OCA inside a Brazilian ISP.
-        scan.push(ScanRecord { asn: Asn(28573), country: country::BR, cert: cert("oca001.nflxvideo.net") });
+        scan.push(ScanRecord {
+            asn: Asn(28573),
+            country: country::BR,
+            cert: cert("oca001.nflxvideo.net"),
+        });
         // Unrelated cert inside CANTV.
-        scan.push(ScanRecord { asn: Asn(8048), country: country::VE, cert: cert("www.banco.com.ve") });
+        scan.push(ScanRecord {
+            asn: Asn(8048),
+            country: country::VE,
+            cert: cert("www.banco.com.ve"),
+        });
         scan
     }
 

@@ -2,11 +2,10 @@
 
 use crate::as2org::AsOrgMap;
 use lacnet_types::{Asn, CountryCode};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Estimated Internet users per AS, per country.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PopulationEstimates {
     /// `(country, asn) → users`. An AS can serve users in several
     /// countries (regional carriers), hence the compound key.

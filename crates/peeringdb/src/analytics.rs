@@ -20,10 +20,7 @@ pub fn facility_count_series(archive: &SnapshotArchive, country: CountryCode) ->
 
 /// Monthly total facility count across a set of countries — the Fig. 3
 /// regional panel.
-pub fn facility_total_series(
-    archive: &SnapshotArchive,
-    countries: &[CountryCode],
-) -> TimeSeries {
+pub fn facility_total_series(archive: &SnapshotArchive, countries: &[CountryCode]) -> TimeSeries {
     let set: BTreeSet<CountryCode> = countries.iter().copied().collect();
     archive
         .iter()
@@ -58,8 +55,7 @@ impl FacilityPresence {
                 facilities.entry(f.id).or_insert_with(|| f.name.clone());
             }
         }
-        let fac_list: Vec<(PdbId, String)> =
-            facilities.into_iter().collect();
+        let fac_list: Vec<(PdbId, String)> = facilities.into_iter().collect();
         let mut counts = vec![vec![None; months.len()]; fac_list.len()];
         for (col, (_, snap)) in archive.iter().enumerate() {
             for (row, (fac_id, _)) in fac_list.iter().enumerate() {
@@ -68,7 +64,11 @@ impl FacilityPresence {
                 }
             }
         }
-        FacilityPresence { facilities: fac_list, months, counts }
+        FacilityPresence {
+            facilities: fac_list,
+            months,
+            counts,
+        }
     }
 
     /// The latest network count for the named facility (substring match).
@@ -125,10 +125,7 @@ pub fn largest_ixp_members(
 
 /// For the latest snapshot: all IXPs in `country` with their member ASNs —
 /// the columns of the Fig. 21 US-IXP matrix.
-pub fn ixp_members_in(
-    archive: &SnapshotArchive,
-    country: CountryCode,
-) -> Vec<(String, Vec<Asn>)> {
+pub fn ixp_members_in(archive: &SnapshotArchive, country: CountryCode) -> Vec<(String, Vec<Asn>)> {
     let Some((_, snap)) = archive.latest() else {
         return Vec::new();
     };
@@ -157,32 +154,96 @@ mod tests {
     /// facility gains a member.
     fn toy_archive() -> SnapshotArchive {
         let net = vec![
-            Network { id: 1, asn: Asn(8053), name: "IFX".into(), info_type: "NSP".into() },
-            Network { id: 2, asn: Asn(265641), name: "CIX".into(), info_type: "Cable/DSL/ISP".into() },
-            Network { id: 3, asn: Asn(52320), name: "V.tal".into(), info_type: "NSP".into() },
+            Network {
+                id: 1,
+                asn: Asn(8053),
+                name: "IFX".into(),
+                info_type: "NSP".into(),
+            },
+            Network {
+                id: 2,
+                asn: Asn(265641),
+                name: "CIX".into(),
+                info_type: "Cable/DSL/ISP".into(),
+            },
+            Network {
+                id: 3,
+                asn: Asn(52320),
+                name: "V.tal".into(),
+                info_type: "NSP".into(),
+            },
         ];
         let mut s1 = Snapshot::new();
         s1.net = net.clone();
-        s1.fac = vec![Facility { id: 10, name: "Lumen La Urbina".into(), city: "Caracas".into(), country: country::VE }];
-        s1.ix = vec![Ix { id: 30, name: "IX.br (SP)".into(), city: "Sao Paulo".into(), country: country::BR }];
-        s1.netfac = vec![NetFac { net_id: 1, fac_id: 10 }];
-        s1.netixlan = vec![NetIxLan { net_id: 3, ix_id: 30, speed: 100_000 }];
+        s1.fac = vec![Facility {
+            id: 10,
+            name: "Lumen La Urbina".into(),
+            city: "Caracas".into(),
+            country: country::VE,
+        }];
+        s1.ix = vec![Ix {
+            id: 30,
+            name: "IX.br (SP)".into(),
+            city: "Sao Paulo".into(),
+            country: country::BR,
+        }];
+        s1.netfac = vec![NetFac {
+            net_id: 1,
+            fac_id: 10,
+        }];
+        s1.netixlan = vec![NetIxLan {
+            net_id: 3,
+            ix_id: 30,
+            speed: 100_000,
+        }];
 
         let mut s2 = Snapshot::new();
         s2.net = net;
         s2.fac = vec![
-            Facility { id: 10, name: "Cirion La Urbina".into(), city: "Caracas".into(), country: country::VE },
-            Facility { id: 11, name: "Daycohost - Caracas".into(), city: "Caracas".into(), country: country::VE },
+            Facility {
+                id: 10,
+                name: "Cirion La Urbina".into(),
+                city: "Caracas".into(),
+                country: country::VE,
+            },
+            Facility {
+                id: 11,
+                name: "Daycohost - Caracas".into(),
+                city: "Caracas".into(),
+                country: country::VE,
+            },
         ];
-        s2.ix = vec![Ix { id: 30, name: "IX.br (SP)".into(), city: "Sao Paulo".into(), country: country::BR }];
+        s2.ix = vec![Ix {
+            id: 30,
+            name: "IX.br (SP)".into(),
+            city: "Sao Paulo".into(),
+            country: country::BR,
+        }];
         s2.netfac = vec![
-            NetFac { net_id: 1, fac_id: 10 },
-            NetFac { net_id: 2, fac_id: 10 },
-            NetFac { net_id: 1, fac_id: 11 },
+            NetFac {
+                net_id: 1,
+                fac_id: 10,
+            },
+            NetFac {
+                net_id: 2,
+                fac_id: 10,
+            },
+            NetFac {
+                net_id: 1,
+                fac_id: 11,
+            },
         ];
         s2.netixlan = vec![
-            NetIxLan { net_id: 3, ix_id: 30, speed: 100_000 },
-            NetIxLan { net_id: 2, ix_id: 30, speed: 1_000 },
+            NetIxLan {
+                net_id: 3,
+                ix_id: 30,
+                speed: 100_000,
+            },
+            NetIxLan {
+                net_id: 2,
+                ix_id: 30,
+                speed: 1_000,
+            },
         ];
 
         let mut arch = SnapshotArchive::new();
@@ -226,7 +287,10 @@ mod tests {
         // rows in the table, as in the paper's Lumen→Cirion note).
         assert!(roster.contains_key("Lumen La Urbina"));
         assert!(roster.contains_key("Cirion La Urbina"));
-        assert_eq!(roster["Cirion La Urbina"], BTreeSet::from([Asn(8053), Asn(265641)]));
+        assert_eq!(
+            roster["Cirion La Urbina"],
+            BTreeSet::from([Asn(8053), Asn(265641)])
+        );
     }
 
     #[test]

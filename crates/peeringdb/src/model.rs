@@ -5,7 +5,6 @@
 //! follow the real dump so serialised snapshots look like the archive's.
 
 use lacnet_types::{Asn, CountryCode};
-use serde::{Deserialize, Serialize};
 
 /// A PeeringDB row id.
 pub type PdbId = u32;
@@ -14,7 +13,7 @@ pub type PdbId = u32;
 pub type IxId = u32;
 
 /// A network (`net` table row).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Network {
     /// Row id.
     pub id: PdbId,
@@ -27,7 +26,7 @@ pub struct Network {
 }
 
 /// A colocation/peering facility (`fac` table row).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Facility {
     /// Row id.
     pub id: PdbId,
@@ -40,7 +39,7 @@ pub struct Facility {
 }
 
 /// An Internet exchange point (`ix` table row).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ix {
     /// Row id.
     pub id: IxId,
@@ -53,7 +52,7 @@ pub struct Ix {
 }
 
 /// Presence of a network at a facility (`netfac` join row).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetFac {
     /// `net` row id.
     pub net_id: PdbId,
@@ -62,7 +61,7 @@ pub struct NetFac {
 }
 
 /// A network's LAN port at an IXP (`netixlan` join row).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetIxLan {
     /// `net` row id.
     pub net_id: PdbId,
@@ -72,29 +71,59 @@ pub struct NetIxLan {
     pub speed: u32,
 }
 
+lacnet_types::impl_json_struct!(Network {
+    id,
+    asn,
+    name,
+    info_type
+});
+lacnet_types::impl_json_struct!(Facility {
+    id,
+    name,
+    city,
+    country
+});
+lacnet_types::impl_json_struct!(Ix {
+    id,
+    name,
+    city,
+    country
+});
+lacnet_types::impl_json_struct!(NetFac { net_id, fac_id });
+lacnet_types::impl_json_struct!(NetIxLan {
+    net_id,
+    ix_id,
+    speed
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lacnet_types::country;
+    use lacnet_types::{country, json};
 
     #[test]
-    fn serde_shapes_match_dump_style() {
+    fn json_shapes_match_dump_style() {
         let f = Facility {
             id: 1,
             name: "Cirion La Urbina".into(),
             city: "Caracas".into(),
             country: country::VE,
         };
-        let json = serde_json::to_string(&f).unwrap();
+        let json = json::to_string(&f);
         assert!(json.contains("\"country\":\"VE\""), "{json}");
-        let back: Facility = serde_json::from_str(&json).unwrap();
+        let back: Facility = json::from_str(&json).unwrap();
         assert_eq!(back, f);
     }
 
     #[test]
     fn network_roundtrip() {
-        let n = Network { id: 7, asn: Asn(8048), name: "CANTV Servicios".into(), info_type: "NSP".into() };
-        let back: Network = serde_json::from_str(&serde_json::to_string(&n).unwrap()).unwrap();
+        let n = Network {
+            id: 7,
+            asn: Asn(8048),
+            name: "CANTV Servicios".into(),
+            info_type: "NSP".into(),
+        };
+        let back: Network = json::from_str(&json::to_string(&n)).unwrap();
         assert_eq!(back, n);
     }
 }

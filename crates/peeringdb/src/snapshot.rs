@@ -1,8 +1,8 @@
 //! Snapshots and the monthly snapshot archive.
 
 use crate::model::{Facility, Ix, IxId, NetFac, NetIxLan, Network, PdbId};
+use lacnet_types::json::{FromJson, Json, ToJson};
 use lacnet_types::{Asn, CountryCode, Error, MonthStamp, Result};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One PeeringDB dump: every modelled table at a point in time.
@@ -10,42 +10,54 @@ use std::collections::BTreeMap;
 /// Serialises to the dump layout — each table wrapped in a `{"data": [...]}`
 /// envelope — so generated snapshots are drop-in lookalikes for the CAIDA
 /// archive files.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
     /// `net` table.
-    #[serde(with = "envelope")]
     pub net: Vec<Network>,
     /// `fac` table.
-    #[serde(with = "envelope")]
     pub fac: Vec<Facility>,
     /// `ix` table.
-    #[serde(with = "envelope")]
     pub ix: Vec<Ix>,
     /// `netfac` join table.
-    #[serde(with = "envelope")]
     pub netfac: Vec<NetFac>,
     /// `netixlan` join table.
-    #[serde(with = "envelope")]
     pub netixlan: Vec<NetIxLan>,
 }
 
-/// Serialise a `Vec<T>` as `{"data": [...]}`, the PeeringDB dump envelope.
-mod envelope {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+/// Wrap a table in the PeeringDB dump envelope: `{"data": [...]}`.
+fn envelope<T: ToJson>(rows: &[T]) -> Json {
+    Json::Obj(vec![("data".to_owned(), rows.to_json_value())])
+}
 
-    #[derive(Serialize, Deserialize)]
-    struct Envelope<T> {
-        data: Vec<T>,
+/// Unwrap a `{"data": [...]}` envelope back into a table.
+fn unwrap_envelope<T: FromJson>(v: &Json, table: &str) -> Result<Vec<T>> {
+    match v.get(table) {
+        Some(wrapped) => wrapped.field("data"),
+        None => Err(Error::missing("PeeringDB dump table", table)),
     }
+}
 
-    pub fn serialize<S: Serializer, T: Serialize>(v: &[T], s: S) -> Result<S::Ok, S::Error> {
-        Envelope { data: v.iter().collect::<Vec<&T>>() }.serialize(s)
+impl ToJson for Snapshot {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("net".to_owned(), envelope(&self.net)),
+            ("fac".to_owned(), envelope(&self.fac)),
+            ("ix".to_owned(), envelope(&self.ix)),
+            ("netfac".to_owned(), envelope(&self.netfac)),
+            ("netixlan".to_owned(), envelope(&self.netixlan)),
+        ])
     }
+}
 
-    pub fn deserialize<'de, D: Deserializer<'de>, T: Deserialize<'de>>(
-        d: D,
-    ) -> Result<Vec<T>, D::Error> {
-        Ok(Envelope::deserialize(d)?.data)
+impl FromJson for Snapshot {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        Ok(Snapshot {
+            net: unwrap_envelope(v, "net")?,
+            fac: unwrap_envelope(v, "fac")?,
+            ix: unwrap_envelope(v, "ix")?,
+            netfac: unwrap_envelope(v, "netfac")?,
+            netixlan: unwrap_envelope(v, "netixlan")?,
+        })
     }
 }
 
@@ -57,12 +69,12 @@ impl Snapshot {
 
     /// Parse a dump from JSON text.
     pub fn from_json(text: &str) -> Result<Self> {
-        serde_json::from_str(text).map_err(|e| Error::parse("PeeringDB JSON dump", &e.to_string()))
+        lacnet_types::json::from_str(text)
     }
 
     /// Serialise to dump-shaped JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("snapshot serialisation cannot fail")
+        lacnet_types::json::to_string(self)
     }
 
     /// The network row for `asn`, if registered.
@@ -237,17 +249,60 @@ mod tests {
     pub(crate) fn toy_snapshot() -> Snapshot {
         Snapshot {
             net: vec![
-                Network { id: 1, asn: Asn(8048), name: "CANTV".into(), info_type: "NSP".into() },
-                Network { id: 2, asn: Asn(21826), name: "Telemic".into(), info_type: "Cable/DSL/ISP".into() },
-                Network { id: 3, asn: Asn(26613), name: "IX.br member".into(), info_type: "Content".into() },
+                Network {
+                    id: 1,
+                    asn: Asn(8048),
+                    name: "CANTV".into(),
+                    info_type: "NSP".into(),
+                },
+                Network {
+                    id: 2,
+                    asn: Asn(21826),
+                    name: "Telemic".into(),
+                    info_type: "Cable/DSL/ISP".into(),
+                },
+                Network {
+                    id: 3,
+                    asn: Asn(26613),
+                    name: "IX.br member".into(),
+                    info_type: "Content".into(),
+                },
             ],
             fac: vec![
-                Facility { id: 10, name: "Cirion La Urbina".into(), city: "Caracas".into(), country: country::VE },
-                Facility { id: 11, name: "Equinix SP4".into(), city: "Sao Paulo".into(), country: country::BR },
+                Facility {
+                    id: 10,
+                    name: "Cirion La Urbina".into(),
+                    city: "Caracas".into(),
+                    country: country::VE,
+                },
+                Facility {
+                    id: 11,
+                    name: "Equinix SP4".into(),
+                    city: "Sao Paulo".into(),
+                    country: country::BR,
+                },
             ],
-            ix: vec![Ix { id: 20, name: "IX.br (SP)".into(), city: "Sao Paulo".into(), country: country::BR }],
-            netfac: vec![NetFac { net_id: 1, fac_id: 10 }, NetFac { net_id: 2, fac_id: 10 }],
-            netixlan: vec![NetIxLan { net_id: 3, ix_id: 20, speed: 10_000 }],
+            ix: vec![Ix {
+                id: 20,
+                name: "IX.br (SP)".into(),
+                city: "Sao Paulo".into(),
+                country: country::BR,
+            }],
+            netfac: vec![
+                NetFac {
+                    net_id: 1,
+                    fac_id: 10,
+                },
+                NetFac {
+                    net_id: 2,
+                    fac_id: 10,
+                },
+            ],
+            netixlan: vec![NetIxLan {
+                net_id: 3,
+                ix_id: 20,
+                speed: 10_000,
+            }],
         }
     }
 
@@ -285,13 +340,25 @@ mod tests {
     fn validation_catches_dangling_joins() {
         let mut s = toy_snapshot();
         assert!(s.validate().is_ok());
-        s.netfac.push(NetFac { net_id: 99, fac_id: 10 });
+        s.netfac.push(NetFac {
+            net_id: 99,
+            fac_id: 10,
+        });
         assert!(s.validate().is_err());
         let mut s = toy_snapshot();
-        s.netixlan.push(NetIxLan { net_id: 1, ix_id: 99, speed: 1000 });
+        s.netixlan.push(NetIxLan {
+            net_id: 1,
+            ix_id: 99,
+            speed: 1000,
+        });
         assert!(s.validate().is_err());
         let mut s = toy_snapshot();
-        s.net.push(Network { id: 1, asn: Asn(1), name: "dup".into(), info_type: "NSP".into() });
+        s.net.push(Network {
+            id: 1,
+            asn: Asn(1),
+            name: "dup".into(),
+            info_type: "NSP".into(),
+        });
         assert!(s.validate().is_err());
     }
 

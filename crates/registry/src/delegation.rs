@@ -16,11 +16,10 @@
 //! generator only emits aligned blocks).
 
 use lacnet_types::{Asn, CountryCode, Date, Error, Ipv4Net, Result};
-use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
 /// The resource a delegation record covers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NumberResource {
     /// An IPv4 block: starting address and address count.
     Ipv4 {
@@ -45,7 +44,7 @@ pub enum NumberResource {
 }
 
 /// Delegation status column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DelegationStatus {
     /// Allocated to an LIR/ISP.
     Allocated,
@@ -79,12 +78,15 @@ impl DelegationStatus {
 
     /// Whether the block is in use by an operator (allocated or assigned).
     pub fn is_delegated(self) -> bool {
-        matches!(self, DelegationStatus::Allocated | DelegationStatus::Assigned)
+        matches!(
+            self,
+            DelegationStatus::Allocated | DelegationStatus::Assigned
+        )
     }
 }
 
 /// One data record of a delegation file.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DelegationRecord {
     /// Country the resource is registered in.
     pub country: CountryCode,
@@ -118,7 +120,11 @@ impl DelegationRecord {
         while remaining > 0 {
             // Largest power of two that both divides the current address
             // alignment and fits in the remaining count.
-            let align = if addr == 0 { 1u64 << 32 } else { 1u64 << addr.trailing_zeros().min(32) };
+            let align = if addr == 0 {
+                1u64 << 32
+            } else {
+                1u64 << addr.trailing_zeros().min(32)
+            };
             let mut block = align.min(remaining.next_power_of_two());
             while block > remaining {
                 block /= 2;
@@ -148,7 +154,7 @@ fn parse_date(s: &str) -> Result<Date> {
 
 /// A parsed delegation file: the registry name and its data records
 /// (version and summary lines are validated and dropped).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DelegationFile {
     /// Registry identifier (always `lacnic` for generated files).
     pub registry: String,
@@ -159,7 +165,10 @@ pub struct DelegationFile {
 impl DelegationFile {
     /// Create an empty file for `registry`.
     pub fn new(registry: &str) -> Self {
-        DelegationFile { registry: registry.to_owned(), records: Vec::new() }
+        DelegationFile {
+            registry: registry.to_owned(),
+            records: Vec::new(),
+        }
     }
 
     /// Parse the full text of a delegation file.
@@ -217,13 +226,25 @@ impl DelegationFile {
                     NumberResource::Ipv6 { prefix_len }
                 }
                 "asn" => {
-                    let start: u32 = cols[3].parse().map_err(|_| Error::parse("asn start", line))?;
-                    let count: u32 = cols[4].parse().map_err(|_| Error::parse("asn count", line))?;
-                    NumberResource::Asn { start: Asn(start), count }
+                    let start: u32 = cols[3]
+                        .parse()
+                        .map_err(|_| Error::parse("asn start", line))?;
+                    let count: u32 = cols[4]
+                        .parse()
+                        .map_err(|_| Error::parse("asn count", line))?;
+                    NumberResource::Asn {
+                        start: Asn(start),
+                        count,
+                    }
                 }
                 other => return Err(Error::parse("resource type ipv4|ipv6|asn", other)),
             };
-            records.push(DelegationRecord { country, resource, date, status });
+            records.push(DelegationRecord {
+                country,
+                resource,
+                date,
+                status,
+            });
         }
         Ok(DelegationFile { registry, records })
     }
@@ -252,9 +273,15 @@ impl DelegationFile {
         out.push_str(&format!("{}|*|asn|*|{}|summary\n", self.registry, nasn));
         for r in &self.records {
             let (kind, start, value) = match r.resource {
-                NumberResource::Ipv4 { start, count } => ("ipv4", start.to_string(), count.to_string()),
-                NumberResource::Ipv6 { prefix_len } => ("ipv6", "2800::".to_owned(), prefix_len.to_string()),
-                NumberResource::Asn { start, count } => ("asn", start.raw().to_string(), count.to_string()),
+                NumberResource::Ipv4 { start, count } => {
+                    ("ipv4", start.to_string(), count.to_string())
+                }
+                NumberResource::Ipv6 { prefix_len } => {
+                    ("ipv6", "2800::".to_owned(), prefix_len.to_string())
+                }
+                NumberResource::Asn { start, count } => {
+                    ("asn", start.raw().to_string(), count.to_string())
+                }
             };
             out.push_str(&format!(
                 "{}|{}|{}|{}|{}|{}|{}\n",
@@ -325,10 +352,17 @@ lacnic|VE|asn|8048|1|19960101|allocated
     #[test]
     fn space_accounting_with_cutoff() {
         let f = DelegationFile::parse(SAMPLE).unwrap();
-        assert_eq!(f.ipv4_space(country::VE, Date::ymd(2024, 1, 1)), 65536 + 16384);
+        assert_eq!(
+            f.ipv4_space(country::VE, Date::ymd(2024, 1, 1)),
+            65536 + 16384
+        );
         assert_eq!(f.ipv4_space(country::VE, Date::ymd(2006, 1, 1)), 16384);
         assert_eq!(f.ipv4_space(country::VE, Date::ymd(2004, 1, 1)), 0);
-        assert_eq!(f.ipv4_space(country::BR, Date::ymd(2024, 1, 1)), 0, "ipv6 not counted");
+        assert_eq!(
+            f.ipv4_space(country::BR, Date::ymd(2024, 1, 1)),
+            0,
+            "ipv6 not counted"
+        );
         assert_eq!(f.ipv4_records(country::VE).len(), 2);
     }
 
@@ -346,16 +380,26 @@ lacnic|VE|asn|8048|1|19960101|allocated
         assert!(DelegationFile::parse("lacnic|VE|ipv4|186.24.0.0|65536|20080305\n").is_err());
         assert!(DelegationFile::parse("lacnic|VE|ipv4|bogus|65536|20080305|allocated\n").is_err());
         assert!(DelegationFile::parse("lacnic|VE|ipv4|186.24.0.0|0|20080305|allocated\n").is_err());
-        assert!(DelegationFile::parse("lacnic|VE|ipv4|186.24.0.0|65536|2008030|allocated\n").is_err());
-        assert!(DelegationFile::parse("lacnic|VE|floppy|186.24.0.0|65536|20080305|allocated\n").is_err());
-        assert!(DelegationFile::parse("lacnic|VE|ipv4|186.24.0.0|65536|20080305|stolen\n").is_err());
+        assert!(
+            DelegationFile::parse("lacnic|VE|ipv4|186.24.0.0|65536|2008030|allocated\n").is_err()
+        );
+        assert!(
+            DelegationFile::parse("lacnic|VE|floppy|186.24.0.0|65536|20080305|allocated\n")
+                .is_err()
+        );
+        assert!(
+            DelegationFile::parse("lacnic|VE|ipv4|186.24.0.0|65536|20080305|stolen\n").is_err()
+        );
     }
 
     #[test]
     fn aligned_block_to_prefixes() {
         let r = DelegationRecord {
             country: country::VE,
-            resource: NumberResource::Ipv4 { start: Ipv4Addr::new(186, 24, 0, 0), count: 65536 },
+            resource: NumberResource::Ipv4 {
+                start: Ipv4Addr::new(186, 24, 0, 0),
+                count: 65536,
+            },
             date: Date::ymd(2008, 3, 5),
             status: DelegationStatus::Allocated,
         };
@@ -367,11 +411,17 @@ lacnic|VE|asn|8048|1|19960101|allocated
         // 3 * /24 starting at a /24 boundary: one /23 + one /24.
         let r = DelegationRecord {
             country: country::VE,
-            resource: NumberResource::Ipv4 { start: Ipv4Addr::new(200, 1, 0, 0), count: 768 },
+            resource: NumberResource::Ipv4 {
+                start: Ipv4Addr::new(200, 1, 0, 0),
+                count: 768,
+            },
             date: Date::ymd(2010, 1, 1),
             status: DelegationStatus::Allocated,
         };
-        assert_eq!(r.ipv4_prefixes(), vec![net("200.1.0.0/23"), net("200.1.2.0/24")]);
+        assert_eq!(
+            r.ipv4_prefixes(),
+            vec![net("200.1.0.0/23"), net("200.1.2.0/24")]
+        );
         let total: u64 = r.ipv4_prefixes().iter().map(|p| p.size()).sum();
         assert_eq!(total, 768);
     }
@@ -383,11 +433,17 @@ lacnic|VE|asn|8048|1|19960101|allocated
         // then 200.1.1.0 allows a /24 (256).
         let r = DelegationRecord {
             country: country::VE,
-            resource: NumberResource::Ipv4 { start: Ipv4Addr::new(200, 1, 0, 128), count: 384 },
+            resource: NumberResource::Ipv4 {
+                start: Ipv4Addr::new(200, 1, 0, 128),
+                count: 384,
+            },
             date: Date::ymd(2010, 1, 1),
             status: DelegationStatus::Allocated,
         };
-        assert_eq!(r.ipv4_prefixes(), vec![net("200.1.0.128/25"), net("200.1.1.0/24")]);
+        assert_eq!(
+            r.ipv4_prefixes(),
+            vec![net("200.1.0.128/25"), net("200.1.1.0/24")]
+        );
     }
 
     #[test]

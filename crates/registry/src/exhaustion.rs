@@ -18,10 +18,9 @@
 //! flattening of Fig. 2 after 2014 without hand-drawing it.
 
 use lacnet_types::Date;
-use serde::{Deserialize, Serialize};
 
 /// The registry's allocation-policy phase at a point in time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExhaustionPhase {
     /// Pre-exhaustion: needs-based allocations.
     Phase0,
@@ -96,14 +95,38 @@ mod tests {
 
     #[test]
     fn timeline_boundaries() {
-        assert_eq!(ExhaustionPhase::at(Date::ymd(2010, 1, 1)), ExhaustionPhase::Phase0);
-        assert_eq!(ExhaustionPhase::at(Date::ymd(2014, 6, 9)), ExhaustionPhase::Phase0);
-        assert_eq!(ExhaustionPhase::at(Date::ymd(2014, 6, 10)), ExhaustionPhase::Phase1);
-        assert_eq!(ExhaustionPhase::at(Date::ymd(2017, 2, 14)), ExhaustionPhase::Phase1);
-        assert_eq!(ExhaustionPhase::at(Date::ymd(2017, 2, 15)), ExhaustionPhase::Phase2);
-        assert_eq!(ExhaustionPhase::at(Date::ymd(2020, 8, 18)), ExhaustionPhase::Phase2);
-        assert_eq!(ExhaustionPhase::at(Date::ymd(2020, 8, 19)), ExhaustionPhase::Phase3);
-        assert_eq!(ExhaustionPhase::at(Date::ymd(2024, 1, 1)), ExhaustionPhase::Phase3);
+        assert_eq!(
+            ExhaustionPhase::at(Date::ymd(2010, 1, 1)),
+            ExhaustionPhase::Phase0
+        );
+        assert_eq!(
+            ExhaustionPhase::at(Date::ymd(2014, 6, 9)),
+            ExhaustionPhase::Phase0
+        );
+        assert_eq!(
+            ExhaustionPhase::at(Date::ymd(2014, 6, 10)),
+            ExhaustionPhase::Phase1
+        );
+        assert_eq!(
+            ExhaustionPhase::at(Date::ymd(2017, 2, 14)),
+            ExhaustionPhase::Phase1
+        );
+        assert_eq!(
+            ExhaustionPhase::at(Date::ymd(2017, 2, 15)),
+            ExhaustionPhase::Phase2
+        );
+        assert_eq!(
+            ExhaustionPhase::at(Date::ymd(2020, 8, 18)),
+            ExhaustionPhase::Phase2
+        );
+        assert_eq!(
+            ExhaustionPhase::at(Date::ymd(2020, 8, 19)),
+            ExhaustionPhase::Phase3
+        );
+        assert_eq!(
+            ExhaustionPhase::at(Date::ymd(2024, 1, 1)),
+            ExhaustionPhase::Phase3
+        );
     }
 
     #[test]

@@ -8,11 +8,10 @@
 
 use crate::delegation::{DelegationFile, DelegationRecord, DelegationStatus, NumberResource};
 use lacnet_types::{Asn, CountryCode, Date, Error, Ipv4Net, Result};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// One allocation event.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Allocation {
     /// Country of registration.
     pub country: CountryCode,
@@ -25,7 +24,7 @@ pub struct Allocation {
 }
 
 /// The registry's full allocation history.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AllocationLedger {
     entries: Vec<Allocation>,
 }
@@ -92,11 +91,8 @@ impl AllocationLedger {
     /// `cutoff` (records dated after the cutoff omitted).
     pub fn to_delegation_file(&self, cutoff: Date) -> DelegationFile {
         let mut f = DelegationFile::new("lacnic");
-        let mut records: Vec<&Allocation> = self
-            .entries
-            .iter()
-            .filter(|e| e.date <= cutoff)
-            .collect();
+        let mut records: Vec<&Allocation> =
+            self.entries.iter().filter(|e| e.date <= cutoff).collect();
         records.sort_by_key(|e| (e.country, e.prefix));
         for e in records {
             f.records.push(DelegationRecord {
@@ -115,7 +111,7 @@ impl AllocationLedger {
 
 /// Carves successive CIDR blocks out of a base pool — how the generator
 /// hands registry space to operators without overlaps.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PoolCarver {
     base: Ipv4Net,
     /// Offset (in addresses) of the next unassigned address.
@@ -141,13 +137,16 @@ impl PoolCarver {
         }
         let block = 1u64 << (32 - len);
         // Align the cursor up to the block size.
-        let aligned = (self.next + block - 1) / block * block;
+        let aligned = self.next.div_ceil(block) * block;
         if aligned + block > self.base.size() {
             return Err(Error::invalid("pool exhausted"));
         }
         self.next = aligned + block;
         let addr = self.base.network_u32() as u64 + aligned;
-        Ok(Ipv4Net::truncating(std::net::Ipv4Addr::from(addr as u32), len))
+        Ok(Ipv4Net::truncating(
+            std::net::Ipv4Addr::from(addr as u32),
+            len,
+        ))
     }
 }
 
@@ -169,36 +168,67 @@ mod tests {
     #[test]
     fn allocate_and_query() {
         let mut ledger = AllocationLedger::new();
-        ledger.allocate(alloc(8048, "186.24.0.0/16", 2008, 3)).unwrap();
-        ledger.allocate(alloc(6306, "200.35.64.0/18", 2005, 1)).unwrap();
-        ledger.allocate(alloc(8048, "190.0.0.0/17", 2012, 6)).unwrap();
+        ledger
+            .allocate(alloc(8048, "186.24.0.0/16", 2008, 3))
+            .unwrap();
+        ledger
+            .allocate(alloc(6306, "200.35.64.0/18", 2005, 1))
+            .unwrap();
+        ledger
+            .allocate(alloc(8048, "190.0.0.0/17", 2012, 6))
+            .unwrap();
 
-        assert_eq!(ledger.space_of_holder(Asn(8048), Date::ymd(2024, 1, 1)), 65536 + 32768);
-        assert_eq!(ledger.space_of_holder(Asn(8048), Date::ymd(2010, 1, 1)), 65536);
-        assert_eq!(ledger.space_of_country(country::VE, Date::ymd(2024, 1, 1)), 65536 + 32768 + 16384);
-        assert_eq!(ledger.holdings(Asn(6306), Date::ymd(2024, 1, 1)), vec![net("200.35.64.0/18")]);
+        assert_eq!(
+            ledger.space_of_holder(Asn(8048), Date::ymd(2024, 1, 1)),
+            65536 + 32768
+        );
+        assert_eq!(
+            ledger.space_of_holder(Asn(8048), Date::ymd(2010, 1, 1)),
+            65536
+        );
+        assert_eq!(
+            ledger.space_of_country(country::VE, Date::ymd(2024, 1, 1)),
+            65536 + 32768 + 16384
+        );
+        assert_eq!(
+            ledger.holdings(Asn(6306), Date::ymd(2024, 1, 1)),
+            vec![net("200.35.64.0/18")]
+        );
         assert_eq!(ledger.holders(), BTreeSet::from([Asn(6306), Asn(8048)]));
         assert_eq!(
             ledger.last_allocation_date(Asn(8048), Date::ymd(2024, 1, 1)),
             Some(Date::ymd(2012, 6, 1))
         );
-        assert_eq!(ledger.last_allocation_date(Asn(701), Date::ymd(2024, 1, 1)), None);
+        assert_eq!(
+            ledger.last_allocation_date(Asn(701), Date::ymd(2024, 1, 1)),
+            None
+        );
     }
 
     #[test]
     fn rejects_overlap() {
         let mut ledger = AllocationLedger::new();
-        ledger.allocate(alloc(8048, "186.24.0.0/16", 2008, 3)).unwrap();
-        assert!(ledger.allocate(alloc(6306, "186.24.128.0/17", 2009, 1)).is_err());
-        assert!(ledger.allocate(alloc(6306, "186.0.0.0/8", 2009, 1)).is_err());
+        ledger
+            .allocate(alloc(8048, "186.24.0.0/16", 2008, 3))
+            .unwrap();
+        assert!(ledger
+            .allocate(alloc(6306, "186.24.128.0/17", 2009, 1))
+            .is_err());
+        assert!(ledger
+            .allocate(alloc(6306, "186.0.0.0/8", 2009, 1))
+            .is_err());
         assert_eq!(ledger.entries().len(), 1);
     }
 
     #[test]
     fn delegation_file_snapshot() {
         let mut ledger = AllocationLedger::new();
-        ledger.allocate(alloc(8048, "186.24.0.0/16", 2008, 3)).unwrap();
-        ledger.allocate(alloc(8048, "190.0.0.0/17", 2012, 6)).unwrap();
+        ledger
+            .allocate(alloc(8048, "186.24.0.0/16", 2008, 3))
+            .unwrap();
+        ledger
+            .allocate(alloc(8048, "190.0.0.0/17", 2012, 6))
+            .unwrap();
         let f = ledger.to_delegation_file(Date::ymd(2010, 1, 1));
         assert_eq!(f.records.len(), 1, "2012 record excluded at 2010 cutoff");
         assert_eq!(f.ipv4_space(country::VE, Date::ymd(2010, 1, 1)), 65536);
@@ -206,7 +236,10 @@ mod tests {
         let f = ledger.to_delegation_file(Date::ymd(2024, 1, 1));
         let text = f.to_text(Date::ymd(2024, 1, 1));
         let back = DelegationFile::parse(&text).unwrap();
-        assert_eq!(back.ipv4_space(country::VE, Date::ymd(2024, 1, 1)), 65536 + 32768);
+        assert_eq!(
+            back.ipv4_space(country::VE, Date::ymd(2024, 1, 1)),
+            65536 + 32768
+        );
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Cable registry, landing points, and RFS-timeline analytics.
 
+use lacnet_types::json::{FromJson, Json, ToJson};
 use lacnet_types::{CountryCode, Date, Error, GeoPoint, MonthStamp, Result, TimeSeries};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A cable landing point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LandingPoint {
     /// City or locality of the landing station.
     pub city: String,
@@ -16,7 +16,7 @@ pub struct LandingPoint {
 }
 
 /// A submarine cable system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cable {
     /// System name, e.g. `"ALBA-1"`, `"South American Crossing (SAC)"`.
     pub name: String,
@@ -46,7 +46,7 @@ impl Cable {
 }
 
 /// The full cable map.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CableMap {
     cables: Vec<Cable>,
 }
@@ -123,7 +123,9 @@ impl CableMap {
                 let n = self
                     .cables
                     .iter()
-                    .filter(|c| c.in_service(date) && c.countries().iter().any(|cc| set.contains(cc)))
+                    .filter(|c| {
+                        c.in_service(date) && c.countries().iter().any(|cc| set.contains(cc))
+                    })
                     .count();
                 (m, n as f64)
             })
@@ -142,12 +144,38 @@ impl CableMap {
     /// JSON serialisation (the generated stand-in for Telegeography's
     /// licensed export).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("cable map serialisation cannot fail")
+        lacnet_types::json::to_string(self)
     }
 
     /// Parse a JSON cable map.
     pub fn from_json(text: &str) -> Result<Self> {
-        serde_json::from_str(text).map_err(|e| Error::parse("cable map JSON", &e.to_string()))
+        lacnet_types::json::from_str(text)
+    }
+}
+
+lacnet_types::impl_json_struct!(LandingPoint {
+    city,
+    country,
+    location
+});
+lacnet_types::impl_json_struct!(Cable {
+    name,
+    rfs,
+    landings,
+    length_km
+});
+
+impl ToJson for CableMap {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(vec![("cables".to_owned(), self.cables.to_json_value())])
+    }
+}
+
+impl FromJson for CableMap {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        Ok(CableMap {
+            cables: v.field("cables")?,
+        })
     }
 }
 
@@ -157,7 +185,11 @@ mod tests {
     use lacnet_types::country;
 
     fn lp(city: &str, cc: CountryCode, lat: f64, lon: f64) -> LandingPoint {
-        LandingPoint { city: city.into(), country: cc, location: GeoPoint::new(lat, lon) }
+        LandingPoint {
+            city: city.into(),
+            country: cc,
+            location: GeoPoint::new(lat, lon),
+        }
     }
 
     fn toy_map() -> CableMap {
@@ -238,9 +270,17 @@ mod tests {
         let map = toy_map();
         assert_eq!(map.serving(country::VE, Date::ymd(2005, 1, 1)).len(), 1);
         assert_eq!(map.serving(country::VE, Date::ymd(2012, 1, 1)).len(), 2);
-        let s = map.count_series(country::VE, MonthStamp::new(2000, 1), MonthStamp::new(2020, 1));
+        let s = map.count_series(
+            country::VE,
+            MonthStamp::new(2000, 1),
+            MonthStamp::new(2020, 1),
+        );
         assert_eq!(s.get(MonthStamp::new(2000, 1)), Some(0.0));
-        assert_eq!(s.get(MonthStamp::new(2000, 8)), Some(1.0), "counts within RFS month");
+        assert_eq!(
+            s.get(MonthStamp::new(2000, 8)),
+            Some(1.0),
+            "counts within RFS month"
+        );
         assert_eq!(s.get(MonthStamp::new(2020, 1)), Some(2.0));
     }
 
@@ -255,7 +295,11 @@ mod tests {
         // Americas-II touches VE and BR but counts once; ALBA and Monet.
         assert_eq!(s.get(MonthStamp::new(2018, 1)), Some(3.0));
         // US alone: Americas-II + Monet.
-        let s = map.region_series(&[country::US], MonthStamp::new(2018, 1), MonthStamp::new(2018, 1));
+        let s = map.region_series(
+            &[country::US],
+            MonthStamp::new(2018, 1),
+            MonthStamp::new(2018, 1),
+        );
         assert_eq!(s.get(MonthStamp::new(2018, 1)), Some(2.0));
     }
 

@@ -1,7 +1,6 @@
 //! Autonomous system numbers.
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -11,8 +10,7 @@ use std::str::FromStr;
 /// CANTV-AS8048, its competitor Telefónica de Venezuela AS6306, and the
 /// transit providers that abandoned CANTV after 2013. Those appear as
 /// associated constants in [`well_known`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Asn(pub u32);
 
 impl Asn {

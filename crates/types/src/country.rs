@@ -8,14 +8,12 @@
 
 use crate::error::{Error, Result};
 use crate::geo::GeoPoint;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// A two-letter ISO 3166-1 alpha-2 country code, stored as two ASCII
 /// uppercase bytes so it is `Copy` and hashes cheaply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(try_from = "String", into = "String")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CountryCode([u8; 2]);
 
 impl CountryCode {
@@ -71,7 +69,7 @@ impl From<CountryCode> for String {
 
 /// Subregions of the LACNIC service region, used when the growth models
 /// need coarse geography (e.g. cable-route plausibility).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Subregion {
     /// Continental South America.
     SouthAmerica,
@@ -82,7 +80,7 @@ pub enum Subregion {
 }
 
 /// Static metadata for one economy in the LACNIC region.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CountryInfo {
     /// ISO alpha-2 code.
     pub code: CountryCode,
@@ -235,16 +233,20 @@ mod tests {
     fn capitals_are_plausible_coordinates() {
         for c in LACNIC_REGION {
             assert!(c.location.lat_deg().abs() <= 40.0, "{}", c.name);
-            assert!(c.location.lon_deg() < -40.0 && c.location.lon_deg() > -120.0, "{}", c.name);
+            assert!(
+                c.location.lon_deg() < -40.0 && c.location.lon_deg() > -120.0,
+                "{}",
+                c.name
+            );
         }
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let json = serde_json::to_string(&VE).unwrap();
+    fn json_roundtrip() {
+        let json = crate::json::to_string(&VE);
         assert_eq!(json, "\"VE\"");
-        let back: CountryCode = serde_json::from_str(&json).unwrap();
+        let back: CountryCode = crate::json::from_str(&json).unwrap();
         assert_eq!(back, VE);
-        assert!(serde_json::from_str::<CountryCode>("\"V1\"").is_err());
+        assert!(crate::json::from_str::<CountryCode>("\"V1\"").is_err());
     }
 }

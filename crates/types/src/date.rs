@@ -9,12 +9,11 @@
 //! dates of submarine cables.
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// A civil calendar date in the proleptic Gregorian calendar.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Date {
     year: i32,
     month: u8,
@@ -97,7 +96,11 @@ impl Date {
         let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
         let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
         let year = (y + if m <= 2 { 1 } else { 0 }) as i32;
-        Date { year, month: m, day: d }
+        Date {
+            year,
+            month: m,
+            day: d,
+        }
     }
 
     /// The date `n` days after this one (`n` may be negative).
@@ -148,8 +151,7 @@ impl FromStr for Date {
 ///
 /// This is the x-axis unit for every time series in the study. Supports
 /// ordering, arithmetic, and iteration over inclusive ranges.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MonthStamp(i32);
 
 impl MonthStamp {
@@ -189,14 +191,22 @@ impl MonthStamp {
 
     /// First day of this month.
     pub fn first_day(self) -> Date {
-        Date { year: self.year(), month: self.month(), day: 1 }
+        Date {
+            year: self.year(),
+            month: self.month(),
+            day: 1,
+        }
     }
 
     /// Last day of this month.
     pub fn last_day(self) -> Date {
         let y = self.year();
         let m = self.month();
-        Date { year: y, month: m, day: days_in_month(y, m) }
+        Date {
+            year: y,
+            month: m,
+            day: days_in_month(y, m),
+        }
     }
 
     /// The month `n` months later (`n` may be negative).

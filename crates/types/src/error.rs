@@ -57,7 +57,10 @@ impl Error {
 
     /// Build a [`Error::Missing`].
     pub fn missing(what: &'static str, key: impl Into<String>) -> Self {
-        Error::Missing { what, key: key.into() }
+        Error::Missing {
+            what,
+            key: key.into(),
+        }
     }
 }
 
@@ -98,7 +101,10 @@ mod tests {
             Error::parse("asn", "abc").to_string(),
             "expected asn, got \"abc\""
         );
-        assert_eq!(Error::invalid("month out of range").to_string(), "invalid value: month out of range");
+        assert_eq!(
+            Error::invalid("month out of range").to_string(),
+            "invalid value: month out of range"
+        );
         assert_eq!(
             Error::missing("airport code", "XXX").to_string(),
             "unknown airport code: \"XXX\""

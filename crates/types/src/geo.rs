@@ -5,8 +5,6 @@
 //! path length to propagation delay. Both live here so the airport-code
 //! registry (used by CHAOS TXT decoding) can share them.
 
-use serde::{Deserialize, Serialize};
-
 /// Mean Earth radius in kilometres (IUGG).
 pub const EARTH_RADIUS_KM: f64 = 6371.0088;
 
@@ -22,7 +20,7 @@ pub const FIBER_KM_PER_MS: f64 = C_KM_PER_MS * 2.0 / 3.0;
 pub const DEFAULT_PATH_STRETCH: f64 = 2.0;
 
 /// A point on the Earth's surface (WGS-84 latitude/longitude, degrees).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoPoint {
     lat_deg: f64,
     lon_deg: f64,
@@ -72,7 +70,7 @@ impl GeoPoint {
 
 /// An IATA-style airport/city code with coordinates — the vocabulary root
 /// DNS operators embed in CHAOS TXT instance names (§3.1, §5.4).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AirportCode {
     /// Three-letter IATA code, lowercase in CHAOS strings.
     pub code: &'static str,
@@ -88,56 +86,306 @@ pub struct AirportCode {
 /// the CHAOS decoding tests. Covers every city the paper names plus the
 /// common overseas anycast sites Venezuelan probes reach (Appendix E).
 pub const AIRPORTS: &[AirportCode] = &[
-    AirportCode { code: "ccs", country: "VE", city: "Caracas", location: GeoPoint::new(10.48, -66.90) },
-    AirportCode { code: "mar", country: "VE", city: "Maracaibo", location: GeoPoint::new(10.65, -71.61) },
-    AirportCode { code: "bog", country: "CO", city: "Bogota", location: GeoPoint::new(4.71, -74.07) },
-    AirportCode { code: "gru", country: "BR", city: "Sao Paulo", location: GeoPoint::new(-23.55, -46.63) },
-    AirportCode { code: "gig", country: "BR", city: "Rio de Janeiro", location: GeoPoint::new(-22.91, -43.17) },
-    AirportCode { code: "eze", country: "AR", city: "Buenos Aires", location: GeoPoint::new(-34.60, -58.38) },
-    AirportCode { code: "scl", country: "CL", city: "Santiago", location: GeoPoint::new(-33.45, -70.67) },
-    AirportCode { code: "mex", country: "MX", city: "Mexico City", location: GeoPoint::new(19.43, -99.13) },
-    AirportCode { code: "pty", country: "PA", city: "Panama City", location: GeoPoint::new(8.98, -79.52) },
-    AirportCode { code: "mvd", country: "UY", city: "Montevideo", location: GeoPoint::new(-34.90, -56.19) },
-    AirportCode { code: "uio", country: "EC", city: "Quito", location: GeoPoint::new(-0.18, -78.47) },
-    AirportCode { code: "lim", country: "PE", city: "Lima", location: GeoPoint::new(-12.05, -77.04) },
-    AirportCode { code: "sjo", country: "CR", city: "San Jose", location: GeoPoint::new(9.93, -84.08) },
-    AirportCode { code: "mia", country: "US", city: "Miami", location: GeoPoint::new(25.76, -80.19) },
-    AirportCode { code: "iad", country: "US", city: "Ashburn", location: GeoPoint::new(39.04, -77.49) },
-    AirportCode { code: "jfk", country: "US", city: "New York", location: GeoPoint::new(40.71, -74.01) },
-    AirportCode { code: "lax", country: "US", city: "Los Angeles", location: GeoPoint::new(34.05, -118.24) },
-    AirportCode { code: "ord", country: "US", city: "Chicago", location: GeoPoint::new(41.88, -87.63) },
-    AirportCode { code: "atl", country: "US", city: "Atlanta", location: GeoPoint::new(33.75, -84.39) },
-    AirportCode { code: "dfw", country: "US", city: "Dallas", location: GeoPoint::new(32.78, -96.80) },
-    AirportCode { code: "cor", country: "AR", city: "Cordoba", location: GeoPoint::new(-31.42, -64.18) },
-    AirportCode { code: "lpb", country: "BO", city: "La Paz", location: GeoPoint::new(-16.50, -68.15) },
-    AirportCode { code: "bon", country: "BQ", city: "Kralendijk", location: GeoPoint::new(12.15, -68.27) },
-    AirportCode { code: "bsb", country: "BR", city: "Brasilia", location: GeoPoint::new(-15.79, -47.88) },
-    AirportCode { code: "for", country: "BR", city: "Fortaleza", location: GeoPoint::new(-3.73, -38.52) },
-    AirportCode { code: "bze", country: "BZ", city: "Belmopan", location: GeoPoint::new(17.25, -88.77) },
-    AirportCode { code: "ccp", country: "CL", city: "Concepcion", location: GeoPoint::new(-36.83, -73.05) },
-    AirportCode { code: "mde", country: "CO", city: "Medellin", location: GeoPoint::new(6.25, -75.56) },
-    AirportCode { code: "hav", country: "CU", city: "Havana", location: GeoPoint::new(23.11, -82.37) },
-    AirportCode { code: "cur", country: "CW", city: "Willemstad", location: GeoPoint::new(12.11, -68.93) },
-    AirportCode { code: "sdq", country: "DO", city: "Santo Domingo", location: GeoPoint::new(18.49, -69.93) },
-    AirportCode { code: "cay", country: "GF", city: "Cayenne", location: GeoPoint::new(4.92, -52.33) },
-    AirportCode { code: "gua", country: "GT", city: "Guatemala City", location: GeoPoint::new(14.63, -90.51) },
-    AirportCode { code: "geo", country: "GY", city: "Georgetown", location: GeoPoint::new(6.80, -58.16) },
-    AirportCode { code: "tgu", country: "HN", city: "Tegucigalpa", location: GeoPoint::new(14.07, -87.19) },
-    AirportCode { code: "pap", country: "HT", city: "Port-au-Prince", location: GeoPoint::new(18.54, -72.34) },
-    AirportCode { code: "gdl", country: "MX", city: "Guadalajara", location: GeoPoint::new(20.67, -103.35) },
-    AirportCode { code: "mty", country: "MX", city: "Monterrey", location: GeoPoint::new(25.67, -100.31) },
-    AirportCode { code: "mga", country: "NI", city: "Managua", location: GeoPoint::new(12.11, -86.24) },
-    AirportCode { code: "asu", country: "PY", city: "Asuncion", location: GeoPoint::new(-25.26, -57.58) },
-    AirportCode { code: "pbm", country: "SR", city: "Paramaribo", location: GeoPoint::new(5.85, -55.20) },
-    AirportCode { code: "sal", country: "SV", city: "San Salvador", location: GeoPoint::new(13.69, -89.22) },
-    AirportCode { code: "sxm", country: "SX", city: "Philipsburg", location: GeoPoint::new(18.03, -63.05) },
-    AirportCode { code: "pos", country: "TT", city: "Port of Spain", location: GeoPoint::new(10.65, -61.51) },
-    AirportCode { code: "aua", country: "AW", city: "Oranjestad", location: GeoPoint::new(12.52, -70.03) },
-    AirportCode { code: "sci", country: "VE", city: "San Cristobal", location: GeoPoint::new(7.77, -72.22) },
-    AirportCode { code: "lhr", country: "GB", city: "London", location: GeoPoint::new(51.51, -0.13) },
-    AirportCode { code: "fra", country: "DE", city: "Frankfurt", location: GeoPoint::new(50.11, 8.68) },
-    AirportCode { code: "cdg", country: "FR", city: "Paris", location: GeoPoint::new(48.86, 2.35) },
-    AirportCode { code: "ams", country: "NL", city: "Amsterdam", location: GeoPoint::new(52.37, 4.89) },
+    AirportCode {
+        code: "ccs",
+        country: "VE",
+        city: "Caracas",
+        location: GeoPoint::new(10.48, -66.90),
+    },
+    AirportCode {
+        code: "mar",
+        country: "VE",
+        city: "Maracaibo",
+        location: GeoPoint::new(10.65, -71.61),
+    },
+    AirportCode {
+        code: "bog",
+        country: "CO",
+        city: "Bogota",
+        location: GeoPoint::new(4.71, -74.07),
+    },
+    AirportCode {
+        code: "gru",
+        country: "BR",
+        city: "Sao Paulo",
+        location: GeoPoint::new(-23.55, -46.63),
+    },
+    AirportCode {
+        code: "gig",
+        country: "BR",
+        city: "Rio de Janeiro",
+        location: GeoPoint::new(-22.91, -43.17),
+    },
+    AirportCode {
+        code: "eze",
+        country: "AR",
+        city: "Buenos Aires",
+        location: GeoPoint::new(-34.60, -58.38),
+    },
+    AirportCode {
+        code: "scl",
+        country: "CL",
+        city: "Santiago",
+        location: GeoPoint::new(-33.45, -70.67),
+    },
+    AirportCode {
+        code: "mex",
+        country: "MX",
+        city: "Mexico City",
+        location: GeoPoint::new(19.43, -99.13),
+    },
+    AirportCode {
+        code: "pty",
+        country: "PA",
+        city: "Panama City",
+        location: GeoPoint::new(8.98, -79.52),
+    },
+    AirportCode {
+        code: "mvd",
+        country: "UY",
+        city: "Montevideo",
+        location: GeoPoint::new(-34.90, -56.19),
+    },
+    AirportCode {
+        code: "uio",
+        country: "EC",
+        city: "Quito",
+        location: GeoPoint::new(-0.18, -78.47),
+    },
+    AirportCode {
+        code: "lim",
+        country: "PE",
+        city: "Lima",
+        location: GeoPoint::new(-12.05, -77.04),
+    },
+    AirportCode {
+        code: "sjo",
+        country: "CR",
+        city: "San Jose",
+        location: GeoPoint::new(9.93, -84.08),
+    },
+    AirportCode {
+        code: "mia",
+        country: "US",
+        city: "Miami",
+        location: GeoPoint::new(25.76, -80.19),
+    },
+    AirportCode {
+        code: "iad",
+        country: "US",
+        city: "Ashburn",
+        location: GeoPoint::new(39.04, -77.49),
+    },
+    AirportCode {
+        code: "jfk",
+        country: "US",
+        city: "New York",
+        location: GeoPoint::new(40.71, -74.01),
+    },
+    AirportCode {
+        code: "lax",
+        country: "US",
+        city: "Los Angeles",
+        location: GeoPoint::new(34.05, -118.24),
+    },
+    AirportCode {
+        code: "ord",
+        country: "US",
+        city: "Chicago",
+        location: GeoPoint::new(41.88, -87.63),
+    },
+    AirportCode {
+        code: "atl",
+        country: "US",
+        city: "Atlanta",
+        location: GeoPoint::new(33.75, -84.39),
+    },
+    AirportCode {
+        code: "dfw",
+        country: "US",
+        city: "Dallas",
+        location: GeoPoint::new(32.78, -96.80),
+    },
+    AirportCode {
+        code: "cor",
+        country: "AR",
+        city: "Cordoba",
+        location: GeoPoint::new(-31.42, -64.18),
+    },
+    AirportCode {
+        code: "lpb",
+        country: "BO",
+        city: "La Paz",
+        location: GeoPoint::new(-16.50, -68.15),
+    },
+    AirportCode {
+        code: "bon",
+        country: "BQ",
+        city: "Kralendijk",
+        location: GeoPoint::new(12.15, -68.27),
+    },
+    AirportCode {
+        code: "bsb",
+        country: "BR",
+        city: "Brasilia",
+        location: GeoPoint::new(-15.79, -47.88),
+    },
+    AirportCode {
+        code: "for",
+        country: "BR",
+        city: "Fortaleza",
+        location: GeoPoint::new(-3.73, -38.52),
+    },
+    AirportCode {
+        code: "bze",
+        country: "BZ",
+        city: "Belmopan",
+        location: GeoPoint::new(17.25, -88.77),
+    },
+    AirportCode {
+        code: "ccp",
+        country: "CL",
+        city: "Concepcion",
+        location: GeoPoint::new(-36.83, -73.05),
+    },
+    AirportCode {
+        code: "mde",
+        country: "CO",
+        city: "Medellin",
+        location: GeoPoint::new(6.25, -75.56),
+    },
+    AirportCode {
+        code: "hav",
+        country: "CU",
+        city: "Havana",
+        location: GeoPoint::new(23.11, -82.37),
+    },
+    AirportCode {
+        code: "cur",
+        country: "CW",
+        city: "Willemstad",
+        location: GeoPoint::new(12.11, -68.93),
+    },
+    AirportCode {
+        code: "sdq",
+        country: "DO",
+        city: "Santo Domingo",
+        location: GeoPoint::new(18.49, -69.93),
+    },
+    AirportCode {
+        code: "cay",
+        country: "GF",
+        city: "Cayenne",
+        location: GeoPoint::new(4.92, -52.33),
+    },
+    AirportCode {
+        code: "gua",
+        country: "GT",
+        city: "Guatemala City",
+        location: GeoPoint::new(14.63, -90.51),
+    },
+    AirportCode {
+        code: "geo",
+        country: "GY",
+        city: "Georgetown",
+        location: GeoPoint::new(6.80, -58.16),
+    },
+    AirportCode {
+        code: "tgu",
+        country: "HN",
+        city: "Tegucigalpa",
+        location: GeoPoint::new(14.07, -87.19),
+    },
+    AirportCode {
+        code: "pap",
+        country: "HT",
+        city: "Port-au-Prince",
+        location: GeoPoint::new(18.54, -72.34),
+    },
+    AirportCode {
+        code: "gdl",
+        country: "MX",
+        city: "Guadalajara",
+        location: GeoPoint::new(20.67, -103.35),
+    },
+    AirportCode {
+        code: "mty",
+        country: "MX",
+        city: "Monterrey",
+        location: GeoPoint::new(25.67, -100.31),
+    },
+    AirportCode {
+        code: "mga",
+        country: "NI",
+        city: "Managua",
+        location: GeoPoint::new(12.11, -86.24),
+    },
+    AirportCode {
+        code: "asu",
+        country: "PY",
+        city: "Asuncion",
+        location: GeoPoint::new(-25.26, -57.58),
+    },
+    AirportCode {
+        code: "pbm",
+        country: "SR",
+        city: "Paramaribo",
+        location: GeoPoint::new(5.85, -55.20),
+    },
+    AirportCode {
+        code: "sal",
+        country: "SV",
+        city: "San Salvador",
+        location: GeoPoint::new(13.69, -89.22),
+    },
+    AirportCode {
+        code: "sxm",
+        country: "SX",
+        city: "Philipsburg",
+        location: GeoPoint::new(18.03, -63.05),
+    },
+    AirportCode {
+        code: "pos",
+        country: "TT",
+        city: "Port of Spain",
+        location: GeoPoint::new(10.65, -61.51),
+    },
+    AirportCode {
+        code: "aua",
+        country: "AW",
+        city: "Oranjestad",
+        location: GeoPoint::new(12.52, -70.03),
+    },
+    AirportCode {
+        code: "sci",
+        country: "VE",
+        city: "San Cristobal",
+        location: GeoPoint::new(7.77, -72.22),
+    },
+    AirportCode {
+        code: "lhr",
+        country: "GB",
+        city: "London",
+        location: GeoPoint::new(51.51, -0.13),
+    },
+    AirportCode {
+        code: "fra",
+        country: "DE",
+        city: "Frankfurt",
+        location: GeoPoint::new(50.11, 8.68),
+    },
+    AirportCode {
+        code: "cdg",
+        country: "FR",
+        city: "Paris",
+        location: GeoPoint::new(48.86, 2.35),
+    },
+    AirportCode {
+        code: "ams",
+        country: "NL",
+        city: "Amsterdam",
+        location: GeoPoint::new(52.37, 4.89),
+    },
 ];
 
 /// Look up an airport by (case-insensitive) code.

@@ -1,0 +1,732 @@
+//! Minimal self-contained JSON support.
+//!
+//! The workspace builds with no external dependencies, so the JSON-shaped
+//! dataset formats (PeeringDB dumps, the cable map, cert scans, top-site
+//! scrapes) serialise through this module instead of `serde_json`. It is a
+//! deliberately small surface: a [`Json`] value tree, a strict parser, a
+//! compact writer, and [`ToJson`]/[`FromJson`] traits with an
+//! [`impl_json_struct!`] helper macro for plain field-for-field structs.
+//!
+//! Output is compact (no whitespace) and field order follows declaration
+//! order, so serialisation is deterministic — a property the cross-crate
+//! determinism tests rely on.
+
+use crate::error::{Error, Result};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integral values print without a
+    /// fractional part).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Pairs keep insertion order so output is deterministic.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Decode the member `key` of an object. A missing member is treated as
+    /// `null`, which lets `Option` fields default to `None`.
+    pub fn field<T: FromJson>(&self, key: &str) -> Result<T> {
+        match self.get(key) {
+            Some(v) => T::from_json_value(v),
+            None => T::from_json_value(&Json::Null)
+                .map_err(|_| Error::missing("JSON object member", key)),
+        }
+    }
+
+    /// Serialise to compact JSON text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_number(*n, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse JSON text. Trailing non-whitespace input is an error.
+    pub fn parse(text: &str) -> Result<Json> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::parse("end of JSON input", text));
+        }
+        Ok(value)
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err("JSON syntax"))
+        }
+    }
+
+    fn err(&self, expected: &'static str) -> Error {
+        let tail = &self.bytes[self.pos.min(self.bytes.len())..];
+        let tail = &tail[..tail.len().min(40)];
+        Error::parse(expected, &String::from_utf8_lossy(tail))
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("JSON literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::invalid("JSON string is not UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let first = self.unicode_escape()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair: expect a low surrogate.
+                                if self.bytes[self.pos + 1..].first() != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                {
+                                    return Err(self.err("low surrogate"));
+                                }
+                                self.pos += 2;
+                                let second = self.unicode_escape()?;
+                                let joined = 0x10000
+                                    + ((first - 0xD800) << 10)
+                                    + (second.wrapping_sub(0xDC00) & 0x3FF);
+                                char::from_u32(joined)
+                            } else {
+                                char::from_u32(first)
+                            };
+                            out.push(c.ok_or_else(|| self.err("valid unicode escape"))?);
+                        }
+                        _ => return Err(self.err("string escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("closing '\"'")),
+            }
+        }
+    }
+
+    /// Reads the 4 hex digits after `\u` (cursor on `u`); leaves the
+    /// cursor on the final digit so the caller's `pos += 1` pattern holds.
+    fn unicode_escape(&mut self) -> Result<u32> {
+        let hex = self
+            .bytes
+            .get(self.pos + 1..self.pos + 5)
+            .ok_or_else(|| self.err("4-digit unicode escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.err("hex digits"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("hex digits"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("number"))
+    }
+}
+
+/// Conversion into a [`Json`] value tree.
+pub trait ToJson {
+    /// Build the value tree for `self`.
+    fn to_json_value(&self) -> Json;
+}
+
+/// Conversion from a [`Json`] value tree.
+pub trait FromJson: Sized {
+    /// Decode `self` from a value tree.
+    fn from_json_value(v: &Json) -> Result<Self>;
+}
+
+/// Serialise any [`ToJson`] value to compact JSON text.
+pub fn to_string<T: ToJson>(value: &T) -> String {
+    value.to_json_value().to_text()
+}
+
+/// Parse JSON text into any [`FromJson`] type.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T> {
+    T::from_json_value(&Json::parse(text)?)
+}
+
+macro_rules! impl_json_int {
+    ($($ty:ty),*) => {
+        $(
+            impl ToJson for $ty {
+                fn to_json_value(&self) -> Json {
+                    Json::Num(*self as f64)
+                }
+            }
+            impl FromJson for $ty {
+                fn from_json_value(v: &Json) -> Result<Self> {
+                    let n = v.as_f64().ok_or_else(|| Error::invalid("expected JSON number"))?;
+                    if n.fract() != 0.0 || n < <$ty>::MIN as f64 || n > <$ty>::MAX as f64 {
+                        return Err(Error::invalid(concat!("number out of range for ", stringify!($ty))));
+                    }
+                    Ok(n as $ty)
+                }
+            }
+        )*
+    };
+}
+
+impl_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl ToJson for f64 {
+    fn to_json_value(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        v.as_f64()
+            .ok_or_else(|| Error::invalid("expected JSON number"))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json_value(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        v.as_bool()
+            .ok_or_else(|| Error::invalid("expected JSON boolean"))
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::invalid("expected JSON string"))
+    }
+}
+
+impl ToJson for &str {
+    fn to_json_value(&self) -> Json {
+        Json::Str((*self).to_owned())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json_value(&self) -> Json {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        v.as_array()
+            .ok_or_else(|| Error::invalid("expected JSON array"))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json_value(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<K: ToJson, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Json {
+        Json::Arr(
+            self.iter()
+                .map(|(k, v)| Json::Arr(vec![k.to_json_value(), v.to_json_value()]))
+                .collect(),
+        )
+    }
+}
+
+// ---- impls for the foundational newtypes in this crate -------------------
+
+impl ToJson for crate::Asn {
+    fn to_json_value(&self) -> Json {
+        Json::Num(self.0 as f64)
+    }
+}
+
+impl FromJson for crate::Asn {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        u32::from_json_value(v).map(crate::Asn)
+    }
+}
+
+impl ToJson for crate::CountryCode {
+    fn to_json_value(&self) -> Json {
+        Json::Str(self.as_str().to_owned())
+    }
+}
+
+impl FromJson for crate::CountryCode {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        v.as_str()
+            .ok_or_else(|| Error::invalid("expected country code string"))?
+            .parse()
+    }
+}
+
+impl ToJson for crate::Ipv4Net {
+    fn to_json_value(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for crate::Ipv4Net {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        v.as_str()
+            .ok_or_else(|| Error::invalid("expected CIDR string"))?
+            .parse()
+    }
+}
+
+impl ToJson for crate::MonthStamp {
+    fn to_json_value(&self) -> Json {
+        Json::Num(self.index() as f64)
+    }
+}
+
+impl FromJson for crate::MonthStamp {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        i32::from_json_value(v).map(crate::MonthStamp::from_index)
+    }
+}
+
+impl ToJson for crate::Date {
+    fn to_json_value(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for crate::Date {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        v.as_str()
+            .ok_or_else(|| Error::invalid("expected YYYY-MM-DD string"))?
+            .parse()
+    }
+}
+
+impl ToJson for crate::GeoPoint {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("lat_deg".to_owned(), Json::Num(self.lat_deg())),
+            ("lon_deg".to_owned(), Json::Num(self.lon_deg())),
+        ])
+    }
+}
+
+impl FromJson for crate::GeoPoint {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        Ok(crate::GeoPoint::new(
+            v.field("lat_deg")?,
+            v.field("lon_deg")?,
+        ))
+    }
+}
+
+/// Implement [`ToJson`]/[`FromJson`] for a plain struct, field for field,
+/// in declaration order.
+///
+/// ```
+/// use lacnet_types::impl_json_struct;
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Point { x: u32, y: u32 }
+/// impl_json_struct!(Point { x, y });
+///
+/// let p = Point { x: 1, y: 2 };
+/// let text = lacnet_types::json::to_string(&p);
+/// assert_eq!(text, r#"{"x":1,"y":2}"#);
+/// assert_eq!(lacnet_types::json::from_str::<Point>(&text).unwrap(), p);
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json_value(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $( (
+                        stringify!($field).to_owned(),
+                        $crate::json::ToJson::to_json_value(&self.$field),
+                    ), )+
+                ])
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json_value(v: &$crate::json::Json) -> $crate::Result<Self> {
+                Ok(Self {
+                    $( $field: v.field(stringify!($field))?, )+
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in ["null", "true", "false", "0", "-12", "3.5", "\"hola\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.to_text(), text, "{text}");
+        }
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::parse(" [1, 2] ").unwrap().to_text(), "[1,2]");
+    }
+
+    #[test]
+    fn nested_structure_roundtrips() {
+        let text = r#"{"data":[{"id":1,"name":"CANTV","ok":true,"cdn":null}]}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.to_text(), text);
+        let row = &v.get("data").unwrap().as_array().unwrap()[0];
+        assert_eq!(row.field::<u32>("id").unwrap(), 1);
+        assert_eq!(row.field::<String>("name").unwrap(), "CANTV");
+        assert_eq!(row.field::<Option<String>>("cdn").unwrap(), None);
+        assert_eq!(row.field::<Option<String>>("absent").unwrap(), None);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let original = "a\"b\\c\nd\te\u{1F30E}";
+        let v = Json::Str(original.to_owned());
+        let text = v.to_text();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        // Escaped-unicode input decodes too (incl. a surrogate pair).
+        assert_eq!(
+            Json::parse(r#""A🌎""#).unwrap(),
+            Json::Str("A\u{1F30E}".to_owned())
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for text in [
+            "",
+            "{",
+            "[",
+            "{]",
+            "nope",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "1 2",
+            "\"unterminated",
+            "[1] trailing",
+            "tru",
+            "\"bad \\q escape\"",
+        ] {
+            assert!(Json::parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn numbers_write_compactly() {
+        assert_eq!(Json::Num(7.0).to_text(), "7");
+        assert_eq!(Json::Num(-0.5).to_text(), "-0.5");
+        // Beyond the exact-i64 window the value falls through to f64
+        // Display, which prints the full digit string for 1e18.
+        assert_eq!(Json::Num(1.0e18).to_text(), "1000000000000000000");
+    }
+
+    #[test]
+    fn newtype_impls_match_dump_style() {
+        assert_eq!(to_string(&crate::Asn(8048)), "8048");
+        assert_eq!(to_string(&crate::country::VE), "\"VE\"");
+        let net: crate::Ipv4Net = "200.44.0.0/17".parse().unwrap();
+        assert_eq!(to_string(&net), "\"200.44.0.0/17\"");
+        assert_eq!(
+            from_str::<crate::Ipv4Net>("\"200.44.0.0/17\"").unwrap(),
+            net
+        );
+        let d = crate::Date::ymd(2024, 2, 1);
+        assert_eq!(to_string(&d), "\"2024-02-01\"");
+        assert_eq!(from_str::<crate::Date>(&to_string(&d)).unwrap(), d);
+        let m = crate::MonthStamp::new(2024, 2);
+        assert_eq!(from_str::<crate::MonthStamp>(&to_string(&m)).unwrap(), m);
+        let g = crate::GeoPoint::new(10.6, -66.8);
+        assert_eq!(from_str::<crate::GeoPoint>(&to_string(&g)).unwrap(), g);
+    }
+}

@@ -16,6 +16,10 @@
 //! * [`rng`] — self-contained deterministic PRNGs (SplitMix64,
 //!   xoshiro256**) so generated worlds are bit-stable across dependency
 //!   upgrades.
+//! * [`json`] — dependency-free JSON value tree, parser, and writer for
+//!   the JSON-shaped dataset formats (PeeringDB dumps, cable maps, …).
+//! * [`sweep`] — deterministic parallel sweeps over month ranges and
+//!   independent build tasks on `std::thread::scope` workers.
 //!
 //! Everything here is `no_std`-adjacent plain data: no I/O, no clocks, no
 //! global state. Higher crates layer dataset formats and simulators on top.
@@ -28,10 +32,12 @@ pub mod country;
 pub mod date;
 pub mod error;
 pub mod geo;
+pub mod json;
 pub mod net;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod sweep;
 pub mod trie;
 
 pub use asn::Asn;

@@ -7,14 +7,12 @@
 //! gives longest-prefix matching.
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::str::FromStr;
 
 /// An IPv4 CIDR prefix, canonicalised so host bits are zero.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(try_from = "String", into = "String")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ipv4Net {
     addr: u32,
     len: u8,
@@ -28,7 +26,10 @@ impl Ipv4Net {
             return Err(Error::invalid("prefix length must be <= 32"));
         }
         let raw = u32::from(addr);
-        let net = Ipv4Net { addr: raw & Self::netmask_u32(len), len };
+        let net = Ipv4Net {
+            addr: raw & Self::netmask_u32(len),
+            len,
+        };
         if net.addr != raw {
             return Err(Error::invalid("prefix has host bits set"));
         }
@@ -38,7 +39,10 @@ impl Ipv4Net {
     /// Construct, silently zeroing any host bits. Panics if `len > 32`.
     pub fn truncating(addr: Ipv4Addr, len: u8) -> Self {
         assert!(len <= 32, "prefix length must be <= 32");
-        Ipv4Net { addr: u32::from(addr) & Self::netmask_u32(len), len }
+        Ipv4Net {
+            addr: u32::from(addr) & Self::netmask_u32(len),
+            len,
+        }
     }
 
     const fn netmask_u32(len: u8) -> u32 {
@@ -59,7 +63,8 @@ impl Ipv4Net {
         self.addr
     }
 
-    /// Prefix length.
+    /// Prefix length — CIDR bits, not a container size.
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(self) -> u8 {
         self.len
     }
@@ -105,8 +110,14 @@ impl Ipv4Net {
             return None;
         }
         let len = self.len + 1;
-        let low = Ipv4Net { addr: self.addr, len };
-        let high = Ipv4Net { addr: self.addr | (1u32 << (32 - len)), len };
+        let low = Ipv4Net {
+            addr: self.addr,
+            len,
+        };
+        let high = Ipv4Net {
+            addr: self.addr | (1u32 << (32 - len)),
+            len,
+        };
         Some((low, high))
     }
 
@@ -125,7 +136,10 @@ impl Ipv4Net {
         let count = 1u32 << bits;
         let step = 1u64 << (32 - new_len);
         Ok((0..count)
-            .map(|i| Ipv4Net { addr: self.addr + (i as u64 * step) as u32, len: new_len })
+            .map(|i| Ipv4Net {
+                addr: self.addr + (i as u64 * step) as u32,
+                len: new_len,
+            })
             .collect())
     }
 
@@ -135,7 +149,10 @@ impl Ipv4Net {
             return None;
         }
         let len = self.len - 1;
-        Some(Ipv4Net { addr: self.addr & Self::netmask_u32(len), len })
+        Some(Ipv4Net {
+            addr: self.addr & Self::netmask_u32(len),
+            len,
+        })
     }
 
     /// The `i`-th bit of the network address, MSB-first (bit 0 is the top
@@ -255,7 +272,10 @@ mod tests {
         assert_eq!(subs[0].to_string(), "186.24.0.0/24");
         assert_eq!(subs[3].to_string(), "186.24.3.0/24");
         assert!(n.subnets(21).is_err());
-        assert!(net("0.0.0.0/0").subnets(32).is_err(), "guard against huge fanout");
+        assert!(
+            net("0.0.0.0/0").subnets(32).is_err(),
+            "guard against huge fanout"
+        );
         assert_eq!(n.subnets(22).unwrap(), vec![n]);
     }
 

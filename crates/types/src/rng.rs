@@ -290,7 +290,10 @@ mod tests {
         let mut vals: Vec<f64> = (0..20_001).map(|_| rng.log_normal(mu, 0.8)).collect();
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = vals[vals.len() / 2];
-        assert!((median - mu.exp()).abs() / mu.exp() < 0.05, "median {median}");
+        assert!(
+            (median - mu.exp()).abs() / mu.exp() < 0.05,
+            "median {median}"
+        );
     }
 
     #[test]
@@ -300,7 +303,10 @@ mod tests {
             let n = 20_000;
             let total: u64 = (0..n).map(|_| rng.poisson(lambda)).sum();
             let mean = total as f64 / n as f64;
-            assert!((mean - lambda).abs() / lambda < 0.05, "lambda {lambda} mean {mean}");
+            assert!(
+                (mean - lambda).abs() / lambda < 0.05,
+                "lambda {lambda} mean {mean}"
+            );
         }
         assert_eq!(rng.poisson(0.0), 0);
     }

@@ -6,11 +6,10 @@
 //! summary operations the figure extractors need.
 
 use crate::date::MonthStamp;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// An ordered month → value series.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TimeSeries {
     points: BTreeMap<MonthStamp, f64>,
 }
@@ -23,7 +22,9 @@ impl TimeSeries {
 
     /// Build from `(month, value)` pairs; later duplicates win.
     pub fn from_points(points: impl IntoIterator<Item = (MonthStamp, f64)>) -> Self {
-        TimeSeries { points: points.into_iter().collect() }
+        TimeSeries {
+            points: points.into_iter().collect(),
+        }
     }
 
     /// Insert or replace the value for `month`.
@@ -281,9 +282,7 @@ mod tests {
 
     #[test]
     fn trailing_mean_last_six_months() {
-        let ts = TimeSeries::from_points(
-            (1..=12).map(|mo| (m(2023, mo), mo as f64)),
-        );
+        let ts = TimeSeries::from_points((1..=12).map(|mo| (m(2023, mo), mo as f64)));
         // Last 6 months: 7..=12, mean 9.5.
         assert_eq!(ts.trailing_mean(6), Some(9.5));
         // Window longer than series: uses all points.
@@ -300,7 +299,9 @@ mod tests {
         assert_eq!(r.get(m(2013, 7)), Some(6.0)); // midpoint
         assert_eq!(r.get(m(2014, 3)), Some(12.0)); // flat after
         assert_eq!(r.len(), 17);
-        assert!(TimeSeries::new().resample_monthly(m(2013, 1), m(2014, 1)).is_empty());
+        assert!(TimeSeries::new()
+            .resample_monthly(m(2013, 1), m(2014, 1))
+            .is_empty());
     }
 
     #[test]
@@ -322,7 +323,8 @@ mod tests {
         fn series_strategy() -> impl Strategy<Value = TimeSeries> {
             proptest::collection::btree_map(0i32..600, -1.0e6f64..1.0e6, 0..60).prop_map(|m| {
                 TimeSeries::from_points(
-                    m.into_iter().map(|(i, v)| (MonthStamp::new(2000, 1).plus(i), v)),
+                    m.into_iter()
+                        .map(|(i, v)| (MonthStamp::new(2000, 1).plus(i), v)),
                 )
             })
         }

@@ -95,8 +95,11 @@ impl P2Quantile {
             self.heights[0] = x;
             0
         } else if x >= self.heights[4] {
+            // Jain & Chlamtac (1985): a new maximum lies in the last cell,
+            // between markers 4 and 5 (0-indexed cell 3), so only the
+            // position of marker 5 may advance.
             self.heights[4] = x;
-            2
+            3
         } else {
             let mut k = 0;
             for i in 0..4 {
@@ -123,12 +126,12 @@ impl P2Quantile {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                self.heights[i] = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, d)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.positions[i] += d;
             }
         }
@@ -144,7 +147,8 @@ impl P2Quantile {
 
     fn linear(&self, i: usize, d: f64) -> f64 {
         let j = (i as f64 + d) as usize;
-        self.heights[i] + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// Current estimate. `None` until at least one observation; exact while
@@ -174,7 +178,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Create an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Feed one observation.
@@ -278,8 +288,49 @@ mod tests {
         let exact_p90 = quantile(&mut all, 0.9).unwrap();
         let e1 = med.value().unwrap();
         let e2 = p90.value().unwrap();
-        assert!((e1 - exact_med).abs() / exact_med < 0.05, "median {e1} vs {exact_med}");
-        assert!((e2 - exact_p90).abs() / exact_p90 < 0.08, "p90 {e2} vs {exact_p90}");
+        assert!(
+            (e1 - exact_med).abs() / exact_med < 0.05,
+            "median {e1} vs {exact_med}"
+        );
+        assert!(
+            (e2 - exact_p90).abs() / exact_p90 < 0.08,
+            "p90 {e2} vs {exact_p90}"
+        );
+    }
+
+    #[test]
+    fn p2_tracks_monotonically_increasing_stream() {
+        // Regression for the upper-extreme cell bug: every observation of a
+        // strictly increasing stream is a new maximum, so each one takes the
+        // `x >= heights[4]` branch. With the wrong cell index (`k = 2`)
+        // positions[3] was spuriously incremented on every observation,
+        // dragging the median marker far below the true median. The fixed
+        // estimator stays within 2% of the exact value; the buggy one ends
+        // up more than 40% low on this stream.
+        let n = 10_000;
+        let mut p2 = P2Quantile::median();
+        for i in 0..n {
+            p2.observe(i as f64);
+        }
+        let exact = (n - 1) as f64 / 2.0;
+        let est = p2.value().unwrap();
+        assert!(
+            (est - exact).abs() / exact < 0.02,
+            "P² median {est} strayed from exact {exact} on an increasing stream"
+        );
+
+        // Same property for a non-median quantile, which exercises the
+        // asymmetric desired-position increments.
+        let mut p90 = P2Quantile::new(0.9);
+        for i in 0..n {
+            p90.observe(i as f64);
+        }
+        let exact90 = 0.9 * (n - 1) as f64;
+        let est90 = p90.value().unwrap();
+        assert!(
+            (est90 - exact90).abs() / exact90 < 0.02,
+            "P² p90 {est90} strayed from exact {exact90} on an increasing stream"
+        );
     }
 
     #[test]
@@ -325,6 +376,29 @@ mod tests {
             let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let v = p2.value().unwrap();
             prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+
+        #[test]
+        fn p2_accurate_on_sorted_ascending_streams(
+            mut xs in proptest::collection::vec(-1e3f64..1e3, 50..400),
+        ) {
+            // Sorted-ascending input makes every post-seed observation hit
+            // the upper-extreme branch — the path the cell-index bug sat on.
+            xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let mut p2 = P2Quantile::median();
+            for &x in &xs {
+                p2.observe(x);
+            }
+            let est = p2.value().unwrap();
+            let exact = median(&mut xs.clone()).unwrap();
+            let span = xs[xs.len() - 1] - xs[0];
+            // P² is a coarse 5-marker sketch, so the bound is loose — but
+            // the pre-fix estimator drifts toward the stream minimum on
+            // ascending input and misses by well over half the span.
+            prop_assert!(
+                (est - exact).abs() <= span * 0.25 + 1e-9,
+                "estimate {} vs exact median {} (span {})", est, exact, span
+            );
         }
 
         #[test]

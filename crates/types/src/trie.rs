@@ -26,7 +26,10 @@ struct Node<V> {
 
 impl<V> Default for Node<V> {
     fn default() -> Self {
-        Node { value: None, children: [None, None] }
+        Node {
+            value: None,
+            children: [None, None],
+        }
     }
 }
 
@@ -39,7 +42,10 @@ impl<V> Default for PrefixTrie<V> {
 impl<V> PrefixTrie<V> {
     /// Create an empty trie.
     pub fn new() -> Self {
-        PrefixTrie { root: Node::default(), len: 0 }
+        PrefixTrie {
+            root: Node::default(),
+            len: 0,
+        }
     }
 
     /// Number of prefixes stored.
@@ -110,9 +116,7 @@ impl<V> PrefixTrie<V> {
                 None => break,
             }
         }
-        best.map(|(len, v)| {
-            (Ipv4Net::truncating(ip, len), v)
-        })
+        best.map(|(len, v)| (Ipv4Net::truncating(ip, len), v))
     }
 
     /// All stored prefixes covering `ip`, least-specific first.
@@ -237,7 +241,11 @@ mod tests {
         let prefixes: Vec<_> = t.iter().map(|(p, _)| p).collect();
         assert_eq!(
             prefixes,
-            vec![net("10.0.0.0/8"), net("186.24.0.0/17"), net("200.35.64.0/18")]
+            vec![
+                net("10.0.0.0/8"),
+                net("186.24.0.0/17"),
+                net("200.35.64.0/18")
+            ]
         );
     }
 

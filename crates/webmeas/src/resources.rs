@@ -9,11 +9,12 @@
 //! the original study).
 
 use crate::scrape::Provider;
-use serde::{Deserialize, Serialize};
+use lacnet_types::json::{FromJson, Json, ToJson};
+use lacnet_types::{Error, Result};
 use std::collections::BTreeSet;
 
 /// What kind of object a resource is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ResourceKind {
     /// JavaScript.
     Script,
@@ -36,10 +37,49 @@ impl ResourceKind {
         ResourceKind::Font,
         ResourceKind::Api,
     ];
+
+    /// The kind's canonical name, as serialised.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceKind::Script => "Script",
+            ResourceKind::Style => "Style",
+            ResourceKind::Image => "Image",
+            ResourceKind::Font => "Font",
+            ResourceKind::Api => "Api",
+        }
+    }
 }
 
+impl ToJson for ResourceKind {
+    fn to_json_value(&self) -> Json {
+        Json::Str(self.name().to_owned())
+    }
+}
+
+impl FromJson for ResourceKind {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        let name = v
+            .as_str()
+            .ok_or_else(|| Error::invalid("resource kind must be a string"))?;
+        ResourceKind::ALL
+            .into_iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| Error::parse("resource kind", name))
+    }
+}
+
+lacnet_types::impl_json_struct!(Resource {
+    domain,
+    kind,
+    provider
+});
+lacnet_types::impl_json_struct!(PageResources {
+    page_domain,
+    resources
+});
+
 /// One fetched component of a page.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Resource {
     /// The domain the component was fetched from.
     pub domain: String,
@@ -50,7 +90,7 @@ pub struct Resource {
 }
 
 /// The full component inventory of one page.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PageResources {
     /// The page's registered domain.
     pub page_domain: String,
@@ -61,13 +101,18 @@ pub struct PageResources {
 impl PageResources {
     /// A page with no components yet.
     pub fn new(page_domain: &str) -> Self {
-        PageResources { page_domain: page_domain.into(), resources: Vec::new() }
+        PageResources {
+            page_domain: page_domain.into(),
+            resources: Vec::new(),
+        }
     }
 
     /// Components fetched from a different registered domain than the
     /// page's.
     pub fn cross_origin(&self) -> impl Iterator<Item = &Resource> {
-        self.resources.iter().filter(|r| r.domain != self.page_domain)
+        self.resources
+            .iter()
+            .filter(|r| r.domain != self.page_domain)
     }
 
     /// Fraction of components served by third-party infrastructure.
@@ -76,7 +121,11 @@ impl PageResources {
         if self.resources.is_empty() {
             return None;
         }
-        let tp = self.resources.iter().filter(|r| r.provider.third_party).count();
+        let tp = self
+            .resources
+            .iter()
+            .filter(|r| r.provider.third_party)
+            .count();
         Some(tp as f64 / self.resources.len() as f64)
     }
 
@@ -138,7 +187,9 @@ pub fn dependency_report(pages: &[PageResources]) -> Option<DependencyReport> {
     Some(DependencyReport {
         mean_third_party_share: mean_share,
         mean_providers_per_page: mean_providers,
-        top_provider_reach: top.map(|(_, n)| n as f64 / with.len() as f64).unwrap_or(0.0),
+        top_provider_reach: top
+            .map(|(_, n)| n as f64 / with.len() as f64)
+            .unwrap_or(0.0),
         top_provider: top.map(|(name, _)| name.to_owned()),
     })
 }
@@ -148,7 +199,11 @@ mod tests {
     use super::*;
 
     fn res(domain: &str, kind: ResourceKind, provider: Provider) -> Resource {
-        Resource { domain: domain.into(), kind, provider }
+        Resource {
+            domain: domain.into(),
+            kind,
+            provider,
+        }
     }
 
     fn page() -> PageResources {
@@ -156,9 +211,21 @@ mod tests {
             page_domain: "sitio.com.ve".into(),
             resources: vec![
                 res("sitio.com.ve", ResourceKind::Image, Provider::self_hosted()),
-                res("cdn.sitio.com.ve", ResourceKind::Style, Provider::self_hosted()),
-                res("static.cloudflare.com", ResourceKind::Script, Provider::third_party("Cloudflare")),
-                res("fonts.gstatic.com", ResourceKind::Font, Provider::third_party("Google Fonts")),
+                res(
+                    "cdn.sitio.com.ve",
+                    ResourceKind::Style,
+                    Provider::self_hosted(),
+                ),
+                res(
+                    "static.cloudflare.com",
+                    ResourceKind::Script,
+                    Provider::third_party("Cloudflare"),
+                ),
+                res(
+                    "fonts.gstatic.com",
+                    ResourceKind::Font,
+                    Provider::third_party("Google Fonts"),
+                ),
             ],
         }
     }
@@ -186,16 +253,21 @@ mod tests {
         assert!((report.mean_third_party_share - 0.75).abs() < 1e-9);
         assert!((report.mean_providers_per_page - 1.5).abs() < 1e-9);
         assert_eq!(report.top_provider.as_deref(), Some("Cloudflare"));
-        assert!((report.top_provider_reach - 1.0).abs() < 1e-9, "Cloudflare on both pages");
+        assert!(
+            (report.top_provider_reach - 1.0).abs() < 1e-9,
+            "Cloudflare on both pages"
+        );
         assert!(dependency_report(&[]).is_none());
         assert!(dependency_report(&[PageResources::new("a.b")]).is_none());
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let p = page();
-        let back: PageResources =
-            serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        let json = lacnet_types::json::to_string(&p);
+        assert!(json.contains("\"kind\":\"Script\""), "{json}");
+        let back: PageResources = lacnet_types::json::from_str(&json).unwrap();
         assert_eq!(back, p);
+        assert!(lacnet_types::json::from_str::<ResourceKind>("\"Video\"").is_err());
     }
 }

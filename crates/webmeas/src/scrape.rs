@@ -1,12 +1,11 @@
 //! Top-site scrape observations.
 
-use lacnet_types::{CountryCode, Error, Result};
-use serde::{Deserialize, Serialize};
+use lacnet_types::{CountryCode, Result};
 use std::collections::BTreeSet;
 
 /// What the scraper learned about one site, as seen from a local VPN
 /// vantage point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SiteObservation {
     /// Registered domain.
     pub domain: String,
@@ -21,7 +20,7 @@ pub struct SiteObservation {
 }
 
 /// A serving-infrastructure provider.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Provider {
     /// Provider name (e.g. `"Cloudflare"`, `"self-hosted"`).
     pub name: String,
@@ -32,17 +31,23 @@ pub struct Provider {
 impl Provider {
     /// A third-party provider.
     pub fn third_party(name: &str) -> Self {
-        Provider { name: name.into(), third_party: true }
+        Provider {
+            name: name.into(),
+            third_party: true,
+        }
     }
 
     /// Self-hosted / first-party infrastructure.
     pub fn self_hosted() -> Self {
-        Provider { name: "self-hosted".into(), third_party: false }
+        Provider {
+            name: "self-hosted".into(),
+            third_party: false,
+        }
     }
 }
 
 /// One country's top-site scrape.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CountryTopSites {
     /// The vantage/ranking country.
     pub country: CountryCode,
@@ -53,7 +58,10 @@ pub struct CountryTopSites {
 impl CountryTopSites {
     /// Create an empty list.
     pub fn new(country: CountryCode) -> Self {
-        CountryTopSites { country, sites: Vec::new() }
+        CountryTopSites {
+            country,
+            sites: Vec::new(),
+        }
     }
 
     /// The domains in this list.
@@ -63,14 +71,24 @@ impl CountryTopSites {
 
     /// JSON serialisation.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("top-site serialisation cannot fail")
+        lacnet_types::json::to_string(self)
     }
 
     /// Parse from JSON.
     pub fn from_json(text: &str) -> Result<Self> {
-        serde_json::from_str(text).map_err(|e| Error::parse("top-sites JSON", &e.to_string()))
+        lacnet_types::json::from_str(text)
     }
 }
+
+lacnet_types::impl_json_struct!(Provider { name, third_party });
+lacnet_types::impl_json_struct!(SiteObservation {
+    domain,
+    https,
+    dns_provider,
+    ca,
+    cdn
+});
+lacnet_types::impl_json_struct!(CountryTopSites { country, sites });
 
 /// For each country, the subset of its sites whose domain appears in *no
 /// other* country's list — the paper's unique-top-sites filter.
@@ -101,12 +119,26 @@ mod tests {
     use super::*;
     use lacnet_types::country;
 
-    pub(crate) fn obs(domain: &str, https: bool, dns3p: bool, ca3p: bool, cdn: Option<&str>) -> SiteObservation {
+    pub(crate) fn obs(
+        domain: &str,
+        https: bool,
+        dns3p: bool,
+        ca3p: bool,
+        cdn: Option<&str>,
+    ) -> SiteObservation {
         SiteObservation {
             domain: domain.into(),
             https,
-            dns_provider: if dns3p { Provider::third_party("Cloudflare DNS") } else { Provider::self_hosted() },
-            ca: if ca3p { Provider::third_party("DigiCert") } else { Provider::self_hosted() },
+            dns_provider: if dns3p {
+                Provider::third_party("Cloudflare DNS")
+            } else {
+                Provider::self_hosted()
+            },
+            ca: if ca3p {
+                Provider::third_party("DigiCert")
+            } else {
+                Provider::self_hosted()
+            },
             cdn: cdn.map(Provider::third_party),
         }
     }

@@ -2,11 +2,10 @@
 
 use crate::scrape::CountryTopSites;
 use lacnet_types::CountryCode;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The four adoption dimensions of Fig. 19.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ServiceKind {
     /// Third-party authoritative DNS.
     Dns,
@@ -39,7 +38,7 @@ impl ServiceKind {
 }
 
 /// Adoption fractions per country and dimension.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AdoptionReport {
     /// `(country, kind) → fraction in [0, 1]`.
     fractions: BTreeMap<(CountryCode, ServiceKind), f64>,
@@ -56,9 +55,17 @@ impl AdoptionReport {
                 continue;
             }
             let frac = |count: usize| count as f64 / n as f64;
-            let dns = list.sites.iter().filter(|s| s.dns_provider.third_party).count();
+            let dns = list
+                .sites
+                .iter()
+                .filter(|s| s.dns_provider.third_party)
+                .count();
             let https = list.sites.iter().filter(|s| s.https).count();
-            let ca = list.sites.iter().filter(|s| s.https && s.ca.third_party).count();
+            let ca = list
+                .sites
+                .iter()
+                .filter(|s| s.https && s.ca.third_party)
+                .count();
             let cdn = list
                 .sites
                 .iter()
@@ -109,7 +116,11 @@ impl AdoptionReport {
             .filter(|(&(_, k), _)| k == kind)
             .map(|(&(cc, _), &f)| (cc, f))
             .collect();
-        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("fractions are finite").then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("fractions are finite")
+                .then(a.0.cmp(&b.0))
+        });
         v
     }
 }
@@ -124,8 +135,16 @@ mod tests {
         SiteObservation {
             domain: format!("site-{https}-{dns3p}-{ca3p}-{cdn3p}.example"),
             https,
-            dns_provider: if dns3p { Provider::third_party("NS1") } else { Provider::self_hosted() },
-            ca: if ca3p { Provider::third_party("LE") } else { Provider::self_hosted() },
+            dns_provider: if dns3p {
+                Provider::third_party("NS1")
+            } else {
+                Provider::self_hosted()
+            },
+            ca: if ca3p {
+                Provider::third_party("LE")
+            } else {
+                Provider::self_hosted()
+            },
             cdn: cdn3p.then(|| Provider::third_party("Cloudflare")),
         }
     }
@@ -162,7 +181,13 @@ mod tests {
 
     #[test]
     fn regional_mean_and_ranking() {
-        let ve = list(country::VE, vec![obs(true, false, false, false), obs(true, true, false, false)]);
+        let ve = list(
+            country::VE,
+            vec![
+                obs(true, false, false, false),
+                obs(true, true, false, false),
+            ],
+        );
         let br = list(country::BR, vec![obs(true, true, true, true)]);
         let report = AdoptionReport::compute(&[ve, br]);
         assert_eq!(report.regional_mean(ServiceKind::Dns), Some(0.75));

@@ -26,7 +26,8 @@ fn main() {
     for year in (2009..=2023).step_by(2) {
         for cc in countries {
             let mut rng = root.fork(&format!("demo/{cc}/{year}"));
-            let tests = bandwidth::generate_month(&ops, cc, MonthStamp::new(year, 7), 2.0, &mut rng);
+            let tests =
+                bandwidth::generate_month(&ops, cc, MonthStamp::new(year, 7), 2.0, &mut rng);
             for t in &tests {
                 archive_text.push_str(&t.to_row());
                 archive_text.push('\n');
@@ -34,7 +35,11 @@ fn main() {
         }
     }
     let rows = ndt::parse_rows(&archive_text).expect("generated rows parse");
-    println!("parsed {} NDT rows ({} bytes of archive text)\n", rows.len(), archive_text.len());
+    println!(
+        "parsed {} NDT rows ({} bytes of archive text)\n",
+        rows.len(),
+        archive_text.len()
+    );
 
     // 2. Stream them through the month-country aggregator.
     let mut agg = MonthlyAggregator::new(Mode::Streaming);
@@ -59,9 +64,18 @@ fn main() {
         println!();
     }
 
-    let ve_2013 = agg.median_series(country::VE).get(MonthStamp::new(2013, 7)).unwrap_or(0.0);
-    let ve_2021 = agg.median_series(country::VE).get(MonthStamp::new(2021, 7)).unwrap_or(0.0);
-    let uy_2021 = agg.median_series(country::UY).get(MonthStamp::new(2021, 7)).unwrap_or(0.0);
+    let ve_2013 = agg
+        .median_series(country::VE)
+        .get(MonthStamp::new(2013, 7))
+        .unwrap_or(0.0);
+    let ve_2021 = agg
+        .median_series(country::VE)
+        .get(MonthStamp::new(2021, 7))
+        .unwrap_or(0.0);
+    let uy_2021 = agg
+        .median_series(country::UY)
+        .get(MonthStamp::new(2021, 7))
+        .unwrap_or(0.0);
     println!(
         "\nVenezuela {ve_2013:.2} → {ve_2021:.2} Mbps over eight years, \
          while Uruguay reached {uy_2021:.2} — the Fig. 11 stagnation."

@@ -12,12 +12,8 @@ use lacnet::types::{country, Date};
 
 fn main() {
     let world = dns::build_dns_world(42);
-    let series = blackouts::daily_reachability(
-        &world,
-        Date::ymd(2019, 1, 1),
-        Date::ymd(2019, 12, 31),
-        42,
-    );
+    let series =
+        blackouts::daily_reachability(&world, Date::ymd(2019, 1, 1), Date::ymd(2019, 12, 31), 42);
 
     // March 2019, day by day, as the platform saw it.
     println!("connected Venezuelan probes, March 2019:");

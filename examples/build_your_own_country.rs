@@ -33,7 +33,11 @@ fn main() {
     ]);
     let sim = RouteSim::new(&graph);
     let out = sim.propagate(isp_a);
-    println!("Meridia's topology: {} ASes, {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "Meridia's topology: {} ASes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
     println!(
         "  ISP-A's announcement reaches {} ASes; tier-1 visibility {:.0}%",
         out.reach_count(),
@@ -47,10 +51,19 @@ fn main() {
     // 2. Address space: carve a national pool, respecting overlaps.
     let mut carver = PoolCarver::new(net("203.0.0.0/12"));
     let mut ledger = AllocationLedger::new();
-    for (holder, len, year) in [(incumbent, 16u8, 2002), (isp_a, 18, 2008), (isp_b, 19, 2012)] {
+    for (holder, len, year) in [
+        (incumbent, 16u8, 2002),
+        (isp_a, 18, 2008),
+        (isp_b, 19, 2012),
+    ] {
         let prefix = carver.carve(len).expect("pool has room");
         ledger
-            .allocate(Allocation { country: meridia, holder, prefix, date: Date::ymd(year, 6, 1) })
+            .allocate(Allocation {
+                country: meridia,
+                holder,
+                prefix,
+                date: Date::ymd(year, 6, 1),
+            })
             .expect("no overlaps by construction");
     }
     println!("\nMeridia's registry (as a LACNIC-format delegation file):");

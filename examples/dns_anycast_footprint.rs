@@ -17,7 +17,11 @@ fn main() {
     // A few raw observations, to show what the campaign actually records.
     println!("sample CHAOS TXT responses from Venezuelan probes (2017-01):");
     let obs = camp.run_month(MonthStamp::new(2017, 1));
-    for o in obs.iter().filter(|o| o.probe_country == country::VE).take(6) {
+    for o in obs
+        .iter()
+        .filter(|o| o.probe_country == country::VE)
+        .take(6)
+    {
         let decoded = chaos::decode(o.letter, &o.txt).expect("generated identities decode");
         println!(
             "  probe {:>4}  {}-root  {:<28} → site {:<4} country {:?}",
@@ -54,7 +58,7 @@ fn main() {
         .into_iter()
         .map(|(cc, replicas)| (cc.to_string(), replicas.len()))
         .collect();
-    origins.sort_by(|a, b| b.1.cmp(&a.1));
+    origins.sort_by_key(|o| std::cmp::Reverse(o.1));
     for (cc, n) in origins {
         println!("  {cc}: {n} distinct replicas");
     }

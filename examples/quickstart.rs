@@ -27,6 +27,9 @@ fn main() {
     }
 
     let matched = headline.iter().filter(|r| r.all_match()).count();
-    println!("\n{matched}/{} headline experiments match the paper.", headline.len());
+    println!(
+        "\n{matched}/{} headline experiments match the paper.",
+        headline.len()
+    );
     println!("Run the full battery with: cargo run -p lacnet-core --bin vzla-report --release");
 }

@@ -27,7 +27,9 @@ fn main() {
         let graph = builder.snapshot(m);
         let text = serial1::to_text(&graph.edges(), &format!("lacnet world, {m}"));
         bytes += text.len();
-        archive.insert_serial1(m, &text).expect("generated serial-1 parses");
+        archive
+            .insert_serial1(m, &text)
+            .expect("generated serial-1 parses");
     }
     println!(
         "round-tripped {} snapshots ({} KiB of serial-1 text)\n",

@@ -7,7 +7,10 @@ use lacnet::crisis::{World, WorldConfig};
 
 #[test]
 fn same_seed_same_artifacts() {
-    let config = WorldConfig { mlab_volume_scale: 0.05, ..WorldConfig::default() };
+    let config = WorldConfig {
+        mlab_volume_scale: 0.05,
+        ..WorldConfig::default()
+    };
     let a = World::generate(config);
     let b = World::generate(config);
     // Spot-check structured equality across dataset kinds.
@@ -15,8 +18,10 @@ fn same_seed_same_artifacts() {
     assert_eq!(a.cert_scans, b.cert_scans);
     assert_eq!(a.top_sites, b.top_sites);
     assert_eq!(
-        a.pfx2as_at(lacnet::types::MonthStamp::new(2020, 6)).to_text(),
-        b.pfx2as_at(lacnet::types::MonthStamp::new(2020, 6)).to_text()
+        a.pfx2as_at(lacnet::types::MonthStamp::new(2020, 6))
+            .to_text(),
+        b.pfx2as_at(lacnet::types::MonthStamp::new(2020, 6))
+            .to_text()
     );
     // And the figure series themselves.
     let fa = experiments::fig11_bandwidth::run(&a);
@@ -26,7 +31,11 @@ fn same_seed_same_artifacts() {
 
 #[test]
 fn different_seed_still_reproduces_headlines() {
-    let config = WorldConfig { seed: 0xDEAD_BEEF, mlab_volume_scale: 0.4, ..WorldConfig::default() };
+    let config = WorldConfig {
+        seed: 0xDEAD_BEEF,
+        mlab_volume_scale: 0.4,
+        ..WorldConfig::default()
+    };
     let world = World::generate(config);
     for result in [
         experiments::fig01_macro::run(&world),

@@ -19,7 +19,11 @@ fn every_experiment_matches_the_paper() {
         .filter(|r| !r.all_match())
         .map(|r| format!("{}\n{}", r.id, render::render_result(r)))
         .collect();
-    assert!(diverged.is_empty(), "diverging experiments:\n{}", diverged.join("\n"));
+    assert!(
+        diverged.is_empty(),
+        "diverging experiments:\n{}",
+        diverged.join("\n")
+    );
 }
 
 #[test]
@@ -37,7 +41,11 @@ fn experiment_ids_are_unique_and_ordered() {
 #[test]
 fn every_experiment_produces_renderable_artifacts() {
     for result in experiments::all(world()) {
-        assert!(!result.artifacts.is_empty(), "{} has no artifacts", result.id);
+        assert!(
+            !result.artifacts.is_empty(),
+            "{} has no artifacts",
+            result.id
+        );
         assert!(!result.findings.is_empty(), "{} has no findings", result.id);
         for artifact in &result.artifacts {
             let text = render::render_artifact(artifact);

@@ -23,7 +23,11 @@ fn serial1_archive_roundtrip_preserves_analysis() {
         let text = serial1::to_text(&graph.edges(), "roundtrip test");
         let back = AsGraph::from_edges(serial1::parse(&text).expect("own output parses"));
         assert_eq!(back.edge_count(), graph.edge_count(), "{m}");
-        assert_eq!(back.upstream_count(Asn(8048)), graph.upstream_count(Asn(8048)), "{m}");
+        assert_eq!(
+            back.upstream_count(Asn(8048)),
+            graph.upstream_count(Asn(8048)),
+            "{m}"
+        );
         reparsed.insert(m, back);
     }
     assert_eq!(reparsed.len(), 60);
@@ -32,7 +36,11 @@ fn serial1_archive_roundtrip_preserves_analysis() {
 #[test]
 fn pfx2as_roundtrip_preserves_address_space() {
     let w = world();
-    for m in [MonthStamp::new(2012, 6), MonthStamp::new(2018, 6), MonthStamp::new(2023, 9)] {
+    for m in [
+        MonthStamp::new(2012, 6),
+        MonthStamp::new(2018, 6),
+        MonthStamp::new(2023, 9),
+    ] {
         let table = w.pfx2as_at(m);
         let back = PfxToAs::parse(&table.to_text()).expect("own output parses");
         assert_eq!(back.len(), table.len(), "{m}");
@@ -127,8 +135,8 @@ fn cert_scans_roundtrip() {
 fn top_sites_roundtrip() {
     let w = world();
     for list in &w.top_sites {
-        let back = lacnet::webmeas::CountryTopSites::from_json(&list.to_json())
-            .expect("own JSON parses");
+        let back =
+            lacnet::webmeas::CountryTopSites::from_json(&list.to_json()).expect("own JSON parses");
         assert_eq!(&back, list);
     }
 }

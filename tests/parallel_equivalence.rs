@@ -1,0 +1,95 @@
+//! The parallel paths are pure speed: byte-identical output to the
+//! serial reference implementations, and each pfx2as month derived at
+//! most once per process no matter how many sweeps race for it.
+
+use lacnet::core::{experiments, extensions, render};
+use lacnet::crisis::{World, WorldConfig};
+use lacnet::types::MonthStamp;
+use std::sync::OnceLock;
+
+/// World generation takes seconds; the test binary builds one and shares
+/// it across every test in the file.
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::generate(WorldConfig::test()))
+}
+
+#[test]
+fn parallel_battery_matches_serial_byte_for_byte() {
+    let world = world();
+    let parallel = experiments::all(world);
+    let serial = experiments::all_serial(world);
+    assert_eq!(parallel.len(), serial.len());
+    // Structured equality first (better failure messages) …
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert_eq!(p.id, s.id, "battery order must be paper order");
+        assert_eq!(p, s, "{} diverged between parallel and serial runs", p.id);
+    }
+    // … then the rendered report, the actual published byte stream.
+    let render_all = |results: &[lacnet::core::ExperimentResult]| -> String {
+        results.iter().map(render::render_result).collect()
+    };
+    assert_eq!(render_all(&parallel), render_all(&serial));
+}
+
+#[test]
+fn parallel_extensions_match_serial() {
+    let world = world();
+    let parallel = extensions::all(world);
+    let serial = vec![
+        extensions::ext_blackouts(world),
+        extensions::ext_inference(world),
+        extensions::ext_network_split(world),
+    ];
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn cached_pfx2as_matches_fresh_compute() {
+    let world = world();
+    for m in [
+        MonthStamp::new(2008, 1),
+        MonthStamp::new(2016, 6),
+        MonthStamp::new(2023, 7),
+        world.config.end,
+    ] {
+        assert_eq!(
+            world.pfx2as_at(m).to_text(),
+            world.pfx2as_uncached(m).to_text(),
+            "cached table for {m} must equal a fresh derivation"
+        );
+    }
+    // A month outside the topology window: both paths agree it is empty.
+    let outside = MonthStamp::new(1990, 1);
+    assert!(world.pfx2as_at(outside).is_empty());
+    assert!(world.pfx2as_uncached(outside).is_empty());
+}
+
+#[test]
+fn pfx2as_months_compute_at_most_once_across_sweeps() {
+    let world = world();
+    // Drive the two heavy pfx2as consumers concurrently, twice each.
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| experiments::fig02_address_space::run(world));
+            s.spawn(|| experiments::fig14_prefix_heatmap::run(world));
+        }
+    });
+    let after_first = world.pfx2as_computations();
+    // The union of both figures' windows is bounded by the full pfx2as
+    // window — more computations than distinct months would mean
+    // duplicate work. The other tests in this binary share the world and
+    // touch a handful of months of their own (one outside the window),
+    // hence the small slack.
+    let window_months = lacnet::crisis::config::windows::pfx2as_start()
+        .through(world.config.end)
+        .count();
+    assert!(
+        after_first <= window_months + 8,
+        "{after_first} computations for a {window_months}-month window"
+    );
+    // Re-running the same sweeps adds no computations at all.
+    experiments::fig02_address_space::run(world);
+    experiments::fig14_prefix_heatmap::run(world);
+    assert_eq!(world.pfx2as_computations(), after_first);
+}

@@ -22,7 +22,11 @@ fn every_ve_eyeball_exists_in_every_dataset() {
     let table = w.pfx2as_at(m);
     for op in w.operators.eyeballs(country::VE) {
         // In the topology…
-        assert!(graph.contains(op.asn), "AS{} missing from topology", op.asn.raw());
+        assert!(
+            graph.contains(op.asn),
+            "AS{} missing from topology",
+            op.asn.raw()
+        );
         // …announcing address space…
         assert!(
             !table.prefixes_of(op.asn).is_empty(),
@@ -47,7 +51,11 @@ fn every_ve_eyeball_exists_in_every_dataset() {
 #[test]
 fn announced_space_never_exceeds_allocated() {
     let w = world();
-    for m in [MonthStamp::new(2010, 1), MonthStamp::new(2017, 1), MonthStamp::new(2023, 12)] {
+    for m in [
+        MonthStamp::new(2010, 1),
+        MonthStamp::new(2017, 1),
+        MonthStamp::new(2023, 12),
+    ] {
         let table = w.pfx2as_at(m);
         for op in w.operators.in_country(country::VE) {
             let announced = table.address_space_of(op.asn);
@@ -69,10 +77,7 @@ fn all_announced_origins_reach_collectors() {
     let table = w.pfx2as_at(m);
     let sim = RouteSim::new(graph);
     let collectors = TopologyBuilder::collectors();
-    let origins: BTreeSet<Asn> = table
-        .iter()
-        .flat_map(|(_, o)| o.asns().to_vec())
-        .collect();
+    let origins: BTreeSet<Asn> = table.iter().flat_map(|(_, o)| o.asns().to_vec()).collect();
     for origin in origins {
         let vis = sim.propagate(origin).visibility(&collectors);
         assert!(vis > 0.0, "AS{} in pfx2as but invisible", origin.raw());
@@ -82,7 +87,13 @@ fn all_announced_origins_reach_collectors() {
 #[test]
 fn probe_hosts_are_real_operators_or_access_tail() {
     let w = world();
-    for probe in w.dns.probes.all().iter().filter(|p| p.country == country::VE) {
+    for probe in w
+        .dns
+        .probes
+        .all()
+        .iter()
+        .filter(|p| p.country == country::VE)
+    {
         assert!(
             w.operators.by_asn(probe.asn).is_some(),
             "probe {} hosted by unknown AS{}",
@@ -138,7 +149,11 @@ fn the_state_never_loses_the_lead() {
     let pops = w.operators.populations();
     let ranked = pops.ranked(country::VE);
     assert_eq!(ranked[0].0, Asn(8048));
-    for m in [MonthStamp::new(2010, 1), MonthStamp::new(2016, 1), MonthStamp::new(2023, 12)] {
+    for m in [
+        MonthStamp::new(2010, 1),
+        MonthStamp::new(2016, 1),
+        MonthStamp::new(2023, 12),
+    ] {
         let table = w.pfx2as_at(m);
         let cantv = table.address_space_of(Asn(8048));
         for op in w.operators.eyeballs(country::VE) {
@@ -152,7 +167,13 @@ fn the_state_never_loses_the_lead() {
         }
     }
     // And the registry view agrees.
-    let cantv_alloc = w.addressing.ledger().space_of_holder(Asn(8048), Date::ymd(2024, 1, 1));
-    let telefonica_alloc = w.addressing.ledger().space_of_holder(Asn(6306), Date::ymd(2024, 1, 1));
+    let cantv_alloc = w
+        .addressing
+        .ledger()
+        .space_of_holder(Asn(8048), Date::ymd(2024, 1, 1));
+    let telefonica_alloc = w
+        .addressing
+        .ledger()
+        .space_of_holder(Asn(6306), Date::ymd(2024, 1, 1));
     assert!(cantv_alloc > telefonica_alloc);
 }

@@ -1,0 +1,340 @@
+//! A small, dependency-free benchmark harness exposing the subset of the
+//! `criterion` crate API this workspace uses.
+//!
+//! The workspace builds fully offline, so the real `criterion` is replaced
+//! by this vendored shim: same macro grammar (`criterion_group!` /
+//! `criterion_main!`), same `Criterion` / group / `Bencher` call surface,
+//! with wall-clock timing via `std::time::Instant` and plain-text output.
+//!
+//! CLI flags (passed after `--` with `cargo bench`):
+//!
+//! * `--quick` — run every target with `sample_size = 10`
+//! * `--sample-size N` — override the sample count everywhere
+//! * any bare argument — substring filter on benchmark ids
+//! * `--bench` / `--test` (emitted by cargo) — ignored
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How a group scales its reported per-iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterised benchmark id, printed as `label/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a label and a displayable parameter.
+    pub fn new(label: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{label}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Anything accepted as a benchmark id.
+pub trait IntoBenchmarkId {
+    /// The id's display string.
+    fn into_id_string(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id_string(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id_string(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id_string(self) -> String {
+        self.label
+    }
+}
+
+/// Runtime options parsed from the command line.
+#[derive(Debug, Clone, Default)]
+struct CliOptions {
+    quick: bool,
+    sample_size: Option<usize>,
+    filter: Option<String>,
+}
+
+fn cli_options() -> CliOptions {
+    let mut opts = CliOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--sample-size" => {
+                opts.sample_size = args.next().and_then(|v| v.parse().ok());
+            }
+            "--bench" | "--test" | "--noplot" => {}
+            other if other.starts_with("--") => {
+                // Unknown criterion flag — ignored for compatibility.
+            }
+            other => opts.filter = Some(other.to_owned()),
+        }
+    }
+    opts
+}
+
+/// The benchmark manager. Mirrors `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    options: CliOptions,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            options: cli_options(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn effective_samples(&self, group_override: Option<usize>) -> usize {
+        if let Some(n) = self.options.sample_size {
+            return n.max(1);
+        }
+        if self.options.quick {
+            return 10;
+        }
+        group_override.unwrap_or(self.sample_size).max(1)
+    }
+
+    fn matches_filter(&self, id: &str) -> bool {
+        match &self.options.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id_string();
+        if self.matches_filter(&id) {
+            run_benchmark(&id, self.effective_samples(None), None, &mut f);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks. Mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Set the throughput used to scale reported times.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_id_string());
+        if self.criterion.matches_filter(&id) {
+            run_benchmark(
+                &id,
+                self.criterion.effective_samples(self.sample_size),
+                self.throughput,
+                &mut f,
+            );
+        }
+        self
+    }
+
+    /// Finish the group (no-op; parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    requested: usize,
+}
+
+impl Bencher {
+    /// Measure `routine` once per sample, `black_box`-ing its output.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One warm-up iteration outside the measurements.
+        std::hint::black_box(routine());
+        for _ in 0..self.requested {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F>(id: &str, samples: usize, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(samples),
+        requested: samples,
+    };
+    f(&mut bencher);
+    let mut times = bencher.samples;
+    if times.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let max = times[times.len() - 1];
+    let mut line = format!(
+        "{id:<50} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(median),
+        format_duration(max)
+    );
+    if let Some(t) = throughput {
+        let per_sec = |unit: u64| unit as f64 / median.as_secs_f64();
+        match t {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(
+                    " thrpt: {:.1} MiB/s",
+                    per_sec(n) / (1024.0 * 1024.0)
+                ));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!(" thrpt: {:.0} elem/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group. Supports both the plain and struct-style
+/// forms of the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("smoke/add", |b| b.iter(|| 2u64 + 2));
+        let mut group = c.benchmark_group("smoke_group");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::new("sum", 4), |b| {
+            b.iter(|| (0u64..4).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_everything() {
+        let mut c = Criterion {
+            sample_size: 3,
+            options: CliOptions::default(),
+        };
+        target(&mut c);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

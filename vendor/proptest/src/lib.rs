@@ -1,0 +1,476 @@
+//! A small, dependency-free property-testing harness exposing the subset
+//! of the `proptest` crate API this workspace uses.
+//!
+//! The workspace builds fully offline, so the real `proptest` (with its
+//! tree of transitive dependencies) is replaced by this vendored shim:
+//! same macro grammar (`proptest! { fn f(x in strategy) { .. } }`), same
+//! strategy combinators (`any`, ranges, `collection::vec`,
+//! `collection::btree_map`, tuples, `prop_map`), same assertion macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message (all strategies used here produce `Debug`
+//!   values via plain binding patterns).
+//! * **Deterministic seeding.** Each test derives its RNG seed from its
+//!   own name, so runs are reproducible without a persistence file.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Test-case configuration and the deterministic RNG.
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 — deterministic, seedable, and plenty for test-case
+    /// generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from an arbitrary label (the property's name) via FNV-1a,
+        /// so every property gets a distinct, stable stream.
+        pub fn deterministic(label: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform integer in `[lo, hi)` (as i128 to cover every primitive
+        /// integer range used in strategies).
+        pub fn below_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            let span = (hi - lo) as u128;
+            if span == 0 {
+                return lo;
+            }
+            let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            lo + (wide % span) as i128
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+}
+
+pub use strategy::Strategy;
+
+/// Marker strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The "any value of `T`" strategy.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(PhantomData)
+}
+
+macro_rules! impl_any_uint {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.below_i128(self.start as i128, self.end as i128) as $ty
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    rng.below_i128(lo as i128, hi as i128 + 1) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Include the upper bound by rounding the top of the unit interval.
+        let t = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        self.start() + t * (self.end() - self.start())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A collection size range, convertible from the usual range forms.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.below_i128(self.lo as i128, self.hi_exclusive.max(self.lo + 1) as i128) as usize
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<Range<i32>> for SizeRange {
+        fn from(r: Range<i32>) -> Self {
+            SizeRange {
+                lo: r.start as usize,
+                hi_exclusive: r.end as usize,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The result of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap`s. Duplicate keys collapse, so generated
+    /// maps may be smaller than the drawn size — same as real proptest.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// The result of [`btree_map`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Always-the-same-value strategy (rarely needed; parity with proptest).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: Strategy> Strategy for &T {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (*self).generate(rng)
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just};
+}
+
+/// Assert a condition inside a property; panics with the condition text.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Define property tests. Accepts the standard grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..100, ref_vec in collection::vec(any::<u8>(), 0..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = (<$crate::test_runner::Config as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..config.cases {
+                    let ($($pat,)+) = (
+                        $( $crate::strategy::Strategy::generate(&($strat), &mut rng), )+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(10u8..=20), &mut rng);
+            assert!((10..=20).contains(&v));
+            let v = Strategy::generate(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&v));
+            let f = Strategy::generate(&(0.0f64..=1.0), &mut rng);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn collections_and_maps_generate() {
+        let mut rng = crate::test_runner::TestRng::deterministic("coll");
+        let v = Strategy::generate(&collection::vec(any::<u32>(), 3..7), &mut rng);
+        assert!((3..7).contains(&v.len()));
+        let m = Strategy::generate(
+            &collection::btree_map(0i32..100, any::<u64>(), 0..20),
+            &mut rng,
+        );
+        assert!(m.len() < 20);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn the_macro_itself_works(x in 1u32..50, mut v in collection::vec(0i32..10, 0..5)) {
+            v.push(x as i32);
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(v[v.len() - 1], x as i32, "pushed value {}", x);
+        }
+    }
+}
