@@ -10,7 +10,7 @@ use crate::anycast::{AnycastFleet, AnycastSite, SiteScope};
 use crate::chaos;
 use crate::probes::{ProbeId, ProbeRegistry};
 use crate::roots::{RootDeployment, RootInstance, RootLetter};
-use lacnet_types::{CountryCode, MonthStamp, TimeSeries};
+use lacnet_types::{sweep, CountryCode, MonthStamp, TimeSeries};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One CHAOS TXT response as the platform would archive it.
@@ -65,6 +65,8 @@ impl<'a> ChaosCampaign<'a> {
     }
 
     /// Run one monthly round: every active probe queries every letter.
+    /// Payloads are encoded once per active instance, not once per probe
+    /// — the generation-side half of the batched-decoding contract.
     pub fn run_month(&self, month: MonthStamp) -> Vec<ChaosObservation> {
         let mut out = Vec::new();
         for letter in RootLetter::ALL {
@@ -72,15 +74,18 @@ impl<'a> ChaosCampaign<'a> {
             if fleet.is_empty() {
                 continue;
             }
+            let txt_by_id: BTreeMap<&str, String> = by_id
+                .iter()
+                .map(|(id, inst)| (id.as_str(), chaos::encode(inst)))
+                .collect();
             for probe in self.probes.active_in(month) {
                 if let Some(site) = fleet.catch(probe) {
-                    let inst = by_id[&site.id];
                     out.push(ChaosObservation {
                         month,
                         probe: probe.id,
                         probe_country: probe.country,
                         letter,
-                        txt: chaos::encode(inst),
+                        txt: txt_by_id[site.id.as_str()].clone(),
                     });
                 }
             }
@@ -93,22 +98,44 @@ impl<'a> ChaosCampaign<'a> {
 /// identities seen per hosting country — the per-month datum of Fig. 6.
 /// Responses that fail to decode or resolve to no country are dropped
 /// (as the paper's regex pipeline drops unmappable strings).
+///
+/// Decoding is batched through [`chaos::BatchDecoder`]: each distinct
+/// `(letter, txt)` payload in the round runs the grammar walk, airport
+/// lookup and identity rendering once, however many probes returned it.
 pub fn replicas_by_country(
     observations: &[ChaosObservation],
 ) -> BTreeMap<CountryCode, BTreeSet<String>> {
+    let mut batch = chaos::BatchDecoder::new();
     let mut out: BTreeMap<CountryCode, BTreeSet<String>> = BTreeMap::new();
     for obs in observations {
-        if let Ok(site_ref) = chaos::decode(obs.letter, &obs.txt) {
-            if let Some(cc) = site_ref.country() {
-                out.entry(cc).or_default().insert(site_ref.identity());
+        if let Some(decoded) = batch.decode(obs.letter, &obs.txt) {
+            if let Some(cc) = decoded.country {
+                out.entry(cc).or_default().insert(decoded.identity.clone());
             }
         }
     }
     out
 }
 
+/// Per-month unique-replica counts per hosting country, folded into
+/// country time series. The month results arrive in chronological order,
+/// so each series is built by in-order inserts — identical to the serial
+/// month loop this replaces.
+fn fold_monthly_counts(
+    monthly: Vec<(MonthStamp, BTreeMap<CountryCode, BTreeSet<String>>)>,
+) -> BTreeMap<CountryCode, TimeSeries> {
+    let mut out: BTreeMap<CountryCode, TimeSeries> = BTreeMap::new();
+    for (m, per_country) in monthly {
+        for (cc, replicas) in per_country {
+            out.entry(cc).or_default().insert(m, replicas.len() as f64);
+        }
+    }
+    out
+}
+
 /// Monthly unique-replica counts for each country over `[start, end]` —
-/// the Fig. 6 lines (and, summed, its regional panel).
+/// the Fig. 6 lines (and, summed, its regional panel). Months run on
+/// sweep workers, each round decoded in one batch.
 pub fn replica_count_series(
     probes: &ProbeRegistry,
     deployment: &RootDeployment,
@@ -116,14 +143,9 @@ pub fn replica_count_series(
     end: MonthStamp,
 ) -> BTreeMap<CountryCode, TimeSeries> {
     let campaign = ChaosCampaign::new(probes, deployment);
-    let mut out: BTreeMap<CountryCode, TimeSeries> = BTreeMap::new();
-    for m in start.through(end) {
-        let obs = campaign.run_month(m);
-        for (cc, replicas) in replicas_by_country(&obs) {
-            out.entry(cc).or_default().insert(m, replicas.len() as f64);
-        }
-    }
-    out
+    fold_monthly_counts(sweep::month_range(start, end, |m| {
+        replicas_by_country(&campaign.run_month(m))
+    }))
 }
 
 /// The Fig. 16 heatmap: from the probes of `vantage_country`, how many
@@ -136,18 +158,14 @@ pub fn origin_heatmap(
     end: MonthStamp,
 ) -> BTreeMap<CountryCode, TimeSeries> {
     let campaign = ChaosCampaign::new(probes, deployment);
-    let mut out: BTreeMap<CountryCode, TimeSeries> = BTreeMap::new();
-    for m in start.through(end) {
+    fold_monthly_counts(sweep::month_range(start, end, |m| {
         let obs: Vec<ChaosObservation> = campaign
             .run_month(m)
             .into_iter()
             .filter(|o| o.probe_country == vantage_country)
             .collect();
-        for (cc, replicas) in replicas_by_country(&obs) {
-            out.entry(cc).or_default().insert(m, replicas.len() as f64);
-        }
-    }
-    out
+        replicas_by_country(&obs)
+    }))
 }
 
 #[cfg(test)]

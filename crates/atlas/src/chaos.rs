@@ -267,6 +267,61 @@ pub fn decode(letter: RootLetter, txt: &str) -> Result<SiteRef> {
     }
 }
 
+/// A fully resolved CHAOS payload, as the batch decoder serves it: the
+/// site reference plus its precomputed geolocation and identity string,
+/// so per-probe consumers do no further allocation or airport lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedSite {
+    /// The decoded site reference.
+    pub site: SiteRef,
+    /// `site.country()`, resolved once per distinct payload.
+    pub country: Option<CountryCode>,
+    /// `site.identity()`, rendered once per distinct payload.
+    pub identity: String,
+}
+
+/// Memoizing batch decoder over CHAOS payloads.
+///
+/// A monthly round carries thousands of observations but only as many
+/// *distinct* `(letter, txt)` payloads as there are active root
+/// instances, so decoding (grammar walk, airport lookup, identity
+/// rendering) per probe is pure waste. The decoder runs the full decode
+/// pipeline once per distinct payload within a batch and serves every
+/// repeat from the memo; undecodable payloads memoize as `None`.
+#[derive(Debug, Default)]
+pub struct BatchDecoder<'a> {
+    memo: std::collections::BTreeMap<(RootLetter, &'a str), Option<DecodedSite>>,
+}
+
+impl<'a> BatchDecoder<'a> {
+    /// An empty decoder; the memo lives as long as the batch it borrows
+    /// payloads from.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decode `(letter, txt)`, serving repeats from the memo. `None`
+    /// means the payload is unmappable (decode failure).
+    pub fn decode(&mut self, letter: RootLetter, txt: &'a str) -> Option<&DecodedSite> {
+        self.memo
+            .entry((letter, txt))
+            .or_insert_with(|| {
+                decode(letter, txt).ok().map(|site| DecodedSite {
+                    country: site.country(),
+                    identity: site.identity(),
+                    site,
+                })
+            })
+            .as_ref()
+    }
+
+    /// How many distinct payloads have been decoded (including
+    /// unmappable ones) — the number of grammar walks actually run.
+    pub fn unique_payloads(&self) -> usize {
+        self.memo.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +419,23 @@ mod tests {
         }
         // Wrong-letter shapes must not decode.
         assert!(decode(RootLetter::F, "ccs01.l.root-servers.org").is_err());
+    }
+
+    #[test]
+    fn batch_decoder_memoizes_distinct_payloads() {
+        let mut batch = BatchDecoder::new();
+        let txt = "ccs01.l.root-servers.org";
+        let first = batch.decode(RootLetter::L, txt).unwrap().clone();
+        let reference = decode(RootLetter::L, txt).unwrap();
+        assert_eq!(first.site, reference);
+        assert_eq!(first.country, reference.country());
+        assert_eq!(first.identity, reference.identity());
+        // Repeats and failures are served from the memo.
+        for _ in 0..10 {
+            assert_eq!(batch.decode(RootLetter::L, txt), Some(&first));
+            assert!(batch.decode(RootLetter::L, "garbage").is_none());
+        }
+        assert_eq!(batch.unique_payloads(), 2);
         assert!(decode(RootLetter::L, "ccs1a.f.root-servers.org").is_err());
         // Bad country hint.
         assert!(decode(RootLetter::L, "aa.v1-mai.l.root").is_err());

@@ -1,5 +1,6 @@
 //! Serial-vs-parallel and cached-vs-uncached ablations for the sweep
-//! engine and the pfx2as snapshot cache.
+//! engine, the pfx2as snapshot cache, the customer-cone cache and the
+//! sharded NDT archive build.
 //!
 //! The serial and parallel sweeps are asserted byte-identical before any
 //! timing starts, so the speedup numbers compare equal outputs.
@@ -67,9 +68,75 @@ fn bench_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// CANTV's cone-size series across the topology: the fresh per-month
+/// graph walk vs the world's `ConeCache` (warmed by the first call).
+fn bench_cone(c: &mut Criterion) {
+    let world: &World = bench_world();
+    let cantv = lacnet_types::Asn(8048);
+    assert_eq!(
+        world.cone_size_series(cantv),
+        lacnet_bgp::analytics::cone_size_series(&world.topology, cantv),
+        "cached cone series must equal the fresh analytics walk"
+    );
+    let mut group = c.benchmark_group("cone");
+    group.sample_size(10);
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            black_box(lacnet_bgp::analytics::cone_size_series(
+                &world.topology,
+                cantv,
+            ))
+        })
+    });
+    group.bench_function("cached", |b| {
+        b.iter(|| black_box(world.cone_size_series(cantv)))
+    });
+    group.finish();
+}
+
+/// The NDT archive build over a one-year window: the in-order serial
+/// shard walk vs the sweep-engine fan-out (byte-identical by contract).
+fn bench_ndt_shard(c: &mut Criterion) {
+    use lacnet_crisis::bandwidth;
+    let world: &World = bench_world();
+    let (ops, seed) = (&world.operators, world.config.seed);
+    let scale = world.config.mlab_volume_scale;
+    let serial = bandwidth::build_archive_serial(ops, seed, scale, SWEEP_START, SWEEP_END);
+    assert_eq!(
+        bandwidth::build_archive(ops, seed, scale, SWEEP_START, SWEEP_END),
+        serial,
+        "sharded archive build must be byte-identical to the serial walk"
+    );
+    let mut group = c.benchmark_group("ndt_shard");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            black_box(bandwidth::build_archive_serial(
+                ops,
+                seed,
+                scale,
+                SWEEP_START,
+                SWEEP_END,
+            ))
+        })
+    });
+    group.bench_function("sharded", |b| {
+        b.iter(|| {
+            black_box(bandwidth::build_archive(
+                ops,
+                seed,
+                scale,
+                SWEEP_START,
+                SWEEP_END,
+            ))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = parallel;
     config = Criterion::default();
-    targets = bench_sweep, bench_cache
+    targets = bench_sweep, bench_cache, bench_cone, bench_ndt_shard
 );
 criterion_main!(parallel);

@@ -5,6 +5,7 @@
 //! providers served CANTV in which months, restricted to providers present
 //! for at least twelve months).
 
+use crate::cone::ConeCache;
 use crate::store::TopologyArchive;
 use lacnet_types::{Asn, MonthStamp, TimeSeries};
 use std::collections::BTreeMap;
@@ -22,6 +23,40 @@ pub fn downstream_series(archive: &TopologyArchive, asn: Asn) -> TimeSeries {
     archive
         .iter()
         .map(|(m, g)| (m, g.downstream_count(asn) as f64))
+        .collect()
+}
+
+/// Monthly size of the customer cone of `asn` — AS-rank's transit-size
+/// metric, the quantity behind the Fig. 8 degree narrative. This is the
+/// serial reference; [`cone_size_series_cached`] is the memoized path.
+pub fn cone_size_series(archive: &TopologyArchive, asn: Asn) -> TimeSeries {
+    archive
+        .iter()
+        .map(|(m, g)| (m, g.customer_cone(asn).len() as f64))
+        .collect()
+}
+
+/// [`cone_size_series`] served through a [`ConeCache`]: identical output,
+/// but each `(month, asn)` cone walks the graph at most once per process
+/// however many analytics share the cache.
+pub fn cone_size_series_cached(
+    archive: &TopologyArchive,
+    asn: Asn,
+    cache: &ConeCache,
+) -> TimeSeries {
+    archive
+        .iter()
+        .map(|(m, g)| (m, cache.cone(m, g, asn).len() as f64))
+        .collect()
+}
+
+/// Monthly transit degree of `asn`: distinct transit neighbours, i.e.
+/// providers plus customers — the cone-adjacent analytic the Fig. 8/9
+/// exodus story reads alongside cone size.
+pub fn transit_degree_series(archive: &TopologyArchive, asn: Asn) -> TimeSeries {
+    archive
+        .iter()
+        .map(|(m, g)| (m, (g.upstream_count(asn) + g.downstream_count(asn)) as f64))
         .collect()
 }
 
@@ -173,6 +208,24 @@ mod tests {
         // Absent AS: all-zero series, not missing months.
         let up = upstream_series(&arch, Asn(99999));
         assert_eq!(up.get(m(2013, 2)), Some(0.0));
+    }
+
+    #[test]
+    fn cone_and_transit_degree_series() {
+        let arch = toy_archive();
+        let cones = cone_size_series(&arch, Asn(8048));
+        // Month 1: {8048, 27889}; month 3: {8048, 27889, 21826}.
+        assert_eq!(cones.get(m(2013, 1)), Some(2.0));
+        assert_eq!(cones.get(m(2013, 3)), Some(3.0));
+        let cache = ConeCache::new();
+        assert_eq!(cone_size_series_cached(&arch, Asn(8048), &cache), cones);
+        assert_eq!(cache.computations(), 3);
+        // Serving the series again is pure cache hits.
+        assert_eq!(cone_size_series_cached(&arch, Asn(8048), &cache), cones);
+        assert_eq!(cache.computations(), 3);
+        let deg = transit_degree_series(&arch, Asn(8048));
+        assert_eq!(deg.get(m(2013, 1)), Some(3.0));
+        assert_eq!(deg.get(m(2013, 3)), Some(4.0));
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Shared memoization of customer cones across sweep workers.
+//!
+//! The Fig. 8/9 analytics walk [`AsGraph::customer_cone`] for the same
+//! `(month, asn)` pairs from many places — degree panels, transit
+//! heatmaps, prewarming, dataset export — and, under
+//! `lacnet_types::sweep`, from many racing worker threads at once.
+//! [`ConeCache`] memoizes each cone the same way the crisis crate's
+//! `SnapshotCache` memoizes pfx2as tables: a slot map under a read-write
+//! lock, with a `OnceLock` per key so each cone BFS runs **at most once
+//! per process** no matter how many workers ask for it concurrently.
+//! Distinct keys still compute in parallel.
+
+use crate::graph::AsGraph;
+use lacnet_types::{Asn, MonthStamp};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Thread-safe, compute-at-most-once cache of customer cones keyed by
+/// `(month, asn)`.
+#[derive(Default)]
+pub struct ConeCache {
+    #[allow(clippy::type_complexity)]
+    slots: RwLock<BTreeMap<(MonthStamp, Asn), Arc<OnceLock<Arc<BTreeSet<Asn>>>>>>,
+    computations: AtomicUsize,
+}
+
+impl ConeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The customer cone of `asn` in `graph` (the snapshot for `month`),
+    /// computing it on first use and serving the shared result afterwards.
+    ///
+    /// The caller vouches that `graph` *is* the `month` snapshot — the
+    /// cache keys on the month stamp, not the graph contents, exactly as
+    /// the pfx2as `SnapshotCache` keys on the month of the table it
+    /// derives.
+    pub fn cone(&self, month: MonthStamp, graph: &AsGraph, asn: Asn) -> Arc<BTreeSet<Asn>> {
+        self.get_or_compute(month, asn, || graph.customer_cone(asn))
+    }
+
+    /// The cone for `(month, asn)`, computing it with `compute` on first
+    /// use.
+    pub fn get_or_compute(
+        &self,
+        month: MonthStamp,
+        asn: Asn,
+        compute: impl FnOnce() -> BTreeSet<Asn>,
+    ) -> Arc<BTreeSet<Asn>> {
+        let key = (month, asn);
+        let slot = {
+            let slots = self.slots.read().expect("cone cache lock poisoned");
+            slots.get(&key).cloned()
+        };
+        let slot = match slot {
+            Some(slot) => slot,
+            None => {
+                let mut slots = self.slots.write().expect("cone cache lock poisoned");
+                slots.entry(key).or_default().clone()
+            }
+        };
+        slot.get_or_init(|| {
+            self.computations.fetch_add(1, Ordering::Relaxed);
+            Arc::new(compute())
+        })
+        .clone()
+    }
+
+    /// How many cones have actually been computed (not served from cache)
+    /// so far.
+    pub fn computations(&self) -> usize {
+        self.computations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relationship::{AsRelationship, RelEdge};
+    use lacnet_types::sweep;
+
+    fn chain_graph() -> AsGraph {
+        // 1 → 2 → 3 (p2c chain): cone(1) = {1,2,3}.
+        AsGraph::from_edges([
+            RelEdge {
+                a: Asn(1),
+                b: Asn(2),
+                rel: AsRelationship::ProviderToCustomer,
+            },
+            RelEdge {
+                a: Asn(2),
+                b: Asn(3),
+                rel: AsRelationship::ProviderToCustomer,
+            },
+        ])
+    }
+
+    #[test]
+    fn serves_identical_cones_and_computes_once() {
+        let g = chain_graph();
+        let cache = ConeCache::new();
+        let m = MonthStamp::new(2020, 1);
+        let first = cache.cone(m, &g, Asn(1));
+        assert_eq!(*first, g.customer_cone(Asn(1)));
+        let again = cache.cone(m, &g, Asn(1));
+        assert!(Arc::ptr_eq(&first, &again), "second hit shares the Arc");
+        assert_eq!(cache.computations(), 1);
+        // A different month or AS is a different key.
+        cache.cone(MonthStamp::new(2020, 2), &g, Asn(1));
+        cache.cone(m, &g, Asn(2));
+        assert_eq!(cache.computations(), 3);
+    }
+
+    #[test]
+    fn unknown_as_behaves_like_the_graph() {
+        let g = chain_graph();
+        let cache = ConeCache::new();
+        let m = MonthStamp::new(2020, 1);
+        assert_eq!(
+            *cache.cone(m, &g, Asn(999)),
+            BTreeSet::from([Asn(999)]),
+            "unknown AS cones are the singleton, as customer_cone defines"
+        );
+    }
+
+    #[test]
+    fn racing_workers_compute_each_key_once() {
+        let g = chain_graph();
+        let cache = ConeCache::new();
+        let m = MonthStamp::new(2020, 1);
+        let hits: Vec<Asn> = (0..64).map(|i| Asn(1 + (i % 2))).collect();
+        let cones = sweep::parallel_map_with(8, &hits, |&asn| cache.cone(m, &g, asn));
+        for (asn, cone) in hits.iter().zip(&cones) {
+            assert_eq!(**cone, g.customer_cone(*asn));
+        }
+        assert_eq!(cache.computations(), 2, "two distinct keys, two BFS runs");
+    }
+}

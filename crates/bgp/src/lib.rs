@@ -25,6 +25,7 @@
 mod proptests;
 
 pub mod analytics;
+pub mod cone;
 pub mod graph;
 pub mod inference;
 pub mod paths;
@@ -34,6 +35,7 @@ pub mod relationship;
 pub mod serial1;
 pub mod store;
 
+pub use cone::ConeCache;
 pub use graph::AsGraph;
 pub use paths::{PathOutcome, PathRoute};
 pub use pfx2as::{OriginSet, PfxToAs};

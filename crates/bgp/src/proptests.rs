@@ -6,11 +6,12 @@
 
 #![cfg(test)]
 
+use crate::cone::ConeCache;
 use crate::graph::AsGraph;
 use crate::paths::PathOutcome;
 use crate::propagation::{RouteKind, RouteSim};
 use crate::relationship::RelEdge;
-use lacnet_types::Asn;
+use lacnet_types::{Asn, MonthStamp};
 use proptest::prelude::*;
 
 /// Strategy: a random 3-layer hierarchy. Tier-1s form a full peering
@@ -40,6 +41,25 @@ fn hierarchy_strategy() -> impl Strategy<Value = AsGraph> {
             for k in 0..n_prov {
                 let p = t2[(rng.below(t2.len() as u64) as usize + k) % t2.len()];
                 edges.push(RelEdge::transit(p, c));
+            }
+        }
+        AsGraph::from_edges(edges)
+    })
+}
+
+/// Strategy: an *arbitrary* transit digraph — random p2c edges over a
+/// small ASN pool, cycles very much allowed. The cone analytics must
+/// behave identically cached and fresh even off the valley-free happy
+/// path.
+fn tangled_strategy() -> impl Strategy<Value = AsGraph> {
+    (2u32..12, 1usize..40, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut rng = lacnet_types::rng::Rng::seeded(seed);
+        let mut edges = Vec::new();
+        for _ in 0..m {
+            let a = Asn(1 + rng.below(n as u64) as u32);
+            let b = Asn(1 + rng.below(n as u64) as u32);
+            if a != b {
+                edges.push(RelEdge::transit(a, b));
             }
         }
         AsGraph::from_edges(edges)
@@ -165,5 +185,48 @@ proptest! {
         let text = crate::serial1::to_text(&g.edges(), "proptest");
         let back = AsGraph::from_edges(crate::serial1::parse(&text).unwrap());
         prop_assert_eq!(back.edges(), g.edges());
+    }
+
+    #[test]
+    fn cone_cache_equals_fresh_computation(g in hierarchy_strategy()) {
+        // Every AS (plus one unknown) served by the cache matches a fresh
+        // `customer_cone`, each key computes exactly once, and repeats
+        // stay served from the memo.
+        let cache = ConeCache::new();
+        let month = MonthStamp::new(2020, 1);
+        let mut asns: Vec<Asn> = g.asns().collect();
+        asns.push(Asn(999_999)); // unknown to the graph
+        for &asn in &asns {
+            prop_assert_eq!((*cache.cone(month, &g, asn)).clone(), g.customer_cone(asn));
+        }
+        prop_assert_eq!(cache.computations(), asns.len());
+        for &asn in &asns {
+            prop_assert_eq!((*cache.cone(month, &g, asn)).clone(), g.customer_cone(asn));
+        }
+        prop_assert_eq!(cache.computations(), asns.len(), "repeats are memo hits");
+    }
+
+    #[test]
+    fn cone_cache_handles_cycles_and_unknowns(g in tangled_strategy()) {
+        // On arbitrary (possibly cyclic) transit digraphs the cached cone
+        // still terminates, contains the root, stays within the node set,
+        // and equals the fresh walk — and unknown ASes yield singletons on
+        // both paths.
+        let cache = ConeCache::new();
+        let month = MonthStamp::new(2021, 6);
+        for asn in g.asns() {
+            let fresh = g.customer_cone(asn);
+            let cached = cache.cone(month, &g, asn);
+            prop_assert!(cached.contains(&asn), "cone includes self");
+            prop_assert!(cached.iter().all(|a| g.contains(*a)));
+            prop_assert_eq!((*cached).clone(), fresh);
+        }
+        let unknown = Asn(777_777);
+        let fresh = g.customer_cone(unknown);
+        prop_assert_eq!(
+            (*cache.cone(month, &g, unknown)).clone(),
+            fresh.clone()
+        );
+        prop_assert_eq!(fresh, std::collections::BTreeSet::from([unknown]));
     }
 }

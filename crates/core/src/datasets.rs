@@ -130,23 +130,18 @@ pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
         )?;
     }
 
-    // One month of raw NDT rows (July 2023, the paper's comparison month).
-    let mut rows = String::new();
+    // One month of raw NDT rows (July 2023, the paper's comparison
+    // month), rendered by the sharded archive builder — the exported
+    // bytes are exactly the `(country, 2023-07)` shards of the same
+    // stream `world.mlab` aggregates.
     let m = MonthStamp::new(2023, 7);
-    let rng_root = Rng::seeded(world.config.seed);
-    for cc in country::lacnic_codes() {
-        let mut rng = rng_root.fork(&format!("dump/mlab/{cc}"));
-        for t in bandwidth::generate_month(
-            &world.operators,
-            cc,
-            m,
-            world.config.mlab_volume_scale,
-            &mut rng,
-        ) {
-            rows.push_str(&t.to_row());
-            rows.push('\n');
-        }
-    }
+    let rows = bandwidth::build_archive(
+        &world.operators,
+        world.config.seed,
+        world.config.mlab_volume_scale,
+        m,
+        m,
+    );
     write(root, "mlab/ndt-2023-07.tsv", &rows, &mut summary)?;
 
     // A traceroute archive sample: every Venezuelan probe's path to
@@ -220,11 +215,25 @@ pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
 
 /// Re-parse every exported file, proving the tree is consumable by the
 /// substrate parsers alone (no access to the in-memory world).
+///
+/// NDT shards are the one archive that is unbounded at real scale, so
+/// they are *streamed* through `ndt::stream_rows` into an aggregator —
+/// verification never materializes an mlab file in memory.
 pub fn verify(root: &Path) -> Result<usize> {
     let mut checked = 0usize;
     let read = |rel: &str| -> String { fs::read_to_string(root.join(rel)).unwrap_or_default() };
     let manifest = read("MANIFEST.txt");
     for rel in manifest.lines().filter(|l| !l.starts_with('#')) {
+        if rel.starts_with("mlab/") {
+            let file = fs::File::open(root.join(rel))
+                .map_err(|_| lacnet_types::Error::missing("NDT archive shard", rel))?;
+            let mut agg = lacnet_mlab::aggregate::MonthlyAggregator::new(
+                lacnet_mlab::aggregate::Mode::Streaming,
+            );
+            agg.observe_reader(io::BufReader::new(file))?;
+            checked += 1;
+            continue;
+        }
         let text = read(rel);
         if rel.starts_with("serial1/") {
             lacnet_bgp::serial1::parse(&text)?;
@@ -240,8 +249,6 @@ pub fn verify(root: &Path) -> Result<usize> {
             lacnet_offnets::CertScan::from_json(&text)?;
         } else if rel.starts_with("topsites/") {
             lacnet_webmeas::CountryTopSites::from_json(&text)?;
-        } else if rel.starts_with("mlab/") {
-            lacnet_mlab::ndt::parse_rows(&text)?;
         } else if rel.starts_with("atlas/traceroutes") {
             lacnet_atlas::traceroute::parse_traceroutes(&text)?;
         } else if rel.starts_with("atlas/") || rel == "MANIFEST.txt" {

@@ -89,6 +89,26 @@ pub fn run(world: &World) -> ExperimentResult {
                 gap > served + 24 // long dormant period in between
             },
         ),
+        {
+            // Cone cross-check via the shared ConeCache: providers sell
+            // transit *down* to CANTV, so none of the heatmap's providers
+            // may appear inside CANTV's own customer cone at the end of
+            // the window.
+            let last = world.topology.last_month().expect("non-empty archive");
+            let cone = world.customer_cone_at(last, Asn(8048));
+            let inside: Vec<&Asn> = pp.providers.iter().filter(|p| cone.contains(p)).collect();
+            Finding::claim(
+                "providers sit outside CANTV's customer cone",
+                "no heatmap provider in the final cone",
+                format!(
+                    "{} of {} inside (cone size {})",
+                    inside.len(),
+                    pp.providers.len(),
+                    cone.len()
+                ),
+                inside.is_empty(),
+            )
+        },
     ];
 
     ExperimentResult {

@@ -13,8 +13,7 @@
 use crate::artifact::{Artifact, ExperimentResult, Finding, Table};
 use lacnet_bgp::inference::{self, RelationshipInference};
 use lacnet_crisis::{bandwidth, blackouts, World};
-use lacnet_mlab::multi::{Group, Metric, MultiAggregator};
-use lacnet_types::rng::Rng;
+use lacnet_mlab::multi::{Group, Metric};
 use lacnet_types::{country, Asn, Date, MonthStamp};
 
 /// Run all extension analyses, each on its own worker thread (they are
@@ -193,21 +192,18 @@ pub fn ext_inference(world: &World) -> ExperimentResult {
     }
 }
 
-/// Venezuela's per-network download medians in July 2023.
+/// Venezuela's per-network download medians in July 2023, reduced from
+/// the sharded per-network archive build (same sweep/merge machinery as
+/// the aggregate Fig. 11 stream, at 8× volume for estimator stability).
 pub fn ext_network_split(world: &World) -> ExperimentResult {
     let m = MonthStamp::new(2023, 7);
-    let mut agg = MultiAggregator::by_asn();
-    let root = Rng::seeded(world.config.seed);
-    let mut rng = root.fork("ext/network-split");
-    for _ in 0..4 {
-        agg.observe_all(&bandwidth::generate_month_by_network(
-            &world.operators,
-            country::VE,
-            m,
-            world.config.mlab_volume_scale.max(1.0) * 2.0,
-            &mut rng,
-        ));
-    }
+    let agg = bandwidth::build_multi_aggregate(
+        &world.operators,
+        world.config.seed,
+        world.config.mlab_volume_scale.max(1.0) * 8.0,
+        m,
+        m,
+    );
 
     let med = |asn: u32| {
         agg.median_series(Group::CountryAsn(country::VE, Asn(asn)), Metric::Download)

@@ -15,9 +15,10 @@
 
 use crate::operators::Operators;
 use lacnet_mlab::aggregate::{Mode, MonthlyAggregator};
+use lacnet_mlab::multi::MultiAggregator;
 use lacnet_mlab::{NdtTest, SpeedSampler};
 use lacnet_types::rng::Rng;
-use lacnet_types::{country, CountryCode, MonthStamp, TimeSeries};
+use lacnet_types::{country, sweep, CountryCode, MonthStamp, TimeSeries};
 
 /// Median download anchors `(country, [(year, month, mbps)])`.
 /// `(country, anchor points)` where each anchor is `(year, month, Mbps)`.
@@ -469,8 +470,52 @@ pub fn generate_month_by_network(
     out
 }
 
+/// One unit of the sharded NDT build: a `(country, month)` cell of the
+/// archive. [`shard_plan`] fixes the order the merge step follows.
+pub type NdtShard = (CountryCode, MonthStamp);
+
+/// The full shard plan for a window: every LACNIC country crossed with
+/// every month of `[start, end]`, countries in registry order, months
+/// ascending within a country. Both the serial reference and the parallel
+/// build reduce shards in exactly this order — the streaming P² estimator
+/// is order-sensitive, so a fixed merge order is what makes the output
+/// byte-identical regardless of worker count.
+pub fn shard_plan(start: MonthStamp, end: MonthStamp) -> Vec<NdtShard> {
+    let mut plan = Vec::new();
+    for cc in country::lacnic_codes() {
+        for m in start.through(end) {
+            plan.push((cc, m));
+        }
+    }
+    plan
+}
+
+/// Generate one shard of aggregate-view rows. Every shard owns an
+/// independent RNG substream derived from `(seed, country, month)`, so a
+/// shard's bytes depend on neither the worker that runs it nor the order
+/// shards are claimed in.
+pub fn generate_shard(ops: &Operators, seed: u64, scale: f64, shard: NdtShard) -> Vec<NdtTest> {
+    let (cc, month) = shard;
+    let mut rng = Rng::seeded(seed).fork(&format!("mlab/{cc}/{month}"));
+    generate_month(ops, cc, month, scale, &mut rng)
+}
+
+/// Generate one shard of per-network rows (the `multi` archive view),
+/// under the same independent-substream contract as [`generate_shard`].
+pub fn generate_network_shard(
+    ops: &Operators,
+    seed: u64,
+    scale: f64,
+    shard: NdtShard,
+) -> Vec<NdtTest> {
+    let (cc, month) = shard;
+    let mut rng = Rng::seeded(seed).fork(&format!("mlab-net/{cc}/{month}"));
+    generate_month_by_network(ops, cc, month, scale, &mut rng)
+}
+
 /// Generate the full archive into a streaming aggregator (the analysis
-/// half never sees the targets, only the rows).
+/// half never sees the targets, only the rows). Shards are generated on
+/// [`lacnet_types::sweep`] workers and merged in [`shard_plan`] order.
 pub fn build_aggregate(
     ops: &Operators,
     seed: u64,
@@ -478,15 +523,128 @@ pub fn build_aggregate(
     start: MonthStamp,
     end: MonthStamp,
 ) -> MonthlyAggregator {
-    let root = Rng::seeded(seed);
+    let plan = shard_plan(start, end);
+    build_aggregate_with_workers(
+        sweep::worker_count(plan.len()),
+        ops,
+        seed,
+        scale,
+        start,
+        end,
+    )
+}
+
+/// [`build_aggregate`] with an explicit worker count — the
+/// shard-invariance tests drive 1, 2 and 7 and assert byte-identical
+/// medians.
+pub fn build_aggregate_with_workers(
+    workers: usize,
+    ops: &Operators,
+    seed: u64,
+    scale: f64,
+    start: MonthStamp,
+    end: MonthStamp,
+) -> MonthlyAggregator {
+    let plan = shard_plan(start, end);
+    let batches =
+        sweep::parallel_map_with(workers, &plan, |&s| generate_shard(ops, seed, scale, s));
     let mut agg = MonthlyAggregator::new(Mode::Streaming);
-    for cc in country::lacnic_codes() {
-        let mut rng = root.fork(&format!("mlab/{cc}"));
-        for m in start.through(end) {
-            for test in generate_month(ops, cc, m, scale, &mut rng) {
-                agg.observe(&test);
-            }
+    for batch in &batches {
+        agg.observe_all(batch);
+    }
+    agg
+}
+
+/// The serial reference [`build_aggregate`] is byte-checked against: one
+/// thread, shards reduced in plan order.
+pub fn build_aggregate_serial(
+    ops: &Operators,
+    seed: u64,
+    scale: f64,
+    start: MonthStamp,
+    end: MonthStamp,
+) -> MonthlyAggregator {
+    let mut agg = MonthlyAggregator::new(Mode::Streaming);
+    for &shard in &shard_plan(start, end) {
+        agg.observe_all(&generate_shard(ops, seed, scale, shard));
+    }
+    agg
+}
+
+/// Render the NDT archive as TSV text: shards generated on sweep workers,
+/// concatenated in [`shard_plan`] order. Byte-identical to
+/// [`build_archive_serial`] for any worker count.
+pub fn build_archive(
+    ops: &Operators,
+    seed: u64,
+    scale: f64,
+    start: MonthStamp,
+    end: MonthStamp,
+) -> String {
+    let plan = shard_plan(start, end);
+    build_archive_with_workers(
+        sweep::worker_count(plan.len()),
+        ops,
+        seed,
+        scale,
+        start,
+        end,
+    )
+}
+
+/// [`build_archive`] with an explicit worker count.
+pub fn build_archive_with_workers(
+    workers: usize,
+    ops: &Operators,
+    seed: u64,
+    scale: f64,
+    start: MonthStamp,
+    end: MonthStamp,
+) -> String {
+    let plan = shard_plan(start, end);
+    let shards = sweep::parallel_map_with(workers, &plan, |&s| {
+        let mut text = String::new();
+        for test in generate_shard(ops, seed, scale, s) {
+            text.push_str(&test.to_row());
+            text.push('\n');
         }
+        text
+    });
+    shards.concat()
+}
+
+/// The serial reference [`build_archive`] is byte-checked against.
+pub fn build_archive_serial(
+    ops: &Operators,
+    seed: u64,
+    scale: f64,
+    start: MonthStamp,
+    end: MonthStamp,
+) -> String {
+    let mut text = String::new();
+    for &shard in &shard_plan(start, end) {
+        for test in generate_shard(ops, seed, scale, shard) {
+            text.push_str(&test.to_row());
+            text.push('\n');
+        }
+    }
+    text
+}
+
+/// Build the per-network `multi` archive view into a by-ASN aggregator,
+/// sharded the same way as [`build_aggregate`].
+pub fn build_multi_aggregate(
+    ops: &Operators,
+    seed: u64,
+    scale: f64,
+    start: MonthStamp,
+    end: MonthStamp,
+) -> MultiAggregator {
+    let plan = shard_plan(start, end);
+    let batches = sweep::parallel_map(&plan, |&s| generate_network_shard(ops, seed, scale, s));
+    let mut agg = MultiAggregator::by_asn();
+    for batch in &batches {
+        agg.observe_all(batch);
     }
     agg
 }

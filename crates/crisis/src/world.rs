@@ -11,7 +11,7 @@ use crate::facilities::PeeringDbBuilder;
 use crate::operators::Operators;
 use crate::topology::TopologyBuilder;
 use crate::websites;
-use lacnet_bgp::{PfxToAs, TopologyArchive};
+use lacnet_bgp::{ConeCache, PfxToAs, TopologyArchive};
 use lacnet_mlab::aggregate::MonthlyAggregator;
 use lacnet_offnets::certs::CertScan;
 use lacnet_peeringdb::SnapshotArchive;
@@ -93,7 +93,14 @@ pub struct World {
     pub top_sites: Vec<CountryTopSites>,
     /// Shared per-month pfx2as tables (see [`SnapshotCache`]).
     pfx2as_cache: SnapshotCache,
+    /// Shared per-`(month, asn)` customer cones (see
+    /// [`lacnet_bgp::ConeCache`]).
+    cone_cache: ConeCache,
 }
+
+/// The study's focal AS: CANTV (AS8048), whose cones and degrees the
+/// Fig. 8/9 analytics, [`World::prewarm`] and the dataset export all read.
+pub const FOCAL_AS: lacnet_types::Asn = lacnet_types::Asn(8048);
 
 impl World {
     /// Generate the world. Deterministic in `config.seed` — every builder
@@ -154,6 +161,7 @@ impl World {
             cert_scans,
             top_sites,
             pfx2as_cache: SnapshotCache::default(),
+            cone_cache: ConeCache::new(),
         }
     }
 
@@ -183,13 +191,71 @@ impl World {
         self.pfx2as_cache.computations()
     }
 
-    /// Derive every month in `[start, end]` across worker threads so
-    /// later sweeps hit the cache. Months already cached are not
-    /// recomputed.
+    /// The customer cone of `asn` in `month`'s topology snapshot,
+    /// memoised in the shared [`ConeCache`]: each `(month, asn)` pair
+    /// walks the graph at most once per process, however many experiments
+    /// or worker threads ask (see [`Self::cone_computations`]). A month
+    /// outside the archive yields the singleton `{asn}`, matching
+    /// `customer_cone` on a graph that lacks the AS.
+    pub fn customer_cone_at(
+        &self,
+        month: MonthStamp,
+        asn: lacnet_types::Asn,
+    ) -> Arc<std::collections::BTreeSet<lacnet_types::Asn>> {
+        self.cone_cache
+            .get_or_compute(month, asn, || self.customer_cone_uncached(month, asn))
+    }
+
+    /// Compute `asn`'s cone at `month` from scratch, bypassing the cache.
+    /// The reference [`Self::customer_cone_at`] is checked against, and
+    /// the baseline the ablation benches measure.
+    pub fn customer_cone_uncached(
+        &self,
+        month: MonthStamp,
+        asn: lacnet_types::Asn,
+    ) -> std::collections::BTreeSet<lacnet_types::Asn> {
+        match self.topology.get(month) {
+            Some(graph) => graph.customer_cone(asn),
+            None => std::collections::BTreeSet::from([asn]),
+        }
+    }
+
+    /// How many cones have actually been computed (cache misses) so far.
+    pub fn cone_computations(&self) -> usize {
+        self.cone_cache.computations()
+    }
+
+    /// `asn`'s cone size for every month of the topology archive, served
+    /// through the cache on sweep workers — the memoised counterpart of
+    /// [`lacnet_bgp::analytics::cone_size_series`].
+    pub fn cone_size_series(&self, asn: lacnet_types::Asn) -> lacnet_types::TimeSeries {
+        let months: Vec<MonthStamp> = self.topology.iter().map(|(m, _)| m).collect();
+        sweep::months_sweep(&months, |m| self.customer_cone_at(m, asn).len() as f64)
+            .into_iter()
+            .collect()
+    }
+
+    /// Fill the per-month caches across worker threads so later sweeps
+    /// and experiments hit warm state. Covers the full cache set:
+    ///
+    /// * **pfx2as tables** for every month in `[start, end]` (Figs. 2 and
+    ///   14, dataset export);
+    /// * **customer cones** of the focal AS ([`FOCAL_AS`], CANTV) for
+    ///   every month of the topology archive (Figs. 8 and 9).
+    ///
+    /// Entries already cached are not recomputed, so repeated prewarms
+    /// are no-ops.
     pub fn prewarm(&self, start: MonthStamp, end: MonthStamp) {
-        sweep::month_range(start, end, |m| {
-            self.pfx2as_at(m);
-        });
+        sweep::join2(
+            || {
+                sweep::month_range(start, end, |m| {
+                    self.pfx2as_at(m);
+                });
+            },
+            || {
+                self.cone_size_series(FOCAL_AS);
+            },
+        );
     }
 }
 
@@ -264,9 +330,43 @@ mod tests {
         let end = MonthStamp::new(2010, 12);
         world.prewarm(start, end);
         let after = world.pfx2as_computations();
-        // A second prewarm of the same window is a no-op.
+        let cones_after = world.cone_computations();
+        // A second prewarm of the same window is a no-op for both caches.
         world.prewarm(start, end);
         assert_eq!(world.pfx2as_computations(), after);
+        assert_eq!(world.cone_computations(), cones_after);
         assert!(!world.pfx2as_at(MonthStamp::new(2010, 6)).is_empty());
+        // The cone side warms the focal AS across the whole archive.
+        let before = world.cone_computations();
+        world.cone_size_series(FOCAL_AS);
+        assert_eq!(world.cone_computations(), before);
+    }
+
+    #[test]
+    fn cone_cache_computes_each_key_at_most_once() {
+        let world = test_world();
+        let m = MonthStamp::new(2012, 5);
+        let fresh = world.customer_cone_uncached(m, FOCAL_AS);
+        let before = world.cone_computations();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| world.customer_cone_at(m, FOCAL_AS));
+            }
+        });
+        assert_eq!(
+            world.cone_computations() - before,
+            1,
+            "eight concurrent requests must share one cone walk"
+        );
+        assert_eq!(*world.customer_cone_at(m, FOCAL_AS), fresh);
+        // Served again: still no further computation.
+        world.customer_cone_at(m, FOCAL_AS);
+        assert_eq!(world.cone_computations() - before, 1);
+        // Outside the archive: the singleton, like an unknown AS.
+        let outside = MonthStamp::new(1901, 1);
+        assert_eq!(
+            *world.customer_cone_at(outside, FOCAL_AS),
+            std::collections::BTreeSet::from([FOCAL_AS])
+        );
     }
 }

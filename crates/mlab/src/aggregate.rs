@@ -87,6 +87,21 @@ impl MonthlyAggregator {
         }
     }
 
+    /// Reduce an archive shard straight off a reader via
+    /// [`crate::ndt::stream_rows`], without materializing the file.
+    /// Returns the number of rows observed.
+    pub fn observe_reader<R: std::io::BufRead>(
+        &mut self,
+        reader: R,
+    ) -> lacnet_types::Result<usize> {
+        let mut n = 0;
+        for row in crate::ndt::stream_rows(reader) {
+            self.observe(&row?);
+            n += 1;
+        }
+        Ok(n)
+    }
+
     /// Number of `(country, month)` groups seen.
     pub fn group_count(&self) -> usize {
         self.groups.len()
@@ -204,6 +219,36 @@ mod tests {
             .get(MonthStamp::new(2019, 7))
             .unwrap();
         assert!((s - e).abs() / e < 0.05, "streaming {s} vs exact {e}");
+    }
+
+    #[test]
+    fn observe_reader_equals_in_memory_path() {
+        let rows = [
+            test(country::VE, 2019, 7, 1, 0.5),
+            test(country::VE, 2019, 7, 10, 0.9),
+            test(country::BR, 2019, 7, 1, 20.0),
+        ];
+        let mut text = String::from("# shard header\n");
+        for r in &rows {
+            text.push_str(&r.to_row());
+            text.push('\n');
+        }
+        let mut streamed = MonthlyAggregator::new(Mode::Exact);
+        let n = streamed.observe_reader(text.as_bytes()).unwrap();
+        assert_eq!(n, rows.len());
+        let mut direct = MonthlyAggregator::new(Mode::Exact);
+        direct.observe_all(&rows);
+        assert_eq!(streamed.group_count(), direct.group_count());
+        assert_eq!(
+            streamed
+                .median_series(country::VE)
+                .get(MonthStamp::new(2019, 7)),
+            direct
+                .median_series(country::VE)
+                .get(MonthStamp::new(2019, 7)),
+        );
+        let mut broken = MonthlyAggregator::new(Mode::Exact);
+        assert!(broken.observe_reader("bad\trow\n".as_bytes()).is_err());
     }
 
     #[test]

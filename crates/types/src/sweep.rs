@@ -33,12 +33,15 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    parallel_map_on(worker_count(items.len()), items, f)
+    parallel_map_with(worker_count(items.len()), items, f)
 }
 
-/// [`parallel_map`] with an explicit worker count — lets the tests drive
-/// the chunked multi-worker path even on a single-core machine.
-fn parallel_map_on<I, O, F>(workers: usize, items: &[I], f: F) -> Vec<O>
+/// [`parallel_map`] with an explicit worker count — lets callers (the
+/// shard-invariance tests, benches on single-core hosts) drive the chunked
+/// multi-worker path regardless of the machine's parallelism. Same
+/// determinism contract: the output is byte-identical to the serial loop
+/// for every worker count.
+pub fn parallel_map_with<I, O, F>(workers: usize, items: &[I], f: F) -> Vec<O>
 where
     I: Sync,
     O: Send,
@@ -165,7 +168,7 @@ mod tests {
         let serial: Vec<u64> = items.iter().map(|&x| x * 7 + 3).collect();
         for workers in [2, 3, 8, 101, 500] {
             assert_eq!(
-                parallel_map_on(workers, &items, |&x| x * 7 + 3),
+                parallel_map_with(workers, &items, |&x| x * 7 + 3),
                 serial,
                 "worker count {workers} must not change the output"
             );
@@ -176,7 +179,7 @@ mod tests {
     fn forced_multi_worker_runs_every_item_once() {
         let counter = AtomicUsize::new(0);
         let items: Vec<u32> = (0..97).collect();
-        let out = parallel_map_on(4, &items, |&x| {
+        let out = parallel_map_with(4, &items, |&x| {
             counter.fetch_add(1, Ordering::Relaxed);
             x + 1
         });

@@ -1,0 +1,169 @@
+//! Golden-output regression suite.
+//!
+//! Every figure series, table row, heatmap cell and finding the battery
+//! (and the extensions) produces from the fixed-seed test world is
+//! rendered to a canonical TSV form and compared byte-for-byte against
+//! the fixtures under `tests/golden/`. Any refactor of the pipeline —
+//! sharding, caching, batching — must leave these bytes untouched; a PR
+//! that intends to change them regenerates the fixtures with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! and ships the diff for review. f64 values are rendered with Rust's
+//! shortest-roundtrip formatting, which is deterministic across
+//! platforms, so the fixtures are portable.
+
+use lacnet::core::artifact::{Artifact, ExperimentResult};
+use lacnet::core::{experiments, extensions};
+use lacnet::crisis::{World, WorldConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// The suite's fixed world: the same seed/config the unit tests use.
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::generate(WorldConfig::test()))
+}
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Render one experiment result in a stable, diff-friendly TSV form:
+/// every line of every panel month-by-month, every table row, every
+/// occupied heatmap cell, every finding.
+fn canonical(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "id\t{}", result.id);
+    let _ = writeln!(w, "title\t{}", result.title);
+    for f in &result.findings {
+        let _ = writeln!(
+            w,
+            "finding\t{}\t{}\t{}\t{}",
+            f.metric, f.paper, f.measured, f.matches
+        );
+    }
+    for artifact in &result.artifacts {
+        match artifact {
+            Artifact::Figure(fig) => {
+                let _ = writeln!(w, "figure\t{}\t{}", fig.id, fig.caption);
+                for panel in &fig.panels {
+                    for line in &panel.lines {
+                        for (m, v) in line.series.iter() {
+                            let _ = writeln!(
+                                w,
+                                "line\t{}\t{}\t{}\t{}\t{}",
+                                fig.id, panel.title, line.label, m, v
+                            );
+                        }
+                    }
+                }
+            }
+            Artifact::Table(tab) => {
+                let _ = writeln!(w, "table\t{}\t{}", tab.id, tab.caption);
+                let _ = writeln!(w, "headers\t{}", tab.headers.join("\t"));
+                for row in &tab.rows {
+                    let _ = writeln!(w, "row\t{}", row.join("\t"));
+                }
+            }
+            Artifact::Heatmap(heat) => {
+                let _ = writeln!(w, "heatmap\t{}\t{}", heat.id, heat.caption);
+                let _ = writeln!(w, "heatmap-rows\t{}", heat.rows.join("\t"));
+                let _ = writeln!(w, "heatmap-cols\t{}", heat.cols.join("\t"));
+                for (r, row) in heat.cells.iter().enumerate() {
+                    for (c, cell) in row.iter().enumerate() {
+                        if let Some(v) = cell {
+                            let _ = writeln!(w, "cell\t{}\t{}\t{}", r, c, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compare `rendered` against the checked-in fixture, or rewrite the
+/// fixture when `UPDATE_GOLDEN=1`. On mismatch the panic names the first
+/// diverging line so a multi-thousand-line diff stays readable.
+fn compare_or_update(name: &str, rendered: &str) {
+    let path = fixture_dir().join(format!("{name}.tsv"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(fixture_dir()).expect("create fixture dir");
+        std::fs::write(&path, rendered).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden fixture {}; run `UPDATE_GOLDEN=1 cargo test --test golden` \
+             and commit the result",
+            path.display()
+        )
+    });
+    if rendered == expected {
+        return;
+    }
+    let mismatch = expected
+        .lines()
+        .zip(rendered.lines())
+        .enumerate()
+        .find(|(_, (e, r))| e != r);
+    match mismatch {
+        Some((i, (e, r))) => panic!(
+            "golden mismatch for {name} at line {}:\n  expected: {e}\n  rendered: {r}\n\
+             (refresh intentionally with UPDATE_GOLDEN=1)",
+            i + 1
+        ),
+        None => panic!(
+            "golden mismatch for {name}: line counts differ \
+             (expected {} lines, rendered {}); refresh intentionally with UPDATE_GOLDEN=1",
+            expected.lines().count(),
+            rendered.lines().count()
+        ),
+    }
+}
+
+#[test]
+fn battery_matches_golden_fixtures() {
+    let results = experiments::all(world());
+    assert_eq!(results.len(), 22, "fig01–fig21 plus tab01");
+    for result in &results {
+        compare_or_update(&result.id, &canonical(result));
+    }
+}
+
+#[test]
+fn extensions_match_golden_fixtures() {
+    for result in &extensions::all(world()) {
+        compare_or_update(&result.id, &canonical(result));
+    }
+}
+
+#[test]
+fn fixtures_cover_every_battery_id() {
+    // A fixture that stops being compared is a silent hole in the fence —
+    // assert the directory holds exactly the expected artifact set.
+    let mut on_disk: Vec<String> = std::fs::read_dir(fixture_dir())
+        .expect("fixture dir exists — run UPDATE_GOLDEN=1 once")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".tsv").map(str::to_owned)
+        })
+        .collect();
+    on_disk.sort();
+    let mut expected: Vec<String> = (1..=21)
+        .map(|i| format!("fig{i:02}"))
+        .chain(["tab01".into()])
+        .chain([
+            "ext-blackouts".into(),
+            "ext-inference".into(),
+            "ext-network-split".into(),
+        ])
+        .collect();
+    expected.sort();
+    assert_eq!(on_disk, expected);
+}

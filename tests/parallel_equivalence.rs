@@ -45,6 +45,113 @@ fn parallel_extensions_match_serial() {
 }
 
 #[test]
+fn sharded_ndt_build_is_worker_count_invariant() {
+    use lacnet::crisis::bandwidth;
+    let world = world();
+    let (ops, seed) = (&world.operators, world.config.seed);
+    let (start, end) = (MonthStamp::new(2019, 1), MonthStamp::new(2019, 6));
+    // The raw archive bytes …
+    let archive = bandwidth::build_archive_serial(ops, seed, 0.5, start, end);
+    assert!(!archive.is_empty());
+    // … and the monthly medians the analysis reads off them, rendered to
+    // the byte strings the comparison is really about.
+    let medians = |agg: &lacnet::mlab::aggregate::MonthlyAggregator| -> String {
+        let mut out = String::new();
+        for cc in agg.countries() {
+            for (m, v) in agg.median_series(cc).iter() {
+                out.push_str(&format!("{cc}\t{m}\t{v}\n"));
+            }
+        }
+        out
+    };
+    let serial_medians = medians(&bandwidth::build_aggregate_serial(
+        ops, seed, 0.5, start, end,
+    ));
+    for workers in [1, 2, 7] {
+        assert_eq!(
+            bandwidth::build_archive_with_workers(workers, ops, seed, 0.5, start, end),
+            archive,
+            "archive bytes must not depend on worker count ({workers})"
+        );
+        assert_eq!(
+            medians(&bandwidth::build_aggregate_with_workers(
+                workers, ops, seed, 0.5, start, end
+            )),
+            serial_medians,
+            "monthly medians must not depend on worker count ({workers})"
+        );
+    }
+    // The default entry points are the same plan, merged in plan order.
+    assert_eq!(
+        bandwidth::build_archive(ops, seed, 0.5, start, end),
+        archive
+    );
+    assert_eq!(
+        medians(&bandwidth::build_aggregate(ops, seed, 0.5, start, end)),
+        serial_medians
+    );
+}
+
+#[test]
+fn world_mlab_stream_is_the_sharded_build() {
+    use lacnet::crisis::{bandwidth, config::windows};
+    let world = world();
+    // `World::generate` must aggregate exactly the shard stream any
+    // worker count produces — rebuild it serially and compare medians.
+    let rebuilt = bandwidth::build_aggregate_serial(
+        &world.operators,
+        world.config.seed,
+        world.config.mlab_volume_scale,
+        windows::mlab_start(),
+        world.config.end,
+    );
+    assert_eq!(world.mlab.group_count(), rebuilt.group_count());
+    for cc in world.mlab.countries() {
+        assert_eq!(
+            world.mlab.median_series(cc),
+            rebuilt.median_series(cc),
+            "median series diverged for {cc}"
+        );
+    }
+}
+
+#[test]
+fn cached_cone_matches_fresh_compute_and_computes_once() {
+    use lacnet::types::Asn;
+    let world = world();
+    let cantv = Asn(8048);
+    for m in [
+        MonthStamp::new(1998, 1),
+        MonthStamp::new(2013, 6),
+        world.config.end,
+    ] {
+        assert_eq!(
+            *world.customer_cone_at(m, cantv),
+            world.customer_cone_uncached(m, cantv),
+            "cached cone for {m} must equal a fresh walk"
+        );
+    }
+    // Racing consumers of the same (month, asn) share one computation.
+    let m = MonthStamp::new(2016, 2);
+    let before = world.cone_computations();
+    std::thread::scope(|s| {
+        for _ in 0..6 {
+            s.spawn(|| world.customer_cone_at(m, cantv));
+        }
+    });
+    assert_eq!(
+        world.cone_computations() - before,
+        1,
+        "six racing requests, one cone walk"
+    );
+    // The cached series equals the serial analytics reference.
+    assert_eq!(
+        world.cone_size_series(cantv),
+        lacnet::bgp::analytics::cone_size_series(&world.topology, cantv)
+    );
+}
+
+#[test]
 fn cached_pfx2as_matches_fresh_compute() {
     let world = world();
     for m in [
