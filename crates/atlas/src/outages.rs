@@ -8,11 +8,11 @@
 //! outage detection, and exactly what the March 2019 Venezuelan blackouts
 //! look like from RIPE Atlas.
 
-use lacnet_types::{CountryCode, Date};
+use lacnet_types::{CountryCode, Date, Error, Result};
 use std::collections::BTreeMap;
 
 /// A daily probe-connectivity series for one country.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ReachabilitySeries {
     days: BTreeMap<Date, u32>,
 }
@@ -46,6 +46,39 @@ impl ReachabilitySeries {
     /// Iterate chronologically.
     pub fn iter(&self) -> impl Iterator<Item = (Date, u32)> + '_ {
         self.days.iter().map(|(&d, &v)| (d, v))
+    }
+
+    /// Serialise as the archive TSV: one `date<TAB>connected` line per
+    /// day, chronological. `parse_tsv(to_tsv(s)) == s` exactly.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for (day, n) in self.iter() {
+            out.push_str(&format!("{day}\t{n}\n"));
+        }
+        out
+    }
+
+    /// Parse the archive TSV written by [`to_tsv`]. Blank lines and `#`
+    /// comments are skipped.
+    ///
+    /// [`to_tsv`]: ReachabilitySeries::to_tsv
+    pub fn parse_tsv(text: &str) -> Result<Self> {
+        let mut series = ReachabilitySeries::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (day, n) = line
+                .split_once('\t')
+                .ok_or_else(|| Error::parse("reachability row (date<TAB>count)", line))?;
+            let day: Date = day.parse()?;
+            let n: u32 = n
+                .parse()
+                .map_err(|_| Error::parse("reachability probe count", line))?;
+            series.insert(day, n);
+        }
+        Ok(series)
     }
 }
 
@@ -263,5 +296,52 @@ mod tests {
     fn empty_series() {
         assert!(detect(&ReachabilitySeries::new(), DetectorConfig::default()).is_empty());
         assert!(ReachabilitySeries::new().is_empty());
+    }
+
+    #[test]
+    fn tsv_roundtrip_is_exact() {
+        let s = series_with_drop(&[(2019, 3, 7), (2019, 3, 8)]);
+        let text = s.to_tsv();
+        assert!(text.starts_with("2019-02-01\t20\n"));
+        let back = ReachabilitySeries::parse_tsv(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(
+            detect(&back, DetectorConfig::default()),
+            detect(&s, DetectorConfig::default())
+        );
+    }
+
+    #[test]
+    fn tsv_parse_rejects_malformed() {
+        assert!(ReachabilitySeries::parse_tsv("2019-03-07 20\n").is_err());
+        assert!(ReachabilitySeries::parse_tsv("2019-13-07\t20\n").is_err());
+        assert!(ReachabilitySeries::parse_tsv("2019-03-07\tmany\n").is_err());
+        let ok = ReachabilitySeries::parse_tsv("# header\n\n2019-03-07\t20\n").unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// parse_tsv(to_tsv(s)) == s for arbitrary series.
+            #[test]
+            fn tsv_roundtrip_proptest(
+                start_day in 1u8..=28,
+                days in 1usize..=120,
+                base in 0u32..=500,
+            ) {
+                let mut s = ReachabilitySeries::new();
+                let start = Date::ymd(2019, 1, start_day);
+                for d in 0..days {
+                    // Deterministic but varied counts.
+                    let n = base.wrapping_add((d as u32 * 7919) % 97);
+                    s.insert(start.plus_days(d as i64), n);
+                }
+                let back = ReachabilitySeries::parse_tsv(&s.to_tsv()).unwrap();
+                prop_assert_eq!(back, s);
+            }
+        }
     }
 }

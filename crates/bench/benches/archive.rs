@@ -1,0 +1,69 @@
+//! Archive-backend ablation: loading every dataset by parsing a dumped
+//! native-format tree vs regenerating the world from its seed.
+//!
+//! Before any timing starts, the reloaded archive is asserted equivalent
+//! to the generated world on the derived outputs the battery actually
+//! consumes — topology size, a mid-window pfx2as table, the CANTV cone,
+//! the M-Lab group census and Venezuela's median series — so the numbers
+//! compare equal worlds, not a fast-but-wrong parser.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lacnet_bench::bench_world;
+use lacnet_core::{datasets, ArchiveWorld};
+use lacnet_crisis::World;
+use lacnet_types::{country, MonthStamp};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+/// Dump the shared bench world once; every sample reloads the same tree.
+fn dump_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lacnet-bench-archive-{}", std::process::id()));
+    if !dir.join("MANIFEST.txt").exists() {
+        datasets::dump(bench_world(), &dir).expect("dump succeeds");
+    }
+    dir
+}
+
+fn assert_equivalent(world: &World, reloaded: &ArchiveWorld) {
+    assert_eq!(reloaded.config, world.config);
+    assert_eq!(reloaded.topology.len(), world.topology.len());
+    let m = MonthStamp::new(2020, 6);
+    assert_eq!(
+        reloaded.pfx2as_at(m).to_text(),
+        world.pfx2as_at(m).to_text()
+    );
+    let cantv = lacnet_crisis::world::FOCAL_AS;
+    assert_eq!(
+        *reloaded.customer_cone_at(m, cantv),
+        *world.customer_cone_at(m, cantv)
+    );
+    assert_eq!(reloaded.mlab.group_count(), world.mlab.group_count());
+    assert_eq!(
+        reloaded.mlab.median_series(country::VE),
+        world.mlab.median_series(country::VE)
+    );
+}
+
+/// Cold archive parse (serial-1 + pfx2as + delegations + JSON dumps +
+/// streamed NDT shards) vs `World::generate` from the same config.
+fn bench_archive_load(c: &mut Criterion) {
+    let world = bench_world();
+    let dir = dump_dir();
+    assert_equivalent(world, &ArchiveWorld::load(&dir).expect("archive loads"));
+    let mut group = c.benchmark_group("archive");
+    group.sample_size(10);
+    group.bench_function("load", |b| {
+        b.iter(|| black_box(ArchiveWorld::load(&dir).expect("archive loads")))
+    });
+    group.bench_function("generate", |b| {
+        b.iter(|| black_box(World::generate(world.config)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = archive;
+    config = Criterion::default();
+    targets = bench_archive_load
+);
+criterion_main!(archive);

@@ -3,17 +3,16 @@
 //! generation is one-time setup, outside the measured loops.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lacnet_bench::bench_world;
-use lacnet_core::experiments as ex;
-use lacnet_crisis::World;
+use lacnet_bench::bench_source;
+use lacnet_core::{experiments as ex, DataSource};
 use std::hint::black_box;
 
 macro_rules! artifact_bench {
     ($fn_name:ident, $id:literal, $module:ident) => {
         fn $fn_name(c: &mut Criterion) {
-            let world: &World = bench_world();
+            let src: &DataSource = bench_source();
             c.bench_function($id, |b| {
-                b.iter(|| black_box(ex::$module::run(black_box(world))))
+                b.iter(|| black_box(ex::$module::run(black_box(src))))
             });
         }
     };
@@ -40,23 +39,23 @@ artifact_bench!(bench_tab01, "tab01_isps", tab01_isps);
 /// The heavy experiments (monthly routing/propagation sweeps and
 /// campaign simulations) get a reduced sample count.
 fn bench_heavy(c: &mut Criterion) {
-    let world: &World = bench_world();
+    let src: &DataSource = bench_source();
     let mut group = c.benchmark_group("heavy");
     group.sample_size(10);
     group.bench_function("fig02_address_space", |b| {
-        b.iter(|| black_box(ex::fig02_address_space::run(black_box(world))))
+        b.iter(|| black_box(ex::fig02_address_space::run(black_box(src))))
     });
     group.bench_function("fig06_roots", |b| {
-        b.iter(|| black_box(ex::fig06_roots::run(black_box(world))))
+        b.iter(|| black_box(ex::fig06_roots::run(black_box(src))))
     });
     group.bench_function("fig12_gpdns_rtt", |b| {
-        b.iter(|| black_box(ex::fig12_gpdns_rtt::run(black_box(world))))
+        b.iter(|| black_box(ex::fig12_gpdns_rtt::run(black_box(src))))
     });
     group.bench_function("fig14_prefix_heatmap", |b| {
-        b.iter(|| black_box(ex::fig14_prefix_heatmap::run(black_box(world))))
+        b.iter(|| black_box(ex::fig14_prefix_heatmap::run(black_box(src))))
     });
     group.bench_function("fig16_root_origins", |b| {
-        b.iter(|| black_box(ex::fig16_root_origins::run(black_box(world))))
+        b.iter(|| black_box(ex::fig16_root_origins::run(black_box(src))))
     });
     group.finish();
 }

@@ -4,6 +4,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use lacnet_core::DataSource;
 use lacnet_crisis::{World, WorldConfig};
 use std::sync::OnceLock;
 
@@ -17,4 +18,11 @@ pub fn bench_world() -> &'static World {
             ..WorldConfig::default()
         })
     })
+}
+
+/// [`bench_world`] behind the in-memory battery interface, for the
+/// per-artifact experiment benches.
+pub fn bench_source() -> &'static DataSource<'static> {
+    static SOURCE: OnceLock<DataSource<'static>> = OnceLock::new();
+    SOURCE.get_or_init(|| DataSource::in_memory(bench_world()))
 }

@@ -60,6 +60,26 @@ pub fn transit_degree_series(archive: &TopologyArchive, asn: Asn) -> TimeSeries 
         .collect()
 }
 
+/// [`transit_degree_series`] served through the cache's transit-neighbour
+/// memo: identical output, and the memoized neighbourhoods are the very
+/// rows [`ProviderPresence::compute_cached`] reads, so the Fig. 8 degree
+/// panel and the Fig. 9 matrix share one walk per `(month, asn)`.
+pub fn transit_degree_series_cached(
+    archive: &TopologyArchive,
+    asn: Asn,
+    cache: &ConeCache,
+) -> TimeSeries {
+    archive
+        .iter()
+        .map(|(m, g)| {
+            (
+                m,
+                cache.transit_neighbors(m, g, asn).transit_degree() as f64,
+            )
+        })
+        .collect()
+}
+
 /// The Fig. 9 provider-presence matrix: for one customer AS, which
 /// providers served it in which months.
 #[derive(Debug, Clone)]
@@ -80,10 +100,42 @@ impl ProviderPresence {
     /// Build the matrix from an archive, keeping only providers present in
     /// at least `min_months` snapshots (the paper uses 12).
     pub fn compute(archive: &TopologyArchive, customer: Asn, min_months: usize) -> Self {
+        Self::build(archive, customer, min_months, |_, graph| {
+            graph.providers(customer)
+        })
+    }
+
+    /// [`compute`](ProviderPresence::compute) served through the cache's
+    /// transit-neighbour memo: identical output, but the per-month
+    /// provider sets — the full matrix Fig. 9 consumes — are computed at
+    /// most once per process and shared with the degree analytics.
+    pub fn compute_cached(
+        archive: &TopologyArchive,
+        customer: Asn,
+        min_months: usize,
+        cache: &ConeCache,
+    ) -> Self {
+        Self::build(archive, customer, min_months, |m, graph| {
+            cache
+                .transit_neighbors(m, graph, customer)
+                .providers
+                .clone()
+        })
+    }
+
+    fn build(
+        archive: &TopologyArchive,
+        customer: Asn,
+        min_months: usize,
+        mut providers_at: impl FnMut(
+            MonthStamp,
+            &crate::graph::AsGraph,
+        ) -> std::collections::BTreeSet<Asn>,
+    ) -> Self {
         let months: Vec<MonthStamp> = archive.iter().map(|(m, _)| m).collect();
         let mut tally: BTreeMap<Asn, Vec<bool>> = BTreeMap::new();
-        for (col, (_, graph)) in archive.iter().enumerate() {
-            for p in graph.providers(customer) {
+        for (col, (m, graph)) in archive.iter().enumerate() {
+            for p in providers_at(m, graph) {
                 tally.entry(p).or_insert_with(|| vec![false; months.len()])[col] = true;
             }
         }
@@ -226,6 +278,27 @@ mod tests {
         let deg = transit_degree_series(&arch, Asn(8048));
         assert_eq!(deg.get(m(2013, 1)), Some(3.0));
         assert_eq!(deg.get(m(2013, 3)), Some(4.0));
+    }
+
+    #[test]
+    fn cached_variants_match_serial_and_share_the_memo() {
+        let arch = toy_archive();
+        let cache = ConeCache::new();
+        assert_eq!(
+            transit_degree_series_cached(&arch, Asn(8048), &cache),
+            transit_degree_series(&arch, Asn(8048))
+        );
+        assert_eq!(cache.degree_computations(), 3);
+        let pp = ProviderPresence::compute_cached(&arch, Asn(8048), 1, &cache);
+        let serial = ProviderPresence::compute(&arch, Asn(8048), 1);
+        assert_eq!(pp.providers, serial.providers);
+        assert_eq!(pp.months, serial.months);
+        assert_eq!(pp.presence, serial.presence);
+        assert_eq!(
+            cache.degree_computations(),
+            3,
+            "the matrix reuses the degree series' memoized neighbourhoods"
+        );
     }
 
     #[test]

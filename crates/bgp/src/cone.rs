@@ -9,20 +9,86 @@
 //! lock, with a `OnceLock` per key so each cone BFS runs **at most once
 //! per process** no matter how many workers ask for it concurrently.
 //! Distinct keys still compute in parallel.
+//!
+//! The cache also memoizes the two other per-`(month, asn)` walks the
+//! battery repeats: the transit-neighbour sets behind the Fig. 9
+//! presence matrix and transit-degree series, and the [`PathOutcome`]
+//! route trees the inference extension recomputes per origin.
 
 use crate::graph::AsGraph;
+use crate::paths::PathOutcome;
 use lacnet_types::{Asn, MonthStamp};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
-/// Thread-safe, compute-at-most-once cache of customer cones keyed by
-/// `(month, asn)`.
+/// A keyed compute-at-most-once store: one `OnceLock` per key, a counter
+/// of actual computations. The building block behind every memo here.
+struct SlotMap<K, V> {
+    #[allow(clippy::type_complexity)]
+    slots: RwLock<BTreeMap<K, Arc<OnceLock<Arc<V>>>>>,
+    computations: AtomicUsize,
+}
+
+impl<K, V> Default for SlotMap<K, V> {
+    fn default() -> Self {
+        SlotMap {
+            slots: RwLock::new(BTreeMap::new()),
+            computations: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<K: Ord + Clone, V> SlotMap<K, V> {
+    fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        let slot = {
+            let slots = self.slots.read().expect("cone cache lock poisoned");
+            slots.get(&key).cloned()
+        };
+        let slot = match slot {
+            Some(slot) => slot,
+            None => {
+                let mut slots = self.slots.write().expect("cone cache lock poisoned");
+                slots.entry(key).or_default().clone()
+            }
+        };
+        slot.get_or_init(|| {
+            self.computations.fetch_add(1, Ordering::Relaxed);
+            Arc::new(compute())
+        })
+        .clone()
+    }
+
+    fn computations(&self) -> usize {
+        self.computations.load(Ordering::Relaxed)
+    }
+}
+
+/// The transit neighbourhood of one AS in one snapshot: who provides to
+/// it and who buys from it — the row ingredients of the Fig. 9 presence
+/// matrix and the terms of the transit-degree series.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransitNeighbors {
+    /// Providers of the AS in this snapshot.
+    pub providers: BTreeSet<Asn>,
+    /// Customers of the AS in this snapshot.
+    pub customers: BTreeSet<Asn>,
+}
+
+impl TransitNeighbors {
+    /// Distinct transit neighbours (providers plus customers).
+    pub fn transit_degree(&self) -> usize {
+        self.providers.len() + self.customers.len()
+    }
+}
+
+/// Thread-safe, compute-at-most-once cache of per-`(month, asn)` graph
+/// walks: customer cones, transit neighbourhoods, and path outcomes.
 #[derive(Default)]
 pub struct ConeCache {
-    #[allow(clippy::type_complexity)]
-    slots: RwLock<BTreeMap<(MonthStamp, Asn), Arc<OnceLock<Arc<BTreeSet<Asn>>>>>>,
-    computations: AtomicUsize,
+    cones: SlotMap<(MonthStamp, Asn), BTreeSet<Asn>>,
+    degrees: SlotMap<(MonthStamp, Asn), TransitNeighbors>,
+    paths: SlotMap<(MonthStamp, Asn), PathOutcome>,
 }
 
 impl ConeCache {
@@ -50,29 +116,47 @@ impl ConeCache {
         asn: Asn,
         compute: impl FnOnce() -> BTreeSet<Asn>,
     ) -> Arc<BTreeSet<Asn>> {
-        let key = (month, asn);
-        let slot = {
-            let slots = self.slots.read().expect("cone cache lock poisoned");
-            slots.get(&key).cloned()
-        };
-        let slot = match slot {
-            Some(slot) => slot,
-            None => {
-                let mut slots = self.slots.write().expect("cone cache lock poisoned");
-                slots.entry(key).or_default().clone()
-            }
-        };
-        slot.get_or_init(|| {
-            self.computations.fetch_add(1, Ordering::Relaxed);
-            Arc::new(compute())
-        })
-        .clone()
+        self.cones.get_or_compute((month, asn), compute)
     }
 
     /// How many cones have actually been computed (not served from cache)
     /// so far.
     pub fn computations(&self) -> usize {
-        self.computations.load(Ordering::Relaxed)
+        self.cones.computations()
+    }
+
+    /// The transit neighbourhood of `asn` in the `month` snapshot,
+    /// computed at most once per key. Same month/graph contract as
+    /// [`cone`](ConeCache::cone).
+    pub fn transit_neighbors(
+        &self,
+        month: MonthStamp,
+        graph: &AsGraph,
+        asn: Asn,
+    ) -> Arc<TransitNeighbors> {
+        self.degrees
+            .get_or_compute((month, asn), || TransitNeighbors {
+                providers: graph.providers(asn),
+                customers: graph.customers(asn),
+            })
+    }
+
+    /// How many transit neighbourhoods have actually been computed.
+    pub fn degree_computations(&self) -> usize {
+        self.degrees.computations()
+    }
+
+    /// The [`PathOutcome`] for `origin` in the `month` snapshot, computed
+    /// at most once per key — the inference extension replays the same
+    /// origins across runs, so the route trees are shared.
+    pub fn paths(&self, month: MonthStamp, graph: &AsGraph, origin: Asn) -> Arc<PathOutcome> {
+        self.paths
+            .get_or_compute((month, origin), || PathOutcome::compute(graph, origin))
+    }
+
+    /// How many path outcomes have actually been computed.
+    pub fn path_computations(&self) -> usize {
+        self.paths.computations()
     }
 }
 
@@ -137,5 +221,36 @@ mod tests {
             assert_eq!(**cone, g.customer_cone(*asn));
         }
         assert_eq!(cache.computations(), 2, "two distinct keys, two BFS runs");
+    }
+
+    #[test]
+    fn transit_neighbors_match_graph_and_compute_once() {
+        let g = chain_graph();
+        let cache = ConeCache::new();
+        let m = MonthStamp::new(2020, 1);
+        let n = cache.transit_neighbors(m, &g, Asn(2));
+        assert_eq!(n.providers, g.providers(Asn(2)));
+        assert_eq!(n.customers, g.customers(Asn(2)));
+        assert_eq!(n.transit_degree(), 2);
+        let again = cache.transit_neighbors(m, &g, Asn(2));
+        assert!(Arc::ptr_eq(&n, &again));
+        assert_eq!(cache.degree_computations(), 1);
+        // Independent of the cone memo's counter.
+        assert_eq!(cache.computations(), 0);
+    }
+
+    #[test]
+    fn paths_memo_matches_direct_compute() {
+        let g = chain_graph();
+        let cache = ConeCache::new();
+        let m = MonthStamp::new(2020, 1);
+        let memo = cache.paths(m, &g, Asn(3));
+        assert_eq!(
+            memo.all_paths(),
+            PathOutcome::compute(&g, Asn(3)).all_paths()
+        );
+        let again = cache.paths(m, &g, Asn(3));
+        assert!(Arc::ptr_eq(&memo, &again));
+        assert_eq!(cache.path_computations(), 1);
     }
 }

@@ -127,6 +127,32 @@ impl RelationshipInference {
         for origin in graph.asns() {
             paths.extend(PathOutcome::compute(graph, origin).all_paths());
         }
+        Self::infer_from_paths(paths, peer_ratio_threshold)
+    }
+
+    /// [`infer_from_graph`] with the per-origin path computations served
+    /// through a [`ConeCache`]: identical output, but each `(month,
+    /// origin)` route tree is computed at most once per process, however
+    /// many inference runs share the cache.
+    ///
+    /// The caller vouches that `graph` is the `month` snapshot, as with
+    /// every other month-keyed memo on the cache.
+    ///
+    /// [`infer_from_graph`]: RelationshipInference::infer_from_graph
+    pub fn infer_from_graph_cached(
+        graph: &AsGraph,
+        month: lacnet_types::MonthStamp,
+        peer_ratio_threshold: f64,
+        cache: &crate::cone::ConeCache,
+    ) -> Vec<RelEdge> {
+        let mut paths = Vec::new();
+        for origin in graph.asns() {
+            paths.extend(cache.paths(month, graph, origin).all_paths());
+        }
+        Self::infer_from_paths(paths, peer_ratio_threshold)
+    }
+
+    fn infer_from_paths(paths: Vec<Vec<Asn>>, peer_ratio_threshold: f64) -> Vec<RelEdge> {
         let mut inf = RelationshipInference::new(peer_ratio_threshold);
         inf.observe_degrees(&paths);
         inf.observe_paths(&paths);
@@ -224,6 +250,21 @@ mod tests {
                 && e.touches(Asn(2))),
             "tier-1 peering not recovered: {inferred:?}"
         );
+    }
+
+    #[test]
+    fn cached_inference_matches_and_memoizes_paths() {
+        use crate::cone::ConeCache;
+        let g = hierarchy();
+        let cache = ConeCache::new();
+        let month = lacnet_types::MonthStamp::new(2020, 1);
+        let cached = RelationshipInference::infer_from_graph_cached(&g, month, 1.1, &cache);
+        assert_eq!(cached, RelationshipInference::infer_from_graph(&g, 1.1));
+        let n = g.asns().count();
+        assert_eq!(cache.path_computations(), n);
+        // A second run over the same snapshot is pure cache hits.
+        RelationshipInference::infer_from_graph_cached(&g, month, 1.1, &cache);
+        assert_eq!(cache.path_computations(), n);
     }
 
     #[test]

@@ -1,11 +1,11 @@
-//! `vzla-report` — generate a world and reproduce every figure and table
-//! of the study.
+//! `vzla-report` — reproduce every figure and table of the study, from a
+//! generated world or from a dumped archive tree.
 //!
 //! ```text
-//! vzla-report [--seed N] [--csv DIR] [--only figNN[,figMM…]]
+//! vzla-report [--seed N] [--from-archive DIR] [--csv DIR] [--only figNN[,figMM…]]
 //! ```
 
-use lacnet_core::{experiments, render};
+use lacnet_core::{experiments, render, DataSource};
 use lacnet_crisis::{World, WorldConfig};
 use std::io::Write as _;
 
@@ -15,6 +15,7 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut markdown: Option<String> = None;
     let mut only: Option<Vec<String>> = None;
+    let mut archive: Option<std::path::PathBuf> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -25,6 +26,13 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--from-archive" => {
+                i += 1;
+                archive = Some(std::path::PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--from-archive needs a directory")),
+                ));
             }
             "--csv" => {
                 i += 1;
@@ -53,7 +61,7 @@ fn main() {
                 );
             }
             "--help" | "-h" => {
-                println!("usage: vzla-report [--seed N] [--csv DIR] [--markdown FILE] [--only figNN,...]");
+                println!("usage: vzla-report [--seed N] [--from-archive DIR] [--csv DIR] [--markdown FILE] [--only figNN,...]");
                 return;
             }
             other => die(&format!("unknown argument {other}")),
@@ -61,28 +69,49 @@ fn main() {
         i += 1;
     }
 
-    eprintln!("generating world (seed {:#x}) …", config.seed);
-    let t0 = std::time::Instant::now();
-    let world = World::generate(config);
-    eprintln!(
-        "world ready in {:.1?}; prewarming pfx2as snapshots and CANTV cones …",
-        t0.elapsed()
-    );
-    // Fig. 2, Fig. 14 and any dataset export all read the same monthly
-    // tables, and Figs. 8/9 the same CANTV cones; deriving both cache
-    // sets across worker threads up front means every later sweep is a
-    // cache hit.
-    let t1 = std::time::Instant::now();
-    world.prewarm(lacnet_crisis::config::windows::pfx2as_start(), config.end);
-    eprintln!(
-        "{} tables + {} cones cached in {:.1?}; running experiments …",
-        world.pfx2as_computations(),
-        world.cone_computations(),
-        t1.elapsed()
-    );
+    // Either backend feeds the identical battery: the world held in
+    // memory, or the same datasets parsed back from a `lacnet-gen` dump.
+    let world; // keeps the borrowed backend alive across the run
+    let source = match &archive {
+        Some(dir) => {
+            eprintln!("loading archive from {} …", dir.display());
+            let t0 = std::time::Instant::now();
+            let src = DataSource::from_archive(dir)
+                .unwrap_or_else(|e| die(&format!("archive load failed: {e}")));
+            eprintln!(
+                "archive parsed in {:.1?} (seed {:#x}); running experiments …",
+                t0.elapsed(),
+                src.config().seed
+            );
+            src
+        }
+        None => {
+            eprintln!("generating world (seed {:#x}) …", config.seed);
+            let t0 = std::time::Instant::now();
+            world = World::generate(config);
+            eprintln!(
+                "world ready in {:.1?}; prewarming pfx2as snapshots and CANTV cones …",
+                t0.elapsed()
+            );
+            // Fig. 2, Fig. 14 and any dataset export all read the same
+            // monthly tables, and Figs. 8/9 the same CANTV cones; deriving
+            // both cache sets across worker threads up front means every
+            // later sweep is a cache hit.
+            let t1 = std::time::Instant::now();
+            world.prewarm(lacnet_crisis::config::windows::pfx2as_start(), config.end);
+            eprintln!(
+                "{} tables + {} cones cached in {:.1?}; running experiments …",
+                world.pfx2as_computations(),
+                world.cone_computations(),
+                t1.elapsed()
+            );
+            DataSource::in_memory(&world)
+        }
+    };
 
-    let mut results = experiments::all(&world);
-    results.extend(lacnet_core::extensions::all(&world));
+    let seed = source.config().seed;
+    let mut results = experiments::all(&source);
+    results.extend(lacnet_core::extensions::all(&source));
     let mut ok = 0usize;
     let mut diverged = 0usize;
     for result in &results {
@@ -108,7 +137,7 @@ fn main() {
         }
     }
     if let Some(path) = &markdown {
-        let md = lacnet_core::markdown::experiments_markdown(&results, config.seed);
+        let md = lacnet_core::markdown::experiments_markdown(&results, seed);
         std::fs::write(path, md).expect("write markdown");
         eprintln!("wrote {path}");
     }

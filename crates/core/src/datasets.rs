@@ -2,23 +2,31 @@
 //! each dataset's native format — the shape of the artifact bundle the
 //! paper publishes ("we make available all datasets and code").
 //!
+//! The tree is complete enough to *reload*: [`crate::source::ArchiveWorld`]
+//! rebuilds every dataset the battery consumes from these files alone,
+//! and the round-trip suite proves the reloaded battery byte-identical to
+//! the in-memory one.
+//!
 //! ```text
 //! <out>/
-//!   serial1/19980101.as-rel.txt …        CAIDA serial-1, yearly
-//!   pfx2as/routeviews-rv2-20080101.pfx2as …  RouteViews pfx2as, yearly
+//!   world/config.tsv                     the generating configuration
+//!   serial1/19980101.as-rel.txt …        CAIDA serial-1, monthly
+//!   pfx2as/routeviews-rv2-20080101.pfx2as …  RouteViews pfx2as, monthly
 //!   delegations/delegated-lacnic-20080101 …  NRO delegation files, yearly
-//!   peeringdb/peeringdb_2_dump_2018_04_01.json …  schema-v2 dumps, yearly
+//!                                        plus one full-history snapshot
+//!   peeringdb/peeringdb_2_dump_2018_04_01.json …  schema-v2 dumps, monthly
 //!   cables/cable-map.json                Telegeography-style export
 //!   offnets/scan-2013.json …             yearly TLS scans
 //!   topsites/VE.json …                   per-country scrapes
-//!   mlab/ndt-2023-07.tsv                 one month of NDT rows
-//!   atlas/reachability-VE-2019.tsv       daily connected probes
+//!   mlab/VE/ndt-2007-07.tsv …            per-(country, month) NDT shards
+//!   atlas/reachability-VE-2019.tsv …     daily connected probes, per country
 //!   MANIFEST.txt
 //! ```
 
+use lacnet_crisis::config::windows;
 use lacnet_crisis::{bandwidth, blackouts, World};
 use lacnet_types::rng::Rng;
-use lacnet_types::{country, Date, MonthStamp, Result};
+use lacnet_types::{country, sweep, Date, MonthStamp, Result};
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -44,8 +52,16 @@ fn write(root: &Path, rel: &str, contents: &str, summary: &mut DumpSummary) -> i
     Ok(())
 }
 
-/// Export the world's datasets under `root`. Yearly sampling for the
-/// monthly archives keeps the tree a few megabytes.
+/// The archive-relative path of one NDT shard.
+pub fn mlab_shard_path(shard: bandwidth::NdtShard) -> String {
+    let (cc, month) = shard;
+    format!("mlab/{cc}/ndt-{month}.tsv")
+}
+
+/// Export the world's datasets under `root`. Monthly resolution for every
+/// archive the battery reads monthly (serial-1, pfx2as, PeeringDB, NDT
+/// shards), so an [`crate::source::ArchiveWorld`] reload reproduces the
+/// in-memory battery byte for byte.
 pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
     let mut summary = DumpSummary {
         files: Vec::new(),
@@ -53,29 +69,50 @@ pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
     };
     let end = world.config.end;
 
-    // serial-1, one file per January.
+    // The config sidecar: the loader regenerates the model roots
+    // (economy, operators, DNS world) from exactly this configuration.
+    write(
+        root,
+        "world/config.tsv",
+        &world.config.to_text(),
+        &mut summary,
+    )?;
+
+    // Derive the monthly pfx2as tables across workers before the
+    // sequential write loop below reads them one by one.
+    world.prewarm(windows::pfx2as_start(), end);
+
+    // serial-1, one file per month of the archive.
     for (m, graph) in world.topology.iter() {
-        if m.month() != 1 {
-            continue;
-        }
-        let rel = format!("serial1/{}0101.as-rel.txt", m.year());
+        let rel = format!("serial1/{}{:02}01.as-rel.txt", m.year(), m.month());
         let text = lacnet_bgp::serial1::to_text(&graph.edges(), &format!("lacnet world {m}"));
         write(root, &rel, &text, &mut summary)?;
     }
 
-    // pfx2as + delegations, one per January from 2008.
+    // pfx2as, one file per month since 2008.
+    for m in windows::pfx2as_start().through(end) {
+        let table = world.pfx2as_at(m);
+        write(
+            root,
+            &format!(
+                "pfx2as/routeviews-rv2-{}{:02}01.pfx2as",
+                m.year(),
+                m.month()
+            ),
+            &table.to_text(),
+            &mut summary,
+        )?;
+    }
+
+    // Delegations: yearly snapshots as the registry publishes them, plus
+    // one full-history file at the archive's end date — the snapshot the
+    // loader rebuilds the allocation ledger from (it reads the *last*
+    // delegations entry in the manifest).
     for year in 2008..=end.year() {
         let m = MonthStamp::new(year, 1);
         if m > end {
             break;
         }
-        let table = world.pfx2as_at(m);
-        write(
-            root,
-            &format!("pfx2as/routeviews-rv2-{year}0101.pfx2as"),
-            &table.to_text(),
-            &mut summary,
-        )?;
         let file = world.addressing.delegation_file(Date::ymd(year, 1, 1));
         write(
             root,
@@ -84,12 +121,22 @@ pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
             &mut summary,
         )?;
     }
+    let last_day = end.last_day();
+    let file = world.addressing.delegation_file(last_day);
+    write(
+        root,
+        &format!(
+            "delegations/delegated-lacnic-{:04}{:02}{:02}",
+            last_day.year(),
+            last_day.month(),
+            last_day.day()
+        ),
+        &file.to_text(last_day),
+        &mut summary,
+    )?;
 
-    // PeeringDB dumps, one per April (the schema-v2 anniversary month).
+    // PeeringDB dumps, one per month of the schema-v2 era.
     for (m, snap) in world.peeringdb.iter() {
-        if m.month() != 4 {
-            continue;
-        }
         write(
             root,
             &format!(
@@ -130,19 +177,27 @@ pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
         )?;
     }
 
-    // One month of raw NDT rows (July 2023, the paper's comparison
-    // month), rendered by the sharded archive builder — the exported
-    // bytes are exactly the `(country, 2023-07)` shards of the same
-    // stream `world.mlab` aggregates.
-    let m = MonthStamp::new(2023, 7);
-    let rows = bandwidth::build_archive(
-        &world.operators,
-        world.config.seed,
-        world.config.mlab_volume_scale,
-        m,
-        m,
-    );
-    write(root, "mlab/ndt-2023-07.tsv", &rows, &mut summary)?;
+    // The full per-(country, month) NDT shard set — the same substreams
+    // `world.mlab` aggregated, rendered on sweep workers and written in
+    // plan order. Streaming the files back in this order replays the
+    // exact observation sequence into the P² estimators.
+    let plan = bandwidth::shard_plan(windows::mlab_start(), end);
+    let shards = sweep::parallel_map_with(sweep::worker_count(plan.len()), &plan, |&shard| {
+        let mut text = String::new();
+        for test in bandwidth::generate_shard(
+            &world.operators,
+            world.config.seed,
+            world.config.mlab_volume_scale,
+            shard,
+        ) {
+            text.push_str(&test.to_row());
+            text.push('\n');
+        }
+        text
+    });
+    for (&shard, text) in plan.iter().zip(&shards) {
+        write(root, &mlab_shard_path(shard), text, &mut summary)?;
+    }
 
     // A traceroute archive sample: every Venezuelan probe's path to
     // GPDNS at the final month (the raw form of MSM 1591146).
@@ -184,18 +239,21 @@ pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
         write(root, "atlas/traceroutes-ve.txt", &text, &mut summary)?;
     }
 
-    // Daily reachability for the blackout year.
+    // Daily reachability for the blackout year, one file per country.
     let reach = blackouts::daily_reachability(
         &world.dns,
         Date::ymd(2019, 1, 1),
         Date::ymd(2019, 12, 31),
         world.config.seed,
     );
-    let mut text = String::new();
-    for (day, n) in reach[&country::VE].iter() {
-        let _ = writeln!(text, "{day}\t{n}");
+    for (cc, series) in &reach {
+        write(
+            root,
+            &format!("atlas/reachability-{cc}-2019.tsv"),
+            &series.to_tsv(),
+            &mut summary,
+        )?;
     }
-    write(root, "atlas/reachability-VE-2019.tsv", &text, &mut summary)?;
 
     // Manifest.
     let mut manifest = String::new();
@@ -223,13 +281,12 @@ pub fn verify(root: &Path) -> Result<usize> {
     let mut checked = 0usize;
     let read = |rel: &str| -> String { fs::read_to_string(root.join(rel)).unwrap_or_default() };
     let manifest = read("MANIFEST.txt");
+    let mut agg =
+        lacnet_mlab::aggregate::MonthlyAggregator::new(lacnet_mlab::aggregate::Mode::Streaming);
     for rel in manifest.lines().filter(|l| !l.starts_with('#')) {
         if rel.starts_with("mlab/") {
             let file = fs::File::open(root.join(rel))
                 .map_err(|_| lacnet_types::Error::missing("NDT archive shard", rel))?;
-            let mut agg = lacnet_mlab::aggregate::MonthlyAggregator::new(
-                lacnet_mlab::aggregate::Mode::Streaming,
-            );
             agg.observe_reader(io::BufReader::new(file))?;
             checked += 1;
             continue;
@@ -251,6 +308,10 @@ pub fn verify(root: &Path) -> Result<usize> {
             lacnet_webmeas::CountryTopSites::from_json(&text)?;
         } else if rel.starts_with("atlas/traceroutes") {
             lacnet_atlas::traceroute::parse_traceroutes(&text)?;
+        } else if rel.starts_with("atlas/reachability") {
+            lacnet_atlas::outages::ReachabilitySeries::parse_tsv(&text)?;
+        } else if rel.starts_with("world/") {
+            lacnet_crisis::WorldConfig::parse(&text)?;
         } else if rel.starts_with("atlas/") || rel == "MANIFEST.txt" {
             // Plain TSV / manifest: nothing structured to validate.
         }
@@ -268,13 +329,16 @@ mod tests {
         let world = crate::experiments::testworld::world();
         let dir = std::env::temp_dir().join(format!("lacnet-dump-{}", std::process::id()));
         let summary = dump(world, &dir).expect("dump succeeds");
-        assert!(summary.files.len() > 50, "{} files", summary.files.len());
+        assert!(summary.files.len() > 2000, "{} files", summary.files.len());
         assert!(summary.bytes > 1_000_000, "{} bytes", summary.bytes);
         let checked = verify(&dir).expect("every file parses");
         assert_eq!(checked, summary.files.len());
         // Spot-check a known file exists with plausible content.
         let serial = std::fs::read_to_string(dir.join("serial1/20130101.as-rel.txt")).unwrap();
         assert!(serial.contains("|8048|-1"), "CANTV has providers in 2013");
+        // The shard tree covers the full per-(country, month) plan.
+        let ve_july = std::fs::read_to_string(dir.join("mlab/VE/ndt-2023-07.tsv")).unwrap();
+        assert!(ve_july.lines().count() > 10);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

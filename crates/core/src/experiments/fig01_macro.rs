@@ -2,12 +2,12 @@
 //! (−71%), inflation (32,000% peak), population (−14%).
 
 use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
-use lacnet_crisis::World;
+use crate::source::DataSource;
 use lacnet_types::country;
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
-    let e = &world.economy;
+pub fn run(src: &DataSource) -> ExperimentResult {
+    let e = src.economy();
     let oil = e.oil_production_ve().clone();
     let gdp = e.gdp_per_capita(country::VE).cloned().unwrap_or_default();
     let inflation = e.inflation_ve().clone();
@@ -88,8 +88,8 @@ mod tests {
 
     #[test]
     fn fig01_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert_eq!(r.id, "fig01");
         assert_eq!(r.findings.len(), 4);
         assert!(r.all_match(), "{:#?}", r.findings);

@@ -2,15 +2,15 @@
 //! the announced address space, monthly since 2008.
 
 use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
+use crate::source::DataSource;
 use lacnet_crisis::config::windows;
-use lacnet_crisis::World;
 use lacnet_types::{sweep, Asn, TimeSeries};
 
 /// Run the experiment. Joins monthly pfx2as snapshots (announced) against
 /// the delegation ledger (allocated) the way §4 describes.
-pub fn run(world: &World) -> ExperimentResult {
+pub fn run(src: &DataSource) -> ExperimentResult {
     let start = windows::pfx2as_start();
-    let end = world.config.end;
+    let end = src.config().end;
     let cantv = Asn(8048);
     let telefonica = Asn(6306);
 
@@ -19,8 +19,7 @@ pub fn run(world: &World) -> ExperimentResult {
     // holders, so the ledger's VE membership identifies them. The ledger
     // scan does not depend on the month, so it runs once.
     let ve_holders: Vec<Asn> = {
-        let mut holders: Vec<Asn> = world
-            .addressing
+        let mut holders: Vec<Asn> = src
             .ledger()
             .entries()
             .iter()
@@ -33,7 +32,7 @@ pub fn run(world: &World) -> ExperimentResult {
     };
 
     let monthly = sweep::month_range(start, end, |m| {
-        let table = world.pfx2as_at(m);
+        let table = src.pfx2as_at(m);
         let ve_total: u64 = ve_holders.iter().map(|&h| table.address_space_of(h)).sum();
         (
             ve_total,
@@ -133,8 +132,8 @@ mod tests {
 
     #[test]
     fn fig02_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
         let Artifact::Figure(fig) = &r.artifacts[0] else {
             panic!("figure expected")

@@ -2,14 +2,14 @@
 
 use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
 use crate::experiments::common;
-use lacnet_crisis::World;
+use crate::source::DataSource;
 use lacnet_peeringdb::analytics;
 use lacnet_types::country;
 use std::collections::BTreeMap;
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
-    let archive = &world.peeringdb;
+pub fn run(src: &DataSource) -> ExperimentResult {
+    let archive = src.peeringdb();
     let mut series = BTreeMap::new();
     for cc in country::lacnic_codes() {
         series.insert(cc, analytics::facility_count_series(archive, cc));
@@ -86,8 +86,8 @@ mod tests {
 
     #[test]
     fn fig03_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
         let Artifact::Figure(fig) = &r.artifacts[0] else {
             panic!()

@@ -2,15 +2,15 @@
 
 use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
 use crate::experiments::common;
-use lacnet_crisis::World;
+use crate::source::DataSource;
 use lacnet_types::{country, Date, MonthStamp};
 use std::collections::BTreeMap;
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
-    let map = &world.cables;
+pub fn run(src: &DataSource) -> ExperimentResult {
+    let map = src.cables();
     let start = MonthStamp::new(1990, 1);
-    let end = world.config.end;
+    let end = src.config().end;
 
     let mut series = BTreeMap::new();
     for cc in country::lacnic_codes() {
@@ -97,8 +97,8 @@ mod tests {
 
     #[test]
     fn fig04_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
     }
 }

@@ -2,15 +2,16 @@
 
 use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
 use crate::experiments::common;
+use crate::source::DataSource;
 use lacnet_crisis::config::windows;
-use lacnet_crisis::{ipv6, World};
+use lacnet_crisis::ipv6;
 use lacnet_types::{country, MonthStamp};
 use std::collections::BTreeMap;
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
+pub fn run(src: &DataSource) -> ExperimentResult {
     let start = windows::ipv6_start();
-    let end = MonthStamp::new(2023, 7).min(world.config.end);
+    let end = MonthStamp::new(2023, 7).min(src.config().end);
 
     let mut series = BTreeMap::new();
     for cc in country::lacnic_codes() {
@@ -89,8 +90,8 @@ mod tests {
 
     #[test]
     fn fig05_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
     }
 }

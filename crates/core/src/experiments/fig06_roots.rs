@@ -2,17 +2,17 @@
 
 use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
 use crate::experiments::common;
+use crate::source::DataSource;
 use lacnet_atlas::campaign;
 use lacnet_crisis::config::windows;
-use lacnet_crisis::World;
 use lacnet_types::{country, sweep, MonthStamp, TimeSeries};
 use std::collections::BTreeMap;
 
 /// Run the experiment. To keep the battery fast the campaign samples
 /// twice a year rather than monthly; endpoints are exact months.
-pub fn run(world: &World) -> ExperimentResult {
+pub fn run(src: &DataSource) -> ExperimentResult {
     let start = windows::chaos_start();
-    let end = world.config.end;
+    let end = src.config().end;
 
     // Sample months: January and July each year, plus the exact endpoints.
     let mut months: Vec<MonthStamp> = start
@@ -25,7 +25,7 @@ pub fn run(world: &World) -> ExperimentResult {
 
     // Each sample month's campaign is independent; sweep them across
     // worker threads and merge in month order.
-    let camp = campaign::ChaosCampaign::new(&world.dns.probes, &world.dns.roots);
+    let camp = campaign::ChaosCampaign::new(&src.dns().probes, &src.dns().roots);
     let sampled = sweep::months_sweep(&months, |m| {
         let obs = camp.run_month(m);
         campaign::replicas_by_country(&obs)
@@ -105,8 +105,8 @@ mod tests {
 
     #[test]
     fn fig06_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
     }
 }

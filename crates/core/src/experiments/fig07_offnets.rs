@@ -2,7 +2,7 @@
 //! off-nets, 2013–2021.
 
 use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
-use lacnet_crisis::World;
+use crate::source::DataSource;
 use lacnet_offnets::detect;
 use lacnet_offnets::hypergiants::by_name;
 use lacnet_types::country;
@@ -23,7 +23,7 @@ fn fig7_countries() -> Vec<lacnet_types::CountryCode> {
 }
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
+pub fn run(src: &DataSource) -> ExperimentResult {
     let mut panels = Vec::new();
     let mut findings = Vec::new();
 
@@ -32,11 +32,11 @@ pub fn run(world: &World) -> ExperimentResult {
         let mut lines = Vec::new();
         for cc in fig7_countries() {
             let series = detect::coverage_series(
-                &world.cert_scans,
+                src.cert_scans(),
                 hg,
                 cc,
-                world.operators.populations(),
-                world.operators.as2org(),
+                src.operators().populations(),
+                src.operators().as2org(),
             );
             lines.push(Line::new(cc.as_str(), series));
         }
@@ -51,7 +51,7 @@ pub fn run(world: &World) -> ExperimentResult {
         ("Netflix", 5.87, 0.4),
     ] {
         let measured =
-            lacnet_crisis::cdn::ve_mean_coverage(&world.operators, &world.cert_scans, name);
+            lacnet_crisis::cdn::ve_mean_coverage(src.operators(), src.cert_scans(), name);
         findings.push(Finding::numeric(
             format!("VE mean coverage, {name} (%)"),
             paper_mean,
@@ -62,19 +62,19 @@ pub fn run(world: &World) -> ExperimentResult {
     // The dual trend: early providers in VE pre-crisis, late ones modest.
     let netflix = by_name("Netflix").unwrap();
     let google = by_name("Google").unwrap();
-    let hosts_2014 = detect::detect_offnets(&world.cert_scans[1], google);
+    let hosts_2014 = detect::detect_offnets(&src.cert_scans()[1], google);
     let ve_google_2014 = detect::population_coverage(
         &hosts_2014,
         country::VE,
-        world.operators.populations(),
-        world.operators.as2org(),
+        src.operators().populations(),
+        src.operators().as2org(),
     );
-    let hosts_2016 = detect::detect_offnets(&world.cert_scans[3], netflix);
+    let hosts_2016 = detect::detect_offnets(&src.cert_scans()[3], netflix);
     let ve_netflix_2016 = detect::population_coverage(
         &hosts_2016,
         country::VE,
-        world.operators.populations(),
-        world.operators.as2org(),
+        src.operators().populations(),
+        src.operators().as2org(),
     );
     findings.push(Finding::claim(
         "dual trend: Google established pre-crisis, Netflix delayed",
@@ -102,8 +102,8 @@ mod tests {
 
     #[test]
     fn fig07_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
         let Artifact::Figure(fig) = &r.artifacts[0] else {
             panic!()

@@ -1,18 +1,18 @@
 //! Fig. 8 — CANTV's upstream and downstream connectivity over time.
 
 use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
+use crate::source::DataSource;
 use lacnet_bgp::analytics;
-use lacnet_crisis::World;
 use lacnet_types::{Asn, MonthStamp};
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
+pub fn run(src: &DataSource) -> ExperimentResult {
     let cantv = Asn(8048);
-    let up = analytics::upstream_series(&world.topology, cantv);
-    let down = analytics::downstream_series(&world.topology, cantv);
+    let up = analytics::upstream_series(src.topology(), cantv);
+    let down = analytics::downstream_series(src.topology(), cantv);
     // AS-rank's transit-size view of the same exodus: CANTV's customer
     // cone, served through the world's shared ConeCache.
-    let cone = world.cone_size_series(cantv);
+    let cone = src.cone_size_series(cantv);
 
     let peak = up.max_value().unwrap_or(0.0);
     let trough_2020 = up.get(MonthStamp::new(2020, 6)).unwrap_or(0.0);
@@ -71,8 +71,8 @@ mod tests {
 
     #[test]
     fn fig08_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
     }
 }

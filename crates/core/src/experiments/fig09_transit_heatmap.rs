@@ -2,13 +2,16 @@
 //! than 12 months since January 1998.
 
 use crate::artifact::{Artifact, ExperimentResult, Finding, Heatmap};
+use crate::source::DataSource;
 use lacnet_bgp::analytics::ProviderPresence;
-use lacnet_crisis::World;
 use lacnet_types::Asn;
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
-    let pp = ProviderPresence::compute(&world.topology, Asn(8048), 12);
+pub fn run(src: &DataSource) -> ExperimentResult {
+    // The presence matrix runs through the backend's shared ConeCache, so
+    // the per-month transit-neighbour sets are computed once per process
+    // however many times the battery (or Fig. 8) touches them.
+    let pp = ProviderPresence::compute_cached(src.topology(), Asn(8048), 12, src.cone_cache());
 
     let heat = Heatmap {
         id: "fig09".into(),
@@ -94,8 +97,8 @@ pub fn run(world: &World) -> ExperimentResult {
             // transit *down* to CANTV, so none of the heatmap's providers
             // may appear inside CANTV's own customer cone at the end of
             // the window.
-            let last = world.topology.last_month().expect("non-empty archive");
-            let cone = world.customer_cone_at(last, Asn(8048));
+            let last = src.topology().last_month().expect("non-empty archive");
+            let cone = src.customer_cone_at(last, Asn(8048));
             let inside: Vec<&Asn> = pp.providers.iter().filter(|p| cone.contains(p)).collect();
             Finding::claim(
                 "providers sit outside CANTV's customer cone",
@@ -125,8 +128,8 @@ mod tests {
 
     #[test]
     fn fig09_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
         let Artifact::Heatmap(h) = &r.artifacts[0] else {
             panic!()

@@ -2,16 +2,16 @@
 //! peering at the largest IXP of every Latin American country.
 
 use crate::artifact::{Artifact, ExperimentResult, Finding, Heatmap};
-use lacnet_crisis::World;
+use crate::source::DataSource;
 use lacnet_peeringdb::analytics;
 use lacnet_types::{country, Asn, CountryCode};
 use std::collections::BTreeSet;
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
+pub fn run(src: &DataSource) -> ExperimentResult {
     let region: Vec<CountryCode> = country::lacnic_codes().collect();
-    let largest = analytics::largest_ixp_members(&world.peeringdb, &region);
-    let pops = world.operators.populations();
+    let largest = analytics::largest_ixp_members(src.peeringdb(), &region);
+    let pops = src.operators().populations();
 
     // Columns: the IXPs, ordered by name. Rows: eyeball countries.
     let mut cols: Vec<(String, Vec<Asn>)> = largest.values().cloned().collect();
@@ -87,8 +87,8 @@ mod tests {
 
     #[test]
     fn fig10_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
         let Artifact::Heatmap(h) = &r.artifacts[0] else {
             panic!()

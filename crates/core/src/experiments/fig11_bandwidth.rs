@@ -2,13 +2,13 @@
 
 use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
 use crate::experiments::common;
-use lacnet_crisis::World;
+use crate::source::DataSource;
 use lacnet_types::{country, MonthStamp, TimeSeries};
 use std::collections::BTreeMap;
 
 /// Run the experiment over the streamed month-country aggregate.
-pub fn run(world: &World) -> ExperimentResult {
-    let agg = &world.mlab;
+pub fn run(src: &DataSource) -> ExperimentResult {
+    let agg = src.mlab();
     let mut series: BTreeMap<_, TimeSeries> = BTreeMap::new();
     for cc in agg.countries() {
         series.insert(cc, agg.median_series(cc));
@@ -142,8 +142,8 @@ mod tests {
         // The test world generates 10% of the default volume; widen the
         // estimator noise allowance by checking `all_match` still holds
         // (tolerances above are set with this in mind).
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
     }
 }

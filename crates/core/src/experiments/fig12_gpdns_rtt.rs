@@ -2,23 +2,23 @@
 
 use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
 use crate::experiments::common;
+use crate::source::DataSource;
 use lacnet_atlas::gpdns::{GpdnsCampaign, LatencyModel};
 use lacnet_crisis::config::windows;
-use lacnet_crisis::World;
 use lacnet_types::{country, MonthStamp, TimeSeries};
 use std::collections::BTreeMap;
 
 /// Run the experiment: the monthly min-RTT campaign, reduced to country
 /// medians, with the paper's last-6-months comparisons.
-pub fn run(world: &World) -> ExperimentResult {
+pub fn run(src: &DataSource) -> ExperimentResult {
     let campaign = GpdnsCampaign::new(
-        &world.dns.probes,
-        &world.dns.gpdns_sites,
+        &src.dns().probes,
+        &src.dns().gpdns_sites,
         LatencyModel::default(),
-        world.config.seed,
+        src.config().seed,
     );
     let start = windows::gpdns_start();
-    let end = world.config.end;
+    let end = src.config().end;
     let series: BTreeMap<_, TimeSeries> = campaign
         .median_series(start, end)
         .into_iter()
@@ -109,8 +109,8 @@ mod tests {
 
     #[test]
     fn fig12_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
     }
 }

@@ -3,13 +3,13 @@
 
 use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Panel, Table};
 use crate::experiments::common;
-use lacnet_crisis::World;
+use crate::source::DataSource;
 use lacnet_types::{country, MonthStamp, TimeSeries};
 use std::collections::BTreeMap;
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
-    let e = &world.economy;
+pub fn run(src: &DataSource) -> ExperimentResult {
+    let e = src.economy();
     let mut series: BTreeMap<_, TimeSeries> = BTreeMap::new();
     for &cc in e.imf_countries() {
         if let Some(s) = e.gdp_per_capita(cc) {
@@ -78,8 +78,8 @@ mod tests {
 
     #[test]
     fn fig13_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
         assert_eq!(r.artifacts.len(), 2);
     }

@@ -2,17 +2,17 @@
 //! Venezuela's announcements, 2016–2024.
 
 use crate::artifact::{Artifact, ExperimentResult, Finding, Heatmap};
+use crate::source::DataSource;
 use lacnet_crisis::addressing;
-use lacnet_crisis::World;
 use lacnet_types::{sweep, Asn, Ipv4Net, MonthStamp};
 use std::collections::BTreeMap;
 
 /// Run the experiment. Columns are quarterly to match the paper's
 /// rendering; visibility is read from the monthly pfx2as snapshots.
-pub fn run(world: &World) -> ExperimentResult {
+pub fn run(src: &DataSource) -> ExperimentResult {
     let telefonica = Asn(6306);
     let start = MonthStamp::new(2016, 1);
-    let end = world.config.end;
+    let end = src.config().end;
     let months: Vec<MonthStamp> = start
         .through(end)
         .filter(|m| matches!(m.month(), 3 | 6 | 9 | 12))
@@ -21,7 +21,7 @@ pub fn run(world: &World) -> ExperimentResult {
     // Union of all prefixes ever announced by Telefónica over the window:
     // read each column's snapshot across worker threads, then merge in
     // column order.
-    let columns = sweep::months_sweep(&months, |m| world.pfx2as_at(m).prefixes_of(telefonica));
+    let columns = sweep::months_sweep(&months, |m| src.pfx2as_at(m).prefixes_of(telefonica));
     let mut prefixes: BTreeMap<Ipv4Net, Vec<bool>> = BTreeMap::new();
     for (col, (_, announced)) in columns.into_iter().enumerate() {
         for p in announced {
@@ -98,7 +98,7 @@ pub fn run(world: &World) -> ExperimentResult {
             "ledger shows no contraction",
             "ledger is append-only",
             {
-                let l = world.addressing.ledger();
+                let l = src.ledger();
                 l.space_of_holder(telefonica, addressing::withdrawal_end().first_day())
                     >= l.space_of_holder(telefonica, addressing::withdrawal_start().first_day())
             },
@@ -119,8 +119,8 @@ mod tests {
 
     #[test]
     fn fig14_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
         let Artifact::Heatmap(h) = &r.artifacts[0] else {
             panic!()

@@ -2,13 +2,13 @@
 //! peering facilities.
 
 use crate::artifact::{Artifact, ExperimentResult, Finding, Heatmap, Table};
-use lacnet_crisis::World;
+use crate::source::DataSource;
 use lacnet_peeringdb::analytics;
 use lacnet_types::country;
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
-    let fp = analytics::FacilityPresence::compute(&world.peeringdb, country::VE);
+pub fn run(src: &DataSource) -> ExperimentResult {
+    let fp = analytics::FacilityPresence::compute(src.peeringdb(), country::VE);
 
     let heat = Heatmap {
         id: "fig15".into(),
@@ -22,17 +22,16 @@ pub fn run(world: &World) -> ExperimentResult {
             .collect(),
     };
 
-    let roster = analytics::facility_roster(&world.peeringdb, country::VE);
+    let roster = analytics::facility_roster(src.peeringdb(), country::VE);
     let mut rows = Vec::new();
     for (fac, asns) in &roster {
         for asn in asns {
-            let name = world
-                .operators
+            let name = src
+                .operators()
                 .by_asn(*asn)
                 .map(|o| o.name.clone())
                 .or_else(|| {
-                    world
-                        .peeringdb
+                    src.peeringdb()
                         .latest()
                         .and_then(|(_, s)| s.network_by_asn(*asn).map(|n| n.name.clone()))
                 })
@@ -100,8 +99,8 @@ mod tests {
 
     #[test]
     fn fig15_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
         let Artifact::Table(t) = &r.artifacts[1] else {
             panic!()

@@ -2,16 +2,16 @@
 //! Venezuelan probes, over time.
 
 use crate::artifact::{Artifact, ExperimentResult, Finding, Heatmap};
+use crate::source::DataSource;
 use lacnet_atlas::campaign;
 use lacnet_crisis::config::windows;
-use lacnet_crisis::World;
 use lacnet_types::{country, sweep, CountryCode, MonthStamp, TimeSeries};
 use std::collections::BTreeMap;
 
 /// Run the experiment (quarterly sampling).
-pub fn run(world: &World) -> ExperimentResult {
+pub fn run(src: &DataSource) -> ExperimentResult {
     let start = windows::chaos_start();
-    let end = world.config.end;
+    let end = src.config().end;
     let months: Vec<MonthStamp> = start
         .through(end)
         .filter(|m| matches!(m.month(), 1 | 4 | 7 | 10))
@@ -20,7 +20,7 @@ pub fn run(world: &World) -> ExperimentResult {
     // One origin sample per quarter, swept across worker threads and
     // merged in month order.
     let sampled = sweep::months_sweep(&months, |m| {
-        campaign::origin_heatmap(&world.dns.probes, &world.dns.roots, country::VE, m, m)
+        campaign::origin_heatmap(&src.dns().probes, &src.dns().roots, country::VE, m, m)
     });
     let mut heat_data: BTreeMap<CountryCode, TimeSeries> = BTreeMap::new();
     for (m, partial) in sampled {
@@ -114,8 +114,8 @@ mod tests {
 
     #[test]
     fn fig16_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
     }
 }

@@ -2,16 +2,16 @@
 
 use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
 use crate::experiments::common;
+use crate::source::DataSource;
 use lacnet_crisis::config::windows;
-use lacnet_crisis::World;
 use lacnet_types::{country, MonthStamp, TimeSeries};
 use std::collections::BTreeMap;
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
+pub fn run(src: &DataSource) -> ExperimentResult {
     let start = windows::chaos_start();
-    let end = world.config.end;
-    let probes = &world.dns.probes;
+    let end = src.config().end;
+    let probes = &src.dns().probes;
 
     let mut series: BTreeMap<_, TimeSeries> = BTreeMap::new();
     for cc in country::lacnic_codes() {
@@ -109,8 +109,8 @@ mod tests {
 
     #[test]
     fn fig17_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
     }
 }

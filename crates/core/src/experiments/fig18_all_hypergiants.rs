@@ -2,13 +2,13 @@
 //! hypergiants across the region.
 
 use crate::artifact::{Artifact, ExperimentResult, Figure, Finding, Line, Panel};
-use lacnet_crisis::World;
+use crate::source::DataSource;
 use lacnet_offnets::detect;
 use lacnet_offnets::HYPERGIANTS;
 use lacnet_types::country;
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
+pub fn run(src: &DataSource) -> ExperimentResult {
     let countries: Vec<_> = country::lacnic_codes().collect();
     let mut panels = Vec::new();
     let mut findings = Vec::new();
@@ -17,11 +17,11 @@ pub fn run(world: &World) -> ExperimentResult {
         let mut lines = Vec::new();
         for &cc in &countries {
             let series = detect::coverage_series(
-                &world.cert_scans,
+                src.cert_scans(),
                 hg,
                 cc,
-                world.operators.populations(),
-                world.operators.as2org(),
+                src.operators().populations(),
+                src.operators().as2org(),
             );
             if series.max_value().unwrap_or(0.0) > 0.0 {
                 lines.push(Line::new(cc.as_str(), series));
@@ -33,11 +33,11 @@ pub fn run(world: &World) -> ExperimentResult {
     // The minor six must have zero Venezuelan presence throughout.
     for hg in HYPERGIANTS.iter().skip(4) {
         let ve = detect::coverage_series(
-            &world.cert_scans,
+            src.cert_scans(),
             hg,
             country::VE,
-            world.operators.populations(),
-            world.operators.as2org(),
+            src.operators().populations(),
+            src.operators().as2org(),
         );
         findings.push(Finding::claim(
             format!("{} has no Venezuelan off-nets", hg.name),
@@ -78,8 +78,8 @@ mod tests {
 
     #[test]
     fn fig18_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
         let Artifact::Figure(fig) = &r.artifacts[0] else {
             panic!()

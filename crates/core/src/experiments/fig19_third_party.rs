@@ -2,14 +2,14 @@
 //! and HTTPS among each country's unique top sites.
 
 use crate::artifact::{Artifact, ExperimentResult, Finding, Table};
-use lacnet_crisis::World;
+use crate::source::DataSource;
 use lacnet_types::country;
 use lacnet_webmeas::scrape::unique_sites;
 use lacnet_webmeas::thirdparty::{AdoptionReport, ServiceKind};
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
-    let unique = unique_sites(&world.top_sites);
+pub fn run(src: &DataSource) -> ExperimentResult {
+    let unique = unique_sites(src.top_sites());
     let report = AdoptionReport::compute(&unique);
 
     let mut artifacts = Vec::new();
@@ -62,8 +62,8 @@ mod tests {
 
     #[test]
     fn fig19_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
         assert_eq!(r.artifacts.len(), 4);
     }

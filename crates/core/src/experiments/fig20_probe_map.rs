@@ -2,19 +2,19 @@
 //! RTT to Google Public DNS.
 
 use crate::artifact::{Artifact, ExperimentResult, Finding, Table};
+use crate::source::DataSource;
 use lacnet_atlas::gpdns::{GpdnsCampaign, LatencyModel, RttBucket};
-use lacnet_crisis::World;
 use lacnet_types::country;
 
 /// Run the experiment on the latest monthly snapshot.
-pub fn run(world: &World) -> ExperimentResult {
+pub fn run(src: &DataSource) -> ExperimentResult {
     let campaign = GpdnsCampaign::new(
-        &world.dns.probes,
-        &world.dns.gpdns_sites,
+        &src.dns().probes,
+        &src.dns().gpdns_sites,
         LatencyModel::default(),
-        world.config.seed,
+        src.config().seed,
     );
-    let month = world.config.end;
+    let month = src.config().end;
     let mut ve: Vec<_> = campaign
         .run_month(month)
         .into_iter()
@@ -89,8 +89,7 @@ pub fn run(world: &World) -> ExperimentResult {
             "none of the <20 ms probes are CANTV-hosted",
             "checked against the probe registry",
             fast.iter().all(|o| {
-                world
-                    .dns
+                src.dns()
                     .probes
                     .all()
                     .iter()
@@ -115,8 +114,8 @@ mod tests {
 
     #[test]
     fn fig20_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
         let Artifact::Table(t) = &r.artifacts[0] else {
             panic!()

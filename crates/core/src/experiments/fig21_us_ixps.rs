@@ -2,19 +2,19 @@
 //! States: population share and AS counts.
 
 use crate::artifact::{Artifact, ExperimentResult, Finding, Heatmap};
-use lacnet_crisis::World;
+use crate::source::DataSource;
 use lacnet_peeringdb::analytics;
 use lacnet_types::{country, Asn, CountryCode};
 use std::collections::BTreeSet;
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
-    let us_ixps = analytics::ixp_members_in(&world.peeringdb, country::US);
-    let pops = world.operators.populations();
+pub fn run(src: &DataSource) -> ExperimentResult {
+    let us_ixps = analytics::ixp_members_in(src.peeringdb(), country::US);
+    let pops = src.operators().populations();
     let region: Vec<CountryCode> = country::lacnic_codes().collect();
 
     // Country of each member AS, from the operator cast.
-    let country_of = |asn: Asn| world.operators.by_asn(asn).map(|o| o.country);
+    let country_of = |asn: Asn| src.operators().by_asn(asn).map(|o| o.country);
 
     let mut rows: Vec<CountryCode> = Vec::new();
     let mut share_cells: Vec<Vec<Option<f64>>> = Vec::new();
@@ -134,8 +134,8 @@ mod tests {
 
     #[test]
     fn fig21_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
         assert_eq!(r.artifacts.len(), 2);
     }

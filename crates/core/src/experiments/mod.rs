@@ -1,7 +1,7 @@
 //! One module per paper artifact. [`all`] runs the full battery.
 
 use crate::artifact::ExperimentResult;
-use lacnet_crisis::World;
+use crate::source::DataSource;
 
 pub mod fig01_macro;
 pub mod fig02_address_space;
@@ -59,8 +59,10 @@ pub(crate) mod common {
 }
 
 /// The battery, in paper order. Every experiment is a pure function of
-/// the world, which is what lets [`all`] distribute them across threads.
-const BATTERY: [fn(&World) -> ExperimentResult; 22] = [
+/// its [`DataSource`], which is what lets [`all`] distribute them across
+/// threads — and what lets the archive round-trip suite run the same
+/// functions against a world parsed back from disk.
+const BATTERY: [fn(&DataSource) -> ExperimentResult; 22] = [
     fig01_macro::run,
     fig02_address_space::run,
     fig03_facilities::run,
@@ -89,27 +91,35 @@ const BATTERY: [fn(&World) -> ExperimentResult; 22] = [
 /// worker threads. The result is identical — byte for byte once rendered
 /// — to [`all_serial`]; `tests/parallel_equivalence.rs` holds that
 /// invariant.
-pub fn all(world: &World) -> Vec<ExperimentResult> {
-    lacnet_types::sweep::parallel_map(&BATTERY, |run| run(world))
+pub fn all(source: &DataSource) -> Vec<ExperimentResult> {
+    lacnet_types::sweep::parallel_map(&BATTERY, |run| run(source))
 }
 
 /// Run every experiment in paper order on the calling thread — the
 /// reference implementation the parallel battery is checked against.
-pub fn all_serial(world: &World) -> Vec<ExperimentResult> {
-    BATTERY.iter().map(|run| run(world)).collect()
+pub fn all_serial(source: &DataSource) -> Vec<ExperimentResult> {
+    BATTERY.iter().map(|run| run(source)).collect()
 }
 
 /// Shared lazily-generated world for the experiment test modules — world
 /// generation takes seconds, so the test binary builds it once.
 #[cfg(test)]
 pub(crate) mod testworld {
+    use crate::source::DataSource;
     use lacnet_crisis::{World, WorldConfig};
     use std::sync::OnceLock;
 
     static WORLD: OnceLock<World> = OnceLock::new();
+    static SOURCE: OnceLock<DataSource<'static>> = OnceLock::new();
 
     /// The shared test world.
     pub fn world() -> &'static World {
         WORLD.get_or_init(|| World::generate(WorldConfig::test()))
+    }
+
+    /// The shared test world behind the in-memory [`DataSource`] the
+    /// experiment tests run against.
+    pub fn source() -> &'static DataSource<'static> {
+        SOURCE.get_or_init(|| DataSource::in_memory(world()))
     }
 }

@@ -2,12 +2,12 @@
 //! estimated Internet population.
 
 use crate::artifact::{Artifact, ExperimentResult, Finding, Table};
-use lacnet_crisis::World;
+use crate::source::DataSource;
 use lacnet_types::{country, Asn};
 
 /// Run the experiment.
-pub fn run(world: &World) -> ExperimentResult {
-    let pops = world.operators.populations();
+pub fn run(src: &DataSource) -> ExperimentResult {
+    let pops = src.operators().populations();
     let ranked = pops.ranked(country::VE);
     let total = pops.country_total(country::VE);
     let top10: Vec<(Asn, u64)> = ranked.iter().take(10).copied().collect();
@@ -16,8 +16,8 @@ pub fn run(world: &World) -> ExperimentResult {
     let rows: Vec<Vec<String>> = top10
         .iter()
         .map(|&(asn, users)| {
-            let name = world
-                .operators
+            let name = src
+                .operators()
                 .by_asn(asn)
                 .map(|o| o.name.clone())
                 .unwrap_or_else(|| "?".into());
@@ -77,8 +77,8 @@ mod tests {
 
     #[test]
     fn tab01_reproduces() {
-        let world = crate::experiments::testworld::world();
-        let r = run(world);
+        let src = crate::experiments::testworld::source();
+        let r = run(src);
         assert!(r.all_match(), "{:#?}", r.findings);
         let Artifact::Table(t) = &r.artifacts[0] else {
             panic!()

@@ -11,28 +11,25 @@
 //!   claim that fibre entrants, not CANTV, drive the 2022 recovery).
 
 use crate::artifact::{Artifact, ExperimentResult, Finding, Table};
+use crate::source::DataSource;
 use lacnet_bgp::inference::{self, RelationshipInference};
-use lacnet_crisis::{bandwidth, blackouts, World};
+use lacnet_crisis::bandwidth;
 use lacnet_mlab::multi::{Group, Metric};
 use lacnet_types::{country, Asn, Date, MonthStamp};
 
 /// Run all extension analyses, each on its own worker thread (they are
-/// independent pure functions of the world, like the paper battery).
-pub fn all(world: &World) -> Vec<ExperimentResult> {
-    const EXTENSIONS: [fn(&World) -> ExperimentResult; 3] =
+/// independent pure functions of their [`DataSource`], like the paper
+/// battery).
+pub fn all(source: &DataSource) -> Vec<ExperimentResult> {
+    const EXTENSIONS: [fn(&DataSource) -> ExperimentResult; 3] =
         [ext_blackouts, ext_inference, ext_network_split];
-    lacnet_types::sweep::parallel_map(&EXTENSIONS, |run| run(world))
+    lacnet_types::sweep::parallel_map(&EXTENSIONS, |run| run(source))
 }
 
 /// Outage detection over the 2019 blackout year.
-pub fn ext_blackouts(world: &World) -> ExperimentResult {
+pub fn ext_blackouts(src: &DataSource) -> ExperimentResult {
     use lacnet_atlas::outages::{detect_all, DetectorConfig};
-    let series = blackouts::daily_reachability(
-        &world.dns,
-        Date::ymd(2019, 1, 1),
-        Date::ymd(2019, 12, 31),
-        world.config.seed,
-    );
+    let series = src.reachability_2019();
     let detected = detect_all(&series, DetectorConfig::default());
     let ve = detected.get(&country::VE).cloned().unwrap_or_default();
 
@@ -87,19 +84,22 @@ pub fn ext_blackouts(world: &World) -> ExperimentResult {
 }
 
 /// Relationship-inference accuracy against the world's ground truth.
-pub fn ext_inference(world: &World) -> ExperimentResult {
+pub fn ext_inference(src: &DataSource) -> ExperimentResult {
     let m = MonthStamp::new(2020, 6);
-    let graph = world.topology.get(m).expect("snapshot exists");
+    let graph = src.topology().get(m).expect("snapshot exists");
     // Collector RIB: paths from propagating every Venezuelan origin plus
     // the transit cast (a realistic partial view, not the full mesh).
+    // Route trees come through the backend's shared ConeCache, so origins
+    // Fig. 9's transit matrix already expanded are free here.
+    let cache = src.cone_cache();
     let mut paths = Vec::new();
-    for op in world.operators.in_country(country::VE) {
+    for op in src.operators().in_country(country::VE) {
         if graph.contains(op.asn) {
-            paths.extend(lacnet_bgp::PathOutcome::compute(graph, op.asn).all_paths());
+            paths.extend(cache.paths(m, graph, op.asn).all_paths());
         }
     }
     for asn in lacnet_crisis::topology::TIER1 {
-        paths.extend(lacnet_bgp::PathOutcome::compute(graph, Asn(*asn)).all_paths());
+        paths.extend(cache.paths(m, graph, Asn(*asn)).all_paths());
     }
     let mut inf = RelationshipInference::new(1.25);
     inf.observe_degrees(&paths);
@@ -147,8 +147,8 @@ pub fn ext_inference(world: &World) -> ExperimentResult {
                 && e.rel == lacnet_bgp::AsRelationship::ProviderToCustomer
         })
     });
-    let enterprise_edges_clean = world
-        .operators
+    let enterprise_edges_clean = src
+        .operators()
         .enterprises(country::VE)
         .iter()
         .take(10)
@@ -195,12 +195,12 @@ pub fn ext_inference(world: &World) -> ExperimentResult {
 /// Venezuela's per-network download medians in July 2023, reduced from
 /// the sharded per-network archive build (same sweep/merge machinery as
 /// the aggregate Fig. 11 stream, at 8× volume for estimator stability).
-pub fn ext_network_split(world: &World) -> ExperimentResult {
+pub fn ext_network_split(src: &DataSource) -> ExperimentResult {
     let m = MonthStamp::new(2023, 7);
     let agg = bandwidth::build_multi_aggregate(
-        &world.operators,
-        world.config.seed,
-        world.config.mlab_volume_scale.max(1.0) * 8.0,
+        src.operators(),
+        src.config().seed,
+        src.config().mlab_volume_scale.max(1.0) * 8.0,
         m,
         m,
     );
@@ -210,8 +210,8 @@ pub fn ext_network_split(world: &World) -> ExperimentResult {
             .get(m)
             .unwrap_or(0.0)
     };
-    let mut rows: Vec<(u32, String, f64)> = world
-        .operators
+    let mut rows: Vec<(u32, String, f64)> = src
+        .operators()
         .eyeballs(country::VE)
         .iter()
         .map(|o| (o.asn.raw(), o.name.clone(), med(o.asn.raw())))
@@ -260,8 +260,8 @@ mod tests {
 
     #[test]
     fn extensions_all_match() {
-        let world = crate::experiments::testworld::world();
-        for result in all(world) {
+        let src = crate::experiments::testworld::source();
+        for result in all(src) {
             assert!(result.all_match(), "{}: {:#?}", result.id, result.findings);
             assert!(!result.artifacts.is_empty());
         }

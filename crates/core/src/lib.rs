@@ -23,5 +23,7 @@ pub mod experiments;
 pub mod extensions;
 pub mod markdown;
 pub mod render;
+pub mod source;
 
 pub use artifact::{Artifact, ExperimentResult, Figure, Finding, Heatmap, Line, Panel, Table};
+pub use source::{ArchiveWorld, DataSource};

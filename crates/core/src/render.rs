@@ -39,6 +39,64 @@ pub fn render_result(result: &ExperimentResult) -> String {
     out
 }
 
+/// Render one experiment result in a stable, diff-friendly TSV form:
+/// every line of every panel month-by-month, every table row, every
+/// occupied heatmap cell, every finding. This is the byte stream the
+/// golden fixtures under `tests/golden/` hold and the archive round-trip
+/// suite compares across backends; f64 values use Rust's
+/// shortest-roundtrip formatting, deterministic across platforms.
+pub fn canonical_tsv(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "id\t{}", result.id);
+    let _ = writeln!(w, "title\t{}", result.title);
+    for f in &result.findings {
+        let _ = writeln!(
+            w,
+            "finding\t{}\t{}\t{}\t{}",
+            f.metric, f.paper, f.measured, f.matches
+        );
+    }
+    for artifact in &result.artifacts {
+        match artifact {
+            Artifact::Figure(fig) => {
+                let _ = writeln!(w, "figure\t{}\t{}", fig.id, fig.caption);
+                for panel in &fig.panels {
+                    for line in &panel.lines {
+                        for (m, v) in line.series.iter() {
+                            let _ = writeln!(
+                                w,
+                                "line\t{}\t{}\t{}\t{}\t{}",
+                                fig.id, panel.title, line.label, m, v
+                            );
+                        }
+                    }
+                }
+            }
+            Artifact::Table(tab) => {
+                let _ = writeln!(w, "table\t{}\t{}", tab.id, tab.caption);
+                let _ = writeln!(w, "headers\t{}", tab.headers.join("\t"));
+                for row in &tab.rows {
+                    let _ = writeln!(w, "row\t{}", row.join("\t"));
+                }
+            }
+            Artifact::Heatmap(heat) => {
+                let _ = writeln!(w, "heatmap\t{}\t{}", heat.id, heat.caption);
+                let _ = writeln!(w, "heatmap-rows\t{}", heat.rows.join("\t"));
+                let _ = writeln!(w, "heatmap-cols\t{}", heat.cols.join("\t"));
+                for (r, row) in heat.cells.iter().enumerate() {
+                    for (c, cell) in row.iter().enumerate() {
+                        if let Some(v) = cell {
+                            let _ = writeln!(w, "cell\t{}\t{}\t{}", r, c, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Render one artifact as text.
 pub fn render_artifact(artifact: &Artifact) -> String {
     match artifact {

@@ -1,0 +1,450 @@
+//! The `DataSource` abstraction: one access surface for the experiment
+//! battery, served by two interchangeable backends.
+//!
+//! * [`DataSource::InMemory`] borrows a generated [`World`] — the fast
+//!   path every unit test and the default `vzla-report` run use.
+//! * [`DataSource::Archive`] owns an [`ArchiveWorld`] reloaded from a
+//!   [`crate::datasets::dump`] tree: every dataset is rebuilt by parsing
+//!   the dumped native-format files (serial-1 relationship files,
+//!   RouteViews pfx2as, NRO delegations, PeeringDB v2 JSON dumps, the
+//!   Telegeography cable map, yearly TLS scans, top-site scrapes,
+//!   streamed M-Lab NDT shards, Atlas reachability TSVs), exactly as the
+//!   pipeline would parse the real archives.
+//!
+//! Both backends carry their own pfx2as `SnapshotCache` and `ConeCache`,
+//! so month-table and cone memoization behave identically on either
+//! path. The round-trip suite (`tests/archive_roundtrip.rs`) proves the
+//! full battery renders byte-identically from both.
+
+use lacnet_atlas::outages::ReachabilitySeries;
+use lacnet_bgp::{AsGraph, ConeCache, PfxToAs, TopologyArchive};
+use lacnet_crisis::config::windows;
+use lacnet_crisis::dns::{self, DnsWorld};
+use lacnet_crisis::operators::Operators;
+use lacnet_crisis::world::SnapshotCache;
+use lacnet_crisis::{bandwidth, blackouts, Economy, World, WorldConfig};
+use lacnet_mlab::aggregate::{Mode, MonthlyAggregator};
+use lacnet_offnets::certs::CertScan;
+use lacnet_peeringdb::{Snapshot, SnapshotArchive};
+use lacnet_registry::{AllocationLedger, DelegationFile};
+use lacnet_telegeo::CableMap;
+use lacnet_types::{sweep, Asn, CountryCode, Date, Error, MonthStamp, Result, TimeSeries};
+use lacnet_webmeas::CountryTopSites;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A world reloaded from a dumped archive tree: the model roots
+/// (economy, operators, DNS world) regenerated from the config sidecar,
+/// every measured dataset parsed from its native-format files.
+pub struct ArchiveWorld {
+    /// The configuration read from `world/config.tsv`.
+    pub config: WorldConfig,
+    /// Regenerated macro-economy (a pure function of the config).
+    pub economy: Economy,
+    /// Regenerated operator cast (a pure function of the seed).
+    pub operators: Operators,
+    /// Regenerated probes/roots/GPDNS world (a pure function of the seed).
+    pub dns: DnsWorld,
+    /// Topology parsed from the monthly serial-1 files.
+    pub topology: TopologyArchive,
+    /// Allocation ledger rebuilt from the full-history delegation file.
+    pub ledger: AllocationLedger,
+    /// PeeringDB snapshots parsed from the monthly JSON dumps.
+    pub peeringdb: SnapshotArchive,
+    /// Cable map parsed from the Telegeography-style export.
+    pub cables: CableMap,
+    /// M-Lab aggregation streamed from the per-(country, month) shards.
+    pub mlab: MonthlyAggregator,
+    /// TLS scans parsed from the yearly off-net exports, manifest order.
+    pub cert_scans: Vec<CertScan>,
+    /// Top-site scrapes parsed per country, manifest order.
+    pub top_sites: Vec<CountryTopSites>,
+    /// Daily reachability parsed from the per-country Atlas TSVs.
+    pub reachability: BTreeMap<CountryCode, ReachabilitySeries>,
+    root: PathBuf,
+    pfx2as_cache: SnapshotCache,
+    cone_cache: ConeCache,
+}
+
+fn month_from_name(name: &str, prefix: &str, suffix: &str) -> Option<MonthStamp> {
+    let stamp = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    // `YYYYMMDD` (day ignored) or `YYYY_MM_DD` with either separator.
+    let digits: String = stamp.chars().filter(|c| c.is_ascii_digit()).collect();
+    if digits.len() < 6 {
+        return None;
+    }
+    let year: i32 = digits[0..4].parse().ok()?;
+    let month: u8 = digits[4..6].parse().ok()?;
+    (1..=12)
+        .contains(&month)
+        .then(|| MonthStamp::new(year, month))
+}
+
+impl ArchiveWorld {
+    /// Load an archive dumped by [`crate::datasets::dump`] from `root`,
+    /// parsing every dataset from its native format. NDT shards are
+    /// *streamed* through `ndt::stream_rows` in shard-plan order — the
+    /// exact observation sequence the in-memory aggregator saw — so the
+    /// order-sensitive P² estimators land in identical state.
+    pub fn load(root: &Path) -> Result<ArchiveWorld> {
+        let read = |rel: &str| -> Result<String> {
+            fs::read_to_string(root.join(rel))
+                .map_err(|_| Error::missing("archive file", format!("{}/{rel}", root.display())))
+        };
+        let config = WorldConfig::parse(&read("world/config.tsv")?)?;
+
+        // The model roots are pure functions of the config; regenerating
+        // them is the archive's equivalent of carrying them as sidecars.
+        let (economy, (operators, dns_world)) = sweep::join2(
+            || Economy::generate(config.economy_start, config.end),
+            || {
+                sweep::join2(
+                    || Operators::generate(config.seed),
+                    || dns::build_dns_world(config.seed),
+                )
+            },
+        );
+
+        let manifest = read("MANIFEST.txt")?;
+        let entries: Vec<&str> = manifest
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .collect();
+
+        let mut topology = TopologyArchive::new();
+        let mut peeringdb = SnapshotArchive::new();
+        let mut cables: Option<CableMap> = None;
+        let mut cert_scans = Vec::new();
+        let mut top_sites = Vec::new();
+        let mut reachability = BTreeMap::new();
+        let mut last_delegations: Option<&str> = None;
+
+        for &rel in &entries {
+            if let Some(name) = rel.strip_prefix("serial1/") {
+                let m = month_from_name(name, "", ".as-rel.txt")
+                    .ok_or_else(|| Error::parse("serial-1 file month", rel))?;
+                let edges = lacnet_bgp::serial1::parse(&read(rel)?)?;
+                topology.insert(m, AsGraph::from_edges(edges));
+            } else if let Some(name) = rel.strip_prefix("peeringdb/") {
+                let m = month_from_name(name, "peeringdb_2_dump_", ".json")
+                    .ok_or_else(|| Error::parse("peeringdb dump month", rel))?;
+                peeringdb.insert(m, Snapshot::from_json(&read(rel)?)?);
+            } else if rel.starts_with("delegations/") {
+                last_delegations = Some(rel);
+            } else if rel.starts_with("cables/") {
+                cables = Some(CableMap::from_json(&read(rel)?)?);
+            } else if rel.starts_with("offnets/") {
+                cert_scans.push(CertScan::from_json(&read(rel)?)?);
+            } else if rel.starts_with("topsites/") {
+                top_sites.push(CountryTopSites::from_json(&read(rel)?)?);
+            } else if let Some(name) = rel.strip_prefix("atlas/reachability-") {
+                let code = name.split('-').next().unwrap_or_default();
+                let cc = CountryCode::new(code)
+                    .map_err(|_| Error::parse("reachability file country", rel))?;
+                reachability.insert(cc, ReachabilitySeries::parse_tsv(&read(rel)?)?);
+            }
+            // mlab/ shards are streamed below in plan order; traceroute
+            // samples and the manifest itself carry no battery state.
+        }
+
+        let last_delegations =
+            last_delegations.ok_or_else(|| Error::missing("archive dataset", "delegations/"))?;
+        let ledger = AllocationLedger::from_delegation_file(&DelegationFile::parse(&read(
+            last_delegations,
+        )?)?)?;
+
+        let mut mlab = MonthlyAggregator::new(Mode::Streaming);
+        for shard in bandwidth::shard_plan(windows::mlab_start(), config.end) {
+            let rel = crate::datasets::mlab_shard_path(shard);
+            let file = fs::File::open(root.join(&rel))
+                .map_err(|_| Error::missing("NDT archive shard", &rel))?;
+            mlab.observe_reader(io::BufReader::new(file))?;
+        }
+
+        Ok(ArchiveWorld {
+            config,
+            economy,
+            operators,
+            dns: dns_world,
+            topology,
+            ledger,
+            peeringdb,
+            cables: cables.ok_or_else(|| Error::missing("archive dataset", "cables/"))?,
+            mlab,
+            cert_scans,
+            top_sites,
+            reachability,
+            root: root.to_owned(),
+            pfx2as_cache: SnapshotCache::new(),
+            cone_cache: ConeCache::new(),
+        })
+    }
+
+    /// The pfx2as table for `month`, parsed lazily from the monthly dump
+    /// and memoized. Months outside the dumped window serve the empty
+    /// table (the archive, like the real one, starts in 2008).
+    pub fn pfx2as_at(&self, month: MonthStamp) -> Arc<PfxToAs> {
+        self.pfx2as_cache.get_or_compute(month, || {
+            let rel = format!(
+                "pfx2as/routeviews-rv2-{}{:02}01.pfx2as",
+                month.year(),
+                month.month()
+            );
+            match fs::read_to_string(self.root.join(&rel)) {
+                Ok(text) => PfxToAs::parse(&text).unwrap_or_else(|e| {
+                    panic!("archive pfx2as {rel} does not parse: {e}");
+                }),
+                Err(_) => PfxToAs::new(),
+            }
+        })
+    }
+
+    /// The customer cone of `asn` at `month`, memoized in the archive's
+    /// own [`ConeCache`] — same contract as [`World::customer_cone_at`].
+    pub fn customer_cone_at(&self, month: MonthStamp, asn: Asn) -> Arc<BTreeSet<Asn>> {
+        self.cone_cache
+            .get_or_compute(month, asn, || match self.topology.get(month) {
+                Some(graph) => graph.customer_cone(asn),
+                None => BTreeSet::from([asn]),
+            })
+    }
+}
+
+/// One access surface for every dataset the battery consumes, backed
+/// either by a borrowed in-memory [`World`] or by an owned
+/// [`ArchiveWorld`] parsed from disk.
+pub enum DataSource<'w> {
+    /// Borrow a generated world.
+    InMemory(&'w World),
+    /// Own a world reloaded from a dumped archive tree.
+    Archive(Box<ArchiveWorld>),
+}
+
+impl<'w> DataSource<'w> {
+    /// Wrap a generated world.
+    pub fn in_memory(world: &'w World) -> Self {
+        DataSource::InMemory(world)
+    }
+
+    /// Load the archive backend from a dump tree (see
+    /// [`ArchiveWorld::load`]).
+    pub fn from_archive(root: &Path) -> Result<Self> {
+        Ok(DataSource::Archive(Box::new(ArchiveWorld::load(root)?)))
+    }
+
+    /// The backend's name, for progress reporting.
+    pub fn backend(&self) -> &'static str {
+        match self {
+            DataSource::InMemory(_) => "in-memory",
+            DataSource::Archive(_) => "archive",
+        }
+    }
+
+    /// The world configuration.
+    pub fn config(&self) -> &WorldConfig {
+        match self {
+            DataSource::InMemory(w) => &w.config,
+            DataSource::Archive(a) => &a.config,
+        }
+    }
+
+    /// The macro-economy (Fig. 1, Fig. 13).
+    pub fn economy(&self) -> &Economy {
+        match self {
+            DataSource::InMemory(w) => &w.economy,
+            DataSource::Archive(a) => &a.economy,
+        }
+    }
+
+    /// The operator cast, as2org mapping and populations.
+    pub fn operators(&self) -> &Operators {
+        match self {
+            DataSource::InMemory(w) => &w.operators,
+            DataSource::Archive(a) => &a.operators,
+        }
+    }
+
+    /// Monthly AS-relationship snapshots (Figs. 8, 9).
+    pub fn topology(&self) -> &TopologyArchive {
+        match self {
+            DataSource::InMemory(w) => &w.topology,
+            DataSource::Archive(a) => &a.topology,
+        }
+    }
+
+    /// The allocation ledger (Figs. 2, 14).
+    pub fn ledger(&self) -> &AllocationLedger {
+        match self {
+            DataSource::InMemory(w) => w.addressing.ledger(),
+            DataSource::Archive(a) => &a.ledger,
+        }
+    }
+
+    /// Monthly PeeringDB snapshots (Figs. 3, 10, 15, 21).
+    pub fn peeringdb(&self) -> &SnapshotArchive {
+        match self {
+            DataSource::InMemory(w) => &w.peeringdb,
+            DataSource::Archive(a) => &a.peeringdb,
+        }
+    }
+
+    /// The submarine cable map (Fig. 4).
+    pub fn cables(&self) -> &CableMap {
+        match self {
+            DataSource::InMemory(w) => &w.cables,
+            DataSource::Archive(a) => &a.cables,
+        }
+    }
+
+    /// Probes, root deployment and GPDNS sites (Figs. 6, 12, 16, 17, 20).
+    pub fn dns(&self) -> &DnsWorld {
+        match self {
+            DataSource::InMemory(w) => &w.dns,
+            DataSource::Archive(a) => &a.dns,
+        }
+    }
+
+    /// The streamed M-Lab aggregation (Fig. 11).
+    pub fn mlab(&self) -> &MonthlyAggregator {
+        match self {
+            DataSource::InMemory(w) => &w.mlab,
+            DataSource::Archive(a) => &a.mlab,
+        }
+    }
+
+    /// Yearly TLS scans 2013–2021 (Figs. 7, 18).
+    pub fn cert_scans(&self) -> &[CertScan] {
+        match self {
+            DataSource::InMemory(w) => &w.cert_scans,
+            DataSource::Archive(a) => &a.cert_scans,
+        }
+    }
+
+    /// Top-site scrapes, January 2024 (Fig. 19).
+    pub fn top_sites(&self) -> &[CountryTopSites] {
+        match self {
+            DataSource::InMemory(w) => &w.top_sites,
+            DataSource::Archive(a) => &a.top_sites,
+        }
+    }
+
+    /// The announced-prefix table for `month`, memoized per backend —
+    /// derived from the topology in memory, parsed from the monthly dump
+    /// on the archive path.
+    pub fn pfx2as_at(&self, month: MonthStamp) -> Arc<PfxToAs> {
+        match self {
+            DataSource::InMemory(w) => w.pfx2as_at(month),
+            DataSource::Archive(a) => a.pfx2as_at(month),
+        }
+    }
+
+    /// The customer cone of `asn` at `month`, memoized in the backend's
+    /// [`ConeCache`].
+    pub fn customer_cone_at(&self, month: MonthStamp, asn: Asn) -> Arc<BTreeSet<Asn>> {
+        match self {
+            DataSource::InMemory(w) => w.customer_cone_at(month, asn),
+            DataSource::Archive(a) => a.customer_cone_at(month, asn),
+        }
+    }
+
+    /// `asn`'s cone size for every month of the topology archive, served
+    /// through the backend's cache on sweep workers.
+    pub fn cone_size_series(&self, asn: Asn) -> TimeSeries {
+        match self {
+            DataSource::InMemory(w) => w.cone_size_series(asn),
+            DataSource::Archive(a) => {
+                let months: Vec<MonthStamp> = a.topology.iter().map(|(m, _)| m).collect();
+                sweep::months_sweep(&months, |m| a.customer_cone_at(m, asn).len() as f64)
+                    .into_iter()
+                    .collect()
+            }
+        }
+    }
+
+    /// The backend's shared [`ConeCache`] handle, for cache-aware
+    /// analytics: the Fig. 9 transit matrix and the inference extension's
+    /// path computations memoize through it.
+    pub fn cone_cache(&self) -> &ConeCache {
+        match self {
+            DataSource::InMemory(w) => w.cone_cache(),
+            DataSource::Archive(a) => &a.cone_cache,
+        }
+    }
+
+    /// Daily per-country probe reachability for the 2019 blackout year —
+    /// simulated from the DNS world in memory, parsed from the Atlas
+    /// TSVs on the archive path.
+    pub fn reachability_2019(&self) -> BTreeMap<CountryCode, ReachabilitySeries> {
+        match self {
+            DataSource::InMemory(w) => blackouts::daily_reachability(
+                &w.dns,
+                Date::ymd(2019, 1, 1),
+                Date::ymd(2019, 12, 31),
+                w.config.seed,
+            ),
+            DataSource::Archive(a) => a.reachability.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lacnet_types::country;
+
+    #[test]
+    fn in_memory_source_mirrors_the_world() {
+        let world = crate::experiments::testworld::world();
+        let src = DataSource::in_memory(world);
+        assert_eq!(src.backend(), "in-memory");
+        assert_eq!(src.config(), &world.config);
+        assert_eq!(src.topology().len(), world.topology.len());
+        assert_eq!(src.cert_scans().len(), world.cert_scans.len());
+        let m = MonthStamp::new(2020, 6);
+        assert!(Arc::ptr_eq(&src.pfx2as_at(m), &world.pfx2as_at(m)));
+        assert!(Arc::ptr_eq(
+            &src.customer_cone_at(m, lacnet_crisis::world::FOCAL_AS),
+            &world.customer_cone_at(m, lacnet_crisis::world::FOCAL_AS)
+        ));
+        assert!(src.reachability_2019().contains_key(&country::VE));
+    }
+
+    #[test]
+    fn archive_source_reloads_every_dataset() {
+        let world = crate::experiments::testworld::world();
+        let dir = std::env::temp_dir().join(format!("lacnet-src-{}", std::process::id()));
+        crate::datasets::dump(world, &dir).expect("dump succeeds");
+        let src = DataSource::from_archive(&dir).expect("archive loads");
+        assert_eq!(src.backend(), "archive");
+        assert_eq!(src.config(), &world.config);
+        assert_eq!(src.topology().len(), world.topology.len());
+        assert_eq!(src.peeringdb().len(), world.peeringdb.len());
+        assert_eq!(src.cert_scans().len(), world.cert_scans.len());
+        assert_eq!(src.top_sites().len(), world.top_sites.len());
+        assert_eq!(src.mlab().group_count(), world.mlab.group_count());
+        let m = MonthStamp::new(2020, 6);
+        assert_eq!(src.pfx2as_at(m).to_text(), world.pfx2as_at(m).to_text());
+        assert_eq!(
+            *src.customer_cone_at(m, lacnet_crisis::world::FOCAL_AS),
+            *world.customer_cone_at(m, lacnet_crisis::world::FOCAL_AS)
+        );
+        // The ledger answers queries identically after the rebuild.
+        let cutoff = world.config.end.last_day();
+        assert_eq!(
+            src.ledger().space_of_country(country::VE, cutoff),
+            world
+                .addressing
+                .ledger()
+                .space_of_country(country::VE, cutoff)
+        );
+        // Reachability was parsed for every lacnic country.
+        assert_eq!(
+            src.reachability_2019().len(),
+            country::lacnic_codes().count()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,6 +1,6 @@
 //! World-generation configuration and the study's observation windows.
 
-use lacnet_types::MonthStamp;
+use lacnet_types::{Error, MonthStamp, Result};
 
 /// Configuration for one generated world.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +38,63 @@ impl WorldConfig {
             mlab_volume_scale: 0.4,
             ..Default::default()
         }
+    }
+
+    /// Serialise as the archive's config sidecar (`world/config.tsv`):
+    /// one `key<TAB>value` line per field. Floats use shortest-roundtrip
+    /// formatting, so `parse(to_text(c)) == c` exactly — an archive
+    /// records precisely the world that produced it.
+    pub fn to_text(&self) -> String {
+        format!(
+            "# lacnet world config\nseed\t{}\neconomy_start\t{}\nend\t{}\nmlab_volume_scale\t{}\n",
+            self.seed, self.economy_start, self.end, self.mlab_volume_scale,
+        )
+    }
+
+    /// Parse a config sidecar written by [`to_text`]. All four keys are
+    /// required; unknown keys are rejected so a stale sidecar cannot be
+    /// silently misread.
+    ///
+    /// [`to_text`]: WorldConfig::to_text
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut cfg = WorldConfig::default();
+        let mut seen = [false; 4];
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('\t')
+                .ok_or_else(|| Error::parse("config line (key<TAB>value)", line))?;
+            match key {
+                "seed" => {
+                    cfg.seed = value
+                        .parse()
+                        .map_err(|_| Error::parse("config seed", value))?;
+                    seen[0] = true;
+                }
+                "economy_start" => {
+                    cfg.economy_start = value.parse()?;
+                    seen[1] = true;
+                }
+                "end" => {
+                    cfg.end = value.parse()?;
+                    seen[2] = true;
+                }
+                "mlab_volume_scale" => {
+                    cfg.mlab_volume_scale = value
+                        .parse()
+                        .map_err(|_| Error::parse("config mlab_volume_scale", value))?;
+                    seen[3] = true;
+                }
+                other => return Err(Error::parse("known config key", other)),
+            }
+        }
+        if seen != [true; 4] {
+            return Err(Error::parse("complete config sidecar", text));
+        }
+        Ok(cfg)
     }
 }
 
@@ -109,5 +166,30 @@ mod tests {
     #[test]
     fn test_config_is_smaller() {
         assert!(WorldConfig::test().mlab_volume_scale < WorldConfig::default().mlab_volume_scale);
+    }
+
+    #[test]
+    fn sidecar_roundtrip_is_exact() {
+        for cfg in [
+            WorldConfig::default(),
+            WorldConfig::test(),
+            WorldConfig {
+                seed: 42,
+                economy_start: MonthStamp::new(1999, 11),
+                end: MonthStamp::new(2020, 3),
+                mlab_volume_scale: 0.123456789,
+            },
+        ] {
+            assert_eq!(WorldConfig::parse(&cfg.to_text()).unwrap(), cfg);
+        }
+    }
+
+    #[test]
+    fn sidecar_parse_rejects_bad_input() {
+        assert!(WorldConfig::parse("").is_err(), "missing keys");
+        assert!(WorldConfig::parse("seed\t1\n").is_err(), "incomplete");
+        let full = WorldConfig::default().to_text();
+        assert!(WorldConfig::parse(&format!("{full}bogus\t1\n")).is_err());
+        assert!(WorldConfig::parse(&full.replace('\t', " ")).is_err());
     }
 }

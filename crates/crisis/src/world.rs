@@ -39,8 +39,17 @@ pub struct SnapshotCache {
 }
 
 impl SnapshotCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// The table for `month`, computing it with `compute` on first use.
-    fn get_or_compute(&self, month: MonthStamp, compute: impl FnOnce() -> PfxToAs) -> Arc<PfxToAs> {
+    pub fn get_or_compute(
+        &self,
+        month: MonthStamp,
+        compute: impl FnOnce() -> PfxToAs,
+    ) -> Arc<PfxToAs> {
         let slot = {
             let slots = self.slots.read().expect("pfx2as cache lock poisoned");
             slots.get(&month).cloned()
@@ -61,7 +70,7 @@ impl SnapshotCache {
 
     /// How many tables have actually been computed (not served from
     /// cache) so far.
-    fn computations(&self) -> usize {
+    pub fn computations(&self) -> usize {
         self.computations.load(Ordering::Relaxed)
     }
 }
@@ -223,6 +232,14 @@ impl World {
     /// How many cones have actually been computed (cache misses) so far.
     pub fn cone_computations(&self) -> usize {
         self.cone_cache.computations()
+    }
+
+    /// The world's shared [`ConeCache`] handle — the same memo the cone
+    /// accessors use, exposed so cache-aware analytics (the Fig. 9
+    /// transit matrix, the inference extension's path computations) can
+    /// share their walks with everything else in the process.
+    pub fn cone_cache(&self) -> &ConeCache {
+        &self.cone_cache
     }
 
     /// `asn`'s cone size for every month of the topology archive, served

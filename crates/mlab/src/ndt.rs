@@ -44,9 +44,13 @@ impl NdtTest {
 
     /// Serialise as one archive row:
     /// `date<TAB>country<TAB>asn<TAB>down<TAB>up<TAB>rtt<TAB>loss`.
+    ///
+    /// Floats use shortest-roundtrip formatting, so `parse(to_row(x)) ==
+    /// x` exactly — archives rebuilt from disk feed the order-sensitive
+    /// P² estimator the very same values the in-memory stream carried.
     pub fn to_row(&self) -> String {
         format!(
-            "{}\t{}\t{}\t{:.3}\t{:.3}\t{:.2}\t{:.5}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.date,
             self.country,
             self.asn.raw(),
@@ -146,14 +150,42 @@ mod tests {
     }
 
     #[test]
-    fn row_roundtrip() {
+    fn row_roundtrip_is_exact() {
         let t = sample();
         let row = t.to_row();
         let back: NdtTest = row.parse().unwrap();
-        assert_eq!(back.country, t.country);
-        assert_eq!(back.asn, t.asn);
-        assert!((back.download_mbps - t.download_mbps).abs() < 1e-3);
-        assert!((back.loss_rate - t.loss_rate).abs() < 1e-5);
+        assert_eq!(back, t, "shortest-roundtrip floats survive exactly");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// parse(to_row(x)) == x for arbitrary in-range rows — the
+            /// invariant the archive-backed battery leans on.
+            #[test]
+            fn row_roundtrip_proptest(
+                day in 1u8..=28,
+                down in 0.0f64..500.0,
+                up in 0.0f64..200.0,
+                rtt in 0.0f64..900.0,
+                loss in 0.0f64..1.0,
+                asn in 1u32..400_000,
+            ) {
+                let t = NdtTest {
+                    date: Date::ymd(2019, 7, day),
+                    country: country::VE,
+                    asn: Asn(asn),
+                    download_mbps: down,
+                    upload_mbps: up,
+                    min_rtt_ms: rtt,
+                    loss_rate: loss,
+                };
+                let back: NdtTest = t.to_row().parse().unwrap();
+                prop_assert_eq!(back, t);
+            }
+        }
     }
 
     #[test]

@@ -376,3 +376,69 @@ mod tests {
         assert!(arch.get(MonthStamp::new(2019, 1)).is_none());
     }
 }
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use lacnet_types::country;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any dump — including names that need JSON string escaping and
+        /// non-ASCII city text — survives the envelope round trip table
+        /// by table, row by row.
+        #[test]
+        fn snapshot_json_roundtrip_proptest(
+            nets in proptest::collection::vec((1u32..10_000, 1u32..400_000, 0usize..4, any::<bool>()), 0..12),
+            rows in proptest::collection::vec((1u32..10_000, 0usize..4, 0usize..3), 0..8),
+            links in proptest::collection::vec((1u32..10_000, 1u32..10_000, 1u32..400_000), 0..10),
+        ) {
+            let types = ["NSP", "Content", "Cable/DSL/ISP", "Enterprise"];
+            let cities = ["Caracas", "São Paulo", "Bogotá"];
+            let countries = [country::VE, country::BR, country::CO, country::AR];
+            let snapshot = Snapshot {
+                net: nets
+                    .iter()
+                    .map(|&(id, asn, ty, escape)| Network {
+                        id,
+                        asn: Asn(asn),
+                        name: if escape {
+                            format!("net \"{id}\"\t\\slash")
+                        } else {
+                            format!("net-{id}")
+                        },
+                        info_type: types[ty].to_owned(),
+                    })
+                    .collect(),
+                fac: rows
+                    .iter()
+                    .map(|&(id, c, city)| Facility {
+                        id,
+                        name: format!("fac-{id}"),
+                        city: cities[city].to_owned(),
+                        country: countries[c],
+                    })
+                    .collect(),
+                ix: rows
+                    .iter()
+                    .map(|&(id, c, city)| Ix {
+                        id,
+                        name: format!("ix-{id}"),
+                        city: cities[city].to_owned(),
+                        country: countries[c],
+                    })
+                    .collect(),
+                netfac: links
+                    .iter()
+                    .map(|&(a, b, _)| NetFac { net_id: a, fac_id: b })
+                    .collect(),
+                netixlan: links
+                    .iter()
+                    .map(|&(a, b, speed)| NetIxLan { net_id: a, ix_id: b, speed })
+                    .collect(),
+            };
+            let back = Snapshot::from_json(&snapshot.to_json()).unwrap();
+            prop_assert_eq!(back, snapshot);
+        }
+    }
+}

@@ -96,6 +96,12 @@ pub struct DelegationRecord {
     pub date: Date,
     /// Status column.
     pub status: DelegationStatus,
+    /// The optional trailing opaque-id column. Real NRO files carry an
+    /// org hash there; the generator's registry-internal records carry
+    /// the holding operator (`AS<n>`), which is what lets an archive
+    /// consumer rebuild the full allocation ledger from the file alone.
+    /// Opaque ids that do not name an AS parse as `None`.
+    pub holder: Option<Asn>,
 }
 
 impl DelegationRecord {
@@ -239,11 +245,17 @@ impl DelegationFile {
                 }
                 other => return Err(Error::parse("resource type ipv4|ipv6|asn", other)),
             };
+            let holder = cols
+                .get(7)
+                .and_then(|id| id.strip_prefix("AS"))
+                .and_then(|raw| raw.parse().ok())
+                .map(Asn);
             records.push(DelegationRecord {
                 country,
                 resource,
                 date,
                 status,
+                holder,
             });
         }
         Ok(DelegationFile { registry, records })
@@ -283,8 +295,12 @@ impl DelegationFile {
                     ("asn", start.raw().to_string(), count.to_string())
                 }
             };
+            let opaque = match r.holder {
+                Some(h) => format!("|AS{}", h.raw()),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "{}|{}|{}|{}|{}|{}|{}\n",
+                "{}|{}|{}|{}|{}|{}|{}{}\n",
                 self.registry,
                 r.country,
                 kind,
@@ -292,6 +308,7 @@ impl DelegationFile {
                 value,
                 format_date(r.date),
                 r.status.as_str(),
+                opaque,
             ));
         }
         out
@@ -402,6 +419,7 @@ lacnic|VE|asn|8048|1|19960101|allocated
             },
             date: Date::ymd(2008, 3, 5),
             status: DelegationStatus::Allocated,
+            holder: None,
         };
         assert_eq!(r.ipv4_prefixes(), vec![net("186.24.0.0/16")]);
     }
@@ -417,6 +435,7 @@ lacnic|VE|asn|8048|1|19960101|allocated
             },
             date: Date::ymd(2010, 1, 1),
             status: DelegationStatus::Allocated,
+            holder: None,
         };
         assert_eq!(
             r.ipv4_prefixes(),
@@ -439,11 +458,58 @@ lacnic|VE|asn|8048|1|19960101|allocated
             },
             date: Date::ymd(2010, 1, 1),
             status: DelegationStatus::Allocated,
+            holder: None,
         };
         assert_eq!(
             r.ipv4_prefixes(),
             vec![net("200.1.0.128/25"), net("200.1.1.0/24")]
         );
+    }
+
+    #[test]
+    fn holder_column_roundtrips() {
+        let text = "lacnic|VE|ipv4|186.24.0.0|65536|20080305|allocated|AS8048\n";
+        let f = DelegationFile::parse(text).unwrap();
+        assert_eq!(f.records[0].holder, Some(Asn(8048)));
+        let back = DelegationFile::parse(&f.to_text(Date::ymd(2024, 1, 1))).unwrap();
+        assert_eq!(back.records, f.records);
+        // Non-AS opaque ids are tolerated but unattributed.
+        let f = DelegationFile::parse("lacnic|VE|ipv4|186.24.0.0|65536|20080305|allocated|a9f3\n")
+            .unwrap();
+        assert_eq!(f.records[0].holder, None);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// parse(to_text(f)) == f for generated single-record files —
+            /// the invariant that lets the archive rebuild the ledger.
+            #[test]
+            fn record_roundtrip_proptest(
+                octet in 0u8..=255,
+                len_pow in 8u32..=24,
+                year in 1998i32..=2023,
+                month in 1u8..=12,
+                holder in 1u32..400_000,
+                with_holder in any::<bool>(),
+            ) {
+                let mut f = DelegationFile::new("lacnic");
+                f.records.push(DelegationRecord {
+                    country: country::VE,
+                    resource: NumberResource::Ipv4 {
+                        start: Ipv4Addr::new(186, octet, 0, 0),
+                        count: 1u64 << (32 - len_pow),
+                    },
+                    date: Date::ymd(year, month, 1),
+                    status: DelegationStatus::Allocated,
+                    holder: with_holder.then_some(Asn(holder)),
+                });
+                let back = DelegationFile::parse(&f.to_text(Date::ymd(2024, 1, 1))).unwrap();
+                prop_assert_eq!(back, f);
+            }
+        }
     }
 
     #[test]
@@ -453,6 +519,7 @@ lacnic|VE|asn|8048|1|19960101|allocated
             resource: NumberResource::Ipv6 { prefix_len: 32 },
             date: Date::ymd(2010, 1, 1),
             status: DelegationStatus::Allocated,
+            holder: None,
         };
         assert!(r.ipv4_prefixes().is_empty());
         assert_eq!(r.ipv4_count(), 0);

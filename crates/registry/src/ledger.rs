@@ -103,9 +103,40 @@ impl AllocationLedger {
                 },
                 date: e.date,
                 status: DelegationStatus::Allocated,
+                holder: Some(e.holder),
             });
         }
         f
+    }
+
+    /// Rebuild a ledger from a delegation file whose records carry holder
+    /// attribution in the opaque-id column (as [`to_delegation_file`]
+    /// emits). IPv4 records without a holder are skipped — they cannot be
+    /// attributed. Query results are insensitive to entry order, so a
+    /// ledger round-tripped through its full-history file answers every
+    /// query identically to the original.
+    ///
+    /// [`to_delegation_file`]: AllocationLedger::to_delegation_file
+    pub fn from_delegation_file(file: &DelegationFile) -> Result<Self> {
+        let mut ledger = AllocationLedger::new();
+        for r in &file.records {
+            let (NumberResource::Ipv4 { .. }, Some(holder)) = (r.resource, r.holder) else {
+                continue;
+            };
+            let prefixes = r.ipv4_prefixes();
+            if prefixes.len() != 1 {
+                return Err(Error::invalid(
+                    "ledger delegation records must be single CIDR blocks",
+                ));
+            }
+            ledger.allocate(Allocation {
+                country: r.country,
+                holder,
+                prefix: prefixes[0],
+                date: r.date,
+            })?;
+        }
+        Ok(ledger)
     }
 }
 
@@ -240,6 +271,34 @@ mod tests {
             back.ipv4_space(country::VE, Date::ymd(2024, 1, 1)),
             65536 + 32768
         );
+    }
+
+    #[test]
+    fn ledger_rebuilds_from_its_own_delegation_file() {
+        let mut ledger = AllocationLedger::new();
+        ledger
+            .allocate(alloc(8048, "186.24.0.0/16", 2008, 3))
+            .unwrap();
+        ledger
+            .allocate(alloc(6306, "200.35.64.0/18", 2005, 1))
+            .unwrap();
+        ledger
+            .allocate(alloc(8048, "190.0.0.0/17", 2012, 6))
+            .unwrap();
+        let cutoff = Date::ymd(2024, 1, 1);
+        let text = ledger.to_delegation_file(cutoff).to_text(cutoff);
+        let back =
+            AllocationLedger::from_delegation_file(&DelegationFile::parse(&text).unwrap()).unwrap();
+        let mut want = ledger.entries().to_vec();
+        let mut got = back.entries().to_vec();
+        want.sort_by_key(|e| e.prefix);
+        got.sort_by_key(|e| e.prefix);
+        assert_eq!(got, want, "entries survive modulo publication order");
+        assert_eq!(
+            back.space_of_holder(Asn(8048), cutoff),
+            ledger.space_of_holder(Asn(8048), cutoff)
+        );
+        assert_eq!(back.holders(), ledger.holders());
     }
 
     #[test]

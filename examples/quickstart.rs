@@ -5,7 +5,7 @@
 //! cargo run --example quickstart --release
 //! ```
 
-use lacnet::core::{experiments, render};
+use lacnet::core::{experiments, render, DataSource};
 use lacnet::crisis::{World, WorldConfig};
 
 fn main() {
@@ -15,12 +15,13 @@ fn main() {
     // seed.
     println!("generating the world (this builds ~26 years of monthly datasets)…");
     let world = World::generate(WorldConfig::default());
+    let src = DataSource::in_memory(&world);
 
     // Reproduce three headline artifacts.
     let headline = [
-        experiments::fig01_macro::run(&world),
-        experiments::fig08_cantv_degree::run(&world),
-        experiments::fig11_bandwidth::run(&world),
+        experiments::fig01_macro::run(&src),
+        experiments::fig08_cantv_degree::run(&src),
+        experiments::fig11_bandwidth::run(&src),
     ];
     for result in &headline {
         print!("{}", render::render_result(result));

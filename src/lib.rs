@@ -20,11 +20,12 @@
 //! ## Quickstart
 //!
 //! ```no_run
+//! use lacnet::core::{experiments, render, DataSource};
 //! use lacnet::crisis::{World, WorldConfig};
-//! use lacnet::core::{experiments, render};
 //!
 //! let world = World::generate(WorldConfig::default());
-//! for result in experiments::all(&world) {
+//! let source = DataSource::in_memory(&world);
+//! for result in experiments::all(&source) {
 //!     print!("{}", render::render_result(&result));
 //! }
 //! ```

@@ -1,0 +1,92 @@
+//! Archive round-trip equivalence: the whole battery, byte for byte,
+//! from parsed files.
+//!
+//! The tentpole claim of the `DataSource` layer is that nothing in the
+//! analysis depends on *how* the datasets arrived — a freshly generated
+//! world and the same world dumped to its native archive formats and
+//! parsed back must drive every experiment to identical output. This
+//! suite dumps the fixed-seed test world once, reloads it through
+//! [`DataSource::from_archive`], and requires the canonical TSV render
+//! of all 22 paper artifacts *and* the three extensions to match both
+//! the in-memory run and the checked-in `tests/golden/` fixtures.
+
+use lacnet::core::render::canonical_tsv;
+use lacnet::core::{datasets, experiments, extensions, DataSource};
+use lacnet::crisis::{World, WorldConfig};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::generate(WorldConfig::test()))
+}
+
+/// Dump the test world once and keep the archive-backed source for every
+/// test in the binary — the dump tree holds a few thousand files, so the
+/// suite parses it a single time.
+fn archive_source() -> &'static DataSource<'static> {
+    static SOURCE: OnceLock<DataSource<'static>> = OnceLock::new();
+    SOURCE.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("lacnet-roundtrip-{}", std::process::id()));
+        datasets::dump(world(), &dir).expect("dump succeeds");
+        DataSource::from_archive(&dir).expect("archive loads")
+    })
+}
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Battery + extensions from the archive backend, render order stable.
+fn archive_results() -> Vec<lacnet::core::ExperimentResult> {
+    let src = archive_source();
+    let mut results = experiments::all(src);
+    results.extend(extensions::all(src));
+    results
+}
+
+#[test]
+fn archive_battery_matches_in_memory_byte_for_byte() {
+    let in_memory = DataSource::in_memory(world());
+    let mut reference = experiments::all(&in_memory);
+    reference.extend(extensions::all(&in_memory));
+    let reloaded = archive_results();
+    assert_eq!(reference.len(), reloaded.len());
+    for (mem, arch) in reference.iter().zip(&reloaded) {
+        assert_eq!(mem.id, arch.id, "battery order must not depend on backend");
+        assert_eq!(
+            canonical_tsv(mem),
+            canonical_tsv(arch),
+            "{} diverges between the in-memory and archive backends",
+            mem.id
+        );
+    }
+}
+
+#[test]
+fn archive_battery_matches_golden_fixtures() {
+    // Stronger than backend agreement: the archive run must land on the
+    // exact bytes the golden regression fence holds, so a format change
+    // that breaks parsing cannot hide behind a matching in-memory change.
+    for result in archive_results() {
+        let path = fixture_dir().join(format!("{}.tsv", result.id));
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden fixture {}; run `UPDATE_GOLDEN=1 cargo test --test golden`",
+                path.display()
+            )
+        });
+        assert_eq!(
+            canonical_tsv(&result),
+            expected,
+            "{} from the archive diverges from its golden fixture",
+            result.id
+        );
+    }
+}
+
+#[test]
+fn archive_backend_reports_itself() {
+    assert_eq!(archive_source().backend(), "archive");
+    assert_eq!(archive_source().config(), &world().config);
+}

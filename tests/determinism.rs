@@ -2,7 +2,7 @@
 //! seeds still reproduce the paper (the conclusions don't hinge on one
 //! lucky RNG stream).
 
-use lacnet::core::experiments;
+use lacnet::core::{experiments, DataSource};
 use lacnet::crisis::{World, WorldConfig};
 
 #[test]
@@ -24,8 +24,8 @@ fn same_seed_same_artifacts() {
             .to_text()
     );
     // And the figure series themselves.
-    let fa = experiments::fig11_bandwidth::run(&a);
-    let fb = experiments::fig11_bandwidth::run(&b);
+    let fa = experiments::fig11_bandwidth::run(&DataSource::in_memory(&a));
+    let fb = experiments::fig11_bandwidth::run(&DataSource::in_memory(&b));
     assert_eq!(fa.artifacts, fb.artifacts);
 }
 
@@ -78,14 +78,15 @@ fn different_seed_still_reproduces_headlines() {
         ..WorldConfig::default()
     };
     let world = World::generate(config);
+    let src = DataSource::in_memory(&world);
     for result in [
-        experiments::fig01_macro::run(&world),
-        experiments::fig03_facilities::run(&world),
-        experiments::fig04_cables::run(&world),
-        experiments::fig08_cantv_degree::run(&world),
-        experiments::fig11_bandwidth::run(&world),
-        experiments::fig12_gpdns_rtt::run(&world),
-        experiments::tab01_isps::run(&world),
+        experiments::fig01_macro::run(&src),
+        experiments::fig03_facilities::run(&src),
+        experiments::fig04_cables::run(&src),
+        experiments::fig08_cantv_degree::run(&src),
+        experiments::fig11_bandwidth::run(&src),
+        experiments::fig12_gpdns_rtt::run(&src),
+        experiments::tab01_isps::run(&src),
     ] {
         assert!(
             result.all_match(),

@@ -1,7 +1,7 @@
 //! End-to-end: generate a world and require every one of the paper's 22
 //! artifacts to reproduce within its experiment's tolerances.
 
-use lacnet::core::{experiments, render};
+use lacnet::core::{experiments, render, DataSource};
 use lacnet::crisis::{World, WorldConfig};
 use std::sync::OnceLock;
 
@@ -10,9 +10,14 @@ fn world() -> &'static World {
     WORLD.get_or_init(|| World::generate(WorldConfig::test()))
 }
 
+fn source() -> &'static DataSource<'static> {
+    static SOURCE: OnceLock<DataSource<'static>> = OnceLock::new();
+    SOURCE.get_or_init(|| DataSource::in_memory(world()))
+}
+
 #[test]
 fn every_experiment_matches_the_paper() {
-    let results = experiments::all(world());
+    let results = experiments::all(source());
     assert_eq!(results.len(), 22, "all figures and tables covered");
     let diverged: Vec<String> = results
         .iter()
@@ -28,7 +33,7 @@ fn every_experiment_matches_the_paper() {
 
 #[test]
 fn experiment_ids_are_unique_and_ordered() {
-    let results = experiments::all(world());
+    let results = experiments::all(source());
     let ids: Vec<&str> = results.iter().map(|r| r.id.as_str()).collect();
     let mut sorted = ids.clone();
     sorted.sort_unstable();
@@ -40,7 +45,7 @@ fn experiment_ids_are_unique_and_ordered() {
 
 #[test]
 fn every_experiment_produces_renderable_artifacts() {
-    for result in experiments::all(world()) {
+    for result in experiments::all(source()) {
         assert!(
             !result.artifacts.is_empty(),
             "{} has no artifacts",

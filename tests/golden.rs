@@ -15,76 +15,24 @@
 //! shortest-roundtrip formatting, which is deterministic across
 //! platforms, so the fixtures are portable.
 
-use lacnet::core::artifact::{Artifact, ExperimentResult};
-use lacnet::core::{experiments, extensions};
+use lacnet::core::render::canonical_tsv;
+use lacnet::core::{experiments, extensions, DataSource};
 use lacnet::crisis::{World, WorldConfig};
-use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::OnceLock;
 
-/// The suite's fixed world: the same seed/config the unit tests use.
-fn world() -> &'static World {
+/// The suite's fixed world: the same seed/config the unit tests use,
+/// behind the in-memory battery interface.
+fn source() -> &'static DataSource<'static> {
     static WORLD: OnceLock<World> = OnceLock::new();
-    WORLD.get_or_init(|| World::generate(WorldConfig::test()))
+    static SOURCE: OnceLock<DataSource<'static>> = OnceLock::new();
+    SOURCE.get_or_init(|| {
+        DataSource::in_memory(WORLD.get_or_init(|| World::generate(WorldConfig::test())))
+    })
 }
 
 fn fixture_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
-}
-
-/// Render one experiment result in a stable, diff-friendly TSV form:
-/// every line of every panel month-by-month, every table row, every
-/// occupied heatmap cell, every finding.
-fn canonical(result: &ExperimentResult) -> String {
-    let mut out = String::new();
-    let w = &mut out;
-    let _ = writeln!(w, "id\t{}", result.id);
-    let _ = writeln!(w, "title\t{}", result.title);
-    for f in &result.findings {
-        let _ = writeln!(
-            w,
-            "finding\t{}\t{}\t{}\t{}",
-            f.metric, f.paper, f.measured, f.matches
-        );
-    }
-    for artifact in &result.artifacts {
-        match artifact {
-            Artifact::Figure(fig) => {
-                let _ = writeln!(w, "figure\t{}\t{}", fig.id, fig.caption);
-                for panel in &fig.panels {
-                    for line in &panel.lines {
-                        for (m, v) in line.series.iter() {
-                            let _ = writeln!(
-                                w,
-                                "line\t{}\t{}\t{}\t{}\t{}",
-                                fig.id, panel.title, line.label, m, v
-                            );
-                        }
-                    }
-                }
-            }
-            Artifact::Table(tab) => {
-                let _ = writeln!(w, "table\t{}\t{}", tab.id, tab.caption);
-                let _ = writeln!(w, "headers\t{}", tab.headers.join("\t"));
-                for row in &tab.rows {
-                    let _ = writeln!(w, "row\t{}", row.join("\t"));
-                }
-            }
-            Artifact::Heatmap(heat) => {
-                let _ = writeln!(w, "heatmap\t{}\t{}", heat.id, heat.caption);
-                let _ = writeln!(w, "heatmap-rows\t{}", heat.rows.join("\t"));
-                let _ = writeln!(w, "heatmap-cols\t{}", heat.cols.join("\t"));
-                for (r, row) in heat.cells.iter().enumerate() {
-                    for (c, cell) in row.iter().enumerate() {
-                        if let Some(v) = cell {
-                            let _ = writeln!(w, "cell\t{}\t{}\t{}", r, c, v);
-                        }
-                    }
-                }
-            }
-        }
-    }
-    out
 }
 
 /// Compare `rendered` against the checked-in fixture, or rewrite the
@@ -129,17 +77,17 @@ fn compare_or_update(name: &str, rendered: &str) {
 
 #[test]
 fn battery_matches_golden_fixtures() {
-    let results = experiments::all(world());
+    let results = experiments::all(source());
     assert_eq!(results.len(), 22, "fig01–fig21 plus tab01");
     for result in &results {
-        compare_or_update(&result.id, &canonical(result));
+        compare_or_update(&result.id, &canonical_tsv(result));
     }
 }
 
 #[test]
 fn extensions_match_golden_fixtures() {
-    for result in &extensions::all(world()) {
-        compare_or_update(&result.id, &canonical(result));
+    for result in &extensions::all(source()) {
+        compare_or_update(&result.id, &canonical_tsv(result));
     }
 }
 

@@ -2,7 +2,7 @@
 //! serial reference implementations, and each pfx2as month derived at
 //! most once per process no matter how many sweeps race for it.
 
-use lacnet::core::{experiments, extensions, render};
+use lacnet::core::{experiments, extensions, render, DataSource};
 use lacnet::crisis::{World, WorldConfig};
 use lacnet::types::MonthStamp;
 use std::sync::OnceLock;
@@ -14,11 +14,17 @@ fn world() -> &'static World {
     WORLD.get_or_init(|| World::generate(WorldConfig::test()))
 }
 
+/// The same shared world behind the in-memory battery interface.
+fn source() -> &'static DataSource<'static> {
+    static SOURCE: OnceLock<DataSource<'static>> = OnceLock::new();
+    SOURCE.get_or_init(|| DataSource::in_memory(world()))
+}
+
 #[test]
 fn parallel_battery_matches_serial_byte_for_byte() {
-    let world = world();
-    let parallel = experiments::all(world);
-    let serial = experiments::all_serial(world);
+    let src = source();
+    let parallel = experiments::all(src);
+    let serial = experiments::all_serial(src);
     assert_eq!(parallel.len(), serial.len());
     // Structured equality first (better failure messages) …
     for (p, s) in parallel.iter().zip(&serial) {
@@ -34,12 +40,12 @@ fn parallel_battery_matches_serial_byte_for_byte() {
 
 #[test]
 fn parallel_extensions_match_serial() {
-    let world = world();
-    let parallel = extensions::all(world);
+    let src = source();
+    let parallel = extensions::all(src);
     let serial = vec![
-        extensions::ext_blackouts(world),
-        extensions::ext_inference(world),
-        extensions::ext_network_split(world),
+        extensions::ext_blackouts(src),
+        extensions::ext_inference(src),
+        extensions::ext_network_split(src),
     ];
     assert_eq!(parallel, serial);
 }
@@ -176,10 +182,11 @@ fn cached_pfx2as_matches_fresh_compute() {
 fn pfx2as_months_compute_at_most_once_across_sweeps() {
     let world = world();
     // Drive the two heavy pfx2as consumers concurrently, twice each.
+    let src = source();
     std::thread::scope(|s| {
         for _ in 0..2 {
-            s.spawn(|| experiments::fig02_address_space::run(world));
-            s.spawn(|| experiments::fig14_prefix_heatmap::run(world));
+            s.spawn(|| experiments::fig02_address_space::run(src));
+            s.spawn(|| experiments::fig14_prefix_heatmap::run(src));
         }
     });
     let after_first = world.pfx2as_computations();
@@ -196,7 +203,7 @@ fn pfx2as_months_compute_at_most_once_across_sweeps() {
         "{after_first} computations for a {window_months}-month window"
     );
     // Re-running the same sweeps adds no computations at all.
-    experiments::fig02_address_space::run(world);
-    experiments::fig14_prefix_heatmap::run(world);
+    experiments::fig02_address_space::run(src);
+    experiments::fig14_prefix_heatmap::run(src);
     assert_eq!(world.pfx2as_computations(), after_first);
 }
