@@ -9,8 +9,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lacnet_bench::bench_world;
-use lacnet_core::{datasets, ArchiveWorld};
+use lacnet_core::{datasets, ArchiveWorld, DumpOptions};
 use lacnet_crisis::World;
+use lacnet_mlab::ShardFormat;
 use lacnet_types::{country, MonthStamp};
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -20,6 +21,19 @@ fn dump_dir() -> PathBuf {
     let dir = std::env::temp_dir().join(format!("lacnet-bench-archive-{}", std::process::id()));
     if !dir.join("MANIFEST.txt").exists() {
         datasets::dump(bench_world(), &dir).expect("dump succeeds");
+    }
+    dir
+}
+
+/// A second tree holding the identical world with columnar NDT shards.
+fn columnar_dump_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lacnet-bench-ndtc-{}", std::process::id()));
+    if !dir.join("MANIFEST.txt").exists() {
+        let options = DumpOptions {
+            shard_format: ShardFormat::Columnar,
+            force: false,
+        };
+        datasets::dump_with(bench_world(), &dir, options).expect("columnar dump succeeds");
     }
     dir
 }
@@ -61,9 +75,92 @@ fn bench_archive_load(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cold NDT ingestion, text vs columnar: the full shard-set load into a
+/// fresh `MonthlyAggregator` through each on-disk format. Before timing,
+/// both archives are asserted to produce the same monthly medians (and
+/// the same group census) — the formats must be two encodings of one
+/// dataset, not two datasets.
+fn bench_cold_load(c: &mut Criterion) {
+    let text_dir = dump_dir();
+    let ndtc_dir = columnar_dump_dir();
+    let text = ArchiveWorld::load_with(&text_dir, Some(ShardFormat::Text)).expect("text loads");
+    let ndtc =
+        ArchiveWorld::load_with(&ndtc_dir, Some(ShardFormat::Columnar)).expect("columnar loads");
+    assert_eq!(text.mlab.group_count(), ndtc.mlab.group_count());
+    assert_eq!(
+        text.mlab.median_series(country::VE),
+        ndtc.mlab.median_series(country::VE)
+    );
+    assert_eq!(
+        text.mlab.median_series(country::BR),
+        ndtc.mlab.median_series(country::BR)
+    );
+    // NDT-only ingestion through each format, mirroring the archive
+    // loader's paths: text shards streamed through `observe_reader`,
+    // columnar shards decoded on sweep workers and merged through
+    // `observe_columns`. The whole-archive loads below include every
+    // other dataset's parse cost, which dilutes the format difference.
+    let plan = lacnet_crisis::bandwidth::shard_plan(
+        lacnet_crisis::config::windows::mlab_start(),
+        bench_world().config.end,
+    );
+    let ingest_text = || {
+        let mut agg =
+            lacnet_mlab::aggregate::MonthlyAggregator::new(lacnet_mlab::aggregate::Mode::Streaming);
+        for &shard in &plan {
+            let rel = datasets::mlab_shard_path_with(shard, ShardFormat::Text);
+            let file = std::fs::File::open(text_dir.join(rel)).expect("text shard");
+            agg.observe_reader(std::io::BufReader::new(file))
+                .expect("text shard parses");
+        }
+        agg
+    };
+    let ingest_columnar = || {
+        let batches = lacnet_types::sweep::parallel_map_with(
+            lacnet_types::sweep::worker_count(plan.len()),
+            &plan,
+            |&shard| {
+                let rel = datasets::mlab_shard_path_with(shard, ShardFormat::Columnar);
+                let bytes = std::fs::read(ndtc_dir.join(rel)).expect("columnar shard");
+                lacnet_mlab::columnar::decode(&bytes).expect("columnar shard decodes")
+            },
+        );
+        let mut agg =
+            lacnet_mlab::aggregate::MonthlyAggregator::new(lacnet_mlab::aggregate::Mode::Streaming);
+        for batch in &batches {
+            agg.observe_columns(batch);
+        }
+        agg
+    };
+    // Both ingestion paths land the P² estimators in byte-identical
+    // state — the formats encode one observation sequence.
+    assert_eq!(
+        format!("{:?}", ingest_text()),
+        format!("{:?}", ingest_columnar())
+    );
+
+    let mut group = c.benchmark_group("cold_load");
+    group.sample_size(10);
+    group.bench_function("ndt/text", |b| b.iter(|| black_box(ingest_text())));
+    group.bench_function("ndt/columnar", |b| b.iter(|| black_box(ingest_columnar())));
+    group.bench_function("text", |b| {
+        b.iter(|| {
+            black_box(ArchiveWorld::load_with(&text_dir, Some(ShardFormat::Text)).expect("loads"))
+        })
+    });
+    group.bench_function("columnar", |b| {
+        b.iter(|| {
+            black_box(
+                ArchiveWorld::load_with(&ndtc_dir, Some(ShardFormat::Columnar)).expect("loads"),
+            )
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = archive;
     config = Criterion::default();
-    targets = bench_archive_load
+    targets = bench_archive_load, bench_cold_load
 );
 criterion_main!(archive);

@@ -2,11 +2,16 @@
 //! its native archive format.
 //!
 //! ```text
-//! lacnet-gen --out DIR [--seed N] [--verify]
+//! lacnet-gen --out DIR [--seed N] [--shard-format text|columnar] [--force] [--verify]
 //! ```
+//!
+//! Re-running over an existing tree refreshes incrementally: NDT shards
+//! whose inputs (seed, per-country volume scale, format) are unchanged
+//! per `mlab/manifest.tsv` are left untouched unless `--force` is given.
 
-use lacnet_core::datasets;
+use lacnet_core::datasets::{self, DumpOptions};
 use lacnet_crisis::{World, WorldConfig};
+use lacnet_mlab::ShardFormat;
 use std::path::PathBuf;
 
 fn main() {
@@ -14,6 +19,7 @@ fn main() {
     let mut config = WorldConfig::default();
     let mut out: Option<PathBuf> = None;
     let mut verify = false;
+    let mut options = DumpOptions::default();
 
     let mut i = 1;
     while i < args.len() {
@@ -32,9 +38,19 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
+            "--shard-format" => {
+                i += 1;
+                options.shard_format = args
+                    .get(i)
+                    .and_then(|s| ShardFormat::parse_flag(s))
+                    .unwrap_or_else(|| die("--shard-format needs `text` or `columnar`"));
+            }
+            "--force" => options.force = true,
             "--verify" => verify = true,
             "--help" | "-h" => {
-                println!("usage: lacnet-gen --out DIR [--seed N] [--verify]");
+                println!(
+                    "usage: lacnet-gen --out DIR [--seed N] [--shard-format text|columnar] [--force] [--verify]"
+                );
                 return;
             }
             other => die(&format!("unknown argument {other}")),
@@ -45,13 +61,15 @@ fn main() {
 
     eprintln!("generating world (seed {:#x}) …", config.seed);
     let world = World::generate(config);
-    let summary =
-        datasets::dump(&world, &out).unwrap_or_else(|e| die(&format!("dump failed: {e}")));
+    let summary = datasets::dump_with(&world, &out, options)
+        .unwrap_or_else(|e| die(&format!("dump failed: {e}")));
     println!(
-        "wrote {} files, {:.1} MiB, under {}",
+        "wrote {} files, {:.1} MiB, under {} ({} NDT shards written, {} up to date)",
         summary.files.len(),
         summary.bytes as f64 / (1024.0 * 1024.0),
-        out.display()
+        out.display(),
+        summary.shards_written,
+        summary.shards_skipped,
     );
     if verify {
         let checked =

@@ -2,11 +2,13 @@
 //! generated world or from a dumped archive tree.
 //!
 //! ```text
-//! vzla-report [--seed N] [--from-archive DIR] [--csv DIR] [--only figNN[,figMM…]]
+//! vzla-report [--seed N] [--from-archive DIR] [--shard-format auto|text|columnar]
+//!             [--csv DIR] [--only figNN[,figMM…]]
 //! ```
 
 use lacnet_core::{experiments, render, DataSource};
 use lacnet_crisis::{World, WorldConfig};
+use lacnet_mlab::ShardFormat;
 use std::io::Write as _;
 
 fn main() {
@@ -16,6 +18,7 @@ fn main() {
     let mut markdown: Option<String> = None;
     let mut only: Option<Vec<String>> = None;
     let mut archive: Option<std::path::PathBuf> = None;
+    let mut shard_format: Option<ShardFormat> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -33,6 +36,16 @@ fn main() {
                     args.get(i)
                         .unwrap_or_else(|| die("--from-archive needs a directory")),
                 ));
+            }
+            "--shard-format" => {
+                i += 1;
+                shard_format = match args.get(i).map(String::as_str) {
+                    Some("auto") => None,
+                    Some(flag) => Some(ShardFormat::parse_flag(flag).unwrap_or_else(|| {
+                        die("--shard-format needs `auto`, `text` or `columnar`")
+                    })),
+                    None => die("--shard-format needs `auto`, `text` or `columnar`"),
+                };
             }
             "--csv" => {
                 i += 1;
@@ -61,7 +74,7 @@ fn main() {
                 );
             }
             "--help" | "-h" => {
-                println!("usage: vzla-report [--seed N] [--from-archive DIR] [--csv DIR] [--markdown FILE] [--only figNN,...]");
+                println!("usage: vzla-report [--seed N] [--from-archive DIR] [--shard-format auto|text|columnar] [--csv DIR] [--markdown FILE] [--only figNN,...]");
                 return;
             }
             other => die(&format!("unknown argument {other}")),
@@ -76,7 +89,7 @@ fn main() {
         Some(dir) => {
             eprintln!("loading archive from {} …", dir.display());
             let t0 = std::time::Instant::now();
-            let src = DataSource::from_archive(dir)
+            let src = DataSource::from_archive_with(dir, shard_format)
                 .unwrap_or_else(|e| die(&format!("archive load failed: {e}")));
             eprintln!(
                 "archive parsed in {:.1?} (seed {:#x}); running experiments …",

@@ -19,14 +19,28 @@
 //!   offnets/scan-2013.json …             yearly TLS scans
 //!   topsites/VE.json …                   per-country scrapes
 //!   mlab/VE/ndt-2007-07.tsv …            per-(country, month) NDT shards
+//!                                        (`.ndtc` under `--shard-format
+//!                                        columnar`)
+//!   mlab/manifest.tsv                    per-shard (label, fingerprint,
+//!                                        content hash) — incremental
+//!                                        refresh skips unchanged shards
 //!   atlas/reachability-VE-2019.tsv …     daily connected probes, per country
 //!   MANIFEST.txt
 //! ```
+//!
+//! NDT shards are the bulk of the tree, so they get two optimisations:
+//! a binary columnar encoding ([`lacnet_mlab::columnar`]) selected via
+//! [`DumpOptions::shard_format`], and *incremental refresh* — each dump
+//! records every shard's input fingerprint (seed, effective per-country
+//! volume scale, format) in `mlab/manifest.tsv`, and a re-dump over the
+//! same tree regenerates only the shards whose fingerprints changed.
 
 use lacnet_crisis::config::windows;
-use lacnet_crisis::{bandwidth, blackouts, World};
+use lacnet_crisis::{bandwidth, blackouts, World, WorldConfig};
+use lacnet_mlab::columnar::{self, ShardFormat};
 use lacnet_types::rng::Rng;
-use lacnet_types::{country, sweep, Date, MonthStamp, Result};
+use lacnet_types::{codec, country, sweep, Date, MonthStamp, Result};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -35,13 +49,34 @@ use std::path::Path;
 /// Summary of one export.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DumpSummary {
-    /// Files written, with their archive-relative paths.
+    /// Files in the tree, with their archive-relative paths (skipped
+    /// shards included — they are part of the tree even when untouched).
     pub files: Vec<String>,
-    /// Total bytes written.
+    /// Total bytes written (skipped shards excluded).
     pub bytes: u64,
+    /// NDT shard files (re)written this dump.
+    pub shards_written: usize,
+    /// NDT shard files skipped because the manifest proved their inputs
+    /// unchanged.
+    pub shards_skipped: usize,
 }
 
-fn write(root: &Path, rel: &str, contents: &str, summary: &mut DumpSummary) -> io::Result<()> {
+/// Options for one export.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DumpOptions {
+    /// On-disk NDT shard encoding (`text` `.tsv` rows by default).
+    pub shard_format: ShardFormat,
+    /// Rewrite every shard even when the manifest says its inputs are
+    /// unchanged.
+    pub force: bool,
+}
+
+fn write_bytes(
+    root: &Path,
+    rel: &str,
+    contents: &[u8],
+    summary: &mut DumpSummary,
+) -> io::Result<()> {
     let path = root.join(rel);
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
@@ -52,20 +87,108 @@ fn write(root: &Path, rel: &str, contents: &str, summary: &mut DumpSummary) -> i
     Ok(())
 }
 
-/// The archive-relative path of one NDT shard.
+fn write(root: &Path, rel: &str, contents: &str, summary: &mut DumpSummary) -> io::Result<()> {
+    write_bytes(root, rel, contents.as_bytes(), summary)
+}
+
+/// The archive-relative path of one NDT shard in the (default) text
+/// format.
 pub fn mlab_shard_path(shard: bandwidth::NdtShard) -> String {
+    mlab_shard_path_with(shard, ShardFormat::Text)
+}
+
+/// The archive-relative path of one NDT shard in `format`.
+pub fn mlab_shard_path_with(shard: bandwidth::NdtShard, format: ShardFormat) -> String {
     let (cc, month) = shard;
-    format!("mlab/{cc}/ndt-{month}.tsv")
+    format!("mlab/{cc}/ndt-{month}.{}", format.extension())
+}
+
+/// The archive-relative path of the NDT shard manifest.
+pub const MLAB_MANIFEST: &str = "mlab/manifest.tsv";
+
+/// Version tag folded into every shard fingerprint. Bump it whenever the
+/// shard *generator* changes behaviour, so stale trees refresh fully
+/// instead of trusting fingerprints computed for the old generator.
+const SHARD_GEN_VERSION: &str = "v1";
+
+/// The fingerprint of everything a shard's bytes depend on: generator
+/// version, on-disk format, seed, and the country's effective volume
+/// scale (plus the shard label itself). A re-dump may skip any shard
+/// whose fingerprint is unchanged — shard generation is a pure function
+/// of these inputs.
+fn shard_fingerprint(config: &WorldConfig, format: ShardFormat, shard: bandwidth::NdtShard) -> u64 {
+    let (cc, month) = shard;
+    let key = format!(
+        "ndt-shard/{SHARD_GEN_VERSION}/{format}/{}/{}/{cc}/{month}",
+        config.seed,
+        config.mlab_scale_for(cc),
+    );
+    codec::fnv1a64(key.as_bytes())
+}
+
+/// One `mlab/manifest.tsv` record.
+struct ShardRecord {
+    fingerprint: u64,
+    content_hash: u64,
+    path: String,
+}
+
+/// Parse a shard manifest written by a previous dump. Unreadable or
+/// malformed manifests yield an empty map — the dump then rewrites
+/// everything, which is always safe.
+fn read_shard_manifest(root: &Path) -> BTreeMap<String, ShardRecord> {
+    let mut map = BTreeMap::new();
+    let Ok(text) = fs::read_to_string(root.join(MLAB_MANIFEST)) else {
+        return map;
+    };
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        let (Some(label), Some(fp), Some(hash), Some(path)) =
+            (cols.next(), cols.next(), cols.next(), cols.next())
+        else {
+            continue;
+        };
+        let (Ok(fingerprint), Ok(content_hash)) =
+            (u64::from_str_radix(fp, 16), u64::from_str_radix(hash, 16))
+        else {
+            continue;
+        };
+        map.insert(
+            label.to_owned(),
+            ShardRecord {
+                fingerprint,
+                content_hash,
+                path: path.to_owned(),
+            },
+        );
+    }
+    map
+}
+
+/// Export the world's datasets under `root` with default options (text
+/// NDT shards, incremental refresh on). See [`dump_with`].
+pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
+    dump_with(world, root, DumpOptions::default())
 }
 
 /// Export the world's datasets under `root`. Monthly resolution for every
 /// archive the battery reads monthly (serial-1, pfx2as, PeeringDB, NDT
 /// shards), so an [`crate::source::ArchiveWorld`] reload reproduces the
 /// in-memory battery byte for byte.
-pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
+///
+/// NDT shards refresh incrementally: shards whose `mlab/manifest.tsv`
+/// fingerprint matches the current configuration (and whose file still
+/// exists) are neither regenerated nor rewritten unless
+/// [`DumpOptions::force`] is set.
+pub fn dump_with(world: &World, root: &Path, options: DumpOptions) -> io::Result<DumpSummary> {
     let mut summary = DumpSummary {
         files: Vec::new(),
         bytes: 0,
+        shards_written: 0,
+        shards_skipped: 0,
     };
     let end = world.config.end;
 
@@ -178,26 +301,87 @@ pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
     }
 
     // The full per-(country, month) NDT shard set — the same substreams
-    // `world.mlab` aggregated, rendered on sweep workers and written in
-    // plan order. Streaming the files back in this order replays the
-    // exact observation sequence into the P² estimators.
+    // `world.mlab` aggregated, encoded on sweep workers and written in
+    // plan order. Reading the files back in this order replays the exact
+    // observation sequence into the P² estimators. Only shards whose
+    // manifest fingerprint changed (or whose file is gone) are rebuilt.
     let plan = bandwidth::shard_plan(windows::mlab_start(), end);
-    let shards = sweep::parallel_map_with(sweep::worker_count(plan.len()), &plan, |&shard| {
-        let mut text = String::new();
-        for test in bandwidth::generate_shard(
-            &world.operators,
-            world.config.seed,
-            world.config.mlab_volume_scale,
-            shard,
-        ) {
-            text.push_str(&test.to_row());
-            text.push('\n');
-        }
-        text
-    });
-    for (&shard, text) in plan.iter().zip(&shards) {
-        write(root, &mlab_shard_path(shard), text, &mut summary)?;
+    let previous = read_shard_manifest(root);
+    let fmt = options.shard_format;
+    let jobs: Vec<(bandwidth::NdtShard, bool)> = plan
+        .iter()
+        .map(|&shard| {
+            let (cc, month) = shard;
+            let fingerprint = shard_fingerprint(&world.config, fmt, shard);
+            let rel = mlab_shard_path_with(shard, fmt);
+            let fresh = !options.force
+                && previous.get(&format!("{cc}/{month}")).is_some_and(|rec| {
+                    rec.fingerprint == fingerprint && rec.path == rel && root.join(&rel).exists()
+                });
+            (shard, !fresh)
+        })
+        .collect();
+    let encoded = sweep::parallel_map_with(
+        sweep::worker_count(plan.len()),
+        &jobs,
+        |&(shard, rebuild)| -> Option<Vec<u8>> {
+            if !rebuild {
+                return None;
+            }
+            let (cc, _) = shard;
+            let rows = bandwidth::generate_shard(
+                &world.operators,
+                world.config.seed,
+                world.config.mlab_scale_for(cc),
+                shard,
+            );
+            Some(match fmt {
+                ShardFormat::Text => {
+                    let mut text = String::new();
+                    for test in &rows {
+                        text.push_str(&test.to_row());
+                        text.push('\n');
+                    }
+                    text.into_bytes()
+                }
+                ShardFormat::Columnar => columnar::encode_rows(&rows),
+            })
+        },
+    );
+    let mut shard_manifest = format!("# lacnet NDT shard manifest ({SHARD_GEN_VERSION})\n");
+    for (&(shard, _), bytes) in jobs.iter().zip(&encoded) {
+        let (cc, month) = shard;
+        let label = format!("{cc}/{month}");
+        let rel = mlab_shard_path_with(shard, fmt);
+        let content_hash = match bytes {
+            Some(bytes) => {
+                write_bytes(root, &rel, bytes, &mut summary)?;
+                // Drop a stale sibling left by a dump in the other format
+                // so the tree never holds two encodings of one shard.
+                let stale = mlab_shard_path_with(
+                    shard,
+                    match fmt {
+                        ShardFormat::Text => ShardFormat::Columnar,
+                        ShardFormat::Columnar => ShardFormat::Text,
+                    },
+                );
+                let _ = fs::remove_file(root.join(stale));
+                summary.shards_written += 1;
+                codec::fnv1a64(bytes)
+            }
+            None => {
+                summary.files.push(rel.clone());
+                summary.shards_skipped += 1;
+                previous[&label].content_hash
+            }
+        };
+        let _ = writeln!(
+            shard_manifest,
+            "{label}\t{:016x}\t{content_hash:016x}\t{rel}",
+            shard_fingerprint(&world.config, fmt, shard),
+        );
     }
+    write(root, MLAB_MANIFEST, &shard_manifest, &mut summary)?;
 
     // A traceroute archive sample: every Venezuelan probe's path to
     // GPDNS at the final month (the raw form of MSM 1591146).
@@ -275,8 +459,11 @@ pub fn dump(world: &World, root: &Path) -> io::Result<DumpSummary> {
 /// substrate parsers alone (no access to the in-memory world).
 ///
 /// NDT shards are the one archive that is unbounded at real scale, so
-/// they are *streamed* through `ndt::stream_rows` into an aggregator —
-/// verification never materializes an mlab file in memory.
+/// text shards are *streamed* through `ndt::stream_rows` into an
+/// aggregator without materializing the file; columnar `.ndtc` shards
+/// are read whole — their CRC-32 footer covers the full container — and
+/// decoded with every structural check applied. The shard manifest is
+/// verified structurally: every shard it lists must exist.
 pub fn verify(root: &Path) -> Result<usize> {
     let mut checked = 0usize;
     let read = |rel: &str| -> String { fs::read_to_string(root.join(rel)).unwrap_or_default() };
@@ -284,10 +471,29 @@ pub fn verify(root: &Path) -> Result<usize> {
     let mut agg =
         lacnet_mlab::aggregate::MonthlyAggregator::new(lacnet_mlab::aggregate::Mode::Streaming);
     for rel in manifest.lines().filter(|l| !l.starts_with('#')) {
+        if rel == MLAB_MANIFEST {
+            // Structural check: every listed shard file must exist.
+            for (label, rec) in read_shard_manifest(root) {
+                if !root.join(&rec.path).exists() {
+                    return Err(lacnet_types::Error::missing(
+                        "NDT shard from manifest",
+                        &label,
+                    ));
+                }
+            }
+            checked += 1;
+            continue;
+        }
         if rel.starts_with("mlab/") {
-            let file = fs::File::open(root.join(rel))
-                .map_err(|_| lacnet_types::Error::missing("NDT archive shard", rel))?;
-            agg.observe_reader(io::BufReader::new(file))?;
+            if rel.ends_with(".ndtc") {
+                let bytes = fs::read(root.join(rel))
+                    .map_err(|_| lacnet_types::Error::missing("NDT archive shard", rel))?;
+                agg.observe_columns(&columnar::decode(&bytes)?);
+            } else {
+                let file = fs::File::open(root.join(rel))
+                    .map_err(|_| lacnet_types::Error::missing("NDT archive shard", rel))?;
+                agg.observe_reader(io::BufReader::new(file))?;
+            }
             checked += 1;
             continue;
         }
@@ -339,6 +545,51 @@ mod tests {
         // The shard tree covers the full per-(country, month) plan.
         let ve_july = std::fs::read_to_string(dir.join("mlab/VE/ndt-2023-07.tsv")).unwrap();
         assert!(ve_july.lines().count() > 10);
+        // A fresh dump writes every shard; a re-dump of the same config
+        // skips every one.
+        let plan = bandwidth::shard_plan(windows::mlab_start(), world.config.end);
+        assert_eq!(summary.shards_written, plan.len());
+        assert_eq!(summary.shards_skipped, 0);
+        let again = dump(world, &dir).expect("re-dump succeeds");
+        assert_eq!(again.shards_written, 0);
+        assert_eq!(again.shards_skipped, plan.len());
+        assert_eq!(again.files, summary.files);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn columnar_dump_verifies_and_switches_formats_cleanly() {
+        let world = crate::experiments::testworld::world();
+        let dir = std::env::temp_dir().join(format!("lacnet-dump-col-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let columnar = DumpOptions {
+            shard_format: ShardFormat::Columnar,
+            force: false,
+        };
+        let summary = dump_with(world, &dir, columnar).expect("columnar dump succeeds");
+        assert!(summary.shards_written > 0);
+        let checked = verify(&dir).expect("columnar tree verifies");
+        assert_eq!(checked, summary.files.len());
+        let ve_july = dir.join("mlab/VE/ndt-2023-07.ndtc");
+        assert!(ve_july.exists());
+        // Re-dumping in text format rewrites everything (fingerprints
+        // change with the format) and removes the columnar siblings.
+        let text = dump_with(world, &dir, DumpOptions::default()).expect("text re-dump");
+        assert_eq!(text.shards_skipped, 0);
+        assert!(!ve_july.exists(), "stale columnar sibling removed");
+        assert!(dir.join("mlab/VE/ndt-2023-07.tsv").exists());
+        // `--force` rewrites even an up-to-date tree.
+        let forced = dump_with(
+            world,
+            &dir,
+            DumpOptions {
+                shard_format: ShardFormat::Text,
+                force: true,
+            },
+        )
+        .expect("forced re-dump");
+        assert_eq!(forced.shards_skipped, 0);
+        assert_eq!(forced.shards_written, text.shards_written);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -26,4 +26,5 @@ pub mod render;
 pub mod source;
 
 pub use artifact::{Artifact, ExperimentResult, Figure, Finding, Heatmap, Line, Panel, Table};
+pub use datasets::{DumpOptions, DumpSummary};
 pub use source::{ArchiveWorld, DataSource};

@@ -24,6 +24,7 @@ use lacnet_crisis::operators::Operators;
 use lacnet_crisis::world::SnapshotCache;
 use lacnet_crisis::{bandwidth, blackouts, Economy, World, WorldConfig};
 use lacnet_mlab::aggregate::{Mode, MonthlyAggregator};
+use lacnet_mlab::columnar::{self, ShardFormat};
 use lacnet_offnets::certs::CertScan;
 use lacnet_peeringdb::{Snapshot, SnapshotArchive};
 use lacnet_registry::{AllocationLedger, DelegationFile};
@@ -85,11 +86,25 @@ fn month_from_name(name: &str, prefix: &str, suffix: &str) -> Option<MonthStamp>
 
 impl ArchiveWorld {
     /// Load an archive dumped by [`crate::datasets::dump`] from `root`,
-    /// parsing every dataset from its native format. NDT shards are
-    /// *streamed* through `ndt::stream_rows` in shard-plan order — the
-    /// exact observation sequence the in-memory aggregator saw — so the
-    /// order-sensitive P² estimators land in identical state.
+    /// parsing every dataset from its native format, auto-detecting the
+    /// NDT shard encoding per shard. See [`ArchiveWorld::load_with`].
     pub fn load(root: &Path) -> Result<ArchiveWorld> {
+        ArchiveWorld::load_with(root, None)
+    }
+
+    /// Load an archive dumped by [`crate::datasets::dump_with`] from
+    /// `root`, parsing every dataset from its native format.
+    ///
+    /// NDT shards feed the aggregator in shard-plan order — the exact
+    /// observation sequence the in-memory aggregator saw — so the
+    /// order-sensitive P² estimators land in identical state. Each
+    /// shard's on-disk format is auto-detected (columnar `.ndtc` probed
+    /// first, then text `.tsv`); columnar shards are decoded on sweep
+    /// workers and merged through `observe_columns`, while text shards
+    /// are *streamed* through `ndt::stream_rows` without materializing
+    /// the file. Passing `Some(format)` in `expect` instead demands that
+    /// every shard be in that format and fails on the first that is not.
+    pub fn load_with(root: &Path, expect: Option<ShardFormat>) -> Result<ArchiveWorld> {
         let read = |rel: &str| -> Result<String> {
             fs::read_to_string(root.join(rel))
                 .map_err(|_| Error::missing("archive file", format!("{}/{rel}", root.display())))
@@ -156,12 +171,60 @@ impl ArchiveWorld {
             last_delegations,
         )?)?)?;
 
+        // Resolve each shard's on-disk format, then decode the columnar
+        // ones on sweep workers. The sequential merge below still runs in
+        // plan order, so both formats replay the identical observation
+        // sequence.
+        let plan = bandwidth::shard_plan(windows::mlab_start(), config.end);
+        let resolved: Vec<(String, ShardFormat)> = plan
+            .iter()
+            .map(|&shard| -> Result<(String, ShardFormat)> {
+                let format = match expect {
+                    Some(format) => format,
+                    None => {
+                        let columnar =
+                            crate::datasets::mlab_shard_path_with(shard, ShardFormat::Columnar);
+                        if root.join(&columnar).exists() {
+                            ShardFormat::Columnar
+                        } else {
+                            ShardFormat::Text
+                        }
+                    }
+                };
+                let rel = crate::datasets::mlab_shard_path_with(shard, format);
+                if root.join(&rel).exists() {
+                    Ok((rel, format))
+                } else {
+                    Err(Error::missing("NDT archive shard", &rel))
+                }
+            })
+            .collect::<Result<_>>()?;
+        let decoded = sweep::parallel_map_with(
+            sweep::worker_count(resolved.len()),
+            &resolved,
+            |(rel, format)| -> Option<Result<lacnet_mlab::ColumnBatch>> {
+                match format {
+                    ShardFormat::Text => None,
+                    ShardFormat::Columnar => Some(
+                        fs::read(root.join(rel))
+                            .map_err(|_| Error::missing("NDT archive shard", rel))
+                            .and_then(|bytes| columnar::decode(&bytes)),
+                    ),
+                }
+            },
+        );
         let mut mlab = MonthlyAggregator::new(Mode::Streaming);
-        for shard in bandwidth::shard_plan(windows::mlab_start(), config.end) {
-            let rel = crate::datasets::mlab_shard_path(shard);
-            let file = fs::File::open(root.join(&rel))
-                .map_err(|_| Error::missing("NDT archive shard", &rel))?;
-            mlab.observe_reader(io::BufReader::new(file))?;
+        for ((rel, _), batch) in resolved.iter().zip(decoded) {
+            match batch {
+                Some(batch) => {
+                    mlab.observe_columns(&batch?);
+                }
+                None => {
+                    let file = fs::File::open(root.join(rel))
+                        .map_err(|_| Error::missing("NDT archive shard", rel))?;
+                    mlab.observe_reader(io::BufReader::new(file))?;
+                }
+            }
         }
 
         Ok(ArchiveWorld {
@@ -233,6 +296,14 @@ impl<'w> DataSource<'w> {
     /// [`ArchiveWorld::load`]).
     pub fn from_archive(root: &Path) -> Result<Self> {
         Ok(DataSource::Archive(Box::new(ArchiveWorld::load(root)?)))
+    }
+
+    /// Load the archive backend, demanding a specific NDT shard format
+    /// (see [`ArchiveWorld::load_with`]). `None` auto-detects per shard.
+    pub fn from_archive_with(root: &Path, expect: Option<ShardFormat>) -> Result<Self> {
+        Ok(DataSource::Archive(Box::new(ArchiveWorld::load_with(
+            root, expect,
+        )?)))
     }
 
     /// The backend's name, for progress reporting.
@@ -444,6 +515,40 @@ mod tests {
         assert_eq!(
             src.reachability_2019().len(),
             country::lacnic_codes().count()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn columnar_archive_matches_text_archive_exactly() {
+        let world = crate::experiments::testworld::world();
+        let dir = std::env::temp_dir().join(format!("lacnet-src-col-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        crate::datasets::dump_with(
+            world,
+            &dir,
+            crate::datasets::DumpOptions {
+                shard_format: ShardFormat::Columnar,
+                force: false,
+            },
+        )
+        .expect("columnar dump succeeds");
+        // Auto-detection and an explicit format demand both load it; a
+        // wrong demand fails typed.
+        let src = DataSource::from_archive(&dir).expect("auto-detected load");
+        let demanded = DataSource::from_archive_with(&dir, Some(ShardFormat::Columnar))
+            .expect("demanded columnar load");
+        assert!(DataSource::from_archive_with(&dir, Some(ShardFormat::Text)).is_err());
+        // The columnar path lands the order-sensitive P² estimators in
+        // byte-identical state to the in-memory aggregation.
+        assert_eq!(
+            format!("{:?}", src.mlab()),
+            format!("{:?}", world.mlab),
+            "columnar archive aggregation diverged from in-memory state"
+        );
+        assert_eq!(
+            format!("{:?}", demanded.mlab()),
+            format!("{:?}", src.mlab())
         );
         std::fs::remove_dir_all(&dir).ok();
     }

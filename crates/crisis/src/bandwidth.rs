@@ -534,6 +534,28 @@ pub fn build_aggregate(
     )
 }
 
+/// [`build_aggregate`] under a full [`crate::config::WorldConfig`]: each
+/// shard's volume is the config's *effective* per-country scale
+/// ([`crate::config::WorldConfig::mlab_scale_for`]), so the per-country
+/// boost knob reaches the in-memory aggregate and the dumped shard set
+/// identically. With the knob unset this is exactly [`build_aggregate`].
+pub fn build_aggregate_config(
+    ops: &Operators,
+    config: &crate::config::WorldConfig,
+    start: MonthStamp,
+    end: MonthStamp,
+) -> MonthlyAggregator {
+    let plan = shard_plan(start, end);
+    let batches = sweep::parallel_map_with(sweep::worker_count(plan.len()), &plan, |&s| {
+        generate_shard(ops, config.seed, config.mlab_scale_for(s.0), s)
+    });
+    let mut agg = MonthlyAggregator::new(Mode::Streaming);
+    for batch in &batches {
+        agg.observe_all(batch);
+    }
+    agg
+}
+
 /// [`build_aggregate`] with an explicit worker count — the
 /// shard-invariance tests drive 1, 2 and 7 and assert byte-identical
 /// medians.

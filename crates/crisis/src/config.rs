@@ -1,6 +1,6 @@
 //! World-generation configuration and the study's observation windows.
 
-use lacnet_types::{Error, MonthStamp, Result};
+use lacnet_types::{CountryCode, Error, MonthStamp, Result};
 
 /// Configuration for one generated world.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,6 +17,13 @@ pub struct WorldConfig {
     /// archive is 447M rows; the default world generates ≈450k). Raise it
     /// for benchmark stress runs.
     pub mlab_volume_scale: f64,
+    /// Optional per-country NDT volume boost `(country, factor)`, applied
+    /// on top of [`mlab_volume_scale`] for that one country. This is the
+    /// single-country knob the incremental-refresh machinery keys on: a
+    /// re-dump after changing it regenerates only that country's shards.
+    ///
+    /// [`mlab_volume_scale`]: WorldConfig::mlab_volume_scale
+    pub mlab_country_boost: Option<(CountryCode, f64)>,
 }
 
 impl Default for WorldConfig {
@@ -26,6 +33,7 @@ impl Default for WorldConfig {
             economy_start: MonthStamp::new(1980, 1),
             end: MonthStamp::new(2024, 2),
             mlab_volume_scale: 1.0,
+            mlab_country_boost: None,
         }
     }
 }
@@ -40,20 +48,37 @@ impl WorldConfig {
         }
     }
 
+    /// The effective NDT volume scale for `cc`: the global
+    /// [`mlab_volume_scale`] times the per-country boost when `cc` is the
+    /// boosted country.
+    ///
+    /// [`mlab_volume_scale`]: WorldConfig::mlab_volume_scale
+    pub fn mlab_scale_for(&self, cc: CountryCode) -> f64 {
+        match self.mlab_country_boost {
+            Some((boosted, factor)) if boosted == cc => self.mlab_volume_scale * factor,
+            _ => self.mlab_volume_scale,
+        }
+    }
+
     /// Serialise as the archive's config sidecar (`world/config.tsv`):
     /// one `key<TAB>value` line per field. Floats use shortest-roundtrip
     /// formatting, so `parse(to_text(c)) == c` exactly — an archive
-    /// records precisely the world that produced it.
+    /// records precisely the world that produced it. The optional
+    /// `mlab_country_boost` line is written only when the knob is set.
     pub fn to_text(&self) -> String {
-        format!(
+        let mut text = format!(
             "# lacnet world config\nseed\t{}\neconomy_start\t{}\nend\t{}\nmlab_volume_scale\t{}\n",
             self.seed, self.economy_start, self.end, self.mlab_volume_scale,
-        )
+        );
+        if let Some((cc, factor)) = self.mlab_country_boost {
+            text.push_str(&format!("mlab_country_boost\t{cc}:{factor}\n"));
+        }
+        text
     }
 
-    /// Parse a config sidecar written by [`to_text`]. All four keys are
-    /// required; unknown keys are rejected so a stale sidecar cannot be
-    /// silently misread.
+    /// Parse a config sidecar written by [`to_text`]. The four scalar
+    /// keys are required (`mlab_country_boost` is optional); unknown keys
+    /// are rejected so a stale sidecar cannot be silently misread.
     ///
     /// [`to_text`]: WorldConfig::to_text
     pub fn parse(text: &str) -> Result<Self> {
@@ -87,6 +112,17 @@ impl WorldConfig {
                         .parse()
                         .map_err(|_| Error::parse("config mlab_volume_scale", value))?;
                     seen[3] = true;
+                }
+                "mlab_country_boost" => {
+                    let (cc, factor) = value.split_once(':').ok_or_else(|| {
+                        Error::parse("config mlab_country_boost (CC:factor)", value)
+                    })?;
+                    cfg.mlab_country_boost = Some((
+                        CountryCode::new(cc)?,
+                        factor
+                            .parse()
+                            .map_err(|_| Error::parse("config mlab_country_boost factor", value))?,
+                    ));
                 }
                 other => return Err(Error::parse("known config key", other)),
             }
@@ -178,10 +214,32 @@ mod tests {
                 economy_start: MonthStamp::new(1999, 11),
                 end: MonthStamp::new(2020, 3),
                 mlab_volume_scale: 0.123456789,
+                mlab_country_boost: None,
+            },
+            WorldConfig {
+                mlab_country_boost: Some((lacnet_types::country::VE, 1.75)),
+                ..WorldConfig::test()
             },
         ] {
             assert_eq!(WorldConfig::parse(&cfg.to_text()).unwrap(), cfg);
         }
+    }
+
+    #[test]
+    fn country_boost_scales_exactly_one_country() {
+        use lacnet_types::country;
+        let cfg = WorldConfig {
+            mlab_volume_scale: 0.5,
+            mlab_country_boost: Some((country::VE, 3.0)),
+            ..WorldConfig::default()
+        };
+        assert_eq!(cfg.mlab_scale_for(country::VE), 1.5);
+        assert_eq!(cfg.mlab_scale_for(country::BR), 0.5);
+        assert_eq!(
+            WorldConfig::default().mlab_scale_for(country::VE),
+            WorldConfig::default().mlab_volume_scale
+        );
+        assert!(WorldConfig::parse("seed\t1\nmlab_country_boost\tVE\n").is_err());
     }
 
     #[test]

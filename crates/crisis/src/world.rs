@@ -136,10 +136,9 @@ impl World {
                 let cables = s.spawn(cables::build_cable_map);
                 let dns = s.spawn(|| dns::build_dns_world(config.seed));
                 let mlab = s.spawn(|| {
-                    bandwidth::build_aggregate(
+                    bandwidth::build_aggregate_config(
                         &operators,
-                        config.seed,
-                        config.mlab_volume_scale,
+                        &config,
                         windows::mlab_start(),
                         config.end,
                     )

@@ -102,6 +102,35 @@ impl MonthlyAggregator {
         Ok(n)
     }
 
+    /// Reduce a decoded columnar shard, row order. Reads the country,
+    /// date and download columns directly — no `NdtTest` is ever
+    /// materialized — yet feeds each group's P² estimator the exact
+    /// observation sequence [`observe_reader`] feeds it from the text
+    /// rendering of the same shard, so the estimator state is
+    /// byte-identical between the two paths (asserted by this module's
+    /// tests and the archive round-trip suite).
+    ///
+    /// [`observe_reader`]: MonthlyAggregator::observe_reader
+    pub fn observe_columns(&mut self, batch: &crate::columnar::ColumnBatch) -> usize {
+        let mode = self.mode;
+        for ((&cc, &date), &down) in batch
+            .countries()
+            .iter()
+            .zip(batch.dates())
+            .zip(batch.download())
+        {
+            let entry = self
+                .groups
+                .entry((cc, date.month_stamp()))
+                .or_insert_with(|| match mode {
+                    Mode::Streaming => GroupStats::Streaming(P2Quantile::median()),
+                    Mode::Exact => GroupStats::Exact(Vec::new()),
+                });
+            entry.observe(down);
+        }
+        batch.len()
+    }
+
     /// Number of `(country, month)` groups seen.
     pub fn group_count(&self) -> usize {
         self.groups.len()
@@ -249,6 +278,41 @@ mod tests {
         );
         let mut broken = MonthlyAggregator::new(Mode::Exact);
         assert!(broken.observe_reader("bad\trow\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn observe_columns_state_is_byte_identical_to_observe_reader() {
+        use lacnet_types::rng::Rng;
+        let mut rng = Rng::seeded(11);
+        let mut rows = Vec::new();
+        for i in 0..5_000 {
+            let cc = if i % 3 == 0 { country::BR } else { country::VE };
+            let day = (i % 28) as u8 + 1;
+            rows.push(test(
+                cc,
+                2019,
+                1 + (i % 12) as u8,
+                day,
+                rng.log_normal(0.0, 0.9),
+            ));
+        }
+        let mut text = String::new();
+        for r in &rows {
+            text.push_str(&r.to_row());
+            text.push('\n');
+        }
+        let batch = crate::columnar::decode(&crate::columnar::encode_rows(&rows)).unwrap();
+
+        let mut from_text = MonthlyAggregator::new(Mode::Streaming);
+        from_text.observe_reader(text.as_bytes()).unwrap();
+        let mut from_columns = MonthlyAggregator::new(Mode::Streaming);
+        assert_eq!(from_columns.observe_columns(&batch), rows.len());
+
+        // Debug formatting spells out every P² marker height, position
+        // and increment with shortest-roundtrip floats (and tells -0.0
+        // from 0.0), so string equality here is bit-level equality of
+        // the full estimator state.
+        assert_eq!(format!("{from_text:?}"), format!("{from_columns:?}"));
     }
 
     #[test]

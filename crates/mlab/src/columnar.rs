@@ -1,0 +1,660 @@
+//! The `.ndtc` binary columnar shard container.
+//!
+//! NDT shards are the largest artifact in a dump tree — at real scale the
+//! M-Lab corpus is multi-terabyte — and the text shards spend their cold
+//! load almost entirely in per-row float/date parsing. `.ndtc` stores one
+//! shard's rows as per-column blocks instead, so a cold load is bounded
+//! by disk bandwidth and a handful of `memcpy`-shaped decodes:
+//!
+//! ```text
+//! offset 0   magic  "NDTC"                  (4 bytes)
+//! offset 4   version                        (1 byte, currently 1)
+//!            row count                      (uvarint)
+//!            7 column blocks, fixed order, each:
+//!              tag                          (1 byte)
+//!              payload length in bytes      (uvarint)
+//!              payload                      (see below)
+//! footer     row count                     (u64 little-endian)
+//!            CRC-32 of every preceding byte (u32 little-endian)
+//! ```
+//!
+//! Column payloads (`n` = row count):
+//!
+//! * **dates** (tag 1) — days-since-epoch, delta-encoded: the first value
+//!   then successive differences, each a zigzag varint.
+//! * **country** (tag 2) — dictionary-encoded: dict size (uvarint), dict
+//!   entries (2 bytes of alpha-2 each, first-appearance order), then `n`
+//!   uvarint dict indices.
+//! * **asn** (tag 3) — dictionary-encoded: dict size (uvarint), dict
+//!   entries (uvarint raw ASN each), then `n` uvarint dict indices.
+//! * **download / upload / min_rtt / loss** (tags 4–7) — `n` IEEE-754
+//!   doubles, fixed-width little-endian. Bit patterns are preserved
+//!   exactly, so the order-sensitive P² estimators observe the very same
+//!   values the text path parses from shortest-roundtrip decimal.
+//!
+//! **Format evolution rule:** readers reject any version byte other than
+//! [`VERSION`]. A layout change — new column, different encoding, moved
+//! footer — must bump [`VERSION`]; the magic never changes meaning. The
+//! `container_header_is_frozen` test pins the header bytes so a magic
+//! edit without a version bump fails CI.
+//!
+//! Every decode error is a typed [`Error`](lacnet_types::Error) — wrong
+//! magic, unknown version, truncated block, checksum mismatch, row-range
+//! violations — never a panic.
+
+use crate::ndt::NdtTest;
+use lacnet_types::codec::{
+    crc32, put_f64, put_ivarint, put_u32, put_u64, put_uvarint, read_f64, read_ivarint, read_u32,
+    read_u64, read_uvarint,
+};
+use lacnet_types::{Asn, CountryCode, Date, Error, Result};
+use std::io::Read;
+
+/// The container magic, `NDTC`.
+pub const MAGIC: [u8; 4] = *b"NDTC";
+
+/// The current container version. Readers reject any other value; bump
+/// this on every layout change (see the format-evolution rule above).
+pub const VERSION: u8 = 1;
+
+/// Bytes of the fixed footer: row count (u64) + CRC-32 (u32).
+const FOOTER_LEN: usize = 12;
+
+/// Column tags, in the order blocks appear in the container.
+const TAGS: [u8; 7] = [1, 2, 3, 4, 5, 6, 7];
+
+/// On-disk NDT shard encodings `lacnet-gen` can write and
+/// `ArchiveWorld` can read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardFormat {
+    /// One `to_row` line per test (`.tsv`) — the native text format.
+    #[default]
+    Text,
+    /// The `.ndtc` columnar container defined by this module.
+    Columnar,
+}
+
+impl ShardFormat {
+    /// The shard file extension (without the dot).
+    pub fn extension(self) -> &'static str {
+        match self {
+            ShardFormat::Text => "tsv",
+            ShardFormat::Columnar => "ndtc",
+        }
+    }
+
+    /// Parse a CLI flag value (`text` / `columnar`).
+    pub fn parse_flag(s: &str) -> Option<ShardFormat> {
+        match s {
+            "text" => Some(ShardFormat::Text),
+            "columnar" => Some(ShardFormat::Columnar),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ShardFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShardFormat::Text => "text",
+            ShardFormat::Columnar => "columnar",
+        })
+    }
+}
+
+/// One decoded shard, column-major. Rows are reconstructed on demand by
+/// [`ColumnBatch::row`] / [`ColumnBatch::iter`]; the aggregation fast
+/// path ([`MonthlyAggregator::observe_columns`]) reads the `countries`,
+/// `dates` and `download` columns directly and never materializes rows.
+///
+/// [`MonthlyAggregator::observe_columns`]: crate::aggregate::MonthlyAggregator::observe_columns
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnBatch {
+    dates: Vec<Date>,
+    countries: Vec<CountryCode>,
+    asns: Vec<Asn>,
+    download: Vec<f64>,
+    upload: Vec<f64>,
+    min_rtt: Vec<f64>,
+    loss: Vec<f64>,
+}
+
+impl ColumnBatch {
+    /// Build a batch from row-major tests.
+    pub fn from_rows(rows: &[NdtTest]) -> ColumnBatch {
+        let mut b = ColumnBatch::default();
+        for t in rows {
+            b.dates.push(t.date);
+            b.countries.push(t.country);
+            b.asns.push(t.asn);
+            b.download.push(t.download_mbps);
+            b.upload.push(t.upload_mbps);
+            b.min_rtt.push(t.min_rtt_ms);
+            b.loss.push(t.loss_rate);
+        }
+        b
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.dates.len()
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.dates.is_empty()
+    }
+
+    /// Reconstruct row `i`.
+    pub fn row(&self, i: usize) -> NdtTest {
+        NdtTest {
+            date: self.dates[i],
+            country: self.countries[i],
+            asn: self.asns[i],
+            download_mbps: self.download[i],
+            upload_mbps: self.upload[i],
+            min_rtt_ms: self.min_rtt[i],
+            loss_rate: self.loss[i],
+        }
+    }
+
+    /// Iterate the rows in order.
+    pub fn iter(&self) -> impl Iterator<Item = NdtTest> + '_ {
+        (0..self.len()).map(|i| self.row(i))
+    }
+
+    /// The test dates, row order.
+    pub fn dates(&self) -> &[Date] {
+        &self.dates
+    }
+
+    /// The client countries, row order.
+    pub fn countries(&self) -> &[CountryCode] {
+        &self.countries
+    }
+
+    /// The downstream throughputs (Mbit/s), row order.
+    pub fn download(&self) -> &[f64] {
+        &self.download
+    }
+
+    /// Column-wise mirror of [`NdtTest::validate`]: the decoder applies
+    /// exactly the range checks the text parser applies per row, so a
+    /// corrupt container cannot smuggle out-of-range values past the
+    /// aggregation that a corrupt text shard would have rejected.
+    fn validate(&self) -> Result<()> {
+        if self.download.iter().chain(&self.upload).any(|&v| v < 0.0) {
+            return Err(Error::invalid("negative throughput"));
+        }
+        if self.min_rtt.iter().any(|&v| v < 0.0) {
+            return Err(Error::invalid("negative RTT"));
+        }
+        if self.loss.iter().any(|&v| !(0.0..=1.0).contains(&v)) {
+            return Err(Error::invalid("loss rate outside [0,1]"));
+        }
+        Ok(())
+    }
+}
+
+/// Encode rows as one `.ndtc` container.
+pub fn encode_rows(rows: &[NdtTest]) -> Vec<u8> {
+    encode(&ColumnBatch::from_rows(rows))
+}
+
+/// Encode a column batch as one `.ndtc` container.
+pub fn encode(batch: &ColumnBatch) -> Vec<u8> {
+    let n = batch.len();
+    let mut out = Vec::with_capacity(64 + n * 36);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    put_uvarint(&mut out, n as u64);
+
+    let block = |out: &mut Vec<u8>, tag: u8, payload: &[u8]| {
+        out.push(tag);
+        put_uvarint(out, payload.len() as u64);
+        out.extend_from_slice(payload);
+    };
+
+    // Dates: delta-encoded days-since-epoch.
+    let mut payload = Vec::new();
+    let mut prev = 0i64;
+    for d in &batch.dates {
+        let days = d.days_since_epoch();
+        put_ivarint(&mut payload, days - prev);
+        prev = days;
+    }
+    block(&mut out, TAGS[0], &payload);
+
+    // Countries: dictionary of alpha-2 codes, first-appearance order.
+    payload.clear();
+    let mut dict: Vec<CountryCode> = Vec::new();
+    let mut indices = Vec::with_capacity(n);
+    for &cc in &batch.countries {
+        let idx = dict.iter().position(|&d| d == cc).unwrap_or_else(|| {
+            dict.push(cc);
+            dict.len() - 1
+        });
+        indices.push(idx as u64);
+    }
+    put_uvarint(&mut payload, dict.len() as u64);
+    for cc in &dict {
+        payload.extend_from_slice(cc.as_str().as_bytes());
+    }
+    for &i in &indices {
+        put_uvarint(&mut payload, i);
+    }
+    block(&mut out, TAGS[1], &payload);
+
+    // ASNs: dictionary of raw ASNs, first-appearance order.
+    payload.clear();
+    let mut dict: Vec<Asn> = Vec::new();
+    let mut indices = Vec::with_capacity(n);
+    for &asn in &batch.asns {
+        let idx = dict.iter().position(|&d| d == asn).unwrap_or_else(|| {
+            dict.push(asn);
+            dict.len() - 1
+        });
+        indices.push(idx as u64);
+    }
+    put_uvarint(&mut payload, dict.len() as u64);
+    for asn in &dict {
+        put_uvarint(&mut payload, u64::from(asn.raw()));
+    }
+    for &i in &indices {
+        put_uvarint(&mut payload, i);
+    }
+    block(&mut out, TAGS[2], &payload);
+
+    // The four float columns, fixed-width little-endian.
+    for (tag, col) in [
+        (TAGS[3], &batch.download),
+        (TAGS[4], &batch.upload),
+        (TAGS[5], &batch.min_rtt),
+        (TAGS[6], &batch.loss),
+    ] {
+        payload.clear();
+        for &v in col {
+            put_f64(&mut payload, v);
+        }
+        block(&mut out, tag, &payload);
+    }
+
+    // Footer: row count again, then the CRC over everything before it.
+    put_u64(&mut out, n as u64);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Decode one `.ndtc` container. Rejects wrong magic, unknown versions,
+/// truncated or oversized blocks, footer/checksum mismatches and
+/// out-of-range row values — all as typed errors.
+pub fn decode(bytes: &[u8]) -> Result<ColumnBatch> {
+    if bytes.len() < MAGIC.len() + 1 + FOOTER_LEN {
+        return Err(Error::parse("ndtc container (truncated)", ""));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(Error::parse("ndtc magic", &format!("{:02x?}", &bytes[..4])));
+    }
+    if bytes[4] != VERSION {
+        return Err(Error::parse(
+            "ndtc version 1 (readers reject unknown versions)",
+            &bytes[4].to_string(),
+        ));
+    }
+
+    // Verify the footer before trusting any block length.
+    let crc_at = bytes.len() - 4;
+    let mut pos = crc_at;
+    let stored_crc = read_u32(bytes, &mut pos)?;
+    if crc32(&bytes[..crc_at]) != stored_crc {
+        return Err(Error::parse("ndtc checksum (corrupt container)", ""));
+    }
+    let mut pos = bytes.len() - FOOTER_LEN;
+    let footer_rows = read_u64(bytes, &mut pos)?;
+
+    let body = &bytes[..bytes.len() - FOOTER_LEN];
+    let mut pos = MAGIC.len() + 1;
+    let n = read_uvarint(body, &mut pos)?;
+    if n != footer_rows {
+        return Err(Error::parse(
+            "ndtc footer row count",
+            &footer_rows.to_string(),
+        ));
+    }
+    let n = usize::try_from(n).map_err(|_| Error::parse("ndtc row count", ""))?;
+    // A row costs at least one byte in every varint column; anything
+    // claiming more rows than bytes is corrupt, caught before allocating.
+    if n > body.len() {
+        return Err(Error::parse("ndtc row count (exceeds container size)", ""));
+    }
+
+    let mut blocks: [&[u8]; 7] = [&[]; 7];
+    for (slot, &tag) in blocks.iter_mut().zip(&TAGS) {
+        let &got = body
+            .get(pos)
+            .ok_or_else(|| Error::parse("ndtc column block (truncated)", ""))?;
+        pos += 1;
+        if got != tag {
+            return Err(Error::parse("ndtc column tag", &got.to_string()));
+        }
+        let len = read_uvarint(body, &mut pos)?;
+        let len = usize::try_from(len).map_err(|_| Error::parse("ndtc block length", ""))?;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= body.len())
+            .ok_or_else(|| Error::parse("ndtc column block (truncated)", ""))?;
+        *slot = &body[pos..end];
+        pos = end;
+    }
+    if pos != body.len() {
+        return Err(Error::parse("ndtc container (trailing bytes)", ""));
+    }
+
+    let mut batch = ColumnBatch::default();
+
+    // Dates.
+    let block = blocks[0];
+    let mut pos = 0;
+    let mut days = 0i64;
+    for _ in 0..n {
+        let delta = read_ivarint(block, &mut pos)?;
+        days = days
+            .checked_add(delta)
+            .ok_or_else(|| Error::parse("ndtc date delta (overflow)", ""))?;
+        // Keep reconstruction within the civil-date range the rest of
+        // the pipeline uses; wildly out-of-range days mean corruption.
+        if days.abs() > 4_000_000 {
+            return Err(Error::parse("ndtc date (outside civil range)", ""));
+        }
+        batch.dates.push(Date::from_days_since_epoch(days));
+    }
+    if pos != block.len() {
+        return Err(Error::parse("ndtc date column (trailing bytes)", ""));
+    }
+
+    // Countries.
+    let block = blocks[1];
+    let mut pos = 0;
+    let dict_len = read_uvarint(block, &mut pos)? as usize;
+    let mut dict = Vec::with_capacity(dict_len.min(256));
+    for _ in 0..dict_len {
+        let end = pos
+            .checked_add(2)
+            .filter(|&e| e <= block.len())
+            .ok_or_else(|| Error::parse("ndtc country dict (truncated)", ""))?;
+        let s = std::str::from_utf8(&block[pos..end])
+            .map_err(|_| Error::parse("ndtc country dict entry", ""))?;
+        dict.push(CountryCode::new(s)?);
+        pos = end;
+    }
+    for _ in 0..n {
+        let idx = read_uvarint(block, &mut pos)? as usize;
+        let &cc = dict
+            .get(idx)
+            .ok_or_else(|| Error::parse("ndtc country dict index", ""))?;
+        batch.countries.push(cc);
+    }
+    if pos != block.len() {
+        return Err(Error::parse("ndtc country column (trailing bytes)", ""));
+    }
+
+    // ASNs.
+    let block = blocks[2];
+    let mut pos = 0;
+    let dict_len = read_uvarint(block, &mut pos)? as usize;
+    let mut dict = Vec::with_capacity(dict_len.min(256));
+    for _ in 0..dict_len {
+        let raw = read_uvarint(block, &mut pos)?;
+        let raw = u32::try_from(raw).map_err(|_| Error::parse("ndtc asn dict entry", ""))?;
+        dict.push(Asn(raw));
+    }
+    for _ in 0..n {
+        let idx = read_uvarint(block, &mut pos)? as usize;
+        let &asn = dict
+            .get(idx)
+            .ok_or_else(|| Error::parse("ndtc asn dict index", ""))?;
+        batch.asns.push(asn);
+    }
+    if pos != block.len() {
+        return Err(Error::parse("ndtc asn column (trailing bytes)", ""));
+    }
+
+    // Float columns.
+    for (block, col) in [
+        (blocks[3], &mut batch.download),
+        (blocks[4], &mut batch.upload),
+        (blocks[5], &mut batch.min_rtt),
+        (blocks[6], &mut batch.loss),
+    ] {
+        if block.len() != n * 8 {
+            return Err(Error::parse("ndtc float column (wrong size)", ""));
+        }
+        let mut pos = 0;
+        for _ in 0..n {
+            col.push(read_f64(block, &mut pos)?);
+        }
+    }
+
+    batch.validate()?;
+    Ok(batch)
+}
+
+/// Read one `.ndtc` shard from a reader. The container is checksummed as
+/// a whole, so the reader slurps the (bounded, per-country-month) file
+/// and verifies it before any value is surfaced; rows then stream lazily
+/// off the decoded columns via [`ColumnBatch::iter`].
+pub fn read_shard<R: Read>(mut reader: R) -> Result<ColumnBatch> {
+    let mut bytes = Vec::new();
+    reader
+        .read_to_end(&mut bytes)
+        .map_err(|e| Error::parse("ndtc shard read", &e.to_string()))?;
+    decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lacnet_types::country;
+
+    fn rows() -> Vec<NdtTest> {
+        vec![
+            NdtTest {
+                date: Date::ymd(2019, 7, 14),
+                country: country::VE,
+                asn: Asn(8048),
+                download_mbps: 0.87,
+                upload_mbps: 0.31,
+                min_rtt_ms: 58.2,
+                loss_rate: 0.012,
+            },
+            NdtTest {
+                date: Date::ymd(2019, 7, 2),
+                country: country::VE,
+                asn: Asn(8048),
+                download_mbps: 1.25,
+                upload_mbps: 0.5,
+                min_rtt_ms: 44.0,
+                loss_rate: 0.0,
+            },
+            NdtTest {
+                date: Date::ymd(2019, 7, 30),
+                country: country::BR,
+                asn: Asn(28573),
+                download_mbps: 22.5,
+                upload_mbps: 11.0,
+                min_rtt_ms: 12.0,
+                loss_rate: 1.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_rows_exactly() {
+        let rows = rows();
+        let decoded = decode(&encode_rows(&rows)).unwrap();
+        assert_eq!(decoded.len(), rows.len());
+        let back: Vec<NdtTest> = decoded.iter().collect();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn empty_and_single_row_shards_roundtrip() {
+        let empty = decode(&encode_rows(&[])).unwrap();
+        assert!(empty.is_empty());
+        let one = &rows()[..1];
+        let decoded = decode(&encode_rows(one)).unwrap();
+        assert_eq!(decoded.iter().collect::<Vec<_>>(), one);
+    }
+
+    #[test]
+    fn container_header_is_frozen() {
+        // Format-version guard: the first five bytes of every container
+        // are the magic followed by the version constant. Changing the
+        // magic without bumping VERSION (or vice versa) breaks this pin
+        // and must come with a deliberate fixture update here.
+        let bytes = encode_rows(&[]);
+        assert_eq!(&bytes[..4], b"NDTC");
+        assert_eq!(bytes[4], 1);
+        assert_eq!(VERSION, 1, "bump this pin together with the constant");
+    }
+
+    #[test]
+    fn wrong_magic_is_a_typed_error() {
+        let mut bytes = encode_rows(&rows());
+        bytes[0] = b'X';
+        match decode(&bytes) {
+            Err(Error::Parse { expected, .. }) => assert!(expected.contains("magic")),
+            other => panic!("expected a magic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut bytes = encode_rows(&rows());
+        bytes[4] = VERSION + 1;
+        match decode(&bytes) {
+            Err(Error::Parse { expected, .. }) => assert!(expected.contains("version")),
+            other => panic!("expected a version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_footer_is_a_typed_error() {
+        let mut bytes = encode_rows(&rows());
+        let len = bytes.len();
+        bytes[len - 1] ^= 0xFF; // flip CRC bits
+        assert!(matches!(decode(&bytes), Err(Error::Parse { .. })));
+        let mut bytes = encode_rows(&rows());
+        let len = bytes.len();
+        bytes[len - 8] ^= 0x01; // corrupt the footer row count (CRC catches it)
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_container_is_a_typed_error() {
+        let bytes = encode_rows(&rows());
+        for cut in [0, 3, 5, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(decode(&bytes[..cut]), Err(Error::Parse { .. })),
+                "truncation at {cut} must fail typed"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_body_is_caught_by_the_checksum() {
+        let mut bytes = encode_rows(&rows());
+        bytes[10] ^= 0x40;
+        match decode(&bytes) {
+            Err(Error::Parse { expected, .. }) => assert!(expected.contains("checksum")),
+            other => panic!("expected a checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected_like_the_text_path() {
+        let mut bad = rows();
+        bad[0].loss_rate = 1.5;
+        let mut bytes = encode_rows(&bad);
+        // Re-seal the container so only the range check can object.
+        let len = bytes.len();
+        bytes.truncate(len - 4);
+        let crc = crc32(&bytes);
+        put_u32(&mut bytes, crc);
+        assert!(matches!(decode(&bytes), Err(Error::Invalid { .. })));
+    }
+
+    #[test]
+    fn shard_format_flags() {
+        assert_eq!(ShardFormat::parse_flag("text"), Some(ShardFormat::Text));
+        assert_eq!(
+            ShardFormat::parse_flag("columnar"),
+            Some(ShardFormat::Columnar)
+        );
+        assert_eq!(ShardFormat::parse_flag("parquet"), None);
+        assert_eq!(ShardFormat::Text.extension(), "tsv");
+        assert_eq!(ShardFormat::Columnar.extension(), "ndtc");
+        assert_eq!(ShardFormat::Columnar.to_string(), "columnar");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_row(day: u8, cc: usize, asn: u32, f: (f64, f64, f64, f64)) -> NdtTest {
+            let codes = [country::VE, country::BR, country::AR, country::UY];
+            NdtTest {
+                date: Date::ymd(2007 + (asn % 17) as i32, 1 + (asn % 12) as u8, day),
+                country: codes[cc % codes.len()],
+                asn: Asn(asn),
+                download_mbps: f.0,
+                upload_mbps: f.1,
+                min_rtt_ms: f.2,
+                loss_rate: f.3,
+            }
+        }
+
+        proptest! {
+            /// text shard → columnar encode → decode → text is
+            /// byte-identical for arbitrary generated shards, including
+            /// empty and single-row ones (`size 0..` covers both).
+            #[test]
+            fn text_columnar_text_is_byte_identical(
+                specs in proptest::collection::vec(
+                    (1u8..=28, 0usize..4, 1u32..400_000,
+                     (0.0f64..500.0, 0.0f64..200.0, 0.0f64..900.0, 0.0f64..1.0)),
+                    0..40,
+                )
+            ) {
+                let rows: Vec<NdtTest> = specs
+                    .into_iter()
+                    .map(|(day, cc, asn, f)| arb_row(day, cc, asn, f))
+                    .collect();
+                let text: String = rows.iter().map(|r| r.to_row() + "\n").collect();
+                let decoded = decode(&encode_rows(&rows)).unwrap();
+                let back: String = decoded.iter().map(|r| r.to_row() + "\n").collect();
+                prop_assert_eq!(back, text);
+            }
+
+            /// Arbitrary byte mutations never panic the decoder — they
+            /// either still decode (only when the CRC happens to match)
+            /// or fail with a typed error.
+            #[test]
+            fn mutated_containers_fail_typed(
+                idx in 0usize..200,
+                mask in 1u8..=255,
+            ) {
+                let bytes = encode_rows(&rows());
+                let mut mutated = bytes.clone();
+                let i = idx % mutated.len();
+                mutated[i] ^= mask;
+                let _ = decode(&mutated); // must not panic
+            }
+        }
+
+        fn rows() -> Vec<NdtTest> {
+            super::rows()
+        }
+    }
+}

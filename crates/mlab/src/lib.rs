@@ -7,16 +7,22 @@
 //!
 //! The aggregator offers both an exact (sort-based) and a P² streaming
 //! median per group; the `lacnet-bench` ablation compares them.
+//!
+//! Shards exist in two on-disk encodings: the native text rows and the
+//! [`columnar`] `.ndtc` container, whose cold load is bounded by disk
+//! bandwidth instead of per-row text parsing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod columnar;
 pub mod multi;
 pub mod ndt;
 pub mod synth;
 
 pub use aggregate::{GroupStats, MonthlyAggregator};
+pub use columnar::{ColumnBatch, ShardFormat};
 pub use multi::{Group, Metric, MultiAggregator};
 pub use ndt::NdtTest;
 pub use synth::SpeedSampler;

@@ -66,21 +66,28 @@ impl FromStr for NdtTest {
     type Err = Error;
 
     fn from_str(s: &str) -> Result<Self> {
-        let cols: Vec<&str> = s.split('\t').collect();
-        if cols.len() != 7 {
-            return Err(Error::parse("NDT row (7 tab-separated columns)", s));
-        }
+        // Walk the split iterator directly — this parser runs once per
+        // row of a multi-hundred-megabyte shard, so it must not allocate
+        // a per-row `Vec<&str>`.
+        let mut cols = s.split('\t');
+        let mut col = || {
+            cols.next()
+                .ok_or_else(|| Error::parse("NDT row (7 tab-separated columns)", s))
+        };
         let test = NdtTest {
-            date: cols[0].parse()?,
-            country: cols[1].parse()?,
-            asn: Asn(cols[2].parse().map_err(|_| Error::parse("NDT asn", s))?),
-            download_mbps: cols[3]
+            date: col()?.parse()?,
+            country: col()?.parse()?,
+            asn: Asn(col()?.parse().map_err(|_| Error::parse("NDT asn", s))?),
+            download_mbps: col()?
                 .parse()
                 .map_err(|_| Error::parse("NDT download", s))?,
-            upload_mbps: cols[4].parse().map_err(|_| Error::parse("NDT upload", s))?,
-            min_rtt_ms: cols[5].parse().map_err(|_| Error::parse("NDT rtt", s))?,
-            loss_rate: cols[6].parse().map_err(|_| Error::parse("NDT loss", s))?,
+            upload_mbps: col()?.parse().map_err(|_| Error::parse("NDT upload", s))?,
+            min_rtt_ms: col()?.parse().map_err(|_| Error::parse("NDT rtt", s))?,
+            loss_rate: col()?.parse().map_err(|_| Error::parse("NDT loss", s))?,
         };
+        if cols.next().is_some() {
+            return Err(Error::parse("NDT row (7 tab-separated columns)", s));
+        }
         test.validate()
             .map_err(|_| Error::parse("NDT row values in range", s))?;
         Ok(test)

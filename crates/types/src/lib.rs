@@ -18,6 +18,9 @@
 //!   upgrades.
 //! * [`json`] — dependency-free JSON value tree, parser, and writer for
 //!   the JSON-shaped dataset formats (PeeringDB dumps, cable maps, …).
+//! * [`codec`] — varints, zigzag, fixed-width little-endian floats,
+//!   CRC-32 and FNV-1a for the binary columnar shard container and the
+//!   incremental-refresh manifest.
 //! * [`sweep`] — deterministic parallel sweeps over month ranges and
 //!   independent build tasks on `std::thread::scope` workers.
 //!
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod asn;
+pub mod codec;
 pub mod country;
 pub mod date;
 pub mod error;

@@ -5,14 +5,16 @@
 //! analysis depends on *how* the datasets arrived — a freshly generated
 //! world and the same world dumped to its native archive formats and
 //! parsed back must drive every experiment to identical output. This
-//! suite dumps the fixed-seed test world once, reloads it through
+//! suite dumps the fixed-seed test world once *per NDT shard format*
+//! (text `.tsv` and columnar `.ndtc`), reloads each tree through
 //! [`DataSource::from_archive`], and requires the canonical TSV render
 //! of all 22 paper artifacts *and* the three extensions to match both
 //! the in-memory run and the checked-in `tests/golden/` fixtures.
 
 use lacnet::core::render::canonical_tsv;
-use lacnet::core::{datasets, experiments, extensions, DataSource};
+use lacnet::core::{datasets, experiments, extensions, DataSource, DumpOptions};
 use lacnet::crisis::{World, WorldConfig};
+use lacnet::mlab::ShardFormat;
 use std::path::PathBuf;
 use std::sync::OnceLock;
 
@@ -21,16 +23,30 @@ fn world() -> &'static World {
     WORLD.get_or_init(|| World::generate(WorldConfig::test()))
 }
 
-/// Dump the test world once and keep the archive-backed source for every
-/// test in the binary — the dump tree holds a few thousand files, so the
-/// suite parses it a single time.
-fn archive_source() -> &'static DataSource<'static> {
-    static SOURCE: OnceLock<DataSource<'static>> = OnceLock::new();
-    SOURCE.get_or_init(|| {
-        let dir = std::env::temp_dir().join(format!("lacnet-roundtrip-{}", std::process::id()));
-        datasets::dump(world(), &dir).expect("dump succeeds");
-        DataSource::from_archive(&dir).expect("archive loads")
+/// Dump the test world once per shard format and keep the archive-backed
+/// source for every test in the binary — each dump tree holds a few
+/// thousand files, so the suite parses each a single time.
+fn archive_source_for(format: ShardFormat) -> &'static DataSource<'static> {
+    static TEXT: OnceLock<DataSource<'static>> = OnceLock::new();
+    static COLUMNAR: OnceLock<DataSource<'static>> = OnceLock::new();
+    let cell = match format {
+        ShardFormat::Text => &TEXT,
+        ShardFormat::Columnar => &COLUMNAR,
+    };
+    cell.get_or_init(|| {
+        let dir =
+            std::env::temp_dir().join(format!("lacnet-roundtrip-{format}-{}", std::process::id()));
+        let options = DumpOptions {
+            shard_format: format,
+            force: false,
+        };
+        datasets::dump_with(world(), &dir, options).expect("dump succeeds");
+        DataSource::from_archive_with(&dir, Some(format)).expect("archive loads")
     })
+}
+
+fn archive_source() -> &'static DataSource<'static> {
+    archive_source_for(ShardFormat::Text)
 }
 
 fn fixture_dir() -> PathBuf {
@@ -38,11 +54,15 @@ fn fixture_dir() -> PathBuf {
 }
 
 /// Battery + extensions from the archive backend, render order stable.
-fn archive_results() -> Vec<lacnet::core::ExperimentResult> {
-    let src = archive_source();
+fn archive_results_for(format: ShardFormat) -> Vec<lacnet::core::ExperimentResult> {
+    let src = archive_source_for(format);
     let mut results = experiments::all(src);
     results.extend(extensions::all(src));
     results
+}
+
+fn archive_results() -> Vec<lacnet::core::ExperimentResult> {
+    archive_results_for(ShardFormat::Text)
 }
 
 #[test]
@@ -86,7 +106,49 @@ fn archive_battery_matches_golden_fixtures() {
 }
 
 #[test]
+fn columnar_archive_battery_matches_text_archive_byte_for_byte() {
+    // The columnar `.ndtc` shard encoding must be invisible to the
+    // battery: both formats decode into the identical observation
+    // sequence, so every artifact renders byte-for-byte the same.
+    let text = archive_results_for(ShardFormat::Text);
+    let columnar = archive_results_for(ShardFormat::Columnar);
+    assert_eq!(text.len(), columnar.len());
+    for (t, c) in text.iter().zip(&columnar) {
+        assert_eq!(t.id, c.id);
+        assert_eq!(
+            canonical_tsv(t),
+            canonical_tsv(c),
+            "{} diverges between text and columnar NDT shards",
+            t.id
+        );
+    }
+}
+
+#[test]
+fn columnar_archive_battery_matches_golden_fixtures() {
+    for result in archive_results_for(ShardFormat::Columnar) {
+        let path = fixture_dir().join(format!("{}.tsv", result.id));
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden fixture {}; run `UPDATE_GOLDEN=1 cargo test --test golden`",
+                path.display()
+            )
+        });
+        assert_eq!(
+            canonical_tsv(&result),
+            expected,
+            "{} from the columnar archive diverges from its golden fixture",
+            result.id
+        );
+    }
+}
+
+#[test]
 fn archive_backend_reports_itself() {
     assert_eq!(archive_source().backend(), "archive");
     assert_eq!(archive_source().config(), &world().config);
+    assert_eq!(
+        archive_source_for(ShardFormat::Columnar).backend(),
+        "archive"
+    );
 }

@@ -1,0 +1,110 @@
+//! Incremental archive refresh: a re-dump regenerates only the NDT
+//! shards whose inputs changed.
+//!
+//! The dump records every shard's input fingerprint (seed, effective
+//! per-country volume scale, on-disk format) in `mlab/manifest.tsv`.
+//! This suite proves the three properties that make the manifest
+//! trustworthy:
+//!
+//! 1. a re-dump of an unchanged configuration rewrites **zero** shard
+//!    files (their mtimes are untouched);
+//! 2. touching one country's volume knob regenerates **only** that
+//!    country's shards — every other shard file keeps its mtime and
+//!    bytes;
+//! 3. the incrementally refreshed tree drives the full experiment
+//!    battery to byte-identical output with a from-scratch dump of the
+//!    same configuration.
+
+use lacnet::core::render::canonical_tsv;
+use lacnet::core::{datasets, experiments, extensions, DataSource};
+use lacnet::crisis::config::windows;
+use lacnet::crisis::{bandwidth, World, WorldConfig};
+use lacnet::types::country;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::SystemTime;
+
+/// (relative shard path -> mtime) for every NDT shard file in the tree.
+fn shard_mtimes(root: &Path, config: &WorldConfig) -> BTreeMap<String, SystemTime> {
+    bandwidth::shard_plan(windows::mlab_start(), config.end)
+        .into_iter()
+        .map(|shard| {
+            let rel = datasets::mlab_shard_path(shard);
+            let mtime = std::fs::metadata(root.join(&rel))
+                .and_then(|m| m.modified())
+                .expect("shard file exists with a readable mtime");
+            (rel, mtime)
+        })
+        .collect()
+}
+
+fn battery(src: &DataSource) -> Vec<String> {
+    let mut results = experiments::all(src);
+    results.extend(extensions::all(src));
+    results.iter().map(canonical_tsv).collect()
+}
+
+#[test]
+fn touching_one_country_refreshes_only_its_shards() {
+    let base_config = WorldConfig::test();
+    let boosted_config = WorldConfig {
+        mlab_country_boost: Some((country::VE, 2.0)),
+        ..base_config
+    };
+    let dir = std::env::temp_dir().join(format!("lacnet-incr-{}", std::process::id()));
+    let scratch = std::env::temp_dir().join(format!("lacnet-incr-scratch-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&scratch).ok();
+
+    // Property 1: a re-dump of the same configuration rewrites nothing.
+    let base = World::generate(base_config);
+    let first = datasets::dump(&base, &dir).expect("initial dump");
+    assert_eq!(first.shards_skipped, 0);
+    let before = shard_mtimes(&dir, &base_config);
+    let again = datasets::dump(&base, &dir).expect("unchanged re-dump");
+    assert_eq!(again.shards_written, 0, "unchanged config rewrote shards");
+    assert_eq!(again.shards_skipped, first.shards_written);
+    assert_eq!(
+        shard_mtimes(&dir, &base_config),
+        before,
+        "an unchanged re-dump must not touch any shard file"
+    );
+
+    // Property 2: boosting VE's volume regenerates exactly VE's shards.
+    let boosted = World::generate(boosted_config);
+    let refreshed = datasets::dump(&boosted, &dir).expect("boosted re-dump");
+    let plan = bandwidth::shard_plan(windows::mlab_start(), boosted_config.end);
+    let ve_shards = plan.iter().filter(|&&(cc, _)| cc == country::VE).count();
+    assert_eq!(refreshed.shards_written, ve_shards);
+    assert_eq!(refreshed.shards_skipped, plan.len() - ve_shards);
+    let after = shard_mtimes(&dir, &boosted_config);
+    for (rel, mtime) in &before {
+        if rel.starts_with("mlab/VE/") {
+            continue;
+        }
+        assert_eq!(
+            after[rel], *mtime,
+            "{rel} was rewritten although its inputs did not change"
+        );
+    }
+    let ve_sample = "mlab/VE/ndt-2019-03.tsv";
+
+    // Property 3: the refreshed tree and a from-scratch dump of the
+    // boosted world agree on every battery artifact, byte for byte.
+    datasets::dump(&boosted, &scratch).expect("from-scratch dump");
+    assert_eq!(
+        std::fs::read(dir.join(ve_sample)).unwrap(),
+        std::fs::read(scratch.join(ve_sample)).unwrap(),
+        "refreshed VE shard must equal the from-scratch bytes"
+    );
+    let refreshed_src = DataSource::from_archive(&dir).expect("refreshed tree loads");
+    let scratch_src = DataSource::from_archive(&scratch).expect("scratch tree loads");
+    assert_eq!(
+        battery(&refreshed_src),
+        battery(&scratch_src),
+        "incremental refresh changed battery output"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&scratch).ok();
+}

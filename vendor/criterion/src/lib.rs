@@ -12,9 +12,20 @@
 //! * `--sample-size N` — override the sample count everywhere
 //! * any bare argument — substring filter on benchmark ids
 //! * `--bench` / `--test` (emitted by cargo) — ignored
+//!
+//! When the `BENCH_JSON` environment variable names a file, every
+//! benchmark's median is additionally recorded there as a flat JSON
+//! object `{"bench id": median_ns, …}` — machine-readable output for
+//! regression tracking. Re-runs merge into the existing file, so several
+//! bench binaries (or filtered runs) accumulate into one report.
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Medians recorded this process, flushed by [`flush_json_report`].
+static JSON_REPORT: Mutex<BTreeMap<String, u128>> = Mutex::new(BTreeMap::new());
 
 /// How a group scales its reported per-iteration time.
 #[derive(Debug, Clone, Copy)]
@@ -242,6 +253,9 @@ where
     let min = times[0];
     let median = times[times.len() / 2];
     let max = times[times.len() - 1];
+    if let Ok(mut report) = JSON_REPORT.lock() {
+        report.insert(id.to_owned(), median.as_nanos());
+    }
     let mut line = format!(
         "{id:<50} time: [{} {} {}]",
         format_duration(min),
@@ -263,6 +277,53 @@ where
         }
     }
     println!("{line}");
+}
+
+/// Parse a flat `{"id": nanos, …}` object written by a previous run.
+/// Anything unparsable is ignored — the merge then starts fresh.
+fn parse_flat_json(text: &str) -> BTreeMap<String, u128> {
+    let mut map = BTreeMap::new();
+    let Some(body) = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+    else {
+        return map;
+    };
+    for entry in body.split(',') {
+        let Some((key, value)) = entry.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(nanos) = value.trim().parse::<u128>() {
+            map.insert(key.to_owned(), nanos);
+        }
+    }
+    map
+}
+
+/// Write the medians recorded so far to the file named by `BENCH_JSON`
+/// (no-op when the variable is unset), merging with any report already
+/// there. Called by `criterion_main!` after every group has run.
+pub fn flush_json_report() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let recorded = match JSON_REPORT.lock() {
+        Ok(report) => report.clone(),
+        Err(_) => return,
+    };
+    let mut merged = parse_flat_json(&std::fs::read_to_string(&path).unwrap_or_default());
+    merged.extend(recorded);
+    let mut out = String::from("{\n");
+    for (i, (id, nanos)) in merged.iter().enumerate() {
+        let sep = if i + 1 < merged.len() { "," } else { "" };
+        out.push_str(&format!("  \"{id}\": {nanos}{sep}\n"));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write BENCH_JSON report {path}: {e}");
+    }
 }
 
 fn format_duration(d: Duration) -> String {
@@ -303,6 +364,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::flush_json_report();
         }
     };
 }
@@ -329,6 +391,23 @@ mod tests {
             options: CliOptions::default(),
         };
         target(&mut c);
+    }
+
+    #[test]
+    fn json_report_records_medians_and_merges() {
+        let mut c = Criterion {
+            sample_size: 3,
+            options: CliOptions::default(),
+        };
+        c.bench_function("json/probe", |b| b.iter(|| 1u64 + 1));
+        let report = JSON_REPORT.lock().unwrap();
+        assert!(report.contains_key("json/probe"));
+        drop(report);
+        let parsed = parse_flat_json("{\n  \"a/b\": 120,\n  \"c\": 7\n}\n");
+        assert_eq!(parsed.get("a/b"), Some(&120));
+        assert_eq!(parsed.get("c"), Some(&7));
+        assert!(parse_flat_json("not json").is_empty());
+        assert!(parse_flat_json("").is_empty());
     }
 
     #[test]
