@@ -2,8 +2,13 @@
 //! its native archive format.
 //!
 //! ```text
-//! lacnet-gen --out DIR [--seed N] [--shard-format text|columnar] [--force] [--verify]
+//! lacnet-gen --out DIR [--seed N] [--test-world] [--shard-format text|columnar] [--force] [--verify]
 //! ```
+//!
+//! `--test-world` dumps the reduced fixed-seed world the test suites
+//! run on — a mini archive that generates and parses in seconds (the CI
+//! serve job's fixture). Flags compose left to right, so a `--seed`
+//! after `--test-world` overrides the test seed.
 //!
 //! Re-running over an existing tree refreshes incrementally: NDT shards
 //! whose inputs (seed, per-country volume scale, format) are unchanged
@@ -45,11 +50,12 @@ fn main() {
                     .and_then(|s| ShardFormat::parse_flag(s))
                     .unwrap_or_else(|| die("--shard-format needs `text` or `columnar`"));
             }
+            "--test-world" => config = WorldConfig::test(),
             "--force" => options.force = true,
             "--verify" => verify = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: lacnet-gen --out DIR [--seed N] [--shard-format text|columnar] [--force] [--verify]"
+                    "usage: lacnet-gen --out DIR [--seed N] [--test-world] [--shard-format text|columnar] [--force] [--verify]"
                 );
                 return;
             }

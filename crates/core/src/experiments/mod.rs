@@ -58,47 +58,22 @@ pub(crate) mod common {
     }
 }
 
-/// The battery, in paper order. Every experiment is a pure function of
-/// its [`DataSource`], which is what lets [`all`] distribute them across
-/// threads — and what lets the archive round-trip suite run the same
-/// functions against a world parsed back from disk.
-const BATTERY: [fn(&DataSource) -> ExperimentResult; 22] = [
-    fig01_macro::run,
-    fig02_address_space::run,
-    fig03_facilities::run,
-    fig04_cables::run,
-    fig05_ipv6::run,
-    fig06_roots::run,
-    fig07_offnets::run,
-    fig08_cantv_degree::run,
-    fig09_transit_heatmap::run,
-    fig10_ixp_matrix::run,
-    fig11_bandwidth::run,
-    fig12_gpdns_rtt::run,
-    tab01_isps::run,
-    fig13_gdp_ranks::run,
-    fig14_prefix_heatmap::run,
-    fig15_ve_facilities::run,
-    fig16_root_origins::run,
-    fig17_probe_coverage::run,
-    fig18_all_hypergiants::run,
-    fig19_third_party::run,
-    fig20_probe_map::run,
-    fig21_us_ixps::run,
-];
-
 /// Run every experiment in paper order, distributing the battery across
-/// worker threads. The result is identical — byte for byte once rendered
-/// — to [`all_serial`]; `tests/parallel_equivalence.rs` holds that
-/// invariant.
+/// worker threads. The battery itself lives in [`crate::registry`] — the
+/// one list `vzla-report`, `lacnet-serve` and the golden suite all
+/// consume. The result is identical — byte for byte once rendered — to
+/// [`all_serial`]; `tests/parallel_equivalence.rs` holds that invariant.
 pub fn all(source: &DataSource) -> Vec<ExperimentResult> {
-    lacnet_types::sweep::parallel_map(&BATTERY, |run| run(source))
+    lacnet_types::sweep::parallel_map(&crate::registry::paper_battery(), |run| run(source))
 }
 
 /// Run every experiment in paper order on the calling thread — the
 /// reference implementation the parallel battery is checked against.
 pub fn all_serial(source: &DataSource) -> Vec<ExperimentResult> {
-    BATTERY.iter().map(|run| run(source)).collect()
+    crate::registry::paper_battery()
+        .into_iter()
+        .map(|run| run(source))
+        .collect()
 }
 
 /// Shared lazily-generated world for the experiment test modules — world

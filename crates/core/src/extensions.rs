@@ -21,9 +21,7 @@ use lacnet_types::{country, Asn, Date, MonthStamp};
 /// independent pure functions of their [`DataSource`], like the paper
 /// battery).
 pub fn all(source: &DataSource) -> Vec<ExperimentResult> {
-    const EXTENSIONS: [fn(&DataSource) -> ExperimentResult; 3] =
-        [ext_blackouts, ext_inference, ext_network_split];
-    lacnet_types::sweep::parallel_map(&EXTENSIONS, |run| run(source))
+    lacnet_types::sweep::parallel_map(&crate::registry::extension_battery(), |run| run(source))
 }
 
 /// Outage detection over the 2019 blackout year.

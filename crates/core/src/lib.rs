@@ -22,7 +22,9 @@ pub mod datasets;
 pub mod experiments;
 pub mod extensions;
 pub mod markdown;
+pub mod registry;
 pub mod render;
+pub mod serve;
 pub mod source;
 
 pub use artifact::{Artifact, ExperimentResult, Figure, Finding, Heatmap, Line, Panel, Table};

@@ -1,0 +1,250 @@
+//! The single registry of every artifact the pipeline can produce: the
+//! 22 paper experiments and the 3 extensions, each with its stable id,
+//! its runner, and its HTTP route.
+//!
+//! This is the one place figure naming lives. `vzla-report` assembles
+//! its battery from it, `lacnet-serve` routes requests through it, the
+//! golden suite derives its expected fixture set from it — so an
+//! endpoint cannot exist in one surface and silently miss the others.
+
+use crate::artifact::ExperimentResult;
+use crate::source::DataSource;
+use crate::{experiments, extensions};
+
+/// Which battery an endpoint belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// One of the paper's 22 figures/tables, in paper order.
+    Paper,
+    /// A beyond-the-paper extension analysis.
+    Extension,
+}
+
+/// One runnable endpoint.
+pub struct Endpoint {
+    /// Stable artifact id — also the golden fixture stem (`fig11`,
+    /// `tab01`, `ext-blackouts`).
+    pub id: &'static str,
+    /// Paper battery or extension.
+    pub kind: Kind,
+    /// The experiment, a pure function of its [`DataSource`].
+    pub run: fn(&DataSource) -> ExperimentResult,
+}
+
+impl Endpoint {
+    /// The HTTP route `lacnet-serve` exposes this endpoint under:
+    /// `fig11` → `/fig/11`, `tab01` → `/tab01`,
+    /// `ext-blackouts` → `/ext/blackouts`.
+    pub fn http_path(&self) -> String {
+        if let Some(n) = self.id.strip_prefix("fig") {
+            format!("/fig/{n}")
+        } else if let Some(name) = self.id.strip_prefix("ext-") {
+            format!("/ext/{name}")
+        } else {
+            format!("/{}", self.id)
+        }
+    }
+}
+
+/// Every endpoint, paper battery first (in paper order — `tab01` sits
+/// between figs 12 and 13, as in the study), then the extensions.
+pub const ENDPOINTS: [Endpoint; 25] = [
+    Endpoint {
+        id: "fig01",
+        kind: Kind::Paper,
+        run: experiments::fig01_macro::run,
+    },
+    Endpoint {
+        id: "fig02",
+        kind: Kind::Paper,
+        run: experiments::fig02_address_space::run,
+    },
+    Endpoint {
+        id: "fig03",
+        kind: Kind::Paper,
+        run: experiments::fig03_facilities::run,
+    },
+    Endpoint {
+        id: "fig04",
+        kind: Kind::Paper,
+        run: experiments::fig04_cables::run,
+    },
+    Endpoint {
+        id: "fig05",
+        kind: Kind::Paper,
+        run: experiments::fig05_ipv6::run,
+    },
+    Endpoint {
+        id: "fig06",
+        kind: Kind::Paper,
+        run: experiments::fig06_roots::run,
+    },
+    Endpoint {
+        id: "fig07",
+        kind: Kind::Paper,
+        run: experiments::fig07_offnets::run,
+    },
+    Endpoint {
+        id: "fig08",
+        kind: Kind::Paper,
+        run: experiments::fig08_cantv_degree::run,
+    },
+    Endpoint {
+        id: "fig09",
+        kind: Kind::Paper,
+        run: experiments::fig09_transit_heatmap::run,
+    },
+    Endpoint {
+        id: "fig10",
+        kind: Kind::Paper,
+        run: experiments::fig10_ixp_matrix::run,
+    },
+    Endpoint {
+        id: "fig11",
+        kind: Kind::Paper,
+        run: experiments::fig11_bandwidth::run,
+    },
+    Endpoint {
+        id: "fig12",
+        kind: Kind::Paper,
+        run: experiments::fig12_gpdns_rtt::run,
+    },
+    Endpoint {
+        id: "tab01",
+        kind: Kind::Paper,
+        run: experiments::tab01_isps::run,
+    },
+    Endpoint {
+        id: "fig13",
+        kind: Kind::Paper,
+        run: experiments::fig13_gdp_ranks::run,
+    },
+    Endpoint {
+        id: "fig14",
+        kind: Kind::Paper,
+        run: experiments::fig14_prefix_heatmap::run,
+    },
+    Endpoint {
+        id: "fig15",
+        kind: Kind::Paper,
+        run: experiments::fig15_ve_facilities::run,
+    },
+    Endpoint {
+        id: "fig16",
+        kind: Kind::Paper,
+        run: experiments::fig16_root_origins::run,
+    },
+    Endpoint {
+        id: "fig17",
+        kind: Kind::Paper,
+        run: experiments::fig17_probe_coverage::run,
+    },
+    Endpoint {
+        id: "fig18",
+        kind: Kind::Paper,
+        run: experiments::fig18_all_hypergiants::run,
+    },
+    Endpoint {
+        id: "fig19",
+        kind: Kind::Paper,
+        run: experiments::fig19_third_party::run,
+    },
+    Endpoint {
+        id: "fig20",
+        kind: Kind::Paper,
+        run: experiments::fig20_probe_map::run,
+    },
+    Endpoint {
+        id: "fig21",
+        kind: Kind::Paper,
+        run: experiments::fig21_us_ixps::run,
+    },
+    Endpoint {
+        id: "ext-blackouts",
+        kind: Kind::Extension,
+        run: extensions::ext_blackouts,
+    },
+    Endpoint {
+        id: "ext-inference",
+        kind: Kind::Extension,
+        run: extensions::ext_inference,
+    },
+    Endpoint {
+        id: "ext-network-split",
+        kind: Kind::Extension,
+        run: extensions::ext_network_split,
+    },
+];
+
+/// The runners of the paper battery, in paper order.
+pub fn paper_battery() -> Vec<fn(&DataSource) -> ExperimentResult> {
+    ENDPOINTS
+        .iter()
+        .filter(|e| e.kind == Kind::Paper)
+        .map(|e| e.run)
+        .collect()
+}
+
+/// The runners of the extension battery, in registry order.
+pub fn extension_battery() -> Vec<fn(&DataSource) -> ExperimentResult> {
+    ENDPOINTS
+        .iter()
+        .filter(|e| e.kind == Kind::Extension)
+        .map(|e| e.run)
+        .collect()
+}
+
+/// The endpoint with artifact id `id`.
+pub fn find(id: &str) -> Option<&'static Endpoint> {
+    ENDPOINTS.iter().find(|e| e.id == id)
+}
+
+/// The endpoint served under HTTP route `path`.
+pub fn find_by_path(path: &str) -> Option<&'static Endpoint> {
+    ENDPOINTS.iter().find(|e| e.http_path() == path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ids_and_routes_are_unique_and_round_trip() {
+        let ids: BTreeSet<&str> = ENDPOINTS.iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), ENDPOINTS.len(), "duplicate artifact id");
+        let paths: BTreeSet<String> = ENDPOINTS.iter().map(|e| e.http_path()).collect();
+        assert_eq!(paths.len(), ENDPOINTS.len(), "duplicate HTTP route");
+        for e in &ENDPOINTS {
+            assert_eq!(find(e.id).unwrap().id, e.id);
+            assert_eq!(find_by_path(&e.http_path()).unwrap().id, e.id);
+        }
+        assert_eq!(find_by_path("/fig/11").unwrap().id, "fig11");
+        assert_eq!(find_by_path("/tab01").unwrap().id, "tab01");
+        assert_eq!(find_by_path("/ext/blackouts").unwrap().id, "ext-blackouts");
+        assert!(find_by_path("/fig/99").is_none());
+    }
+
+    #[test]
+    fn battery_split_covers_everything() {
+        assert_eq!(paper_battery().len(), 22);
+        assert_eq!(extension_battery().len(), 3);
+        // Every endpoint id is reachable through exactly one battery.
+        assert_eq!(ENDPOINTS.len(), 25);
+    }
+
+    #[test]
+    fn endpoint_ids_match_what_the_runners_produce() {
+        // The registry id must be the id the experiment stamps on its
+        // result — the property that keeps URLs, fixtures and artifact
+        // ids in lockstep.
+        let src = crate::experiments::testworld::source();
+        for e in &ENDPOINTS {
+            assert_eq!(
+                (e.run)(src).id,
+                e.id,
+                "registry id diverges from artifact id"
+            );
+        }
+    }
+}

@@ -97,6 +97,139 @@ pub fn canonical_tsv(result: &ExperimentResult) -> String {
     out
 }
 
+/// Render one experiment result as a JSON value — the body format of
+/// the `lacnet-serve` data endpoints. Field order is fixed and months
+/// render as `YYYY-MM` strings, so the output is deterministic and the
+/// serving cache can compare bodies byte for byte.
+pub fn result_json(result: &ExperimentResult) -> lacnet_types::json::Json {
+    use lacnet_types::json::Json;
+    let findings = result
+        .findings
+        .iter()
+        .map(|f| {
+            Json::Obj(vec![
+                ("metric".into(), Json::Str(f.metric.clone())),
+                ("paper".into(), Json::Str(f.paper.clone())),
+                ("measured".into(), Json::Str(f.measured.clone())),
+                ("matches".into(), Json::Bool(f.matches)),
+            ])
+        })
+        .collect();
+    let artifacts = result
+        .artifacts
+        .iter()
+        .map(|artifact| match artifact {
+            Artifact::Figure(fig) => Json::Obj(vec![
+                ("type".into(), Json::Str("figure".into())),
+                ("id".into(), Json::Str(fig.id.clone())),
+                ("caption".into(), Json::Str(fig.caption.clone())),
+                (
+                    "panels".into(),
+                    Json::Arr(
+                        fig.panels
+                            .iter()
+                            .map(|panel| {
+                                Json::Obj(vec![
+                                    ("title".into(), Json::Str(panel.title.clone())),
+                                    (
+                                        "lines".into(),
+                                        Json::Arr(
+                                            panel
+                                                .lines
+                                                .iter()
+                                                .map(|line| {
+                                                    Json::Obj(vec![
+                                                        (
+                                                            "label".into(),
+                                                            Json::Str(line.label.clone()),
+                                                        ),
+                                                        (
+                                                            "points".into(),
+                                                            Json::Arr(
+                                                                line.series
+                                                                    .iter()
+                                                                    .map(|(m, v)| {
+                                                                        Json::Arr(vec![
+                                                                            Json::Str(
+                                                                                m.to_string(),
+                                                                            ),
+                                                                            Json::Num(v),
+                                                                        ])
+                                                                    })
+                                                                    .collect(),
+                                                            ),
+                                                        ),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Artifact::Table(tab) => Json::Obj(vec![
+                ("type".into(), Json::Str("table".into())),
+                ("id".into(), Json::Str(tab.id.clone())),
+                ("caption".into(), Json::Str(tab.caption.clone())),
+                (
+                    "headers".into(),
+                    Json::Arr(tab.headers.iter().cloned().map(Json::Str).collect()),
+                ),
+                (
+                    "rows".into(),
+                    Json::Arr(
+                        tab.rows
+                            .iter()
+                            .map(|row| Json::Arr(row.iter().cloned().map(Json::Str).collect()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Artifact::Heatmap(heat) => Json::Obj(vec![
+                ("type".into(), Json::Str("heatmap".into())),
+                ("id".into(), Json::Str(heat.id.clone())),
+                ("caption".into(), Json::Str(heat.caption.clone())),
+                (
+                    "rows".into(),
+                    Json::Arr(heat.rows.iter().cloned().map(Json::Str).collect()),
+                ),
+                (
+                    "cols".into(),
+                    Json::Arr(heat.cols.iter().cloned().map(Json::Str).collect()),
+                ),
+                (
+                    "cells".into(),
+                    Json::Arr(
+                        heat.cells
+                            .iter()
+                            .map(|row| {
+                                Json::Arr(
+                                    row.iter()
+                                        .map(|cell| match cell {
+                                            Some(v) => Json::Num(*v),
+                                            None => Json::Null,
+                                        })
+                                        .collect(),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        })
+        .collect();
+    Json::Obj(vec![
+        ("id".into(), Json::Str(result.id.clone())),
+        ("title".into(), Json::Str(result.title.clone())),
+        ("all_match".into(), Json::Bool(result.all_match())),
+        ("findings".into(), Json::Arr(findings)),
+        ("artifacts".into(), Json::Arr(artifacts)),
+    ])
+}
+
 /// Render one artifact as text.
 pub fn render_artifact(artifact: &Artifact) -> String {
     match artifact {
@@ -415,6 +548,25 @@ mod tests {
         let csv = to_csv(&Artifact::Table(t));
         assert!(csv.contains("\"a,b\""));
         assert!(csv.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_structured() {
+        let r = ExperimentResult {
+            id: "fig01".into(),
+            title: "macro".into(),
+            artifacts: vec![Artifact::Figure(fig())],
+            findings: vec![Finding::numeric("oil", -81.49, -81.0, 0.05)],
+        };
+        let text = result_json(&r).to_text();
+        assert!(text.starts_with("{\"id\":\"fig01\""));
+        assert!(text.contains("\"points\":[[\"2013-01\",1]"));
+        assert!(text.contains("\"all_match\":true"));
+        // Byte-stable across renders — the serving cache depends on it.
+        assert_eq!(text, result_json(&r).to_text());
+        // And it parses back through the workspace's own JSON parser.
+        let parsed = lacnet_types::json::Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("id").and_then(|v| v.as_str()), Some("fig01"));
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Request metrics with a Prometheus-style text exposition.
+//!
+//! Per endpoint: request count, response-cache hits/misses, and latency
+//! quantiles (p50/p90/p99) tracked with the workspace's own streaming
+//! [`P2Quantile`] estimator — the same five-marker sketch the M-Lab
+//! aggregation runs on hundreds of millions of rows, eating our own
+//! dogfood at O(1) memory per endpoint.
+
+use lacnet_types::stats::P2Quantile;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Streaming per-endpoint counters and latency sketches.
+struct EndpointMetrics {
+    requests: u64,
+    hits: u64,
+    misses: u64,
+    latency: [P2Quantile; 3],
+}
+
+/// The latency quantiles exposed per endpoint.
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")];
+
+impl EndpointMetrics {
+    fn new() -> Self {
+        EndpointMetrics {
+            requests: 0,
+            hits: 0,
+            misses: 0,
+            latency: [
+                P2Quantile::new(QUANTILES[0].0),
+                P2Quantile::new(QUANTILES[1].0),
+                P2Quantile::new(QUANTILES[2].0),
+            ],
+        }
+    }
+}
+
+/// Thread-safe metrics registry, keyed by endpoint label.
+#[derive(Default)]
+pub struct Metrics {
+    endpoints: Mutex<BTreeMap<String, EndpointMetrics>>,
+}
+
+/// Cache outcome of one request, for [`Metrics::record`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served from the response cache (including single-flight waiters).
+    Hit,
+    /// Computed fresh.
+    Miss,
+    /// Not a cacheable endpoint (`/healthz`, `/metrics`, errors).
+    Uncached,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Record one request against `endpoint` with its cache `outcome` and
+    /// wall-clock latency in seconds.
+    pub fn record(&self, endpoint: &str, outcome: Outcome, seconds: f64) {
+        let mut endpoints = self.endpoints.lock().expect("metrics lock");
+        let m = endpoints
+            .entry(endpoint.to_owned())
+            .or_insert_with(EndpointMetrics::new);
+        m.requests += 1;
+        match outcome {
+            Outcome::Hit => m.hits += 1,
+            Outcome::Miss => m.misses += 1,
+            Outcome::Uncached => {}
+        }
+        for q in &mut m.latency {
+            q.observe(seconds);
+        }
+    }
+
+    /// Total (hits, misses) over every endpoint.
+    pub fn cache_totals(&self) -> (u64, u64) {
+        let endpoints = self.endpoints.lock().expect("metrics lock");
+        endpoints
+            .values()
+            .fold((0, 0), |(h, m), e| (h + e.hits, m + e.misses))
+    }
+
+    /// Render the Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let endpoints = self.endpoints.lock().expect("metrics lock");
+        let mut out = String::new();
+        out.push_str("# HELP lacnet_requests_total Requests served, per endpoint.\n");
+        out.push_str("# TYPE lacnet_requests_total counter\n");
+        for (id, m) in endpoints.iter() {
+            let _ = writeln!(
+                out,
+                "lacnet_requests_total{{endpoint=\"{id}\"}} {}",
+                m.requests
+            );
+        }
+        out.push_str("# HELP lacnet_cache_hits_total Response-cache hits, per endpoint.\n");
+        out.push_str("# TYPE lacnet_cache_hits_total counter\n");
+        for (id, m) in endpoints.iter() {
+            let _ = writeln!(
+                out,
+                "lacnet_cache_hits_total{{endpoint=\"{id}\"}} {}",
+                m.hits
+            );
+        }
+        out.push_str("# HELP lacnet_cache_misses_total Response-cache misses, per endpoint.\n");
+        out.push_str("# TYPE lacnet_cache_misses_total counter\n");
+        for (id, m) in endpoints.iter() {
+            let _ = writeln!(
+                out,
+                "lacnet_cache_misses_total{{endpoint=\"{id}\"}} {}",
+                m.misses
+            );
+        }
+        let (hits, misses) = endpoints
+            .values()
+            .fold((0u64, 0u64), |(h, mi), e| (h + e.hits, mi + e.misses));
+        out.push_str(
+            "# HELP lacnet_cache_hit_ratio Hits over hits+misses across all cacheable endpoints.\n",
+        );
+        out.push_str("# TYPE lacnet_cache_hit_ratio gauge\n");
+        let ratio = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        let _ = writeln!(out, "lacnet_cache_hit_ratio {ratio}");
+        out.push_str(
+            "# HELP lacnet_request_latency_seconds Request latency (P\u{00b2} streaming estimate).\n",
+        );
+        out.push_str("# TYPE lacnet_request_latency_seconds summary\n");
+        for (id, m) in endpoints.iter() {
+            for (i, (_, label)) in QUANTILES.iter().enumerate() {
+                if let Some(v) = m.latency[i].value() {
+                    let _ = writeln!(
+                        out,
+                        "lacnet_request_latency_seconds{{endpoint=\"{id}\",quantile=\"{label}\"}} {v}",
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let metrics = Metrics::new();
+        metrics.record("fig11", Outcome::Miss, 0.030);
+        metrics.record("fig11", Outcome::Hit, 0.001);
+        metrics.record("fig11", Outcome::Hit, 0.002);
+        metrics.record("healthz", Outcome::Uncached, 0.0001);
+        let text = metrics.render();
+        assert!(text.contains("lacnet_requests_total{endpoint=\"fig11\"} 3"));
+        assert!(text.contains("lacnet_cache_hits_total{endpoint=\"fig11\"} 2"));
+        assert!(text.contains("lacnet_cache_misses_total{endpoint=\"fig11\"} 1"));
+        assert!(text.contains("lacnet_requests_total{endpoint=\"healthz\"} 1"));
+        assert!(text.contains("lacnet_cache_hit_ratio 0.666666"));
+        assert!(
+            text.contains("lacnet_request_latency_seconds{endpoint=\"fig11\",quantile=\"0.5\"}")
+        );
+        assert_eq!(metrics.cache_totals(), (2, 1));
+    }
+
+    #[test]
+    fn latency_quantiles_use_p2_estimates() {
+        let metrics = Metrics::new();
+        for i in 0..1000 {
+            metrics.record("e", Outcome::Miss, i as f64 / 1000.0);
+        }
+        let text = metrics.render();
+        let p50 = text
+            .lines()
+            .find(|l| l.contains("endpoint=\"e\",quantile=\"0.5\""))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<f64>().ok())
+            .expect("p50 exposed");
+        assert!((p50 - 0.5).abs() < 0.05, "p50 {p50}");
+        let p99 = text
+            .lines()
+            .find(|l| l.contains("endpoint=\"e\",quantile=\"0.99\""))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<f64>().ok())
+            .expect("p99 exposed");
+        assert!((p99 - 0.99).abs() < 0.05, "p99 {p99}");
+    }
+
+    #[test]
+    fn empty_registry_renders_zero_ratio() {
+        let text = Metrics::new().render();
+        assert!(text.contains("lacnet_cache_hit_ratio 0\n"));
+    }
+}

@@ -1,0 +1,535 @@
+//! `lacnet-serve`: the battery as a long-running query service.
+//!
+//! A hand-rolled, zero-dependency HTTP/1.1 server — `std::net::TcpListener`
+//! plus a fixed pool of scoped worker threads — holding a resident
+//! [`DataSource`] and serving every figure series, table row and
+//! extension output as a JSON (or canonical-TSV) endpoint. Routing goes
+//! through [`crate::registry`], the same list `vzla-report` runs, so the
+//! serving path and the batch path cannot drift; `tests/serve_http.rs`
+//! proves their bytes identical against the golden fixtures.
+//!
+//! Responses flow through an [`LruCache`] keyed on
+//! `(endpoint, query, archive fingerprint)` — the fingerprint is the
+//! FNV-1a hash of `mlab/manifest.tsv`, so a re-dump invalidates every
+//! cached body naturally. `/metrics` exposes per-endpoint request
+//! counts, cache hit/miss counters and P²-estimated latency quantiles
+//! in Prometheus text format.
+
+pub mod metrics;
+
+use crate::render::{canonical_tsv, result_json};
+use crate::source::DataSource;
+use crate::{datasets, registry};
+use lacnet_types::codec;
+use lacnet_types::http::{self, Limits, Request, Response};
+use lacnet_types::json::Json;
+use lacnet_types::lru::LruCache;
+use metrics::{Metrics, Outcome};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one server instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Response-cache capacity (bodies).
+    pub cache_capacity: usize,
+    /// Socket read timeout — the slow-loris guard; a stalled client is
+    /// dropped, never waited on forever.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            threads: 4,
+            cache_capacity: 128,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One cached response body.
+#[derive(Clone)]
+struct CachedBody {
+    content_type: &'static str,
+    bytes: Arc<Vec<u8>>,
+}
+
+/// Everything the worker threads share: the resident data source, the
+/// response cache, the metrics registry and the precomputed info bodies.
+pub struct ServerState {
+    source: Arc<DataSource<'static>>,
+    fingerprint: String,
+    cache: LruCache<(String, String, String), CachedBody>,
+    metrics: Metrics,
+    archive_body: String,
+    endpoints_body: String,
+}
+
+/// The archive fingerprint a source serves under: the FNV-1a hash of
+/// `mlab/manifest.tsv` for archive backends (a re-dump rewrites the
+/// manifest, so the fingerprint — and every cache key — changes), the
+/// hash of the generating config for in-memory backends.
+pub fn source_fingerprint(source: &DataSource) -> String {
+    match source {
+        DataSource::Archive(a) => {
+            let manifest =
+                std::fs::read(a.root().join(datasets::MLAB_MANIFEST)).unwrap_or_default();
+            format!("{:016x}", codec::fnv1a64(&manifest))
+        }
+        DataSource::InMemory(w) => {
+            format!("{:016x}", codec::fnv1a64(w.config.to_text().as_bytes()))
+        }
+    }
+}
+
+/// NDT shard inventory of a source: total shard count and per-format
+/// breakdown (`text`/`columnar` from the manifest for archives; the
+/// shard plan, counted as in-memory, otherwise).
+fn shard_inventory(source: &DataSource) -> Vec<(String, usize)> {
+    match source {
+        DataSource::Archive(a) => {
+            let manifest =
+                std::fs::read_to_string(a.root().join(datasets::MLAB_MANIFEST)).unwrap_or_default();
+            let mut text = 0usize;
+            let mut columnar = 0usize;
+            for line in manifest.lines() {
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                match line.rsplit('\t').next() {
+                    Some(path) if path.ends_with(".ndtc") => columnar += 1,
+                    Some(_) => text += 1,
+                    None => {}
+                }
+            }
+            vec![("text".into(), text), ("columnar".into(), columnar)]
+        }
+        DataSource::InMemory(w) => {
+            let plan = lacnet_crisis::bandwidth::shard_plan(
+                lacnet_crisis::config::windows::mlab_start(),
+                w.config.end,
+            );
+            vec![("in-memory".into(), plan.len())]
+        }
+    }
+}
+
+impl ServerState {
+    /// Build the shared state around a resident source.
+    pub fn new(source: Arc<DataSource<'static>>, cache_capacity: usize) -> Self {
+        let fingerprint = source_fingerprint(&source);
+        let shards = shard_inventory(&source);
+        let archive_body = Json::Obj(vec![
+            ("backend".into(), Json::Str(source.backend().into())),
+            (
+                "seed".into(),
+                Json::Str(format!("{:#x}", source.config().seed)),
+            ),
+            ("end".into(), Json::Str(source.config().end.to_string())),
+            ("fingerprint".into(), Json::Str(fingerprint.clone())),
+            (
+                "endpoints".into(),
+                Json::Num(registry::ENDPOINTS.len() as f64),
+            ),
+            (
+                "ndt_shards".into(),
+                Json::Num(shards.iter().map(|(_, n)| n).sum::<usize>() as f64),
+            ),
+            (
+                "shard_formats".into(),
+                Json::Obj(
+                    shards
+                        .into_iter()
+                        .map(|(fmt, n)| (fmt, Json::Num(n as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_text();
+        let endpoints_body = Json::Arr(
+            registry::ENDPOINTS
+                .iter()
+                .map(|e| {
+                    Json::Obj(vec![
+                        ("id".into(), Json::Str(e.id.into())),
+                        ("path".into(), Json::Str(e.http_path())),
+                        (
+                            "kind".into(),
+                            Json::Str(
+                                match e.kind {
+                                    registry::Kind::Paper => "paper",
+                                    registry::Kind::Extension => "extension",
+                                }
+                                .into(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+        .to_text();
+        ServerState {
+            source,
+            fingerprint,
+            cache: LruCache::new(cache_capacity),
+            metrics: Metrics::new(),
+            archive_body,
+            endpoints_body,
+        }
+    }
+
+    /// The fingerprint responses are currently keyed under.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// The metrics registry (exposed for tests and benches).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+fn json_error(status: u16, message: &str) -> Response {
+    let body = Json::Obj(vec![("error".into(), Json::Str(message.into()))]).to_text();
+    Response::new(status, "application/json", body.into_bytes())
+}
+
+/// Compute the response for one parsed request — the pure routing core,
+/// shared by the socket workers, the unit tests and the benches.
+pub fn respond(state: &ServerState, request: &Request) -> Response {
+    let t0 = Instant::now();
+    if request.method != "GET" {
+        state
+            .metrics
+            .record("unmatched", Outcome::Uncached, t0.elapsed().as_secs_f64());
+        return json_error(405, "only GET is supported");
+    }
+    match request.path.as_str() {
+        "/healthz" => {
+            state
+                .metrics
+                .record("healthz", Outcome::Uncached, t0.elapsed().as_secs_f64());
+            Response::new(200, "application/json", b"{\"status\":\"ok\"}".to_vec())
+        }
+        "/metrics" => {
+            let body = state.metrics.render();
+            state
+                .metrics
+                .record("metrics", Outcome::Uncached, t0.elapsed().as_secs_f64());
+            Response::new(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                body.into_bytes(),
+            )
+        }
+        "/archive" => {
+            state
+                .metrics
+                .record("archive", Outcome::Uncached, t0.elapsed().as_secs_f64());
+            Response::new(
+                200,
+                "application/json",
+                state.archive_body.clone().into_bytes(),
+            )
+        }
+        "/endpoints" => {
+            state
+                .metrics
+                .record("endpoints", Outcome::Uncached, t0.elapsed().as_secs_f64());
+            Response::new(
+                200,
+                "application/json",
+                state.endpoints_body.clone().into_bytes(),
+            )
+        }
+        path => match registry::find_by_path(path) {
+            Some(endpoint) => {
+                let format = request
+                    .query_pairs()
+                    .into_iter()
+                    .find(|(k, _)| k == "format")
+                    .map(|(_, v)| v)
+                    .unwrap_or_else(|| "json".to_owned());
+                let (content_type, tsv) = match format.as_str() {
+                    "json" => ("application/json", false),
+                    "tsv" => ("text/tab-separated-values; charset=utf-8", true),
+                    _ => {
+                        state.metrics.record(
+                            endpoint.id,
+                            Outcome::Uncached,
+                            t0.elapsed().as_secs_f64(),
+                        );
+                        return json_error(400, "format must be `json` or `tsv`");
+                    }
+                };
+                let key = (
+                    endpoint.id.to_owned(),
+                    request.query.clone(),
+                    state.fingerprint.clone(),
+                );
+                let (cached, hit) = state.cache.get_or_compute(key, || {
+                    let result = (endpoint.run)(&state.source);
+                    let bytes = if tsv {
+                        canonical_tsv(&result).into_bytes()
+                    } else {
+                        result_json(&result).to_text().into_bytes()
+                    };
+                    CachedBody {
+                        content_type,
+                        bytes: Arc::new(bytes),
+                    }
+                });
+                state.metrics.record(
+                    endpoint.id,
+                    if hit { Outcome::Hit } else { Outcome::Miss },
+                    t0.elapsed().as_secs_f64(),
+                );
+                Response::new(200, cached.content_type, cached.bytes.as_ref().clone())
+            }
+            None => {
+                state
+                    .metrics
+                    .record("unmatched", Outcome::Uncached, t0.elapsed().as_secs_f64());
+                json_error(404, "no such endpoint; see /endpoints")
+            }
+        },
+    }
+}
+
+/// Serve one accepted connection: keep-alive loop, pipelining via the
+/// buffered reader, typed error responses, read timeout as the hang
+/// guard.
+fn handle_connection(
+    state: &ServerState,
+    stream: TcpStream,
+    limits: &Limits,
+    read_timeout: Duration,
+) {
+    if stream.set_read_timeout(Some(read_timeout)).is_err() {
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader, limits) {
+            Ok(request) => {
+                let close = request.wants_close();
+                let response = respond(state, &request);
+                if response.write_to(&mut writer, close).is_err() || close {
+                    return;
+                }
+            }
+            Err(error) => {
+                if let Some(status) = error.status() {
+                    let _ = json_error(status, &error.to_string()).write_to(&mut writer, true);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    options: ServeOptions,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Remote control for a running [`Server`] — cloneable across threads.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Ask the accept loop to stop; in-flight connections finish first.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // A wake-up connection unblocks the blocking `accept`.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) around a
+    /// resident source. The server does not accept until [`Server::run`].
+    pub fn bind(
+        source: Arc<DataSource<'static>>,
+        addr: &str,
+        options: ServeOptions,
+    ) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            state: Arc::new(ServerState::new(source, options.cache_capacity.max(1))),
+            options,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared state (fingerprint, metrics), for tests and tooling.
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// A handle that can stop [`Server::run`] from another thread.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            shutdown: Arc::clone(&self.shutdown),
+            addr: self.listener.local_addr()?,
+        })
+    }
+
+    /// Accept and serve until the handle asks for shutdown. Connections
+    /// are fanned out to a fixed pool of scoped worker threads over an
+    /// mpsc channel; every worker holds the shared state by reference.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            listener,
+            state,
+            options,
+            shutdown,
+        } = self;
+        let limits = Limits::default();
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Mutex::new(rx);
+        std::thread::scope(|scope| {
+            for _ in 0..options.threads.max(1) {
+                scope.spawn(|| loop {
+                    // Hold the receiver lock only while dequeuing, so the
+                    // pool drains connections concurrently.
+                    let conn = rx.lock().expect("pool lock").recv();
+                    match conn {
+                        Ok(stream) => {
+                            handle_connection(&state, stream, &limits, options.read_timeout)
+                        }
+                        Err(_) => break,
+                    }
+                });
+            }
+            for conn in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+            drop(tx);
+        });
+        Ok(())
+    }
+}
+
+/// Compile-time proof that the shared state crosses threads safely.
+#[allow(dead_code)]
+fn _assert_thread_safe() {
+    fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<ServerState>();
+    assert_sync::<DataSource<'static>>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state() -> &'static ServerState {
+        use std::sync::OnceLock;
+        static STATE: OnceLock<ServerState> = OnceLock::new();
+        STATE.get_or_init(|| {
+            let source = Arc::new(DataSource::in_memory(crate::experiments::testworld::world()));
+            ServerState::new(source, 8)
+        })
+    }
+
+    fn get(state: &ServerState, target: &str) -> Response {
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_owned(), q.to_owned()),
+            None => (target.to_owned(), String::new()),
+        };
+        respond(
+            state,
+            &Request {
+                method: "GET".into(),
+                path,
+                query,
+                http11: true,
+                headers: Vec::new(),
+                body: Vec::new(),
+            },
+        )
+    }
+
+    #[test]
+    fn healthz_archive_endpoints_and_errors() {
+        let state = test_state();
+        assert_eq!(get(state, "/healthz").status, 200);
+        let archive = get(state, "/archive");
+        assert_eq!(archive.status, 200);
+        let info = Json::parse(std::str::from_utf8(&archive.body).unwrap()).unwrap();
+        assert_eq!(
+            info.get("backend").and_then(|v| v.as_str()),
+            Some("in-memory")
+        );
+        assert_eq!(
+            info.get("fingerprint").and_then(|v| v.as_str()),
+            Some(state.fingerprint())
+        );
+        let endpoints = get(state, "/endpoints");
+        assert!(std::str::from_utf8(&endpoints.body)
+            .unwrap()
+            .contains("\"path\":\"/fig/11\""));
+        assert_eq!(get(state, "/nope").status, 404);
+        assert_eq!(get(state, "/fig/11?format=xml").status, 400);
+        let post = respond(
+            state,
+            &Request {
+                method: "POST".into(),
+                path: "/healthz".into(),
+                query: String::new(),
+                http11: true,
+                headers: Vec::new(),
+                body: Vec::new(),
+            },
+        );
+        assert_eq!(post.status, 405);
+    }
+
+    #[test]
+    fn data_endpoint_serves_both_formats_through_the_cache() {
+        let state = test_state();
+        let tsv = get(state, "/tab01?format=tsv");
+        assert_eq!(tsv.status, 200);
+        assert!(tsv.content_type.starts_with("text/tab-separated-values"));
+        let again = get(state, "/tab01?format=tsv");
+        assert_eq!(tsv.body, again.body, "cached body is byte-identical");
+        let json = get(state, "/tab01");
+        assert!(json.content_type.starts_with("application/json"));
+        let parsed = Json::parse(std::str::from_utf8(&json.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("id").and_then(|v| v.as_str()), Some("tab01"));
+        // The TSV body is exactly the canonical render of the result.
+        let direct = canonical_tsv(&(registry::find("tab01").unwrap().run)(&state.source));
+        assert_eq!(tsv.body, direct.into_bytes());
+        // Metrics saw one miss and one hit for the TSV key.
+        let text = state.metrics().render();
+        assert!(text.contains("lacnet_cache_hits_total{endpoint=\"tab01\"} 1"));
+    }
+}

@@ -265,6 +265,11 @@ impl ArchiveWorld {
         })
     }
 
+    /// The directory this archive was loaded from.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
     /// The customer cone of `asn` at `month`, memoized in the archive's
     /// own [`ConeCache`] — same contract as [`World::customer_cone_at`].
     pub fn customer_cone_at(&self, month: MonthStamp, asn: Asn) -> Arc<BTreeSet<Asn>> {

@@ -21,11 +21,17 @@
 //! * [`codec`] — varints, zigzag, fixed-width little-endian floats,
 //!   CRC-32 and FNV-1a for the binary columnar shard container and the
 //!   incremental-refresh manifest.
+//! * [`lru`] — a bounded least-recently-used cache with single-flight
+//!   computation, the `lacnet-serve` response cache.
+//! * [`http`] — a dependency-free HTTP/1.1 request parser (typed
+//!   400/413/414/431 errors, hard resource limits) and response writer.
 //! * [`sweep`] — deterministic parallel sweeps over month ranges and
 //!   independent build tasks on `std::thread::scope` workers.
 //!
-//! Everything here is `no_std`-adjacent plain data: no I/O, no clocks, no
-//! global state. Higher crates layer dataset formats and simulators on top.
+//! Everything here is self-contained std: no sockets, no clocks, no
+//! global state ([`http`] parses from any `BufRead`; the substrate stays
+//! pure data). Higher crates layer dataset formats, simulators and the
+//! serving layer on top.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,7 +42,9 @@ pub mod country;
 pub mod date;
 pub mod error;
 pub mod geo;
+pub mod http;
 pub mod json;
+pub mod lru;
 pub mod net;
 pub mod rng;
 pub mod series;

@@ -103,14 +103,11 @@ fn fixtures_cover_every_battery_id() {
         })
         .collect();
     on_disk.sort();
-    let mut expected: Vec<String> = (1..=21)
-        .map(|i| format!("fig{i:02}"))
-        .chain(["tab01".into()])
-        .chain([
-            "ext-blackouts".into(),
-            "ext-inference".into(),
-            "ext-network-split".into(),
-        ])
+    // The endpoint registry is the single source of truth for artifact
+    // ids — the same list `vzla-report` runs and `lacnet-serve` routes.
+    let mut expected: Vec<String> = lacnet::core::registry::ENDPOINTS
+        .iter()
+        .map(|e| e.id.to_owned())
         .collect();
     expected.sort();
     assert_eq!(on_disk, expected);

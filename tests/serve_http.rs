@@ -1,0 +1,365 @@
+//! End-to-end HTTP harness for `lacnet-serve`: a real server on an
+//! ephemeral port, against a real dumped archive, exercised with raw
+//! `TcpStream` requests — no HTTP client dependency anywhere.
+//!
+//! Covers the serving tentpole from the outside: every registry
+//! endpoint's `?format=tsv` body must byte-match its checked-in golden
+//! fixture (so serving is provably the same computation as the batch
+//! report), `/metrics` must show a hit ratio above zero under repeated
+//! traffic, a concurrent hammer on one cold endpoint must compute it
+//! exactly once, and malformed requests must come back as typed 4xx
+//! responses — never a hang, never a dropped worker.
+
+use lacnet::core::serve::{ServeOptions, Server, ServerHandle};
+use lacnet::core::{datasets, registry, DataSource};
+use lacnet::crisis::{World, WorldConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Dump the fixed-seed test world once and keep the archive-backed
+/// source for every server instance in the binary.
+fn archive_source() -> Arc<DataSource<'static>> {
+    static SOURCE: OnceLock<Arc<DataSource<'static>>> = OnceLock::new();
+    Arc::clone(SOURCE.get_or_init(|| {
+        let world = World::generate(WorldConfig::test());
+        let dir = std::env::temp_dir().join(format!("lacnet-serve-{}", std::process::id()));
+        datasets::dump(&world, &dir).expect("dump succeeds");
+        Arc::new(DataSource::from_archive(&dir).expect("archive loads"))
+    }))
+}
+
+/// Boot a server on an ephemeral port; the accept loop runs on its own
+/// thread until the handle shuts it down.
+fn boot(options: ServeOptions) -> (SocketAddr, ServerHandle) {
+    let server = Server::bind(archive_source(), "127.0.0.1:0", options).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle().expect("handle");
+    std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+/// The shared long-lived server most tests talk to.
+fn shared_server() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| boot(ServeOptions::default()).0)
+}
+
+/// Read exactly one HTTP/1.1 response (status, headers, content-length
+/// body) off a buffered socket — leaves the stream positioned at the
+/// next pipelined response.
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {line:?}"));
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h).expect("header line");
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        let (name, value) = h.split_once(':').expect("header colon");
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let len: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse().expect("content-length"))
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).expect("body");
+    (status, headers, body)
+}
+
+/// One full GET over a fresh connection.
+fn http_get(addr: SocketAddr, target: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"
+    )
+    .expect("request");
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Send raw bytes over a fresh connection and return the status of the
+/// (single) response, panicking rather than hanging if the server goes
+/// quiet for more than the client timeout.
+fn raw_status(addr: SocketAddr, bytes: &[u8]) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream.write_all(bytes).expect("request");
+    let (status, _, _) = read_response(&mut BufReader::new(stream));
+    status
+}
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn every_endpoint_byte_matches_its_golden_fixture() {
+    let addr = shared_server();
+    for endpoint in &registry::ENDPOINTS {
+        let (status, headers, body) =
+            http_get(addr, &format!("{}?format=tsv", endpoint.http_path()));
+        assert_eq!(status, 200, "{}", endpoint.id);
+        assert!(
+            headers
+                .iter()
+                .any(|(n, v)| n == "content-type" && v.starts_with("text/tab-separated-values")),
+            "{}: content type {headers:?}",
+            endpoint.id
+        );
+        let golden = std::fs::read(fixture_dir().join(format!("{}.tsv", endpoint.id)))
+            .unwrap_or_else(|_| panic!("no golden fixture for {}", endpoint.id));
+        assert_eq!(
+            body, golden,
+            "{}: served TSV diverges from tests/golden/{}.tsv",
+            endpoint.id, endpoint.id
+        );
+    }
+}
+
+#[test]
+fn registry_covers_every_golden_fixture_file() {
+    // The registry is the single source of truth for artifact naming;
+    // a fixture on disk without a route (or vice versa) is drift.
+    let mut fixtures: Vec<String> = std::fs::read_dir(fixture_dir())
+        .expect("golden dir")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            Some(name.strip_suffix(".tsv")?.to_owned())
+        })
+        .collect();
+    fixtures.sort();
+    let mut ids: Vec<String> = registry::ENDPOINTS
+        .iter()
+        .map(|e| e.id.to_owned())
+        .collect();
+    ids.sort();
+    assert_eq!(fixtures, ids, "golden fixtures and registry diverged");
+}
+
+#[test]
+fn json_is_the_default_format_and_parses() {
+    let addr = shared_server();
+    let (status, headers, body) = http_get(addr, "/fig/11");
+    assert_eq!(status, 200);
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v.starts_with("application/json")));
+    let json =
+        lacnet::types::json::Json::parse(std::str::from_utf8(&body).expect("utf8")).expect("json");
+    assert_eq!(json.get("id").and_then(|v| v.as_str()), Some("fig11"));
+    assert!(json.get("findings").is_some());
+    assert!(json.get("artifacts").is_some());
+}
+
+#[test]
+fn health_archive_and_endpoint_listing() {
+    let addr = shared_server();
+    let (status, _, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"{\"status\":\"ok\"}");
+
+    let (status, _, body) = http_get(addr, "/archive");
+    assert_eq!(status, 200);
+    let info =
+        lacnet::types::json::Json::parse(std::str::from_utf8(&body).expect("utf8")).expect("json");
+    assert_eq!(
+        info.get("backend").and_then(|v| v.as_str()),
+        Some("archive")
+    );
+    let fp = info
+        .get("fingerprint")
+        .and_then(|v| v.as_str())
+        .expect("fingerprint");
+    assert_eq!(fp.len(), 16, "fnv64 hex fingerprint: {fp}");
+    assert_eq!(
+        info.get("endpoints").and_then(|v| v.as_f64()),
+        Some(registry::ENDPOINTS.len() as f64)
+    );
+
+    let (status, _, body) = http_get(addr, "/endpoints");
+    assert_eq!(status, 200);
+    let text = std::str::from_utf8(&body).expect("utf8");
+    for endpoint in &registry::ENDPOINTS {
+        assert!(text.contains(&endpoint.http_path()), "{}", endpoint.id);
+    }
+
+    let (status, _, _) = http_get(addr, "/no/such/route");
+    assert_eq!(status, 404);
+    let (status, _, _) = http_get(addr, "/tab01?format=xml");
+    assert_eq!(status, 400);
+}
+
+#[test]
+fn metrics_report_a_positive_hit_ratio_under_repeated_traffic() {
+    let addr = shared_server();
+    for _ in 0..3 {
+        let (status, _, _) = http_get(addr, "/fig/01?format=tsv");
+        assert_eq!(status, 200);
+    }
+    let (status, _, body) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = std::str::from_utf8(&body).expect("utf8");
+    let ratio: f64 = text
+        .lines()
+        .find(|l| l.starts_with("lacnet_cache_hit_ratio "))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .expect("hit ratio exposed");
+    assert!(ratio > 0.0, "hit ratio {ratio} after repeated requests");
+    assert!(text.contains("lacnet_requests_total{endpoint=\"fig01\"}"));
+    assert!(text.contains("lacnet_request_latency_seconds{endpoint=\"fig01\",quantile=\"0.5\"}"));
+}
+
+#[test]
+fn concurrent_hammer_computes_once_and_serves_identical_bodies() {
+    // A dedicated server instance: its cache and metrics start cold, so
+    // the counters below are exactly this test's traffic.
+    let (addr, handle) = boot(ServeOptions::default());
+    const CLIENTS: usize = 8;
+    let bodies: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (status, _, body) = http_get(addr, "/tab01?format=tsv");
+                    assert_eq!(status, 200);
+                    body
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client"))
+            .collect()
+    });
+    for body in &bodies[1..] {
+        assert_eq!(body, &bodies[0], "concurrent responses diverged");
+    }
+    let (_, _, metrics) = http_get(addr, "/metrics");
+    let text = std::str::from_utf8(&metrics).expect("utf8");
+    assert!(
+        text.contains(&format!(
+            "lacnet_requests_total{{endpoint=\"tab01\"}} {CLIENTS}"
+        )),
+        "{text}"
+    );
+    // Single flight: exactly one compute; every other client waited on
+    // the in-flight slot and counts as a hit.
+    assert!(
+        text.contains("lacnet_cache_misses_total{endpoint=\"tab01\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!(
+            "lacnet_cache_hits_total{{endpoint=\"tab01\"}} {}",
+            CLIENTS - 1
+        )),
+        "{text}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_not_hangs() {
+    let addr = shared_server();
+    assert_eq!(raw_status(addr, b"GARBAGE\r\n\r\n"), 400);
+    assert_eq!(raw_status(addr, b"GET /healthz HTTP/9.9\r\n\r\n"), 400);
+    assert_eq!(raw_status(addr, b"GET healthz HTTP/1.1\r\n\r\n"), 400);
+
+    let long_uri = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(10_000));
+    assert_eq!(raw_status(addr, long_uri.as_bytes()), 414);
+
+    let fat_header = format!(
+        "GET /healthz HTTP/1.1\r\nx-pad: {}\r\n\r\n",
+        "y".repeat(40_000)
+    );
+    assert_eq!(raw_status(addr, fat_header.as_bytes()), 431);
+
+    let many_headers = format!(
+        "GET /healthz HTTP/1.1\r\n{}\r\n",
+        (0..200)
+            .map(|i| format!("x-{i}: v\r\n"))
+            .collect::<String>()
+    );
+    assert_eq!(raw_status(addr, many_headers.as_bytes()), 431);
+
+    let huge_body = b"POST /healthz HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n";
+    assert_eq!(raw_status(addr, huge_body), 413);
+}
+
+#[test]
+fn truncated_body_times_out_as_bad_request_instead_of_hanging() {
+    // A server with a short read timeout: the client promises 100 bytes,
+    // sends 3, and goes quiet. The read deadline must convert that into
+    // a typed 400 rather than a parked worker.
+    let (addr, handle) = boot(ServeOptions {
+        read_timeout: Duration::from_millis(200),
+        ..ServeOptions::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\ncontent-length: 100\r\n\r\nabc")
+        .expect("request");
+    let started = std::time::Instant::now();
+    let (status, _, _) = read_response(&mut BufReader::new(stream));
+    assert_eq!(status, 400);
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "server sat on a truncated body for {:?}",
+        started.elapsed()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_connection_serves_pipelined_requests() {
+    let addr = shared_server();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n\
+              GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+        )
+        .expect("pipelined requests");
+    let mut reader = BufReader::new(stream);
+    let (first, _, body1) = read_response(&mut reader);
+    let (second, _, body2) = read_response(&mut reader);
+    assert_eq!((first, second), (200, 200));
+    assert_eq!(body1, body2);
+    // The close-marked response ends the connection.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("eof");
+    assert!(rest.is_empty());
+}
+
+#[test]
+fn post_is_rejected_with_405() {
+    let addr = shared_server();
+    assert_eq!(
+        raw_status(addr, b"POST /healthz HTTP/1.1\r\ncontent-length: 0\r\n\r\n"),
+        405
+    );
+}
