@@ -31,7 +31,7 @@ fn columnar_dump_dir() -> PathBuf {
     if !dir.join("MANIFEST.txt").exists() {
         let options = DumpOptions {
             shard_format: ShardFormat::Columnar,
-            force: false,
+            ..DumpOptions::default()
         };
         datasets::dump_with(bench_world(), &dir, options).expect("columnar dump succeeds");
     }
@@ -158,9 +158,60 @@ fn bench_cold_load(c: &mut Criterion) {
     group.finish();
 }
 
+/// One `(country, month)` query, two strategies on the same v2 tree:
+/// the footer-index route (`ndt_month_stats` — one shard file, matching
+/// blocks, download column only) against the no-index baseline (decode
+/// every container fully, aggregate, read one group). Both must agree
+/// with the resident aggregate's group state — same count, bit-identical
+/// P² median — before any timing starts.
+fn bench_cold_query(c: &mut Criterion) {
+    let ndtc_dir = columnar_dump_dir();
+    let ndtc =
+        ArchiveWorld::load_with(&ndtc_dir, Some(ShardFormat::Columnar)).expect("columnar loads");
+    let (month, _) = ndtc
+        .mlab
+        .median_series(country::VE)
+        .last()
+        .expect("bench world has VE data");
+    let resident = ndtc.mlab.group(country::VE, month).expect("group exists");
+    let expected = (resident.count(), resident.median());
+    let selective = || {
+        ndtc.ndt_month_stats(country::VE, month)
+            .expect("query succeeds")
+            .expect("shard exists")
+    };
+    let plan = lacnet_crisis::bandwidth::shard_plan(
+        lacnet_crisis::config::windows::mlab_start(),
+        bench_world().config.end,
+    );
+    let whole_archive = || {
+        let mut agg =
+            lacnet_mlab::aggregate::MonthlyAggregator::new(lacnet_mlab::aggregate::Mode::Streaming);
+        for &shard in &plan {
+            let rel = datasets::mlab_shard_path_with(shard, ShardFormat::Columnar);
+            let bytes = std::fs::read(ndtc_dir.join(rel)).expect("columnar shard");
+            let batch = lacnet_mlab::columnar::decode(&bytes).expect("columnar shard decodes");
+            agg.observe_columns(&batch);
+        }
+        let g = agg.group(country::VE, month).expect("group exists").clone();
+        (g.count(), g.median())
+    };
+    let s = selective();
+    assert_eq!((s.rows, s.median_download), expected);
+    assert_eq!(s.format, "columnar-v2");
+    assert!(s.read.bytes_decoded > 0);
+    assert_eq!(whole_archive(), expected);
+
+    let mut group = c.benchmark_group("cold_query");
+    group.sample_size(10);
+    group.bench_function("selective", |b| b.iter(|| black_box(selective())));
+    group.bench_function("whole_archive", |b| b.iter(|| black_box(whole_archive())));
+    group.finish();
+}
+
 criterion_group!(
     name = archive;
     config = Criterion::default();
-    targets = bench_archive_load, bench_cold_load
+    targets = bench_archive_load, bench_cold_load, bench_cold_query
 );
 criterion_main!(archive);

@@ -2,8 +2,12 @@
 //! its native archive format.
 //!
 //! ```text
-//! lacnet-gen --out DIR [--seed N] [--test-world] [--shard-format text|columnar] [--force] [--verify]
+//! lacnet-gen --out DIR [--seed N] [--test-world] [--shard-format text|columnar] [--ndtc-v1] [--force] [--verify]
 //! ```
+//!
+//! `--ndtc-v1` writes columnar shards in the frozen v1 single-block
+//! container instead of the footer-indexed v2 layout — for producing
+//! legacy trees that exercise the version-dispatch read path.
 //!
 //! `--test-world` dumps the reduced fixed-seed world the test suites
 //! run on — a mini archive that generates and parses in seconds (the CI
@@ -51,11 +55,12 @@ fn main() {
                     .unwrap_or_else(|| die("--shard-format needs `text` or `columnar`"));
             }
             "--test-world" => config = WorldConfig::test(),
+            "--ndtc-v1" => options.columnar_v1 = true,
             "--force" => options.force = true,
             "--verify" => verify = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: lacnet-gen --out DIR [--seed N] [--test-world] [--shard-format text|columnar] [--force] [--verify]"
+                    "usage: lacnet-gen --out DIR [--seed N] [--test-world] [--shard-format text|columnar] [--ndtc-v1] [--force] [--verify]"
                 );
                 return;
             }

@@ -24,6 +24,9 @@
 //!   mlab/manifest.tsv                    per-shard (label, fingerprint,
 //!                                        content hash) — incremental
 //!                                        refresh skips unchanged shards
+//!   mlab/index.tsv                       archive-level shard index:
+//!                                        (country, month) → shard path,
+//!                                        row count, block count
 //!   atlas/reachability-VE-2019.tsv …     daily connected probes, per country
 //!   MANIFEST.txt
 //! ```
@@ -69,6 +72,24 @@ pub struct DumpOptions {
     /// Rewrite every shard even when the manifest says its inputs are
     /// unchanged.
     pub force: bool,
+    /// Write columnar shards in the legacy v1 container instead of the
+    /// indexed v2 one (`lacnet-gen --ndtc-v1`). Exists so compatibility
+    /// trees for the version matrix can be produced on purpose; ignored
+    /// for text dumps.
+    pub columnar_v1: bool,
+}
+
+impl DumpOptions {
+    /// The codec tag folded into shard fingerprints: distinguishes the
+    /// two columnar container versions, so flipping `--ndtc-v1` rewrites
+    /// shards like any other generator-input change.
+    fn codec_tag(self) -> &'static str {
+        match (self.shard_format, self.columnar_v1) {
+            (ShardFormat::Text, _) => "text",
+            (ShardFormat::Columnar, false) => "columnar",
+            (ShardFormat::Columnar, true) => "columnar-v1",
+        }
+    }
 }
 
 fn write_bytes(
@@ -106,20 +127,88 @@ pub fn mlab_shard_path_with(shard: bandwidth::NdtShard, format: ShardFormat) -> 
 /// The archive-relative path of the NDT shard manifest.
 pub const MLAB_MANIFEST: &str = "mlab/manifest.tsv";
 
+/// The archive-relative path of the archive-level NDT shard index:
+/// one record per `(country, month)` shard with its path, row count and
+/// decodable-block count, derived from the manifest at dump time. The
+/// serve layer resolves single-shard queries through it without probing
+/// the filesystem or decoding anything.
+pub const MLAB_INDEX: &str = "mlab/index.tsv";
+
+/// One `mlab/index.tsv` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardIndexRecord {
+    /// Archive-relative shard path.
+    pub path: String,
+    /// Rows in the shard.
+    pub rows: u64,
+    /// Independently decodable blocks (1 for text and v1 containers).
+    pub blocks: u64,
+}
+
+/// Parse the shard index of a dumped tree, keyed by `CC/YYYY-MM` label.
+/// A missing or malformed index yields an empty map — it is an
+/// accelerator derived from the tree, never a source of truth, so
+/// consumers must fall back to probing shard files.
+pub fn read_shard_index(root: &Path) -> BTreeMap<String, ShardIndexRecord> {
+    let mut map = BTreeMap::new();
+    let Ok(text) = fs::read_to_string(root.join(MLAB_INDEX)) else {
+        return map;
+    };
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        let (Some(label), Some(path), Some(rows), Some(blocks)) =
+            (cols.next(), cols.next(), cols.next(), cols.next())
+        else {
+            continue;
+        };
+        let (Ok(rows), Ok(blocks)) = (rows.parse(), blocks.parse()) else {
+            continue;
+        };
+        map.insert(
+            label.to_owned(),
+            ShardIndexRecord {
+                path: path.to_owned(),
+                rows,
+                blocks,
+            },
+        );
+    }
+    map
+}
+
+/// Row/block census of one encoded shard, for the shard index.
+fn shard_census(bytes: &[u8], format: ShardFormat) -> io::Result<(u64, u64)> {
+    match format {
+        ShardFormat::Text => {
+            let rows = bytes
+                .split(|&b| b == b'\n')
+                .filter(|l| !l.is_empty() && l[0] != b'#')
+                .count();
+            Ok((rows as u64, 1))
+        }
+        ShardFormat::Columnar => columnar::container_stats(bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
 /// Version tag folded into every shard fingerprint. Bump it whenever the
 /// shard *generator* changes behaviour, so stale trees refresh fully
 /// instead of trusting fingerprints computed for the old generator.
-const SHARD_GEN_VERSION: &str = "v1";
+/// ("v2": the columnar writer switched to the indexed v2 container.)
+const SHARD_GEN_VERSION: &str = "v2";
 
 /// The fingerprint of everything a shard's bytes depend on: generator
-/// version, on-disk format, seed, and the country's effective volume
-/// scale (plus the shard label itself). A re-dump may skip any shard
-/// whose fingerprint is unchanged — shard generation is a pure function
-/// of these inputs.
-fn shard_fingerprint(config: &WorldConfig, format: ShardFormat, shard: bandwidth::NdtShard) -> u64 {
+/// version, on-disk codec (text / columnar v2 / columnar v1), seed, and
+/// the country's effective volume scale (plus the shard label itself).
+/// A re-dump may skip any shard whose fingerprint is unchanged — shard
+/// generation is a pure function of these inputs.
+fn shard_fingerprint(config: &WorldConfig, codec_tag: &str, shard: bandwidth::NdtShard) -> u64 {
     let (cc, month) = shard;
     let key = format!(
-        "ndt-shard/{SHARD_GEN_VERSION}/{format}/{}/{}/{cc}/{month}",
+        "ndt-shard/{SHARD_GEN_VERSION}/{codec_tag}/{}/{}/{cc}/{month}",
         config.seed,
         config.mlab_scale_for(cc),
     );
@@ -307,12 +396,14 @@ pub fn dump_with(world: &World, root: &Path, options: DumpOptions) -> io::Result
     // manifest fingerprint changed (or whose file is gone) are rebuilt.
     let plan = bandwidth::shard_plan(windows::mlab_start(), end);
     let previous = read_shard_manifest(root);
+    let previous_index = read_shard_index(root);
     let fmt = options.shard_format;
+    let codec_tag = options.codec_tag();
     let jobs: Vec<(bandwidth::NdtShard, bool)> = plan
         .iter()
         .map(|&shard| {
             let (cc, month) = shard;
-            let fingerprint = shard_fingerprint(&world.config, fmt, shard);
+            let fingerprint = shard_fingerprint(&world.config, codec_tag, shard);
             let rel = mlab_shard_path_with(shard, fmt);
             let fresh = !options.force
                 && previous.get(&format!("{cc}/{month}")).is_some_and(|rec| {
@@ -344,16 +435,24 @@ pub fn dump_with(world: &World, root: &Path, options: DumpOptions) -> io::Result
                     }
                     text.into_bytes()
                 }
-                ShardFormat::Columnar => columnar::encode_rows(&rows),
+                ShardFormat::Columnar => {
+                    if options.columnar_v1 {
+                        columnar::encode_rows(&rows)
+                    } else {
+                        columnar::encode_rows_v2(&rows)
+                    }
+                }
             })
         },
     );
     let mut shard_manifest = format!("# lacnet NDT shard manifest ({SHARD_GEN_VERSION})\n");
+    let mut shard_index =
+        format!("# lacnet NDT shard index ({SHARD_GEN_VERSION}): label\tpath\trows\tblocks\n");
     for (&(shard, _), bytes) in jobs.iter().zip(&encoded) {
         let (cc, month) = shard;
         let label = format!("{cc}/{month}");
         let rel = mlab_shard_path_with(shard, fmt);
-        let content_hash = match bytes {
+        let (content_hash, rows, blocks) = match bytes {
             Some(bytes) => {
                 write_bytes(root, &rel, bytes, &mut summary)?;
                 // Drop a stale sibling left by a dump in the other format
@@ -367,21 +466,31 @@ pub fn dump_with(world: &World, root: &Path, options: DumpOptions) -> io::Result
                 );
                 let _ = fs::remove_file(root.join(stale));
                 summary.shards_written += 1;
-                codec::fnv1a64(bytes)
+                let (rows, blocks) = shard_census(bytes, fmt)?;
+                (codec::fnv1a64(bytes), rows, blocks)
             }
             None => {
                 summary.files.push(rel.clone());
                 summary.shards_skipped += 1;
-                previous[&label].content_hash
+                // Reuse the previous index record for untouched shards;
+                // a pre-index tree (no index.tsv yet) is censused from
+                // the file it proved exists during the freshness check.
+                let (rows, blocks) = match previous_index.get(&label) {
+                    Some(rec) if rec.path == rel => (rec.rows, rec.blocks),
+                    _ => shard_census(&fs::read(root.join(&rel))?, fmt)?,
+                };
+                (previous[&label].content_hash, rows, blocks)
             }
         };
         let _ = writeln!(
             shard_manifest,
             "{label}\t{:016x}\t{content_hash:016x}\t{rel}",
-            shard_fingerprint(&world.config, fmt, shard),
+            shard_fingerprint(&world.config, codec_tag, shard),
         );
+        let _ = writeln!(shard_index, "{label}\t{rel}\t{rows}\t{blocks}");
     }
     write(root, MLAB_MANIFEST, &shard_manifest, &mut summary)?;
+    write(root, MLAB_INDEX, &shard_index, &mut summary)?;
 
     // A traceroute archive sample: every Venezuelan probe's path to
     // GPDNS at the final month (the raw form of MSM 1591146).
@@ -484,6 +593,16 @@ pub fn verify(root: &Path) -> Result<usize> {
             checked += 1;
             continue;
         }
+        if rel == MLAB_INDEX {
+            // Structural check: every indexed shard file must exist.
+            for (label, rec) in read_shard_index(root) {
+                if !root.join(&rec.path).exists() {
+                    return Err(lacnet_types::Error::missing("NDT shard from index", &label));
+                }
+            }
+            checked += 1;
+            continue;
+        }
         if rel.starts_with("mlab/") {
             if rel.ends_with(".ndtc") {
                 let bytes = fs::read(root.join(rel))
@@ -564,7 +683,7 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let columnar = DumpOptions {
             shard_format: ShardFormat::Columnar,
-            force: false,
+            ..DumpOptions::default()
         };
         let summary = dump_with(world, &dir, columnar).expect("columnar dump succeeds");
         assert!(summary.shards_written > 0);
@@ -585,11 +704,58 @@ mod tests {
             DumpOptions {
                 shard_format: ShardFormat::Text,
                 force: true,
+                ..DumpOptions::default()
             },
         )
         .expect("forced re-dump");
         assert_eq!(forced.shards_skipped, 0);
         assert_eq!(forced.shards_written, text.shards_written);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_index_tracks_the_tree_and_v1_dumps_write_legacy_containers() {
+        let world = crate::experiments::testworld::world();
+        let dir = std::env::temp_dir().join(format!("lacnet-dump-idx-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let columnar = DumpOptions {
+            shard_format: ShardFormat::Columnar,
+            ..DumpOptions::default()
+        };
+        dump_with(world, &dir, columnar).expect("v2 dump succeeds");
+        let plan = bandwidth::shard_plan(windows::mlab_start(), world.config.end);
+        let index = read_shard_index(&dir);
+        assert_eq!(index.len(), plan.len());
+        let total_rows: u64 = index.values().map(|r| r.rows).sum();
+        assert!(total_rows > 0);
+        for rec in index.values() {
+            assert!(dir.join(&rec.path).exists(), "{} missing", rec.path);
+            assert!(rec.blocks >= 1);
+        }
+        let ve_july = std::fs::read(dir.join("mlab/VE/ndt-2023-07.ndtc")).unwrap();
+        assert_eq!(ve_july[4], 2, "the default columnar writer emits v2");
+        // A no-op re-dump reproduces the index from reused records.
+        dump_with(world, &dir, columnar).expect("re-dump succeeds");
+        assert_eq!(read_shard_index(&dir), index);
+        // `--ndtc-v1` is a distinct codec: everything rewrites as legacy
+        // single-block containers, and the tree still verifies.
+        let v1 = dump_with(
+            world,
+            &dir,
+            DumpOptions {
+                shard_format: ShardFormat::Columnar,
+                columnar_v1: true,
+                ..DumpOptions::default()
+            },
+        )
+        .expect("v1 dump succeeds");
+        assert_eq!(v1.shards_skipped, 0);
+        let ve_july = std::fs::read(dir.join("mlab/VE/ndt-2023-07.ndtc")).unwrap();
+        assert_eq!(ve_july[4], 1, "--ndtc-v1 emits the legacy container");
+        let v1_index = read_shard_index(&dir);
+        assert!(v1_index.values().all(|r| r.blocks == 1));
+        assert_eq!(v1_index.values().map(|r| r.rows).sum::<u64>(), total_rows);
+        verify(&dir).expect("v1 tree verifies");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -10,6 +10,7 @@
 use crate::artifact::ExperimentResult;
 use crate::source::DataSource;
 use crate::{experiments, extensions};
+use lacnet_mlab::{ColumnSet, MonthlyAggregator};
 
 /// Which battery an endpoint belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +30,12 @@ pub struct Endpoint {
     pub kind: Kind,
     /// The experiment, a pure function of its [`DataSource`].
     pub run: fn(&DataSource) -> ExperimentResult,
+    /// Which `.ndtc` columns the runner's NDT consumption needs. Most
+    /// endpoints never touch the M-Lab substrate and declare
+    /// [`ColumnSet::NONE`]; an archive load decodes only the union of
+    /// these declarations (plus the resident aggregate's own needs), so
+    /// adding an NDT-hungry endpoint here is what widens the decode.
+    pub ndt_columns: ColumnSet,
 }
 
 impl Endpoint {
@@ -53,126 +60,151 @@ pub const ENDPOINTS: [Endpoint; 25] = [
         id: "fig01",
         kind: Kind::Paper,
         run: experiments::fig01_macro::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig02",
         kind: Kind::Paper,
         run: experiments::fig02_address_space::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig03",
         kind: Kind::Paper,
         run: experiments::fig03_facilities::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig04",
         kind: Kind::Paper,
         run: experiments::fig04_cables::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig05",
         kind: Kind::Paper,
         run: experiments::fig05_ipv6::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig06",
         kind: Kind::Paper,
         run: experiments::fig06_roots::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig07",
         kind: Kind::Paper,
         run: experiments::fig07_offnets::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig08",
         kind: Kind::Paper,
         run: experiments::fig08_cantv_degree::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig09",
         kind: Kind::Paper,
         run: experiments::fig09_transit_heatmap::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig10",
         kind: Kind::Paper,
         run: experiments::fig10_ixp_matrix::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig11",
         kind: Kind::Paper,
         run: experiments::fig11_bandwidth::run,
+        ndt_columns: MonthlyAggregator::REQUIRED_COLUMNS,
     },
     Endpoint {
         id: "fig12",
         kind: Kind::Paper,
         run: experiments::fig12_gpdns_rtt::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "tab01",
         kind: Kind::Paper,
         run: experiments::tab01_isps::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig13",
         kind: Kind::Paper,
         run: experiments::fig13_gdp_ranks::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig14",
         kind: Kind::Paper,
         run: experiments::fig14_prefix_heatmap::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig15",
         kind: Kind::Paper,
         run: experiments::fig15_ve_facilities::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig16",
         kind: Kind::Paper,
         run: experiments::fig16_root_origins::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig17",
         kind: Kind::Paper,
         run: experiments::fig17_probe_coverage::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig18",
         kind: Kind::Paper,
         run: experiments::fig18_all_hypergiants::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig19",
         kind: Kind::Paper,
         run: experiments::fig19_third_party::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig20",
         kind: Kind::Paper,
         run: experiments::fig20_probe_map::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "fig21",
         kind: Kind::Paper,
         run: experiments::fig21_us_ixps::run,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "ext-blackouts",
         kind: Kind::Extension,
         run: extensions::ext_blackouts,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "ext-inference",
         kind: Kind::Extension,
         run: extensions::ext_inference,
+        ndt_columns: ColumnSet::NONE,
     },
     Endpoint {
         id: "ext-network-split",
         kind: Kind::Extension,
         run: extensions::ext_network_split,
+        ndt_columns: ColumnSet::NONE,
     },
 ];
 
@@ -192,6 +224,20 @@ pub fn extension_battery() -> Vec<fn(&DataSource) -> ExperimentResult> {
         .filter(|e| e.kind == Kind::Extension)
         .map(|e| e.run)
         .collect()
+}
+
+/// The union of every registered endpoint's declared NDT column needs,
+/// plus what the resident [`MonthlyAggregator`] itself reads — the
+/// [`ColumnSelection`](lacnet_mlab::ColumnSelection) an archive load
+/// must decode. Today that is exactly [`ColumnSet::AGGREGATE`]; an
+/// endpoint declaring, say, loss-rate needs would widen it here and
+/// nowhere else.
+pub fn ndt_column_union() -> ColumnSet {
+    ENDPOINTS
+        .iter()
+        .fold(MonthlyAggregator::REQUIRED_COLUMNS, |set, e| {
+            set.union(e.ndt_columns)
+        })
 }
 
 /// The endpoint with artifact id `id`.
@@ -231,6 +277,16 @@ mod tests {
         assert_eq!(extension_battery().len(), 3);
         // Every endpoint id is reachable through exactly one battery.
         assert_eq!(ENDPOINTS.len(), 25);
+    }
+
+    #[test]
+    fn ndt_column_union_covers_the_aggregate_and_nothing_more_today() {
+        assert_eq!(ndt_column_union(), ColumnSet::AGGREGATE);
+        assert_eq!(find("fig11").unwrap().ndt_columns, ColumnSet::AGGREGATE);
+        // Only the bandwidth figure consumes the NDT substrate directly.
+        for e in ENDPOINTS.iter().filter(|e| e.id != "fig11") {
+            assert_eq!(e.ndt_columns, ColumnSet::NONE, "{}", e.id);
+        }
     }
 
     #[test]

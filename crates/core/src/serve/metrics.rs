@@ -22,6 +22,13 @@ struct EndpointMetrics {
 /// The latency quantiles exposed per endpoint.
 const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")];
 
+/// Observations a sketch needs before its quantiles are exposed. Below
+/// this the five-marker P² estimator has not initialized and `value()`
+/// echoes raw early samples — on a fresh boot that would publish the
+/// very first request's latency as "p99". Until warm-up, the quantile
+/// series is simply absent from the exposition (counters still render).
+const QUANTILE_WARMUP: usize = 5;
+
 impl EndpointMetrics {
     fn new() -> Self {
         EndpointMetrics {
@@ -135,6 +142,9 @@ impl Metrics {
         );
         out.push_str("# TYPE lacnet_request_latency_seconds summary\n");
         for (id, m) in endpoints.iter() {
+            if m.latency[0].count() < QUANTILE_WARMUP {
+                continue;
+            }
             for (i, (_, label)) in QUANTILES.iter().enumerate() {
                 if let Some(v) = m.latency[i].value() {
                     let _ = writeln!(
@@ -165,10 +175,44 @@ mod tests {
         assert!(text.contains("lacnet_cache_misses_total{endpoint=\"fig11\"} 1"));
         assert!(text.contains("lacnet_requests_total{endpoint=\"healthz\"} 1"));
         assert!(text.contains("lacnet_cache_hit_ratio 0.666666"));
+        // Three observations have not warmed the P² sketches up yet, so
+        // the quantile series is withheld from this scrape.
+        assert!(!text.contains("lacnet_request_latency_seconds{endpoint=\"fig11\""));
+        metrics.record("fig11", Outcome::Uncached, 0.003);
+        metrics.record("fig11", Outcome::Uncached, 0.004);
+        let text = metrics.render();
+        assert!(text.contains("lacnet_requests_total{endpoint=\"fig11\"} 5"));
         assert!(
             text.contains("lacnet_request_latency_seconds{endpoint=\"fig11\",quantile=\"0.5\"}")
         );
         assert_eq!(metrics.cache_totals(), (2, 1));
+    }
+
+    #[test]
+    fn quantiles_are_withheld_until_the_sketch_initializes() {
+        // The fresh-boot first scrape: a single request must not be
+        // echoed back as every latency quantile.
+        let metrics = Metrics::new();
+        metrics.record("e", Outcome::Miss, 7.0);
+        let text = metrics.render();
+        assert!(text.contains("lacnet_requests_total{endpoint=\"e\"} 1"));
+        assert!(
+            !text.contains("lacnet_request_latency_seconds{endpoint=\"e\""),
+            "one observation leaked into the quantile exposition:\n{text}"
+        );
+        for _ in 0..3 {
+            metrics.record("e", Outcome::Hit, 0.001);
+        }
+        assert!(
+            !metrics
+                .render()
+                .contains("lacnet_request_latency_seconds{endpoint=\"e\""),
+            "four observations are still below warm-up"
+        );
+        metrics.record("e", Outcome::Hit, 0.001);
+        assert!(metrics
+            .render()
+            .contains("lacnet_request_latency_seconds{endpoint=\"e\",quantile=\"0.99\"}"));
     }
 
     #[test]

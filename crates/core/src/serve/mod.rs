@@ -57,6 +57,7 @@ impl Default for ServeOptions {
 /// One cached response body.
 #[derive(Clone)]
 struct CachedBody {
+    status: u16,
     content_type: &'static str,
     bytes: Arc<Vec<u8>>,
 }
@@ -151,6 +152,7 @@ impl ServerState {
                         .collect(),
                 ),
             ),
+            ("ndt_query".into(), Json::Str("/ndt/{CC}/{YYYY-MM}".into())),
         ])
         .to_text();
         let endpoints_body = Json::Arr(
@@ -249,58 +251,177 @@ pub fn respond(state: &ServerState, request: &Request) -> Response {
                 state.endpoints_body.clone().into_bytes(),
             )
         }
-        path => match registry::find_by_path(path) {
-            Some(endpoint) => {
-                let format = request
-                    .query_pairs()
-                    .into_iter()
-                    .find(|(k, _)| k == "format")
-                    .map(|(_, v)| v)
-                    .unwrap_or_else(|| "json".to_owned());
-                let (content_type, tsv) = match format.as_str() {
-                    "json" => ("application/json", false),
-                    "tsv" => ("text/tab-separated-values; charset=utf-8", true),
-                    _ => {
+        path => {
+            if let Some(rest) = path.strip_prefix("/ndt/") {
+                return ndt_query(state, rest, t0);
+            }
+            match registry::find_by_path(path) {
+                Some(endpoint) => {
+                    // Normalize before anything touches the query: strict
+                    // percent-decoding (malformed escapes are a typed 400,
+                    // not a silently mangled value), duplicate keys
+                    // resolved last-key-wins, keys sorted — so every
+                    // spelling of one query shares one cache slot.
+                    let Some(pairs) = http::normalize_query(&request.query) else {
                         state.metrics.record(
                             endpoint.id,
                             Outcome::Uncached,
                             t0.elapsed().as_secs_f64(),
                         );
-                        return json_error(400, "format must be `json` or `tsv`");
-                    }
-                };
-                let key = (
-                    endpoint.id.to_owned(),
-                    request.query.clone(),
-                    state.fingerprint.clone(),
-                );
-                let (cached, hit) = state.cache.get_or_compute(key, || {
-                    let result = (endpoint.run)(&state.source);
-                    let bytes = if tsv {
-                        canonical_tsv(&result).into_bytes()
-                    } else {
-                        result_json(&result).to_text().into_bytes()
+                        return json_error(400, "malformed percent-escape in query");
                     };
-                    CachedBody {
-                        content_type,
-                        bytes: Arc::new(bytes),
-                    }
-                });
-                state.metrics.record(
-                    endpoint.id,
-                    if hit { Outcome::Hit } else { Outcome::Miss },
-                    t0.elapsed().as_secs_f64(),
-                );
-                Response::new(200, cached.content_type, cached.bytes.as_ref().clone())
+                    let format = pairs
+                        .iter()
+                        .find(|(k, _)| k == "format")
+                        .map(|(_, v)| v.as_str())
+                        .unwrap_or("json");
+                    let (content_type, tsv) = match format {
+                        "json" => ("application/json", false),
+                        "tsv" => ("text/tab-separated-values; charset=utf-8", true),
+                        _ => {
+                            state.metrics.record(
+                                endpoint.id,
+                                Outcome::Uncached,
+                                t0.elapsed().as_secs_f64(),
+                            );
+                            return json_error(400, "format must be `json` or `tsv`");
+                        }
+                    };
+                    let canonical: Vec<String> =
+                        pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    let key = (
+                        endpoint.id.to_owned(),
+                        canonical.join("&"),
+                        state.fingerprint.clone(),
+                    );
+                    let (cached, hit) = state.cache.get_or_compute(key, || {
+                        let result = (endpoint.run)(&state.source);
+                        let bytes = if tsv {
+                            canonical_tsv(&result).into_bytes()
+                        } else {
+                            result_json(&result).to_text().into_bytes()
+                        };
+                        CachedBody {
+                            status: 200,
+                            content_type,
+                            bytes: Arc::new(bytes),
+                        }
+                    });
+                    state.metrics.record(
+                        endpoint.id,
+                        if hit { Outcome::Hit } else { Outcome::Miss },
+                        t0.elapsed().as_secs_f64(),
+                    );
+                    Response::new(
+                        cached.status,
+                        cached.content_type,
+                        cached.bytes.as_ref().clone(),
+                    )
+                }
+                None => {
+                    state.metrics.record(
+                        "unmatched",
+                        Outcome::Uncached,
+                        t0.elapsed().as_secs_f64(),
+                    );
+                    json_error(404, "no such endpoint; see /endpoints")
+                }
             }
-            None => {
-                state
-                    .metrics
-                    .record("unmatched", Outcome::Uncached, t0.elapsed().as_secs_f64());
-                json_error(404, "no such endpoint; see /endpoints")
-            }
-        },
+        }
     }
+}
+
+/// Serve `/ndt/{CC}/{YYYY-MM}`: one `(country, month)` NDT query routed
+/// through [`DataSource::ndt_month_stats`] — on a v2 columnar archive
+/// that decodes only the matching blocks' download column, and the
+/// response reports exactly how much of the shard was touched. Results
+/// (including 404s: shard absence is a property of the fingerprinted
+/// archive generation) are cached; backend I/O errors are not.
+fn ndt_query(state: &ServerState, rest: &str, t0: Instant) -> Response {
+    use lacnet_types::{CountryCode, MonthStamp};
+    let parsed = rest.split_once('/').and_then(|(cc, month)| {
+        Some((
+            CountryCode::new(cc).ok()?,
+            month.parse::<MonthStamp>().ok()?,
+        ))
+    });
+    let Some((cc, month)) = parsed else {
+        state
+            .metrics
+            .record("ndt", Outcome::Uncached, t0.elapsed().as_secs_f64());
+        return json_error(400, "ndt query path must be /ndt/{CC}/{YYYY-MM}");
+    };
+    let key = (
+        "ndt".to_owned(),
+        format!("{cc}/{month}"),
+        state.fingerprint.clone(),
+    );
+    if let Some(cached) = state.cache.get(&key) {
+        state
+            .metrics
+            .record("ndt", Outcome::Hit, t0.elapsed().as_secs_f64());
+        return Response::new(
+            cached.status,
+            cached.content_type,
+            cached.bytes.as_ref().clone(),
+        );
+    }
+    let response = match state.source.ndt_month_stats(cc, month) {
+        Err(e) => {
+            state
+                .metrics
+                .record("ndt", Outcome::Uncached, t0.elapsed().as_secs_f64());
+            return json_error(500, &e.to_string());
+        }
+        Ok(None) => json_error(404, "no NDT shard for that country and month"),
+        Ok(Some(stats)) => {
+            let body = Json::Obj(vec![
+                ("country".into(), Json::Str(cc.to_string())),
+                ("month".into(), Json::Str(month.to_string())),
+                ("rows".into(), Json::Num(stats.rows as f64)),
+                (
+                    "median_download_mbps".into(),
+                    stats.median_download.map_or(Json::Null, Json::Num),
+                ),
+                ("format".into(), Json::Str(stats.format.into())),
+                (
+                    "read".into(),
+                    Json::Obj(vec![
+                        (
+                            "blocks_total".into(),
+                            Json::Num(stats.read.blocks_total as f64),
+                        ),
+                        (
+                            "blocks_decoded".into(),
+                            Json::Num(stats.read.blocks_decoded as f64),
+                        ),
+                        (
+                            "bytes_decoded".into(),
+                            Json::Num(stats.read.bytes_decoded as f64),
+                        ),
+                        (
+                            "columns_decoded".into(),
+                            Json::Num(stats.read.columns_decoded as f64),
+                        ),
+                    ]),
+                ),
+            ])
+            .to_text();
+            Response::new(200, "application/json", body.into_bytes())
+        }
+    };
+    state.cache.insert(
+        key,
+        CachedBody {
+            status: response.status,
+            content_type: response.content_type,
+            bytes: Arc::new(response.body.clone()),
+        },
+    );
+    state
+        .metrics
+        .record("ndt", Outcome::Miss, t0.elapsed().as_secs_f64());
+    response
 }
 
 /// Serve one accepted connection: keep-alive loop, pipelining via the
@@ -531,5 +652,85 @@ mod tests {
         // Metrics saw one miss and one hit for the TSV key.
         let text = state.metrics().render();
         assert!(text.contains("lacnet_cache_hits_total{endpoint=\"tab01\"} 1"));
+    }
+
+    /// A fresh (non-shared) state, so cache and metrics counters are
+    /// exactly one test's traffic.
+    fn fresh_state() -> ServerState {
+        let source = Arc::new(DataSource::in_memory(crate::experiments::testworld::world()));
+        ServerState::new(source, 8)
+    }
+
+    #[test]
+    fn query_normalization_makes_escape_spellings_share_a_cache_slot() {
+        let state = fresh_state();
+        // Three spellings of `format=tsv`: plain, hex-escaped, and a
+        // duplicate key resolved last-wins. One compute, two hits.
+        let plain = get(&state, "/fig/01?format=tsv");
+        assert_eq!(plain.status, 200);
+        let escaped = get(&state, "/fig/01?format=%74sv");
+        let duplicated = get(&state, "/fig/01?format=json&format=tsv");
+        assert!(escaped
+            .content_type
+            .starts_with("text/tab-separated-values"));
+        assert_eq!(plain.body, escaped.body);
+        assert_eq!(plain.body, duplicated.body);
+        let text = state.metrics().render();
+        assert!(
+            text.contains("lacnet_cache_misses_total{endpoint=\"fig01\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lacnet_cache_hits_total{endpoint=\"fig01\"} 2"),
+            "{text}"
+        );
+        // A malformed escape is a typed 400, not a mangled cache key.
+        let bad = get(&state, "/fig/01?format=%zzv");
+        assert_eq!(bad.status, 400);
+        assert!(String::from_utf8(bad.body)
+            .unwrap()
+            .contains("percent-escape"));
+    }
+
+    #[test]
+    fn ndt_query_routes_through_the_source_and_caches() {
+        use lacnet_types::country;
+        let state = fresh_state();
+        let (month, median) = state
+            .source
+            .mlab()
+            .median_series(country::VE)
+            .last()
+            .expect("test world has VE data");
+        let ok = get(&state, &format!("/ndt/VE/{month}"));
+        assert_eq!(ok.status, 200, "{:?}", String::from_utf8_lossy(&ok.body));
+        let body = Json::parse(std::str::from_utf8(&ok.body).unwrap()).unwrap();
+        assert_eq!(body.get("country").and_then(|v| v.as_str()), Some("VE"));
+        assert_eq!(
+            body.get("month").and_then(|v| v.as_str()),
+            Some(month.to_string().as_str())
+        );
+        assert_eq!(
+            body.get("format").and_then(|v| v.as_str()),
+            Some("in-memory")
+        );
+        assert!(body.get("rows").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        assert_eq!(
+            body.get("median_download_mbps").and_then(|v| v.as_f64()),
+            Some(median)
+        );
+        // The repeat is a cache hit serving identical bytes.
+        let again = get(&state, &format!("/ndt/VE/{month}"));
+        assert_eq!(ok.body, again.body);
+        let text = state.metrics().render();
+        assert!(
+            text.contains("lacnet_cache_hits_total{endpoint=\"ndt\"} 1"),
+            "{text}"
+        );
+        // Absent month → 404; malformed country or month → 400.
+        assert_eq!(get(&state, "/ndt/VE/1805-12").status, 404);
+        assert_eq!(get(&state, "/ndt/VEN/2020-01").status, 400);
+        assert_eq!(get(&state, "/ndt/VE/whenever").status, 400);
+        assert_eq!(get(&state, "/ndt/VE").status, 400);
     }
 }

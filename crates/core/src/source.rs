@@ -24,11 +24,14 @@ use lacnet_crisis::operators::Operators;
 use lacnet_crisis::world::SnapshotCache;
 use lacnet_crisis::{bandwidth, blackouts, Economy, World, WorldConfig};
 use lacnet_mlab::aggregate::{Mode, MonthlyAggregator};
-use lacnet_mlab::columnar::{self, ShardFormat};
+use lacnet_mlab::columnar::{
+    self, ColumnReader, ColumnSelection, ColumnSet, ReadStats, ShardFormat,
+};
 use lacnet_offnets::certs::CertScan;
 use lacnet_peeringdb::{Snapshot, SnapshotArchive};
 use lacnet_registry::{AllocationLedger, DelegationFile};
 use lacnet_telegeo::CableMap;
+use lacnet_types::stats::P2Quantile;
 use lacnet_types::{sweep, Asn, CountryCode, Date, Error, MonthStamp, Result, TimeSeries};
 use lacnet_webmeas::CountryTopSites;
 use std::collections::{BTreeMap, BTreeSet};
@@ -65,9 +68,30 @@ pub struct ArchiveWorld {
     pub top_sites: Vec<CountryTopSites>,
     /// Daily reachability parsed from the per-country Atlas TSVs.
     pub reachability: BTreeMap<CountryCode, ReachabilitySeries>,
+    /// The archive-level NDT shard index (`mlab/index.tsv`), keyed by
+    /// `CC/YYYY-MM` label. Empty on pre-index trees — queries then fall
+    /// back to probing shard paths directly.
+    ndt_index: BTreeMap<String, crate::datasets::ShardIndexRecord>,
     root: PathBuf,
     pfx2as_cache: SnapshotCache,
     cone_cache: ConeCache,
+}
+
+/// What one `(country, month)` NDT query returns: how many tests
+/// matched, their median download, and exactly how much of the shard the
+/// answer cost to decode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdtMonthStats {
+    /// Tests matching the query.
+    pub rows: usize,
+    /// P² median download (Mbit/s) over those tests, in row order — the
+    /// same estimator state the resident aggregate holds for the group.
+    pub median_download: Option<f64>,
+    /// The backing the answer came from (`columnar-v2`, `columnar-v1`,
+    /// `text`, or `in-memory`).
+    pub format: &'static str,
+    /// Decode accounting (zero for text and in-memory backings).
+    pub read: ReadStats,
 }
 
 fn month_from_name(name: &str, prefix: &str, suffix: &str) -> Option<MonthStamp> {
@@ -199,6 +223,10 @@ impl ArchiveWorld {
                 }
             })
             .collect::<Result<_>>()?;
+        // Decode only the columns some registered consumer declared a
+        // need for — today the union is exactly the aggregate's three
+        // columns, so a v2 load skips over half the shard bytes.
+        let selection = ColumnSelection::columns(crate::registry::ndt_column_union());
         let decoded = sweep::parallel_map_with(
             sweep::worker_count(resolved.len()),
             &resolved,
@@ -208,7 +236,7 @@ impl ArchiveWorld {
                     ShardFormat::Columnar => Some(
                         fs::read(root.join(rel))
                             .map_err(|_| Error::missing("NDT archive shard", rel))
-                            .and_then(|bytes| columnar::decode(&bytes)),
+                            .and_then(|bytes| columnar::read_batch(&bytes, &selection)),
                     ),
                 }
             },
@@ -240,10 +268,97 @@ impl ArchiveWorld {
             cert_scans,
             top_sites,
             reachability,
+            ndt_index: crate::datasets::read_shard_index(root),
             root: root.to_owned(),
             pfx2as_cache: SnapshotCache::new(),
             cone_cache: ConeCache::new(),
         })
+    }
+
+    /// Answer one `(country, month)` NDT query straight off the archive:
+    /// the shard index maps the query to its single shard file, and a v2
+    /// container decodes only the download column of the blocks whose
+    /// index entries match. `Ok(None)` when the archive holds no shard
+    /// for that pair.
+    pub fn ndt_month_stats(
+        &self,
+        cc: CountryCode,
+        month: MonthStamp,
+    ) -> Result<Option<NdtMonthStats>> {
+        let label = format!("{cc}/{month}");
+        let rel = match self.ndt_index.get(&label) {
+            Some(rec) => rec.path.clone(),
+            None => {
+                // Pre-index tree: probe both encodings, columnar first
+                // (mirrors the load-time auto-detection).
+                let shard = (cc, month);
+                let columnar_rel =
+                    crate::datasets::mlab_shard_path_with(shard, ShardFormat::Columnar);
+                let text_rel = crate::datasets::mlab_shard_path_with(shard, ShardFormat::Text);
+                if self.root.join(&columnar_rel).exists() {
+                    columnar_rel
+                } else if self.root.join(&text_rel).exists() {
+                    text_rel
+                } else {
+                    return Ok(None);
+                }
+            }
+        };
+        let path = self.root.join(&rel);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let mut p2 = P2Quantile::median();
+        if rel.ends_with(".ndtc") {
+            let bytes = fs::read(&path).map_err(|_| Error::missing("NDT archive shard", &rel))?;
+            if bytes.get(4) == Some(&columnar::VERSION_V2) {
+                let reader = ColumnReader::open(&bytes)?;
+                let selection = ColumnSelection::columns(ColumnSet::DOWNLOAD).with_country(cc);
+                let (batch, read) = reader.read_counted(&selection)?;
+                for &v in batch.download() {
+                    p2.observe(v);
+                }
+                Ok(Some(NdtMonthStats {
+                    rows: batch.download().len(),
+                    median_download: p2.value(),
+                    format: "columnar-v2",
+                    read,
+                }))
+            } else {
+                let batch = columnar::decode(&bytes)?;
+                for &v in batch.download() {
+                    p2.observe(v);
+                }
+                Ok(Some(NdtMonthStats {
+                    rows: batch.len(),
+                    median_download: p2.value(),
+                    format: "columnar-v1",
+                    read: ReadStats {
+                        blocks_total: 1,
+                        blocks_decoded: 1,
+                        bytes_decoded: bytes.len(),
+                        columns_decoded: 7,
+                    },
+                }))
+            }
+        } else {
+            let file =
+                fs::File::open(&path).map_err(|_| Error::missing("NDT archive shard", &rel))?;
+            let mut rows = 0usize;
+            for row in lacnet_mlab::ndt::stream_rows(io::BufReader::new(file)) {
+                let row = row?;
+                if row.country == cc && row.date.month_stamp() == month {
+                    p2.observe(row.download_mbps);
+                    rows += 1;
+                }
+            }
+            Ok(Some(NdtMonthStats {
+                rows,
+                median_download: p2.value(),
+                format: "text",
+                read: ReadStats::default(),
+            }))
+        }
     }
 
     /// The pfx2as table for `month`, parsed lazily from the monthly dump
@@ -391,6 +506,26 @@ impl<'w> DataSource<'w> {
         }
     }
 
+    /// One `(country, month)` NDT query — the `/ndt/{cc}/{month}` serve
+    /// endpoint. In memory it reads the resident aggregate's group
+    /// state; on the archive it routes through the shard index and (for
+    /// v2 containers) decodes only the matching blocks' download column.
+    pub fn ndt_month_stats(
+        &self,
+        cc: CountryCode,
+        month: MonthStamp,
+    ) -> Result<Option<NdtMonthStats>> {
+        match self {
+            DataSource::InMemory(w) => Ok(w.mlab.group(cc, month).map(|g| NdtMonthStats {
+                rows: g.count(),
+                median_download: g.median(),
+                format: "in-memory",
+                read: ReadStats::default(),
+            })),
+            DataSource::Archive(a) => a.ndt_month_stats(cc, month),
+        }
+    }
+
     /// Yearly TLS scans 2013–2021 (Figs. 7, 18).
     pub fn cert_scans(&self) -> &[CertScan] {
         match self {
@@ -534,7 +669,7 @@ mod tests {
             &dir,
             crate::datasets::DumpOptions {
                 shard_format: ShardFormat::Columnar,
-                force: false,
+                ..crate::datasets::DumpOptions::default()
             },
         )
         .expect("columnar dump succeeds");
@@ -555,6 +690,38 @@ mod tests {
             format!("{:?}", demanded.mlab()),
             format!("{:?}", src.mlab())
         );
+        // A single-(country, month) query decodes selectively and agrees
+        // with the in-memory aggregate's group state bit for bit.
+        let month = MonthStamp::new(2023, 7);
+        let stats = src
+            .ndt_month_stats(country::VE, month)
+            .expect("query succeeds")
+            .expect("shard exists");
+        assert_eq!(stats.format, "columnar-v2");
+        assert!(stats.rows > 0);
+        // Only the download column of each matching block was decoded.
+        assert_eq!(stats.read.columns_decoded, stats.read.blocks_decoded);
+        assert!(stats.read.blocks_decoded >= 1);
+        let shard_len = std::fs::read(dir.join("mlab/VE/ndt-2023-07.ndtc"))
+            .unwrap()
+            .len();
+        assert!(
+            stats.read.bytes_decoded < shard_len / 2,
+            "selective decode touched {} of {} shard bytes",
+            stats.read.bytes_decoded,
+            shard_len
+        );
+        let in_memory = DataSource::in_memory(world)
+            .ndt_month_stats(country::VE, month)
+            .unwrap()
+            .unwrap();
+        assert_eq!(stats.rows, in_memory.rows);
+        assert_eq!(stats.median_download, in_memory.median_download);
+        // A month outside the archive answers None, not an error.
+        assert!(src
+            .ndt_month_stats(country::VE, MonthStamp::new(1999, 1))
+            .unwrap()
+            .is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -62,6 +62,13 @@ pub struct MonthlyAggregator {
 }
 
 impl MonthlyAggregator {
+    /// The `.ndtc` columns [`observe_columns`] reads — what an archive
+    /// load must decode for the resident aggregate, regardless of which
+    /// endpoints are registered.
+    ///
+    /// [`observe_columns`]: MonthlyAggregator::observe_columns
+    pub const REQUIRED_COLUMNS: crate::columnar::ColumnSet = crate::columnar::ColumnSet::AGGREGATE;
+
     /// Create an aggregator in the given mode.
     pub fn new(mode: Mode) -> Self {
         MonthlyAggregator {
@@ -134,6 +141,12 @@ impl MonthlyAggregator {
     /// Number of `(country, month)` groups seen.
     pub fn group_count(&self) -> usize {
         self.groups.len()
+    }
+
+    /// The accumulated state for one `(country, month)` group, if any —
+    /// the in-memory backend of the `/ndt/{cc}/{month}` query endpoint.
+    pub fn group(&self, country: CountryCode, month: MonthStamp) -> Option<&GroupStats> {
+        self.groups.get(&(country, month))
     }
 
     /// Total number of tests observed.

@@ -4,11 +4,14 @@
 //! M-Lab corpus is multi-terabyte — and the text shards spend their cold
 //! load almost entirely in per-row float/date parsing. `.ndtc` stores one
 //! shard's rows as per-column blocks instead, so a cold load is bounded
-//! by disk bandwidth and a handful of `memcpy`-shaped decodes:
+//! by disk bandwidth and a handful of `memcpy`-shaped decodes.
+//!
+//! Two container versions exist. Version 1 (the PR 5 layout) is a single
+//! monolithic column group:
 //!
 //! ```text
 //! offset 0   magic  "NDTC"                  (4 bytes)
-//! offset 4   version                        (1 byte, currently 1)
+//! offset 4   version                        (1 byte, = 1)
 //!            row count                      (uvarint)
 //!            7 column blocks, fixed order, each:
 //!              tag                          (1 byte)
@@ -18,7 +21,42 @@
 //!            CRC-32 of every preceding byte (u32 little-endian)
 //! ```
 //!
-//! Column payloads (`n` = row count):
+//! Version 2 — what the writer emits today — splits the rows into
+//! independently decodable row groups and appends a footer index so a
+//! reader can seek straight to the blocks a query touches:
+//!
+//! ```text
+//! offset 0   magic  "NDTC"                  (4 bytes)
+//! offset 4   version                        (1 byte, = 2)
+//!            N row-group blocks, back to back, each:
+//!              row count                    (uvarint)
+//!              7 column groups, fixed order, tagged and
+//!              length-prefixed exactly like v1 (dictionaries and the
+//!              date delta chain restart per block)
+//! index      block count                    (uvarint)
+//!            per block:
+//!              byte offset from file start  (uvarint)
+//!              byte length                  (uvarint)
+//!              row count                    (uvarint)
+//!              min date, days since epoch   (ivarint)
+//!              max date, days since epoch   (ivarint)
+//!              CRC-32 of the block bytes    (u32 little-endian)
+//!              country summary: count       (uvarint)
+//!                then one 2-byte alpha-2 code per distinct country
+//! tail       index length in bytes          (u32 little-endian)
+//!            total row count                (u64 little-endian)
+//!            CRC-32 of index + tail prefix  (u32 little-endian)
+//! ```
+//!
+//! The tail CRC covers `bytes[index_start .. len-4]` — the index plus the
+//! index-length and row-count fields — so [`ColumnReader::open`] can
+//! validate everything it trusts for seeking *without* touching block
+//! bytes; each block carries its own CRC, verified only when that block
+//! is actually decoded. That is what makes a single-(country, month)
+//! query cost proportional to the rows it touches rather than to the
+//! archive size.
+//!
+//! Column payloads (`n` = row count of the enclosing group):
 //!
 //! * **dates** (tag 1) — days-since-epoch, delta-encoded: the first value
 //!   then successive differences, each a zigzag varint.
@@ -33,10 +71,11 @@
 //!   values the text path parses from shortest-roundtrip decimal.
 //!
 //! **Format evolution rule:** readers reject any version byte other than
-//! [`VERSION`]. A layout change — new column, different encoding, moved
-//! footer — must bump [`VERSION`]; the magic never changes meaning. The
-//! `container_header_is_frozen` test pins the header bytes so a magic
-//! edit without a version bump fails CI.
+//! [`VERSION_V1`] or [`VERSION_V2`]. A layout change — new column,
+//! different encoding, moved footer — must add a new version; the magic
+//! never changes meaning, and old versions stay readable (v1 containers
+//! decode forever). The `container_header_is_frozen` test pins the header
+//! bytes of both writers so a magic edit without a version bump fails CI.
 //!
 //! Every decode error is a typed [`Error`](lacnet_types::Error) — wrong
 //! magic, unknown version, truncated block, checksum mismatch, row-range
@@ -53,12 +92,27 @@ use std::io::Read;
 /// The container magic, `NDTC`.
 pub const MAGIC: [u8; 4] = *b"NDTC";
 
-/// The current container version. Readers reject any other value; bump
-/// this on every layout change (see the format-evolution rule above).
-pub const VERSION: u8 = 1;
+/// The legacy single-group container version (still fully readable).
+pub const VERSION_V1: u8 = 1;
 
-/// Bytes of the fixed footer: row count (u64) + CRC-32 (u32).
+/// The indexed row-group container version — what [`encode_v2`] writes.
+pub const VERSION_V2: u8 = 2;
+
+/// Bytes of the fixed v1 footer: row count (u64) + CRC-32 (u32).
 const FOOTER_LEN: usize = 12;
+
+/// Bytes of the fixed v2 tail: index length (u32) + row count (u64) +
+/// index CRC-32 (u32).
+const V2_TAIL_LEN: usize = 16;
+
+/// Header bytes shared by both versions: magic + version byte.
+const HEADER_LEN: usize = 5;
+
+/// Rows per v2 block when the writer isn't told otherwise. Small enough
+/// that a month shard at paper scale splits into many prunable groups,
+/// large enough that per-block dictionary and index overhead stays under
+/// a percent of the payload.
+pub const DEFAULT_BLOCK_ROWS: usize = 2048;
 
 /// Column tags, in the order blocks appear in the container.
 const TAGS: [u8; 7] = [1, 2, 3, 4, 5, 6, 7];
@@ -102,10 +156,154 @@ impl std::fmt::Display for ShardFormat {
     }
 }
 
+/// A bitset naming which of the seven `.ndtc` columns a caller wants
+/// decoded. Endpoints declare their needs with this in
+/// `core::registry`, and [`ColumnReader::read`] skips the payload bytes
+/// of every column not in the set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColumnSet(u8);
+
+impl ColumnSet {
+    /// No columns at all.
+    pub const NONE: ColumnSet = ColumnSet(0);
+    /// Test dates (tag 1).
+    pub const DATES: ColumnSet = ColumnSet(1 << 0);
+    /// Client countries (tag 2).
+    pub const COUNTRIES: ColumnSet = ColumnSet(1 << 1);
+    /// Client ASNs (tag 3).
+    pub const ASNS: ColumnSet = ColumnSet(1 << 2);
+    /// Downstream throughput (tag 4).
+    pub const DOWNLOAD: ColumnSet = ColumnSet(1 << 3);
+    /// Upstream throughput (tag 5).
+    pub const UPLOAD: ColumnSet = ColumnSet(1 << 4);
+    /// Minimum RTT (tag 6).
+    pub const MIN_RTT: ColumnSet = ColumnSet(1 << 5);
+    /// Loss rate (tag 7).
+    pub const LOSS: ColumnSet = ColumnSet(1 << 6);
+    /// Every column — a full decode.
+    pub const ALL: ColumnSet = ColumnSet(0x7f);
+    /// What [`MonthlyAggregator::observe_columns`] reads: countries,
+    /// dates and download.
+    ///
+    /// [`MonthlyAggregator::observe_columns`]: crate::aggregate::MonthlyAggregator::observe_columns
+    pub const AGGREGATE: ColumnSet =
+        ColumnSet::DATES.union(ColumnSet::COUNTRIES.union(ColumnSet::DOWNLOAD));
+
+    /// The union of two sets.
+    pub const fn union(self, other: ColumnSet) -> ColumnSet {
+        ColumnSet(self.0 | other.0)
+    }
+
+    /// Whether every column in `other` is in `self`.
+    pub const fn contains(self, other: ColumnSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the set names no columns.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// How many columns the set names.
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+/// What a [`ColumnReader`] query asks for: which columns to decode, and
+/// optional block-pruning predicates on the footer index. Predicates are
+/// conservative — a block is decoded iff its index entry *may* contain
+/// matching rows — so row-level filtering (if any) stays the caller's
+/// job, exactly as with the text path.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnSelection {
+    columns: ColumnSet,
+    date_range: Option<(i64, i64)>,
+    country: Option<CountryCode>,
+}
+
+impl ColumnSelection {
+    /// Decode every block and every column (the v1-equivalent read).
+    pub fn all() -> ColumnSelection {
+        ColumnSelection::columns(ColumnSet::ALL)
+    }
+
+    /// Decode `columns` from every block.
+    pub fn columns(columns: ColumnSet) -> ColumnSelection {
+        ColumnSelection {
+            columns,
+            date_range: None,
+            country: None,
+        }
+    }
+
+    /// Keep only blocks whose date span intersects `[lo, hi]` (inclusive).
+    pub fn with_dates(mut self, lo: Date, hi: Date) -> ColumnSelection {
+        self.date_range = Some((lo.days_since_epoch(), hi.days_since_epoch()));
+        self
+    }
+
+    /// Keep only blocks whose country dictionary contains `cc`.
+    pub fn with_country(mut self, cc: CountryCode) -> ColumnSelection {
+        self.country = Some(cc);
+        self
+    }
+
+    /// The columns this selection decodes.
+    pub fn column_set(&self) -> ColumnSet {
+        self.columns
+    }
+
+    /// Whether a block with this index entry can hold matching rows.
+    fn matches(&self, entry: &BlockEntry) -> bool {
+        if let Some((lo, hi)) = self.date_range {
+            if entry.max_days < lo || entry.min_days > hi {
+                return false;
+            }
+        }
+        if let Some(cc) = self.country {
+            if !entry.countries.contains(&cc) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Decode-side accounting from [`ColumnReader::read_counted`]: how much
+/// of the container a query actually touched. Tests pin selectivity with
+/// this, and the serve layer surfaces it per query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Blocks listed in the footer index.
+    pub blocks_total: usize,
+    /// Blocks whose index entry matched the selection and were decoded.
+    pub blocks_decoded: usize,
+    /// Column payload bytes actually decoded (skipped columns and
+    /// pruned blocks contribute nothing).
+    pub bytes_decoded: usize,
+    /// Column payloads decoded across all decoded blocks.
+    pub columns_decoded: usize,
+}
+
+impl ReadStats {
+    /// Merge another container's stats into this one (archive sweeps).
+    pub fn absorb(&mut self, other: ReadStats) {
+        self.blocks_total += other.blocks_total;
+        self.blocks_decoded += other.blocks_decoded;
+        self.bytes_decoded += other.bytes_decoded;
+        self.columns_decoded += other.columns_decoded;
+    }
+}
+
 /// One decoded shard, column-major. Rows are reconstructed on demand by
 /// [`ColumnBatch::row`] / [`ColumnBatch::iter`]; the aggregation fast
 /// path ([`MonthlyAggregator::observe_columns`]) reads the `countries`,
 /// `dates` and `download` columns directly and never materializes rows.
+///
+/// A selectively decoded batch holds empty vectors for columns the
+/// [`ColumnSelection`] skipped; [`ColumnBatch::len`] reports the row
+/// count of the populated columns.
 ///
 /// [`MonthlyAggregator::observe_columns`]: crate::aggregate::MonthlyAggregator::observe_columns
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -135,17 +333,27 @@ impl ColumnBatch {
         b
     }
 
-    /// Number of rows.
+    /// Number of rows. Skipped columns in a selective decode are empty,
+    /// so the row count is the longest populated column.
     pub fn len(&self) -> usize {
-        self.dates.len()
+        self.dates
+            .len()
+            .max(self.countries.len())
+            .max(self.asns.len())
+            .max(self.download.len())
+            .max(self.upload.len())
+            .max(self.min_rtt.len())
+            .max(self.loss.len())
     }
 
     /// Whether the batch holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.dates.is_empty()
+        self.len() == 0
     }
 
-    /// Reconstruct row `i`.
+    /// Reconstruct row `i`. Panics if a needed column was not decoded —
+    /// row materialization requires a full ([`ColumnSelection::all`])
+    /// read.
     pub fn row(&self, i: usize) -> NdtTest {
         NdtTest {
             date: self.dates[i],
@@ -173,9 +381,29 @@ impl ColumnBatch {
         &self.countries
     }
 
+    /// The client ASNs, row order.
+    pub fn asns(&self) -> &[Asn] {
+        &self.asns
+    }
+
     /// The downstream throughputs (Mbit/s), row order.
     pub fn download(&self) -> &[f64] {
         &self.download
+    }
+
+    /// The upstream throughputs (Mbit/s), row order.
+    pub fn upload(&self) -> &[f64] {
+        &self.upload
+    }
+
+    /// The minimum RTTs (ms), row order.
+    pub fn min_rtt(&self) -> &[f64] {
+        &self.min_rtt
+    }
+
+    /// The loss rates, row order.
+    pub fn loss(&self) -> &[f64] {
+        &self.loss
     }
 
     /// Column-wise mirror of [`NdtTest::validate`]: the decoder applies
@@ -196,76 +424,184 @@ impl ColumnBatch {
     }
 }
 
-/// Encode rows as one `.ndtc` container.
-pub fn encode_rows(rows: &[NdtTest]) -> Vec<u8> {
-    encode(&ColumnBatch::from_rows(rows))
-}
+// ---------------------------------------------------------------------
+// Column payload codecs, shared by the v1 and v2 writers/readers. The
+// v1 byte stream is unchanged: these are the PR 5 encoders factored out
+// so a v2 row group is literally a v1 column section over a row slice.
+// ---------------------------------------------------------------------
 
-/// Encode a column batch as one `.ndtc` container.
-pub fn encode(batch: &ColumnBatch) -> Vec<u8> {
-    let n = batch.len();
-    let mut out = Vec::with_capacity(64 + n * 36);
-    out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
-    put_uvarint(&mut out, n as u64);
-
-    let block = |out: &mut Vec<u8>, tag: u8, payload: &[u8]| {
-        out.push(tag);
-        put_uvarint(out, payload.len() as u64);
-        out.extend_from_slice(payload);
-    };
-
-    // Dates: delta-encoded days-since-epoch.
-    let mut payload = Vec::new();
+/// Delta-encode days-since-epoch. The delta chain starts from 0, so v2
+/// row groups (which call this per block) restart cleanly.
+fn encode_date_payload(dates: &[Date], payload: &mut Vec<u8>) {
     let mut prev = 0i64;
-    for d in &batch.dates {
+    for d in dates {
         let days = d.days_since_epoch();
-        put_ivarint(&mut payload, days - prev);
+        put_ivarint(payload, days - prev);
         prev = days;
     }
-    block(&mut out, TAGS[0], &payload);
+}
 
-    // Countries: dictionary of alpha-2 codes, first-appearance order.
-    payload.clear();
+/// Dictionary-encode alpha-2 codes, first-appearance order. Returns the
+/// dictionary so the v2 writer can summarize it in the footer index.
+fn encode_country_payload(countries: &[CountryCode], payload: &mut Vec<u8>) -> Vec<CountryCode> {
     let mut dict: Vec<CountryCode> = Vec::new();
-    let mut indices = Vec::with_capacity(n);
-    for &cc in &batch.countries {
+    let mut indices = Vec::with_capacity(countries.len());
+    for &cc in countries {
         let idx = dict.iter().position(|&d| d == cc).unwrap_or_else(|| {
             dict.push(cc);
             dict.len() - 1
         });
         indices.push(idx as u64);
     }
-    put_uvarint(&mut payload, dict.len() as u64);
+    put_uvarint(payload, dict.len() as u64);
     for cc in &dict {
         payload.extend_from_slice(cc.as_str().as_bytes());
     }
     for &i in &indices {
-        put_uvarint(&mut payload, i);
+        put_uvarint(payload, i);
     }
-    block(&mut out, TAGS[1], &payload);
+    dict
+}
 
-    // ASNs: dictionary of raw ASNs, first-appearance order.
-    payload.clear();
+/// Dictionary-encode raw ASNs, first-appearance order.
+fn encode_asn_payload(asns: &[Asn], payload: &mut Vec<u8>) {
     let mut dict: Vec<Asn> = Vec::new();
-    let mut indices = Vec::with_capacity(n);
-    for &asn in &batch.asns {
+    let mut indices = Vec::with_capacity(asns.len());
+    for &asn in asns {
         let idx = dict.iter().position(|&d| d == asn).unwrap_or_else(|| {
             dict.push(asn);
             dict.len() - 1
         });
         indices.push(idx as u64);
     }
-    put_uvarint(&mut payload, dict.len() as u64);
+    put_uvarint(payload, dict.len() as u64);
     for asn in &dict {
-        put_uvarint(&mut payload, u64::from(asn.raw()));
+        put_uvarint(payload, u64::from(asn.raw()));
     }
     for &i in &indices {
-        put_uvarint(&mut payload, i);
+        put_uvarint(payload, i);
     }
-    block(&mut out, TAGS[2], &payload);
+}
 
-    // The four float columns, fixed-width little-endian.
+/// Fixed-width little-endian doubles.
+fn encode_float_payload(col: &[f64], payload: &mut Vec<u8>) {
+    for &v in col {
+        put_f64(payload, v);
+    }
+}
+
+fn decode_date_payload(block: &[u8], n: usize) -> Result<Vec<Date>> {
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    let mut pos = 0;
+    let mut days = 0i64;
+    for _ in 0..n {
+        let delta = read_ivarint(block, &mut pos)?;
+        days = days
+            .checked_add(delta)
+            .ok_or_else(|| Error::parse("ndtc date delta (overflow)", ""))?;
+        // Keep reconstruction within the civil-date range the rest of
+        // the pipeline uses; wildly out-of-range days mean corruption.
+        if days.abs() > 4_000_000 {
+            return Err(Error::parse("ndtc date (outside civil range)", ""));
+        }
+        out.push(Date::from_days_since_epoch(days));
+    }
+    if pos != block.len() {
+        return Err(Error::parse("ndtc date column (trailing bytes)", ""));
+    }
+    Ok(out)
+}
+
+/// Decode the country column; returns `(values, dictionary)` so v2
+/// readers can cross-check the footer index's country summary.
+fn decode_country_payload(block: &[u8], n: usize) -> Result<(Vec<CountryCode>, Vec<CountryCode>)> {
+    let mut pos = 0;
+    let dict_len = read_uvarint(block, &mut pos)? as usize;
+    let mut dict = Vec::with_capacity(dict_len.min(256));
+    for _ in 0..dict_len {
+        let end = pos
+            .checked_add(2)
+            .filter(|&e| e <= block.len())
+            .ok_or_else(|| Error::parse("ndtc country dict (truncated)", ""))?;
+        let s = std::str::from_utf8(&block[pos..end])
+            .map_err(|_| Error::parse("ndtc country dict entry", ""))?;
+        dict.push(CountryCode::new(s)?);
+        pos = end;
+    }
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let idx = read_uvarint(block, &mut pos)? as usize;
+        let &cc = dict
+            .get(idx)
+            .ok_or_else(|| Error::parse("ndtc country dict index", ""))?;
+        out.push(cc);
+    }
+    if pos != block.len() {
+        return Err(Error::parse("ndtc country column (trailing bytes)", ""));
+    }
+    Ok((out, dict))
+}
+
+fn decode_asn_payload(block: &[u8], n: usize) -> Result<Vec<Asn>> {
+    let mut pos = 0;
+    let dict_len = read_uvarint(block, &mut pos)? as usize;
+    let mut dict = Vec::with_capacity(dict_len.min(256));
+    for _ in 0..dict_len {
+        let raw = read_uvarint(block, &mut pos)?;
+        let raw = u32::try_from(raw).map_err(|_| Error::parse("ndtc asn dict entry", ""))?;
+        dict.push(Asn(raw));
+    }
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let idx = read_uvarint(block, &mut pos)? as usize;
+        let &asn = dict
+            .get(idx)
+            .ok_or_else(|| Error::parse("ndtc asn dict index", ""))?;
+        out.push(asn);
+    }
+    if pos != block.len() {
+        return Err(Error::parse("ndtc asn column (trailing bytes)", ""));
+    }
+    Ok(out)
+}
+
+fn decode_float_payload(block: &[u8], n: usize) -> Result<Vec<f64>> {
+    if block.len() != n * 8 {
+        return Err(Error::parse("ndtc float column (wrong size)", ""));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 0;
+    for _ in 0..n {
+        out.push(read_f64(block, &mut pos)?);
+    }
+    Ok(out)
+}
+
+/// Append the seven tagged, length-prefixed column sections for a row
+/// slice of `batch` — the shared body layout of a v1 container and of
+/// one v2 row group. Returns the country dictionary of the slice.
+fn encode_column_sections(
+    batch: &ColumnBatch,
+    range: std::ops::Range<usize>,
+    out: &mut Vec<u8>,
+) -> Vec<CountryCode> {
+    let section = |out: &mut Vec<u8>, tag: u8, payload: &[u8]| {
+        out.push(tag);
+        put_uvarint(out, payload.len() as u64);
+        out.extend_from_slice(payload);
+    };
+    let mut payload = Vec::new();
+    encode_date_payload(&batch.dates[range.clone()], &mut payload);
+    section(out, TAGS[0], &payload);
+
+    payload.clear();
+    let dict = encode_country_payload(&batch.countries[range.clone()], &mut payload);
+    section(out, TAGS[1], &payload);
+
+    payload.clear();
+    encode_asn_payload(&batch.asns[range.clone()], &mut payload);
+    section(out, TAGS[2], &payload);
+
     for (tag, col) in [
         (TAGS[3], &batch.download),
         (TAGS[4], &batch.upload),
@@ -273,12 +609,55 @@ pub fn encode(batch: &ColumnBatch) -> Vec<u8> {
         (TAGS[6], &batch.loss),
     ] {
         payload.clear();
-        for &v in col {
-            put_f64(&mut payload, v);
-        }
-        block(&mut out, tag, &payload);
+        encode_float_payload(&col[range.clone()], &mut payload);
+        section(out, tag, &payload);
     }
+    dict
+}
 
+/// Slice the seven tagged column sections starting at `*pos`, advancing
+/// past them. Shared by the v1 body walk and the per-group v2 walk.
+fn split_column_sections<'b>(buf: &'b [u8], pos: &mut usize) -> Result<[&'b [u8]; 7]> {
+    let mut sections: [&[u8]; 7] = [&[]; 7];
+    for (slot, &tag) in sections.iter_mut().zip(&TAGS) {
+        let &got = buf
+            .get(*pos)
+            .ok_or_else(|| Error::parse("ndtc column block (truncated)", ""))?;
+        *pos += 1;
+        if got != tag {
+            return Err(Error::parse("ndtc column tag", &got.to_string()));
+        }
+        let len = read_uvarint(buf, pos)?;
+        let len = usize::try_from(len).map_err(|_| Error::parse("ndtc block length", ""))?;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= buf.len())
+            .ok_or_else(|| Error::parse("ndtc column block (truncated)", ""))?;
+        *slot = &buf[*pos..end];
+        *pos = end;
+    }
+    Ok(sections)
+}
+
+// ---------------------------------------------------------------------
+// v1 writer/reader (legacy, byte-frozen)
+// ---------------------------------------------------------------------
+
+/// Encode rows as one legacy (v1) `.ndtc` container. Kept for the
+/// compatibility matrix and `lacnet-gen --ndtc-v1`; new dumps use
+/// [`encode_rows_v2`].
+pub fn encode_rows(rows: &[NdtTest]) -> Vec<u8> {
+    encode(&ColumnBatch::from_rows(rows))
+}
+
+/// Encode a column batch as one legacy (v1) `.ndtc` container.
+pub fn encode(batch: &ColumnBatch) -> Vec<u8> {
+    let n = batch.len();
+    let mut out = Vec::with_capacity(64 + n * 36);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION_V1);
+    put_uvarint(&mut out, n as u64);
+    encode_column_sections(batch, 0..n, &mut out);
     // Footer: row count again, then the CRC over everything before it.
     put_u64(&mut out, n as u64);
     let crc = crc32(&out);
@@ -286,23 +665,7 @@ pub fn encode(batch: &ColumnBatch) -> Vec<u8> {
     out
 }
 
-/// Decode one `.ndtc` container. Rejects wrong magic, unknown versions,
-/// truncated or oversized blocks, footer/checksum mismatches and
-/// out-of-range row values — all as typed errors.
-pub fn decode(bytes: &[u8]) -> Result<ColumnBatch> {
-    if bytes.len() < MAGIC.len() + 1 + FOOTER_LEN {
-        return Err(Error::parse("ndtc container (truncated)", ""));
-    }
-    if bytes[..4] != MAGIC {
-        return Err(Error::parse("ndtc magic", &format!("{:02x?}", &bytes[..4])));
-    }
-    if bytes[4] != VERSION {
-        return Err(Error::parse(
-            "ndtc version 1 (readers reject unknown versions)",
-            &bytes[4].to_string(),
-        ));
-    }
-
+fn decode_v1(bytes: &[u8]) -> Result<ColumnBatch> {
     // Verify the footer before trusting any block length.
     let crc_at = bytes.len() - 4;
     let mut pos = crc_at;
@@ -314,7 +677,7 @@ pub fn decode(bytes: &[u8]) -> Result<ColumnBatch> {
     let footer_rows = read_u64(bytes, &mut pos)?;
 
     let body = &bytes[..bytes.len() - FOOTER_LEN];
-    let mut pos = MAGIC.len() + 1;
+    let mut pos = HEADER_LEN;
     let n = read_uvarint(body, &mut pos)?;
     if n != footer_rows {
         return Err(Error::parse(
@@ -329,120 +692,406 @@ pub fn decode(bytes: &[u8]) -> Result<ColumnBatch> {
         return Err(Error::parse("ndtc row count (exceeds container size)", ""));
     }
 
-    let mut blocks: [&[u8]; 7] = [&[]; 7];
-    for (slot, &tag) in blocks.iter_mut().zip(&TAGS) {
-        let &got = body
-            .get(pos)
-            .ok_or_else(|| Error::parse("ndtc column block (truncated)", ""))?;
-        pos += 1;
-        if got != tag {
-            return Err(Error::parse("ndtc column tag", &got.to_string()));
-        }
-        let len = read_uvarint(body, &mut pos)?;
-        let len = usize::try_from(len).map_err(|_| Error::parse("ndtc block length", ""))?;
-        let end = pos
-            .checked_add(len)
-            .filter(|&e| e <= body.len())
-            .ok_or_else(|| Error::parse("ndtc column block (truncated)", ""))?;
-        *slot = &body[pos..end];
-        pos = end;
-    }
+    let sections = split_column_sections(body, &mut pos)?;
     if pos != body.len() {
         return Err(Error::parse("ndtc container (trailing bytes)", ""));
     }
 
-    let mut batch = ColumnBatch::default();
-
-    // Dates.
-    let block = blocks[0];
-    let mut pos = 0;
-    let mut days = 0i64;
-    for _ in 0..n {
-        let delta = read_ivarint(block, &mut pos)?;
-        days = days
-            .checked_add(delta)
-            .ok_or_else(|| Error::parse("ndtc date delta (overflow)", ""))?;
-        // Keep reconstruction within the civil-date range the rest of
-        // the pipeline uses; wildly out-of-range days mean corruption.
-        if days.abs() > 4_000_000 {
-            return Err(Error::parse("ndtc date (outside civil range)", ""));
-        }
-        batch.dates.push(Date::from_days_since_epoch(days));
-    }
-    if pos != block.len() {
-        return Err(Error::parse("ndtc date column (trailing bytes)", ""));
-    }
-
-    // Countries.
-    let block = blocks[1];
-    let mut pos = 0;
-    let dict_len = read_uvarint(block, &mut pos)? as usize;
-    let mut dict = Vec::with_capacity(dict_len.min(256));
-    for _ in 0..dict_len {
-        let end = pos
-            .checked_add(2)
-            .filter(|&e| e <= block.len())
-            .ok_or_else(|| Error::parse("ndtc country dict (truncated)", ""))?;
-        let s = std::str::from_utf8(&block[pos..end])
-            .map_err(|_| Error::parse("ndtc country dict entry", ""))?;
-        dict.push(CountryCode::new(s)?);
-        pos = end;
-    }
-    for _ in 0..n {
-        let idx = read_uvarint(block, &mut pos)? as usize;
-        let &cc = dict
-            .get(idx)
-            .ok_or_else(|| Error::parse("ndtc country dict index", ""))?;
-        batch.countries.push(cc);
-    }
-    if pos != block.len() {
-        return Err(Error::parse("ndtc country column (trailing bytes)", ""));
-    }
-
-    // ASNs.
-    let block = blocks[2];
-    let mut pos = 0;
-    let dict_len = read_uvarint(block, &mut pos)? as usize;
-    let mut dict = Vec::with_capacity(dict_len.min(256));
-    for _ in 0..dict_len {
-        let raw = read_uvarint(block, &mut pos)?;
-        let raw = u32::try_from(raw).map_err(|_| Error::parse("ndtc asn dict entry", ""))?;
-        dict.push(Asn(raw));
-    }
-    for _ in 0..n {
-        let idx = read_uvarint(block, &mut pos)? as usize;
-        let &asn = dict
-            .get(idx)
-            .ok_or_else(|| Error::parse("ndtc asn dict index", ""))?;
-        batch.asns.push(asn);
-    }
-    if pos != block.len() {
-        return Err(Error::parse("ndtc asn column (trailing bytes)", ""));
-    }
-
-    // Float columns.
-    for (block, col) in [
-        (blocks[3], &mut batch.download),
-        (blocks[4], &mut batch.upload),
-        (blocks[5], &mut batch.min_rtt),
-        (blocks[6], &mut batch.loss),
-    ] {
-        if block.len() != n * 8 {
-            return Err(Error::parse("ndtc float column (wrong size)", ""));
-        }
-        let mut pos = 0;
-        for _ in 0..n {
-            col.push(read_f64(block, &mut pos)?);
-        }
-    }
-
+    let batch = ColumnBatch {
+        dates: decode_date_payload(sections[0], n)?,
+        countries: decode_country_payload(sections[1], n)?.0,
+        asns: decode_asn_payload(sections[2], n)?,
+        download: decode_float_payload(sections[3], n)?,
+        upload: decode_float_payload(sections[4], n)?,
+        min_rtt: decode_float_payload(sections[5], n)?,
+        loss: decode_float_payload(sections[6], n)?,
+    };
     batch.validate()?;
     Ok(batch)
 }
 
-/// Read one `.ndtc` shard from a reader. The container is checksummed as
-/// a whole, so the reader slurps the (bounded, per-country-month) file
-/// and verifies it before any value is surfaced; rows then stream lazily
+// ---------------------------------------------------------------------
+// v2 writer
+// ---------------------------------------------------------------------
+
+/// Encode rows as one indexed (v2) `.ndtc` container with
+/// [`DEFAULT_BLOCK_ROWS`] rows per block.
+pub fn encode_rows_v2(rows: &[NdtTest]) -> Vec<u8> {
+    encode_v2(&ColumnBatch::from_rows(rows))
+}
+
+/// Encode a column batch as one indexed (v2) `.ndtc` container.
+pub fn encode_v2(batch: &ColumnBatch) -> Vec<u8> {
+    encode_v2_with(batch, DEFAULT_BLOCK_ROWS)
+}
+
+/// Encode with an explicit block size (rows per row group). Tests use
+/// tiny blocks to exercise pruning; `block_rows` is clamped to ≥ 1.
+pub fn encode_v2_with(batch: &ColumnBatch, block_rows: usize) -> Vec<u8> {
+    let block_rows = block_rows.max(1);
+    let n = batch.len();
+    let mut out = Vec::with_capacity(64 + n * 36);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION_V2);
+
+    struct Pending {
+        offset: usize,
+        len: usize,
+        rows: usize,
+        min_days: i64,
+        max_days: i64,
+        crc: u32,
+        countries: Vec<CountryCode>,
+    }
+    let mut entries: Vec<Pending> = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + block_rows).min(n);
+        let offset = out.len();
+        put_uvarint(&mut out, (end - start) as u64);
+        let dict = encode_column_sections(batch, start..end, &mut out);
+        let days = batch.dates[start..end].iter().map(|d| d.days_since_epoch());
+        let min_days = days.clone().min().expect("non-empty block");
+        let max_days = days.max().expect("non-empty block");
+        let crc = crc32(&out[offset..]);
+        entries.push(Pending {
+            offset,
+            len: out.len() - offset,
+            rows: end - start,
+            min_days,
+            max_days,
+            crc,
+            countries: dict,
+        });
+        start = end;
+    }
+
+    let index_start = out.len();
+    put_uvarint(&mut out, entries.len() as u64);
+    for e in &entries {
+        put_uvarint(&mut out, e.offset as u64);
+        put_uvarint(&mut out, e.len as u64);
+        put_uvarint(&mut out, e.rows as u64);
+        put_ivarint(&mut out, e.min_days);
+        put_ivarint(&mut out, e.max_days);
+        put_u32(&mut out, e.crc);
+        put_uvarint(&mut out, e.countries.len() as u64);
+        for cc in &e.countries {
+            out.extend_from_slice(cc.as_str().as_bytes());
+        }
+    }
+    let index_len = out.len() - index_start;
+    put_u32(&mut out, index_len as u32);
+    put_u64(&mut out, n as u64);
+    // The tail CRC covers the index plus the two tail fields before it,
+    // so open() validates everything it uses for seeking in one pass.
+    let crc = crc32(&out[index_start..]);
+    put_u32(&mut out, crc);
+    out
+}
+
+// ---------------------------------------------------------------------
+// v2 reader
+// ---------------------------------------------------------------------
+
+/// One footer-index entry: where a row-group block lives and what it
+/// can contain.
+#[derive(Debug, Clone)]
+struct BlockEntry {
+    offset: usize,
+    len: usize,
+    rows: usize,
+    min_days: i64,
+    max_days: i64,
+    crc: u32,
+    countries: Vec<CountryCode>,
+}
+
+/// A validated view over a v2 container held in a caller-owned buffer.
+///
+/// [`ColumnReader::open`] parses the header and the CRC-protected footer
+/// index only — no block bytes are touched. [`ColumnReader::read`] then
+/// decodes exactly the blocks and columns a [`ColumnSelection`] asks
+/// for, verifying each decoded block's own CRC on the way.
+pub struct ColumnReader<'a> {
+    bytes: &'a [u8],
+    rows: usize,
+    blocks: Vec<BlockEntry>,
+}
+
+impl<'a> ColumnReader<'a> {
+    /// Validate the header and footer index of a v2 container. Typed
+    /// errors for wrong magic, non-v2 versions (v1 containers go through
+    /// [`decode`]), truncation, index corruption, and any index entry
+    /// whose geometry doesn't tile the block region exactly.
+    pub fn open(bytes: &'a [u8]) -> Result<ColumnReader<'a>> {
+        if bytes.len() < HEADER_LEN + V2_TAIL_LEN {
+            return Err(Error::parse("ndtc container (truncated)", ""));
+        }
+        if bytes[..4] != MAGIC {
+            return Err(Error::parse("ndtc magic", &format!("{:02x?}", &bytes[..4])));
+        }
+        if bytes[4] != VERSION_V2 {
+            return Err(Error::parse(
+                "ndtc version 2 (ColumnReader reads only indexed containers)",
+                &bytes[4].to_string(),
+            ));
+        }
+        let tail_at = bytes.len() - V2_TAIL_LEN;
+        let mut pos = tail_at;
+        let index_len = read_u32(bytes, &mut pos)? as usize;
+        let total_rows = read_u64(bytes, &mut pos)?;
+        let stored_crc = read_u32(bytes, &mut pos)?;
+        let index_start = tail_at
+            .checked_sub(index_len)
+            .filter(|&s| s >= HEADER_LEN)
+            .ok_or_else(|| Error::parse("ndtc v2 index length", &index_len.to_string()))?;
+        if crc32(&bytes[index_start..bytes.len() - 4]) != stored_crc {
+            return Err(Error::parse("ndtc v2 index checksum (corrupt index)", ""));
+        }
+
+        let index = &bytes[index_start..tail_at];
+        let mut pos = 0;
+        let count = read_uvarint(index, &mut pos)?;
+        // Every entry costs at least one byte in the index.
+        let count = usize::try_from(count)
+            .ok()
+            .filter(|&c| c <= index.len())
+            .ok_or_else(|| Error::parse("ndtc v2 block count", ""))?;
+        let mut blocks = Vec::with_capacity(count);
+        let mut expected_offset = HEADER_LEN;
+        let mut rows_sum = 0u64;
+        for _ in 0..count {
+            let offset = read_uvarint(index, &mut pos)?;
+            let len = read_uvarint(index, &mut pos)?;
+            let rows = read_uvarint(index, &mut pos)?;
+            let min_days = read_ivarint(index, &mut pos)?;
+            let max_days = read_ivarint(index, &mut pos)?;
+            let crc = read_u32(index, &mut pos)?;
+            let cc_count = read_uvarint(index, &mut pos)?;
+            let (offset, len, rows) = (|| {
+                Some((
+                    usize::try_from(offset).ok()?,
+                    usize::try_from(len).ok()?,
+                    usize::try_from(rows).ok()?,
+                ))
+            })()
+            .ok_or_else(|| Error::parse("ndtc v2 index entry", ""))?;
+            if rows == 0 || min_days > max_days {
+                return Err(Error::parse("ndtc v2 index entry", ""));
+            }
+            let cc_count = usize::try_from(cc_count)
+                .ok()
+                .filter(|&c| c >= 1 && c <= rows)
+                .ok_or_else(|| Error::parse("ndtc v2 country summary", ""))?;
+            let mut countries = Vec::with_capacity(cc_count.min(256));
+            for _ in 0..cc_count {
+                let end = pos
+                    .checked_add(2)
+                    .filter(|&e| e <= index.len())
+                    .ok_or_else(|| Error::parse("ndtc v2 country summary (truncated)", ""))?;
+                let s = std::str::from_utf8(&index[pos..end])
+                    .map_err(|_| Error::parse("ndtc v2 country summary entry", ""))?;
+                countries.push(CountryCode::new(s)?);
+                pos = end;
+            }
+            // Blocks must tile [header, index) exactly, in order — the
+            // index cannot point a reader at overlapping or stray bytes.
+            if offset != expected_offset {
+                return Err(Error::parse("ndtc v2 block offset (not contiguous)", ""));
+            }
+            expected_offset = offset
+                .checked_add(len)
+                .filter(|&e| e <= index_start)
+                .ok_or_else(|| Error::parse("ndtc v2 block length (out of bounds)", ""))?;
+            rows_sum += rows as u64;
+            blocks.push(BlockEntry {
+                offset,
+                len,
+                rows,
+                min_days,
+                max_days,
+                crc,
+                countries,
+            });
+        }
+        if pos != index.len() {
+            return Err(Error::parse("ndtc v2 index (trailing bytes)", ""));
+        }
+        if expected_offset != index_start {
+            return Err(Error::parse("ndtc v2 index (blocks do not cover body)", ""));
+        }
+        if rows_sum != total_rows {
+            return Err(Error::parse(
+                "ndtc footer row count",
+                &total_rows.to_string(),
+            ));
+        }
+        let rows = usize::try_from(total_rows).map_err(|_| Error::parse("ndtc row count", ""))?;
+        Ok(ColumnReader {
+            bytes,
+            rows,
+            blocks,
+        })
+    }
+
+    /// Total rows in the container (from the validated footer).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row-group blocks listed in the footer index.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Decode the blocks and columns `selection` asks for.
+    pub fn read(&self, selection: &ColumnSelection) -> Result<ColumnBatch> {
+        self.read_counted(selection).map(|(batch, _)| batch)
+    }
+
+    /// [`ColumnReader::read`], returning decode accounting alongside.
+    pub fn read_counted(&self, selection: &ColumnSelection) -> Result<(ColumnBatch, ReadStats)> {
+        let mut stats = ReadStats {
+            blocks_total: self.blocks.len(),
+            ..ReadStats::default()
+        };
+        let mut batch = ColumnBatch::default();
+        let want = selection.columns;
+        for entry in &self.blocks {
+            if !selection.matches(entry) {
+                continue;
+            }
+            stats.blocks_decoded += 1;
+            let block = &self.bytes[entry.offset..entry.offset + entry.len];
+            if crc32(block) != entry.crc {
+                return Err(Error::parse("ndtc checksum (corrupt block)", ""));
+            }
+            let mut pos = 0;
+            let n = read_uvarint(block, &mut pos)?;
+            if n != entry.rows as u64 {
+                return Err(Error::parse("ndtc v2 block row count", &n.to_string()));
+            }
+            let n = entry.rows;
+            let sections = split_column_sections(block, &mut pos)?;
+            if pos != block.len() {
+                return Err(Error::parse("ndtc container (trailing bytes)", ""));
+            }
+            let mut touched = |payload: &[u8]| {
+                stats.columns_decoded += 1;
+                stats.bytes_decoded += payload.len();
+            };
+            if want.contains(ColumnSet::DATES) {
+                touched(sections[0]);
+                let dates = decode_date_payload(sections[0], n)?;
+                // Cross-check the index span against the decoded column:
+                // a lying index must not silently mis-prune future reads.
+                let days = dates.iter().map(|d| d.days_since_epoch());
+                if days.clone().min() != Some(entry.min_days) || days.max() != Some(entry.max_days)
+                {
+                    return Err(Error::parse("ndtc v2 index date span (mismatch)", ""));
+                }
+                batch.dates.extend(dates);
+            }
+            if want.contains(ColumnSet::COUNTRIES) {
+                touched(sections[1]);
+                let (values, dict) = decode_country_payload(sections[1], n)?;
+                if dict != entry.countries {
+                    return Err(Error::parse("ndtc v2 index country summary (mismatch)", ""));
+                }
+                batch.countries.extend(values);
+            }
+            if want.contains(ColumnSet::ASNS) {
+                touched(sections[2]);
+                batch.asns.extend(decode_asn_payload(sections[2], n)?);
+            }
+            for (set, section, col) in [
+                (ColumnSet::DOWNLOAD, sections[3], &mut batch.download),
+                (ColumnSet::UPLOAD, sections[4], &mut batch.upload),
+                (ColumnSet::MIN_RTT, sections[5], &mut batch.min_rtt),
+                (ColumnSet::LOSS, sections[6], &mut batch.loss),
+            ] {
+                if want.contains(set) {
+                    touched(section);
+                    col.extend(decode_float_payload(section, n)?);
+                }
+            }
+        }
+        batch.validate()?;
+        Ok((batch, stats))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Version-dispatching entry points
+// ---------------------------------------------------------------------
+
+/// Decode one `.ndtc` container fully, either version. Rejects wrong
+/// magic, unknown versions, truncated or oversized blocks,
+/// footer/checksum mismatches and out-of-range row values — all as
+/// typed errors.
+pub fn decode(bytes: &[u8]) -> Result<ColumnBatch> {
+    read_batch(bytes, &ColumnSelection::all())
+}
+
+/// Decode one `.ndtc` container through a [`ColumnSelection`]. Version 2
+/// containers decode selectively; version 1 containers have no index, so
+/// the selection falls back to a full decode (correct, just not lazy).
+pub fn read_batch(bytes: &[u8], selection: &ColumnSelection) -> Result<ColumnBatch> {
+    if bytes.len() < HEADER_LEN {
+        return Err(Error::parse("ndtc container (truncated)", ""));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(Error::parse("ndtc magic", &format!("{:02x?}", &bytes[..4])));
+    }
+    match bytes[4] {
+        VERSION_V1 => {
+            if bytes.len() < HEADER_LEN + FOOTER_LEN {
+                return Err(Error::parse("ndtc container (truncated)", ""));
+            }
+            decode_v1(bytes)
+        }
+        VERSION_V2 => ColumnReader::open(bytes)?.read(selection),
+        v => Err(Error::parse(
+            "ndtc version 1 or 2 (readers reject unknown versions)",
+            &v.to_string(),
+        )),
+    }
+}
+
+/// Cheap container census without decoding row data: `(rows, blocks)`.
+/// A v1 container reports one block; a v2 container reports its indexed
+/// block count. Used to build the archive-level shard index.
+pub fn container_stats(bytes: &[u8]) -> Result<(u64, u64)> {
+    if bytes.len() < HEADER_LEN {
+        return Err(Error::parse("ndtc container (truncated)", ""));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(Error::parse("ndtc magic", &format!("{:02x?}", &bytes[..4])));
+    }
+    match bytes[4] {
+        VERSION_V1 => {
+            if bytes.len() < HEADER_LEN + FOOTER_LEN {
+                return Err(Error::parse("ndtc container (truncated)", ""));
+            }
+            let mut pos = bytes.len() - FOOTER_LEN;
+            let rows = read_u64(bytes, &mut pos)?;
+            Ok((rows, 1))
+        }
+        VERSION_V2 => {
+            let reader = ColumnReader::open(bytes)?;
+            Ok((reader.rows() as u64, reader.block_count() as u64))
+        }
+        v => Err(Error::parse(
+            "ndtc version 1 or 2 (readers reject unknown versions)",
+            &v.to_string(),
+        )),
+    }
+}
+
+/// Read one `.ndtc` shard from a reader. The container is checksummed,
+/// so the reader slurps the (bounded, per-country-month) file and
+/// verifies it before any value is surfaced; rows then stream lazily
 /// off the decoded columns via [`ColumnBatch::iter`].
 pub fn read_shard<R: Read>(mut reader: R) -> Result<ColumnBatch> {
     let mut bytes = Vec::new();
@@ -499,40 +1148,72 @@ mod tests {
     }
 
     #[test]
+    fn v2_roundtrip_preserves_rows_exactly() {
+        let rows = rows();
+        for block_rows in [1, 2, 3, 4096] {
+            let bytes = encode_v2_with(&ColumnBatch::from_rows(&rows), block_rows);
+            let decoded = decode(&bytes).unwrap();
+            assert_eq!(
+                decoded.iter().collect::<Vec<_>>(),
+                rows,
+                "block_rows {block_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_and_v2_decode_to_the_same_batch() {
+        let rows = rows();
+        let v1 = decode(&encode_rows(&rows)).unwrap();
+        let v2 = decode(&encode_rows_v2(&rows)).unwrap();
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
     fn empty_and_single_row_shards_roundtrip() {
         let empty = decode(&encode_rows(&[])).unwrap();
         assert!(empty.is_empty());
+        let empty = decode(&encode_rows_v2(&[])).unwrap();
+        assert!(empty.is_empty());
         let one = &rows()[..1];
         let decoded = decode(&encode_rows(one)).unwrap();
+        assert_eq!(decoded.iter().collect::<Vec<_>>(), one);
+        let decoded = decode(&encode_rows_v2(one)).unwrap();
         assert_eq!(decoded.iter().collect::<Vec<_>>(), one);
     }
 
     #[test]
     fn container_header_is_frozen() {
         // Format-version guard: the first five bytes of every container
-        // are the magic followed by the version constant. Changing the
-        // magic without bumping VERSION (or vice versa) breaks this pin
-        // and must come with a deliberate fixture update here.
-        let bytes = encode_rows(&[]);
-        assert_eq!(&bytes[..4], b"NDTC");
-        assert_eq!(bytes[4], 1);
-        assert_eq!(VERSION, 1, "bump this pin together with the constant");
+        // are the magic followed by the version constant. Changing a
+        // magic or version byte without a deliberate fixture update here
+        // fails CI.
+        let v1 = encode_rows(&[]);
+        assert_eq!(&v1[..4], b"NDTC");
+        assert_eq!(v1[4], 1);
+        let v2 = encode_rows_v2(&[]);
+        assert_eq!(&v2[..4], b"NDTC");
+        assert_eq!(v2[4], 2);
+        assert_eq!(VERSION_V1, 1, "bump this pin together with the constant");
+        assert_eq!(VERSION_V2, 2, "bump this pin together with the constant");
     }
 
     #[test]
     fn wrong_magic_is_a_typed_error() {
-        let mut bytes = encode_rows(&rows());
-        bytes[0] = b'X';
-        match decode(&bytes) {
-            Err(Error::Parse { expected, .. }) => assert!(expected.contains("magic")),
-            other => panic!("expected a magic error, got {other:?}"),
+        for bytes in [encode_rows(&rows()), encode_rows_v2(&rows())] {
+            let mut bytes = bytes;
+            bytes[0] = b'X';
+            match decode(&bytes) {
+                Err(Error::Parse { expected, .. }) => assert!(expected.contains("magic")),
+                other => panic!("expected a magic error, got {other:?}"),
+            }
         }
     }
 
     #[test]
     fn unknown_version_is_rejected() {
         let mut bytes = encode_rows(&rows());
-        bytes[4] = VERSION + 1;
+        bytes[4] = VERSION_V2 + 1;
         match decode(&bytes) {
             Err(Error::Parse { expected, .. }) => assert!(expected.contains("version")),
             other => panic!("expected a version error, got {other:?}"),
@@ -552,13 +1233,43 @@ mod tests {
     }
 
     #[test]
+    fn v2_corrupted_index_fails_open() {
+        let mut bytes = encode_rows_v2(&rows());
+        let len = bytes.len();
+        bytes[len - 1] ^= 0xFF; // flip tail CRC bits
+        assert!(matches!(
+            ColumnReader::open(&bytes),
+            Err(Error::Parse { .. })
+        ));
+        let mut bytes = encode_rows_v2(&rows());
+        let len = bytes.len();
+        bytes[len - 6] ^= 0x01; // corrupt the tail row count (CRC catches it)
+        assert!(ColumnReader::open(&bytes).is_err());
+    }
+
+    #[test]
+    fn v2_corrupted_block_passes_open_but_fails_decode() {
+        // Block corruption is invisible to open() by design — only the
+        // index is validated up front — and caught by the per-block CRC
+        // the moment the block is decoded.
+        let mut bytes = encode_rows_v2(&rows());
+        bytes[8] ^= 0x40; // inside the first (only) block's payload
+        let reader = ColumnReader::open(&bytes).expect("index is intact");
+        match reader.read(&ColumnSelection::all()) {
+            Err(Error::Parse { expected, .. }) => assert!(expected.contains("checksum")),
+            other => panic!("expected a block checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn truncated_container_is_a_typed_error() {
-        let bytes = encode_rows(&rows());
-        for cut in [0, 3, 5, 8, bytes.len() / 2, bytes.len() - 1] {
-            assert!(
-                matches!(decode(&bytes[..cut]), Err(Error::Parse { .. })),
-                "truncation at {cut} must fail typed"
-            );
+        for bytes in [encode_rows(&rows()), encode_rows_v2(&rows())] {
+            for cut in [0, 3, 5, 8, bytes.len() / 2, bytes.len() - 1] {
+                assert!(
+                    matches!(decode(&bytes[..cut]), Err(Error::Parse { .. })),
+                    "truncation at {cut} must fail typed"
+                );
+            }
         }
     }
 
@@ -583,6 +1294,85 @@ mod tests {
         let crc = crc32(&bytes);
         put_u32(&mut bytes, crc);
         assert!(matches!(decode(&bytes), Err(Error::Invalid { .. })));
+    }
+
+    #[test]
+    fn selective_decode_reads_only_requested_columns() {
+        let rows = rows();
+        let bytes = encode_rows_v2(&rows);
+        let reader = ColumnReader::open(&bytes).unwrap();
+        let (batch, stats) = reader
+            .read_counted(&ColumnSelection::columns(ColumnSet::AGGREGATE))
+            .unwrap();
+        assert_eq!(batch.len(), rows.len());
+        assert_eq!(batch.dates().len(), rows.len());
+        assert_eq!(batch.countries().len(), rows.len());
+        assert_eq!(batch.download().len(), rows.len());
+        assert!(batch.asns().is_empty());
+        assert!(batch.upload().is_empty());
+        assert!(batch.min_rtt().is_empty());
+        assert!(batch.loss().is_empty());
+        assert_eq!(stats.blocks_total, 1);
+        assert_eq!(stats.blocks_decoded, 1);
+        assert_eq!(stats.columns_decoded, 3);
+        assert!(stats.bytes_decoded < bytes.len());
+    }
+
+    #[test]
+    fn block_pruning_by_date_and_country() {
+        // One row per block (block_rows = 1): dates Jul 14 / Jul 2 /
+        // Jul 30, countries VE / VE / BR.
+        let rows = rows();
+        let bytes = encode_v2_with(&ColumnBatch::from_rows(&rows), 1);
+        let reader = ColumnReader::open(&bytes).unwrap();
+        assert_eq!(reader.block_count(), 3);
+
+        let sel = ColumnSelection::columns(ColumnSet::ALL)
+            .with_dates(Date::ymd(2019, 7, 1), Date::ymd(2019, 7, 10));
+        let (batch, stats) = reader.read_counted(&sel).unwrap();
+        assert_eq!(stats.blocks_decoded, 1);
+        assert_eq!(batch.iter().collect::<Vec<_>>(), vec![rows[1]]);
+
+        let sel = ColumnSelection::columns(ColumnSet::ALL).with_country(country::BR);
+        let (batch, stats) = reader.read_counted(&sel).unwrap();
+        assert_eq!(stats.blocks_decoded, 1);
+        assert_eq!(batch.iter().collect::<Vec<_>>(), vec![rows[2]]);
+
+        let sel = ColumnSelection::columns(ColumnSet::ALL)
+            .with_country(country::VE)
+            .with_dates(Date::ymd(2019, 7, 20), Date::ymd(2019, 7, 31));
+        let (batch, stats) = reader.read_counted(&sel).unwrap();
+        assert_eq!(stats.blocks_decoded, 0);
+        assert!(batch.is_empty());
+        assert_eq!(stats.bytes_decoded, 0);
+
+        let sel = ColumnSelection::columns(ColumnSet::NONE).with_country(country::VE);
+        let (batch, stats) = reader.read_counted(&sel).unwrap();
+        assert_eq!(stats.blocks_decoded, 2);
+        assert_eq!(stats.columns_decoded, 0);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn container_stats_census() {
+        let rows = rows();
+        assert_eq!(container_stats(&encode_rows(&rows)).unwrap(), (3, 1));
+        let bytes = encode_v2_with(&ColumnBatch::from_rows(&rows), 2);
+        assert_eq!(container_stats(&bytes).unwrap(), (3, 2));
+        assert!(container_stats(b"NDTX").is_err());
+    }
+
+    #[test]
+    fn column_set_algebra() {
+        assert!(ColumnSet::ALL.contains(ColumnSet::AGGREGATE));
+        assert!(ColumnSet::AGGREGATE.contains(ColumnSet::DATES));
+        assert!(ColumnSet::AGGREGATE.contains(ColumnSet::COUNTRIES));
+        assert!(ColumnSet::AGGREGATE.contains(ColumnSet::DOWNLOAD));
+        assert!(!ColumnSet::AGGREGATE.contains(ColumnSet::LOSS));
+        assert!(ColumnSet::NONE.is_empty());
+        assert_eq!(ColumnSet::AGGREGATE.count(), 3);
+        assert_eq!(ColumnSet::ALL.count(), 7);
+        assert_eq!(ColumnSet::DATES.union(ColumnSet::LOSS).count(), 2);
     }
 
     #[test]
@@ -618,7 +1408,9 @@ mod tests {
         proptest! {
             /// text shard → columnar encode → decode → text is
             /// byte-identical for arbitrary generated shards, including
-            /// empty and single-row ones (`size 0..` covers both).
+            /// empty and single-row ones (`size 0..` covers both) —
+            /// through both container versions, and v2 at a block size
+            /// small enough to split every multi-row shard.
             #[test]
             fn text_columnar_text_is_byte_identical(
                 specs in proptest::collection::vec(
@@ -634,22 +1426,29 @@ mod tests {
                 let text: String = rows.iter().map(|r| r.to_row() + "\n").collect();
                 let decoded = decode(&encode_rows(&rows)).unwrap();
                 let back: String = decoded.iter().map(|r| r.to_row() + "\n").collect();
-                prop_assert_eq!(back, text);
+                prop_assert_eq!(&back, &text);
+                let batch = ColumnBatch::from_rows(&rows);
+                for block_rows in [3usize, 4096] {
+                    let decoded = decode(&encode_v2_with(&batch, block_rows)).unwrap();
+                    let back: String = decoded.iter().map(|r| r.to_row() + "\n").collect();
+                    prop_assert_eq!(&back, &text);
+                }
             }
 
             /// Arbitrary byte mutations never panic the decoder — they
             /// either still decode (only when the CRC happens to match)
-            /// or fail with a typed error.
+            /// or fail with a typed error. Both versions.
             #[test]
             fn mutated_containers_fail_typed(
                 idx in 0usize..200,
                 mask in 1u8..=255,
             ) {
-                let bytes = encode_rows(&rows());
-                let mut mutated = bytes.clone();
-                let i = idx % mutated.len();
-                mutated[i] ^= mask;
-                let _ = decode(&mutated); // must not panic
+                for bytes in [encode_rows(&rows()), encode_rows_v2(&rows())] {
+                    let mut mutated = bytes;
+                    let i = idx % mutated.len();
+                    mutated[i] ^= mask;
+                    let _ = decode(&mutated); // must not panic
+                }
             }
         }
 

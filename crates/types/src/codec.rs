@@ -180,6 +180,33 @@ mod tests {
     }
 
     #[test]
+    fn ten_byte_varints_pin_the_shift_63_boundary() {
+        // The widest legal varint: nine continuation bytes then 0x01 —
+        // exactly the top bit of the u64 — decodes to u64::MAX.
+        let max = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&max, &mut pos).unwrap(), u64::MAX);
+        assert_eq!(pos, 10);
+        // One step past it: a tenth byte carrying more than that single
+        // bit would need a 65th value bit. Rejected, not wrapped — the
+        // guard fires on the byte itself, before any shift overflows.
+        let over = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        let mut pos = 0;
+        assert!(read_uvarint(&over, &mut pos).is_err());
+        // 0x02 in the tenth byte is the smallest overflowing payload.
+        let barely = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut pos = 0;
+        assert!(read_uvarint(&barely, &mut pos).is_err());
+        // The same wire bytes read as a zigzag varint are i64::MIN — the
+        // signed extreme rides the unsigned one.
+        let mut pos = 0;
+        assert_eq!(read_ivarint(&max, &mut pos).unwrap(), i64::MIN);
+        let mut buf = Vec::new();
+        put_ivarint(&mut buf, i64::MIN);
+        assert_eq!(buf, max);
+    }
+
+    #[test]
     fn zigzag_maps_small_magnitudes_to_small_codes() {
         assert_eq!(zigzag(0), 0);
         assert_eq!(zigzag(-1), 1);

@@ -111,6 +111,47 @@ fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// Percent-decode `s`, rejecting malformed escapes instead of passing
+/// them through (`+` still decodes to a space). `None` on a `%` not
+/// followed by two hex digits — the strict counterpart of the lossy
+/// decoding [`Request::query_pairs`] applies.
+pub fn percent_decode_strict(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let b = u8::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                out.push(b);
+                i += 2;
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    Some(String::from_utf8_lossy(&out).into_owned())
+}
+
+/// Normalize a raw query string into its canonical pair list: strict
+/// percent-decoding (malformed escapes → `None`), duplicate keys
+/// resolved last-key-wins, keys sorted. Two spellings of the same query
+/// (`?format=tsv`, `?format=%74sv`, `?format=json&format=tsv`) normalize
+/// to the same list — the property response caches key on.
+pub fn normalize_query(query: &str) -> Option<Vec<(String, String)>> {
+    let mut pairs = std::collections::BTreeMap::new();
+    for part in query.split('&').filter(|part| !part.is_empty()) {
+        let (k, v) = match part.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (part, ""),
+        };
+        pairs.insert(percent_decode_strict(k)?, percent_decode_strict(v)?);
+    }
+    Some(pairs.into_iter().collect())
+}
+
 /// Why a request could not be read. Every protocol-level variant carries
 /// the status code the server should answer with before closing.
 #[derive(Debug)]
@@ -308,11 +349,27 @@ pub fn read_request(reader: &mut impl BufRead, limits: &Limits) -> Result<Reques
     {
         return Err(HttpError::BadRequest("transfer-encoding not supported"));
     }
-    if let Some(raw) = request.header("content-length") {
-        let len: usize = raw
-            .trim()
-            .parse()
-            .map_err(|_| HttpError::BadRequest("malformed content-length"))?;
+    // Every Content-Length field (and every member of a comma-folded
+    // list) must agree; conflicting declarations are the classic request
+    // smuggling vector and are refused outright (RFC 9112 §6.3).
+    let mut declared: Option<usize> = None;
+    for (_, raw) in request
+        .headers
+        .iter()
+        .filter(|(n, _)| n == "content-length")
+    {
+        for part in raw.split(',') {
+            let len: usize = part
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::BadRequest("malformed content-length"))?;
+            if declared.is_some_and(|prev| prev != len) {
+                return Err(HttpError::BadRequest("conflicting content-length"));
+            }
+            declared = Some(len);
+        }
+    }
+    if let Some(len) = declared {
         if len > limits.max_body {
             return Err(HttpError::PayloadTooLarge);
         }
@@ -577,6 +634,68 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_content_lengths_must_agree() {
+        // Agreeing duplicates (and comma-folded lists) frame one body.
+        let ok = parse(b"POST /x HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 4\r\n\r\nabcd")
+            .unwrap();
+        assert_eq!(ok.body, b"abcd");
+        let folded = parse(b"POST /x HTTP/1.1\r\ncontent-length: 4, 4\r\n\r\nabcd").unwrap();
+        assert_eq!(folded.body, b"abcd");
+        // Conflicting declarations — across fields or inside one list —
+        // are typed 400s, not a silent first-value pick.
+        for wire in [
+            b"POST /x HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 5\r\n\r\nabcd".as_slice(),
+            b"POST /x HTTP/1.1\r\ncontent-length: 4, 5\r\n\r\nabcd".as_slice(),
+            b"POST /x HTTP/1.1\r\ncontent-length: 4,\r\n\r\nabcd".as_slice(),
+        ] {
+            let err = parse(wire).unwrap_err();
+            assert_eq!(err.status(), Some(400), "wire {wire:?}");
+        }
+        assert!(
+            parse(b"POST /x HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 5\r\n\r\nabcd")
+                .unwrap_err()
+                .to_string()
+                .contains("conflicting content-length")
+        );
+    }
+
+    #[test]
+    fn strict_percent_decoding_rejects_malformed_escapes() {
+        assert_eq!(percent_decode_strict("t%73v"), Some("tsv".to_owned()));
+        assert_eq!(percent_decode_strict("a+b"), Some("a b".to_owned()));
+        assert_eq!(percent_decode_strict("%zz"), None);
+        assert_eq!(percent_decode_strict("%f"), None);
+        assert_eq!(percent_decode_strict("trailing%"), None);
+    }
+
+    #[test]
+    fn normalized_queries_are_canonical() {
+        // Last key wins, escapes decode, keys sort: every spelling of
+        // the same query lands on one canonical pair list.
+        let canonical = normalize_query("format=tsv").unwrap();
+        assert_eq!(normalize_query("format=%74sv").unwrap(), canonical);
+        assert_eq!(
+            normalize_query("format=json&format=tsv").unwrap(),
+            canonical
+        );
+        assert_eq!(
+            normalize_query("b=2&a=1").unwrap(),
+            vec![
+                ("a".to_owned(), "1".to_owned()),
+                ("b".to_owned(), "2".to_owned()),
+            ]
+        );
+        assert_eq!(normalize_query("").unwrap(), Vec::new());
+        assert_eq!(
+            normalize_query("flag").unwrap(),
+            vec![("flag".to_owned(), String::new())]
+        );
+        // A malformed escape anywhere poisons the whole query.
+        assert_eq!(normalize_query("format=%zzv"), None);
+        assert_eq!(normalize_query("a=1&%fgkey=2"), None);
+    }
+
+    #[test]
     fn query_decoding() {
         let req = parse(b"GET /x?a=1&b=two+words&c=%2Fslash&flag HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(
@@ -658,6 +777,55 @@ mod tests {
             prop_assert_eq!(req.path, path);
             prop_assert_eq!(req.query, query);
             prop_assert_eq!(req.body, body);
+        }
+
+        #[test]
+        fn duplicate_content_lengths_agree_or_400(
+            a in 0usize..64,
+            b in 0usize..64,
+            body in proptest::collection::vec(any::<u8>(), 64..80),
+        ) {
+            // Two Content-Length fields: the request parses iff they
+            // agree (framing exactly `a` bytes); any disagreement is a
+            // typed 400 — never a body framed by whichever value the
+            // parser happened to see first.
+            let wire = [
+                format!(
+                    "POST /x HTTP/1.1\r\ncontent-length: {a}\r\ncontent-length: {b}\r\n\r\n"
+                )
+                .into_bytes(),
+                body.clone(),
+            ]
+            .concat();
+            match parse(&wire) {
+                Ok(req) => {
+                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(req.body, body[..a].to_vec());
+                }
+                Err(e) => {
+                    prop_assert_ne!(a, b);
+                    prop_assert_eq!(e.status(), Some(400));
+                }
+            }
+        }
+
+        #[test]
+        fn normalized_queries_ignore_escape_spelling(
+            key in proptest::collection::vec(97u8..123, 1..8),
+            value in proptest::collection::vec(97u8..123, 1..8),
+        ) {
+            let key = String::from_utf8(key).unwrap();
+            let value = String::from_utf8(value).unwrap();
+            // Hex-escaping any byte of the value must normalize to the
+            // same pairs as the plain spelling.
+            let escaped: String = value
+                .bytes()
+                .map(|b| format!("%{b:02x}"))
+                .collect();
+            prop_assert_eq!(
+                normalize_query(&format!("{key}={value}")).unwrap(),
+                normalize_query(&format!("{key}={escaped}")).unwrap()
+            );
         }
 
         #[test]

@@ -38,10 +38,57 @@ fn archive_source_for(format: ShardFormat) -> &'static DataSource<'static> {
             std::env::temp_dir().join(format!("lacnet-roundtrip-{format}-{}", std::process::id()));
         let options = DumpOptions {
             shard_format: format,
-            force: false,
+            ..DumpOptions::default()
         };
         datasets::dump_with(world(), &dir, options).expect("dump succeeds");
         DataSource::from_archive_with(&dir, Some(format)).expect("archive loads")
+    })
+}
+
+/// A columnar tree written in the frozen v1 single-block container
+/// (what `lacnet-gen --ndtc-v1` produces) — the legacy layout the
+/// version-dispatch read path must keep serving.
+fn v1_archive_source() -> &'static DataSource<'static> {
+    static V1: OnceLock<DataSource<'static>> = OnceLock::new();
+    V1.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("lacnet-roundtrip-v1-{}", std::process::id()));
+        let options = DumpOptions {
+            shard_format: ShardFormat::Columnar,
+            columnar_v1: true,
+            ..DumpOptions::default()
+        };
+        datasets::dump_with(world(), &dir, options).expect("v1 dump succeeds");
+        DataSource::from_archive_with(&dir, Some(ShardFormat::Columnar)).expect("v1 archive loads")
+    })
+}
+
+/// A mid-migration tree: a v2 dump with every Venezuelan shard resealed
+/// in the v1 container. Loading it exercises both decoders inside one
+/// archive walk — exactly what an interrupted re-dump leaves behind.
+fn mixed_archive_source() -> &'static DataSource<'static> {
+    static MIXED: OnceLock<DataSource<'static>> = OnceLock::new();
+    MIXED.get_or_init(|| {
+        let dir =
+            std::env::temp_dir().join(format!("lacnet-roundtrip-mixed-{}", std::process::id()));
+        let options = DumpOptions {
+            shard_format: ShardFormat::Columnar,
+            ..DumpOptions::default()
+        };
+        datasets::dump_with(world(), &dir, options).expect("mixed dump succeeds");
+        let mut resealed = 0usize;
+        for entry in std::fs::read_dir(dir.join("mlab/VE")).expect("VE shard dir") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().and_then(|e| e.to_str()) != Some("ndtc") {
+                continue;
+            }
+            let bytes = std::fs::read(&path).expect("shard bytes");
+            let batch = lacnet::mlab::columnar::decode(&bytes).expect("shard decodes");
+            std::fs::write(&path, lacnet::mlab::columnar::encode(&batch)).expect("v1 reseal");
+            resealed += 1;
+        }
+        assert!(resealed > 0, "mixed tree resealed no shards");
+        DataSource::from_archive_with(&dir, Some(ShardFormat::Columnar))
+            .expect("mixed archive loads")
     })
 }
 
@@ -139,6 +186,103 @@ fn columnar_archive_battery_matches_golden_fixtures() {
             expected,
             "{} from the columnar archive diverges from its golden fixture",
             result.id
+        );
+    }
+}
+
+#[test]
+fn v1_and_mixed_columnar_trees_serve_the_identical_battery() {
+    // The container-version matrix: pure-v1 and mixed v1/v2 trees must
+    // land the whole battery on the same bytes as the text tree — the
+    // format-evolution contract (readers dispatch on the frozen header
+    // byte; writers never change what decoders observe).
+    let text = archive_results_for(ShardFormat::Text);
+    for (label, src) in [
+        ("v1", v1_archive_source()),
+        ("mixed", mixed_archive_source()),
+    ] {
+        let mut results = experiments::all(src);
+        results.extend(extensions::all(src));
+        assert_eq!(text.len(), results.len());
+        for (t, r) in text.iter().zip(&results) {
+            assert_eq!(t.id, r.id, "battery order differs on the {label} tree");
+            assert_eq!(
+                canonical_tsv(t),
+                canonical_tsv(r),
+                "{} diverges between the text tree and the {label} columnar tree",
+                t.id
+            );
+        }
+    }
+}
+
+#[test]
+fn single_month_query_decodes_only_the_matching_shard_bytes() {
+    use lacnet::types::country;
+    let src = archive_source_for(ShardFormat::Columnar);
+    let (month, _) = src
+        .mlab()
+        .median_series(country::VE)
+        .last()
+        .expect("test world has VE data");
+    let stats = src
+        .ndt_month_stats(country::VE, month)
+        .expect("query succeeds")
+        .expect("shard exists");
+    assert_eq!(stats.format, "columnar-v2");
+    assert!(stats.rows > 0);
+    // The counting reader saw only the matching blocks, and of those
+    // only the download column the query asked for.
+    assert!(stats.read.blocks_decoded >= 1);
+    assert!(stats.read.blocks_decoded <= stats.read.blocks_total);
+    assert_eq!(stats.read.columns_decoded, stats.read.blocks_decoded);
+    // The decoded bytes are a strict subset of the one matching shard
+    // and a sliver of the tree's whole columnar payload.
+    let DataSource::Archive(archive) = src else {
+        panic!("columnar source is archive-backed");
+    };
+    let shard_len = std::fs::read(archive.root().join(format!("mlab/VE/ndt-{month}.ndtc")))
+        .expect("matching shard")
+        .len();
+    let mut tree_total = 0usize;
+    for country_dir in std::fs::read_dir(archive.root().join("mlab")).expect("mlab dir") {
+        let country_dir = country_dir.expect("entry").path();
+        if !country_dir.is_dir() {
+            continue;
+        }
+        for shard in std::fs::read_dir(&country_dir).expect("country dir") {
+            let shard = shard.expect("entry").path();
+            if shard.extension().and_then(|e| e.to_str()) == Some("ndtc") {
+                tree_total += std::fs::metadata(&shard).expect("metadata").len() as usize;
+            }
+        }
+    }
+    assert!(
+        stats.read.bytes_decoded < shard_len,
+        "query decoded {} of the {shard_len}-byte shard",
+        stats.read.bytes_decoded
+    );
+    assert!(
+        stats.read.bytes_decoded * 4 < tree_total,
+        "query decoded {} of the {tree_total}-byte tree",
+        stats.read.bytes_decoded
+    );
+    // Every storage format answers the same numbers: the v1 container
+    // and the text rows take their full-decode paths and still land on
+    // the identical count and bit-identical P² median.
+    for (label, other) in [
+        ("columnar-v1", v1_archive_source()),
+        ("text", archive_source_for(ShardFormat::Text)),
+    ] {
+        let answer = other
+            .ndt_month_stats(country::VE, month)
+            .expect("query succeeds")
+            .expect("shard exists");
+        assert_eq!(answer.format, label);
+        assert_eq!(answer.rows, stats.rows, "{label} row count diverges");
+        assert_eq!(
+            answer.median_download, stats.median_download,
+            "{label} median diverges"
         );
     }
 }

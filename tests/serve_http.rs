@@ -210,7 +210,9 @@ fn health_archive_and_endpoint_listing() {
 #[test]
 fn metrics_report_a_positive_hit_ratio_under_repeated_traffic() {
     let addr = shared_server();
-    for _ in 0..3 {
+    // Five requests: enough to warm the P² latency sketch past its
+    // initialization threshold, so the quantile series is exposed.
+    for _ in 0..5 {
         let (status, _, _) = http_get(addr, "/fig/01?format=tsv");
         assert_eq!(status, 200);
     }
@@ -353,6 +355,95 @@ fn keep_alive_connection_serves_pipelined_requests() {
     let mut rest = Vec::new();
     reader.read_to_end(&mut rest).expect("eof");
     assert!(rest.is_empty());
+}
+
+#[test]
+fn conflicting_content_lengths_are_rejected_on_the_wire() {
+    let addr = shared_server();
+    // Disagreeing Content-Length declarations — across fields or inside
+    // one comma-folded list — are the request-smuggling vector; the
+    // server answers 400 instead of picking one framing.
+    assert_eq!(
+        raw_status(
+            addr,
+            b"GET /healthz HTTP/1.1\r\ncontent-length: 0\r\ncontent-length: 5\r\n\r\n"
+        ),
+        400
+    );
+    assert_eq!(
+        raw_status(
+            addr,
+            b"GET /healthz HTTP/1.1\r\ncontent-length: 0, 5\r\n\r\n"
+        ),
+        400
+    );
+    // Agreeing duplicates frame one body and the request goes through.
+    assert_eq!(
+        raw_status(
+            addr,
+            b"GET /healthz HTTP/1.1\r\ncontent-length: 0\r\ncontent-length: 0\r\nconnection: close\r\n\r\n"
+        ),
+        200
+    );
+}
+
+#[test]
+fn query_spellings_normalize_on_the_wire() {
+    let addr = shared_server();
+    // Escaped, duplicated and plain spellings of `format=tsv` serve the
+    // identical body; a malformed escape is a typed 400.
+    let (status, _, plain) = http_get(addr, "/fig/02?format=tsv");
+    assert_eq!(status, 200);
+    let (status, headers, escaped) = http_get(addr, "/fig/02?format=%74sv");
+    assert_eq!(status, 200);
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v.starts_with("text/tab-separated-values")));
+    assert_eq!(plain, escaped);
+    let (status, _, duplicated) = http_get(addr, "/fig/02?format=json&format=tsv");
+    assert_eq!(status, 200);
+    assert_eq!(plain, duplicated);
+    let (status, _, _) = http_get(addr, "/fig/02?format=%zzv");
+    assert_eq!(status, 400);
+}
+
+#[test]
+fn ndt_month_query_serves_selective_read_stats() {
+    let addr = shared_server();
+    // Pick a real (VE, month) label off the archive's shard index.
+    let source = archive_source();
+    let (month, _) = source
+        .mlab()
+        .median_series(lacnet::types::country::VE)
+        .last()
+        .expect("test world has VE data");
+    let (status, headers, body) = http_get(addr, &format!("/ndt/VE/{month}"));
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v.starts_with("application/json")));
+    let json =
+        lacnet::types::json::Json::parse(std::str::from_utf8(&body).expect("utf8")).expect("json");
+    assert_eq!(json.get("country").and_then(|v| v.as_str()), Some("VE"));
+    assert!(json.get("rows").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    // The archive serves the dumped tree's native format and reports
+    // what the read touched.
+    let fmt = json.get("format").and_then(|v| v.as_str()).expect("format");
+    assert!(
+        fmt == "text" || fmt.starts_with("columnar"),
+        "unexpected backing format {fmt}"
+    );
+    assert!(json.get("read").is_some());
+    // The repeat serves byte-identical cached bytes.
+    let (_, _, again) = http_get(addr, &format!("/ndt/VE/{month}"));
+    assert_eq!(body, again);
+    // Absent months are 404s, malformed paths 400s — typed, never hangs.
+    let (status, _, _) = http_get(addr, "/ndt/VE/1805-12");
+    assert_eq!(status, 404);
+    let (status, _, _) = http_get(addr, "/ndt/VE/whenever");
+    assert_eq!(status, 400);
+    let (status, _, _) = http_get(addr, "/ndt/VEN/2020-01");
+    assert_eq!(status, 400);
 }
 
 #[test]
