@@ -2,8 +2,17 @@
 //! its native archive format.
 //!
 //! ```text
-//! lacnet-gen --out DIR [--seed N] [--test-world] [--shard-format text|columnar] [--ndtc-v1] [--force] [--verify]
+//! lacnet-gen --out DIR [--seed N] [--test-world] [--scenario NAME|FILE]
+//!            [--shard-format text|columnar] [--ndtc-v1] [--force] [--verify]
+//! lacnet-gen --list-scenarios
 //! ```
+//!
+//! `--scenario` selects a built-in scenario by name (`--list-scenarios`
+//! prints the inventory) or loads a `.toml` sidecar from a path. The
+//! default is the paper's Venezuela storyline, whose tree is
+//! byte-identical to a no-flag dump; non-default scenarios stamp their
+//! fingerprint into every `mlab/manifest.tsv` shard record and write a
+//! `world/scenario.toml` sidecar the loader reapplies.
 //!
 //! `--ndtc-v1` writes columnar shards in the frozen v1 single-block
 //! container instead of the footer-indexed v2 layout — for producing
@@ -15,17 +24,19 @@
 //! after `--test-world` overrides the test seed.
 //!
 //! Re-running over an existing tree refreshes incrementally: NDT shards
-//! whose inputs (seed, per-country volume scale, format) are unchanged
-//! per `mlab/manifest.tsv` are left untouched unless `--force` is given.
+//! whose inputs (seed, per-country volume scale, scenario, format) are
+//! unchanged per `mlab/manifest.tsv` are left untouched unless `--force`
+//! is given.
 
 use lacnet_core::datasets::{self, DumpOptions};
-use lacnet_crisis::{World, WorldConfig};
+use lacnet_crisis::{Scenario, World, WorldConfig};
 use lacnet_mlab::ShardFormat;
 use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut config = WorldConfig::default();
+    let mut scenario = Scenario::venezuela();
     let mut out: Option<PathBuf> = None;
     let mut verify = false;
     let mut options = DumpOptions::default();
@@ -47,6 +58,21 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
+            "--scenario" => {
+                i += 1;
+                let spec = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--scenario needs a built-in name or a .toml path"));
+                scenario =
+                    Scenario::load(spec).unwrap_or_else(|e| die(&format!("--scenario: {e}")));
+            }
+            "--list-scenarios" => {
+                for name in Scenario::builtin_names() {
+                    let s = Scenario::builtin(name).expect("builtin scenario parses");
+                    println!("{name}\t{}", s.description);
+                }
+                return;
+            }
             "--shard-format" => {
                 i += 1;
                 options.shard_format = args
@@ -60,7 +86,7 @@ fn main() {
             "--verify" => verify = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: lacnet-gen --out DIR [--seed N] [--test-world] [--shard-format text|columnar] [--ndtc-v1] [--force] [--verify]"
+                    "usage: lacnet-gen --out DIR [--seed N] [--test-world] [--scenario NAME|FILE] [--shard-format text|columnar] [--ndtc-v1] [--force] [--verify]\n       lacnet-gen --list-scenarios"
                 );
                 return;
             }
@@ -70,8 +96,11 @@ fn main() {
     }
     let out = out.unwrap_or_else(|| die("--out is required"));
 
-    eprintln!("generating world (seed {:#x}) …", config.seed);
-    let world = World::generate(config);
+    eprintln!(
+        "generating world (seed {:#x}, scenario {}) …",
+        config.seed, scenario.name
+    );
+    let world = World::generate_with(config, scenario);
     let summary = datasets::dump_with(&world, &out, options)
         .unwrap_or_else(|e| die(&format!("dump failed: {e}")));
     println!(

@@ -2,18 +2,30 @@
 //! generated world or from a dumped archive tree.
 //!
 //! ```text
-//! vzla-report [--seed N] [--from-archive DIR] [--shard-format auto|text|columnar]
-//!             [--csv DIR] [--only figNN[,figMM…]]
+//! vzla-report [--seed N] [--test-world] [--from-archive DIR]
+//!             [--shard-format auto|text|columnar] [--scenario NAME|FILE]
+//!             [--matrix NAME|FILE,NAME|FILE,…]
+//!             [--csv DIR] [--markdown FILE] [--only figNN[,figMM…]]
 //! ```
+//!
+//! `--scenario` runs the battery on one non-default world; `--matrix`
+//! generates one world per listed scenario on sweep workers and prints a
+//! per-scenario summary table. The paper's match tolerances describe the
+//! Venezuela storyline only, so divergence gates the exit status only
+//! for the default scenario — counterfactual worlds are *expected* to
+//! diverge from the paper's endpoints.
 
 use lacnet_core::{experiments, render, DataSource};
-use lacnet_crisis::{World, WorldConfig};
+use lacnet_crisis::{Scenario, World, WorldConfig};
 use lacnet_mlab::ShardFormat;
+use lacnet_types::sweep;
 use std::io::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut config = WorldConfig::default();
+    let mut scenario = Scenario::venezuela();
+    let mut matrix: Option<Vec<Scenario>> = None;
     let mut csv_dir: Option<String> = None;
     let mut markdown: Option<String> = None;
     let mut only: Option<Vec<String>> = None;
@@ -30,12 +42,35 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
+            "--test-world" => config = WorldConfig::test(),
             "--from-archive" => {
                 i += 1;
                 archive = Some(std::path::PathBuf::from(
                     args.get(i)
                         .unwrap_or_else(|| die("--from-archive needs a directory")),
                 ));
+            }
+            "--scenario" => {
+                i += 1;
+                let spec = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--scenario needs a built-in name or a .toml path"));
+                scenario =
+                    Scenario::load(spec).unwrap_or_else(|e| die(&format!("--scenario: {e}")));
+            }
+            "--matrix" => {
+                i += 1;
+                let list = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--matrix needs a comma-separated scenario list"));
+                matrix = Some(
+                    list.split(',')
+                        .map(|spec| {
+                            Scenario::load(spec.trim())
+                                .unwrap_or_else(|e| die(&format!("--matrix: {e}")))
+                        })
+                        .collect(),
+                );
             }
             "--shard-format" => {
                 i += 1;
@@ -74,12 +109,52 @@ fn main() {
                 );
             }
             "--help" | "-h" => {
-                println!("usage: vzla-report [--seed N] [--from-archive DIR] [--shard-format auto|text|columnar] [--csv DIR] [--markdown FILE] [--only figNN,...]");
+                println!("usage: vzla-report [--seed N] [--test-world] [--from-archive DIR] [--shard-format auto|text|columnar] [--scenario NAME|FILE] [--matrix LIST] [--csv DIR] [--markdown FILE] [--only figNN,...]");
                 return;
             }
             other => die(&format!("unknown argument {other}")),
         }
         i += 1;
+    }
+    if archive.is_some() && (!scenario.is_default() || matrix.is_some()) {
+        die("--scenario/--matrix apply to generated worlds; an archive carries its own world/scenario.toml sidecar");
+    }
+
+    // Matrix mode: one world per scenario, generated and measured on
+    // sweep workers, reported as a summary table. The exit status gates
+    // only on the default scenario — the counterfactuals diverge from
+    // the paper's endpoints by construction.
+    if let Some(scenarios) = matrix {
+        eprintln!(
+            "scenario matrix: {} worlds (seed {:#x}) …",
+            scenarios.len(),
+            config.seed
+        );
+        let t0 = std::time::Instant::now();
+        let rows = sweep::parallel_map_with(
+            sweep::worker_count(scenarios.len()),
+            &scenarios,
+            |sc: &Scenario| {
+                let world = World::generate_with(config, sc.clone());
+                let source = DataSource::in_memory(&world);
+                let mut results = experiments::all(&source);
+                results.extend(lacnet_core::extensions::all(&source));
+                let ok = results.iter().filter(|r| r.all_match()).count();
+                (sc.name.clone(), sc.is_default(), ok, results.len() - ok)
+            },
+        );
+        println!("scenario\tdefault\tmatched\tdiverged");
+        for (name, is_default, ok, diverged) in &rows {
+            println!("{name}\t{is_default}\t{ok}\t{diverged}");
+        }
+        eprintln!("matrix done in {:.1?}", t0.elapsed());
+        if rows
+            .iter()
+            .any(|(_, is_default, _, d)| *is_default && *d > 0)
+        {
+            std::process::exit(1);
+        }
+        return;
     }
 
     // Either backend feeds the identical battery: the world held in
@@ -92,16 +167,20 @@ fn main() {
             let src = DataSource::from_archive_with(dir, shard_format)
                 .unwrap_or_else(|e| die(&format!("archive load failed: {e}")));
             eprintln!(
-                "archive parsed in {:.1?} (seed {:#x}); running experiments …",
+                "archive parsed in {:.1?} (seed {:#x}, scenario {}); running experiments …",
                 t0.elapsed(),
-                src.config().seed
+                src.config().seed,
+                src.scenario().name,
             );
             src
         }
         None => {
-            eprintln!("generating world (seed {:#x}) …", config.seed);
+            eprintln!(
+                "generating world (seed {:#x}, scenario {}) …",
+                config.seed, scenario.name
+            );
             let t0 = std::time::Instant::now();
-            world = World::generate(config);
+            world = World::generate_with(config, scenario);
             eprintln!(
                 "world ready in {:.1?}; prewarming pfx2as snapshots and CANTV cones …",
                 t0.elapsed()
@@ -123,6 +202,7 @@ fn main() {
     };
 
     let seed = source.config().seed;
+    let default_scenario = source.scenario().is_default();
     let mut results = experiments::all(&source);
     results.extend(lacnet_core::extensions::all(&source));
     let mut ok = 0usize;
@@ -155,8 +235,13 @@ fn main() {
         eprintln!("wrote {path}");
     }
     println!("\n{ok} experiments matched (22 paper artifacts + extensions), {diverged} diverged.");
-    if diverged > 0 {
+    if diverged > 0 && default_scenario {
         std::process::exit(1);
+    }
+    if diverged > 0 {
+        eprintln!(
+            "note: divergence under a non-default scenario is expected; exit status not gated"
+        );
     }
 }
 

@@ -201,17 +201,27 @@ fn shard_census(bytes: &[u8], format: ShardFormat) -> io::Result<(u64, u64)> {
 const SHARD_GEN_VERSION: &str = "v2";
 
 /// The fingerprint of everything a shard's bytes depend on: generator
-/// version, on-disk codec (text / columnar v2 / columnar v1), seed, and
-/// the country's effective volume scale (plus the shard label itself).
-/// A re-dump may skip any shard whose fingerprint is unchanged — shard
-/// generation is a pure function of these inputs.
-fn shard_fingerprint(config: &WorldConfig, codec_tag: &str, shard: bandwidth::NdtShard) -> u64 {
+/// version, on-disk codec (text / columnar v2 / columnar v1), seed, the
+/// country's effective volume scale (plus the shard label itself), and —
+/// for non-default scenarios only — the scenario fingerprint. The default
+/// (Venezuela) scenario adds nothing, so trees dumped before the scenario
+/// layer existed stay fresh under it; switching scenarios changes every
+/// shard's fingerprint and forces a full rewrite.
+fn shard_fingerprint(
+    config: &WorldConfig,
+    scenario: &lacnet_crisis::Scenario,
+    codec_tag: &str,
+    shard: bandwidth::NdtShard,
+) -> u64 {
     let (cc, month) = shard;
-    let key = format!(
+    let mut key = format!(
         "ndt-shard/{SHARD_GEN_VERSION}/{codec_tag}/{}/{}/{cc}/{month}",
         config.seed,
         config.mlab_scale_for(cc),
     );
+    if !scenario.is_default() {
+        let _ = write!(key, "/scn{:016x}", scenario.fingerprint());
+    }
     codec::fnv1a64(key.as_bytes())
 }
 
@@ -289,6 +299,22 @@ pub fn dump_with(world: &World, root: &Path, options: DumpOptions) -> io::Result
         &world.config.to_text(),
         &mut summary,
     )?;
+
+    // The scenario sidecar — written only for non-default scenarios, so
+    // default trees keep their historical file set byte for byte. The
+    // loader applies the sidecar's overlays when regenerating; a missing
+    // sidecar means the default (Venezuela) scenario. A stale sidecar
+    // from a previous non-default dump is removed.
+    if world.scenario.is_default() {
+        let _ = fs::remove_file(root.join("world/scenario.toml"));
+    } else {
+        write(
+            root,
+            "world/scenario.toml",
+            &world.scenario.to_toml(),
+            &mut summary,
+        )?;
+    }
 
     // Derive the monthly pfx2as tables across workers before the
     // sequential write loop below reads them one by one.
@@ -403,7 +429,7 @@ pub fn dump_with(world: &World, root: &Path, options: DumpOptions) -> io::Result
         .iter()
         .map(|&shard| {
             let (cc, month) = shard;
-            let fingerprint = shard_fingerprint(&world.config, codec_tag, shard);
+            let fingerprint = shard_fingerprint(&world.config, &world.scenario, codec_tag, shard);
             let rel = mlab_shard_path_with(shard, fmt);
             let fresh = !options.force
                 && previous.get(&format!("{cc}/{month}")).is_some_and(|rec| {
@@ -419,13 +445,9 @@ pub fn dump_with(world: &World, root: &Path, options: DumpOptions) -> io::Result
             if !rebuild {
                 return None;
             }
-            let (cc, _) = shard;
-            let rows = bandwidth::generate_shard(
-                &world.operators,
-                world.config.seed,
-                world.config.mlab_scale_for(cc),
-                shard,
-            );
+            let (cc, month) = shard;
+            let scale = world.config.mlab_scale_for(cc) * world.scenario.mlab_factor(cc, month);
+            let rows = bandwidth::generate_shard(&world.operators, world.config.seed, scale, shard);
             Some(match fmt {
                 ShardFormat::Text => {
                     let mut text = String::new();
@@ -485,7 +507,7 @@ pub fn dump_with(world: &World, root: &Path, options: DumpOptions) -> io::Result
         let _ = writeln!(
             shard_manifest,
             "{label}\t{:016x}\t{content_hash:016x}\t{rel}",
-            shard_fingerprint(&world.config, codec_tag, shard),
+            shard_fingerprint(&world.config, &world.scenario, codec_tag, shard),
         );
         let _ = writeln!(shard_index, "{label}\t{rel}\t{rows}\t{blocks}");
     }
@@ -533,11 +555,12 @@ pub fn dump_with(world: &World, root: &Path, options: DumpOptions) -> io::Result
     }
 
     // Daily reachability for the blackout year, one file per country.
-    let reach = blackouts::daily_reachability(
+    let reach = blackouts::daily_reachability_with(
         &world.dns,
         Date::ymd(2019, 1, 1),
         Date::ymd(2019, 12, 31),
         world.config.seed,
+        &world.scenario,
     );
     for (cc, series) in &reach {
         write(
@@ -635,6 +658,8 @@ pub fn verify(root: &Path) -> Result<usize> {
             lacnet_atlas::traceroute::parse_traceroutes(&text)?;
         } else if rel.starts_with("atlas/reachability") {
             lacnet_atlas::outages::ReachabilitySeries::parse_tsv(&text)?;
+        } else if rel == "world/scenario.toml" {
+            lacnet_crisis::Scenario::parse(&text).map_err(lacnet_types::Error::from)?;
         } else if rel.starts_with("world/") {
             lacnet_crisis::WorldConfig::parse(&text)?;
         } else if rel.starts_with("atlas/") || rel == "MANIFEST.txt" {

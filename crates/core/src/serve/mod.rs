@@ -71,12 +71,20 @@ pub struct ServerState {
     metrics: Metrics,
     archive_body: String,
     endpoints_body: String,
+    scenarios_body: String,
+    /// Lazily generated worlds backing `/scenario/{name}/…` routes for
+    /// scenarios other than the resident one, keyed by scenario name.
+    /// Each entry carries its own fingerprint, so scenario-scoped
+    /// responses occupy distinct LRU slots.
+    scenario_sources: Mutex<std::collections::BTreeMap<String, (Arc<DataSource<'static>>, String)>>,
 }
 
 /// The archive fingerprint a source serves under: the FNV-1a hash of
 /// `mlab/manifest.tsv` for archive backends (a re-dump rewrites the
-/// manifest, so the fingerprint — and every cache key — changes), the
-/// hash of the generating config for in-memory backends.
+/// manifest, so the fingerprint — and every cache key — changes; a
+/// scenario switch rewrites every shard fingerprint in it), the hash of
+/// the generating config — folded with the scenario fingerprint for
+/// non-default scenarios — for in-memory backends.
 pub fn source_fingerprint(source: &DataSource) -> String {
     match source {
         DataSource::Archive(a) => {
@@ -85,7 +93,11 @@ pub fn source_fingerprint(source: &DataSource) -> String {
             format!("{:016x}", codec::fnv1a64(&manifest))
         }
         DataSource::InMemory(w) => {
-            format!("{:016x}", codec::fnv1a64(w.config.to_text().as_bytes()))
+            let mut key = w.config.to_text();
+            if !w.scenario.is_default() {
+                key.push_str(&format!("scenario\t{:016x}\n", w.scenario.fingerprint()));
+            }
+            format!("{:016x}", codec::fnv1a64(key.as_bytes()))
         }
     }
 }
@@ -177,6 +189,40 @@ impl ServerState {
                 .collect(),
         )
         .to_text();
+        let resident = source.scenario().name.clone();
+        let mut scenario_rows: Vec<Json> = Vec::new();
+        let mut listed_resident = false;
+        for name in lacnet_crisis::Scenario::builtin_names() {
+            let s = lacnet_crisis::Scenario::builtin(name).expect("builtin scenario parses");
+            listed_resident |= s.name == resident;
+            scenario_rows.push(Json::Obj(vec![
+                ("name".into(), Json::Str(s.name.clone())),
+                ("description".into(), Json::Str(s.description.clone())),
+                (
+                    "fingerprint".into(),
+                    Json::Str(format!("{:016x}", s.fingerprint())),
+                ),
+                ("default".into(), Json::Bool(s.is_default())),
+                ("resident".into(), Json::Bool(s.name == resident)),
+            ]));
+        }
+        if !listed_resident {
+            // The resident source runs a custom (file-loaded) scenario:
+            // list it too, so the inventory always covers every routable
+            // name.
+            let s = source.scenario();
+            scenario_rows.push(Json::Obj(vec![
+                ("name".into(), Json::Str(s.name.clone())),
+                ("description".into(), Json::Str(s.description.clone())),
+                (
+                    "fingerprint".into(),
+                    Json::Str(format!("{:016x}", s.fingerprint())),
+                ),
+                ("default".into(), Json::Bool(s.is_default())),
+                ("resident".into(), Json::Bool(true)),
+            ]));
+        }
+        let scenarios_body = Json::Arr(scenario_rows).to_text();
         ServerState {
             source,
             fingerprint,
@@ -184,6 +230,8 @@ impl ServerState {
             metrics: Metrics::new(),
             archive_body,
             endpoints_body,
+            scenarios_body,
+            scenario_sources: Mutex::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -195,6 +243,31 @@ impl ServerState {
     /// The metrics registry (exposed for tests and benches).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Resolve the source serving `/scenario/{name}/…`. The resident
+    /// scenario answers from the resident source (sharing its cache
+    /// slots — the bytes are the same); any other built-in scenario gets
+    /// an in-memory world generated lazily at the resident configuration
+    /// on first touch and kept for the server's lifetime. The map lock
+    /// doubles as single-flight: two racing first requests generate once.
+    /// Unknown names resolve to `None` (a 404).
+    fn resolve_scenario(&self, name: &str) -> Option<(Arc<DataSource<'static>>, String)> {
+        if name == self.source.scenario().name {
+            return Some((Arc::clone(&self.source), self.fingerprint.clone()));
+        }
+        let scenario = lacnet_crisis::Scenario::builtin(name).ok()?;
+        let mut map = self.scenario_sources.lock().expect("scenario source lock");
+        if let Some((source, fingerprint)) = map.get(name) {
+            return Some((Arc::clone(source), fingerprint.clone()));
+        }
+        let world: &'static lacnet_crisis::World = Box::leak(Box::new(
+            lacnet_crisis::World::generate_with(*self.source.config(), scenario),
+        ));
+        let source = Arc::new(DataSource::in_memory(world));
+        let fingerprint = source_fingerprint(&source);
+        map.insert(name.to_owned(), (Arc::clone(&source), fingerprint.clone()));
+        Some((source, fingerprint))
     }
 }
 
@@ -251,82 +324,142 @@ pub fn respond(state: &ServerState, request: &Request) -> Response {
                 state.endpoints_body.clone().into_bytes(),
             )
         }
+        "/scenarios" => {
+            state
+                .metrics
+                .record("scenarios", Outcome::Uncached, t0.elapsed().as_secs_f64());
+            Response::new(
+                200,
+                "application/json",
+                state.scenarios_body.clone().into_bytes(),
+            )
+        }
         path => {
-            if let Some(rest) = path.strip_prefix("/ndt/") {
-                return ndt_query(state, rest, t0);
-            }
-            match registry::find_by_path(path) {
-                Some(endpoint) => {
-                    // Normalize before anything touches the query: strict
-                    // percent-decoding (malformed escapes are a typed 400,
-                    // not a silently mangled value), duplicate keys
-                    // resolved last-key-wins, keys sorted — so every
-                    // spelling of one query shares one cache slot.
-                    let Some(pairs) = http::normalize_query(&request.query) else {
-                        state.metrics.record(
-                            endpoint.id,
-                            Outcome::Uncached,
-                            t0.elapsed().as_secs_f64(),
-                        );
-                        return json_error(400, "malformed percent-escape in query");
-                    };
-                    let format = pairs
-                        .iter()
-                        .find(|(k, _)| k == "format")
-                        .map(|(_, v)| v.as_str())
-                        .unwrap_or("json");
-                    let (content_type, tsv) = match format {
-                        "json" => ("application/json", false),
-                        "tsv" => ("text/tab-separated-values; charset=utf-8", true),
-                        _ => {
-                            state.metrics.record(
-                                endpoint.id,
-                                Outcome::Uncached,
-                                t0.elapsed().as_secs_f64(),
-                            );
-                            return json_error(400, "format must be `json` or `tsv`");
-                        }
-                    };
-                    let canonical: Vec<String> =
-                        pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
-                    let key = (
-                        endpoint.id.to_owned(),
-                        canonical.join("&"),
-                        state.fingerprint.clone(),
-                    );
-                    let (cached, hit) = state.cache.get_or_compute(key, || {
-                        let result = (endpoint.run)(&state.source);
-                        let bytes = if tsv {
-                            canonical_tsv(&result).into_bytes()
-                        } else {
-                            result_json(&result).to_text().into_bytes()
-                        };
-                        CachedBody {
-                            status: 200,
-                            content_type,
-                            bytes: Arc::new(bytes),
-                        }
-                    });
-                    state.metrics.record(
-                        endpoint.id,
-                        if hit { Outcome::Hit } else { Outcome::Miss },
-                        t0.elapsed().as_secs_f64(),
-                    );
-                    Response::new(
-                        cached.status,
-                        cached.content_type,
-                        cached.bytes.as_ref().clone(),
-                    )
-                }
-                None => {
+            if let Some(rest) = path.strip_prefix("/scenario/") {
+                let (name, sub) = match rest.split_once('/') {
+                    Some((name, sub)) => (name, format!("/{sub}")),
+                    None => (rest, String::new()),
+                };
+                let Some((source, fingerprint)) = state.resolve_scenario(name) else {
                     state.metrics.record(
                         "unmatched",
                         Outcome::Uncached,
                         t0.elapsed().as_secs_f64(),
                     );
-                    json_error(404, "no such endpoint; see /endpoints")
+                    return json_error(404, "no such scenario; see /scenarios");
+                };
+                if sub.is_empty() {
+                    let s = source.scenario();
+                    let body = Json::Obj(vec![
+                        ("name".into(), Json::Str(s.name.clone())),
+                        ("description".into(), Json::Str(s.description.clone())),
+                        ("fingerprint".into(), Json::Str(fingerprint)),
+                        ("default".into(), Json::Bool(s.is_default())),
+                        ("backend".into(), Json::Str(source.backend().into())),
+                    ])
+                    .to_text();
+                    state.metrics.record(
+                        "scenarios",
+                        Outcome::Uncached,
+                        t0.elapsed().as_secs_f64(),
+                    );
+                    return Response::new(200, "application/json", body.into_bytes());
                 }
+                return route_data(state, &source, &fingerprint, &sub, &request.query, t0);
             }
+            route_data(
+                state,
+                &state.source,
+                &state.fingerprint,
+                path,
+                &request.query,
+                t0,
+            )
+        }
+    }
+}
+
+/// Route one data path (`/ndt/…` or a registry endpoint) against an
+/// explicit source and cache-key fingerprint — the shared core of the
+/// unscoped routes and the `/scenario/{name}/…` scoped ones. Scoped
+/// requests pass their scenario source's own fingerprint, so their
+/// responses occupy distinct LRU slots from the resident scenario's.
+fn route_data(
+    state: &ServerState,
+    source: &Arc<DataSource<'static>>,
+    fingerprint: &str,
+    path: &str,
+    query: &str,
+    t0: Instant,
+) -> Response {
+    if let Some(rest) = path.strip_prefix("/ndt/") {
+        return ndt_query(state, source, fingerprint, rest, t0);
+    }
+    match registry::find_by_path(path) {
+        Some(endpoint) => {
+            // Normalize before anything touches the query: strict
+            // percent-decoding (malformed escapes are a typed 400,
+            // not a silently mangled value), duplicate keys
+            // resolved last-key-wins, keys sorted — so every
+            // spelling of one query shares one cache slot.
+            let Some(pairs) = http::normalize_query(query) else {
+                state
+                    .metrics
+                    .record(endpoint.id, Outcome::Uncached, t0.elapsed().as_secs_f64());
+                return json_error(400, "malformed percent-escape in query");
+            };
+            let format = pairs
+                .iter()
+                .find(|(k, _)| k == "format")
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("json");
+            let (content_type, tsv) = match format {
+                "json" => ("application/json", false),
+                "tsv" => ("text/tab-separated-values; charset=utf-8", true),
+                _ => {
+                    state.metrics.record(
+                        endpoint.id,
+                        Outcome::Uncached,
+                        t0.elapsed().as_secs_f64(),
+                    );
+                    return json_error(400, "format must be `json` or `tsv`");
+                }
+            };
+            let canonical: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let key = (
+                endpoint.id.to_owned(),
+                canonical.join("&"),
+                fingerprint.to_owned(),
+            );
+            let (cached, hit) = state.cache.get_or_compute(key, || {
+                let result = (endpoint.run)(source);
+                let bytes = if tsv {
+                    canonical_tsv(&result).into_bytes()
+                } else {
+                    result_json(&result).to_text().into_bytes()
+                };
+                CachedBody {
+                    status: 200,
+                    content_type,
+                    bytes: Arc::new(bytes),
+                }
+            });
+            state.metrics.record(
+                endpoint.id,
+                if hit { Outcome::Hit } else { Outcome::Miss },
+                t0.elapsed().as_secs_f64(),
+            );
+            Response::new(
+                cached.status,
+                cached.content_type,
+                cached.bytes.as_ref().clone(),
+            )
+        }
+        None => {
+            state
+                .metrics
+                .record("unmatched", Outcome::Uncached, t0.elapsed().as_secs_f64());
+            json_error(404, "no such endpoint; see /endpoints")
         }
     }
 }
@@ -337,7 +470,13 @@ pub fn respond(state: &ServerState, request: &Request) -> Response {
 /// response reports exactly how much of the shard was touched. Results
 /// (including 404s: shard absence is a property of the fingerprinted
 /// archive generation) are cached; backend I/O errors are not.
-fn ndt_query(state: &ServerState, rest: &str, t0: Instant) -> Response {
+fn ndt_query(
+    state: &ServerState,
+    source: &Arc<DataSource<'static>>,
+    fingerprint: &str,
+    rest: &str,
+    t0: Instant,
+) -> Response {
     use lacnet_types::{CountryCode, MonthStamp};
     let parsed = rest.split_once('/').and_then(|(cc, month)| {
         Some((
@@ -354,7 +493,7 @@ fn ndt_query(state: &ServerState, rest: &str, t0: Instant) -> Response {
     let key = (
         "ndt".to_owned(),
         format!("{cc}/{month}"),
-        state.fingerprint.clone(),
+        fingerprint.to_owned(),
     );
     if let Some(cached) = state.cache.get(&key) {
         state
@@ -366,7 +505,7 @@ fn ndt_query(state: &ServerState, rest: &str, t0: Instant) -> Response {
             cached.bytes.as_ref().clone(),
         );
     }
-    let response = match state.source.ndt_month_stats(cc, month) {
+    let response = match source.ndt_month_stats(cc, month) {
         Err(e) => {
             state
                 .metrics

@@ -46,6 +46,9 @@ use std::sync::Arc;
 pub struct ArchiveWorld {
     /// The configuration read from `world/config.tsv`.
     pub config: WorldConfig,
+    /// The scenario read from `world/scenario.toml`; a tree without the
+    /// sidecar is a default (Venezuela) dump.
+    pub scenario: lacnet_crisis::Scenario,
     /// Regenerated macro-economy (a pure function of the config).
     pub economy: Economy,
     /// Regenerated operator cast (a pure function of the seed).
@@ -134,11 +137,16 @@ impl ArchiveWorld {
                 .map_err(|_| Error::missing("archive file", format!("{}/{rel}", root.display())))
         };
         let config = WorldConfig::parse(&read("world/config.tsv")?)?;
+        let scenario = match fs::read_to_string(root.join("world/scenario.toml")) {
+            Ok(text) => lacnet_crisis::Scenario::parse(&text).map_err(Error::from)?,
+            Err(_) => lacnet_crisis::Scenario::venezuela(),
+        };
 
-        // The model roots are pure functions of the config; regenerating
-        // them is the archive's equivalent of carrying them as sidecars.
+        // The model roots are pure functions of the config and scenario;
+        // regenerating them is the archive's equivalent of carrying them
+        // as sidecars.
         let (economy, (operators, dns_world)) = sweep::join2(
-            || Economy::generate(config.economy_start, config.end),
+            || Economy::generate_with(config.economy_start, config.end, &scenario.gdp_anchors),
             || {
                 sweep::join2(
                     || Operators::generate(config.seed),
@@ -257,6 +265,7 @@ impl ArchiveWorld {
 
         Ok(ArchiveWorld {
             config,
+            scenario,
             economy,
             operators,
             dns: dns_world,
@@ -442,6 +451,14 @@ impl<'w> DataSource<'w> {
         }
     }
 
+    /// The scenario the backend's world was generated under.
+    pub fn scenario(&self) -> &lacnet_crisis::Scenario {
+        match self {
+            DataSource::InMemory(w) => &w.scenario,
+            DataSource::Archive(a) => &a.scenario,
+        }
+    }
+
     /// The macro-economy (Fig. 1, Fig. 13).
     pub fn economy(&self) -> &Economy {
         match self {
@@ -590,11 +607,12 @@ impl<'w> DataSource<'w> {
     /// TSVs on the archive path.
     pub fn reachability_2019(&self) -> BTreeMap<CountryCode, ReachabilitySeries> {
         match self {
-            DataSource::InMemory(w) => blackouts::daily_reachability(
+            DataSource::InMemory(w) => blackouts::daily_reachability_with(
                 &w.dns,
                 Date::ymd(2019, 1, 1),
                 Date::ymd(2019, 12, 31),
                 w.config.seed,
+                &w.scenario,
             ),
             DataSource::Archive(a) => a.reachability.clone(),
         }

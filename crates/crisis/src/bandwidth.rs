@@ -545,9 +545,31 @@ pub fn build_aggregate_config(
     start: MonthStamp,
     end: MonthStamp,
 ) -> MonthlyAggregator {
+    build_aggregate_scenario(
+        ops,
+        config,
+        &crate::scenario::Scenario::venezuela(),
+        start,
+        end,
+    )
+}
+
+/// [`build_aggregate_config`] under an explicit scenario: each shard's
+/// volume is the config's effective scale times the scenario's per-month
+/// M-Lab factor ([`crate::scenario::Scenario::mlab_factor`]). The default
+/// scenario's factor is exactly `1.0` for every cell, so its aggregate is
+/// byte-identical to [`build_aggregate_config`].
+pub fn build_aggregate_scenario(
+    ops: &Operators,
+    config: &crate::config::WorldConfig,
+    scenario: &crate::scenario::Scenario,
+    start: MonthStamp,
+    end: MonthStamp,
+) -> MonthlyAggregator {
     let plan = shard_plan(start, end);
     let batches = sweep::parallel_map_with(sweep::worker_count(plan.len()), &plan, |&s| {
-        generate_shard(ops, config.seed, config.mlab_scale_for(s.0), s)
+        let scale = config.mlab_scale_for(s.0) * scenario.mlab_factor(s.0, s.1);
+        generate_shard(ops, config.seed, scale, s)
     });
     let mut agg = MonthlyAggregator::new(Mode::Streaming);
     for batch in &batches {

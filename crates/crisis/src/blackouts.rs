@@ -52,28 +52,69 @@ pub fn ve_blackouts_2019() -> Vec<Blackout> {
 }
 
 /// Generate daily connected-probe series for every LACNIC country over
-/// `[start, end]`. Venezuelan days inside a blackout lose `depth` of the
-/// active probes; every day carries ±1-probe churn noise.
+/// `[start, end]` under the default (Venezuela) scenario. Venezuelan
+/// days inside a blackout lose `depth` of the active probes; every day
+/// carries ±1-probe churn noise.
 pub fn daily_reachability(
     dns: &DnsWorld,
     start: Date,
     end: Date,
     seed: u64,
 ) -> BTreeMap<CountryCode, ReachabilitySeries> {
-    let blackouts = ve_blackouts_2019();
+    daily_reachability_with(
+        dns,
+        start,
+        end,
+        seed,
+        &crate::scenario::Scenario::venezuela(),
+    )
+}
+
+/// [`daily_reachability`] under an explicit scenario: each country's
+/// blackout schedule comes from the scenario's overlays, and probe
+/// migrations shift active counts across borders from their start day.
+/// The per-country RNG fork labels are scenario-independent, so the
+/// default scenario reproduces the historical bytes exactly.
+pub fn daily_reachability_with(
+    dns: &DnsWorld,
+    start: Date,
+    end: Date,
+    seed: u64,
+    scenario: &crate::scenario::Scenario,
+) -> BTreeMap<CountryCode, ReachabilitySeries> {
     let root = Rng::seeded(seed);
     let mut out: BTreeMap<CountryCode, ReachabilitySeries> = BTreeMap::new();
     for cc in country::lacnic_codes() {
+        let blackouts = scenario.blackouts_for(cc);
+        let migrations: Vec<_> = scenario
+            .probe_migrations
+            .iter()
+            .filter(|m| m.from == cc || m.to == cc)
+            .collect();
         let mut rng = root.fork(&format!("blackouts/{cc}"));
         let mut series = ReachabilitySeries::new();
         let mut day = start;
         while day <= end {
-            let active = dns.probes.active_in_country(day.month_stamp(), cc).len() as f64;
-            let mut connected = active;
-            if cc == country::VE {
-                if let Some(b) = blackouts.iter().find(|b| day >= b.start && day <= b.end) {
-                    connected *= 1.0 - b.depth;
+            let mut active = dns.probes.active_in_country(day.month_stamp(), cc).len() as f64;
+            // Displacement first: probes that re-homed are counted (and
+            // blacked out) where they now live.
+            for m in &migrations {
+                if day >= m.start {
+                    let moved = dns
+                        .probes
+                        .active_in_country(day.month_stamp(), m.from)
+                        .len() as f64
+                        * m.fraction;
+                    if m.from == cc {
+                        active -= moved;
+                    } else {
+                        active += moved;
+                    }
                 }
+            }
+            let mut connected = active.max(0.0);
+            if let Some(b) = blackouts.iter().find(|b| day >= b.start && day <= b.end) {
+                connected *= 1.0 - b.depth;
             }
             // Ordinary churn: a probe or so flapping either way.
             let noise = rng.range_inclusive(-1, 1) as f64;

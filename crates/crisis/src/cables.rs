@@ -111,8 +111,16 @@ const CABLES: &[Row] = &[
     ("SV Conexion", 2019, 9, &["SV", "CR"], 700.0),
 ];
 
-/// Build the region's cable map.
+/// Build the region's cable map with the historical record only.
 pub fn build_cable_map() -> CableMap {
+    build_cable_map_with(&[])
+}
+
+/// Build the region's cable map, applying scenario failure events: each
+/// [`CableFailure`](crate::scenario::CableFailure) whose name matches a
+/// system marks it out of service from that day. An empty slice is the
+/// pure historical record.
+pub fn build_cable_map_with(failures: &[crate::scenario::CableFailure]) -> CableMap {
     let mut map = CableMap::new();
     for &(name, y, m, ccs, length) in CABLES {
         let mut landings: Vec<LandingPoint> = ccs
@@ -145,6 +153,7 @@ pub fn build_cable_map() -> CableMap {
             rfs: Date::ymd(y, m, 15),
             landings,
             length_km: length,
+            failure: failures.iter().find(|f| f.cable == name).map(|f| f.failure),
         })
         .expect("static cable table is valid");
     }

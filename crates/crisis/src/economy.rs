@@ -399,13 +399,30 @@ pub struct Economy {
 }
 
 impl Economy {
-    /// Build the economy over `[start, end]`.
+    /// Build the economy over `[start, end]` from the historical record.
     pub fn generate(start: MonthStamp, end: MonthStamp) -> Self {
+        Self::generate_with(start, end, &[])
+    }
+
+    /// Build the economy with scenario GDP overrides: each
+    /// `(country, anchors)` pair replaces that country's historical
+    /// anchor set before monthly resampling. An empty slice (the default
+    /// scenario) reproduces [`Economy::generate`] exactly.
+    pub fn generate_with(
+        start: MonthStamp,
+        end: MonthStamp,
+        overrides: &[(CountryCode, Vec<(i32, f64)>)],
+    ) -> Self {
         let mut gdp = BTreeMap::new();
         let mut imf_covered = Vec::new();
         for row in GDP_TABLE {
             let cc = CountryCode::of(row.cc);
-            gdp.insert(cc, anchors_to_series(row.anchors, start, end, true));
+            let anchors = overrides
+                .iter()
+                .find(|(c, _)| *c == cc)
+                .map(|(_, a)| a.as_slice())
+                .unwrap_or(row.anchors);
+            gdp.insert(cc, anchors_to_series(anchors, start, end, true));
             if row.imf_data {
                 imf_covered.push(cc);
             }

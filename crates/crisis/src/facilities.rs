@@ -154,12 +154,27 @@ const VE_AT_US_IXPS: &[u32] = &[11562, 272_809, 276_500, 276_501, 276_502, 276_5
 /// Builds the monthly PeeringDB archive.
 pub struct PeeringDbBuilder<'a> {
     ops: &'a Operators,
+    scenario: Option<&'a crate::scenario::Scenario>,
 }
 
 impl<'a> PeeringDbBuilder<'a> {
-    /// Create a builder over the operator cast.
+    /// Create a builder over the operator cast, under the default
+    /// (Venezuela) scenario.
     pub fn new(ops: &'a Operators) -> Self {
-        PeeringDbBuilder { ops }
+        PeeringDbBuilder {
+            ops,
+            scenario: None,
+        }
+    }
+
+    /// Apply a scenario's IXP buildouts: each `[[ixp_buildouts]]` entry
+    /// adds an exchange from its opening month, with greedy membership up
+    /// to the target population share. Buildouts append after the
+    /// historical `ix` table, so a scenario without any reproduces the
+    /// historical snapshots exactly.
+    pub fn with_scenario(mut self, scenario: &'a crate::scenario::Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self
     }
 
     /// Build monthly snapshots over `[start, end]`.
@@ -426,6 +441,41 @@ impl<'a> PeeringDbBuilder<'a> {
                         });
                     }
                 }
+            }
+        }
+
+        // ——— scenario IXP buildouts (always last, so the historical ix
+        // ids are stable) ———
+        if let Some(scenario) = self.scenario {
+            for b in &scenario.ixp_buildouts {
+                if m < b.open {
+                    continue;
+                }
+                snap.ix.push(Ix {
+                    id: ix_id,
+                    name: b.name.clone(),
+                    city: b.city.clone(),
+                    country: b.country,
+                });
+                let total = self.ops.populations().country_total(b.country) as f64;
+                let mut covered = 0.0;
+                for op in self.ops.eyeballs(b.country) {
+                    if total <= 0.0 || covered / total >= b.target_share {
+                        break;
+                    }
+                    if (covered + op.users as f64) / total > b.target_share + 0.05 {
+                        continue;
+                    }
+                    if let Some(&nid) = net_id_of.get(&op.asn) {
+                        snap.netixlan.push(NetIxLan {
+                            net_id: nid,
+                            ix_id,
+                            speed: 10_000,
+                        });
+                        covered += op.users as f64;
+                    }
+                }
+                ix_id += 1;
             }
         }
 

@@ -28,10 +28,12 @@ pub mod economy;
 pub mod facilities;
 pub mod ipv6;
 pub mod operators;
+pub mod scenario;
 pub mod topology;
 pub mod websites;
 pub mod world;
 
 pub use config::WorldConfig;
 pub use economy::Economy;
+pub use scenario::{Scenario, ScenarioError};
 pub use world::World;

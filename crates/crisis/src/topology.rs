@@ -109,12 +109,27 @@ fn founding(op_kind: OperatorKind, asn: Asn, ve: bool) -> MonthStamp {
 pub struct TopologyBuilder<'a> {
     ops: &'a Operators,
     economy: &'a Economy,
+    scenario: Option<&'a crate::scenario::Scenario>,
 }
 
 impl<'a> TopologyBuilder<'a> {
-    /// Create a builder over the cast and economy.
+    /// Create a builder over the cast and economy, under the default
+    /// (Venezuela) scenario.
     pub fn new(ops: &'a Operators, economy: &'a Economy) -> Self {
-        TopologyBuilder { ops, economy }
+        TopologyBuilder {
+            ops,
+            economy,
+            scenario: None,
+        }
+    }
+
+    /// Apply a scenario's transit withdrawals: a `[[transit_withdrawals]]`
+    /// entry caps every matching CANTV provider interval at the given
+    /// month (a withdrawn provider does not return). A scenario with no
+    /// withdrawals builds the historical archive exactly.
+    pub fn with_scenario(mut self, scenario: &'a crate::scenario::Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self
     }
 
     /// The collector set used for visibility decisions: the tier-1 clique.
@@ -148,10 +163,15 @@ impl<'a> TopologyBuilder<'a> {
                 edges.push(RelEdge::transit(Asn(p2), Asn(asn)));
             }
         }
-        // CANTV's scripted providers.
+        // CANTV's scripted providers. A scenario withdrawal caps the
+        // interval: the provider leaves at the withdrawal month if that
+        // is earlier than (or replaces) the scripted departure.
         for &(prov, (sy, sm), until) in CANTV_TRANSIT_INTERVALS {
-            let active = m >= MonthStamp::new(sy, sm)
-                && until.is_none_or(|(ey, em)| m < MonthStamp::new(ey, em));
+            let mut until = until.map(|(ey, em)| MonthStamp::new(ey, em));
+            if let Some(w) = self.scenario.and_then(|s| s.withdrawal_end(Asn(prov))) {
+                until = Some(until.map_or(w, |u| u.min(w)));
+            }
+            let active = m >= MonthStamp::new(sy, sm) && until.is_none_or(|e| m < e);
             if active {
                 edges.push(RelEdge::transit(Asn(prov), Asn(8048)));
             }

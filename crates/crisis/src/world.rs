@@ -80,6 +80,9 @@ impl SnapshotCache {
 pub struct World {
     /// The configuration it was generated from.
     pub config: WorldConfig,
+    /// The scenario it was generated under (the default is the paper's
+    /// Venezuela storyline — see [`crate::scenario::Scenario::venezuela`]).
+    pub scenario: crate::scenario::Scenario,
     /// The macro-economy (Fig. 1, Fig. 13).
     pub economy: Economy,
     /// The operator cast, as2org mapping and APNIC-style populations.
@@ -116,29 +119,44 @@ impl World {
     /// is a pure function of the config, so running the independent ones
     /// on separate threads yields a byte-identical world.
     pub fn generate(config: WorldConfig) -> World {
+        Self::generate_with(config, crate::scenario::Scenario::venezuela())
+    }
+
+    /// [`World::generate`] under an explicit scenario: the overlays reach
+    /// every builder (economy anchors, transit withdrawals, IXP buildouts,
+    /// cable failures, NDT volume factors, blackout schedules). The
+    /// default scenario's overlays are exactly the historical record, so
+    /// `generate_with(c, Scenario::venezuela())` is byte-identical to
+    /// `generate(c)`.
+    pub fn generate_with(config: WorldConfig, scenario: crate::scenario::Scenario) -> World {
         // Phase 1: the two roots every other dataset derives from.
         let (economy, operators) = sweep::join2(
-            || Economy::generate(config.economy_start, config.end),
+            || Economy::generate_with(config.economy_start, config.end, &scenario.gdp_anchors),
             || Operators::generate(config.seed),
         );
-        // Phase 2: the eight datasets, each a function of the roots and
-        // the config alone.
+        // Phase 2: the eight datasets, each a function of the roots, the
+        // config and the scenario alone.
+        let scenario_ref = &scenario;
         let (topology, addressing, peeringdb, cables, dns, mlab, cert_scans, top_sites) =
             std::thread::scope(|s| {
                 let topology = s.spawn(|| {
                     TopologyBuilder::new(&operators, &economy)
+                        .with_scenario(scenario_ref)
                         .build(windows::serial1_start(), config.end)
                 });
                 let addressing = s.spawn(|| Addressing::generate(&operators, &economy));
                 let peeringdb = s.spawn(|| {
-                    PeeringDbBuilder::new(&operators).build(windows::peeringdb_start(), config.end)
+                    PeeringDbBuilder::new(&operators)
+                        .with_scenario(scenario_ref)
+                        .build(windows::peeringdb_start(), config.end)
                 });
-                let cables = s.spawn(cables::build_cable_map);
+                let cables = s.spawn(|| cables::build_cable_map_with(&scenario_ref.cable_failures));
                 let dns = s.spawn(|| dns::build_dns_world(config.seed));
                 let mlab = s.spawn(|| {
-                    bandwidth::build_aggregate_config(
+                    bandwidth::build_aggregate_scenario(
                         &operators,
                         &config,
+                        scenario_ref,
                         windows::mlab_start(),
                         config.end,
                     )
@@ -158,6 +176,7 @@ impl World {
             });
         World {
             config,
+            scenario,
             economy,
             operators,
             topology,

@@ -26,6 +26,9 @@ pub struct Cable {
     pub landings: Vec<LandingPoint>,
     /// Approximate length in kilometres.
     pub length_km: f64,
+    /// Day the system went out of service, if it ever did — scenario
+    /// cable-cut events set this; the historical record leaves it `None`.
+    pub failure: Option<Date>,
 }
 
 impl Cable {
@@ -39,9 +42,10 @@ impl Cable {
         self.landings.iter().any(|l| l.country == country)
     }
 
-    /// Whether the cable was in service on `date`.
+    /// Whether the cable was in service on `date`: at or past its RFS
+    /// date and before its failure date, if any.
     pub fn in_service(&self, date: Date) -> bool {
-        self.rfs <= date
+        self.rfs <= date && self.failure.is_none_or(|f| date < f)
     }
 }
 
@@ -158,12 +162,36 @@ lacnet_types::impl_json_struct!(LandingPoint {
     country,
     location
 });
-lacnet_types::impl_json_struct!(Cable {
-    name,
-    rfs,
-    landings,
-    length_km
-});
+// Hand-written (not `impl_json_struct!`) so the `failure` member is
+// omitted entirely when `None` — the overwhelmingly common case — and
+// the serialised cable map stays byte-identical to the pre-scenario
+// format for every cable without a failure date.
+impl ToJson for Cable {
+    fn to_json_value(&self) -> Json {
+        let mut pairs = vec![
+            ("name".to_owned(), self.name.to_json_value()),
+            ("rfs".to_owned(), self.rfs.to_json_value()),
+            ("landings".to_owned(), self.landings.to_json_value()),
+            ("length_km".to_owned(), self.length_km.to_json_value()),
+        ];
+        if let Some(failure) = self.failure {
+            pairs.push(("failure".to_owned(), failure.to_json_value()));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+impl FromJson for Cable {
+    fn from_json_value(v: &Json) -> Result<Self> {
+        Ok(Cable {
+            name: v.field("name")?,
+            rfs: v.field("rfs")?,
+            landings: v.field("landings")?,
+            length_km: v.field("length_km")?,
+            failure: v.field("failure")?,
+        })
+    }
+}
 
 impl ToJson for CableMap {
     fn to_json_value(&self) -> Json {
@@ -203,6 +231,7 @@ mod tests {
                 lp("Fortaleza", country::BR, -3.7, -38.5),
             ],
             length_km: 8373.0,
+            failure: None,
         })
         .unwrap();
         map.add(Cable {
@@ -213,6 +242,7 @@ mod tests {
                 lp("Siboney", country::CU, 19.96, -75.7),
             ],
             length_km: 1860.0,
+            failure: None,
         })
         .unwrap();
         map.add(Cable {
@@ -223,6 +253,7 @@ mod tests {
                 lp("Fortaleza", country::BR, -3.7, -38.5),
             ],
             length_km: 10556.0,
+            failure: None,
         })
         .unwrap();
         map
@@ -249,6 +280,7 @@ mod tests {
                 rfs: Date::ymd(2020, 1, 1),
                 landings: vec![lp("Camuri", country::VE, 10.6, -66.8)],
                 length_km: 1.0,
+                failure: None,
             })
             .is_err());
         assert!(map
@@ -260,6 +292,7 @@ mod tests {
                     lp("B", country::CU, 19.9, -75.7)
                 ],
                 length_km: 1.0,
+                failure: None,
             })
             .is_err());
         assert_eq!(map.len(), 3);
@@ -319,5 +352,30 @@ mod tests {
         let back = CableMap::from_json(&map.to_json()).unwrap();
         assert_eq!(back, map);
         assert!(CableMap::from_json("nope").is_err());
+    }
+
+    #[test]
+    fn failure_dates_end_service_and_roundtrip() {
+        let mut map = toy_map();
+        // A failure date is omitted from the wire form entirely when
+        // absent, so the pre-failure serialisation is byte-stable.
+        assert!(!map.to_json().contains("failure"));
+        let alba = map.cables.iter_mut().find(|c| c.name == "ALBA-1").unwrap();
+        alba.failure = Some(Date::ymd(2019, 8, 15));
+        assert!(alba.in_service(Date::ymd(2019, 8, 14)));
+        assert!(
+            !alba.in_service(Date::ymd(2019, 8, 15)),
+            "failure day is out"
+        );
+        let back = CableMap::from_json(&map.to_json()).unwrap();
+        assert_eq!(back, map);
+        // The monthly count drops after the cut.
+        let s = map.count_series(
+            country::VE,
+            MonthStamp::new(2019, 7),
+            MonthStamp::new(2019, 8),
+        );
+        assert_eq!(s.get(MonthStamp::new(2019, 7)), Some(2.0));
+        assert_eq!(s.get(MonthStamp::new(2019, 8)), Some(1.0));
     }
 }

@@ -18,6 +18,8 @@
 //!   upgrades.
 //! * [`json`] — dependency-free JSON value tree, parser, and writer for
 //!   the JSON-shaped dataset formats (PeeringDB dumps, cable maps, …).
+//! * [`toml`] — a strict TOML-subset parser producing the same [`json`]
+//!   value tree, for the hand-edited scenario sidecars.
 //! * [`codec`] — varints, zigzag, fixed-width little-endian floats,
 //!   CRC-32 and FNV-1a for the binary columnar shard container and the
 //!   incremental-refresh manifest.
@@ -50,6 +52,7 @@ pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod sweep;
+pub mod toml;
 pub mod trie;
 
 pub use asn::Asn;

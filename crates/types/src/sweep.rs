@@ -13,14 +13,32 @@
 
 use crate::date::MonthStamp;
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// The machine's available parallelism, detected once per process. On a
+/// single-core host every sweep primitive runs its tasks inline —
+/// spawning a lone worker thread buys nothing and costs a stack — and
+/// the fallback is announced exactly once on stderr so a surprisingly
+/// serial run is diagnosable.
+fn detected_parallelism() -> usize {
+    static DETECTED: OnceLock<usize> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        let hw = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        if hw == 1 {
+            eprintln!(
+                "sweep: available_parallelism is 1 — running sweeps serially (no threads spawned)"
+            );
+        }
+        hw
+    })
+}
 
 /// Number of worker threads a sweep will use: the machine's available
 /// parallelism, capped by the item count (never zero).
 pub fn worker_count(items: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    hw.min(items).max(1)
+    detected_parallelism().min(items).max(1)
 }
 
 /// Map `f` over `items` on scoped worker threads, returning results in
@@ -103,6 +121,9 @@ where
 /// their results in declaration order — the shape of a parallel
 /// multi-dataset build.
 pub fn join_all<O: Send>(tasks: Vec<Box<dyn FnOnce() -> O + Send + '_>>) -> Vec<O> {
+    if detected_parallelism() == 1 {
+        return tasks.into_iter().map(|task| task()).collect();
+    }
     let n = tasks.len();
     let mut slots: Vec<Option<O>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
@@ -127,6 +148,9 @@ where
     FA: FnOnce() -> A + Send,
     FB: FnOnce() -> B + Send,
 {
+    if detected_parallelism() == 1 {
+        return (fa(), fb());
+    }
     std::thread::scope(|scope| {
         let hb = scope.spawn(fb);
         let a = fa();

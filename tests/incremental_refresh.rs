@@ -18,7 +18,7 @@
 use lacnet::core::render::canonical_tsv;
 use lacnet::core::{datasets, experiments, extensions, DataSource};
 use lacnet::crisis::config::windows;
-use lacnet::crisis::{bandwidth, World, WorldConfig};
+use lacnet::crisis::{bandwidth, Scenario, World, WorldConfig};
 use lacnet::types::country;
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -107,4 +107,87 @@ fn touching_one_country_refreshes_only_its_shards() {
 
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_dir_all(&scratch).ok();
+}
+
+/// Every file of an explicit `--scenario venezuela` dump must equal the
+/// no-flag dump byte for byte — the byte-identity contract of the
+/// scenario layer — and switching scenarios must invalidate every shard
+/// while a same-scenario re-run invalidates none.
+#[test]
+fn scenario_switch_refreshes_every_shard_and_default_is_byte_identical() {
+    let config = WorldConfig::test();
+    let dir = std::env::temp_dir().join(format!("lacnet-scn-{}", std::process::id()));
+    let explicit = std::env::temp_dir().join(format!("lacnet-scn-explicit-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&explicit).ok();
+
+    // Byte identity: `World::generate` and an explicit default scenario
+    // dump the same tree — same file set, same bytes, no sidecar.
+    let base = World::generate(config);
+    let summary = datasets::dump(&base, &dir).expect("no-flag dump");
+    let default_world = World::generate_with(config, Scenario::venezuela());
+    let explicit_summary = datasets::dump(&default_world, &explicit).expect("explicit dump");
+    let names = |s: &datasets::DumpSummary| {
+        let mut v = s.files.clone();
+        v.sort();
+        v
+    };
+    assert_eq!(names(&summary), names(&explicit_summary));
+    for rel in &summary.files {
+        assert_eq!(
+            std::fs::read(dir.join(rel)).unwrap(),
+            std::fs::read(explicit.join(rel)).unwrap(),
+            "{rel}: explicit default-scenario dump diverged from the no-flag dump"
+        );
+    }
+    assert!(
+        !dir.join("world/scenario.toml").exists(),
+        "default scenario must not write a sidecar"
+    );
+
+    // Switching scenarios rewrites every shard: the scenario fingerprint
+    // is part of each manifest record.
+    let plan_len = bandwidth::shard_plan(windows::mlab_start(), config.end).len();
+    let cut = World::generate_with(config, Scenario::builtin("cable-cut").expect("builtin"));
+    let switched = datasets::dump(&cut, &dir).expect("scenario switch re-dump");
+    assert_eq!(
+        switched.shards_written, plan_len,
+        "a scenario switch must refresh every NDT shard"
+    );
+    assert!(
+        dir.join("world/scenario.toml").exists(),
+        "non-default scenario must write its sidecar"
+    );
+
+    // A same-scenario re-run is a no-op on the shard files.
+    let again = datasets::dump(&cut, &dir).expect("same-scenario re-dump");
+    assert_eq!(
+        again.shards_written, 0,
+        "same-scenario re-run rewrote shards"
+    );
+    assert_eq!(again.shards_skipped, plan_len);
+
+    // The loader reapplies the sidecar: the reloaded archive reports the
+    // non-default scenario and reproduces its battery output.
+    let reloaded = DataSource::from_archive(&dir).expect("scenario tree loads");
+    assert_eq!(reloaded.scenario().name, "cable-cut");
+    assert!(!reloaded.scenario().is_default());
+    let in_memory = DataSource::in_memory(&cut);
+    assert_eq!(
+        battery(&reloaded),
+        battery(&in_memory),
+        "archive round-trip changed a scenario battery artifact"
+    );
+
+    // Dumping the default world back over the scenario tree removes the
+    // stale sidecar and refreshes every shard again.
+    let restored = datasets::dump(&base, &dir).expect("restore default dump");
+    assert_eq!(restored.shards_written, plan_len);
+    assert!(
+        !dir.join("world/scenario.toml").exists(),
+        "stale sidecar must be removed when the default scenario returns"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&explicit).ok();
 }

@@ -447,6 +447,86 @@ fn ndt_month_query_serves_selective_read_stats() {
 }
 
 #[test]
+fn scenarios_inventory_lists_every_builtin() {
+    let addr = shared_server();
+    let (status, headers, body) = http_get(addr, "/scenarios");
+    assert_eq!(status, 200);
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v.starts_with("application/json")));
+    let text = std::str::from_utf8(&body).expect("utf8");
+    lacnet::types::json::Json::parse(text).expect("inventory is valid json");
+    for name in lacnet::crisis::Scenario::builtin_names() {
+        assert!(text.contains(&format!("\"name\":\"{name}\"")), "{text}");
+    }
+    // Exactly one scenario is the paper's default storyline, and it is
+    // the one the resident archive was dumped under.
+    assert_eq!(text.matches("\"default\":true").count(), 1, "{text}");
+    assert_eq!(text.matches("\"resident\":true").count(), 1, "{text}");
+
+    // The bare scenario path serves an info body for the same name.
+    let (status, _, body) = http_get(addr, "/scenario/venezuela");
+    assert_eq!(status, 200);
+    let info =
+        lacnet::types::json::Json::parse(std::str::from_utf8(&body).expect("utf8")).expect("json");
+    assert_eq!(info.get("name").and_then(|v| v.as_str()), Some("venezuela"));
+    assert_eq!(info.get("default").and_then(|v| v.as_bool()), Some(true));
+}
+
+#[test]
+fn unknown_scenario_is_a_typed_404() {
+    let addr = shared_server();
+    let (status, _, body) = http_get(addr, "/scenario/atlantis/fig/01");
+    assert_eq!(status, 404);
+    assert!(String::from_utf8_lossy(&body).contains("/scenarios"));
+    let (status, _, _) = http_get(addr, "/scenario/atlantis");
+    assert_eq!(status, 404);
+}
+
+#[test]
+fn scenario_scoped_routes_get_their_own_cache_slots() {
+    // A dedicated server so the metrics below are exactly this traffic.
+    let (addr, handle) = boot(ServeOptions::default());
+
+    // The resident scenario name routes to the resident source: bytes
+    // must match the unscoped route exactly.
+    let (status, _, scoped) = http_get(addr, "/scenario/venezuela/fig/01?format=tsv");
+    assert_eq!(status, 200);
+    let (_, _, unscoped) = http_get(addr, "/fig/01?format=tsv");
+    assert_eq!(
+        scoped, unscoped,
+        "resident-scenario route diverged from the unscoped route"
+    );
+
+    // A non-resident builtin lazily generates its own world; the cable
+    // cut rewrites the cables figure but leaves the economy untouched.
+    let (status, _, cut_fig04) = http_get(addr, "/scenario/cable-cut/fig/04?format=tsv");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&cut_fig04));
+    let (_, _, base_fig04) = http_get(addr, "/fig/04?format=tsv");
+    assert_ne!(
+        cut_fig04, base_fig04,
+        "cable-cut scenario served the default cables figure"
+    );
+    let (_, _, cut_again) = http_get(addr, "/scenario/cable-cut/fig/04?format=tsv");
+    assert_eq!(cut_fig04, cut_again, "scenario-scoped cache not stable");
+
+    // Distinct fingerprints mean distinct LRU slots: the scoped and
+    // unscoped fig04 requests were both cold misses, and the repeat was
+    // a hit on the scenario's own slot.
+    let (_, _, metrics) = http_get(addr, "/metrics");
+    let text = std::str::from_utf8(&metrics).expect("utf8");
+    assert!(
+        text.contains("lacnet_cache_misses_total{endpoint=\"fig04\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("lacnet_cache_hits_total{endpoint=\"fig04\"} 1"),
+        "{text}"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn post_is_rejected_with_405() {
     let addr = shared_server();
     assert_eq!(
