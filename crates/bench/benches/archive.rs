@@ -209,9 +209,154 @@ fn bench_cold_query(c: &mut Criterion) {
     group.finish();
 }
 
+/// Two comparisons in one group. `fanout` vs `whole_archive` times the
+/// product range path (`ndt_range_stats` — index walk, day-span
+/// pruning, file reads, sweep fan-out, plan-order merge) against the
+/// no-index whole-archive decode on the bench tree; both must land on
+/// the identical row total and bit-identical mean-of-monthly-medians
+/// before any timing starts — the P² estimator is order-sensitive, so
+/// agreement pins the fan-out's visit order. `borrowed` vs `owned`
+/// isolates the zero-copy decode claim on a single production-scale
+/// in-memory container where the two paths differ only in
+/// materialization; they must agree on row count, download sum, and
+/// the bit-exact P² median before timing.
+fn bench_range_query(c: &mut Criterion) {
+    let ndtc_dir = columnar_dump_dir();
+    let ndtc =
+        ArchiveWorld::load_with(&ndtc_dir, Some(ShardFormat::Columnar)).expect("columnar loads");
+    let series: Vec<_> = ndtc.mlab.median_series(country::VE).iter().collect();
+    assert!(series.len() >= 6, "bench world spans months");
+    let (from, _) = series[series.len() - 6];
+    let (to, _) = *series.last().unwrap();
+
+    let fanout = || {
+        ndtc.ndt_range_stats(country::VE, from, to)
+            .expect("range query succeeds")
+    };
+    // The borrowed-vs-owned pair isolates the zero-copy claim on one
+    // buffer big enough that materialization cost is visible over the
+    // shared per-block work (CRC, varint decode): a production-scale
+    // month — 98 304 rows in 2048-row blocks — scanned with every
+    // column selected. Identical selection, identical consumption; the
+    // only difference is `scan_counted`'s borrowed `BlockView`s (floats
+    // sliced in place, dictionaries into one reused scratch) against
+    // `read_counted`'s owned `ColumnBatch` (every column allocated and
+    // copied per call).
+    let big_rows: Vec<lacnet_mlab::NdtTest> = (0..98_304u32)
+        .map(|i| lacnet_mlab::NdtTest {
+            date: lacnet_types::Date::from_days_since_epoch(18_078 + (i as i64 % 30)),
+            country: if i % 7 == 0 { country::BR } else { country::VE },
+            asn: lacnet_types::Asn(8_048 + (i % 11) * 991),
+            download_mbps: 0.3 + (i % 997) as f64 * 0.01,
+            upload_mbps: 0.1 + (i % 499) as f64 * 0.01,
+            min_rtt_ms: 15.0 + (i % 120) as f64,
+            loss_rate: (i % 50) as f64 / 100.0,
+        })
+        .collect();
+    let big = lacnet_mlab::columnar::encode_v2(&lacnet_mlab::ColumnBatch::from_rows(&big_rows));
+    let big_selection = lacnet_mlab::ColumnSelection::all().with_country(country::VE);
+    let borrowed = || {
+        let reader = lacnet_mlab::ColumnReader::open(&big).expect("container opens");
+        let mut scratch = lacnet_mlab::DecodeScratch::new();
+        let (mut rows, mut sum) = (0usize, 0.0f64);
+        reader
+            .scan_counted(&big_selection, &mut scratch, |view| {
+                rows += view.rows();
+                for v in view.download().iter() {
+                    sum += v;
+                }
+                Ok(())
+            })
+            .expect("borrowed scan");
+        (rows, sum)
+    };
+    let owned = || {
+        let reader = lacnet_mlab::ColumnReader::open(&big).expect("container opens");
+        let (batch, _) = reader.read_counted(&big_selection).expect("owned decode");
+        let mut sum = 0.0f64;
+        for &v in batch.download() {
+            sum += v;
+        }
+        (batch.len(), sum)
+    };
+    let plan = lacnet_crisis::bandwidth::shard_plan(
+        lacnet_crisis::config::windows::mlab_start(),
+        bench_world().config.end,
+    );
+    let whole_archive = || {
+        let mut agg =
+            lacnet_mlab::aggregate::MonthlyAggregator::new(lacnet_mlab::aggregate::Mode::Streaming);
+        for &shard in &plan {
+            let rel = datasets::mlab_shard_path_with(shard, ShardFormat::Columnar);
+            let bytes = std::fs::read(ndtc_dir.join(rel)).expect("columnar shard");
+            let batch = lacnet_mlab::columnar::decode(&bytes).expect("columnar shard decodes");
+            agg.observe_columns(&batch);
+        }
+        let mut rows_total = 0usize;
+        let mut median_sum = 0.0f64;
+        let mut medians = 0usize;
+        for month in from.through(to) {
+            let Some(g) = agg.group(country::VE, month) else {
+                continue;
+            };
+            rows_total += g.count();
+            if let Some(m) = g.median() {
+                median_sum += m;
+                medians += 1;
+            }
+        }
+        let mean = (medians > 0).then(|| median_sum / medians as f64);
+        (rows_total, mean)
+    };
+
+    let fanned = fanout();
+    assert_eq!(fanned.months.len(), 6, "every window month has a shard");
+    assert_eq!((fanned.rows, fanned.mean_monthly_median), whole_archive());
+    let (b_rows, b_sum) = borrowed();
+    assert_eq!((b_rows, b_sum), owned(), "borrowed and owned scans agree");
+    assert!(b_rows > 80_000, "country filter keeps the VE majority");
+    // Bit-exact median agreement pins the borrowed visit order to the
+    // owned batch order (P² is order-sensitive).
+    let owned_median = {
+        let reader = lacnet_mlab::ColumnReader::open(&big).expect("container opens");
+        let (batch, _) = reader.read_counted(&big_selection).expect("owned decode");
+        let mut p2 = lacnet_types::stats::P2Quantile::median();
+        for &v in batch.download() {
+            p2.observe(v);
+        }
+        p2.value()
+    };
+    let borrowed_median = {
+        let reader = lacnet_mlab::ColumnReader::open(&big).expect("container opens");
+        let mut scratch = lacnet_mlab::DecodeScratch::new();
+        let mut p2 = lacnet_types::stats::P2Quantile::median();
+        reader
+            .scan_counted(&big_selection, &mut scratch, |view| {
+                for v in view.download().iter() {
+                    p2.observe(v);
+                }
+                Ok(())
+            })
+            .expect("borrowed scan");
+        p2.value()
+    };
+    assert_eq!(borrowed_median, owned_median, "medians bit-identical");
+    // Selectivity: the fan-out decoded one column of each shard's
+    // matching blocks, never the whole tree.
+    assert_eq!(fanned.read.columns_decoded, fanned.read.blocks_decoded);
+
+    let mut group = c.benchmark_group("range_query");
+    group.sample_size(10);
+    group.bench_function("borrowed", |b| b.iter(|| black_box(borrowed())));
+    group.bench_function("owned", |b| b.iter(|| black_box(owned())));
+    group.bench_function("fanout", |b| b.iter(|| black_box(fanout())));
+    group.bench_function("whole_archive", |b| b.iter(|| black_box(whole_archive())));
+    group.finish();
+}
+
 criterion_group!(
     name = archive;
     config = Criterion::default();
-    targets = bench_archive_load, bench_cold_load, bench_cold_query
+    targets = bench_archive_load, bench_cold_load, bench_cold_query, bench_range_query
 );
 criterion_main!(archive);

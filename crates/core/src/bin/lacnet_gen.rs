@@ -26,7 +26,10 @@
 //! Re-running over an existing tree refreshes incrementally: NDT shards
 //! whose inputs (seed, per-country volume scale, scenario, format) are
 //! unchanged per `mlab/manifest.tsv` are left untouched unless `--force`
-//! is given.
+//! is given. `mlab/index.tsv` records each shard's row/block census plus
+//! its min/max day span, which the serve layer's range queries use to
+//! prune shards without opening them; re-running upgrades older
+//! four-column index records to the day-span form in place.
 
 use lacnet_core::datasets::{self, DumpOptions};
 use lacnet_crisis::{Scenario, World, WorldConfig};

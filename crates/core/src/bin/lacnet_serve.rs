@@ -139,6 +139,11 @@ fn main() {
         options.threads,
         options.cache_capacity
     );
+    eprintln!(
+        "NDT queries: {} and {}",
+        lacnet_core::registry::NDT_MONTH_ROUTE,
+        lacnet_core::registry::NDT_RANGE_ROUTE
+    );
     if let Err(e) = server.run() {
         die(&format!("server failed: {e}"));
     }

@@ -143,12 +143,19 @@ pub struct ShardIndexRecord {
     pub rows: u64,
     /// Independently decodable blocks (1 for text and v1 containers).
     pub blocks: u64,
+    /// Min/max test day (days since epoch) across the shard's rows —
+    /// the range-query pruning summary. `None` for empty shards, for v1
+    /// columnar containers (no footer index to consult cheaply) and for
+    /// records read back from a pre-PR-10 four-column index; a `None`
+    /// shard is never pruned, only ever decoded.
+    pub days: Option<(i64, i64)>,
 }
 
 /// Parse the shard index of a dumped tree, keyed by `CC/YYYY-MM` label.
 /// A missing or malformed index yields an empty map — it is an
 /// accelerator derived from the tree, never a source of truth, so
-/// consumers must fall back to probing shard files.
+/// consumers must fall back to probing shard files. Four-column records
+/// from older dumps parse fine with an unknown day span.
 pub fn read_shard_index(root: &Path) -> BTreeMap<String, ShardIndexRecord> {
     let mut map = BTreeMap::new();
     let Ok(text) = fs::read_to_string(root.join(MLAB_INDEX)) else {
@@ -167,30 +174,65 @@ pub fn read_shard_index(root: &Path) -> BTreeMap<String, ShardIndexRecord> {
         let (Ok(rows), Ok(blocks)) = (rows.parse(), blocks.parse()) else {
             continue;
         };
+        let days = match (cols.next(), cols.next()) {
+            (Some(min), Some(max)) => match (min.parse(), max.parse()) {
+                (Ok(min), Ok(max)) if min <= max => Some((min, max)),
+                _ => None,
+            },
+            _ => None,
+        };
         map.insert(
             label.to_owned(),
             ShardIndexRecord {
                 path: path.to_owned(),
                 rows,
                 blocks,
+                days,
             },
         );
     }
     map
 }
 
-/// Row/block census of one encoded shard, for the shard index.
-fn shard_census(bytes: &[u8], format: ShardFormat) -> io::Result<(u64, u64)> {
+/// One shard's index record payload: rows, blocks, and the
+/// `(min_day, max_day)` span when the encoding can state it.
+type ShardCensus = (u64, u64, Option<(i64, i64)>);
+
+/// Row/block/day-span census of one encoded shard, for the shard index.
+/// Text shards scan the date field per row; v2 containers answer from
+/// the footer index alone; v1 containers report an unknown span.
+fn shard_census(bytes: &[u8], format: ShardFormat) -> io::Result<ShardCensus> {
     match format {
         ShardFormat::Text => {
-            let rows = bytes
+            let mut rows = 0u64;
+            let mut days: Option<(i64, i64)> = None;
+            for line in bytes
                 .split(|&b| b == b'\n')
                 .filter(|l| !l.is_empty() && l[0] != b'#')
-                .count();
-            Ok((rows as u64, 1))
+            {
+                rows += 1;
+                let date_field = line.split(|&b| b == b'\t').next().unwrap_or(&[]);
+                let d = std::str::from_utf8(date_field)
+                    .ok()
+                    .and_then(|s| s.parse::<lacnet_types::Date>().ok())
+                    .ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "ndt text shard date field")
+                    })?
+                    .days_since_epoch();
+                days = Some(match days {
+                    None => (d, d),
+                    Some((lo, hi)) => (lo.min(d), hi.max(d)),
+                });
+            }
+            Ok((rows, 1, days))
         }
-        ShardFormat::Columnar => columnar::container_stats(bytes)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        ShardFormat::Columnar => {
+            let (rows, blocks) = columnar::container_stats(bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            let days = columnar::container_day_span(bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            Ok((rows, blocks, days))
+        }
     }
 }
 
@@ -468,13 +510,15 @@ pub fn dump_with(world: &World, root: &Path, options: DumpOptions) -> io::Result
         },
     );
     let mut shard_manifest = format!("# lacnet NDT shard manifest ({SHARD_GEN_VERSION})\n");
-    let mut shard_index =
-        format!("# lacnet NDT shard index ({SHARD_GEN_VERSION}): label\tpath\trows\tblocks\n");
+    let mut shard_index = format!(
+        "# lacnet NDT shard index ({SHARD_GEN_VERSION}): \
+         label\tpath\trows\tblocks\tmin_day\tmax_day\n"
+    );
     for (&(shard, _), bytes) in jobs.iter().zip(&encoded) {
         let (cc, month) = shard;
         let label = format!("{cc}/{month}");
         let rel = mlab_shard_path_with(shard, fmt);
-        let (content_hash, rows, blocks) = match bytes {
+        let (content_hash, rows, blocks, days) = match bytes {
             Some(bytes) => {
                 write_bytes(root, &rel, bytes, &mut summary)?;
                 // Drop a stale sibling left by a dump in the other format
@@ -488,20 +532,24 @@ pub fn dump_with(world: &World, root: &Path, options: DumpOptions) -> io::Result
                 );
                 let _ = fs::remove_file(root.join(stale));
                 summary.shards_written += 1;
-                let (rows, blocks) = shard_census(bytes, fmt)?;
-                (codec::fnv1a64(bytes), rows, blocks)
+                let (rows, blocks, days) = shard_census(bytes, fmt)?;
+                (codec::fnv1a64(bytes), rows, blocks, days)
             }
             None => {
                 summary.files.push(rel.clone());
                 summary.shards_skipped += 1;
                 // Reuse the previous index record for untouched shards;
-                // a pre-index tree (no index.tsv yet) is censused from
-                // the file it proved exists during the freshness check.
-                let (rows, blocks) = match previous_index.get(&label) {
-                    Some(rec) if rec.path == rel => (rec.rows, rec.blocks),
+                // a pre-index tree (no index.tsv yet) — or a pre-day-span
+                // index whose non-empty record can't say what it covers —
+                // is censused from the file it proved exists during the
+                // freshness check.
+                let (rows, blocks, days) = match previous_index.get(&label) {
+                    Some(rec) if rec.path == rel && (rec.days.is_some() || rec.rows == 0) => {
+                        (rec.rows, rec.blocks, rec.days)
+                    }
                     _ => shard_census(&fs::read(root.join(&rel))?, fmt)?,
                 };
-                (previous[&label].content_hash, rows, blocks)
+                (previous[&label].content_hash, rows, blocks, days)
             }
         };
         let _ = writeln!(
@@ -509,7 +557,14 @@ pub fn dump_with(world: &World, root: &Path, options: DumpOptions) -> io::Result
             "{label}\t{:016x}\t{content_hash:016x}\t{rel}",
             shard_fingerprint(&world.config, &world.scenario, codec_tag, shard),
         );
-        let _ = writeln!(shard_index, "{label}\t{rel}\t{rows}\t{blocks}");
+        let (min_day, max_day) = match days {
+            Some((lo, hi)) => (lo.to_string(), hi.to_string()),
+            None => ("-".to_owned(), "-".to_owned()),
+        };
+        let _ = writeln!(
+            shard_index,
+            "{label}\t{rel}\t{rows}\t{blocks}\t{min_day}\t{max_day}"
+        );
     }
     write(root, MLAB_MANIFEST, &shard_manifest, &mut summary)?;
     write(root, MLAB_INDEX, &shard_index, &mut summary)?;

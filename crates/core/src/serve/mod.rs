@@ -164,7 +164,14 @@ impl ServerState {
                         .collect(),
                 ),
             ),
-            ("ndt_query".into(), Json::Str("/ndt/{CC}/{YYYY-MM}".into())),
+            (
+                "ndt_query".into(),
+                Json::Str(registry::NDT_MONTH_ROUTE.into()),
+            ),
+            (
+                "ndt_range".into(),
+                Json::Str(registry::NDT_RANGE_ROUTE.into()),
+            ),
         ])
         .to_text();
         let endpoints_body = Json::Arr(
@@ -393,7 +400,7 @@ fn route_data(
     t0: Instant,
 ) -> Response {
     if let Some(rest) = path.strip_prefix("/ndt/") {
-        return ndt_query(state, source, fingerprint, rest, t0);
+        return ndt_query(state, source, fingerprint, rest, query, t0);
     }
     match registry::find_by_path(path) {
         Some(endpoint) => {
@@ -464,20 +471,48 @@ fn route_data(
     }
 }
 
-/// Serve `/ndt/{CC}/{YYYY-MM}`: one `(country, month)` NDT query routed
-/// through [`DataSource::ndt_month_stats`] — on a v2 columnar archive
+/// The `read` object every NDT response carries: how much of the
+/// backing archive the query actually touched.
+fn read_stats_json(read: &lacnet_mlab::ReadStats) -> Json {
+    Json::Obj(vec![
+        ("blocks_total".into(), Json::Num(read.blocks_total as f64)),
+        (
+            "blocks_decoded".into(),
+            Json::Num(read.blocks_decoded as f64),
+        ),
+        ("bytes_decoded".into(), Json::Num(read.bytes_decoded as f64)),
+        (
+            "columns_decoded".into(),
+            Json::Num(read.columns_decoded as f64),
+        ),
+    ])
+}
+
+/// Serve the `/ndt/` prefix. A path with a month segment —
+/// `/ndt/{CC}/{YYYY-MM}` — is one `(country, month)` query routed
+/// through [`DataSource::ndt_month_stats`]; on a v2 columnar archive
 /// that decodes only the matching blocks' download column, and the
-/// response reports exactly how much of the shard was touched. Results
-/// (including 404s: shard absence is a property of the fingerprinted
-/// archive generation) are cached; backend I/O errors are not.
+/// response reports exactly how much of the shard was touched. A bare
+/// country — `/ndt/{CC}?from=YYYY-MM&to=YYYY-MM` — is a range query
+/// through [`DataSource::ndt_range_stats`]: the shard plan is pruned on
+/// the resident index, fanned across workers, and merged in
+/// deterministic plan order. Results (including 404s: shard absence is
+/// a property of the fingerprinted archive generation) are cached under
+/// the normalized range, so every spelling of one window shares one LRU
+/// slot; malformed or reversed or out-of-dataset ranges are typed 400s
+/// that never occupy a computed slot; backend I/O errors are not cached.
 fn ndt_query(
     state: &ServerState,
     source: &Arc<DataSource<'static>>,
     fingerprint: &str,
     rest: &str,
+    query: &str,
     t0: Instant,
 ) -> Response {
     use lacnet_types::{CountryCode, MonthStamp};
+    if !rest.contains('/') {
+        return ndt_range_query(state, source, fingerprint, rest, query, t0);
+    }
     let parsed = rest.split_once('/').and_then(|(cc, month)| {
         Some((
             CountryCode::new(cc).ok()?,
@@ -523,27 +558,7 @@ fn ndt_query(
                     stats.median_download.map_or(Json::Null, Json::Num),
                 ),
                 ("format".into(), Json::Str(stats.format.into())),
-                (
-                    "read".into(),
-                    Json::Obj(vec![
-                        (
-                            "blocks_total".into(),
-                            Json::Num(stats.read.blocks_total as f64),
-                        ),
-                        (
-                            "blocks_decoded".into(),
-                            Json::Num(stats.read.blocks_decoded as f64),
-                        ),
-                        (
-                            "bytes_decoded".into(),
-                            Json::Num(stats.read.bytes_decoded as f64),
-                        ),
-                        (
-                            "columns_decoded".into(),
-                            Json::Num(stats.read.columns_decoded as f64),
-                        ),
-                    ]),
-                ),
+                ("read".into(), read_stats_json(&stats.read)),
             ])
             .to_text();
             Response::new(200, "application/json", body.into_bytes())
@@ -560,6 +575,133 @@ fn ndt_query(
     state
         .metrics
         .record("ndt", Outcome::Miss, t0.elapsed().as_secs_f64());
+    response
+}
+
+/// Serve `/ndt/{CC}?from=YYYY-MM&to=YYYY-MM` — the range form of the
+/// NDT query. Validation happens entirely before the cache: the query
+/// string is strictly normalized (so `?to=…&from=…` and percent-escaped
+/// spellings collapse to one canonical `{cc}/{from}/{to}` key), months
+/// must parse, `from` must not exceed `to`, and the window must
+/// intersect the dataset's NDT months. Only validated ranges can occupy
+/// an LRU slot.
+fn ndt_range_query(
+    state: &ServerState,
+    source: &Arc<DataSource<'static>>,
+    fingerprint: &str,
+    rest: &str,
+    query: &str,
+    t0: Instant,
+) -> Response {
+    use lacnet_types::{CountryCode, MonthStamp};
+    let reject = |message: &str| -> Response {
+        state
+            .metrics
+            .record("ndt-range", Outcome::Uncached, t0.elapsed().as_secs_f64());
+        json_error(400, message)
+    };
+    let Ok(cc) = CountryCode::new(rest) else {
+        return reject("ndt range path must be /ndt/{CC}?from=YYYY-MM&to=YYYY-MM");
+    };
+    let Some(pairs) = http::normalize_query(query) else {
+        return reject("malformed percent-escape in query");
+    };
+    let month_param = |key: &str| -> Option<Result<MonthStamp, ()>> {
+        pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.parse::<MonthStamp>().map_err(|_| ()))
+    };
+    let (from, to) = match (month_param("from"), month_param("to")) {
+        (Some(Ok(from)), Some(Ok(to))) => (from, to),
+        (None, _) | (_, None) => {
+            return reject("ndt range query needs both from=YYYY-MM and to=YYYY-MM")
+        }
+        _ => return reject("from/to must be YYYY-MM months"),
+    };
+    if from > to {
+        return reject("ndt range: from month after to month");
+    }
+    let (first, last) = source.ndt_month_bounds();
+    if to < first || from > last {
+        return reject("ndt range lies outside the dataset months");
+    }
+    let key = (
+        "ndt-range".to_owned(),
+        format!("{cc}/{from}/{to}"),
+        fingerprint.to_owned(),
+    );
+    if let Some(cached) = state.cache.get(&key) {
+        state
+            .metrics
+            .record("ndt-range", Outcome::Hit, t0.elapsed().as_secs_f64());
+        return Response::new(
+            cached.status,
+            cached.content_type,
+            cached.bytes.as_ref().clone(),
+        );
+    }
+    let response = match source.ndt_range_stats(cc, from, to) {
+        Err(e) => {
+            state
+                .metrics
+                .record("ndt-range", Outcome::Uncached, t0.elapsed().as_secs_f64());
+            return json_error(500, &e.to_string());
+        }
+        Ok(stats) if stats.months.is_empty() => {
+            json_error(404, "no NDT shards for that country in that range")
+        }
+        Ok(stats) => {
+            let months = stats
+                .months
+                .iter()
+                .map(|(month, m)| {
+                    Json::Obj(vec![
+                        ("month".into(), Json::Str(month.to_string())),
+                        ("rows".into(), Json::Num(m.rows as f64)),
+                        (
+                            "median_download_mbps".into(),
+                            m.median_download.map_or(Json::Null, Json::Num),
+                        ),
+                        ("format".into(), Json::Str(m.format.into())),
+                    ])
+                })
+                .collect();
+            let body = Json::Obj(vec![
+                ("country".into(), Json::Str(cc.to_string())),
+                ("from".into(), Json::Str(from.to_string())),
+                ("to".into(), Json::Str(to.to_string())),
+                (
+                    "months_queried".into(),
+                    Json::Num(stats.months_queried as f64),
+                ),
+                (
+                    "shards_pruned".into(),
+                    Json::Num(stats.shards_pruned as f64),
+                ),
+                ("rows".into(), Json::Num(stats.rows as f64)),
+                (
+                    "mean_monthly_median_mbps".into(),
+                    stats.mean_monthly_median.map_or(Json::Null, Json::Num),
+                ),
+                ("months".into(), Json::Arr(months)),
+                ("read".into(), read_stats_json(&stats.read)),
+            ])
+            .to_text();
+            Response::new(200, "application/json", body.into_bytes())
+        }
+    };
+    state.cache.insert(
+        key,
+        CachedBody {
+            status: response.status,
+            content_type: response.content_type,
+            bytes: Arc::new(response.body.clone()),
+        },
+    );
+    state
+        .metrics
+        .record("ndt-range", Outcome::Miss, t0.elapsed().as_secs_f64());
     response
 }
 
@@ -871,5 +1013,90 @@ mod tests {
         assert_eq!(get(&state, "/ndt/VEN/2020-01").status, 400);
         assert_eq!(get(&state, "/ndt/VE/whenever").status, 400);
         assert_eq!(get(&state, "/ndt/VE").status, 400);
+    }
+
+    #[test]
+    fn ndt_range_query_validates_normalizes_and_caches() {
+        use lacnet_types::country;
+        let state = fresh_state();
+        let series: Vec<_> = state
+            .source
+            .mlab()
+            .median_series(country::VE)
+            .iter()
+            .collect();
+        assert!(series.len() >= 4, "test world spans years");
+        let (from, _) = series[series.len() - 4];
+        let (to, _) = *series.last().unwrap();
+
+        let ok = get(&state, &format!("/ndt/VE?from={from}&to={to}"));
+        assert_eq!(ok.status, 200, "{:?}", String::from_utf8_lossy(&ok.body));
+        let body = Json::parse(std::str::from_utf8(&ok.body).unwrap()).unwrap();
+        assert_eq!(body.get("country").and_then(|v| v.as_str()), Some("VE"));
+        assert_eq!(
+            body.get("from").and_then(|v| v.as_str()),
+            Some(from.to_string().as_str())
+        );
+        assert_eq!(
+            body.get("months_queried").and_then(|v| v.as_f64()),
+            Some(4.0)
+        );
+        assert!(body.get("rows").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        let months = match body.get("months") {
+            Some(Json::Arr(rows)) => rows.clone(),
+            other => panic!("months must be an array, got {other:?}"),
+        };
+        assert_eq!(months.len(), 4);
+        // The range body agrees with the single-month endpoint per month.
+        for m in &months {
+            let month = m.get("month").and_then(|v| v.as_str()).unwrap().to_owned();
+            let single = get(&state, &format!("/ndt/VE/{month}"));
+            let single = Json::parse(std::str::from_utf8(&single.body).unwrap()).unwrap();
+            assert_eq!(
+                m.get("rows").and_then(|v| v.as_f64()),
+                single.get("rows").and_then(|v| v.as_f64()),
+                "{month}"
+            );
+            assert_eq!(
+                m.get("median_download_mbps").and_then(|v| v.as_f64()),
+                single.get("median_download_mbps").and_then(|v| v.as_f64()),
+                "{month}"
+            );
+        }
+
+        // Reordered and percent-escaped spellings of the same window are
+        // cache hits serving identical bytes — one slot, not three.
+        let reordered = get(&state, &format!("/ndt/VE?to={to}&from={from}"));
+        assert_eq!(ok.body, reordered.body);
+        let escaped = get(&state, &format!("/ndt/VE?from={from}&%74o={to}"));
+        assert_eq!(ok.body, escaped.body);
+        let text = state.metrics().render();
+        assert!(
+            text.contains("lacnet_cache_misses_total{endpoint=\"ndt-range\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lacnet_cache_hits_total{endpoint=\"ndt-range\"} 2"),
+            "{text}"
+        );
+
+        // Typed 400s: reversed, out-of-dataset, missing or malformed
+        // months, malformed escapes, malformed country.
+        assert_eq!(
+            get(&state, &format!("/ndt/VE?from={to}&to={from}")).status,
+            400
+        );
+        assert_eq!(get(&state, "/ndt/VE?from=1805-01&to=1806-01").status, 400);
+        assert_eq!(get(&state, "/ndt/VE?from=2020-01").status, 400);
+        assert_eq!(get(&state, "/ndt/VE?to=2020-01").status, 400);
+        assert_eq!(get(&state, "/ndt/VE?from=whenever&to=2020-01").status, 400);
+        assert_eq!(get(&state, "/ndt/VE?from=%zz&to=2020-01").status, 400);
+        assert_eq!(get(&state, "/ndt/VEN?from=2020-01&to=2020-02").status, 400);
+        // None of the rejects computed or occupied a cache slot.
+        let text = state.metrics().render();
+        assert!(
+            text.contains("lacnet_cache_misses_total{endpoint=\"ndt-range\"} 1"),
+            "{text}"
+        );
     }
 }

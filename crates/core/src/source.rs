@@ -25,7 +25,7 @@ use lacnet_crisis::world::SnapshotCache;
 use lacnet_crisis::{bandwidth, blackouts, Economy, World, WorldConfig};
 use lacnet_mlab::aggregate::{Mode, MonthlyAggregator};
 use lacnet_mlab::columnar::{
-    self, ColumnReader, ColumnSelection, ColumnSet, ReadStats, ShardFormat,
+    self, ColumnReaderRef, ColumnSelection, ColumnSet, DecodeScratch, ReadStats, ShardFormat,
 };
 use lacnet_offnets::certs::CertScan;
 use lacnet_peeringdb::{Snapshot, SnapshotArchive};
@@ -94,6 +94,31 @@ pub struct NdtMonthStats {
     /// `text`, or `in-memory`).
     pub format: &'static str,
     /// Decode accounting (zero for text and in-memory backings).
+    pub read: ReadStats,
+}
+
+/// What a `(country, [from, to])` NDT range query returns: the
+/// per-month answers in ascending month order — each entry equal to
+/// what the single-month query for that `(country, month)` would have
+/// returned — plus the range-level merges. The merge is deterministic
+/// by construction: shards decode on sweep workers but results are
+/// folded in shard-plan (month) order, never completion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdtRangeStats {
+    /// Months in `[from, to]` with a shard in the archive, ascending.
+    pub months: Vec<(MonthStamp, NdtMonthStats)>,
+    /// Total matching tests across the range.
+    pub rows: usize,
+    /// Mean of the monthly median downloads (Mbit/s); `None` when no
+    /// month in the range produced a median.
+    pub mean_monthly_median: Option<f64>,
+    /// Months the inclusive `[from, to]` span covers.
+    pub months_queried: usize,
+    /// Shards skipped without opening a file because the resident shard
+    /// index's day-span summary proves they cannot intersect the range.
+    pub shards_pruned: usize,
+    /// Merged decode accounting across every decoded shard — the sum of
+    /// the per-month `read` fields.
     pub read: ReadStats,
 }
 
@@ -284,6 +309,31 @@ impl ArchiveWorld {
         })
     }
 
+    /// Resolve the shard file answering `(cc, month)`: the resident
+    /// shard index (parsed once at load) maps the label to its path and
+    /// day-span summary; pre-index trees fall back to probing both
+    /// encodings, columnar first (mirroring load-time auto-detection).
+    fn resolve_ndt_shard(
+        &self,
+        cc: CountryCode,
+        month: MonthStamp,
+    ) -> Option<(String, Option<(i64, i64)>)> {
+        let label = format!("{cc}/{month}");
+        if let Some(rec) = self.ndt_index.get(&label) {
+            return Some((rec.path.clone(), rec.days));
+        }
+        let shard = (cc, month);
+        let columnar_rel = crate::datasets::mlab_shard_path_with(shard, ShardFormat::Columnar);
+        if self.root.join(&columnar_rel).exists() {
+            return Some((columnar_rel, None));
+        }
+        let text_rel = crate::datasets::mlab_shard_path_with(shard, ShardFormat::Text);
+        self.root
+            .join(&text_rel)
+            .exists()
+            .then_some((text_rel, None))
+    }
+
     /// Answer one `(country, month)` NDT query straight off the archive:
     /// the shard index maps the query to its single shard file, and a v2
     /// container decodes only the download column of the blocks whose
@@ -294,41 +344,47 @@ impl ArchiveWorld {
         cc: CountryCode,
         month: MonthStamp,
     ) -> Result<Option<NdtMonthStats>> {
-        let label = format!("{cc}/{month}");
-        let rel = match self.ndt_index.get(&label) {
-            Some(rec) => rec.path.clone(),
-            None => {
-                // Pre-index tree: probe both encodings, columnar first
-                // (mirrors the load-time auto-detection).
-                let shard = (cc, month);
-                let columnar_rel =
-                    crate::datasets::mlab_shard_path_with(shard, ShardFormat::Columnar);
-                let text_rel = crate::datasets::mlab_shard_path_with(shard, ShardFormat::Text);
-                if self.root.join(&columnar_rel).exists() {
-                    columnar_rel
-                } else if self.root.join(&text_rel).exists() {
-                    text_rel
-                } else {
-                    return Ok(None);
-                }
-            }
+        let Some((rel, _)) = self.resolve_ndt_shard(cc, month) else {
+            return Ok(None);
         };
-        let path = self.root.join(&rel);
+        let mut scratch = DecodeScratch::new();
+        self.ndt_shard_stats(cc, month, &rel, &mut scratch)
+    }
+
+    /// Decode one resolved shard — the shared per-shard body of the
+    /// single-month and range queries. v2 containers go through the
+    /// borrowed [`ColumnReaderRef::scan_counted`] path: download values
+    /// feed the order-sensitive P² estimator straight off the
+    /// [`lacnet_mlab::ColumnSlice`] view and dictionary columns land in
+    /// the caller's reusable scratch, so after warm-up the only
+    /// per-shard heap work is the file read itself.
+    fn ndt_shard_stats(
+        &self,
+        cc: CountryCode,
+        month: MonthStamp,
+        rel: &str,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Option<NdtMonthStats>> {
+        let path = self.root.join(rel);
         if !path.exists() {
             return Ok(None);
         }
         let mut p2 = P2Quantile::median();
         if rel.ends_with(".ndtc") {
-            let bytes = fs::read(&path).map_err(|_| Error::missing("NDT archive shard", &rel))?;
+            let bytes = fs::read(&path).map_err(|_| Error::missing("NDT archive shard", rel))?;
             if bytes.get(4) == Some(&columnar::VERSION_V2) {
-                let reader = ColumnReader::open(&bytes)?;
+                let reader = ColumnReaderRef::open(&bytes)?;
                 let selection = ColumnSelection::columns(ColumnSet::DOWNLOAD).with_country(cc);
-                let (batch, read) = reader.read_counted(&selection)?;
-                for &v in batch.download() {
-                    p2.observe(v);
-                }
+                let mut rows = 0usize;
+                let read = reader.scan_counted(&selection, scratch, |view| {
+                    rows += view.download().len();
+                    for v in view.download().iter() {
+                        p2.observe(v);
+                    }
+                    Ok(())
+                })?;
                 Ok(Some(NdtMonthStats {
-                    rows: batch.download().len(),
+                    rows,
                     median_download: p2.value(),
                     format: "columnar-v2",
                     read,
@@ -352,7 +408,7 @@ impl ArchiveWorld {
             }
         } else {
             let file =
-                fs::File::open(&path).map_err(|_| Error::missing("NDT archive shard", &rel))?;
+                fs::File::open(&path).map_err(|_| Error::missing("NDT archive shard", rel))?;
             let mut rows = 0usize;
             for row in lacnet_mlab::ndt::stream_rows(io::BufReader::new(file)) {
                 let row = row?;
@@ -368,6 +424,92 @@ impl ArchiveWorld {
                 read: ReadStats::default(),
             }))
         }
+    }
+
+    /// Answer a `(country, [from, to])` NDT range query: walk the
+    /// resident shard index once to build the shard plan, prune shards
+    /// whose indexed day span cannot intersect the window, fan the
+    /// surviving selective reads across `sweep` workers (one scratch
+    /// arena per shard), and merge in plan order so the result is
+    /// byte-stable at any worker count. `Err` on a reversed range;
+    /// months without data simply don't appear in the result.
+    pub fn ndt_range_stats(
+        &self,
+        cc: CountryCode,
+        from: MonthStamp,
+        to: MonthStamp,
+    ) -> Result<NdtRangeStats> {
+        if from > to {
+            return Err(Error::invalid("NDT range: from month after to month"));
+        }
+        let lo = from.first_day().days_since_epoch();
+        let hi = to.last_day().days_since_epoch();
+        let months_queried = (from.months_until(to) + 1) as usize;
+        let mut shards_pruned = 0usize;
+        let mut plan: Vec<(MonthStamp, String)> = Vec::new();
+        if self.ndt_index.is_empty() {
+            // Pre-index tree: no summaries to prune by — probe each
+            // month's shard paths directly.
+            for month in from.through(to) {
+                if let Some((rel, _)) = self.resolve_ndt_shard(cc, month) {
+                    plan.push((month, rel));
+                }
+            }
+        } else {
+            // One ordered walk over the country's slice of the resident
+            // index (`BTreeMap` range on the `CC/` label prefix). A
+            // shard stays in the plan only if its month is inside the
+            // window *and* its day-span summary can intersect it — a
+            // summary that proves otherwise (sparse or mislabeled data,
+            // or future partial live-ingested months) skips the file
+            // without opening it. Unknown spans are never pruned.
+            let prefix = format!("{cc}/");
+            for (label, rec) in self.ndt_index.range(prefix.clone()..) {
+                let Some(month) = label.strip_prefix(&prefix) else {
+                    break;
+                };
+                let Ok(month) = month.parse::<MonthStamp>() else {
+                    continue;
+                };
+                if month < from || month > to {
+                    continue;
+                }
+                match rec.days {
+                    Some((min_day, max_day)) if max_day < lo || min_day > hi => {
+                        shards_pruned += 1;
+                    }
+                    _ => plan.push((month, rec.path.clone())),
+                }
+            }
+        }
+        let results =
+            sweep::parallel_map_with(sweep::worker_count(plan.len()), &plan, |(month, rel)| {
+                let mut scratch = DecodeScratch::new();
+                self.ndt_shard_stats(cc, *month, rel, &mut scratch)
+            });
+        let mut months = Vec::with_capacity(plan.len());
+        let mut rows = 0usize;
+        let mut read = ReadStats::default();
+        let mut median_sum = 0.0;
+        let mut median_count = 0usize;
+        for ((month, _), result) in plan.into_iter().zip(results) {
+            let Some(stats) = result? else { continue };
+            rows += stats.rows;
+            read.absorb(stats.read);
+            if let Some(m) = stats.median_download {
+                median_sum += m;
+                median_count += 1;
+            }
+            months.push((month, stats));
+        }
+        Ok(NdtRangeStats {
+            months,
+            rows,
+            mean_monthly_median: (median_count > 0).then(|| median_sum / median_count as f64),
+            months_queried,
+            shards_pruned,
+            read,
+        })
     }
 
     /// The pfx2as table for `month`, parsed lazily from the monthly dump
@@ -541,6 +683,69 @@ impl<'w> DataSource<'w> {
             })),
             DataSource::Archive(a) => a.ndt_month_stats(cc, month),
         }
+    }
+
+    /// A `(country, [from, to])` NDT range query — the
+    /// `/ndt/{cc}?from=&to=` serve endpoint. The in-memory backend
+    /// walks the resident aggregate's groups; the archive backend
+    /// merges parallel per-shard selective reads in plan order (see
+    /// [`ArchiveWorld::ndt_range_stats`]). Both return per-month
+    /// entries equal to the corresponding single-month query. `Err` on
+    /// a reversed range.
+    pub fn ndt_range_stats(
+        &self,
+        cc: CountryCode,
+        from: MonthStamp,
+        to: MonthStamp,
+    ) -> Result<NdtRangeStats> {
+        match self {
+            DataSource::InMemory(w) => {
+                if from > to {
+                    return Err(Error::invalid("NDT range: from month after to month"));
+                }
+                let mut months = Vec::new();
+                let mut rows = 0usize;
+                let mut median_sum = 0.0;
+                let mut median_count = 0usize;
+                let mut months_queried = 0usize;
+                for month in from.through(to) {
+                    months_queried += 1;
+                    let Some(g) = w.mlab.group(cc, month) else {
+                        continue;
+                    };
+                    let stats = NdtMonthStats {
+                        rows: g.count(),
+                        median_download: g.median(),
+                        format: "in-memory",
+                        read: ReadStats::default(),
+                    };
+                    rows += stats.rows;
+                    if let Some(m) = stats.median_download {
+                        median_sum += m;
+                        median_count += 1;
+                    }
+                    months.push((month, stats));
+                }
+                Ok(NdtRangeStats {
+                    months,
+                    rows,
+                    mean_monthly_median: (median_count > 0)
+                        .then(|| median_sum / median_count as f64),
+                    months_queried,
+                    shards_pruned: 0,
+                    read: ReadStats::default(),
+                })
+            }
+            DataSource::Archive(a) => a.ndt_range_stats(cc, from, to),
+        }
+    }
+
+    /// The inclusive month window the backend's NDT data can cover:
+    /// `[mlab_start, config.end]` — the dataset's own generation window.
+    /// The serve layer rejects range queries entirely outside it as
+    /// client errors before touching the cache or any shard.
+    pub fn ndt_month_bounds(&self) -> (MonthStamp, MonthStamp) {
+        (windows::mlab_start(), self.config().end)
     }
 
     /// Yearly TLS scans 2013–2021 (Figs. 7, 18).
@@ -740,6 +945,104 @@ mod tests {
             .ndt_month_stats(country::VE, MonthStamp::new(1999, 1))
             .unwrap()
             .is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn range_query_merges_single_month_queries() {
+        let world = crate::experiments::testworld::world();
+        let dir = std::env::temp_dir().join(format!("lacnet-src-range-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        crate::datasets::dump_with(
+            world,
+            &dir,
+            crate::datasets::DumpOptions {
+                shard_format: ShardFormat::Columnar,
+                ..crate::datasets::DumpOptions::default()
+            },
+        )
+        .expect("columnar dump succeeds");
+        let src = DataSource::from_archive(&dir).expect("archive loads");
+        let (from, to) = (MonthStamp::new(2023, 3), MonthStamp::new(2023, 7));
+
+        let range = src
+            .ndt_range_stats(country::VE, from, to)
+            .expect("range query succeeds");
+        assert_eq!(range.months_queried, 5);
+        assert!(!range.months.is_empty());
+
+        // The range is exactly the plan-order merge of its constituent
+        // single-month queries — per-month entries, row total and the
+        // absorbed ReadStats all included.
+        let mut rows = 0usize;
+        let mut read = ReadStats::default();
+        for &(month, ref stats) in &range.months {
+            let single = src
+                .ndt_month_stats(country::VE, month)
+                .unwrap()
+                .expect("shard exists for listed month");
+            assert_eq!(stats, &single, "{month}");
+            rows += single.rows;
+            read.absorb(single.read);
+        }
+        assert_eq!(range.rows, rows);
+        assert_eq!(range.read, read);
+        assert_eq!(range.shards_pruned, 0);
+
+        // Worker-count determinism: the merge is in plan order, so the
+        // result is identical however the per-shard reads are scheduled
+        // (the sweep engine is already worker-count invariant; this
+        // pins the merge itself by re-running).
+        let again = src.ndt_range_stats(country::VE, from, to).unwrap();
+        assert_eq!(again, range);
+
+        // The in-memory backend answers the same shape with the same
+        // per-month rows and medians.
+        let mem = DataSource::in_memory(world)
+            .ndt_range_stats(country::VE, from, to)
+            .unwrap();
+        assert_eq!(mem.months.len(), range.months.len());
+        assert_eq!(mem.rows, range.rows);
+        for ((m_a, a), (m_b, b)) in mem.months.iter().zip(&range.months) {
+            assert_eq!(m_a, m_b);
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.median_download, b.median_download);
+        }
+        assert_eq!(mem.mean_monthly_median, range.mean_monthly_median);
+
+        // A reversed range is a typed error on both backends.
+        assert!(src.ndt_range_stats(country::VE, to, from).is_err());
+        assert!(DataSource::in_memory(world)
+            .ndt_range_stats(country::VE, to, from)
+            .is_err());
+
+        // Day-span pruning: rewrite one indexed month's summary so it
+        // provably cannot intersect the window. The reloaded archive
+        // must skip that shard without opening it — the summary is
+        // trusted for pruning, exactly like a v2 block index entry.
+        let index_path = dir.join(crate::datasets::MLAB_INDEX);
+        let text = std::fs::read_to_string(&index_path).unwrap();
+        let pruned_month = range.months[0].0;
+        let needle = format!("VE/{pruned_month}\t");
+        let rewritten: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with(&needle) {
+                    let mut cols: Vec<&str> = l.split('\t').collect();
+                    cols[4] = "0";
+                    cols[5] = "1";
+                    cols.join("\t") + "\n"
+                } else {
+                    l.to_owned() + "\n"
+                }
+            })
+            .collect();
+        std::fs::write(&index_path, rewritten).unwrap();
+        let reloaded = DataSource::from_archive(&dir).expect("archive reloads");
+        let pruned = reloaded.ndt_range_stats(country::VE, from, to).unwrap();
+        assert_eq!(pruned.shards_pruned, 1);
+        assert_eq!(pruned.months.len(), range.months.len() - 1);
+        assert!(pruned.months.iter().all(|(m, _)| *m != pruned_month));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

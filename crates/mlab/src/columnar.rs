@@ -83,8 +83,8 @@
 
 use crate::ndt::NdtTest;
 use lacnet_types::codec::{
-    crc32, put_f64, put_ivarint, put_u32, put_u64, put_uvarint, read_f64, read_ivarint, read_u32,
-    read_u64, read_uvarint,
+    crc32, f64_at, put_f64, put_ivarint, put_u32, put_u64, put_uvarint, read_f64, read_ivarint,
+    read_u32, read_u64, read_uvarint,
 };
 use lacnet_types::{Asn, CountryCode, Date, Error, Result};
 use std::io::Read;
@@ -490,8 +490,11 @@ fn encode_float_payload(col: &[f64], payload: &mut Vec<u8>) {
     }
 }
 
-fn decode_date_payload(block: &[u8], n: usize) -> Result<Vec<Date>> {
-    let mut out = Vec::with_capacity(n.min(1 << 20));
+/// Decode the date column into a caller-owned vector (cleared first).
+/// Writing into reusable scratch is what keeps the borrowed scan free of
+/// per-block allocations once the vector's capacity is warm.
+fn decode_date_payload_into(block: &[u8], n: usize, out: &mut Vec<Date>) -> Result<()> {
+    out.clear();
     let mut pos = 0;
     let mut days = 0i64;
     for _ in 0..n {
@@ -509,15 +512,28 @@ fn decode_date_payload(block: &[u8], n: usize) -> Result<Vec<Date>> {
     if pos != block.len() {
         return Err(Error::parse("ndtc date column (trailing bytes)", ""));
     }
+    Ok(())
+}
+
+fn decode_date_payload(block: &[u8], n: usize) -> Result<Vec<Date>> {
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    decode_date_payload_into(block, n, &mut out)?;
     Ok(out)
 }
 
-/// Decode the country column; returns `(values, dictionary)` so v2
-/// readers can cross-check the footer index's country summary.
-fn decode_country_payload(block: &[u8], n: usize) -> Result<(Vec<CountryCode>, Vec<CountryCode>)> {
+/// Decode the country column into caller-owned value and dictionary
+/// vectors (both cleared first); the dictionary is exposed so v2 readers
+/// can cross-check the footer index's country summary.
+fn decode_country_payload_into(
+    block: &[u8],
+    n: usize,
+    out: &mut Vec<CountryCode>,
+    dict: &mut Vec<CountryCode>,
+) -> Result<()> {
+    out.clear();
+    dict.clear();
     let mut pos = 0;
     let dict_len = read_uvarint(block, &mut pos)? as usize;
-    let mut dict = Vec::with_capacity(dict_len.min(256));
     for _ in 0..dict_len {
         let end = pos
             .checked_add(2)
@@ -528,7 +544,6 @@ fn decode_country_payload(block: &[u8], n: usize) -> Result<(Vec<CountryCode>, V
         dict.push(CountryCode::new(s)?);
         pos = end;
     }
-    let mut out = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         let idx = read_uvarint(block, &mut pos)? as usize;
         let &cc = dict
@@ -539,19 +554,33 @@ fn decode_country_payload(block: &[u8], n: usize) -> Result<(Vec<CountryCode>, V
     if pos != block.len() {
         return Err(Error::parse("ndtc country column (trailing bytes)", ""));
     }
+    Ok(())
+}
+
+fn decode_country_payload(block: &[u8], n: usize) -> Result<(Vec<CountryCode>, Vec<CountryCode>)> {
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    let mut dict = Vec::new();
+    decode_country_payload_into(block, n, &mut out, &mut dict)?;
     Ok((out, dict))
 }
 
-fn decode_asn_payload(block: &[u8], n: usize) -> Result<Vec<Asn>> {
+/// Decode the ASN column into caller-owned value and dictionary vectors
+/// (both cleared first).
+fn decode_asn_payload_into(
+    block: &[u8],
+    n: usize,
+    out: &mut Vec<Asn>,
+    dict: &mut Vec<Asn>,
+) -> Result<()> {
+    out.clear();
+    dict.clear();
     let mut pos = 0;
     let dict_len = read_uvarint(block, &mut pos)? as usize;
-    let mut dict = Vec::with_capacity(dict_len.min(256));
     for _ in 0..dict_len {
         let raw = read_uvarint(block, &mut pos)?;
         let raw = u32::try_from(raw).map_err(|_| Error::parse("ndtc asn dict entry", ""))?;
         dict.push(Asn(raw));
     }
-    let mut out = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         let idx = read_uvarint(block, &mut pos)? as usize;
         let &asn = dict
@@ -562,6 +591,13 @@ fn decode_asn_payload(block: &[u8], n: usize) -> Result<Vec<Asn>> {
     if pos != block.len() {
         return Err(Error::parse("ndtc asn column (trailing bytes)", ""));
     }
+    Ok(())
+}
+
+fn decode_asn_payload(block: &[u8], n: usize) -> Result<Vec<Asn>> {
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    let mut dict = Vec::new();
+    decode_asn_payload_into(block, n, &mut out, &mut dict)?;
     Ok(out)
 }
 
@@ -791,6 +827,179 @@ pub fn encode_v2_with(batch: &ColumnBatch, block_rows: usize) -> Vec<u8> {
 }
 
 // ---------------------------------------------------------------------
+// Borrowed (zero-copy) read path
+// ---------------------------------------------------------------------
+
+/// A borrowed fixed-width `f64` column: a view straight over one
+/// block's little-endian payload bytes, no copy into a `Vec`. Values
+/// materialize per access; the payload length is checked against the
+/// row count once at construction, so the accessors stay infallible.
+///
+/// (The container guarantees byte layout, not alignment, so this cannot
+/// be a `&[f64]` — each access assembles the 8 little-endian bytes,
+/// which the optimizer lowers to a plain unaligned load.)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColumnSlice<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> ColumnSlice<'a> {
+    /// Wrap a float-column payload carrying exactly `n` doubles.
+    fn new(bytes: &'a [u8], n: usize) -> Result<ColumnSlice<'a>> {
+        if bytes.len() != n * 8 {
+            return Err(Error::parse("ndtc float column (wrong size)", ""));
+        }
+        Ok(ColumnSlice { bytes })
+    }
+
+    /// The empty column — what a skipped column presents as.
+    pub const fn empty() -> ColumnSlice<'static> {
+        ColumnSlice { bytes: &[] }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / 8
+    }
+
+    /// Whether the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The `i`-th value. Panics if `i >= len()`, like slice indexing.
+    pub fn get(&self, i: usize) -> f64 {
+        f64_at(self.bytes, i)
+    }
+
+    /// Iterate the values in row order. The iterator borrows only the
+    /// container bytes, so it outlives the `ColumnSlice` handle itself.
+    /// Built on `chunks_exact` so the hot loop carries no per-element
+    /// bounds checks — the borrowed scan must not pay per-value for
+    /// skipping the owned path's `Vec` materialization.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + 'a {
+        self.bytes.chunks_exact(8).map(|raw| {
+            let mut le = [0u8; 8];
+            le.copy_from_slice(raw);
+            f64::from_bits(u64::from_le_bytes(le))
+        })
+    }
+}
+
+/// Caller-owned decode arena for the varint/dictionary columns of the
+/// borrowed read path. [`ColumnReader::scan_counted`] clears these
+/// vectors per block but never shrinks them, so after the first block
+/// has sized them a scan over any number of further blocks performs
+/// zero per-block heap allocations — the regression guard in
+/// `tests/alloc_guard.rs` pins exactly that.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    dates: Vec<Date>,
+    countries: Vec<CountryCode>,
+    asns: Vec<Asn>,
+    country_dict: Vec<CountryCode>,
+    asn_dict: Vec<Asn>,
+}
+
+impl DecodeScratch {
+    /// A fresh (cold) arena. Reuse one across blocks, shards and whole
+    /// range scans; ownership stays with the caller the entire time.
+    pub fn new() -> DecodeScratch {
+        DecodeScratch::default()
+    }
+
+    fn reset(&mut self) {
+        self.dates.clear();
+        self.countries.clear();
+        self.asns.clear();
+        self.country_dict.clear();
+        self.asn_dict.clear();
+    }
+}
+
+/// One decoded row-group block, borrowed: varint/dictionary columns
+/// live in the caller's [`DecodeScratch`] (lifetime `'s`), fixed-width
+/// float columns are [`ColumnSlice`] views straight over the container
+/// bytes (lifetime `'a`). Columns the [`ColumnSelection`] skipped are
+/// empty. The view is only valid inside the scan callback — the next
+/// block reuses the scratch underneath it.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockView<'a, 's> {
+    rows: usize,
+    dates: &'s [Date],
+    countries: &'s [CountryCode],
+    asns: &'s [Asn],
+    download: ColumnSlice<'a>,
+    upload: ColumnSlice<'a>,
+    min_rtt: ColumnSlice<'a>,
+    loss: ColumnSlice<'a>,
+}
+
+impl<'a, 's> BlockView<'a, 's> {
+    /// Rows in this block (populated columns all have this length).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The test dates, row order (empty if not selected).
+    pub fn dates(&self) -> &'s [Date] {
+        self.dates
+    }
+
+    /// The client countries, row order (empty if not selected).
+    pub fn countries(&self) -> &'s [CountryCode] {
+        self.countries
+    }
+
+    /// The client ASNs, row order (empty if not selected).
+    pub fn asns(&self) -> &'s [Asn] {
+        self.asns
+    }
+
+    /// The downstream throughputs (Mbit/s), row order.
+    pub fn download(&self) -> ColumnSlice<'a> {
+        self.download
+    }
+
+    /// The upstream throughputs (Mbit/s), row order.
+    pub fn upload(&self) -> ColumnSlice<'a> {
+        self.upload
+    }
+
+    /// The minimum RTTs (ms), row order.
+    pub fn min_rtt(&self) -> ColumnSlice<'a> {
+        self.min_rtt
+    }
+
+    /// The loss rates, row order.
+    pub fn loss(&self) -> ColumnSlice<'a> {
+        self.loss
+    }
+
+    /// Block-wise mirror of `ColumnBatch::validate`: the same range
+    /// checks the owned path applies, evaluated over the borrowed
+    /// views, so a corrupt container cannot smuggle out-of-range values
+    /// past a zero-copy consumer either.
+    fn validate(&self) -> Result<()> {
+        if self
+            .download
+            .iter()
+            .chain(self.upload.iter())
+            .any(|v| v < 0.0)
+        {
+            return Err(Error::invalid("negative throughput"));
+        }
+        if self.min_rtt.iter().any(|v| v < 0.0) {
+            return Err(Error::invalid("negative RTT"));
+        }
+        if self.loss.iter().any(|v| !(0.0..=1.0).contains(&v)) {
+            return Err(Error::invalid("loss rate outside [0,1]"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
 // v2 reader
 // ---------------------------------------------------------------------
 
@@ -951,12 +1160,51 @@ impl<'a> ColumnReader<'a> {
     }
 
     /// [`ColumnReader::read`], returning decode accounting alongside.
+    ///
+    /// The owned path is a thin wrapper over the borrowed
+    /// [`ColumnReader::scan_counted`]: each block view is appended onto
+    /// a fresh [`ColumnBatch`], so the two paths cannot drift — the
+    /// copies here are the *only* difference.
     pub fn read_counted(&self, selection: &ColumnSelection) -> Result<(ColumnBatch, ReadStats)> {
+        let mut batch = ColumnBatch::default();
+        let mut scratch = DecodeScratch::new();
+        let stats = self.scan_counted(selection, &mut scratch, |view| {
+            batch.dates.extend_from_slice(view.dates);
+            batch.countries.extend_from_slice(view.countries);
+            batch.asns.extend_from_slice(view.asns);
+            batch.download.extend(view.download.iter());
+            batch.upload.extend(view.upload.iter());
+            batch.min_rtt.extend(view.min_rtt.iter());
+            batch.loss.extend(view.loss.iter());
+            Ok(())
+        })?;
+        Ok((batch, stats))
+    }
+
+    /// The zero-copy read path: walk the blocks `selection` matches and
+    /// hand each to `visit` as a borrowed [`BlockView`] — fixed-width
+    /// float columns viewed in place over the container bytes,
+    /// varint/dictionary columns decoded into the caller's reusable
+    /// [`DecodeScratch`]. All the owned path's integrity checks run
+    /// here: per-block CRC, block row count, the index date-span and
+    /// country-summary cross-checks, and the value-range validation.
+    ///
+    /// Blocks arrive in container order; an `Err` from `visit` aborts
+    /// the scan. After the first block has warmed the scratch capacity,
+    /// the scan performs no per-block heap allocations.
+    pub fn scan_counted<F>(
+        &self,
+        selection: &ColumnSelection,
+        scratch: &mut DecodeScratch,
+        mut visit: F,
+    ) -> Result<ReadStats>
+    where
+        F: FnMut(&BlockView<'a, '_>) -> Result<()>,
+    {
         let mut stats = ReadStats {
             blocks_total: self.blocks.len(),
             ..ReadStats::default()
         };
-        let mut batch = ColumnBatch::default();
         let want = selection.columns;
         for entry in &self.blocks {
             if !selection.matches(entry) {
@@ -977,50 +1225,83 @@ impl<'a> ColumnReader<'a> {
             if pos != block.len() {
                 return Err(Error::parse("ndtc container (trailing bytes)", ""));
             }
+            scratch.reset();
             let mut touched = |payload: &[u8]| {
                 stats.columns_decoded += 1;
                 stats.bytes_decoded += payload.len();
             };
             if want.contains(ColumnSet::DATES) {
                 touched(sections[0]);
-                let dates = decode_date_payload(sections[0], n)?;
+                decode_date_payload_into(sections[0], n, &mut scratch.dates)?;
                 // Cross-check the index span against the decoded column:
                 // a lying index must not silently mis-prune future reads.
-                let days = dates.iter().map(|d| d.days_since_epoch());
+                let days = scratch.dates.iter().map(|d| d.days_since_epoch());
                 if days.clone().min() != Some(entry.min_days) || days.max() != Some(entry.max_days)
                 {
                     return Err(Error::parse("ndtc v2 index date span (mismatch)", ""));
                 }
-                batch.dates.extend(dates);
             }
             if want.contains(ColumnSet::COUNTRIES) {
                 touched(sections[1]);
-                let (values, dict) = decode_country_payload(sections[1], n)?;
-                if dict != entry.countries {
+                decode_country_payload_into(
+                    sections[1],
+                    n,
+                    &mut scratch.countries,
+                    &mut scratch.country_dict,
+                )?;
+                if scratch.country_dict != entry.countries {
                     return Err(Error::parse("ndtc v2 index country summary (mismatch)", ""));
                 }
-                batch.countries.extend(values);
             }
             if want.contains(ColumnSet::ASNS) {
                 touched(sections[2]);
-                batch.asns.extend(decode_asn_payload(sections[2], n)?);
+                decode_asn_payload_into(sections[2], n, &mut scratch.asns, &mut scratch.asn_dict)?;
             }
-            for (set, section, col) in [
-                (ColumnSet::DOWNLOAD, sections[3], &mut batch.download),
-                (ColumnSet::UPLOAD, sections[4], &mut batch.upload),
-                (ColumnSet::MIN_RTT, sections[5], &mut batch.min_rtt),
-                (ColumnSet::LOSS, sections[6], &mut batch.loss),
-            ] {
+            let mut floats = [ColumnSlice::empty(); 4];
+            for (slot, (set, section)) in floats.iter_mut().zip([
+                (ColumnSet::DOWNLOAD, sections[3]),
+                (ColumnSet::UPLOAD, sections[4]),
+                (ColumnSet::MIN_RTT, sections[5]),
+                (ColumnSet::LOSS, sections[6]),
+            ]) {
                 if want.contains(set) {
                     touched(section);
-                    col.extend(decode_float_payload(section, n)?);
+                    *slot = ColumnSlice::new(section, n)?;
                 }
             }
+            let [download, upload, min_rtt, loss] = floats;
+            let view = BlockView {
+                rows: n,
+                dates: &scratch.dates,
+                countries: &scratch.countries,
+                asns: &scratch.asns,
+                download,
+                upload,
+                min_rtt,
+                loss,
+            };
+            view.validate()?;
+            visit(&view)?;
         }
-        batch.validate()?;
-        Ok((batch, stats))
+        Ok(stats)
+    }
+
+    /// The min/max days-since-epoch across every block, straight from
+    /// the validated footer index — `None` for an empty container. What
+    /// the archive-level shard index records for range pruning.
+    pub fn day_span(&self) -> Option<(i64, i64)> {
+        let min = self.blocks.iter().map(|b| b.min_days).min()?;
+        let max = self.blocks.iter().map(|b| b.max_days).max()?;
+        Some((min, max))
     }
 }
+
+/// The borrowed-read spelling of [`ColumnReader`]. The reader has
+/// always been a reference type over a caller-owned (or pre-resident)
+/// byte buffer; this alias names the zero-copy role explicitly at call
+/// sites that drive [`ColumnReader::scan_counted`] with a
+/// [`DecodeScratch`] and consume [`BlockView`]s.
+pub type ColumnReaderRef<'a> = ColumnReader<'a>;
 
 // ---------------------------------------------------------------------
 // Version-dispatching entry points
@@ -1082,6 +1363,33 @@ pub fn container_stats(bytes: &[u8]) -> Result<(u64, u64)> {
             let reader = ColumnReader::open(bytes)?;
             Ok((reader.rows() as u64, reader.block_count() as u64))
         }
+        v => Err(Error::parse(
+            "ndtc version 1 or 2 (readers reject unknown versions)",
+            &v.to_string(),
+        )),
+    }
+}
+
+/// Cheap day-span census without decoding row data: `Some((min, max))`
+/// days-since-epoch over all rows, from the v2 footer index alone.
+/// `None` for an empty container and for v1 containers (which have no
+/// index to consult without a full decode). Feeds the archive-level
+/// shard index's range-pruning summaries.
+pub fn container_day_span(bytes: &[u8]) -> Result<Option<(i64, i64)>> {
+    if bytes.len() < HEADER_LEN {
+        return Err(Error::parse("ndtc container (truncated)", ""));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(Error::parse("ndtc magic", &format!("{:02x?}", &bytes[..4])));
+    }
+    match bytes[4] {
+        VERSION_V1 => {
+            if bytes.len() < HEADER_LEN + FOOTER_LEN {
+                return Err(Error::parse("ndtc container (truncated)", ""));
+            }
+            Ok(None)
+        }
+        VERSION_V2 => Ok(ColumnReader::open(bytes)?.day_span()),
         v => Err(Error::parse(
             "ndtc version 1 or 2 (readers reject unknown versions)",
             &v.to_string(),
@@ -1363,6 +1671,135 @@ mod tests {
     }
 
     #[test]
+    fn container_day_span_census() {
+        // rows() spans Jul 2 .. Jul 30 2019 regardless of block split.
+        let rows = rows();
+        let lo = Date::ymd(2019, 7, 2).days_since_epoch();
+        let hi = Date::ymd(2019, 7, 30).days_since_epoch();
+        for block_rows in [1, 2, 4096] {
+            let bytes = encode_v2_with(&ColumnBatch::from_rows(&rows), block_rows);
+            assert_eq!(container_day_span(&bytes).unwrap(), Some((lo, hi)));
+        }
+        assert_eq!(container_day_span(&encode_rows_v2(&[])).unwrap(), None);
+        // v1 has no footer index — the census answers "unknown".
+        assert_eq!(container_day_span(&encode_rows(&rows)).unwrap(), None);
+        assert!(container_day_span(b"NDTX").is_err());
+    }
+
+    #[test]
+    fn column_slice_views_values_in_place() {
+        let vals = [0.25f64, 7.5, 0.0, 1000.125];
+        let mut payload = Vec::new();
+        for v in vals {
+            put_f64(&mut payload, v);
+        }
+        let slice = ColumnSlice::new(&payload, vals.len()).unwrap();
+        assert_eq!(slice.len(), vals.len());
+        assert!(!slice.is_empty());
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(slice.get(i).to_bits(), v.to_bits());
+        }
+        assert_eq!(slice.iter().collect::<Vec<_>>(), vals);
+        assert!(ColumnSlice::empty().is_empty());
+        assert_eq!(ColumnSlice::empty().len(), 0);
+        // A payload whose length disagrees with the row count is the
+        // same typed error the owned float decoder raises.
+        assert!(ColumnSlice::new(&payload, vals.len() + 1).is_err());
+        assert!(ColumnSlice::new(&payload[..payload.len() - 1], vals.len()).is_err());
+    }
+
+    /// The pre-zero-copy owned decode, kept verbatim as a reference
+    /// implementation: fresh `Vec`s per block via the allocating payload
+    /// decoders. The proptest below pins the borrowed scan (and the
+    /// thin owned wrapper over it) bit-identical to this.
+    fn reference_read_counted(
+        reader: &ColumnReader<'_>,
+        selection: &ColumnSelection,
+    ) -> Result<(ColumnBatch, ReadStats)> {
+        let mut stats = ReadStats {
+            blocks_total: reader.blocks.len(),
+            ..ReadStats::default()
+        };
+        let mut batch = ColumnBatch::default();
+        let want = selection.columns;
+        for entry in &reader.blocks {
+            if !selection.matches(entry) {
+                continue;
+            }
+            stats.blocks_decoded += 1;
+            let block = &reader.bytes[entry.offset..entry.offset + entry.len];
+            if crc32(block) != entry.crc {
+                return Err(Error::parse("ndtc checksum (corrupt block)", ""));
+            }
+            let mut pos = 0;
+            let n = read_uvarint(block, &mut pos)?;
+            if n != entry.rows as u64 {
+                return Err(Error::parse("ndtc v2 block row count", &n.to_string()));
+            }
+            let n = entry.rows;
+            let sections = split_column_sections(block, &mut pos)?;
+            let mut touched = |payload: &[u8]| {
+                stats.columns_decoded += 1;
+                stats.bytes_decoded += payload.len();
+            };
+            if want.contains(ColumnSet::DATES) {
+                touched(sections[0]);
+                batch.dates.extend(decode_date_payload(sections[0], n)?);
+            }
+            if want.contains(ColumnSet::COUNTRIES) {
+                touched(sections[1]);
+                batch
+                    .countries
+                    .extend(decode_country_payload(sections[1], n)?.0);
+            }
+            if want.contains(ColumnSet::ASNS) {
+                touched(sections[2]);
+                batch.asns.extend(decode_asn_payload(sections[2], n)?);
+            }
+            for (set, section, col) in [
+                (ColumnSet::DOWNLOAD, sections[3], &mut batch.download),
+                (ColumnSet::UPLOAD, sections[4], &mut batch.upload),
+                (ColumnSet::MIN_RTT, sections[5], &mut batch.min_rtt),
+                (ColumnSet::LOSS, sections[6], &mut batch.loss),
+            ] {
+                if want.contains(set) {
+                    touched(section);
+                    col.extend(decode_float_payload(section, n)?);
+                }
+            }
+        }
+        batch.validate()?;
+        Ok((batch, stats))
+    }
+
+    #[test]
+    fn scratch_capacity_survives_blocks_and_scans() {
+        let rows = rows();
+        let bytes = encode_v2_with(&ColumnBatch::from_rows(&rows), 1);
+        let reader = ColumnReader::open(&bytes).unwrap();
+        let mut scratch = DecodeScratch::new();
+        let sel = ColumnSelection::all();
+        let mut seen = 0usize;
+        let stats = reader
+            .scan_counted(&sel, &mut scratch, |view| {
+                seen += view.rows();
+                assert_eq!(view.dates().len(), view.rows());
+                assert_eq!(view.download().len(), view.rows());
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(seen, rows.len());
+        assert_eq!(stats.blocks_decoded, 3);
+        let warm = scratch.dates.capacity();
+        assert!(warm >= 1);
+        // A second scan with the same arena must not grow it — every
+        // block fits in the capacity the first scan established.
+        let stats2 = reader.scan_counted(&sel, &mut scratch, |_| Ok(())).unwrap();
+        assert_eq!(stats2, stats);
+        assert_eq!(scratch.dates.capacity(), warm);
+    }
+
+    #[test]
     fn column_set_algebra() {
         assert!(ColumnSet::ALL.contains(ColumnSet::AGGREGATE));
         assert!(ColumnSet::AGGREGATE.contains(ColumnSet::DATES));
@@ -1433,6 +1870,78 @@ mod tests {
                     let back: String = decoded.iter().map(|r| r.to_row() + "\n").collect();
                     prop_assert_eq!(&back, &text);
                 }
+            }
+
+            /// The borrowed scan is bit-identical to the owned decode
+            /// for *every* `ColumnSelection` — all 128 column subsets,
+            /// optional date-range and country pruning, shards split at
+            /// arbitrary block sizes. `read_counted` (the thin wrapper
+            /// over the scan) and a scan-collected batch must both match
+            /// the reference owned implementation, `ReadStats` included.
+            #[test]
+            fn borrowed_scan_matches_owned_decode_for_every_selection(
+                specs in proptest::collection::vec(
+                    (1u8..=28, 0usize..4, 1u32..400_000,
+                     (0.0f64..500.0, 0.0f64..200.0, 0.0f64..900.0, 0.0f64..1.0)),
+                    0..48,
+                ),
+                col_mask in 0u8..=0x7f,
+                block_rows in 1usize..9,
+                date_window in proptest::option::of((0i64..400, 0i64..400)),
+                country_pick in proptest::option::of(0usize..4),
+            ) {
+                let rows: Vec<NdtTest> = specs
+                    .into_iter()
+                    .map(|(day, cc, asn, f)| arb_row(day, cc, asn, f))
+                    .collect();
+                let bytes = encode_v2_with(&ColumnBatch::from_rows(&rows), block_rows);
+                let reader = ColumnReader::open(&bytes).unwrap();
+
+                let mut columns = ColumnSet::NONE;
+                for (bit, set) in [
+                    ColumnSet::DATES, ColumnSet::COUNTRIES, ColumnSet::ASNS,
+                    ColumnSet::DOWNLOAD, ColumnSet::UPLOAD, ColumnSet::MIN_RTT,
+                    ColumnSet::LOSS,
+                ].into_iter().enumerate() {
+                    if col_mask & (1 << bit) != 0 {
+                        columns = columns.union(set);
+                    }
+                }
+                let mut sel = ColumnSelection::columns(columns);
+                if let Some((a, b)) = date_window {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    sel = sel.with_dates(
+                        Date::from_days_since_epoch(13_500 + lo * 12),
+                        Date::from_days_since_epoch(13_500 + hi * 12),
+                    );
+                }
+                if let Some(i) = country_pick {
+                    let codes = [country::VE, country::BR, country::AR, country::UY];
+                    sel = sel.with_country(codes[i]);
+                }
+
+                let (want_batch, want_stats) =
+                    reference_read_counted(&reader, &sel).unwrap();
+                let (owned_batch, owned_stats) = reader.read_counted(&sel).unwrap();
+                prop_assert_eq!(&owned_batch, &want_batch);
+                prop_assert_eq!(owned_stats, want_stats);
+
+                let mut scratch = DecodeScratch::new();
+                let mut scanned = ColumnBatch::default();
+                let scan_stats = reader
+                    .scan_counted(&sel, &mut scratch, |view| {
+                        scanned.dates.extend_from_slice(view.dates());
+                        scanned.countries.extend_from_slice(view.countries());
+                        scanned.asns.extend_from_slice(view.asns());
+                        scanned.download.extend(view.download().iter());
+                        scanned.upload.extend(view.upload().iter());
+                        scanned.min_rtt.extend(view.min_rtt().iter());
+                        scanned.loss.extend(view.loss().iter());
+                        Ok(())
+                    })
+                    .unwrap();
+                prop_assert_eq!(&scanned, &want_batch);
+                prop_assert_eq!(scan_stats, want_stats);
             }
 
             /// Arbitrary byte mutations never panic the decoder — they

@@ -22,7 +22,10 @@ pub mod ndt;
 pub mod synth;
 
 pub use aggregate::{GroupStats, MonthlyAggregator};
-pub use columnar::{ColumnBatch, ColumnReader, ColumnSelection, ColumnSet, ReadStats, ShardFormat};
+pub use columnar::{
+    BlockView, ColumnBatch, ColumnReader, ColumnReaderRef, ColumnSelection, ColumnSet, ColumnSlice,
+    DecodeScratch, ReadStats, ShardFormat,
+};
 pub use multi::{Group, Metric, MultiAggregator};
 pub use ndt::NdtTest;
 pub use synth::SpeedSampler;

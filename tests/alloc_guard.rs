@@ -1,0 +1,135 @@
+//! Allocation-count regression guard for the zero-copy `.ndtc` read
+//! path.
+//!
+//! The borrowed scan's contract is that after one warm-up pass a range
+//! scan performs **zero** per-block heap allocations: fixed-width float
+//! columns are served as borrowed [`ColumnSlice`]s straight out of the
+//! container buffer, and the varint/dictionary columns decode into a
+//! caller-owned [`DecodeScratch`] arena that is cleared — never shrunk —
+//! between blocks. This test pins that contract with a counting global
+//! allocator: encode a multi-block v2 container in memory, warm the
+//! scratch with one scan, then assert the second scan allocates nothing
+//! at all.
+//!
+//! The guard lives in its own integration-test binary on purpose: the
+//! `#[global_allocator]` is process-wide, and a single `#[test]` keeps
+//! the counting window free of concurrent harness traffic. (The library
+//! crates forbid `unsafe`; an integration test is a separate crate, and
+//! the allocator shim below is the one place it is warranted.)
+//!
+//! [`ColumnSlice`]: lacnet::mlab::ColumnSlice
+//! [`DecodeScratch`]: lacnet::mlab::DecodeScratch
+
+use lacnet::mlab::columnar::{self, ColumnSelection};
+use lacnet::mlab::{ColumnReader, DecodeScratch, NdtTest};
+use lacnet::types::{country, Asn, Date};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Counts every allocation (and growth-realloc) while armed; forwards
+/// everything to the system allocator untouched.
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Run `f` with the counter armed and return how many heap allocations
+/// it performed.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let result = f();
+    ARMED.store(false, Ordering::SeqCst);
+    (result, ALLOCATIONS.load(Ordering::SeqCst))
+}
+
+#[test]
+fn warm_range_scan_performs_zero_per_block_allocations() {
+    // A container that genuinely exercises the block machinery: 96 rows
+    // over two countries and alternating ASNs, sealed at 8 rows per
+    // block → 12 blocks, each with dates, dictionaries and all four
+    // float columns populated.
+    let rows: Vec<NdtTest> = (0..96)
+        .map(|i| NdtTest {
+            date: Date::from_days_since_epoch(18_000 + (i as i64) / 4),
+            country: if i % 3 == 0 { country::BR } else { country::VE },
+            asn: Asn(8_048 + (i as u32 % 5) * 991),
+            download_mbps: 0.5 + i as f64 * 0.25,
+            upload_mbps: 0.1 + i as f64 * 0.125,
+            min_rtt_ms: 20.0 + (i % 40) as f64,
+            loss_rate: (i % 10) as f64 / 100.0,
+        })
+        .collect();
+    let bytes = columnar::encode_v2_with(&lacnet::mlab::ColumnBatch::from_rows(&rows), 8);
+    let reader = ColumnReader::open(&bytes).expect("container opens");
+    let selection = ColumnSelection::all().with_country(country::VE);
+    let mut scratch = DecodeScratch::new();
+
+    // The scan body must not allocate either: fold plain sums.
+    let scan = |scratch: &mut DecodeScratch| {
+        let mut rows_seen = 0usize;
+        let mut download_sum = 0.0f64;
+        let stats = reader
+            .scan_counted(&selection, scratch, |view| {
+                rows_seen += view.rows();
+                for v in view.download().iter() {
+                    download_sum += v;
+                }
+                Ok(())
+            })
+            .expect("scan succeeds");
+        (stats, rows_seen, download_sum)
+    };
+
+    // Warm-up: the scratch arena grows to the widest block here.
+    let (warm, warm_allocs) = allocations_during(|| scan(&mut scratch));
+    assert!(warm.1 > 0, "selection matched no rows");
+    assert!(warm_allocs > 0, "cold scan must populate the scratch arena");
+
+    // The warm scan re-reads every matched block — and touches the heap
+    // exactly zero times. Not zero-per-block: zero, full stop.
+    let (hot, hot_allocs) = allocations_during(|| scan(&mut scratch));
+    assert_eq!(hot.0, warm.0, "warm scan changed the ReadStats");
+    assert_eq!(hot.1, warm.1);
+    assert_eq!(hot.2, warm.2);
+    assert_eq!(
+        hot_allocs, 0,
+        "warm scan over {} blocks performed {hot_allocs} heap allocations",
+        hot.0.blocks_decoded
+    );
+    assert!(
+        hot.0.blocks_decoded >= 4,
+        "guard must cover a multi-block scan, saw {}",
+        hot.0.blocks_decoded
+    );
+}

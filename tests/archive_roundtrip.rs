@@ -288,6 +288,71 @@ fn single_month_query_decodes_only_the_matching_shard_bytes() {
 }
 
 #[test]
+fn range_query_equals_the_merge_of_its_single_month_queries() {
+    use lacnet::types::country;
+    let src = archive_source_for(ShardFormat::Columnar);
+    let series: Vec<_> = src.mlab().median_series(country::VE).iter().collect();
+    assert!(series.len() >= 4, "test world spans months");
+    let (from, _) = series[series.len() - 4];
+    let (to, _) = *series.last().unwrap();
+
+    let range = src
+        .ndt_range_stats(country::VE, from, to)
+        .expect("range query succeeds");
+    assert_eq!(range.months_queried, 4);
+    assert_eq!(range.months.len(), 4);
+
+    // The merged answer is exactly the fold of the single-month queries:
+    // per-month stats, the row total, and the absorbed ReadStats — the
+    // parallel fan-out with plan-order merge is observationally identical
+    // to a sequential month walk.
+    let mut rows = 0usize;
+    let mut read = lacnet::mlab::ReadStats::default();
+    let mut median_sum = 0.0f64;
+    let mut medians = 0usize;
+    for &(month, ref merged) in &range.months {
+        let single = src
+            .ndt_month_stats(country::VE, month)
+            .expect("query succeeds")
+            .expect("shard exists");
+        assert_eq!(merged, &single, "{month} diverges inside the range");
+        rows += single.rows;
+        read.absorb(single.read);
+        if let Some(m) = single.median_download {
+            median_sum += m;
+            medians += 1;
+        }
+    }
+    assert_eq!(range.rows, rows);
+    assert_eq!(range.read, read);
+    assert_eq!(
+        range.mean_monthly_median,
+        (medians > 0).then(|| median_sum / medians as f64)
+    );
+
+    // The fan-out decoded only the download column of the matching
+    // blocks across every queried shard.
+    assert!(range.read.blocks_decoded >= 4);
+    assert_eq!(range.read.columns_decoded, range.read.blocks_decoded);
+
+    // Every storage format answers the same numbers through the same
+    // range entry point — full-decode paths included.
+    for other in [v1_archive_source(), archive_source_for(ShardFormat::Text)] {
+        let answer = other
+            .ndt_range_stats(country::VE, from, to)
+            .expect("range query succeeds");
+        assert_eq!(answer.rows, range.rows);
+        assert_eq!(answer.months.len(), range.months.len());
+        for ((m_a, a), (m_b, b)) in answer.months.iter().zip(&range.months) {
+            assert_eq!(m_a, m_b);
+            assert_eq!(a.rows, b.rows, "{m_a}");
+            assert_eq!(a.median_download, b.median_download, "{m_a}");
+        }
+        assert_eq!(answer.mean_monthly_median, range.mean_monthly_median);
+    }
+}
+
+#[test]
 fn archive_backend_reports_itself() {
     assert_eq!(archive_source().backend(), "archive");
     assert_eq!(archive_source().config(), &world().config);

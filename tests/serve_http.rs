@@ -447,6 +447,72 @@ fn ndt_month_query_serves_selective_read_stats() {
 }
 
 #[test]
+fn ndt_range_query_on_the_wire_is_byte_stable_and_shares_cache_slots() {
+    // A dedicated server: the ndt-range counters below are exactly this
+    // test's traffic.
+    let (addr, handle) = boot(ServeOptions::default());
+    let source = archive_source();
+    let series: Vec<_> = source
+        .mlab()
+        .median_series(lacnet::types::country::VE)
+        .iter()
+        .collect();
+    assert!(series.len() >= 3, "test world spans months");
+    let (from, _) = series[series.len() - 3];
+    let (to, _) = *series.last().unwrap();
+
+    let (status, headers, body) = http_get(addr, &format!("/ndt/VE?from={from}&to={to}"));
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v.starts_with("application/json")));
+    let json =
+        lacnet::types::json::Json::parse(std::str::from_utf8(&body).expect("utf8")).expect("json");
+    assert_eq!(json.get("country").and_then(|v| v.as_str()), Some("VE"));
+    assert_eq!(
+        json.get("months_queried").and_then(|v| v.as_f64()),
+        Some(3.0)
+    );
+    assert!(json.get("rows").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    assert!(json.get("months").is_some());
+    assert!(json.get("read").is_some());
+
+    // Repeats and every spelling of the window — reordered keys,
+    // percent-escaped key — serve byte-identical bytes from ONE slot.
+    let (_, _, again) = http_get(addr, &format!("/ndt/VE?from={from}&to={to}"));
+    assert_eq!(body, again, "range response not byte-stable");
+    let (_, _, reordered) = http_get(addr, &format!("/ndt/VE?to={to}&from={from}"));
+    assert_eq!(body, reordered);
+    let (_, _, escaped) = http_get(addr, &format!("/ndt/VE?from={from}&%74o={to}"));
+    assert_eq!(body, escaped);
+    let (_, _, metrics) = http_get(addr, "/metrics");
+    let text = std::str::from_utf8(&metrics).expect("utf8");
+    assert!(
+        text.contains("lacnet_cache_misses_total{endpoint=\"ndt-range\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("lacnet_cache_hits_total{endpoint=\"ndt-range\"} 3"),
+        "{text}"
+    );
+
+    // Reversed, out-of-dataset, incomplete and malformed ranges are
+    // typed 400s on the wire.
+    for bad in [
+        format!("/ndt/VE?from={to}&to={from}"),
+        "/ndt/VE?from=1805-01&to=1806-01".to_owned(),
+        "/ndt/VE?from=2020-01".to_owned(),
+        "/ndt/VE?from=whenever&to=2020-01".to_owned(),
+        "/ndt/VE?from=%zz&to=2020-01".to_owned(),
+        "/ndt/VEN?from=2020-01&to=2020-02".to_owned(),
+    ] {
+        let (status, _, _) = http_get(addr, &bad);
+        assert_eq!(status, 400, "{bad}");
+    }
+    handle.shutdown();
+}
+
+#[test]
 fn scenarios_inventory_lists_every_builtin() {
     let addr = shared_server();
     let (status, headers, body) = http_get(addr, "/scenarios");
